@@ -1,0 +1,123 @@
+// E1 (paper §5): conversion-mode costs.
+//
+// Claims reproduced:
+//   * image mode between identical machine types is a plain byte copy —
+//     cheapest, size-independent per byte;
+//   * packed mode (character transport format) costs real conversion work
+//     and is only paid between incompatible types;
+//   * shift mode is cheap enough to use for ALL header transfers
+//     regardless of destination ("a mode efficient enough to be used for
+//     all transfers, regardless of destination, was desired").
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "convert/mode.h"
+#include "convert/schema.h"
+#include "convert/shift.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::convert;
+
+/// A message schema scaled so its image is roughly `bytes` long.
+MessageSchema sized_schema(std::size_t bytes) {
+  std::vector<FieldSpec> fields;
+  std::size_t have = 0;
+  int i = 0;
+  while (have + 8 <= bytes) {
+    fields.push_back({"u" + std::to_string(i++), FieldType::u64});
+    have += 8;
+  }
+  if (have < bytes) {
+    fields.push_back({"pad", FieldType::chars, bytes - have});
+  }
+  return MessageSchema("sized", std::move(fields));
+}
+
+Record fill(const MessageSchema& s, std::uint64_t seed) {
+  Rng rng(seed);
+  Record r = s.make_record();
+  for (const auto& f : s.fields()) {
+    if (f.type == FieldType::u64) (void)r.set_u64(f.name, rng.next());
+  }
+  return r;
+}
+
+/// Image-mode serialisation (what a same-type transfer pays).
+void BM_ImageMode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  auto schema = sized_schema(size);
+  Record rec = fill(schema, 1);
+  for (auto _ : state) {
+    auto image = schema.to_image(rec, Arch::vax780);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_ImageMode)->Range(16, 64 << 10);
+
+/// Packed-mode pack+unpack (what a cross-type transfer pays).
+void BM_PackedMode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  auto schema = sized_schema(size);
+  Record rec = fill(schema, 1);
+  for (auto _ : state) {
+    auto packed = schema.pack(rec);
+    auto back = schema.unpack(packed.value());
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_PackedMode)->Range(16, 64 << 10);
+
+/// Image round trip (serialise + deserialise) for a fair pair comparison.
+void BM_ImageRoundTrip(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  auto schema = sized_schema(size);
+  Record rec = fill(schema, 1);
+  for (auto _ : state) {
+    auto image = schema.to_image(rec, Arch::vax780);
+    auto back = schema.from_image(image.value(), Arch::vax780);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_ImageRoundTrip)->Range(16, 64 << 10);
+
+/// Shift-mode encode+decode of a 14-word NTCS-style header: the per-message
+/// overhead paid on EVERY transfer.
+void BM_ShiftModeHeader(benchmark::State& state) {
+  for (auto _ : state) {
+    Bytes out;
+    ShiftWriter w(out);
+    for (int i = 0; i < 10; ++i) w.put_u32(0xABCDEF01u + i);
+    w.put_u64(0x123456789ULL);
+    w.put_u64(0x987654321ULL);
+    ShiftReader r(out);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 10; ++i) acc += r.get_u32().value();
+    acc += r.get_u64().value() + r.get_u64().value();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ShiftModeHeader);
+
+/// The mode decision itself (taken on every send at the lowest layer).
+void BM_ChooseMode(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    auto m = choose_mode(static_cast<Arch>(i % kArchCount),
+                         static_cast<Arch>((i / kArchCount) % kArchCount));
+    benchmark::DoNotOptimize(m);
+    ++i;
+  }
+}
+BENCHMARK(BM_ChooseMode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// A2: the DRTS services' costs — what running the distributed run-time
+// support layer on top of the NTCS (instead of inside it) costs per
+// operation. The paper's position (§1.2, §3.1) is that DRTS services are
+// ordinary modules; these numbers show an ordinary module's request cycle
+// is all any of them pay.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "drts/error_log.h"
+#include "drts/file_service.h"
+#include "drts/time_service.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+struct DrtsRig {
+  core::Testbed tb;
+  std::unique_ptr<ntcs::drts::TimeServer> time_server;
+  std::unique_ptr<ntcs::drts::FileServer> file_server;
+  std::unique_ptr<ntcs::drts::ErrorLogServer> errlog;
+  std::unique_ptr<core::Node> client;
+  std::unique_ptr<ntcs::drts::TimeClient> tc;
+  std::unique_ptr<ntcs::drts::FileClient> fc;
+  std::unique_ptr<ntcs::drts::ErrorLogClient> elc;
+
+  DrtsRig() {
+    tb.net("lan");
+    tb.machine("m1", convert::Arch::vax780, {"lan"});
+    tb.machine("m2", convert::Arch::sun3, {"lan"});
+    if (!tb.start_name_server("m1", "lan").ok()) std::abort();
+    if (!tb.finalize().ok()) std::abort();
+    core::NodeConfig cfg;
+    cfg.machine = tb.machine_id("m2");
+    cfg.net = "lan";
+    cfg.well_known = tb.well_known();
+    time_server = std::make_unique<ntcs::drts::TimeServer>(tb.fabric(), cfg);
+    if (!time_server->start().ok()) std::abort();
+    file_server = std::make_unique<ntcs::drts::FileServer>(tb.fabric(), cfg);
+    if (!file_server->start().ok()) std::abort();
+    errlog = std::make_unique<ntcs::drts::ErrorLogServer>(tb.fabric(), cfg);
+    if (!errlog->start().ok()) std::abort();
+    client = tb.spawn_module("bench-client", "m1", "lan").value();
+    tc = std::make_unique<ntcs::drts::TimeClient>(*client);
+    (void)tc->sync();
+    fc = std::make_unique<ntcs::drts::FileClient>(*client);
+    if (!fc->connect().ok()) std::abort();
+    elc = std::make_unique<ntcs::drts::ErrorLogClient>(*client);
+    (void)fc->write("/bench/warm", to_bytes("warm"));
+  }
+  ~DrtsRig() { client->stop(); }
+};
+
+DrtsRig& rig() {
+  static DrtsRig r;
+  return r;
+}
+
+/// One full time correction (5 request/reply exchanges, min-RTT filter).
+void BM_TimeSync(benchmark::State& state) {
+  DrtsRig& r = rig();
+  for (auto _ : state) {
+    if (!r.tc->sync().ok()) state.SkipWithError("sync failed");
+  }
+}
+BENCHMARK(BM_TimeSync)->Unit(benchmark::kMicrosecond);
+
+/// The corrected-time read on the hot path (what every monitored send pays
+/// once synced).
+void BM_CorrectedNow(benchmark::State& state) {
+  DrtsRig& r = rig();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.tc->corrected_now_ns());
+  }
+}
+BENCHMARK(BM_CorrectedNow);
+
+/// File writes across the NTCS, by size.
+void BM_FileWrite(benchmark::State& state) {
+  DrtsRig& r = rig();
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5C);
+  for (auto _ : state) {
+    if (!r.fc->write("/bench/w", data).ok()) {
+      state.SkipWithError("write failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FileWrite)->Range(64, 64 << 10)->Unit(benchmark::kMicrosecond);
+
+void BM_FileRead(benchmark::State& state) {
+  DrtsRig& r = rig();
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5C);
+  (void)r.fc->write("/bench/r", data);
+  for (auto _ : state) {
+    auto got = r.fc->read("/bench/r");
+    if (!got.ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FileRead)->Range(64, 64 << 10)->Unit(benchmark::kMicrosecond);
+
+void BM_FileStat(benchmark::State& state) {
+  DrtsRig& r = rig();
+  for (auto _ : state) {
+    auto s = r.fc->stat("/bench/warm");
+    if (!s.ok()) state.SkipWithError("stat failed");
+  }
+}
+BENCHMARK(BM_FileStat)->Unit(benchmark::kMicrosecond);
+
+/// Fire-and-forget exception report (the §6.3 running table's feed).
+void BM_ErrorReport(benchmark::State& state) {
+  DrtsRig& r = rig();
+  for (auto _ : state) {
+    r.elc->report("lcm", Errc::address_fault, "bench");
+  }
+}
+BENCHMARK(BM_ErrorReport)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E2 (paper §4): internet virtual circuits through gateway chains.
+//
+// Claims reproduced:
+//   * IVCs work identically over 0, 1, 2, 3 gateway hops (transparency);
+//   * per-message cost grows roughly linearly with hop count (each hop is
+//     one extra relay through a Gateway's IP-Layer fast path);
+//   * circuit establishment is the expensive, but rare, operation — and it
+//     too grows with hop count (one EXTEND round per hop).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+/// Steady-state request/reply round trip across `hops` gateways.
+void BM_RequestRoundTrip(benchmark::State& state) {
+  HopRig& rig = hop_rig(static_cast<int>(state.range(0)));
+  const Bytes msg(256, 0x5A);
+  for (auto _ : state) {
+    auto reply = rig.src->commod().request(rig.dst_addr, msg, 5s);
+    if (!reply.ok()) state.SkipWithError("request failed");
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_RequestRoundTrip)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+/// One-way send throughput across `hops` gateways (drained by the echo
+/// server's receive loop).
+void BM_OneWaySend(benchmark::State& state) {
+  HopRig& rig = hop_rig(static_cast<int>(state.range(0)));
+  const Bytes msg(256, 0x5A);
+  for (auto _ : state) {
+    auto st = rig.src->commod().send(rig.dst_addr, msg);
+    if (!st.ok()) state.SkipWithError("send failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_OneWaySend)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full circuit establishment (ND open + EXTEND per hop), then teardown.
+/// "The centralized topology was tolerable since this information is only
+/// required at circuit establishment time, which is relatively rare."
+void BM_CircuitEstablish(benchmark::State& state) {
+  HopRig& rig = hop_rig(static_cast<int>(state.range(0)));
+  core::ResolvedDest dest;
+  dest.uadd = rig.dst->identity().uadd();
+  dest.phys = rig.dst->phys();
+  dest.net = HopRig::net_name(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto ivc = rig.src->ip().open_ivc(dest);
+    if (!ivc.ok()) {
+      state.SkipWithError("open_ivc failed");
+      break;
+    }
+    (void)rig.src->ip().close_ivc(ivc.value());
+  }
+}
+BENCHMARK(BM_CircuitEstablish)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Message size sweep across a fixed 1-gateway chain (fragmentation cost).
+void BM_SizeSweepOneHop(benchmark::State& state) {
+  HopRig& rig = hop_rig(1);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x33);
+  for (auto _ : state) {
+    auto reply = rig.src->commod().request(rig.dst_addr, msg, 10s);
+    if (!reply.ok()) state.SkipWithError("request failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SizeSweepOneHop)->Range(64, 256 << 10)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// E3 (paper §3.3): naming-service cost and cache effectiveness.
+//
+// Claims reproduced:
+//   * every name lookup / address resolution is one request/reply to the
+//     Name Server (measurable, non-trivial);
+//   * once resolved, communication never touches the Name Server again —
+//     warm-path sends cost the same with the Name Server REMOVED ("the
+//     Name Server can be removed with no consequence, unless the system
+//     is reconfigured").
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+struct NamingRig {
+  core::Testbed tb;
+  std::unique_ptr<core::Node> client;
+  std::unique_ptr<core::Node> target;
+  core::UAdd target_addr;
+  std::jthread drain;
+  bool ns_killed = false;
+
+  NamingRig() {
+    tb.net("lan");
+    tb.machine("m1", convert::Arch::vax780, {"lan"});
+    tb.machine("m2", convert::Arch::sun3, {"lan"});
+    if (!tb.start_name_server("m1", "lan").ok()) std::abort();
+    if (!tb.finalize().ok()) std::abort();
+    client = tb.spawn_module("client", "m1", "lan").value();
+    target = tb.spawn_module("target", "m2", "lan").value();
+    target_addr = client->commod().locate("target").value();
+    (void)client->commod().send(target_addr, to_bytes("warm"));
+    drain = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) {
+        (void)target->commod().receive(50ms);
+      }
+    });
+  }
+  ~NamingRig() {
+    drain.request_stop();
+    if (drain.joinable()) drain.join();
+    client->stop();
+    target->stop();
+  }
+};
+
+NamingRig& rig() {
+  static NamingRig r;
+  return r;
+}
+
+/// Name -> UAdd resolution (one Name Server round trip each time).
+void BM_LocateByName(benchmark::State& state) {
+  NamingRig& r = rig();
+  if (r.ns_killed) {
+    state.SkipWithError("name server already removed");
+    return;
+  }
+  for (auto _ : state) {
+    auto addr = r.client->commod().locate("target");
+    if (!addr.ok()) state.SkipWithError("locate failed");
+    benchmark::DoNotOptimize(addr);
+  }
+}
+BENCHMARK(BM_LocateByName)->Unit(benchmark::kMicrosecond);
+
+/// UAdd -> physical address resolution (the ND-Layer's NSP query).
+void BM_ResolveUAdd(benchmark::State& state) {
+  NamingRig& r = rig();
+  if (r.ns_killed) {
+    state.SkipWithError("name server already removed");
+    return;
+  }
+  for (auto _ : state) {
+    auto info = r.client->nsp().resolve_info(r.target_addr);
+    if (!info.ok()) state.SkipWithError("resolve failed");
+    benchmark::DoNotOptimize(info);
+  }
+}
+BENCHMARK(BM_ResolveUAdd)->Unit(benchmark::kMicrosecond);
+
+/// Attribute-based lookup (the §7 extension scheme).
+void BM_LocateByAttr(benchmark::State& state) {
+  NamingRig& r = rig();
+  if (r.ns_killed) {
+    state.SkipWithError("name server already removed");
+    return;
+  }
+  for (auto _ : state) {
+    auto hits = r.client->nsp().lookup_attrs({{"role", "none"}});
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LocateByAttr)->Unit(benchmark::kMicrosecond);
+
+/// Warm-path send: all addresses cached, no naming-service involvement.
+void BM_WarmSend(benchmark::State& state) {
+  NamingRig& r = rig();
+  const Bytes msg(64, 0x11);
+  for (auto _ : state) {
+    if (!r.client->commod().send(r.target_addr, msg).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+}
+BENCHMARK(BM_WarmSend)->Unit(benchmark::kMicrosecond);
+
+/// The §3.3 claim itself: kill the Name Server, keep sending. Must match
+/// BM_WarmSend — the warm path provably does not use the Name Server.
+void BM_WarmSendNameServerRemoved(benchmark::State& state) {
+  NamingRig& r = rig();
+  if (!r.ns_killed) {
+    r.tb.name_server().stop();
+    r.ns_killed = true;
+  }
+  const Bytes msg(64, 0x11);
+  for (auto _ : state) {
+    if (!r.client->commod().send(r.target_addr, msg).ok()) {
+      state.SkipWithError("send failed after NS removal");
+    }
+  }
+}
+BENCHMARK(BM_WarmSendNameServerRemoved)->Unit(benchmark::kMicrosecond);
+
+/// §7 replication: lookups served by a replica after the primary died
+/// (steady state, failover already taken). A separate rig with a replica.
+void BM_LocateViaReplica(benchmark::State& state) {
+  struct ReplicaRig {
+    core::Testbed tb;
+    std::unique_ptr<core::Node> client;
+    std::unique_ptr<core::Node> target;
+
+    ReplicaRig() {
+      tb.net("lan");
+      tb.machine("m1", convert::Arch::vax780, {"lan"});
+      tb.machine("m2", convert::Arch::sun3, {"lan"});
+      if (!tb.start_name_server("m1", "lan").ok()) std::abort();
+      if (!tb.add_name_server_replica("m2", "lan").ok()) std::abort();
+      if (!tb.finalize().ok()) std::abort();
+      client = tb.spawn_module("rclient", "m1", "lan").value();
+      target = tb.spawn_module("rtarget", "m2", "lan").value();
+      // Let the snapshot land, then fail the primary over.
+      for (int spin = 0; spin < 200 && tb.replica(0).record_count() < 3;
+           ++spin) {
+        std::this_thread::sleep_for(5ms);
+      }
+      tb.name_server().stop();
+      (void)client->commod().locate("rtarget");  // pays the failover once
+    }
+    ~ReplicaRig() {
+      client->stop();
+      target->stop();
+    }
+  };
+  static ReplicaRig r;
+  for (auto _ : state) {
+    auto addr = r.client->commod().locate("rtarget");
+    if (!addr.ok()) state.SkipWithError("replica lookup failed");
+    benchmark::DoNotOptimize(addr);
+  }
+}
+BENCHMARK(BM_LocateViaReplica)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+// E7 (paper §1.3): the communication primitives and the virtual-circuit
+// rationale.
+//
+// Claims reproduced:
+//   * both asynchronous (send, dgram) and synchronous (send/receive/reply)
+//     primitives are provided; async is cheaper per message;
+//   * "interactions among application modules would stabilize in a set of
+//     extended conversations" — circuit establishment amortises across a
+//     conversation: per-message cost falls sharply as conversation length
+//     grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+void BM_AsyncSend(benchmark::State& state) {
+  HopRig& rig = hop_rig(0);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    if (!rig.src->commod().send(rig.dst_addr, msg).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AsyncSend)->Range(16, 64 << 10)->Unit(benchmark::kMicrosecond);
+
+void BM_Dgram(benchmark::State& state) {
+  HopRig& rig = hop_rig(0);
+  const Bytes msg(64, 0x42);
+  for (auto _ : state) {
+    if (!rig.src->commod().dgram(rig.dst_addr, msg).ok()) {
+      state.SkipWithError("dgram failed");
+    }
+  }
+}
+BENCHMARK(BM_Dgram)->Unit(benchmark::kMicrosecond);
+
+void BM_SyncRequestReply(benchmark::State& state) {
+  HopRig& rig = hop_rig(0);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    auto reply = rig.src->commod().request(rig.dst_addr, msg, 5s);
+    if (!reply.ok()) state.SkipWithError("request failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SyncRequestReply)->Range(16, 64 << 10)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Conversation amortisation: per-message cost of (1 circuit + K messages)
+/// as K grows. Establishment dominates at K=1 and vanishes by K=100 — the
+/// virtual-circuit design's justification.
+void BM_ConversationLength(benchmark::State& state) {
+  HopRig& rig = hop_rig(1);  // include a gateway so establishment matters
+  const int k = static_cast<int>(state.range(0));
+  core::ResolvedDest dest;
+  dest.uadd = rig.dst->identity().uadd();
+  dest.phys = rig.dst->phys();
+  dest.net = HopRig::net_name(1);
+  const Bytes payload(64, 0x42);
+  core::wire::LcmHeader hdr;
+  hdr.kind = core::wire::LcmKind::data;
+  hdr.src = rig.src->identity().uadd();
+  hdr.dst = dest.uadd;
+  const Bytes lcm_msg = core::wire::encode_lcm(hdr, payload);
+  for (auto _ : state) {
+    auto ivc = rig.src->ip().open_ivc(dest);
+    if (!ivc.ok()) {
+      state.SkipWithError("open_ivc failed");
+      break;
+    }
+    for (int i = 0; i < k; ++i) {
+      if (!rig.src->ip().send(ivc.value(), lcm_msg).ok()) {
+        state.SkipWithError("send failed");
+        break;
+      }
+    }
+    (void)rig.src->ip().close_ivc(ivc.value());
+  }
+  // Normalise to per-message cost.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_ConversationLength)->Arg(1)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Ablation for the §5 "no needless conversions" policy: the same schema
+/// record sent end-to-end between identical machine types (adaptive mode
+/// picks image: byte copy) vs incompatible ones (packed: pack on send,
+/// unpack on receive). The delta is exactly what the adaptive decision
+/// saves on every same-type message.
+struct ModeRig {
+  core::Testbed tb;
+  std::unique_ptr<core::Node> vax_a, vax_b, sun;
+  std::jthread drain_vax, drain_sun;
+  core::UAdd vax_b_addr, sun_addr;
+  convert::MessageSchema schema;
+  convert::Record rec;
+
+  ModeRig()
+      : schema("bulk",
+               [] {
+                 std::vector<convert::FieldSpec> fields;
+                 for (int i = 0; i < 512; ++i) {
+                   fields.push_back({"f" + std::to_string(i),
+                                     convert::FieldType::u64});
+                 }
+                 return fields;
+               }()),
+        rec(schema.make_record()) {
+    tb.net("lan");
+    tb.machine("vax1", convert::Arch::vax780, {"lan"});
+    tb.machine("vax2", convert::Arch::microvax, {"lan"});  // same order
+    tb.machine("sun1", convert::Arch::sun3, {"lan"});
+    if (!tb.start_name_server("vax1", "lan").ok()) std::abort();
+    if (!tb.finalize().ok()) std::abort();
+    vax_a = tb.spawn_module("vax-a", "vax1", "lan").value();
+    vax_b = tb.spawn_module("vax-b", "vax2", "lan").value();
+    sun = tb.spawn_module("sun", "sun1", "lan").value();
+    drain_vax = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) (void)vax_b->commod().receive(50ms);
+    });
+    drain_sun = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) (void)sun->commod().receive(50ms);
+    });
+    vax_b_addr = vax_a->commod().locate("vax-b").value();
+    sun_addr = vax_a->commod().locate("sun").value();
+    Rng rng(3);
+    for (int i = 0; i < 512; ++i) {
+      (void)rec.set_u64("f" + std::to_string(i), rng.next());
+    }
+    auto p = vax_a->commod().payload_for(rec).value();
+    (void)vax_a->commod().send(vax_b_addr, p);
+    (void)vax_a->commod().send(sun_addr, p);
+  }
+  ~ModeRig() {
+    drain_vax.request_stop();
+    drain_sun.request_stop();
+    if (drain_vax.joinable()) drain_vax.join();
+    if (drain_sun.joinable()) drain_sun.join();
+    vax_a->stop();
+    vax_b->stop();
+    sun->stop();
+  }
+};
+
+ModeRig& mode_rig() {
+  static ModeRig r;
+  return r;
+}
+
+void BM_AdaptiveModeSameArch(benchmark::State& state) {
+  ModeRig& r = mode_rig();
+  for (auto _ : state) {
+    auto p = r.vax_a->commod().payload_for(r.rec);
+    if (!p.ok() || !r.vax_a->commod().send(r.vax_b_addr, p.value()).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.schema.image_size()));
+}
+BENCHMARK(BM_AdaptiveModeSameArch)->Unit(benchmark::kMicrosecond);
+
+void BM_AdaptiveModeCrossArch(benchmark::State& state) {
+  ModeRig& r = mode_rig();
+  for (auto _ : state) {
+    auto p = r.vax_a->commod().payload_for(r.rec);
+    if (!p.ok() || !r.vax_a->commod().send(r.sun_addr, p.value()).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.schema.image_size()));
+}
+BENCHMARK(BM_AdaptiveModeCrossArch)->Unit(benchmark::kMicrosecond);
+
+/// Raw Nucleus send (LCM bypassed) as the substrate floor.
+void BM_NdLayerFloor(benchmark::State& state) {
+  HopRig& rig = hop_rig(0);
+  // A dedicated LVC straight to the destination endpoint.
+  auto lvc = rig.src->nd().open(rig.dst->phys());
+  if (!lvc.ok()) {
+    state.SkipWithError("nd open failed");
+    return;
+  }
+  // A well-formed envelope the peer's IP-Layer quietly discards (teardown
+  // of an unknown circuit), so the floor measures transport only.
+  const Bytes msg = core::wire::encode_ip_teardown(0xFFFFFFFFu);
+  for (auto _ : state) {
+    if (!rig.src->nd().send(lvc.value(), msg).ok()) {
+      state.SkipWithError("nd send failed");
+    }
+  }
+  (void)rig.src->nd().close(lvc.value());
+}
+BENCHMARK(BM_NdLayerFloor)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

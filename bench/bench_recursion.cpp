@@ -1,0 +1,155 @@
+// E6 (paper §6.1): the cost of recursion — DRTS hooks on the send path.
+//
+// Claims reproduced:
+//   * recursion is "not bad for the traditional reason of speed
+//     (recursive calls are rare under normal operation)": once the time
+//     service is synced and the monitor located, a monitored send adds
+//     only one timestamp call and one datagram;
+//   * the FIRST monitored send is much more expensive — it locates the
+//     time service, runs the multi-message correction, locates the
+//     monitor, and establishes circuits, all recursively (the §6.1
+//     walkthrough).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "drts/monitor.h"
+#include "drts/time_service.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+struct RecursionRig {
+  core::Testbed tb;
+  std::unique_ptr<ntcs::drts::TimeServer> time_server;
+  std::unique_ptr<ntcs::drts::MonitorServer> monitor;
+  std::unique_ptr<core::Node> plain;      // no hooks
+  std::unique_ptr<core::Node> monitored;  // monitor hook
+  std::unique_ptr<core::Node> full;       // monitor + time hooks
+  std::unique_ptr<core::Node> sink;
+  std::unique_ptr<ntcs::drts::MonitorClient> mc1, mc2;
+  std::unique_ptr<ntcs::drts::TimeClient> tc;
+  std::jthread drain;
+  core::UAdd sink_addr_plain, sink_addr_mon, sink_addr_full;
+  std::uint64_t counter = 0;
+
+  RecursionRig() {
+    tb.net("lan");
+    tb.machine("m1", convert::Arch::vax780, {"lan"});
+    tb.machine("m2", convert::Arch::sun3, {"lan"});
+    if (!tb.start_name_server("m1", "lan").ok()) std::abort();
+    if (!tb.finalize().ok()) std::abort();
+
+    core::NodeConfig scfg;
+    scfg.machine = tb.machine_id("m2");
+    scfg.net = "lan";
+    scfg.well_known = tb.well_known();
+    time_server = std::make_unique<ntcs::drts::TimeServer>(tb.fabric(), scfg);
+    if (!time_server->start().ok()) std::abort();
+    monitor = std::make_unique<ntcs::drts::MonitorServer>(tb.fabric(), scfg);
+    if (!monitor->start().ok()) std::abort();
+
+    plain = tb.spawn_module("plain", "m1", "lan").value();
+    monitored = tb.spawn_module("monitored", "m1", "lan").value();
+    full = tb.spawn_module("full", "m1", "lan").value();
+    sink = tb.spawn_module("sink", "m2", "lan").value();
+
+    mc1 = std::make_unique<ntcs::drts::MonitorClient>(*monitored);
+    monitored->lcm().set_monitor_hook(mc1->hook());
+    mc2 = std::make_unique<ntcs::drts::MonitorClient>(*full);
+    full->lcm().set_monitor_hook(mc2->hook());
+    tc = std::make_unique<ntcs::drts::TimeClient>(*full);
+    full->lcm().set_time_source(tc->source());
+
+    drain = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) (void)sink->commod().receive(50ms);
+    });
+    sink_addr_plain = plain->commod().locate("sink").value();
+    sink_addr_mon = monitored->commod().locate("sink").value();
+    sink_addr_full = full->commod().locate("sink").value();
+    // Warm everything: circuits, monitor location, time sync.
+    (void)plain->commod().send(sink_addr_plain, to_bytes("w"));
+    (void)monitored->commod().send(sink_addr_mon, to_bytes("w"));
+    (void)full->commod().send(sink_addr_full, to_bytes("w"));
+  }
+  ~RecursionRig() {
+    drain.request_stop();
+    if (drain.joinable()) drain.join();
+    plain->stop();
+    monitored->stop();
+    full->stop();
+    sink->stop();
+  }
+};
+
+RecursionRig& rig() {
+  static RecursionRig r;
+  return r;
+}
+
+void BM_SendNoHooks(benchmark::State& state) {
+  RecursionRig& r = rig();
+  const Bytes msg(64, 1);
+  for (auto _ : state) {
+    if (!r.plain->commod().send(r.sink_addr_plain, msg).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+}
+BENCHMARK(BM_SendNoHooks)->Unit(benchmark::kMicrosecond);
+
+void BM_SendMonitorHook(benchmark::State& state) {
+  RecursionRig& r = rig();
+  const Bytes msg(64, 1);
+  for (auto _ : state) {
+    if (!r.monitored->commod().send(r.sink_addr_mon, msg).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+}
+BENCHMARK(BM_SendMonitorHook)->Unit(benchmark::kMicrosecond);
+
+void BM_SendMonitorAndTimeHooks(benchmark::State& state) {
+  RecursionRig& r = rig();
+  const Bytes msg(64, 1);
+  for (auto _ : state) {
+    if (!r.full->commod().send(r.sink_addr_full, msg).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+}
+BENCHMARK(BM_SendMonitorAndTimeHooks)->Unit(benchmark::kMicrosecond);
+
+/// The §6.1 walkthrough: a module's very first monitored+timed send to a
+/// fresh destination — every nested call included (fresh module each
+/// iteration; the spawn itself is excluded from timing).
+void BM_FirstSendFullRecursion(benchmark::State& state) {
+  RecursionRig& r = rig();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto node =
+        r.tb.spawn_module("cold-" + std::to_string(r.counter++), "m1", "lan");
+    if (!node.ok()) {
+      state.SkipWithError("spawn failed");
+      break;
+    }
+    auto mc = std::make_unique<ntcs::drts::MonitorClient>(*node.value());
+    auto tc = std::make_unique<ntcs::drts::TimeClient>(*node.value());
+    node.value()->lcm().set_monitor_hook(mc->hook());
+    node.value()->lcm().set_time_source(tc->source());
+    auto dst = node.value()->commod().locate("sink").value();
+    state.ResumeTiming();
+    if (!node.value()->commod().send(dst, to_bytes("first")).ok()) {
+      state.SkipWithError("first send failed");
+    }
+    state.PauseTiming();
+    node.value()->stop();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_FirstSendFullRecursion)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E8 (paper §7): the URSA application workload over the full NTCS.
+//
+// Claims reproduced:
+//   * the NTCS supports a real message-based IR application across
+//     heterogeneous machines and multiple networks ("successfully
+//     employed in three generations of distributed information retrieval
+//     systems");
+//   * query cost scales with the number of query terms (one backend
+//     round trip per term) and with corpus selectivity.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ursa/servers.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+struct UrsaRig {
+  core::Testbed tb;
+  ntcs::drts::ProcessController pc{tb};
+  std::shared_ptr<ursa::Corpus> corpus;
+  std::unique_ptr<core::Node> host_node;
+  std::unique_ptr<ursa::UrsaHost> host;
+
+  UrsaRig() {
+    tb.net("office");
+    tb.net("backend");
+    tb.machine("vax-host", convert::Arch::vax780, {"office"});
+    tb.machine("gw", convert::Arch::apollo_dn330, {"office", "backend"});
+    tb.machine("sun-be", convert::Arch::sun3, {"backend"});
+    if (!tb.start_name_server("vax-host", "office").ok()) std::abort();
+    if (!tb.add_gateway("gw-1", "gw", {"office", "backend"}).ok()) {
+      std::abort();
+    }
+    if (!tb.finalize().ok()) std::abort();
+    ursa::UrsaPlacement placement;
+    placement.index_machine = "sun-be";
+    placement.index_net = "backend";
+    placement.doc_machine = "sun-be";
+    placement.doc_net = "backend";
+    placement.search_machine = "sun-be";
+    placement.search_net = "backend";
+    auto c = ursa::spawn_ursa(pc, placement, 500, 21);
+    if (!c.ok()) std::abort();
+    corpus = c.value();
+    host_node = tb.spawn_module("host", "vax-host", "office").value();
+    host = std::make_unique<ursa::UrsaHost>(*host_node);
+    if (!host->connect().ok()) std::abort();
+  }
+  ~UrsaRig() { host_node->stop(); }
+
+  std::string query(int terms, int base_rank) const {
+    std::string q;
+    for (int t = 0; t < terms; ++t) {
+      if (t != 0) q.push_back(' ');
+      q += corpus->vocabulary()[static_cast<std::size_t>(base_rank + t)];
+    }
+    return q;
+  }
+};
+
+UrsaRig& rig() {
+  static UrsaRig r;
+  return r;
+}
+
+/// Query latency vs number of query terms (one index round trip each).
+void BM_QueryByTermCount(benchmark::State& state) {
+  UrsaRig& r = rig();
+  const std::string q = r.query(static_cast<int>(state.range(0)), 0);
+  for (auto _ : state) {
+    auto hits = r.host->search(q, 10);
+    if (!hits.ok()) state.SkipWithError("search failed");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_QueryByTermCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Common (low-rank) vs rare (high-rank) single-term queries: postings
+/// volume drives the cost.
+void BM_QueryBySelectivity(benchmark::State& state) {
+  UrsaRig& r = rig();
+  const std::string q = r.query(1, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto hits = r.host->search(q, 10);
+    if (!hits.ok()) state.SkipWithError("search failed");
+  }
+}
+BENCHMARK(BM_QueryBySelectivity)->Arg(0)->Arg(50)->Arg(200)->Arg(390)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Document fetch (doc server round trip across the gateway).
+void BM_DocumentFetch(benchmark::State& state) {
+  UrsaRig& r = rig();
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    auto doc = r.host->fetch(id);
+    if (!doc.ok()) state.SkipWithError("fetch failed");
+    id = id % r.corpus->size() + 1;
+  }
+}
+BENCHMARK(BM_DocumentFetch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

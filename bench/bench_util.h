@@ -1,0 +1,81 @@
+// bench_util.h — shared rig builders for the experiment benchmarks.
+//
+// Rigs are built once per process (google-benchmark re-enters each
+// benchmark body many times) and torn down at exit. Machines are given
+// distinct architectures so conversion decisions stay realistic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/testbed.h"
+#include "drts/process_control.h"
+
+namespace ntcs::bench {
+
+using namespace std::chrono_literals;
+
+/// A chain of `hops+1` networks with `hops` gateways; a source module on
+/// the first network, an echo server on the last.
+struct HopRig {
+  core::Testbed tb;
+  std::unique_ptr<core::Node> src;
+  std::unique_ptr<core::Node> dst;
+  std::jthread echo;
+  core::UAdd dst_addr;
+
+  explicit HopRig(int hops) {
+    for (int n = 0; n <= hops; ++n) tb.net(net_name(n));
+    tb.machine("m-src", convert::Arch::vax780, {net_name(0)});
+    tb.machine("m-dst", convert::Arch::sun3, {net_name(hops)});
+    for (int g = 0; g < hops; ++g) {
+      tb.machine(gw_machine(g), convert::Arch::apollo_dn330,
+                 {net_name(g), net_name(g + 1)});
+    }
+    if (!tb.start_name_server("m-src", net_name(0)).ok()) std::abort();
+    for (int g = 0; g < hops; ++g) {
+      if (!tb.add_gateway("gw-" + std::to_string(g), gw_machine(g),
+                          {net_name(g), net_name(g + 1)})
+               .ok()) {
+        std::abort();
+      }
+    }
+    if (!tb.finalize().ok()) std::abort();
+    src = tb.spawn_module("src", "m-src", net_name(0)).value();
+    dst = tb.spawn_module("dst", "m-dst", net_name(hops)).value();
+    echo = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) {
+        auto in = dst->commod().receive(50ms);
+        if (in.ok() && in.value().is_request) {
+          (void)dst->commod().reply(in.value().reply_ctx,
+                                    in.value().payload);
+        }
+      }
+    });
+    dst_addr = src->commod().locate("dst").value();
+    // Warm the circuit so steady-state numbers exclude establishment.
+    (void)src->commod().request(dst_addr, to_bytes("warm"), 5s);
+  }
+
+  ~HopRig() {
+    echo.request_stop();
+    if (echo.joinable()) echo.join();
+    src->stop();
+    dst->stop();
+  }
+
+  static std::string net_name(int n) { return "net-" + std::to_string(n); }
+  static std::string gw_machine(int g) { return "m-gw" + std::to_string(g); }
+};
+
+inline HopRig& hop_rig(int hops) {
+  static std::map<int, std::unique_ptr<HopRig>> rigs;
+  auto it = rigs.find(hops);
+  if (it == rigs.end()) {
+    it = rigs.emplace(hops, std::make_unique<HopRig>(hops)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace ntcs::bench

@@ -1,0 +1,87 @@
+// ursa_retrieval — the paper's motivating application (§1.2): a distributed
+// information-retrieval system with backend index / search / document
+// servers spread over two networks and three machine architectures,
+// queried from a host module.
+//
+// Build & run:  ./examples/ursa_retrieval
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "drts/process_control.h"
+#include "ursa/servers.h"
+
+using ntcs::convert::Arch;
+
+int main() {
+  // Two LANs joined by a gateway; heterogeneous machines.
+  ntcs::core::Testbed tb;
+  tb.net("office-lan");
+  tb.net("backend-lan");
+  tb.machine("vax-host", Arch::vax780, {"office-lan"});
+  tb.machine("gw", Arch::apollo_dn330, {"office-lan", "backend-lan"});
+  tb.machine("sun-index", Arch::sun3, {"backend-lan"});
+  tb.machine("apollo-docs", Arch::apollo_dn330, {"backend-lan"});
+  if (!tb.start_name_server("vax-host", "office-lan").ok()) return 1;
+  if (!tb.add_gateway("gw-1", "gw", {"office-lan", "backend-lan"}).ok()) {
+    return 1;
+  }
+  if (!tb.finalize().ok()) return 1;
+
+  // Deploy the URSA backends.
+  ntcs::drts::ProcessController pc(tb);
+  ursa::UrsaPlacement placement;
+  placement.index_machine = "sun-index";
+  placement.index_net = "backend-lan";
+  placement.doc_machine = "apollo-docs";
+  placement.doc_net = "backend-lan";
+  placement.search_machine = "sun-index";
+  placement.search_net = "backend-lan";
+  auto corpus = ursa::spawn_ursa(pc, placement, /*corpus_docs=*/300,
+                                 /*seed=*/11);
+  if (!corpus.ok()) {
+    std::printf("deploy failed: %s\n", corpus.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("URSA deployed: %zu documents indexed\n",
+              corpus.value()->size());
+
+  // A host workstation on the office LAN.
+  auto host_node = tb.spawn_module("workstation", "vax-host", "office-lan");
+  if (!host_node.ok()) return 1;
+  ursa::UrsaHost host(*host_node.value());
+  if (!host.connect().ok()) return 1;
+
+  // Run a few queries drawn from the corpus vocabulary.
+  for (int rank : {0, 5, 50}) {
+    const std::string& term =
+        corpus.value()->vocabulary()[static_cast<std::size_t>(rank)];
+    auto hits = host.search(term, 5);
+    if (!hits.ok()) {
+      std::printf("query '%s' failed: %s\n", term.c_str(),
+                  hits.error().to_string().c_str());
+      continue;
+    }
+    std::printf("query '%s' (vocab rank %d): %zu hit(s)\n", term.c_str(),
+                rank, hits.value().size());
+    for (const auto& h : hits.value()) {
+      std::printf("   doc %3llu  score %5.1f\n",
+                  static_cast<unsigned long long>(h.doc), h.score);
+    }
+    if (!hits.value().empty()) {
+      auto doc = host.fetch(hits.value()[0].doc);
+      if (doc.ok()) {
+        std::printf("   top doc title: \"%s\"\n", doc.value().title.c_str());
+      }
+    }
+  }
+
+  auto stats = host.index_stats();
+  if (stats.ok()) {
+    std::printf("index server: %llu requests served, %llu terms held\n",
+                static_cast<unsigned long long>(stats.value().served),
+                static_cast<unsigned long long>(stats.value().items_held));
+  }
+  host_node.value()->stop();
+  std::printf("ursa_retrieval OK\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "common/bytes.h"
+
+#include <array>
+
+namespace ntcs {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+std::string hex_dump(BytesView b, std::size_t max_bytes) {
+  static constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5',
+                                                '6', '7', '8', '9', 'a', 'b',
+                                                'c', 'd', 'e', 'f'};
+  std::string out;
+  const std::size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  out.reserve(n * 3 + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xF]);
+  }
+  if (b.size() > n) out += " ...";
+  return out;
+}
+
+}  // namespace ntcs

@@ -1,0 +1,38 @@
+#include "common/error.h"
+
+namespace ntcs {
+
+std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::address_fault: return "address_fault";
+    case Errc::no_route: return "no_route";
+    case Errc::not_found: return "not_found";
+    case Errc::closed: return "closed";
+    case Errc::refused: return "refused";
+    case Errc::timeout: return "timeout";
+    case Errc::bad_message: return "bad_message";
+    case Errc::no_resource: return "no_resource";
+    case Errc::already_exists: return "already_exists";
+    case Errc::shutdown: return "shutdown";
+    case Errc::too_big: return "too_big";
+    case Errc::bad_argument: return "bad_argument";
+    case Errc::recursion_limit: return "recursion_limit";
+    case Errc::conversion_error: return "conversion_error";
+    case Errc::partitioned: return "partitioned";
+    case Errc::unsupported: return "unsupported";
+    case Errc::still_alive: return "still_alive";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s(errc_name(code_));
+  if (!what_.empty()) {
+    s += ": ";
+    s += what_;
+  }
+  return s;
+}
+
+}  // namespace ntcs

@@ -1,0 +1,124 @@
+// error.h — error codes and the Result<T> type used across all NTCS layers.
+//
+// Expected communication failures (address faults, timeouts, partitions,
+// closed channels …) are values, not exceptions: a communication system is
+// "quickly inundated with the handling of unlikely exceptional conditions"
+// (paper §6.3), and those conditions are part of normal operation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ntcs {
+
+/// Error codes surfaced by NTCS layers. The ALI-Layer "tailors" these for
+/// the application; internal layers pass them upward unchanged (§2.2: "no
+/// automatic relocation or recovery ...; notification is simply passed
+/// upward").
+enum class Errc : std::uint8_t {
+  ok = 0,
+  /// Destination physical address unreachable / channel to it died.
+  address_fault,
+  /// No route between source and destination networks.
+  no_route,
+  /// Name or address not known to the naming service.
+  not_found,
+  /// The channel/circuit was closed by the peer or by teardown.
+  closed,
+  /// The destination exists but refused the open.
+  refused,
+  /// A deadline expired.
+  timeout,
+  /// A malformed or unexpected protocol message was received.
+  bad_message,
+  /// Resource exhaustion (queue full, table full, ids exhausted).
+  no_resource,
+  /// An entity with this name/address already exists.
+  already_exists,
+  /// The module or fabric is shutting down.
+  shutdown,
+  /// Message exceeds the maximum transfer size.
+  too_big,
+  /// Caller error detected by ALI-Layer parameter checking.
+  bad_argument,
+  /// Recursion guard tripped (paper §6.3: Name Server dead-circuit loop).
+  recursion_limit,
+  /// Pack/unpack failure in the conversion layer.
+  conversion_error,
+  /// Network partition injected / detected.
+  partitioned,
+  /// Operation not supported by this IPCS / layer.
+  unsupported,
+  /// Forwarding query answered: the old module is still alive (§3.5 —
+  /// "the original module is still alive"; the caller should reconnect).
+  still_alive,
+};
+
+/// Human-readable name of an error code.
+std::string_view errc_name(Errc e);
+
+/// An error: a code plus optional context text for diagnostics.
+class Error {
+ public:
+  Error(Errc code, std::string what) : code_(code), what_(std::move(what)) {}
+  explicit Error(Errc code) : code_(code) {}
+
+  Errc code() const { return code_; }
+  const std::string& what() const { return what_; }
+  std::string to_string() const;
+
+ private:
+  Errc code_;
+  std::string what_;
+};
+
+/// Result<T>: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string what) : v_(Error(code, std::move(what))) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const Error& error() const { return std::get<Error>(v_); }
+  Errc code() const { return ok() ? Errc::ok : error().code(); }
+
+  /// Value or a default when in error state.
+  T value_or(T dflt) const& { return ok() ? value() : std::move(dflt); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : err_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+  Status(Errc code, std::string what) : err_(Error(code, std::move(what))) {}
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const { return *err_; }
+  Errc code() const { return ok() ? Errc::ok : err_->code(); }
+  std::string to_string() const { return ok() ? "ok" : err_->to_string(); }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace ntcs

@@ -1,0 +1,97 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace ntcs {
+
+std::string_view log_level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+Log& Log::instance() {
+  static Log log;
+  return log;
+}
+
+void Log::set_default_level(LogLevel lvl) {
+  std::lock_guard lk(mu_);
+  default_level_ = lvl;
+}
+
+void Log::set_layer_level(std::string_view layer, LogLevel lvl) {
+  std::lock_guard lk(mu_);
+  for (auto& [name, level] : layer_levels_) {
+    if (name == layer) {
+      level = lvl;
+      return;
+    }
+  }
+  layer_levels_.emplace_back(std::string(layer), lvl);
+}
+
+LogLevel Log::level_for(std::string_view layer) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [name, level] : layer_levels_) {
+    if (name == layer) return level;
+  }
+  return default_level_;
+}
+
+void Log::set_capture(bool on, std::size_t ring_capacity) {
+  std::lock_guard lk(mu_);
+  capture_ = on;
+  ring_capacity_ = ring_capacity;
+  if (!on) ring_.clear();
+}
+
+std::vector<LogRecord> Log::captured() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void Log::clear_captured() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+}
+
+void Log::write(LogLevel lvl, std::string_view layer, std::string_view module,
+                std::string_view text) {
+  bool to_stderr = false;
+  {
+    std::lock_guard lk(mu_);
+    LogLevel eff = default_level_;
+    for (const auto& [name, level] : layer_levels_) {
+      if (name == layer) {
+        eff = level;
+        break;
+      }
+    }
+    to_stderr = lvl >= eff && eff != LogLevel::off;
+    if (capture_) {
+      ring_.push_back(LogRecord{lvl, std::string(layer), std::string(module),
+                                std::string(text)});
+      while (ring_.size() > ring_capacity_) ring_.pop_front();
+    }
+  }
+  if (to_stderr) {
+    std::fprintf(stderr, "[%.*s] %.*s/%.*s: %.*s\n",
+                 static_cast<int>(log_level_name(lvl).size()),
+                 log_level_name(lvl).data(), static_cast<int>(layer.size()),
+                 layer.data(), static_cast<int>(module.size()), module.data(),
+                 static_cast<int>(text.size()), text.data());
+  }
+}
+
+void LayerLog::emit(LogLevel lvl, std::string_view text) const {
+  Log::instance().write(lvl, layer_, module_, text);
+}
+
+}  // namespace ntcs

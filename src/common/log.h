@@ -1,0 +1,89 @@
+// log.h — selective, layer-tagged diagnostics.
+//
+// Paper §6.2: with recursion, "simple tracebacks are largely inadequate.
+// One must also know *why* a layer is being called, and *who* is calling
+// it. However, adequate *selectivity* in observing this information is
+// equally important." Each log line therefore carries a layer tag and the
+// module name, and verbosity is settable per layer tag.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntcs {
+
+enum class LogLevel : std::uint8_t { trace = 0, debug, info, warn, error, off };
+
+std::string_view log_level_name(LogLevel lvl);
+
+/// One captured log record (kept when capture mode is on, for tests).
+struct LogRecord {
+  LogLevel level;
+  std::string layer;   // e.g. "nd", "ip", "lcm", "nsp", "ali", "simnet"
+  std::string module;  // logical module name, e.g. "name-server"
+  std::string text;
+};
+
+/// Process-wide log sink. Thread-safe. Default level is `warn` so tests and
+/// benches stay quiet; individual layers can be opened up selectively.
+class Log {
+ public:
+  static Log& instance();
+
+  void set_default_level(LogLevel lvl);
+  void set_layer_level(std::string_view layer, LogLevel lvl);
+  LogLevel level_for(std::string_view layer) const;
+
+  /// When capturing, records are also kept in a bounded ring readable by
+  /// tests (so assertions can be made about *what the system did*).
+  void set_capture(bool on, std::size_t ring_capacity = 4096);
+  std::vector<LogRecord> captured() const;
+  void clear_captured();
+
+  /// Emit to stderr (when >= effective level) and the capture ring.
+  void write(LogLevel lvl, std::string_view layer, std::string_view module,
+             std::string_view text);
+
+  bool enabled(LogLevel lvl, std::string_view layer) const {
+    return lvl >= level_for(layer);
+  }
+
+ private:
+  Log() = default;
+
+  mutable std::mutex mu_;
+  LogLevel default_level_ = LogLevel::warn;
+  std::vector<std::pair<std::string, LogLevel>> layer_levels_;
+  bool capture_ = false;
+  std::size_t ring_capacity_ = 4096;
+  std::deque<LogRecord> ring_;
+};
+
+/// Convenience front-end bound to one (layer, module) pair; cheap to copy.
+class LayerLog {
+ public:
+  LayerLog(std::string layer, std::string module)
+      : layer_(std::move(layer)), module_(std::move(module)) {}
+
+  void trace(std::string_view text) const { emit(LogLevel::trace, text); }
+  void debug(std::string_view text) const { emit(LogLevel::debug, text); }
+  void info(std::string_view text) const { emit(LogLevel::info, text); }
+  void warn(std::string_view text) const { emit(LogLevel::warn, text); }
+  void error(std::string_view text) const { emit(LogLevel::error, text); }
+
+  const std::string& layer() const { return layer_; }
+  const std::string& module() const { return module_; }
+
+ private:
+  void emit(LogLevel lvl, std::string_view text) const;
+
+  std::string layer_;
+  std::string module_;
+};
+
+}  // namespace ntcs

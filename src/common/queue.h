@@ -1,0 +1,109 @@
+// queue.h — blocking multi-producer/multi-consumer queues.
+//
+// Every NTCS module owns queues at several points: the simnet inbox, the
+// LCM-Layer application message queue, per-request reply slots, and the DRTS
+// monitor feed. A single well-tested primitive serves them all.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ntcs {
+
+/// Blocking FIFO queue. push() never blocks (unbounded by default; a
+/// capacity turns push into try-push). pop() blocks with an optional
+/// deadline. close() wakes all waiters; subsequent pops drain remaining
+/// items and then report Errc::closed.
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueue. Fails with no_resource when a capacity is set and reached,
+  /// or with closed after close().
+  Status push(T item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_) return Status(Errc::closed, "queue closed");
+      if (capacity_ != 0 && q_.size() >= capacity_) {
+        return Status(Errc::no_resource, "queue full");
+      }
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return Status::success();
+  }
+
+  /// Blocking dequeue; waits forever.
+  Result<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return !q_.empty() || closed_; });
+    return pop_locked();
+  }
+
+  /// Dequeue with a relative timeout.
+  Result<T> pop_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return !q_.empty() || closed_; })) {
+      return Error(Errc::timeout, "queue pop timed out");
+    }
+    return pop_locked();
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> try_pop() {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  /// Close the queue; waiters wake, remaining items stay poppable.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  Result<T> pop_locked() {
+    if (!q_.empty()) {
+      T item = std::move(q_.front());
+      q_.pop_front();
+      return item;
+    }
+    return Error(Errc::closed, "queue closed");
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ntcs

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+namespace ntcs {
+
+std::uint64_t Rng::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Modulo bias is negligible for the bounds used here (workload sizes).
+  return next() % bound;
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace ntcs

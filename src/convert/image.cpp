@@ -1,0 +1,158 @@
+#include "convert/image.h"
+
+#include <cstring>
+
+namespace ntcs::convert {
+
+namespace {
+
+// Byte positions (most-significant byte first) of a 32-bit value in memory
+// for each byte order. kLayout32[order][i] = which big-endian byte index
+// lands at memory offset i.
+constexpr int kLayout32[3][4] = {
+    {3, 2, 1, 0},  // little: LSB first
+    {0, 1, 2, 3},  // big: MSB first
+    {1, 0, 3, 2},  // pdp_mid: little-endian 16-bit words, high word first
+};
+
+std::uint8_t be_byte32(std::uint32_t v, int idx) {
+  return static_cast<std::uint8_t>((v >> (8 * (3 - idx))) & 0xFF);
+}
+
+}  // namespace
+
+void ImageWriter::put_u8(std::uint8_t v) { out_.push_back(v); }
+
+void ImageWriter::put_u16(std::uint16_t v) {
+  const std::uint8_t hi = static_cast<std::uint8_t>(v >> 8);
+  const std::uint8_t lo = static_cast<std::uint8_t>(v & 0xFF);
+  // 16-bit quantities are little-endian on VAX and PDP-11, big-endian on
+  // the MC680x0 machines.
+  if (byte_order(arch_) == ByteOrder::big) {
+    out_.push_back(hi);
+    out_.push_back(lo);
+  } else {
+    out_.push_back(lo);
+    out_.push_back(hi);
+  }
+}
+
+void ImageWriter::put_u32(std::uint32_t v) {
+  const auto& layout = kLayout32[static_cast<int>(byte_order(arch_))];
+  for (int i = 0; i < 4; ++i) out_.push_back(be_byte32(v, layout[i]));
+}
+
+void ImageWriter::put_u64(std::uint64_t v) {
+  // 64-bit values are represented as two 32-bit words, low word at the
+  // lower address on little-endian machines, high word first otherwise.
+  const std::uint32_t hi = static_cast<std::uint32_t>(v >> 32);
+  const std::uint32_t lo = static_cast<std::uint32_t>(v & 0xFFFFFFFFULL);
+  if (byte_order(arch_) == ByteOrder::little) {
+    put_u32(lo);
+    put_u32(hi);
+  } else {
+    put_u32(hi);
+    put_u32(lo);
+  }
+}
+
+void ImageWriter::put_f64(double v) {
+  // Emulated machines store doubles as their 8-byte pattern subjected to
+  // the same word ordering as u64 (a simplification: VAX F/G floats had
+  // different formats; byte order is the observable property we model).
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void ImageWriter::put_chars(std::string_view s, std::size_t field_size) {
+  // Characters are single bytes on every testbed machine; no reordering.
+  const std::size_t n = s.size() < field_size ? s.size() : field_size;
+  out_.insert(out_.end(), s.begin(), s.begin() + static_cast<long>(n));
+  out_.insert(out_.end(), field_size - n, 0);
+}
+
+void ImageWriter::put_raw(ntcs::BytesView b) {
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+ntcs::Result<ntcs::BytesView> ImageReader::take(std::size_t n) {
+  if (in_.size() - off_ < n) {
+    return ntcs::Error(ntcs::Errc::conversion_error, "image underrun");
+  }
+  ntcs::BytesView v = in_.subspan(off_, n);
+  off_ += n;
+  return v;
+}
+
+ntcs::Result<std::uint8_t> ImageReader::get_u8() {
+  auto v = take(1);
+  if (!v) return v.error();
+  return v.value()[0];
+}
+
+ntcs::Result<std::uint16_t> ImageReader::get_u16() {
+  auto v = take(2);
+  if (!v) return v.error();
+  const auto b = v.value();
+  if (byte_order(arch_) == ByteOrder::big) {
+    return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+  }
+  return static_cast<std::uint16_t>((b[1] << 8) | b[0]);
+}
+
+ntcs::Result<std::uint32_t> ImageReader::get_u32() {
+  auto v = take(4);
+  if (!v) return v.error();
+  const auto b = v.value();
+  const auto& layout = kLayout32[static_cast<int>(byte_order(arch_))];
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(b[i]) << (8 * (3 - layout[i]));
+  }
+  return out;
+}
+
+ntcs::Result<std::uint64_t> ImageReader::get_u64() {
+  auto first = get_u32();
+  if (!first) return first.error();
+  auto second = get_u32();
+  if (!second) return second.error();
+  if (byte_order(arch_) == ByteOrder::little) {
+    return (static_cast<std::uint64_t>(second.value()) << 32) | first.value();
+  }
+  return (static_cast<std::uint64_t>(first.value()) << 32) | second.value();
+}
+
+ntcs::Result<std::int64_t> ImageReader::get_i64() {
+  auto v = get_u64();
+  if (!v) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+ntcs::Result<double> ImageReader::get_f64() {
+  auto v = get_u64();
+  if (!v) return v.error();
+  double d = 0;
+  const std::uint64_t bits = v.value();
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+ntcs::Result<std::string> ImageReader::get_chars(std::size_t field_size) {
+  auto v = take(field_size);
+  if (!v) return v.error();
+  const auto b = v.value();
+  std::size_t len = 0;
+  while (len < field_size && b[len] != 0) ++len;
+  return std::string(reinterpret_cast<const char*>(b.data()), len);
+}
+
+ntcs::Result<ntcs::Bytes> ImageReader::get_raw(std::size_t n) {
+  auto v = take(n);
+  if (!v) return v.error();
+  return ntcs::Bytes(v.value().begin(), v.value().end());
+}
+
+}  // namespace ntcs::convert

@@ -1,0 +1,74 @@
+// image.h — NTCS "image mode" (paper §5.1) with emulated machine layouts.
+//
+// "In image mode, a byte-copy of the memory image is simply deposited at
+// the destination."
+//
+// The original testbed ran on machines whose memory images genuinely
+// differed (VAX little-endian vs Sun big-endian). This repository runs on a
+// single real host, so the heterogeneity is *simulated*: ImageWriter lays
+// out integers exactly as the given Arch would in memory, and ImageReader
+// interprets bytes as the given Arch would. Byte-copying an image between
+// incompatible Archs therefore really does corrupt multi-byte fields —
+// which is what makes the NTCS's automatic image/packed mode choice (§5)
+// observable and testable here.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "convert/machine.h"
+
+namespace ntcs::convert {
+
+/// Serialises values in the memory representation of `arch`.
+class ImageWriter {
+ public:
+  explicit ImageWriter(Arch arch) : arch_(arch) {}
+
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v);
+  /// Fixed-size character array field (NUL-padded, like a C char[n]).
+  void put_chars(std::string_view s, std::size_t field_size);
+  void put_raw(ntcs::BytesView b);
+
+  Arch arch() const { return arch_; }
+  const ntcs::Bytes& data() const& { return out_; }
+  ntcs::Bytes take() && { return std::move(out_); }
+
+ private:
+  ntcs::Bytes out_;
+  Arch arch_;
+};
+
+/// Interprets bytes as the memory representation of `arch`.
+class ImageReader {
+ public:
+  ImageReader(ntcs::BytesView in, Arch arch) : in_(in), arch_(arch) {}
+
+  ntcs::Result<std::uint8_t> get_u8();
+  ntcs::Result<std::uint16_t> get_u16();
+  ntcs::Result<std::uint32_t> get_u32();
+  ntcs::Result<std::uint64_t> get_u64();
+  ntcs::Result<std::int64_t> get_i64();
+  ntcs::Result<double> get_f64();
+  ntcs::Result<std::string> get_chars(std::size_t field_size);
+  ntcs::Result<ntcs::Bytes> get_raw(std::size_t n);
+
+  Arch arch() const { return arch_; }
+  std::size_t remaining() const { return in_.size() - off_; }
+
+ private:
+  ntcs::Result<ntcs::BytesView> take(std::size_t n);
+
+  ntcs::BytesView in_;
+  std::size_t off_ = 0;
+  Arch arch_;
+};
+
+}  // namespace ntcs::convert

@@ -1,0 +1,45 @@
+#include "convert/machine.h"
+
+namespace ntcs::convert {
+
+std::uint32_t arch_wire_id(Arch a) { return static_cast<std::uint32_t>(a); }
+
+std::optional<Arch> arch_from_wire_id(std::uint32_t id) {
+  if (id >= static_cast<std::uint32_t>(kArchCount)) return std::nullopt;
+  return static_cast<Arch>(id);
+}
+
+std::string_view arch_name(Arch a) {
+  switch (a) {
+    case Arch::vax780: return "vax780";
+    case Arch::microvax: return "microvax";
+    case Arch::sun2: return "sun2";
+    case Arch::sun3: return "sun3";
+    case Arch::apollo_dn330: return "apollo_dn330";
+    case Arch::pdp11_70: return "pdp11_70";
+  }
+  return "unknown";
+}
+
+ByteOrder byte_order(Arch a) {
+  switch (a) {
+    case Arch::vax780:
+    case Arch::microvax:
+      return ByteOrder::little;
+    case Arch::sun2:
+    case Arch::sun3:
+    case Arch::apollo_dn330:
+      return ByteOrder::big;
+    case Arch::pdp11_70:
+      return ByteOrder::pdp_mid;
+  }
+  return ByteOrder::big;
+}
+
+bool image_compatible(Arch src, Arch dst) {
+  // All testbed machines use 8-bit bytes and ASCII; representation
+  // compatibility reduces to integer byte order.
+  return byte_order(src) == byte_order(dst);
+}
+
+}  // namespace ntcs::convert

@@ -1,0 +1,51 @@
+// machine.h — machine types for the heterogeneous environment (paper §5).
+//
+// "The byte ordering of long integers differs between the VAX and the Sun
+// systems." The conversion layer decides between image and packed mode from
+// the *source and destination machine types*, so machine identity must be
+// carried with every open circuit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ntcs::convert {
+
+/// In-memory multi-byte integer layout of a machine family.
+enum class ByteOrder : std::uint8_t {
+  little,   // VAX: least-significant byte first
+  big,      // Sun-2/3, Apollo (MC680x0): most-significant byte first
+  pdp_mid,  // PDP-11 32-bit "middle-endian": little-endian 16-bit words,
+            // most-significant word first
+};
+
+/// Machine families of the URSA era testbed (plus PDP-11 for a third
+/// representation class).
+enum class Arch : std::uint8_t {
+  vax780 = 0,
+  microvax,
+  sun2,
+  sun3,
+  apollo_dn330,
+  pdp11_70,
+};
+
+inline constexpr int kArchCount = 6;
+
+/// Stable wire identifier for an Arch (carried in the channel-open
+/// exchange and the shift-mode message header).
+std::uint32_t arch_wire_id(Arch a);
+
+/// Inverse of arch_wire_id. Empty on unknown ids.
+std::optional<Arch> arch_from_wire_id(std::uint32_t id);
+
+std::string_view arch_name(Arch a);
+
+ByteOrder byte_order(Arch a);
+
+/// True when a memory image written on `src` can be interpreted on `dst`
+/// without conversion — the condition for image-mode transfer.
+bool image_compatible(Arch src, Arch dst);
+
+}  // namespace ntcs::convert

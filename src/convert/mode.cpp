@@ -1,0 +1,22 @@
+#include "convert/mode.h"
+
+namespace ntcs::convert {
+
+std::string_view xfer_mode_name(XferMode m) {
+  switch (m) {
+    case XferMode::image: return "image";
+    case XferMode::packed: return "packed";
+    case XferMode::shift: return "shift";
+  }
+  return "unknown";
+}
+
+std::uint32_t xfer_mode_wire_id(XferMode m) {
+  return static_cast<std::uint32_t>(m);
+}
+
+XferMode choose_mode(Arch src, Arch dst) {
+  return image_compatible(src, dst) ? XferMode::image : XferMode::packed;
+}
+
+}  // namespace ntcs::convert

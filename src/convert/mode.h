@@ -1,0 +1,33 @@
+// mode.h — transfer-mode selection (paper §5).
+//
+// "Messages between identical machines are simply byte-copied (image mode)
+// while those between incompatible machines are transmitted in a converted
+// representation (packed mode). The NTCS determines the correct mode based
+// on the source and destination machine types, thus avoiding needless
+// conversions."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "convert/machine.h"
+
+namespace ntcs::convert {
+
+/// How a message body travels on the wire.
+enum class XferMode : std::uint8_t {
+  image = 0,  // raw byte copy of the source memory image
+  packed,     // application pack/unpack to a byte-stream transport format
+  shift,      // canonical byte-shifted 4-byte integers (NTCS headers only)
+};
+
+std::string_view xfer_mode_name(XferMode m);
+
+std::uint32_t xfer_mode_wire_id(XferMode m);
+
+/// Decide image vs packed for an application payload between two machines.
+/// Called at the *lowest* layer, where the destination machine type is
+/// visible ("the decision to apply them is left to the lowest layers").
+XferMode choose_mode(Arch src, Arch dst);
+
+}  // namespace ntcs::convert

@@ -1,0 +1,184 @@
+#include "convert/packed.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ntcs::convert {
+
+namespace {
+
+void append_text(ntcs::Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void Packer::put_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "i%" PRId64 ";", v);
+  append_text(out_, buf);
+}
+
+void Packer::put_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "u%" PRIu64 ";", v);
+  append_text(out_, buf);
+}
+
+void Packer::put_f64(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "f%.17g;", v);
+  append_text(out_, buf);
+}
+
+void Packer::put_string(std::string_view s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "s%zu:", s.size());
+  append_text(out_, buf);
+  append_text(out_, s);
+  out_.push_back(static_cast<std::uint8_t>(';'));
+}
+
+void Packer::put_bytes(ntcs::BytesView b) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "b%zu:", b.size());
+  append_text(out_, buf);
+  for (std::uint8_t byte : b) {
+    out_.push_back(static_cast<std::uint8_t>(kHexDigits[byte >> 4]));
+    out_.push_back(static_cast<std::uint8_t>(kHexDigits[byte & 0xF]));
+  }
+  out_.push_back(static_cast<std::uint8_t>(';'));
+}
+
+void Packer::put_bool(bool v) {
+  append_text(out_, v ? "t1;" : "t0;");
+}
+
+ntcs::Result<std::string> Unpacker::take_field(char expect_tag) {
+  if (off_ >= in_.size()) {
+    return ntcs::Error(ntcs::Errc::conversion_error, "packed stream underrun");
+  }
+  const char tag = static_cast<char>(in_[off_]);
+  if (tag != expect_tag) {
+    return ntcs::Error(ntcs::Errc::conversion_error,
+                       std::string("packed tag mismatch: expected '") +
+                           expect_tag + "', got '" + tag + "'");
+  }
+  ++off_;
+  if (tag == 's' || tag == 'b') {
+    // length-prefixed: "<len>:<body>;"
+    std::size_t len = 0;
+    bool any = false;
+    while (off_ < in_.size() && in_[off_] >= '0' && in_[off_] <= '9') {
+      len = len * 10 + (in_[off_] - '0');
+      ++off_;
+      any = true;
+    }
+    if (!any || off_ >= in_.size() || in_[off_] != ':') {
+      return ntcs::Error(ntcs::Errc::conversion_error, "bad length prefix");
+    }
+    ++off_;
+    const std::size_t body = tag == 'b' ? len * 2 : len;
+    if (in_.size() - off_ < body + 1) {
+      return ntcs::Error(ntcs::Errc::conversion_error, "packed body underrun");
+    }
+    std::string s(reinterpret_cast<const char*>(in_.data() + off_), body);
+    off_ += body;
+    if (in_[off_] != ';') {
+      return ntcs::Error(ntcs::Errc::conversion_error, "missing terminator");
+    }
+    ++off_;
+    return s;
+  }
+  // numeric: characters up to ';'
+  std::string s;
+  while (off_ < in_.size() && in_[off_] != ';') {
+    s.push_back(static_cast<char>(in_[off_]));
+    ++off_;
+  }
+  if (off_ >= in_.size()) {
+    return ntcs::Error(ntcs::Errc::conversion_error, "missing terminator");
+  }
+  ++off_;  // consume ';'
+  return s;
+}
+
+ntcs::Result<std::int64_t> Unpacker::get_i64() {
+  auto f = take_field('i');
+  if (!f) return f.error();
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(f.value().c_str(), &end, 10);
+  if (errno != 0 || end == f.value().c_str() || *end != '\0') {
+    return ntcs::Error(ntcs::Errc::conversion_error, "bad i64 text");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+ntcs::Result<std::uint64_t> Unpacker::get_u64() {
+  auto f = take_field('u');
+  if (!f) return f.error();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(f.value().c_str(), &end, 10);
+  if (errno != 0 || end == f.value().c_str() || *end != '\0') {
+    return ntcs::Error(ntcs::Errc::conversion_error, "bad u64 text");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+ntcs::Result<double> Unpacker::get_f64() {
+  auto f = take_field('f');
+  if (!f) return f.error();
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(f.value().c_str(), &end);
+  if (errno != 0 || end == f.value().c_str() || *end != '\0') {
+    return ntcs::Error(ntcs::Errc::conversion_error, "bad f64 text");
+  }
+  return v;
+}
+
+ntcs::Result<std::string> Unpacker::get_string() {
+  return take_field('s');
+}
+
+ntcs::Result<ntcs::Bytes> Unpacker::get_bytes() {
+  auto f = take_field('b');
+  if (!f) return f.error();
+  const std::string& hex = f.value();
+  ntcs::Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size() || (hex.size() % 2 == 0 && i < hex.size()); i += 2) {
+    if (i + 1 >= hex.size()) break;
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return ntcs::Error(ntcs::Errc::conversion_error, "bad hex byte");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+ntcs::Result<bool> Unpacker::get_bool() {
+  auto f = take_field('t');
+  if (!f) return f.error();
+  if (f.value() == "1") return true;
+  if (f.value() == "0") return false;
+  return ntcs::Error(ntcs::Errc::conversion_error, "bad bool text");
+}
+
+}  // namespace ntcs::convert

@@ -1,0 +1,65 @@
+// packed.h — NTCS "packed mode" (paper §5.1).
+//
+// "Each application module provides these conversion functions to
+// pack/unpack its messages into/from a standard byte-stream transport
+// format. ... A character representation transport format was chosen for
+// the current implementation, purely for simplicity."
+//
+// As in the paper, values are converted to/from characters with
+// representation-independent language constructs (the equivalents of
+// sprintf/sscanf), so the stream means the same thing on every machine.
+// Layout per field: a one-character type tag, a decimal rendering (with a
+// length prefix for strings/bytes), then ';'.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace ntcs::convert {
+
+/// Builds a packed-mode byte stream.
+class Packer {
+ public:
+  void put_i64(std::int64_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  void put_string(std::string_view s);
+  void put_bytes(ntcs::BytesView b);
+  void put_bool(bool v);
+
+  const ntcs::Bytes& data() const& { return out_; }
+  ntcs::Bytes take() && { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  ntcs::Bytes out_;
+};
+
+/// Consumes a packed-mode byte stream. Every getter validates the type tag
+/// so a mismatched pack/unpack pair fails loudly with conversion_error.
+class Unpacker {
+ public:
+  explicit Unpacker(ntcs::BytesView in) : in_(in) {}
+
+  ntcs::Result<std::int64_t> get_i64();
+  ntcs::Result<std::uint64_t> get_u64();
+  ntcs::Result<double> get_f64();
+  ntcs::Result<std::string> get_string();
+  ntcs::Result<ntcs::Bytes> get_bytes();
+  ntcs::Result<bool> get_bool();
+
+  bool at_end() const { return off_ == in_.size(); }
+  std::size_t offset() const { return off_; }
+
+ private:
+  ntcs::Result<std::string> take_field(char expect_tag);
+
+  ntcs::BytesView in_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace ntcs::convert

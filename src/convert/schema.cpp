@@ -1,0 +1,393 @@
+#include "convert/schema.h"
+
+namespace ntcs::convert {
+
+namespace {
+
+std::size_t field_image_size(const FieldSpec& f) {
+  switch (f.type) {
+    case FieldType::u8: return 1;
+    case FieldType::u16: return 2;
+    case FieldType::u32: return 4;
+    case FieldType::u64: return 8;
+    case FieldType::i64: return 8;
+    case FieldType::f64: return 8;
+    case FieldType::chars: return f.size;
+    case FieldType::string:
+    case FieldType::bytes:
+      return 0;  // variable; not image-compatible
+  }
+  return 0;
+}
+
+bool field_fixed(const FieldSpec& f) {
+  return f.type != FieldType::string && f.type != FieldType::bytes;
+}
+
+Value default_value(const FieldSpec& f) {
+  switch (f.type) {
+    case FieldType::u8:
+    case FieldType::u16:
+    case FieldType::u32:
+    case FieldType::u64:
+      return std::uint64_t{0};
+    case FieldType::i64:
+      return std::int64_t{0};
+    case FieldType::f64:
+      return 0.0;
+    case FieldType::chars:
+    case FieldType::string:
+      return std::string{};
+    case FieldType::bytes:
+      return ntcs::Bytes{};
+  }
+  return std::uint64_t{0};
+}
+
+ntcs::Error type_error(const FieldSpec& f, std::string_view wanted) {
+  return ntcs::Error(ntcs::Errc::bad_argument,
+                     "field '" + f.name + "' has type " +
+                         std::string(field_type_name(f.type)) + ", not " +
+                         std::string(wanted));
+}
+
+}  // namespace
+
+std::string_view field_type_name(FieldType t) {
+  switch (t) {
+    case FieldType::u8: return "u8";
+    case FieldType::u16: return "u16";
+    case FieldType::u32: return "u32";
+    case FieldType::u64: return "u64";
+    case FieldType::i64: return "i64";
+    case FieldType::f64: return "f64";
+    case FieldType::chars: return "chars";
+    case FieldType::string: return "string";
+    case FieldType::bytes: return "bytes";
+  }
+  return "unknown";
+}
+
+Record::Record(const MessageSchema& schema) : schema_(&schema) {
+  values_.reserve(schema.fields().size());
+  for (const auto& f : schema.fields()) values_.push_back(default_value(f));
+}
+
+bool Record::operator==(const Record& other) const {
+  return schema_ == other.schema_ && values_ == other.values_;
+}
+
+ntcs::Status Record::set_u64(std::string_view field, std::uint64_t v) {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Status(ntcs::Errc::not_found, std::string(field));
+  const auto& spec = schema_->fields()[*idx];
+  switch (spec.type) {
+    case FieldType::u8:
+    case FieldType::u16:
+    case FieldType::u32:
+    case FieldType::u64:
+      values_[*idx] = v;
+      return ntcs::Status::success();
+    default:
+      return ntcs::Status(type_error(spec, "unsigned"));
+  }
+}
+
+ntcs::Status Record::set_i64(std::string_view field, std::int64_t v) {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Status(ntcs::Errc::not_found, std::string(field));
+  const auto& spec = schema_->fields()[*idx];
+  if (spec.type != FieldType::i64) return ntcs::Status(type_error(spec, "i64"));
+  values_[*idx] = v;
+  return ntcs::Status::success();
+}
+
+ntcs::Status Record::set_f64(std::string_view field, double v) {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Status(ntcs::Errc::not_found, std::string(field));
+  const auto& spec = schema_->fields()[*idx];
+  if (spec.type != FieldType::f64) return ntcs::Status(type_error(spec, "f64"));
+  values_[*idx] = v;
+  return ntcs::Status::success();
+}
+
+ntcs::Status Record::set_string(std::string_view field, std::string v) {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Status(ntcs::Errc::not_found, std::string(field));
+  const auto& spec = schema_->fields()[*idx];
+  if (spec.type == FieldType::chars) {
+    if (v.size() > spec.size) {
+      return ntcs::Status(ntcs::Errc::too_big,
+                          "chars field '" + spec.name + "' overflow");
+    }
+    values_[*idx] = std::move(v);
+    return ntcs::Status::success();
+  }
+  if (spec.type == FieldType::string) {
+    values_[*idx] = std::move(v);
+    return ntcs::Status::success();
+  }
+  return ntcs::Status(type_error(spec, "string"));
+}
+
+ntcs::Status Record::set_bytes(std::string_view field, ntcs::Bytes v) {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Status(ntcs::Errc::not_found, std::string(field));
+  const auto& spec = schema_->fields()[*idx];
+  if (spec.type != FieldType::bytes) {
+    return ntcs::Status(type_error(spec, "bytes"));
+  }
+  values_[*idx] = std::move(v);
+  return ntcs::Status::success();
+}
+
+ntcs::Result<std::uint64_t> Record::get_u64(std::string_view field) const {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Error(ntcs::Errc::not_found, std::string(field));
+  if (const auto* p = std::get_if<std::uint64_t>(&values_[*idx])) return *p;
+  return type_error(schema_->fields()[*idx], "unsigned");
+}
+
+ntcs::Result<std::int64_t> Record::get_i64(std::string_view field) const {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Error(ntcs::Errc::not_found, std::string(field));
+  if (const auto* p = std::get_if<std::int64_t>(&values_[*idx])) return *p;
+  return type_error(schema_->fields()[*idx], "i64");
+}
+
+ntcs::Result<double> Record::get_f64(std::string_view field) const {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Error(ntcs::Errc::not_found, std::string(field));
+  if (const auto* p = std::get_if<double>(&values_[*idx])) return *p;
+  return type_error(schema_->fields()[*idx], "f64");
+}
+
+ntcs::Result<std::string> Record::get_string(std::string_view field) const {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Error(ntcs::Errc::not_found, std::string(field));
+  if (const auto* p = std::get_if<std::string>(&values_[*idx])) return *p;
+  return type_error(schema_->fields()[*idx], "string");
+}
+
+ntcs::Result<ntcs::Bytes> Record::get_bytes(std::string_view field) const {
+  auto idx = schema_->field_index(field);
+  if (!idx) return ntcs::Error(ntcs::Errc::not_found, std::string(field));
+  if (const auto* p = std::get_if<ntcs::Bytes>(&values_[*idx])) return *p;
+  return type_error(schema_->fields()[*idx], "bytes");
+}
+
+MessageSchema::MessageSchema(std::string name, std::vector<FieldSpec> fields)
+    : name_(std::move(name)), fields_(std::move(fields)) {
+  fixed_size_ = true;
+  image_size_ = 0;
+  for (const auto& f : fields_) {
+    if (!field_fixed(f)) fixed_size_ = false;
+    image_size_ += field_image_size(f);
+  }
+}
+
+std::optional<std::size_t> MessageSchema::field_index(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+ntcs::Result<ntcs::Bytes> MessageSchema::pack(const Record& r) const {
+  if (&r.schema() != this) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "record/schema mismatch");
+  }
+  Packer p;
+  p.put_string(name_);  // self-describing: message 'type' in the stream
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    const auto& v = r.values()[i];
+    switch (f.type) {
+      case FieldType::u8:
+      case FieldType::u16:
+      case FieldType::u32:
+      case FieldType::u64:
+        p.put_u64(std::get<std::uint64_t>(v));
+        break;
+      case FieldType::i64:
+        p.put_i64(std::get<std::int64_t>(v));
+        break;
+      case FieldType::f64:
+        p.put_f64(std::get<double>(v));
+        break;
+      case FieldType::chars:
+      case FieldType::string:
+        p.put_string(std::get<std::string>(v));
+        break;
+      case FieldType::bytes:
+        p.put_bytes(std::get<ntcs::Bytes>(v));
+        break;
+    }
+  }
+  return std::move(p).take();
+}
+
+ntcs::Result<Record> MessageSchema::unpack(ntcs::BytesView in) const {
+  Unpacker u(in);
+  auto tag = u.get_string();
+  if (!tag) return tag.error();
+  if (tag.value() != name_) {
+    return ntcs::Error(ntcs::Errc::conversion_error,
+                       "message type mismatch: expected '" + name_ +
+                           "', got '" + tag.value() + "'");
+  }
+  Record r(*this);
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    switch (f.type) {
+      case FieldType::u8:
+      case FieldType::u16:
+      case FieldType::u32:
+      case FieldType::u64: {
+        auto v = u.get_u64();
+        if (!v) return v.error();
+        r.values_[i] = v.value();
+        break;
+      }
+      case FieldType::i64: {
+        auto v = u.get_i64();
+        if (!v) return v.error();
+        r.values_[i] = v.value();
+        break;
+      }
+      case FieldType::f64: {
+        auto v = u.get_f64();
+        if (!v) return v.error();
+        r.values_[i] = v.value();
+        break;
+      }
+      case FieldType::chars:
+      case FieldType::string: {
+        auto v = u.get_string();
+        if (!v) return v.error();
+        r.values_[i] = std::move(v.value());
+        break;
+      }
+      case FieldType::bytes: {
+        auto v = u.get_bytes();
+        if (!v) return v.error();
+        r.values_[i] = std::move(v.value());
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+ntcs::Result<ntcs::Bytes> MessageSchema::to_image(const Record& r,
+                                                  Arch arch) const {
+  if (&r.schema() != this) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "record/schema mismatch");
+  }
+  if (!fixed_size_) {
+    return ntcs::Error(ntcs::Errc::unsupported,
+                       "schema '" + name_ +
+                           "' has variable-size fields; not a contiguous "
+                           "struct (image mode requires one)");
+  }
+  ImageWriter w(arch);
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    const auto& v = r.values()[i];
+    switch (f.type) {
+      case FieldType::u8:
+        w.put_u8(static_cast<std::uint8_t>(std::get<std::uint64_t>(v)));
+        break;
+      case FieldType::u16:
+        w.put_u16(static_cast<std::uint16_t>(std::get<std::uint64_t>(v)));
+        break;
+      case FieldType::u32:
+        w.put_u32(static_cast<std::uint32_t>(std::get<std::uint64_t>(v)));
+        break;
+      case FieldType::u64:
+        w.put_u64(std::get<std::uint64_t>(v));
+        break;
+      case FieldType::i64:
+        w.put_i64(std::get<std::int64_t>(v));
+        break;
+      case FieldType::f64:
+        w.put_f64(std::get<double>(v));
+        break;
+      case FieldType::chars:
+        w.put_chars(std::get<std::string>(v), f.size);
+        break;
+      case FieldType::string:
+      case FieldType::bytes:
+        break;  // unreachable: fixed_size_ is false for these
+    }
+  }
+  return std::move(w).take();
+}
+
+ntcs::Result<Record> MessageSchema::from_image(ntcs::BytesView in,
+                                               Arch arch) const {
+  if (!fixed_size_) {
+    return ntcs::Error(ntcs::Errc::unsupported,
+                       "schema '" + name_ + "' is not image-compatible");
+  }
+  if (in.size() != image_size_) {
+    return ntcs::Error(ntcs::Errc::conversion_error,
+                       "image size mismatch for '" + name_ + "'");
+  }
+  ImageReader rd(in, arch);
+  Record r(*this);
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& f = fields_[i];
+    switch (f.type) {
+      case FieldType::u8: {
+        auto v = rd.get_u8();
+        if (!v) return v.error();
+        r.values_[i] = static_cast<std::uint64_t>(v.value());
+        break;
+      }
+      case FieldType::u16: {
+        auto v = rd.get_u16();
+        if (!v) return v.error();
+        r.values_[i] = static_cast<std::uint64_t>(v.value());
+        break;
+      }
+      case FieldType::u32: {
+        auto v = rd.get_u32();
+        if (!v) return v.error();
+        r.values_[i] = static_cast<std::uint64_t>(v.value());
+        break;
+      }
+      case FieldType::u64: {
+        auto v = rd.get_u64();
+        if (!v) return v.error();
+        r.values_[i] = v.value();
+        break;
+      }
+      case FieldType::i64: {
+        auto v = rd.get_i64();
+        if (!v) return v.error();
+        r.values_[i] = v.value();
+        break;
+      }
+      case FieldType::f64: {
+        auto v = rd.get_f64();
+        if (!v) return v.error();
+        r.values_[i] = v.value();
+        break;
+      }
+      case FieldType::chars: {
+        auto v = rd.get_chars(f.size);
+        if (!v) return v.error();
+        r.values_[i] = std::move(v.value());
+        break;
+      }
+      case FieldType::string:
+      case FieldType::bytes:
+        break;  // unreachable
+    }
+  }
+  return r;
+}
+
+}  // namespace ntcs::convert

@@ -1,0 +1,120 @@
+// schema.h — schema-driven automatic pack/unpack (paper §5.1).
+//
+// "One member of the URSA project implemented an automatic code generating
+// mechanism which builds these pack/unpack routines directly from the
+// message structure definitions."
+//
+// A MessageSchema is the runtime equivalent of that generator: declare the
+// message structure once and get pack/unpack (packed mode) and
+// image-serialise/deserialise (image mode, in any machine representation)
+// for free — the two encodings an NTCS message body may travel in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "convert/image.h"
+#include "convert/machine.h"
+#include "convert/packed.h"
+
+namespace ntcs::convert {
+
+enum class FieldType : std::uint8_t {
+  u8,
+  u16,
+  u32,
+  u64,
+  i64,
+  f64,
+  chars,   // fixed-size char[n] — image-mode compatible
+  string,  // variable length — packed mode only
+  bytes,   // variable length — packed mode only
+};
+
+std::string_view field_type_name(FieldType t);
+
+/// One field of a message structure.
+struct FieldSpec {
+  std::string name;
+  FieldType type;
+  std::size_t size = 0;  // for FieldType::chars: the char[n] width
+};
+
+/// A field value. Unsigned integer widths all travel as u64.
+using Value = std::variant<std::uint64_t, std::int64_t, double, std::string,
+                           ntcs::Bytes>;
+
+class MessageSchema;
+
+/// A message instance conforming to a schema. Values are stored in field
+/// order; named setters/getters validate the field type against the schema.
+class Record {
+ public:
+  explicit Record(const MessageSchema& schema);
+
+  ntcs::Status set_u64(std::string_view field, std::uint64_t v);
+  ntcs::Status set_i64(std::string_view field, std::int64_t v);
+  ntcs::Status set_f64(std::string_view field, double v);
+  ntcs::Status set_string(std::string_view field, std::string v);
+  ntcs::Status set_bytes(std::string_view field, ntcs::Bytes v);
+
+  ntcs::Result<std::uint64_t> get_u64(std::string_view field) const;
+  ntcs::Result<std::int64_t> get_i64(std::string_view field) const;
+  ntcs::Result<double> get_f64(std::string_view field) const;
+  ntcs::Result<std::string> get_string(std::string_view field) const;
+  ntcs::Result<ntcs::Bytes> get_bytes(std::string_view field) const;
+
+  const MessageSchema& schema() const { return *schema_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Record& other) const;
+
+ private:
+  friend class MessageSchema;
+
+  const MessageSchema* schema_;
+  std::vector<Value> values_;
+};
+
+/// The message structure definition plus its generated codecs.
+class MessageSchema {
+ public:
+  MessageSchema(std::string name, std::vector<FieldSpec> fields);
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+  std::optional<std::size_t> field_index(std::string_view name) const;
+
+  /// True when every field has a fixed in-memory size, i.e. the message can
+  /// be a contiguous C struct and thus travel in image mode.
+  bool fixed_size() const { return fixed_size_; }
+
+  /// Size of the memory image (only meaningful when fixed_size()).
+  std::size_t image_size() const { return image_size_; }
+
+  Record make_record() const { return Record(*this); }
+
+  /// Packed mode: the generated pack routine.
+  ntcs::Result<ntcs::Bytes> pack(const Record& r) const;
+  /// Packed mode: the generated unpack routine.
+  ntcs::Result<Record> unpack(ntcs::BytesView in) const;
+
+  /// Image mode: lay the record out exactly as `arch` would in memory.
+  ntcs::Result<ntcs::Bytes> to_image(const Record& r, Arch arch) const;
+  /// Image mode: interpret bytes as `arch`'s memory layout of this struct.
+  ntcs::Result<Record> from_image(ntcs::BytesView in, Arch arch) const;
+
+ private:
+  std::string name_;
+  std::vector<FieldSpec> fields_;
+  bool fixed_size_;
+  std::size_t image_size_;
+};
+
+}  // namespace ntcs::convert

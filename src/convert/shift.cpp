@@ -1,0 +1,90 @@
+#include "convert/shift.h"
+
+namespace ntcs::convert {
+
+void ShiftWriter::put_u32(std::uint32_t v) {
+  out_.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+  out_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  written_ += 4;
+}
+
+void ShiftWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+}
+
+void ShiftWriter::put_i32(std::int32_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void ShiftWriter::put_raw(ntcs::BytesView b) {
+  out_.insert(out_.end(), b.begin(), b.end());
+  written_ += b.size();
+}
+
+void ShiftWriter::put_raw(std::string_view s) {
+  out_.insert(out_.end(), s.begin(), s.end());
+  written_ += s.size();
+}
+
+ntcs::Result<ntcs::Bytes> ShiftReader::get_raw(std::size_t n) {
+  if (in_.size() - off_ < n) {
+    return ntcs::Error(ntcs::Errc::bad_message, "shift stream underrun");
+  }
+  ntcs::Bytes b(in_.begin() + static_cast<long>(off_),
+                in_.begin() + static_cast<long>(off_ + n));
+  off_ += n;
+  return b;
+}
+
+ntcs::Result<std::string> ShiftReader::get_raw_string(std::size_t n) {
+  if (in_.size() - off_ < n) {
+    return ntcs::Error(ntcs::Errc::bad_message, "shift stream underrun");
+  }
+  std::string s(reinterpret_cast<const char*>(in_.data() + off_), n);
+  off_ += n;
+  return s;
+}
+
+ntcs::Result<std::uint32_t> ShiftReader::get_u32() {
+  if (in_.size() - off_ < 4) {
+    return ntcs::Error(ntcs::Errc::bad_message, "shift stream underrun");
+  }
+  std::uint32_t v = (static_cast<std::uint32_t>(in_[off_]) << 24) |
+                    (static_cast<std::uint32_t>(in_[off_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(in_[off_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(in_[off_ + 3]);
+  off_ += 4;
+  return v;
+}
+
+ntcs::Result<std::uint64_t> ShiftReader::get_u64() {
+  auto hi = get_u32();
+  if (!hi) return hi.error();
+  auto lo = get_u32();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint64_t>(hi.value()) << 32) | lo.value();
+}
+
+ntcs::Result<std::int32_t> ShiftReader::get_i32() {
+  auto v = get_u32();
+  if (!v) return v.error();
+  return static_cast<std::int32_t>(v.value());
+}
+
+std::uint32_t field_get(std::uint32_t word, unsigned shift, unsigned width) {
+  const std::uint32_t mask =
+      width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+  return (word >> shift) & mask;
+}
+
+std::uint32_t field_set(std::uint32_t word, unsigned shift, unsigned width,
+                        std::uint32_t value) {
+  const std::uint32_t mask =
+      width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+  return (word & ~(mask << shift)) | ((value & mask) << shift);
+}
+
+}  // namespace ntcs::convert

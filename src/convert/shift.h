@@ -1,0 +1,72 @@
+// shift.h — NTCS "shift mode" (paper §5.2).
+//
+// "All message headers are built with structures of four byte integers,
+// which can be bit field divided as required. ... Message header information
+// is transferred by byte shifting each header integer sequentially into the
+// final message, using standard high level shift and mask routines. ...
+// Byte ordering problems are hidden by the high level shift/mask routines,
+// and by transmitting the values as a byte stream."
+//
+// The canonical stream layout is most-significant byte first, produced and
+// consumed purely with shifts — never with memcpy of a native integer — so
+// it is identical on every machine representation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace ntcs::convert {
+
+/// Serialises 32-bit header words (and 64-bit values as two words) into a
+/// canonical byte stream.
+class ShiftWriter {
+ public:
+  /// Append to an existing buffer (headers are usually built in front of a
+  /// payload already placed in `out`’s final message).
+  explicit ShiftWriter(ntcs::Bytes& out) : out_(out) {}
+
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);  // two header words, high first
+  void put_i32(std::int32_t v);
+  /// Raw byte run (length-prefixed string/blob fields inside a header;
+  /// bytes need no conversion, §5.2 transmits them as a byte stream).
+  void put_raw(ntcs::BytesView b);
+  void put_raw(std::string_view s);
+
+  std::size_t bytes_written() const { return written_; }
+
+ private:
+  ntcs::Bytes& out_;
+  std::size_t written_ = 0;
+};
+
+/// Reads canonical header words back into native integers.
+class ShiftReader {
+ public:
+  explicit ShiftReader(ntcs::BytesView in) : in_(in) {}
+
+  ntcs::Result<std::uint32_t> get_u32();
+  ntcs::Result<std::uint64_t> get_u64();
+  ntcs::Result<std::int32_t> get_i32();
+  ntcs::Result<ntcs::Bytes> get_raw(std::size_t n);
+  ntcs::Result<std::string> get_raw_string(std::size_t n);
+
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return in_.size() - off_; }
+  /// The unread tail of the buffer (the payload after a header).
+  ntcs::BytesView rest() const { return in_.subspan(off_); }
+
+ private:
+  ntcs::BytesView in_;
+  std::size_t off_ = 0;
+};
+
+/// Bit-field helpers for dividing a header word ("which can be bit field
+/// divided as required"). `width` bits starting at bit `shift` (LSB = 0).
+std::uint32_t field_get(std::uint32_t word, unsigned shift, unsigned width);
+std::uint32_t field_set(std::uint32_t word, unsigned shift, unsigned width,
+                        std::uint32_t value);
+
+}  // namespace ntcs::convert

@@ -1,0 +1,13 @@
+#include "core/addr.h"
+
+namespace ntcs::core {
+
+std::string UAdd::to_string() const {
+  if (!valid()) return "U#invalid";
+  if (is_temporary()) {
+    return "T#" + std::to_string(raw_ & ~kTempBit);
+  }
+  return "U#" + std::to_string(raw_);
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,113 @@
+// addr.h — the NTCS addressing levels (paper §2.3, §3.4).
+//
+// Three levels:
+//   * logical names      — application-dependent strings (+ attributes),
+//                          resolved by the naming service;
+//   * UAdds              — flat, network- and location-independent unique
+//                          addresses, assigned by the naming service. All
+//                          communication primitives are based on these;
+//   * physical addresses — network-dependent (TCP ports, MBX pathnames),
+//                          carried *uninterpreted* everywhere except the
+//                          ND-Layer.
+//
+// TAdds (§3.4) are temporary addresses, identical to UAdds "except they are
+// only unique locally to the module that assigned them"; they bridge the
+// bootstrap gap before the Name Server has assigned a real UAdd and are
+// purged from all tables within the first two Name Server exchanges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ntcs::core {
+
+/// A unique address (or temporary address — see is_temporary()).
+class UAdd {
+ public:
+  constexpr UAdd() = default;
+
+  static constexpr UAdd permanent(std::uint64_t value) {
+    return UAdd(value & ~kTempBit);
+  }
+  static constexpr UAdd temporary(std::uint64_t value) {
+    return UAdd(value | kTempBit);
+  }
+
+  constexpr bool valid() const { return raw_ != 0; }
+  constexpr bool is_temporary() const { return (raw_ & kTempBit) != 0; }
+  constexpr std::uint64_t raw() const { return raw_; }
+  static constexpr UAdd from_raw(std::uint64_t raw) { return UAdd(raw); }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(UAdd a, UAdd b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(UAdd a, UAdd b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(UAdd a, UAdd b) { return a.raw_ < b.raw_; }
+
+ private:
+  explicit constexpr UAdd(std::uint64_t raw) : raw_(raw) {}
+
+  static constexpr std::uint64_t kTempBit = 1ULL << 63;
+  std::uint64_t raw_ = 0;
+};
+
+/// The Name Server's well-known UAdd (paper §3.4: well-known addresses are
+/// "loaded into the ComMod address tables when each module is initialized").
+inline constexpr UAdd kNameServerUAdd = UAdd::permanent(1);
+
+/// Prime gateways get well-known UAdds in [2, 99]; the Name Server assigns
+/// ordinary modules UAdds from 1000 upward.
+inline constexpr std::uint64_t kFirstPrimeGatewayUAdd = 2;
+inline constexpr std::uint64_t kFirstDynamicUAdd = 1000;
+
+/// A network-dependent physical address, uninterpreted above the ND-Layer.
+struct PhysAddr {
+  std::string blob;
+
+  bool valid() const { return !blob.empty(); }
+  friend bool operator==(const PhysAddr&, const PhysAddr&) = default;
+};
+
+/// Logical network identifier (portable; only the ND-Layer ever maps it to
+/// anything concrete).
+using NetName = std::string;
+
+/// What every module knows about one prime gateway before the naming
+/// service is reachable (§3.4: gateway addresses "may be required to reach
+/// the Name Server").
+struct PrimeGatewayInfo {
+  UAdd uadd;
+  std::string name;
+  std::vector<NetName> networks;
+  std::vector<PhysAddr> phys;  // parallel to `networks`
+};
+
+/// A Name Server replica's location (§7: the naming service implementation
+/// "will be replicated for failure resiliency").
+struct NsReplicaInfo {
+  PhysAddr phys;
+  NetName net;
+};
+
+/// The well-known address table loaded into every ComMod at initialization.
+struct WellKnownTable {
+  PhysAddr name_server_phys;
+  NetName name_server_net;
+  std::vector<NsReplicaInfo> name_server_replicas;
+  std::vector<PrimeGatewayInfo> prime_gateways;
+};
+
+/// Reserved UAdds the primary Name Server uses to address its replicas on
+/// the replication link (never visible to applications).
+inline constexpr std::uint64_t kReplicaLinkUAddBase = 100;
+
+}  // namespace ntcs::core
+
+template <>
+struct std::hash<ntcs::core::UAdd> {
+  std::size_t operator()(ntcs::core::UAdd a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.raw());
+  }
+};

@@ -1,0 +1,59 @@
+// identity.h — a module's own addressing state, shared across its layers.
+//
+// Every module starts life with a self-assigned TAdd (paper §3.4: "Each
+// module assigns itself one initially") and trades it for a real UAdd on
+// its first registration with the Name Server. The ND-Layer reads this
+// state during channel-open exchanges; the LCM-Layer stamps it into every
+// message header; the ALI-Layer updates it after registration.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "convert/machine.h"
+#include "core/addr.h"
+
+namespace ntcs::core {
+
+class Identity {
+ public:
+  Identity(std::string module_name, convert::Arch arch, NetName net)
+      : name_(std::move(module_name)),
+        arch_(arch),
+        net_(std::move(net)),
+        uadd_raw_(UAdd::temporary(next_tadd()).raw()) {}
+
+  UAdd uadd() const { return UAdd::from_raw(uadd_raw_.load()); }
+  void set_uadd(UAdd u) { uadd_raw_.store(u.raw()); }
+
+  const std::string& name() const { return name_; }
+  convert::Arch arch() const { return arch_; }
+  const NetName& net() const { return net_; }
+
+  PhysAddr phys() const {
+    std::lock_guard lk(mu_);
+    return phys_;
+  }
+  void set_phys(PhysAddr p) {
+    std::lock_guard lk(mu_);
+    phys_ = std::move(p);
+  }
+
+ private:
+  // TAdds need only *local* uniqueness (§3.4); a process-wide counter keeps
+  // distinct in-process modules distinguishable in logs as well.
+  static std::uint64_t next_tadd() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1);
+  }
+
+  std::string name_;
+  convert::Arch arch_;
+  NetName net_;
+  std::atomic<std::uint64_t> uadd_raw_;
+  mutable std::mutex mu_;
+  PhysAddr phys_;
+};
+
+}  // namespace ntcs::core

@@ -1,0 +1,493 @@
+#include "core/ip/ip_layer.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ntcs::core {
+
+IpLayer::IpLayer(NdLayer& nd, std::shared_ptr<Identity> identity,
+                 NetName local_net, IpConfig cfg)
+    : nd_(nd),
+      identity_(std::move(identity)),
+      local_net_(std::move(local_net)),
+      cfg_(cfg),
+      log_("ip", identity_->name()) {}
+
+void IpLayer::set_topology_source(TopologySource src) {
+  std::lock_guard lk(mu_);
+  topo_source_ = std::move(src);
+}
+
+void IpLayer::set_gateway(GatewayHook* gw) {
+  std::lock_guard lk(mu_);
+  gateway_ = gw;
+}
+
+void IpLayer::invalidate_topology() {
+  std::lock_guard lk(mu_);
+  topo_cache_.reset();
+}
+
+void IpLayer::set_prime_gateways(std::vector<GatewayRecord> primes) {
+  std::lock_guard lk(mu_);
+  static_gws_ = std::move(primes);
+}
+
+ntcs::Result<std::vector<GatewayRecord>> IpLayer::topology(bool static_only) {
+  TopologySource src;
+  {
+    std::lock_guard lk(mu_);
+    if (static_only) return static_gws_;
+    if (topo_cache_) return *topo_cache_;
+    src = topo_source_;
+  }
+  std::vector<GatewayRecord> merged;
+  {
+    std::lock_guard lk(mu_);
+    merged = static_gws_;
+  }
+  if (src) {
+    auto got = src();  // blocking naming-service query — app thread only
+    if (got) {
+      // Dynamic registrations shadow static entries with the same UAdd.
+      for (GatewayRecord& g : got.value()) {
+        bool replaced = false;
+        for (GatewayRecord& m : merged) {
+          if (m.uadd == g.uadd) {
+            m = g;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) merged.push_back(std::move(g));
+      }
+      std::lock_guard lk(mu_);
+      ++stats_.topology_fetches;
+      topo_cache_ = merged;
+      return merged;
+    }
+    // Naming service unreachable: fall back to the static table, which is
+    // enough to reach the Name Server and the primes.
+  }
+  if (merged.empty()) {
+    return ntcs::Error(ntcs::Errc::no_route,
+                       "no topology source (naming service unavailable)");
+  }
+  return merged;
+}
+
+void IpLayer::blacklist_hop(const std::string& phys) {
+  std::lock_guard lk(mu_);
+  hop_blacklist_[phys] =
+      std::chrono::steady_clock::now() + cfg_.gateway_blacklist;
+}
+
+bool IpLayer::hop_blacklisted(const std::string& phys) const {
+  std::lock_guard lk(mu_);
+  auto it = hop_blacklist_.find(phys);
+  return it != hop_blacklist_.end() &&
+         it->second > std::chrono::steady_clock::now();
+}
+
+ntcs::Result<std::vector<wire::RouteHop>> IpLayer::compute_route(
+    const ResolvedDest& dst) {
+  // Same network (or unspecified): the IVC is a single LVC.
+  if (dst.net.empty() || dst.net == local_net_) {
+    return std::vector<wire::RouteHop>{{local_net_, dst.phys.blob}};
+  }
+  const bool static_only =
+      dst.uadd.valid() && !dst.uadd.is_temporary() &&
+      dst.uadd.raw() < kFirstDynamicUAdd;
+  auto gws = topology(static_only);
+  if (!gws) return gws.error();
+
+  // Breadth-first search over networks; gateways are the edges. The route
+  // is computed here, autonomously (§4.2: establishment decentralised,
+  // topology centralised).
+  struct Step {
+    NetName net;
+    int via_gw;       // index into gws
+    NetName via_net;  // network we were on when taking via_gw
+  };
+  std::unordered_map<std::string, Step> visited;
+  std::deque<NetName> frontier;
+  visited[local_net_] = Step{local_net_, -1, {}};
+  frontier.push_back(local_net_);
+  while (!frontier.empty() && visited.find(dst.net) == visited.end()) {
+    const NetName cur = frontier.front();
+    frontier.pop_front();
+    for (std::size_t g = 0; g < gws.value().size(); ++g) {
+      const GatewayRecord& gw = gws.value()[g];
+      const bool on_cur = std::find(gw.nets.begin(), gw.nets.end(), cur) !=
+                          gw.nets.end();
+      if (!on_cur) continue;
+      // Route around attachments that just failed to open (failover).
+      auto cur_it = std::find(gw.nets.begin(), gw.nets.end(), cur);
+      const auto cur_idx = static_cast<std::size_t>(cur_it - gw.nets.begin());
+      if (hop_blacklisted(gw.phys[cur_idx].blob)) continue;
+      for (const NetName& next : gw.nets) {
+        if (next == cur || visited.count(next) != 0) continue;
+        visited[next] = Step{next, static_cast<int>(g), cur};
+        frontier.push_back(next);
+      }
+    }
+  }
+  auto it = visited.find(dst.net);
+  if (it == visited.end()) {
+    return ntcs::Error(ntcs::Errc::no_route,
+                       "no gateway path from " + local_net_ + " to " + dst.net);
+  }
+  // Reconstruct the gateway chain destination-first.
+  std::vector<wire::RouteHop> hops;
+  hops.push_back({dst.net, dst.phys.blob});
+  NetName cur = dst.net;
+  while (cur != local_net_) {
+    const Step& step = visited.at(cur);
+    const GatewayRecord& gw = gws.value()[static_cast<std::size_t>(step.via_gw)];
+    // The hop is taken *on* step.via_net, connecting to the gateway's
+    // attachment there.
+    auto nit = std::find(gw.nets.begin(), gw.nets.end(), step.via_net);
+    const std::size_t idx = static_cast<std::size_t>(nit - gw.nets.begin());
+    hops.push_back({step.via_net, gw.phys[idx].blob});
+    cur = step.via_net;
+  }
+  std::reverse(hops.begin(), hops.end());
+  return hops;
+}
+
+ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto route = compute_route(dst);
+    if (!route) return route.error();
+    auto& hops = route.value();
+    const wire::RouteHop first = hops.front();
+    hops.erase(hops.begin());
+
+    auto lvc = nd_.open(PhysAddr{first.phys});
+    if (!lvc) {
+      // A dead first-hop *gateway* is routed around: blacklist the
+      // attachment, refresh the registry, recompute (§4.2 failover).
+      if (attempt == 0 && !hops.empty()) {
+        blacklist_hop(first.phys);
+        invalidate_topology();
+        continue;
+      }
+      return lvc.error();
+    }
+    IvcHandle h;
+    h.lvc = lvc.value();
+    std::shared_ptr<ExtendWait> waiter;
+    {
+      std::lock_guard lk(mu_);
+      h.ivc = next_ivc_++;
+      ivcs_[h] = IvcState{IvcRole::originator, false};
+    }
+    waiter = register_extend_waiter(h);
+    wire::ExtendBody body;
+    body.final_uadd = dst.uadd;
+    body.route = hops;
+    auto sent = nd_.send(h.lvc, wire::encode_ip_extend(h.ivc, body));
+    ntcs::Status outcome = ntcs::Status::success();
+    if (!sent.ok()) {
+      outcome = sent;
+    } else {
+      std::unique_lock wl(waiter->mu);
+      if (!waiter->cv.wait_for(wl, cfg_.extend_timeout,
+                               [&] { return waiter->result.has_value(); })) {
+        outcome = ntcs::Status(ntcs::Errc::timeout, "IVC extend timed out");
+      } else {
+        outcome = *waiter->result;
+      }
+    }
+    unregister_extend_waiter(h);
+    if (outcome.ok()) {
+      {
+        std::lock_guard lk(mu_);
+        auto it = ivcs_.find(h);
+        if (it != ivcs_.end()) it->second.established = true;
+        ++stats_.ivcs_opened;
+      }
+      log_.debug("IVC open to " + dst.uadd.to_string() + " via " +
+                 std::to_string(hops.size()) + " onward hop(s)");
+      return h;
+    }
+    {
+      std::lock_guard lk(mu_);
+      ivcs_.erase(h);
+      ++stats_.extend_failures;
+    }
+    // Do not leave a useless LVC behind if this node opened it just now
+    // and nothing else multiplexes on it yet.
+    bool lvc_in_use = false;
+    {
+      std::lock_guard lk(mu_);
+      for (const auto& [other, st] : ivcs_) {
+        if (other.lvc == h.lvc) {
+          lvc_in_use = true;
+          break;
+        }
+      }
+    }
+    if (!lvc_in_use) (void)nd_.close(h.lvc);
+    if (attempt == 0 && outcome.code() == ntcs::Errc::no_route) {
+      invalidate_topology();  // stale gateway registry: refresh and retry
+      continue;
+    }
+    return outcome.error();
+  }
+  return ntcs::Error(ntcs::Errc::no_route, "IVC open failed after refresh");
+}
+
+ntcs::Status IpLayer::send(IvcHandle h, ntcs::BytesView lcm_msg) {
+  {
+    std::lock_guard lk(mu_);
+    auto it = ivcs_.find(h);
+    if (it == ivcs_.end() || !it->second.established) {
+      return ntcs::Status(ntcs::Errc::address_fault, "IVC is gone");
+    }
+  }
+  auto st = nd_.send(h.lvc, wire::encode_ip_data(h.ivc, lcm_msg));
+  if (!st.ok() && st.code() != ntcs::Errc::too_big) {
+    // The circuit is dead; forget it so the LCM-Layer re-establishes.
+    std::lock_guard lk(mu_);
+    ivcs_.erase(h);
+  }
+  return st;
+}
+
+ntcs::Status IpLayer::close_ivc(IvcHandle h) {
+  {
+    std::lock_guard lk(mu_);
+    if (ivcs_.erase(h) == 0) {
+      return ntcs::Status(ntcs::Errc::not_found, "no such IVC");
+    }
+    ++stats_.ivcs_closed;
+  }
+  (void)nd_.send(h.lvc, wire::encode_ip_teardown(h.ivc));
+  return ntcs::Status::success();
+}
+
+std::shared_ptr<IpLayer::ExtendWait> IpLayer::register_extend_waiter(
+    IvcHandle h) {
+  auto w = std::make_shared<ExtendWait>();
+  std::lock_guard lk(mu_);
+  extend_waiters_[h] = w;
+  return w;
+}
+
+void IpLayer::unregister_extend_waiter(IvcHandle h) {
+  std::lock_guard lk(mu_);
+  extend_waiters_.erase(h);
+}
+
+void IpLayer::add_relay(IvcHandle in, IpLayer* out_ip, IvcHandle out) {
+  std::lock_guard lk(mu_);
+  relays_[in] = RelayTarget{out_ip, out};
+}
+
+void IpLayer::mark_established(IvcHandle h) {
+  std::lock_guard lk(mu_);
+  auto it = ivcs_.find(h);
+  if (it != ivcs_.end()) it->second.established = true;
+}
+
+void IpLayer::remove_relay_entry(IvcHandle h) {
+  std::lock_guard lk(mu_);
+  relays_.erase(h);
+}
+
+std::vector<IpEvent> IpLayer::on_nd_event(const NdEvent& ev) {
+  switch (ev.kind) {
+    case NdEvent::Kind::opened:
+      return {};
+    case NdEvent::Kind::closed:
+      return on_lvc_closed(ev.lvc);
+    case NdEvent::Kind::message: {
+      auto env = wire::decode_ip(ev.message);
+      if (!env) {
+        log_.warn("dropping undecodable IP envelope: " +
+                  env.error().to_string());
+        return {};
+      }
+      return on_envelope(ev.lvc, env.value());
+    }
+  }
+  return {};
+}
+
+std::vector<IpEvent> IpLayer::on_lvc_closed(LvcId lvc) {
+  // §4.3: "Module death is detected by the ND-layer in any connected module
+  // and the physical channel is closed. ... This process continues until
+  // the originating module is eventually reached."
+  std::vector<IpEvent> events;
+  std::vector<std::pair<RelayTarget, IvcHandle>> dead_relays;
+  std::vector<std::shared_ptr<ExtendWait>> failed_waiters;
+  {
+    std::lock_guard lk(mu_);
+    for (auto it = ivcs_.begin(); it != ivcs_.end();) {
+      if (it->first.lvc == lvc) {
+        IpEvent e;
+        e.kind = IpEvent::Kind::ivc_closed;
+        e.via = it->first;
+        events.push_back(std::move(e));
+        ++stats_.ivcs_closed;
+        it = ivcs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = relays_.begin(); it != relays_.end();) {
+      if (it->first.lvc == lvc) {
+        dead_relays.emplace_back(it->second, it->first);
+        it = relays_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = extend_waiters_.begin(); it != extend_waiters_.end();) {
+      if (it->first.lvc == lvc) {
+        failed_waiters.push_back(it->second);
+        it = extend_waiters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& w : failed_waiters) {
+    std::lock_guard wl(w->mu);
+    w->result = ntcs::Status(ntcs::Errc::address_fault, "LVC died");
+    w->cv.notify_all();
+  }
+  for (auto& [target, in_h] : dead_relays) {
+    // Instruct the far side to close the associated IVC; its own teardown
+    // cascades onward (§4.3).
+    (void)target.out->nd().send(target.out_h.lvc,
+                                wire::encode_ip_teardown(target.out_h.ivc));
+    target.out->remove_relay_entry(target.out_h);
+  }
+  return events;
+}
+
+std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
+                                          const wire::IpEnvelope& env) {
+  const IvcHandle h{lvc, env.ivc};
+  switch (env.kind) {
+    case wire::IpKind::data: {
+      RelayTarget relay{};
+      bool is_relay = false;
+      bool is_local = false;
+      {
+        std::lock_guard lk(mu_);
+        auto rit = relays_.find(h);
+        if (rit != relays_.end()) {
+          relay = rit->second;
+          is_relay = true;
+          ++stats_.messages_relayed;
+        } else if (ivcs_.count(h) != 0) {
+          is_local = true;
+        }
+      }
+      if (is_relay) {
+        // The fast path through a Gateway: forward on the chained LVC.
+        (void)relay.out->nd().send(
+            relay.out_h.lvc, wire::encode_ip_data(relay.out_h.ivc, env.body));
+        return {};
+      }
+      if (is_local) {
+        IpEvent e;
+        e.kind = IpEvent::Kind::message;
+        e.via = h;
+        e.lcm_msg = env.body;
+        return {std::move(e)};
+      }
+      log_.debug("stray data for unknown IVC " + std::to_string(env.ivc));
+      return {};
+    }
+    case wire::IpKind::extend: {
+      if (env.extend.route.empty()) {
+        // We are the destination: accept the inbound circuit.
+        {
+          std::lock_guard lk(mu_);
+          ivcs_[h] = IvcState{IvcRole::terminal, true};
+          ++stats_.ivcs_accepted;
+        }
+        (void)nd_.send(lvc, wire::encode_ip_extend_ok(env.ivc));
+        return {};
+      }
+      GatewayHook* gw = nullptr;
+      {
+        std::lock_guard lk(mu_);
+        gw = gateway_;
+      }
+      if (gw == nullptr) {
+        (void)nd_.send(lvc,
+                       wire::encode_ip_extend_fail(
+                           env.ivc,
+                           static_cast<std::uint32_t>(ntcs::Errc::no_route),
+                           "module '" + identity_->name() +
+                               "' is not a gateway"));
+        return {};
+      }
+      gw->on_extend(this, lvc, env.ivc, env.extend);  // enqueue; non-blocking
+      return {};
+    }
+    case wire::IpKind::extend_ok:
+    case wire::IpKind::extend_fail: {
+      std::shared_ptr<ExtendWait> waiter;
+      {
+        std::lock_guard lk(mu_);
+        auto it = extend_waiters_.find(h);
+        if (it != extend_waiters_.end()) waiter = it->second;
+      }
+      if (waiter) {
+        std::lock_guard wl(waiter->mu);
+        if (env.kind == wire::IpKind::extend_ok) {
+          waiter->result = ntcs::Status::success();
+        } else {
+          auto code = static_cast<ntcs::Errc>(env.errc);
+          waiter->result = ntcs::Status(code, env.text);
+        }
+        waiter->cv.notify_all();
+      }
+      return {};
+    }
+    case wire::IpKind::teardown: {
+      RelayTarget relay{};
+      bool is_relay = false;
+      bool was_local = false;
+      {
+        std::lock_guard lk(mu_);
+        auto rit = relays_.find(h);
+        if (rit != relays_.end()) {
+          relay = rit->second;
+          is_relay = true;
+          relays_.erase(rit);
+        } else if (ivcs_.erase(h) != 0) {
+          was_local = true;
+          ++stats_.ivcs_closed;
+        }
+      }
+      if (is_relay) {
+        (void)relay.out->nd().send(
+            relay.out_h.lvc, wire::encode_ip_teardown(relay.out_h.ivc));
+        relay.out->remove_relay_entry(relay.out_h);
+        return {};
+      }
+      if (was_local) {
+        IpEvent e;
+        e.kind = IpEvent::Kind::ivc_closed;
+        e.via = h;
+        return {std::move(e)};
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+IpLayer::Stats IpLayer::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,212 @@
+// ip_layer.h — the Internet Protocol Layer (paper §2.2, §4).
+//
+// "The Internet Protocol Layer, in conjunction with one or more Gateway
+// modules, provides internet virtual circuits (IVCs) across disjoint
+// networks and machines. IVCs are established either as a single LVC on
+// the local network, or as a chained set of LVCs linked through one or
+// more Gateways as required."
+//
+// The internet scheme (§4.2) decentralises circuit routing and
+// establishment while centralising topology in the naming service: this
+// layer fetches the gateway registry through an injected topology source
+// (the NSP-Layer — the recursion of §4.1), computes the route itself, and
+// establishes the chain hop-by-hop with EXTEND messages. "No inter-gateway
+// communication ever takes place" beyond the circuits themselves.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "core/nd/nd_layer.h"
+#include "core/wire/frames.h"
+
+namespace ntcs::core {
+
+/// An internet virtual circuit endpoint at this node: the local LVC it
+/// rides plus the originator-chosen circuit id (unique per LVC).
+struct IvcHandle {
+  LvcId lvc = 0;
+  std::uint64_t ivc = 0;
+
+  bool valid() const { return lvc != 0 && ivc != 0; }
+  friend bool operator==(const IvcHandle&, const IvcHandle&) = default;
+};
+
+struct IvcHandleHash {
+  std::size_t operator()(const IvcHandle& h) const noexcept {
+    return std::hash<std::uint64_t>{}(h.lvc * 0x9E3779B97F4A7C15ULL ^ h.ivc);
+  }
+};
+
+/// Destination info the LCM-Layer resolved through the naming service.
+struct ResolvedDest {
+  UAdd uadd;
+  PhysAddr phys;
+  NetName net;
+};
+
+/// One gateway as registered with the naming service (§4.1): its logical
+/// name, its UAdd, and the networks it connects with a physical address on
+/// each.
+struct GatewayRecord {
+  UAdd uadd;
+  std::string name;
+  std::vector<NetName> nets;
+  std::vector<PhysAddr> phys;  // parallel to nets
+};
+
+/// What the IP-Layer reports upward to the LCM-Layer.
+struct IpEvent {
+  enum class Kind : std::uint8_t { message, ivc_closed };
+  Kind kind;
+  IvcHandle via;
+  ntcs::Bytes lcm_msg;  // kind == message
+};
+
+class IpLayer;
+
+/// Implemented by the Gateway module (gateway.h). The pump thread hands
+/// EXTEND requests here and the gateway's worker thread (which may block)
+/// takes over — the pump itself must never block.
+class GatewayHook {
+ public:
+  virtual ~GatewayHook() = default;
+  virtual void on_extend(IpLayer* in, LvcId in_lvc, std::uint64_t ivc,
+                         wire::ExtendBody body) = 0;
+};
+
+struct IpConfig {
+  std::chrono::nanoseconds extend_timeout{std::chrono::seconds(10)};
+  /// How long a gateway attachment that failed to open stays out of route
+  /// computation (decentralised failover: the route is recomputed around
+  /// it, §4.2).
+  std::chrono::nanoseconds gateway_blacklist{std::chrono::seconds(5)};
+};
+
+class IpLayer {
+ public:
+  IpLayer(NdLayer& nd, std::shared_ptr<Identity> identity, NetName local_net,
+          IpConfig cfg = {});
+
+  IpLayer(const IpLayer&) = delete;
+  IpLayer& operator=(const IpLayer&) = delete;
+
+  /// The naming-service topology query, injected by the Node (recursion:
+  /// the layer below the naming service uses the naming service, §4.1).
+  using TopologySource =
+      std::function<ntcs::Result<std::vector<GatewayRecord>>()>;
+  void set_topology_source(TopologySource src);
+
+  /// The well-known prime gateways (§3.4: they "may be required to reach
+  /// the Name Server"). Routes toward well-known UAdds (the Name Server
+  /// and the primes themselves) are computed from this static table only,
+  /// so bootstrap never recurses into the naming service.
+  void set_prime_gateways(std::vector<GatewayRecord> primes);
+
+  /// Make this attachment part of a Gateway module.
+  void set_gateway(GatewayHook* gw);
+
+  /// Establish an IVC to a resolved destination. Blocking (app threads and
+  /// gateway workers only — never the pump).
+  ntcs::Result<IvcHandle> open_ivc(const ResolvedDest& dst);
+
+  /// Send one LCM message down an established IVC. Non-blocking.
+  ntcs::Status send(IvcHandle h, ntcs::BytesView lcm_msg);
+
+  /// Tear down an IVC (propagates along the chain).
+  ntcs::Status close_ivc(IvcHandle h);
+
+  /// Pump integration: translate one ND event into zero or more LCM-facing
+  /// events, performing relaying and circuit management on the way.
+  std::vector<IpEvent> on_nd_event(const NdEvent& ev);
+
+  // ---- gateway support (called from Gateway worker threads) -------------
+  struct ExtendWait {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<ntcs::Status> result;
+  };
+  std::shared_ptr<ExtendWait> register_extend_waiter(IvcHandle h);
+  void unregister_extend_waiter(IvcHandle h);
+  /// Install a relay mapping: traffic on `in` is forwarded to `out` on
+  /// `out_ip` (and the gateway installs the mirror mapping on `out_ip`).
+  void add_relay(IvcHandle in, IpLayer* out_ip, IvcHandle out);
+  /// Mark an inbound circuit terminal (used for gateway-originated opens).
+  void mark_established(IvcHandle h);
+
+  NdLayer& nd() { return nd_; }
+  const NetName& local_net() const { return local_net_; }
+
+  /// Drop the cached gateway registry (after a routing failure, §4.2:
+  /// "locally cached values will likely be correct since reconfiguration
+  /// is infrequent" — but when they are not, refresh).
+  void invalidate_topology();
+
+  /// Route computation, exposed for tests: the full hop list including the
+  /// final destination hop.
+  ntcs::Result<std::vector<wire::RouteHop>> compute_route(
+      const ResolvedDest& dst);
+
+  /// Failover: exclude a gateway attachment from route computation for a
+  /// while (open_ivc does this automatically after a dead first hop).
+  void blacklist_hop(const std::string& phys);
+  bool hop_blacklisted(const std::string& phys) const;
+
+  struct Stats {
+    std::uint64_t ivcs_opened = 0;
+    std::uint64_t ivcs_accepted = 0;
+    std::uint64_t ivcs_closed = 0;
+    std::uint64_t messages_relayed = 0;
+    std::uint64_t topology_fetches = 0;
+    std::uint64_t extend_failures = 0;
+  };
+  Stats stats() const;
+
+ private:
+  enum class IvcRole : std::uint8_t { originator, terminal };
+  struct IvcState {
+    IvcRole role;
+    bool established = false;
+  };
+  struct RelayTarget {
+    IpLayer* out = nullptr;
+    IvcHandle out_h;
+  };
+
+  ntcs::Result<std::vector<GatewayRecord>> topology(bool static_only);
+  std::vector<IpEvent> on_lvc_closed(LvcId lvc);
+  std::vector<IpEvent> on_envelope(LvcId lvc, const wire::IpEnvelope& env);
+  void remove_relay_entry(IvcHandle h);
+
+  NdLayer& nd_;
+  std::shared_ptr<Identity> identity_;
+  NetName local_net_;
+  IpConfig cfg_;
+  ntcs::LayerLog log_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<IvcHandle, IvcState, IvcHandleHash> ivcs_;
+  std::unordered_map<IvcHandle, RelayTarget, IvcHandleHash> relays_;
+  std::unordered_map<IvcHandle, std::shared_ptr<ExtendWait>, IvcHandleHash>
+      extend_waiters_;
+  TopologySource topo_source_;
+  std::vector<GatewayRecord> static_gws_;
+  std::optional<std::vector<GatewayRecord>> topo_cache_;
+  std::unordered_map<std::string, std::chrono::steady_clock::time_point>
+      hop_blacklist_;
+  GatewayHook* gateway_ = nullptr;
+  std::uint64_t next_ivc_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ntcs::core

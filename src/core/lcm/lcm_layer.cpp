@@ -1,0 +1,567 @@
+#include "core/lcm/lcm_layer.h"
+
+namespace ntcs::core {
+
+namespace {
+
+/// Per-thread NTCS recursion depth (§6.1/§6.3). The paper's layers recurse
+/// on one stack; so do ours — hooks and resolver calls run on the sending
+/// thread, and this counter bounds the dead-circuit loop.
+thread_local int g_recursion_depth = 0;
+
+class RecursionScope {
+ public:
+  RecursionScope() { ++g_recursion_depth; }
+  ~RecursionScope() { --g_recursion_depth; }
+  RecursionScope(const RecursionScope&) = delete;
+  RecursionScope& operator=(const RecursionScope&) = delete;
+};
+
+}  // namespace
+
+LcmLayer::LcmLayer(IpLayer& ip, std::shared_ptr<Identity> identity,
+                   LcmConfig cfg)
+    : ip_(ip),
+      identity_(std::move(identity)),
+      cfg_(cfg),
+      log_("lcm", identity_->name()) {}
+
+void LcmLayer::set_resolver(Resolver* r) {
+  std::lock_guard lk(mu_);
+  resolver_ = r;
+}
+
+void LcmLayer::set_time_source(TimeSource t) {
+  std::lock_guard lk(mu_);
+  time_source_ = std::move(t);
+}
+
+void LcmLayer::set_monitor_hook(MonitorHook m) {
+  std::lock_guard lk(mu_);
+  monitor_hook_ = std::move(m);
+}
+
+void LcmLayer::set_error_hook(ErrorHook e) {
+  std::lock_guard lk(mu_);
+  error_hook_ = std::move(e);
+}
+
+void LcmLayer::preload_well_known(const WellKnownTable& wk) {
+  std::lock_guard lk(mu_);
+  if (wk.name_server_phys.valid()) {
+    ns_candidates_.clear();
+    ns_candidate_idx_ = 0;
+    ns_candidates_.push_back(
+        ResolvedDest{kNameServerUAdd, wk.name_server_phys, wk.name_server_net});
+    for (const NsReplicaInfo& rep : wk.name_server_replicas) {
+      ns_candidates_.push_back(
+          ResolvedDest{kNameServerUAdd, rep.phys, rep.net});
+    }
+    resolved_cache_[kNameServerUAdd] = ns_candidates_.front();
+    ip_.nd().cache_phys(kNameServerUAdd, wk.name_server_phys);
+  }
+  for (const PrimeGatewayInfo& gw : wk.prime_gateways) {
+    if (gw.phys.empty()) continue;
+    resolved_cache_[gw.uadd] = ResolvedDest{gw.uadd, gw.phys[0],
+                                            gw.networks.empty()
+                                                ? NetName{}
+                                                : gw.networks[0]};
+    ip_.nd().cache_phys(gw.uadd, gw.phys[0]);
+  }
+}
+
+void LcmLayer::cache_destination(UAdd uadd, ResolvedDest dest) {
+  std::lock_guard lk(mu_);
+  ip_.nd().cache_phys(uadd, dest.phys);
+  resolved_cache_[uadd] = std::move(dest);
+}
+
+UAdd LcmLayer::chase_forward(UAdd dst) {
+  std::lock_guard lk(mu_);
+  UAdd cur = dst;
+  for (int hops = 0; hops < 16; ++hops) {
+    auto it = forwards_.find(cur);
+    if (it == forwards_.end()) break;
+    cur = it->second;
+  }
+  // Path compression: future sends jump straight to the live end.
+  if (cur != dst) forwards_[dst] = cur;
+  return cur;
+}
+
+ntcs::Result<ResolvedDest> LcmLayer::resolved_for(UAdd dst) {
+  Resolver* resolver = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    auto it = resolved_cache_.find(dst);
+    if (it != resolved_cache_.end()) return it->second;
+    resolver = resolver_;
+  }
+  if (resolver == nullptr) {
+    return ntcs::Error(ntcs::Errc::not_found,
+                       "no resolver and " + dst.to_string() +
+                           " is not well-known");
+  }
+  auto rd = resolver->resolve(dst);  // recursive naming-service call (§3.1)
+  if (!rd) return rd.error();
+  std::lock_guard lk(mu_);
+  resolved_cache_[dst] = rd.value();
+  ip_.nd().cache_phys(dst, rd.value().phys);
+  return rd.value();
+}
+
+ntcs::Result<ntcs::Bytes> LcmLayer::encode_body(const Payload& p,
+                                                convert::Arch peer_arch,
+                                                convert::XferMode& mode_out) {
+  // §5: the decision to convert is taken here, at the lowest layer where
+  // the destination machine type is visible. No pack routine means the
+  // application vouches for representation independence.
+  if (p.pack &&
+      convert::choose_mode(identity_->arch(), peer_arch) ==
+          convert::XferMode::packed) {
+    mode_out = convert::XferMode::packed;
+    return p.pack();
+  }
+  mode_out = convert::XferMode::image;
+  return p.image;
+}
+
+ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
+                                               std::uint32_t req_id,
+                                               const Payload& p,
+                                               const SendOptions& opts,
+                                               int fault_retries) {
+  if (g_recursion_depth > cfg_.max_recursion_depth) {
+    ErrorHook hook;
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.recursion_trips;
+      hook = error_hook_;
+    }
+    if (hook) {
+      hook("lcm", ntcs::Errc::recursion_limit, "recursion guard tripped");
+    }
+    return ntcs::Error(ntcs::Errc::recursion_limit,
+                       "NTCS recursion depth exceeded (see paper §6.3)");
+  }
+  RecursionScope scope;
+
+  ntcs::Error last(ntcs::Errc::address_fault, "send never attempted");
+  for (int attempt = 0; attempt <= fault_retries; ++attempt) {
+    const UAdd cur = chase_forward(dst);
+
+    // Establish (or reuse) the circuit — "with the underlying IVCs being
+    // established as needed".
+    IvcHandle h;
+    bool have = false;
+    {
+      std::lock_guard lk(mu_);
+      auto it = conns_.find(cur);
+      if (it != conns_.end()) {
+        h = it->second;
+        have = true;
+      }
+    }
+    if (!have) {
+      auto rd = resolved_for(cur);
+      if (!rd) {
+        last = rd.error();
+        // An unknown UAdd is not necessarily the end: the module may have
+        // died and been REPLACED since the naming service answered us last
+        // (its old record is retired the moment anyone's forwarding query
+        // confirms the death). Treat it as an address fault so the
+        // forwarding determination below gets its chance (§3.5).
+        if (last.code() != ntcs::Errc::not_found) return last;
+      } else {
+        auto opened = ip_.open_ivc(rd.value());
+        if (!opened) {
+          last = opened.error();
+          if (last.code() == ntcs::Errc::no_route) return last;
+          // Address fault during establishment: fall through to the fault
+          // handler below.
+        } else {
+          h = opened.value();
+          have = true;
+          std::lock_guard lk(mu_);
+          conns_[cur] = h;
+          if (attempt > 0) ++stats_.reconnects;
+        }
+      }
+    }
+
+    if (have) {
+      // Conversion-mode decision needs the peer machine type, learned in
+      // the channel-open exchange (§3.3).
+      auto peer = ip_.nd().peer(h.lvc);
+      const convert::Arch peer_arch =
+          peer ? peer->arch : identity_->arch();
+      convert::XferMode mode = convert::XferMode::image;
+      auto body = encode_body(p, peer_arch, mode);
+      if (!body) return body.error();
+
+      wire::LcmHeader hdr;
+      hdr.kind = kind;
+      hdr.flags = opts.internal ? wire::kLcmFlagInternal : 0;
+      hdr.src = identity_->uadd();
+      hdr.dst = cur;
+      hdr.req_id = req_id;
+      hdr.mode = convert::xfer_mode_wire_id(mode);
+      hdr.src_arch = convert::arch_wire_id(identity_->arch());
+
+      auto st = ip_.send(h, wire::encode_lcm(hdr, body.value()));
+      if (st.ok()) return h;
+      last = st.error();
+      if (last.code() == ntcs::Errc::too_big) return last;
+    }
+
+    // ---- address-fault handler (§3.5) --------------------------------
+    ErrorHook error_hook;
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.address_faults;
+      conns_.erase(cur);
+      resolved_cache_.erase(cur);
+      error_hook = error_hook_;
+    }
+    ip_.nd().uncache_phys(cur);
+    log_.debug("address fault toward " + cur.to_string() + ": " +
+               last.to_string());
+    if (error_hook && !opts.internal) {
+      // Report into the running table of errors (§6.3) — internal traffic
+      // is exempt so a fault while reporting a fault cannot loop.
+      error_hook("lcm", last.code(),
+                 "address fault toward " + cur.to_string());
+    }
+
+    if (cur == kNameServerUAdd && !cfg_.reproduce_ns_fault_bug) {
+      // The §6.3 patch: "Since layers below the NSP-Layer know nothing of
+      // the Name Server, they are unable to stop this problem." This layer
+      // — which also "should not know of the Name Server" — breaks the
+      // loop by never consulting the naming service about the naming
+      // service; the well-known physical address is authoritative.
+      {
+        // Re-install a well-known entry so the reconnect can proceed
+        // without a resolver — rotating to the next Name Server candidate
+        // (primary, then replicas) on each fault.
+        std::lock_guard lk(mu_);
+        if (!ns_candidates_.empty()) {
+          if (attempt > 0) ++ns_candidate_idx_;
+          const ResolvedDest& cand =
+              ns_candidates_[ns_candidate_idx_ % ns_candidates_.size()];
+          resolved_cache_[kNameServerUAdd] = cand;
+          ip_.nd().cache_phys(kNameServerUAdd, cand.phys);
+        }
+      }
+      continue;  // plain reconnect retry via ND retry-on-open
+    }
+
+    Resolver* resolver = nullptr;
+    {
+      std::lock_guard lk(mu_);
+      resolver = resolver_;
+    }
+    if (resolver == nullptr) return last;
+    auto fwd = resolver->forward(cur);  // recursive naming-service call
+    if (fwd) {
+      std::lock_guard lk(mu_);
+      forwards_[cur] = fwd.value();
+      ++stats_.relocations;
+      log_.info("relocated " + cur.to_string() + " -> " +
+                fwd.value().to_string());
+      continue;
+    }
+    if (fwd.code() == ntcs::Errc::still_alive) {
+      continue;  // module lives; re-establish "exactly as during an
+                 // initial connection" (§3.5)
+    }
+    return fwd.error();
+  }
+  return last;
+}
+
+ntcs::Status LcmLayer::send(UAdd dst, const Payload& p, SendOptions opts) {
+  if (!dst.valid()) {
+    return ntcs::Status(ntcs::Errc::bad_argument, "invalid destination");
+  }
+  TimeSource time_source;
+  MonitorHook monitor;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.sends;
+    if (!opts.internal) {
+      time_source = time_source_;
+      monitor = monitor_hook_;
+    }
+  }
+  // §6.1: "As the application level Send is initiated, control passes to
+  // the LCM-layer, which generates a time stamp for monitor data" — which
+  // may itself communicate, recursively.
+  const std::int64_t ts = time_source ? time_source() : 0;
+  auto sent = send_message(dst, wire::LcmKind::data, 0, p, opts,
+                           cfg_.fault_retries);
+  if (!sent) return sent.error();
+  if (monitor) {
+    MonitorSample s;
+    s.src = identity_->uadd();
+    s.dst = dst;
+    s.bytes = p.image.size();
+    s.timestamp_ns = ts;
+    s.request = false;
+    monitor(s);  // "the LCM-layer sends data to the monitor by calling
+                 // itself" — the hook recurses into dgram() below.
+  }
+  return ntcs::Status::success();
+}
+
+ntcs::Result<Reply> LcmLayer::request(UAdd dst, const Payload& p,
+                                      SendOptions opts) {
+  if (!dst.valid()) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "invalid destination");
+  }
+  TimeSource time_source;
+  MonitorHook monitor;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.requests;
+    if (!opts.internal) {
+      time_source = time_source_;
+      monitor = monitor_hook_;
+    }
+  }
+  const std::int64_t ts = time_source ? time_source() : 0;
+  const auto timeout = opts.timeout.count() != 0 ? opts.timeout
+                                                 : cfg_.request_timeout;
+
+  ntcs::Error last(ntcs::Errc::timeout, "request never attempted");
+  for (int attempt = 0; attempt <= cfg_.fault_retries; ++attempt) {
+    const std::uint32_t req_id = next_req_id_.fetch_add(1);
+    auto slot = std::make_shared<ReplySlot>();
+    {
+      std::lock_guard lk(mu_);
+      slots_[req_id] = slot;
+    }
+    auto sent =
+        send_message(dst, wire::LcmKind::request, req_id, p, opts,
+                     cfg_.fault_retries);
+    if (!sent) {
+      std::lock_guard lk(mu_);
+      slots_.erase(req_id);
+      return sent.error();
+    }
+    slot->via_lvc.store(sent.value().lvc);
+    slot->via_ivc.store(sent.value().ivc);
+
+    ntcs::Result<Reply> outcome =
+        ntcs::Error(ntcs::Errc::timeout, "reply timed out");
+    {
+      std::unique_lock sl(slot->mu);
+      if (slot->cv.wait_for(sl, timeout,
+                            [&] { return slot->result.has_value(); })) {
+        outcome = std::move(*slot->result);
+      }
+    }
+    {
+      std::lock_guard lk(mu_);
+      slots_.erase(req_id);
+    }
+    if (outcome.ok()) {
+      if (monitor) {
+        MonitorSample s;
+        s.src = identity_->uadd();
+        s.dst = dst;
+        s.bytes = p.image.size();
+        s.timestamp_ns = ts;
+        s.request = true;
+        monitor(s);
+      }
+      return outcome;
+    }
+    last = outcome.error();
+    // The circuit died while we waited: run the fault/relocation machinery
+    // once more. A plain timeout is surfaced to the caller — the peer may
+    // simply be slow, and retrying a non-idempotent request is the
+    // transaction manager's business, not ours (§3.5).
+    if (last.code() != ntcs::Errc::address_fault) return last;
+  }
+  return last;
+}
+
+ntcs::Status LcmLayer::reply(const ReplyCtx& ctx, const Payload& p) {
+  if (!ctx.valid()) {
+    return ntcs::Status(ntcs::Errc::bad_argument, "invalid reply context");
+  }
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.replies;
+  }
+  auto peer = ip_.nd().peer(ctx.via.lvc);
+  const convert::Arch peer_arch = peer ? peer->arch : identity_->arch();
+  convert::XferMode mode = convert::XferMode::image;
+  auto body = encode_body(p, peer_arch, mode);
+  if (!body) return body.error();
+
+  wire::LcmHeader hdr;
+  hdr.kind = wire::LcmKind::reply;
+  hdr.flags = wire::kLcmFlagInternal;
+  hdr.src = identity_->uadd();
+  hdr.dst = ctx.requester;
+  hdr.req_id = ctx.req_id;
+  hdr.mode = convert::xfer_mode_wire_id(mode);
+  hdr.src_arch = convert::arch_wire_id(identity_->arch());
+  // Replies ride the inbound circuit; if it died the requester recovers.
+  return ip_.send(ctx.via, wire::encode_lcm(hdr, body.value()));
+}
+
+ntcs::Status LcmLayer::dgram(UAdd dst, const Payload& p, SendOptions opts) {
+  if (!dst.valid()) {
+    return ntcs::Status(ntcs::Errc::bad_argument, "invalid destination");
+  }
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.dgrams;
+  }
+  // Connectionless: one resolution attempt, no relocation recovery.
+  auto sent = send_message(dst, wire::LcmKind::dgram, 0, p, opts, 1);
+  if (!sent) return sent.error();
+  return ntcs::Status::success();
+}
+
+ntcs::Result<Incoming> LcmLayer::receive(std::chrono::nanoseconds timeout) {
+  return app_queue_.pop_for(timeout);
+}
+
+void LcmLayer::on_ip_event(IpEvent ev) {
+  switch (ev.kind) {
+    case IpEvent::Kind::message: {
+      auto decoded = wire::decode_lcm(ev.lcm_msg);
+      if (!decoded) {
+        log_.warn("dropping undecodable LCM message: " +
+                  decoded.error().to_string());
+        return;
+      }
+      wire::LcmMessage& m = decoded.value();
+
+      // TAdd purge (§3.4): a peer that introduced itself with a TAdd is
+      // re-keyed the moment a message carries its real UAdd.
+      if (m.header.src.valid() && !m.header.src.is_temporary()) {
+        auto peer = ip_.nd().peer(ev.via.lvc);
+        if (peer && peer->uadd.is_temporary()) {
+          ip_.nd().promote_peer(ev.via.lvc, m.header.src);
+          std::lock_guard lk(mu_);
+          ++stats_.tadds_promoted;
+        }
+        // Cache the reverse mapping so sends to this peer reuse the
+        // inbound circuit (and pick up its post-relocation incarnation).
+        std::lock_guard lk(mu_);
+        conns_[m.header.src] = ev.via;
+      }
+
+      Incoming in;
+      in.src = m.header.src;
+      in.payload = std::move(m.payload);
+      in.mode = static_cast<convert::XferMode>(m.header.mode);
+      in.src_arch = convert::arch_from_wire_id(m.header.src_arch)
+                        .value_or(convert::Arch::vax780);
+      in.internal = (m.header.flags & wire::kLcmFlagInternal) != 0;
+
+      switch (m.header.kind) {
+        case wire::LcmKind::data:
+        case wire::LcmKind::dgram: {
+          {
+            std::lock_guard lk(mu_);
+            ++stats_.received;
+          }
+          (void)app_queue_.push(std::move(in));
+          return;
+        }
+        case wire::LcmKind::request: {
+          in.is_request = true;
+          in.reply_ctx = ReplyCtx{ev.via, m.header.req_id, m.header.src};
+          {
+            std::lock_guard lk(mu_);
+            ++stats_.received;
+          }
+          (void)app_queue_.push(std::move(in));
+          return;
+        }
+        case wire::LcmKind::reply: {
+          Reply r;
+          r.payload = std::move(in.payload);
+          r.mode = in.mode;
+          r.src_arch = in.src_arch;
+          fill_slot(m.header.req_id, std::move(r));
+          return;
+        }
+      }
+      return;
+    }
+    case IpEvent::Kind::ivc_closed: {
+      std::vector<std::shared_ptr<ReplySlot>> broken;
+      {
+        std::lock_guard lk(mu_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          if (it->second == ev.via) {
+            it = conns_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        for (auto& [id, slot] : slots_) {
+          if (slot->via_lvc.load() == ev.via.lvc &&
+              slot->via_ivc.load() == ev.via.ivc) {
+            broken.push_back(slot);
+          }
+        }
+      }
+      for (auto& slot : broken) {
+        std::lock_guard sl(slot->mu);
+        if (!slot->result) {
+          slot->result = ntcs::Error(ntcs::Errc::address_fault,
+                                     "circuit closed while awaiting reply");
+          slot->cv.notify_all();
+        }
+      }
+      return;
+    }
+  }
+}
+
+void LcmLayer::fill_slot(std::uint32_t req_id, ntcs::Result<Reply> result) {
+  std::shared_ptr<ReplySlot> slot;
+  {
+    std::lock_guard lk(mu_);
+    auto it = slots_.find(req_id);
+    if (it == slots_.end()) return;  // late reply after timeout: dropped
+    slot = it->second;
+  }
+  std::lock_guard sl(slot->mu);
+  if (!slot->result) {
+    slot->result = std::move(result);
+    slot->cv.notify_all();
+  }
+}
+
+void LcmLayer::shutdown() {
+  app_queue_.close();
+  std::vector<std::shared_ptr<ReplySlot>> pending;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [id, slot] : slots_) pending.push_back(slot);
+  }
+  for (auto& slot : pending) {
+    std::lock_guard sl(slot->mu);
+    if (!slot->result) {
+      slot->result = ntcs::Error(ntcs::Errc::shutdown, "module shutting down");
+      slot->cv.notify_all();
+    }
+  }
+}
+
+UAdd LcmLayer::current_target(UAdd dst) { return chase_forward(dst); }
+
+LcmLayer::Stats LcmLayer::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,247 @@
+// lcm_layer.h — the Logical Connection Maintenance Layer (paper §2.2, §3.5).
+//
+// "Support for dynamic reconfiguration is handled by the Logical Connection
+// Maintenance Layer. Its primary function is to relocate modules which may
+// have moved, and to recover from broken connections, though it also
+// provides a connectionless protocol. No explicit open or close primitives
+// are provided at the Nucleus interface; messages are simply sent/received
+// directly to/from the desired destinations, with the underlying IVCs
+// being established as needed."
+//
+// The address-fault path (§3.5): a failed send closes the circuit; the
+// LCM-Layer consults its local forwarding-address table, then the
+// NSP-Layer (an address-fault handler querying the naming service for a
+// forwarding UAdd), installs the new mapping, re-establishes the circuit
+// exactly as an initial connection, and resends.
+//
+// This layer also hosts the two recursion hooks of §6.1 — the distributed
+// time stamp taken on every monitored send, and the monitor record emitted
+// after it — plus the recursion guard that patches the Name-Server
+// dead-circuit loop of §6.3 (reproducible by setting
+// LcmConfig::reproduce_ns_fault_bug).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/queue.h"
+#include "convert/mode.h"
+#include "core/identity.h"
+#include "core/ip/ip_layer.h"
+
+namespace ntcs::core {
+
+/// Outbound message body: the contiguous memory image plus the
+/// application-supplied pack routine (§5.1). When `pack` is empty the
+/// payload is treated as representation-free bytes and always travels in
+/// image mode (the application asserts compatibility).
+struct Payload {
+  ntcs::Bytes image;
+  std::function<ntcs::Result<ntcs::Bytes>()> pack;
+
+  static Payload raw(ntcs::Bytes bytes) {
+    Payload p;
+    p.image = std::move(bytes);
+    return p;
+  }
+};
+
+/// Context needed to answer a request: replies travel back down the
+/// circuit the request arrived on — no address resolution involved.
+struct ReplyCtx {
+  IvcHandle via;
+  std::uint32_t req_id = 0;
+  UAdd requester;
+
+  bool valid() const { return via.valid(); }
+};
+
+/// One received message, as handed to the application (or the Name Server,
+/// or a DRTS service — they all use the same interface).
+struct Incoming {
+  UAdd src;
+  ntcs::Bytes payload;
+  convert::XferMode mode = convert::XferMode::image;
+  convert::Arch src_arch = convert::Arch::vax780;
+  bool is_request = false;
+  bool internal = false;
+  ReplyCtx reply_ctx;
+};
+
+/// A synchronous request's answer.
+struct Reply {
+  ntcs::Bytes payload;
+  convert::XferMode mode = convert::XferMode::image;
+  convert::Arch src_arch = convert::Arch::vax780;
+};
+
+struct SendOptions {
+  /// NTCS/DRTS-internal traffic: suppresses the monitoring and time hooks
+  /// (§6.1: "time correction and monitoring are disabled here, to avoid
+  /// the obvious infinite recursion").
+  bool internal = false;
+  std::chrono::nanoseconds timeout{std::chrono::seconds(5)};
+};
+
+/// The naming-service face the LCM-Layer sees (implemented by the
+/// NSP-Layer — the recursion of §3.1).
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+  /// UAdd -> physical address + logical network.
+  virtual ntcs::Result<ResolvedDest> resolve(UAdd uadd) = 0;
+  /// Address-fault query (§3.5): has `old` been replaced? Errors:
+  /// still_alive (reconnect to the same module), not_found (no successor).
+  virtual ntcs::Result<UAdd> forward(UAdd old) = 0;
+};
+
+/// Corrected-time source (DRTS time service; §6.1).
+using TimeSource = std::function<std::int64_t()>;
+
+/// One monitor data point, emitted after each successful monitored send.
+struct MonitorSample {
+  UAdd src;
+  UAdd dst;
+  std::uint64_t bytes = 0;
+  std::int64_t timestamp_ns = 0;
+  bool request = false;
+};
+using MonitorHook = std::function<void(const MonitorSample&)>;
+
+/// Exception reporting (§6.3: "a running table of errors could be
+/// maintained and monitored"). Called on every handled address fault and
+/// recursion-guard trip; the DRTS error-log client is the usual sink.
+using ErrorHook =
+    std::function<void(std::string_view layer, ntcs::Errc code,
+                       std::string_view text)>;
+
+struct LcmConfig {
+  std::chrono::nanoseconds request_timeout{std::chrono::seconds(5)};
+  /// Address-fault recovery attempts per send.
+  int fault_retries = 3;
+  /// Depth bound on NTCS-internal recursion (the §6.3 patch).
+  int max_recursion_depth = 8;
+  /// Re-enable the paper's Name-Server dead-circuit recursion bug (§6.3)
+  /// for demonstration: the fault handler consults the naming service
+  /// even when the faulted destination *is* the Name Server.
+  bool reproduce_ns_fault_bug = false;
+};
+
+class LcmLayer {
+ public:
+  LcmLayer(IpLayer& ip, std::shared_ptr<Identity> identity,
+           LcmConfig cfg = {});
+
+  LcmLayer(const LcmLayer&) = delete;
+  LcmLayer& operator=(const LcmLayer&) = delete;
+
+  void set_resolver(Resolver* r);
+  void set_time_source(TimeSource t);
+  void set_monitor_hook(MonitorHook m);
+  void set_error_hook(ErrorHook e);
+
+  /// Load the well-known address table (§3.4) so the Name Server and prime
+  /// gateways are reachable before — and without — any naming service.
+  /// Replica entries become failover candidates: when the circuit to the
+  /// Name Server faults, the patched handler (§6.3) rotates to the next
+  /// candidate's physical address.
+  void preload_well_known(const WellKnownTable& wk);
+
+  /// Pre-resolve a destination (infrastructure use: the primary Name
+  /// Server addresses its replicas this way; no resolver could).
+  void cache_destination(UAdd uadd, ResolvedDest dest);
+
+  /// Asynchronous send on a (virtual) conversation.
+  ntcs::Status send(UAdd dst, const Payload& p, SendOptions opts = {});
+
+  /// Synchronous send/receive/reply: send a request, wait for the reply.
+  ntcs::Result<Reply> request(UAdd dst, const Payload& p,
+                              SendOptions opts = {});
+
+  /// Answer a received request.
+  ntcs::Status reply(const ReplyCtx& ctx, const Payload& p);
+
+  /// Connectionless protocol: best effort, no relocation recovery.
+  ntcs::Status dgram(UAdd dst, const Payload& p, SendOptions opts = {});
+
+  /// Blocking receive of the next application-bound message.
+  ntcs::Result<Incoming> receive(std::chrono::nanoseconds timeout);
+
+  /// Pump integration (never blocks).
+  void on_ip_event(IpEvent ev);
+
+  /// Fail all waiters and close the receive queue.
+  void shutdown();
+
+  /// Where sends to `dst` currently go after forwarding (for tests).
+  UAdd current_target(UAdd dst);
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t dgrams = 0;
+    std::uint64_t received = 0;
+    std::uint64_t address_faults = 0;
+    std::uint64_t relocations = 0;     // forwarding entries installed
+    std::uint64_t reconnects = 0;      // circuit re-establishments
+    std::uint64_t recursion_trips = 0; // guard rejections
+    std::uint64_t tadds_promoted = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct ReplySlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<ntcs::Result<Reply>> result;
+    std::atomic<std::uint64_t> via_lvc{0};
+    std::atomic<std::uint64_t> via_ivc{0};
+  };
+
+  /// Follow the forwarding-address table (§3.5).
+  UAdd chase_forward(UAdd dst);
+  ntcs::Result<ResolvedDest> resolved_for(UAdd dst);
+  /// Core send with circuit establishment and address-fault recovery.
+  /// On success returns the IVC used.
+  ntcs::Result<IvcHandle> send_message(UAdd dst, wire::LcmKind kind,
+                                       std::uint32_t req_id, const Payload& p,
+                                       const SendOptions& opts,
+                                       int fault_retries);
+  ntcs::Result<ntcs::Bytes> encode_body(const Payload& p,
+                                        convert::Arch peer_arch,
+                                        convert::XferMode& mode_out);
+  void fill_slot(std::uint32_t req_id, ntcs::Result<Reply> result);
+
+  IpLayer& ip_;
+  std::shared_ptr<Identity> identity_;
+  LcmConfig cfg_;
+  ntcs::LayerLog log_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<UAdd, IvcHandle> conns_;
+  std::unordered_map<UAdd, UAdd> forwards_;
+  std::unordered_map<UAdd, ResolvedDest> resolved_cache_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<ReplySlot>> slots_;
+  std::vector<ResolvedDest> ns_candidates_;  // primary first, then replicas
+  std::size_t ns_candidate_idx_ = 0;
+  Resolver* resolver_ = nullptr;
+  TimeSource time_source_;
+  MonitorHook monitor_hook_;
+  ErrorHook error_hook_;
+  std::atomic<std::uint32_t> next_req_id_{1};
+  ntcs::BlockingQueue<Incoming> app_queue_;
+  Stats stats_;
+};
+
+}  // namespace ntcs::core

@@ -1,0 +1,361 @@
+#include "core/nd/nd_layer.h"
+
+#include <thread>
+
+namespace ntcs::core {
+
+NdLayer::NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
+                 simnet::IpcsKind ipcs, std::string local_name,
+                 std::shared_ptr<Identity> identity, NdConfig cfg)
+    : fabric_(fabric),
+      machine_(machine),
+      ipcs_(ipcs),
+      local_name_(std::move(local_name)),
+      identity_(std::move(identity)),
+      cfg_(cfg),
+      log_("nd", identity_->name()) {}
+
+NdLayer::~NdLayer() { shutdown(); }
+
+ntcs::Status NdLayer::bind() {
+  auto ep = fabric_.bind(machine_, ipcs_, local_name_);
+  if (!ep) return ep.error();
+  endpoint_ = std::move(ep.value());
+  identity_->set_phys(PhysAddr{endpoint_->phys()});
+  log_.debug("bound at " + endpoint_->phys());
+  return ntcs::Status::success();
+}
+
+PhysAddr NdLayer::local_phys() const {
+  return endpoint_ ? PhysAddr{endpoint_->phys()} : PhysAddr{};
+}
+
+ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
+  if (!endpoint_) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "ND-Layer not bound");
+  }
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.opens_initiated;
+  }
+  // Retry on open (§2.2: "no automatic relocation or recovery from failed
+  // channels (except for retry on open)").
+  ntcs::Error last(ntcs::Errc::address_fault, "open never attempted");
+  for (int attempt = 0; attempt < cfg_.open_attempts; ++attempt) {
+    if (attempt != 0) {
+      std::this_thread::sleep_for(cfg_.open_retry_delay);
+      std::lock_guard lk(mu_);
+      ++stats_.open_retries;
+    }
+    auto chan = endpoint_->connect(dst.blob);
+    if (!chan) {
+      last = chan.error();
+      // A partitioned network will not heal within the retry window; a
+      // malformed address never will.
+      if (last.code() == ntcs::Errc::bad_argument ||
+          last.code() == ntcs::Errc::unsupported) {
+        return last;
+      }
+      continue;
+    }
+    const LvcId lvc = chan.value();
+    auto waiter = std::make_shared<OpenWaiter>();
+    {
+      std::lock_guard lk(mu_);
+      LvcState st;
+      st.initiated_by_us = true;
+      st.peer.phys = dst;
+      lvcs_[lvc] = std::move(st);
+      open_waiters_[lvc] = waiter;
+    }
+    // The open exchange (§3.3): introduce ourselves; the pump thread fills
+    // the waiter when the peer's ack arrives.
+    wire::NdOpen intro;
+    intro.src_uadd = identity_->uadd();
+    intro.src_arch = convert::arch_wire_id(identity_->arch());
+    intro.src_phys = endpoint_->phys();
+    auto sent = send_raw(lvc, wire::encode_nd_open(intro));
+    if (!sent.ok()) {
+      last = sent.error();
+      std::lock_guard lk(mu_);
+      lvcs_.erase(lvc);
+      open_waiters_.erase(lvc);
+      continue;
+    }
+    std::unique_lock wl(waiter->mu);
+    const bool got = waiter->cv.wait_for(
+        wl, cfg_.open_ack_timeout, [&] { return waiter->result.has_value(); });
+    {
+      std::lock_guard lk(mu_);
+      open_waiters_.erase(lvc);
+    }
+    if (!got) {
+      last = ntcs::Error(ntcs::Errc::timeout, "open ack timed out");
+      (void)close(lvc);
+      continue;
+    }
+    if (!waiter->result->ok()) {
+      last = waiter->result->error();
+      std::lock_guard lk(mu_);
+      lvcs_.erase(lvc);
+      continue;
+    }
+    const PeerInfo& peer = waiter->result->value();
+    if (peer.uadd.valid() && !peer.uadd.is_temporary()) {
+      cache_phys(peer.uadd, dst);
+    }
+    log_.debug("opened LVC " + std::to_string(lvc) + " to " + dst.blob +
+               " peer=" + peer.uadd.to_string());
+    return lvc;
+  }
+  return last;
+}
+
+ntcs::Status NdLayer::send(LvcId lvc, ntcs::BytesView ip_envelope) {
+  if (!endpoint_) {
+    return ntcs::Status(ntcs::Errc::bad_argument, "ND-Layer not bound");
+  }
+  {
+    std::lock_guard lk(mu_);
+    auto it = lvcs_.find(lvc);
+    if (it == lvcs_.end()) {
+      return ntcs::Status(ntcs::Errc::address_fault, "LVC is gone");
+    }
+    ++stats_.messages_sent;
+  }
+  return send_raw(lvc, wire::encode_nd_payload(ip_envelope));
+}
+
+ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
+  // Hold the circuit's transmit lock across all fragments so concurrent
+  // senders on the same LVC cannot interleave mid-message.
+  std::shared_ptr<std::mutex> send_mu;
+  {
+    std::lock_guard lk(mu_);
+    auto it = lvcs_.find(lvc);
+    if (it != lvcs_.end()) send_mu = it->second.send_mu;
+  }
+  if (!send_mu) {
+    // The circuit vanished between lookup and here (or this is the open
+    // handshake racing creation); a private lock preserves the invariant.
+    send_mu = std::make_shared<std::mutex>();
+  }
+  std::lock_guard tx(*send_mu);
+  for (const ntcs::Bytes& frame :
+       wire::fragment(nd_message, simnet::ipcs_mtu(ipcs_))) {
+    auto st = endpoint_->send(lvc, frame);
+    if (!st.ok()) {
+      // Normalise the two IPCSs' failure vocabulary to an address fault,
+      // except for conditions the layers above treat specially.
+      if (st.code() == ntcs::Errc::partitioned ||
+          st.code() == ntcs::Errc::too_big) {
+        return st;
+      }
+      return ntcs::Status(ntcs::Errc::address_fault, st.error().what());
+    }
+  }
+  return ntcs::Status::success();
+}
+
+ntcs::Status NdLayer::close(LvcId lvc) {
+  {
+    std::lock_guard lk(mu_);
+    if (lvcs_.erase(lvc) == 0) {
+      return ntcs::Status(ntcs::Errc::not_found, "no such LVC");
+    }
+    ++stats_.lvcs_closed;
+  }
+  if (endpoint_) (void)endpoint_->close_channel(lvc);
+  return ntcs::Status::success();
+}
+
+ntcs::Result<std::optional<NdEvent>> NdLayer::pump(
+    std::chrono::nanoseconds timeout) {
+  if (!endpoint_) return ntcs::Error(ntcs::Errc::closed, "not bound");
+  auto d = endpoint_->recv_for(timeout);
+  if (!d) return d.error();
+  return handle_delivery(std::move(d.value()));
+}
+
+ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
+    simnet::Delivery d) {
+  switch (d.kind) {
+    case simnet::DeliveryKind::opened: {
+      // IPCS-level connection; the NTCS-level open completes when the
+      // peer's NdOpen arrives.
+      std::lock_guard lk(mu_);
+      LvcState st;
+      st.peer.phys = PhysAddr{d.peer_phys};
+      lvcs_[d.chan] = std::move(st);
+      return std::optional<NdEvent>{};
+    }
+    case simnet::DeliveryKind::closed: {
+      std::shared_ptr<OpenWaiter> waiter;
+      bool known = false;
+      {
+        std::lock_guard lk(mu_);
+        known = lvcs_.erase(d.chan) != 0;
+        if (known) ++stats_.lvcs_closed;
+        auto wit = open_waiters_.find(d.chan);
+        if (wit != open_waiters_.end()) {
+          waiter = wit->second;
+          open_waiters_.erase(wit);
+        }
+      }
+      if (waiter) {
+        std::lock_guard wl(waiter->mu);
+        waiter->result =
+            ntcs::Error(ntcs::Errc::address_fault, "channel died during open");
+        waiter->cv.notify_all();
+      }
+      if (!known) return std::optional<NdEvent>{};
+      NdEvent ev;
+      ev.kind = NdEvent::Kind::closed;
+      ev.lvc = d.chan;
+      return std::optional<NdEvent>{std::move(ev)};
+    }
+    case simnet::DeliveryKind::data: {
+      ntcs::Bytes complete;
+      {
+        std::lock_guard lk(mu_);
+        auto it = lvcs_.find(d.chan);
+        if (it == lvcs_.end()) {
+          return std::optional<NdEvent>{};  // stray frame after close
+        }
+        auto done = it->second.reassembler.feed(d.payload);
+        if (!done) {
+          log_.warn("dropping malformed frame: " + done.error().to_string());
+          return std::optional<NdEvent>{};
+        }
+        if (!done.value()) return std::optional<NdEvent>{};
+        complete = it->second.reassembler.take();
+      }
+      return handle_message(d.chan, std::move(complete));
+    }
+  }
+  return std::optional<NdEvent>{};
+}
+
+ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
+                                                             ntcs::Bytes msg) {
+  auto decoded = wire::decode_nd(msg);
+  if (!decoded) {
+    log_.warn("dropping undecodable ND message: " +
+              decoded.error().to_string());
+    return std::optional<NdEvent>{};
+  }
+  wire::NdMessage& m = decoded.value();
+  switch (m.kind) {
+    case wire::NdKind::open: {
+      {
+        std::lock_guard lk(mu_);
+        auto it = lvcs_.find(lvc);
+        if (it == lvcs_.end()) return std::optional<NdEvent>{};
+        it->second.peer.uadd = m.open.src_uadd;
+        auto arch = convert::arch_from_wire_id(m.open.src_arch);
+        it->second.peer.arch = arch.value_or(convert::Arch::vax780);
+        it->second.peer.phys = PhysAddr{m.open.src_phys};
+        it->second.open_complete = true;
+        ++stats_.opens_accepted;
+        // Cache the peer's UAdd -> phys mapping learned from the exchange
+        // (§3.3) — unless it is a TAdd, which has no meaning for location.
+        if (m.open.src_uadd.valid() && !m.open.src_uadd.is_temporary()) {
+          phys_cache_[m.open.src_uadd] = PhysAddr{m.open.src_phys};
+        }
+      }
+      wire::NdOpenAck ack;
+      ack.uadd = identity_->uadd();
+      ack.arch = convert::arch_wire_id(identity_->arch());
+      (void)send_raw(lvc, wire::encode_nd_open_ack(ack));
+      NdEvent ev;
+      ev.kind = NdEvent::Kind::opened;
+      ev.lvc = lvc;
+      return std::optional<NdEvent>{std::move(ev)};
+    }
+    case wire::NdKind::open_ack: {
+      std::shared_ptr<OpenWaiter> waiter;
+      PeerInfo info;
+      {
+        std::lock_guard lk(mu_);
+        auto it = lvcs_.find(lvc);
+        if (it == lvcs_.end()) return std::optional<NdEvent>{};
+        it->second.peer.uadd = m.ack.uadd;
+        auto arch = convert::arch_from_wire_id(m.ack.arch);
+        it->second.peer.arch = arch.value_or(convert::Arch::vax780);
+        it->second.open_complete = true;
+        info = it->second.peer;
+        auto wit = open_waiters_.find(lvc);
+        if (wit != open_waiters_.end()) waiter = wit->second;
+      }
+      if (waiter) {
+        std::lock_guard wl(waiter->mu);
+        waiter->result = info;
+        waiter->cv.notify_all();
+      }
+      return std::optional<NdEvent>{};
+    }
+    case wire::NdKind::payload: {
+      {
+        std::lock_guard lk(mu_);
+        ++stats_.messages_received;
+      }
+      NdEvent ev;
+      ev.kind = NdEvent::Kind::message;
+      ev.lvc = lvc;
+      ev.message = std::move(m.body);
+      return std::optional<NdEvent>{std::move(ev)};
+    }
+  }
+  return std::optional<NdEvent>{};
+}
+
+std::optional<PeerInfo> NdLayer::peer(LvcId lvc) const {
+  std::lock_guard lk(mu_);
+  auto it = lvcs_.find(lvc);
+  if (it == lvcs_.end() || !it->second.open_complete) return std::nullopt;
+  return it->second.peer;
+}
+
+void NdLayer::promote_peer(LvcId lvc, UAdd real) {
+  std::lock_guard lk(mu_);
+  auto it = lvcs_.find(lvc);
+  if (it == lvcs_.end()) return;
+  if (it->second.peer.uadd.is_temporary() && !real.is_temporary()) {
+    it->second.peer.uadd = real;
+    if (it->second.peer.phys.valid()) {
+      phys_cache_[real] = it->second.peer.phys;
+    }
+    ++stats_.tadds_promoted;
+    log_.debug("promoted peer TAdd to " + real.to_string() + " on LVC " +
+               std::to_string(lvc));
+  }
+}
+
+void NdLayer::cache_phys(UAdd uadd, PhysAddr phys) {
+  if (!uadd.valid() || uadd.is_temporary()) return;
+  std::lock_guard lk(mu_);
+  phys_cache_[uadd] = std::move(phys);
+}
+
+std::optional<PhysAddr> NdLayer::cached_phys(UAdd uadd) const {
+  std::lock_guard lk(mu_);
+  auto it = phys_cache_.find(uadd);
+  if (it == phys_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NdLayer::uncache_phys(UAdd uadd) {
+  std::lock_guard lk(mu_);
+  phys_cache_.erase(uadd);
+}
+
+void NdLayer::shutdown() {
+  if (endpoint_) endpoint_->close();
+}
+
+NdLayer::Stats NdLayer::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace ntcs::core

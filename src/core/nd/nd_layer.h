@@ -1,0 +1,179 @@
+// nd_layer.h — the Network Dependent Layer (paper §2.2).
+//
+// "The lowest layer in the NTCS is the Network Dependent Layer. All machine
+// and network communication dependencies are localized here, providing a
+// uniform virtual circuit interface (STD-IF) for the remainder of the NTCS.
+// Everything above the ND-Layer is portable."
+//
+// Responsibilities:
+//   * bind a native IPCS endpoint (TCP-like or MBX-like) and hide its
+//     address format, MTU and error conventions behind the STD-IF;
+//   * the channel-open protocol: exchange UAdd/architecture/physical
+//     address with the peer on every new local virtual circuit (§3.3), and
+//     cache the results;
+//   * message fragmentation/reassembly over the IPCS frame size;
+//   * retry on open — the only recovery the ND-Layer performs; every other
+//     failure is "simply passed upward";
+//   * TAdd bookkeeping on a per-channel basis (§3.4): a peer that
+//     introduced itself with a TAdd is re-identified ("promoted") when its
+//     real UAdd is learned.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "convert/machine.h"
+#include "core/addr.h"
+#include "core/identity.h"
+#include "core/wire/frames.h"
+#include "simnet/endpoint.h"
+#include "simnet/fabric.h"
+
+namespace ntcs::core {
+
+/// A local virtual circuit id (node-local; equal to the underlying IPCS
+/// channel id in this implementation).
+using LvcId = std::uint64_t;
+
+/// What the ND-Layer reports upward to the IP-Layer.
+struct NdEvent {
+  enum class Kind : std::uint8_t {
+    opened,   // a peer completed the open protocol toward us
+    message,  // a reassembled payload message (an IP envelope)
+    closed,   // the LVC died (peer close, module death, channel kill)
+  };
+  Kind kind;
+  LvcId lvc = 0;
+  ntcs::Bytes message;  // kind == message
+};
+
+/// Cached per-peer information from the channel-open exchange.
+struct PeerInfo {
+  UAdd uadd;
+  convert::Arch arch = convert::Arch::vax780;
+  PhysAddr phys;
+};
+
+/// Tunables for the open retry loop.
+struct NdConfig {
+  int open_attempts = 5;
+  std::chrono::nanoseconds open_retry_delay{std::chrono::milliseconds(2)};
+  std::chrono::nanoseconds open_ack_timeout{std::chrono::seconds(5)};
+};
+
+class NdLayer {
+ public:
+  NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
+          simnet::IpcsKind ipcs, std::string local_name,
+          std::shared_ptr<Identity> identity, NdConfig cfg = {});
+  ~NdLayer();
+
+  NdLayer(const NdLayer&) = delete;
+  NdLayer& operator=(const NdLayer&) = delete;
+
+  /// Create the IPCS communication resource. Must be called before any
+  /// open/send and before the pump starts.
+  ntcs::Status bind();
+
+  /// The module's own physical address (valid after bind()).
+  PhysAddr local_phys() const;
+
+  /// Open an LVC to a physical address, running the open protocol
+  /// (with retry-on-open). Blocking; never call from the pump thread.
+  ntcs::Result<LvcId> open(const PhysAddr& dst);
+
+  /// Send one message (fragmenting to the IPCS MTU). Thread-safe,
+  /// non-blocking.
+  ntcs::Status send(LvcId lvc, ntcs::BytesView ip_envelope);
+
+  /// Close an LVC; the peer sees an NdEvent::closed.
+  ntcs::Status close(LvcId lvc);
+
+  /// Pump one IPCS delivery. Returns an event for the IP-Layer, or
+  /// std::nullopt when the delivery was internal to the ND-Layer (open
+  /// protocol, mid-message fragment). Errors: timeout, closed (endpoint
+  /// gone — pump loop should exit).
+  ntcs::Result<std::optional<NdEvent>> pump(std::chrono::nanoseconds timeout);
+
+  /// Peer info learned during the open exchange.
+  std::optional<PeerInfo> peer(LvcId lvc) const;
+
+  /// Replace a peer's TAdd with its real UAdd (§3.4 purge). No-op if the
+  /// channel is gone.
+  void promote_peer(LvcId lvc, UAdd real);
+
+  /// UAdd -> physical address cache (fed by open exchanges, naming-service
+  /// resolutions, and the well-known table).
+  void cache_phys(UAdd uadd, PhysAddr phys);
+  std::optional<PhysAddr> cached_phys(UAdd uadd) const;
+  /// Drop a cache entry (it produced an address fault).
+  void uncache_phys(UAdd uadd);
+
+  /// Tear down the endpoint; the pump sees Errc::closed.
+  void shutdown();
+
+  simnet::IpcsKind ipcs_kind() const { return ipcs_; }
+  simnet::MachineId machine() const { return machine_; }
+  simnet::Fabric& fabric() { return fabric_; }
+
+  /// Counters for tests/benches.
+  struct Stats {
+    std::uint64_t opens_initiated = 0;
+    std::uint64_t open_retries = 0;
+    std::uint64_t opens_accepted = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t lvcs_closed = 0;
+    std::uint64_t tadds_promoted = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct LvcState {
+    PeerInfo peer;
+    bool open_complete = false;
+    bool initiated_by_us = false;
+    wire::Reassembler reassembler;
+    /// Serialises multi-fragment transmissions: a message's frames must
+    /// stay contiguous on the circuit or the peer's reassembler would
+    /// interleave concurrent senders' fragments.
+    std::shared_ptr<std::mutex> send_mu = std::make_shared<std::mutex>();
+  };
+  struct OpenWaiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<ntcs::Result<PeerInfo>> result;
+  };
+
+  ntcs::Result<std::optional<NdEvent>> handle_delivery(simnet::Delivery d);
+  ntcs::Result<std::optional<NdEvent>> handle_message(LvcId lvc,
+                                                      ntcs::Bytes msg);
+  ntcs::Status send_raw(LvcId lvc, ntcs::BytesView nd_message);
+
+  simnet::Fabric& fabric_;
+  simnet::MachineId machine_;
+  simnet::IpcsKind ipcs_;
+  std::string local_name_;
+  std::shared_ptr<Identity> identity_;
+  NdConfig cfg_;
+  ntcs::LayerLog log_;
+
+  std::shared_ptr<simnet::Endpoint> endpoint_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<LvcId, LvcState> lvcs_;
+  std::unordered_map<LvcId, std::shared_ptr<OpenWaiter>> open_waiters_;
+  std::unordered_map<UAdd, PhysAddr> phys_cache_;
+  Stats stats_;
+};
+
+}  // namespace ntcs::core

@@ -1,0 +1,74 @@
+#include "core/node.h"
+
+namespace ntcs::core {
+
+std::vector<GatewayRecord> prime_gateway_records(const WellKnownTable& wk) {
+  std::vector<GatewayRecord> out;
+  out.reserve(wk.prime_gateways.size());
+  for (const PrimeGatewayInfo& p : wk.prime_gateways) {
+    GatewayRecord g;
+    g.uadd = p.uadd;
+    g.name = p.name;
+    g.nets = p.networks;
+    g.phys = p.phys;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+Node::Node(simnet::Fabric& fabric, NodeConfig cfg)
+    : fabric_(fabric),
+      cfg_(std::move(cfg)),
+      identity_(std::make_shared<Identity>(
+          cfg_.name, fabric.machine_arch(cfg_.machine), cfg_.net)),
+      nd_(fabric_, cfg_.machine, cfg_.ipcs, cfg_.name, identity_, cfg_.nd),
+      ip_(nd_, identity_, cfg_.net, cfg_.ip),
+      lcm_(ip_, identity_, cfg_.lcm),
+      nsp_(lcm_, identity_),
+      commod_(lcm_, nsp_, identity_) {}
+
+Node::~Node() { stop(); }
+
+ntcs::Status Node::start() {
+  if (running_) return ntcs::Status::success();
+  if (auto st = nd_.bind(); !st.ok()) return st;
+  install_well_known(cfg_.well_known);
+  // The recursion wiring (§3.1/§4.1): the Nucleus layers call *up* into the
+  // naming service they carry.
+  lcm_.set_resolver(&nsp_);
+  ip_.set_topology_source([this] { return nsp_.gateways(); });
+  pump_ = std::jthread([this](std::stop_token st) { pump_main(st); });
+  running_ = true;
+  return ntcs::Status::success();
+}
+
+void Node::install_well_known(const WellKnownTable& wk) {
+  lcm_.preload_well_known(wk);
+  ip_.set_prime_gateways(prime_gateway_records(wk));
+}
+
+void Node::pump_main(const std::stop_token& st) {
+  using namespace std::chrono_literals;
+  while (!st.stop_requested()) {
+    auto ev = nd_.pump(50ms);
+    if (!ev) {
+      if (ev.code() == ntcs::Errc::timeout) continue;
+      break;  // endpoint closed: module is going away
+    }
+    if (!ev.value()) continue;  // internal to the ND-Layer
+    for (IpEvent& ipev : ip_.on_nd_event(*ev.value())) {
+      lcm_.on_ip_event(std::move(ipev));
+    }
+  }
+}
+
+void Node::stop() {
+  if (!running_) return;
+  running_ = false;
+  nd_.shutdown();  // pump sees closed and exits
+  pump_.request_stop();
+  if (pump_.joinable()) pump_.join();
+  lcm_.shutdown();
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,86 @@
+// node.h — one NTCS module instance: Nucleus + ComMod bound together.
+//
+// A Node is the in-process equivalent of the paper's "process bound with a
+// ComMod" (Fig. 2-1): it owns the module's Identity, the three Nucleus
+// layers (ND, IP, LCM), the ComMod layers (NSP, ALI) and the pump thread
+// that drives deliveries upward through them. The layers themselves stay
+// passive, exactly as in the paper; the pump is the modern stand-in for
+// the original's in-process upcall path, and it NEVER blocks — every
+// blocking primitive runs on application/service threads.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "core/ali/commod.h"
+#include "core/identity.h"
+#include "core/ip/ip_layer.h"
+#include "core/lcm/lcm_layer.h"
+#include "core/nd/nd_layer.h"
+#include "core/nsp/nsp_layer.h"
+#include "simnet/fabric.h"
+
+namespace ntcs::core {
+
+struct NodeConfig {
+  std::string name;  // logical module name
+  simnet::MachineId machine = 0;
+  simnet::IpcsKind ipcs = simnet::IpcsKind::tcp;
+  NetName net;  // logical network identifier this module reports
+  WellKnownTable well_known;
+  NdConfig nd;
+  IpConfig ip;
+  LcmConfig lcm;
+};
+
+class Node {
+ public:
+  Node(simnet::Fabric& fabric, NodeConfig cfg);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Bind the IPCS endpoint, preload the well-known address table, wire
+  /// the recursive naming-service hooks, and start the pump.
+  ntcs::Status start();
+
+  /// Stop the pump and tear down the endpoint. Idempotent.
+  void stop();
+
+  /// Install (or replace) the well-known table after construction — used
+  /// when a testbed builds the Name Server and prime gateways first and
+  /// only then knows their physical addresses.
+  void install_well_known(const WellKnownTable& wk);
+
+  Identity& identity() { return *identity_; }
+  std::shared_ptr<Identity> identity_ptr() { return identity_; }
+  NdLayer& nd() { return nd_; }
+  IpLayer& ip() { return ip_; }
+  LcmLayer& lcm() { return lcm_; }
+  NspLayer& nsp() { return nsp_; }
+  ComMod& commod() { return commod_; }
+  simnet::Fabric& fabric() { return fabric_; }
+  const NodeConfig& config() const { return cfg_; }
+  PhysAddr phys() const { return nd_.local_phys(); }
+  bool running() const { return running_; }
+
+ private:
+  void pump_main(const std::stop_token& st);
+
+  simnet::Fabric& fabric_;
+  NodeConfig cfg_;
+  std::shared_ptr<Identity> identity_;
+  NdLayer nd_;
+  IpLayer ip_;
+  LcmLayer lcm_;
+  NspLayer nsp_;
+  ComMod commod_;
+  std::jthread pump_;
+  bool running_ = false;
+};
+
+/// Build the IP-Layer's static gateway table from a well-known table.
+std::vector<GatewayRecord> prime_gateway_records(const WellKnownTable& wk);
+
+}  // namespace ntcs::core

@@ -1,0 +1,446 @@
+#include "core/nsp/name_server.h"
+
+namespace ntcs::core {
+
+NameServer::NameServer(simnet::Fabric& fabric, NodeConfig cfg, NsRole role)
+    : fabric_(fabric), role_(role) {
+  if (cfg.name.empty()) {
+    cfg.name = role == NsRole::primary ? "name-server" : "name-server-replica";
+  }
+  node_ = std::make_unique<Node>(fabric, std::move(cfg));
+  // The server *is* the well-known UAdd — it never registers with itself
+  // over the wire (it could not: §3.4, it "can not provide its own"
+  // address prior to connection).
+  node_->identity().set_uadd(kNameServerUAdd);
+}
+
+NameServer::~NameServer() { stop(); }
+
+ntcs::Status NameServer::start() {
+  if (running_) return ntcs::Status::success();
+  if (auto st = node_->start(); !st.ok()) return st;
+  // Complete the well-known table with our own freshly bound address so
+  // the node's own stack treats UAdd 1 as local-resolvable.
+  WellKnownTable wk = node_->config().well_known;
+  wk.name_server_phys = node_->phys();
+  wk.name_server_net = node_->config().net;
+  node_->install_well_known(wk);
+  // Self-entry in the database so "name-server" is locatable by name.
+  // Replicas start empty; the primary's snapshot fills them.
+  if (role_ == NsRole::primary) {
+    std::lock_guard lk(mu_);
+    DbRecord self;
+    self.uadd = kNameServerUAdd;
+    self.name = node_->identity().name();
+    self.phys = node_->phys().blob;
+    self.net = node_->config().net;
+    self.arch = convert::arch_wire_id(node_->identity().arch());
+    self.seq = next_seq_++;
+    db_[self.uadd] = std::move(self);
+  }
+  server_ = std::jthread([this](std::stop_token st) { serve(st); });
+  running_ = true;
+  return ntcs::Status::success();
+}
+
+void NameServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  server_.request_stop();
+  node_->stop();  // closes the receive queue; serve() drains and exits
+  if (server_.joinable()) server_.join();
+}
+
+void NameServer::serve(const std::stop_token& st) {
+  using namespace std::chrono_literals;
+  while (!st.stop_requested()) {
+    auto in = node_->lcm().receive(100ms);
+    if (!in) {
+      if (in.code() == ntcs::Errc::timeout) continue;
+      break;  // queue closed
+    }
+    if (!in.value().is_request) {
+      // Datagrams: replication traffic from the primary.
+      auto req = nsp::decode_request(in.value().payload);
+      if (req && req.value().op == nsp::NsOp::replicate) {
+        apply_replica_update(req.value().update);
+      }
+      continue;
+    }
+    auto req = nsp::decode_request(in.value().payload);
+    ntcs::Bytes response;
+    if (!req) {
+      std::lock_guard lk(mu_);
+      ++stats_.bad_requests;
+      response = nsp::encode_error_response(ntcs::Errc::bad_message,
+                                            req.error().to_string());
+    } else {
+      response = handle(req.value());
+    }
+    (void)node_->lcm().reply(in.value().reply_ctx,
+                             Payload::raw(std::move(response)));
+    flush_replication();
+  }
+}
+
+nsp::ReplicaUpdate NameServer::update_for_locked(const DbRecord& rec) const {
+  nsp::ReplicaUpdate u;
+  u.reg.name = rec.name;
+  u.reg.attrs = rec.attrs;
+  u.reg.phys = rec.phys;
+  u.reg.net = rec.net;
+  u.reg.arch = rec.arch;
+  u.reg.is_gateway = rec.is_gateway;
+  u.reg.gw_nets = rec.gw_nets;
+  u.reg.gw_phys = rec.gw_phys;
+  u.uadd_raw = rec.uadd.raw();
+  u.seq = rec.seq;
+  u.deregistered = rec.deregistered;
+  return u;
+}
+
+void NameServer::apply_replica_update(const nsp::ReplicaUpdate& u) {
+  std::lock_guard lk(mu_);
+  DbRecord rec;
+  rec.uadd = UAdd::from_raw(u.uadd_raw);
+  rec.name = u.reg.name;
+  rec.attrs = u.reg.attrs;
+  rec.phys = u.reg.phys;
+  rec.net = u.reg.net;
+  rec.arch = u.reg.arch;
+  rec.is_gateway = u.reg.is_gateway;
+  rec.gw_nets = u.reg.gw_nets;
+  rec.gw_phys = u.reg.gw_phys;
+  rec.seq = u.seq;
+  rec.deregistered = u.deregistered;
+  if (rec.seq >= next_seq_) next_seq_ = rec.seq + 1;
+  // Last-writer-wins by registration sequence.
+  auto it = db_.find(rec.uadd);
+  if (it == db_.end() || it->second.seq <= rec.seq) {
+    db_[rec.uadd] = std::move(rec);
+  }
+  ++stats_.replications_applied;
+}
+
+void NameServer::flush_replication() {
+  std::vector<nsp::ReplicaUpdate> updates;
+  std::vector<UAdd> links;
+  {
+    std::lock_guard lk(mu_);
+    if (pending_updates_.empty() || replica_links_.empty()) {
+      pending_updates_.clear();
+      return;
+    }
+    updates.swap(pending_updates_);
+    links = replica_links_;
+  }
+  SendOptions opts;
+  opts.internal = true;
+  for (const auto& u : updates) {
+    const ntcs::Bytes body = nsp::encode_replicate(u);
+    for (UAdd link : links) {
+      (void)node_->lcm().dgram(link, Payload::raw(body), opts);
+      std::lock_guard lk(mu_);
+      ++stats_.replications_sent;
+    }
+  }
+}
+
+ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
+  if (role_ != NsRole::primary) {
+    return ntcs::Status(ntcs::Errc::unsupported, "replicas cannot chain");
+  }
+  UAdd link;
+  {
+    std::lock_guard lk(mu_);
+    link = UAdd::permanent(kReplicaLinkUAddBase + replica_links_.size());
+    replica_links_.push_back(link);
+  }
+  // The replica is addressed directly by physical address — it could not
+  // be resolved through the service it backs.
+  node_->lcm().cache_destination(link,
+                                 ResolvedDest{link, info.phys, info.net});
+  // Full snapshot, then the serve loop streams increments.
+  std::vector<nsp::ReplicaUpdate> snapshot;
+  {
+    std::lock_guard lk(mu_);
+    snapshot.reserve(db_.size());
+    for (const auto& [uadd, rec] : db_) {
+      snapshot.push_back(update_for_locked(rec));
+    }
+  }
+  SendOptions opts;
+  opts.internal = true;
+  for (const auto& u : snapshot) {
+    auto st = node_->lcm().dgram(link, Payload::raw(nsp::encode_replicate(u)),
+                                 opts);
+    if (!st.ok()) return st;
+    std::lock_guard lk(mu_);
+    ++stats_.replications_sent;
+  }
+  return ntcs::Status::success();
+}
+
+ntcs::Bytes NameServer::handle(const nsp::Request& req) {
+  switch (req.op) {
+    case nsp::NsOp::register_module:
+      return handle_register(req.reg);
+    case nsp::NsOp::lookup:
+      return handle_lookup(req.name);
+    case nsp::NsOp::lookup_attrs:
+      return handle_lookup_attrs(req.attrs);
+    case nsp::NsOp::resolve:
+      return handle_resolve(UAdd::from_raw(req.uadd_raw));
+    case nsp::NsOp::forward:
+      return handle_forward(UAdd::from_raw(req.uadd_raw));
+    case nsp::NsOp::gateways:
+      return handle_gateways();
+    case nsp::NsOp::deregister:
+      return handle_deregister(UAdd::from_raw(req.uadd_raw));
+    case nsp::NsOp::ping:
+      return nsp::encode_ok_response();
+    case nsp::NsOp::replicate:
+      // Replication rides datagrams, never requests; a replicate request
+      // is a protocol violation.
+      break;
+  }
+  std::lock_guard lk(mu_);
+  ++stats_.bad_requests;
+  return nsp::encode_error_response(ntcs::Errc::bad_message, "unknown op");
+}
+
+ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
+  std::lock_guard lk(mu_);
+  ++stats_.registers;
+  if (role_ == NsRole::replica) {
+    ++stats_.writes_rejected;
+    return nsp::encode_error_response(
+        ntcs::Errc::unsupported,
+        "name-server replica is read-only; register with the primary");
+  }
+  if (r.name.empty()) {
+    return nsp::encode_error_response(ntcs::Errc::bad_argument,
+                                      "empty module name");
+  }
+  if (r.is_gateway && r.gw_nets.size() != r.gw_phys.size()) {
+    return nsp::encode_error_response(ntcs::Errc::bad_argument,
+                                      "gateway nets/phys mismatch");
+  }
+  UAdd uadd;
+  if (r.requested_uadd != 0) {
+    uadd = UAdd::from_raw(r.requested_uadd);
+    if (uadd.is_temporary() || !uadd.valid() ||
+        uadd.raw() >= kFirstDynamicUAdd) {
+      return nsp::encode_error_response(ntcs::Errc::bad_argument,
+                                        "requested UAdd not well-known");
+    }
+    auto it = db_.find(uadd);
+    if (it != db_.end() && !it->second.deregistered &&
+        it->second.name != r.name) {
+      return nsp::encode_error_response(ntcs::Errc::already_exists,
+                                        "well-known UAdd held by '" +
+                                            it->second.name + "'");
+    }
+  } else {
+    // §3.2: "UAdds are currently generated by a simple monotonically
+    // increasing counter."
+    uadd = UAdd::permanent(next_uadd_++);
+  }
+  DbRecord rec;
+  rec.uadd = uadd;
+  rec.name = r.name;
+  rec.attrs = r.attrs;
+  rec.phys = r.phys;
+  rec.net = r.net;
+  rec.arch = r.arch;
+  rec.is_gateway = r.is_gateway;
+  rec.gw_nets = r.gw_nets;
+  rec.gw_phys = r.gw_phys;
+  rec.seq = next_seq_++;
+  db_[uadd] = std::move(rec);
+  pending_updates_.push_back(update_for_locked(db_[uadd]));
+  return nsp::encode_uadd_response(uadd);
+}
+
+ntcs::Bytes NameServer::handle_lookup(const std::string& name) {
+  std::lock_guard lk(mu_);
+  ++stats_.lookups;
+  const DbRecord* best = nullptr;
+  for (const auto& [uadd, rec] : db_) {
+    if (rec.deregistered || rec.name != name) continue;
+    if (best == nullptr || rec.seq > best->seq) best = &rec;
+  }
+  if (best == nullptr) {
+    return nsp::encode_error_response(ntcs::Errc::not_found,
+                                      "no module named '" + name + "'");
+  }
+  return nsp::encode_uadd_response(best->uadd);
+}
+
+ntcs::Bytes NameServer::handle_lookup_attrs(const nsp::AttrMap& attrs) {
+  std::lock_guard lk(mu_);
+  ++stats_.lookups;
+  std::vector<UAdd> matches;
+  for (const auto& [uadd, rec] : db_) {
+    if (rec.deregistered) continue;
+    bool all = true;
+    for (const auto& [k, v] : attrs) {
+      auto it = rec.attrs.find(k);
+      if (it == rec.attrs.end() || it->second != v) {
+        all = false;
+        break;
+      }
+    }
+    if (all) matches.push_back(uadd);
+  }
+  return nsp::encode_uadds_response(matches);
+}
+
+ntcs::Bytes NameServer::handle_resolve(UAdd uadd) {
+  std::lock_guard lk(mu_);
+  ++stats_.resolves;
+  auto it = db_.find(uadd);
+  if (it == db_.end() || it->second.deregistered) {
+    return nsp::encode_error_response(
+        ntcs::Errc::not_found, "unknown UAdd " + uadd.to_string());
+  }
+  nsp::ResolveResponse resp;
+  resp.name = it->second.name;
+  resp.phys = it->second.phys;
+  resp.net = it->second.net;
+  resp.arch = it->second.arch;
+  return nsp::encode_resolve_response(resp);
+}
+
+ntcs::Bytes NameServer::handle_forward(UAdd old_uadd) {
+  // §3.5: "This requires some intelligence in the naming service, first
+  // determining whether the old UAdd is really inactive, mapping the old
+  // UAdd to its name, and then looking for a similar name in a newer
+  // module."
+  std::lock_guard lk(mu_);
+  ++stats_.forwards;
+  auto it = db_.find(old_uadd);
+  if (it == db_.end()) {
+    return nsp::encode_error_response(
+        ntcs::Errc::not_found, "unknown UAdd " + old_uadd.to_string());
+  }
+  DbRecord& old = it->second;
+  if (!old.deregistered) {
+    ++stats_.liveness_probes;
+    if (fabric_.probe(old.phys)) {
+      // "the original module is still alive" — the caller should simply
+      // reconnect.
+      return nsp::encode_error_response(ntcs::Errc::still_alive,
+                                        "module still reachable");
+    }
+    old.deregistered = true;  // confirmed inactive
+    if (role_ == NsRole::primary) {
+      pending_updates_.push_back(update_for_locked(old));
+    }
+  }
+  // A "similar name" in a newer module: same logical name first, then the
+  // attribute-based fallback ("with our new attribute-based naming, this
+  // is more involved") — a module announcing the same "role" attribute.
+  const DbRecord* best = nullptr;
+  for (const auto& [uadd, rec] : db_) {
+    if (rec.deregistered || rec.seq <= old.seq) continue;
+    if (rec.name == old.name) {
+      if (best == nullptr || rec.seq > best->seq) best = &rec;
+    }
+  }
+  if (best == nullptr) {
+    auto role = old.attrs.find("role");
+    if (role != old.attrs.end()) {
+      for (const auto& [uadd, rec] : db_) {
+        if (rec.deregistered || rec.seq <= old.seq) continue;
+        auto r2 = rec.attrs.find("role");
+        if (r2 != rec.attrs.end() && r2->second == role->second) {
+          if (best == nullptr || rec.seq > best->seq) best = &rec;
+        }
+      }
+    }
+  }
+  if (best == nullptr) {
+    return nsp::encode_error_response(ntcs::Errc::not_found,
+                                      "no replacement module located");
+  }
+  ++stats_.forward_hits;
+  return nsp::encode_uadd_response(best->uadd);
+}
+
+ntcs::Bytes NameServer::handle_gateways() {
+  std::lock_guard lk(mu_);
+  std::vector<GatewayRecord> gws;
+  for (auto& [uadd, rec] : db_) {
+    if (rec.deregistered || !rec.is_gateway) continue;
+    // The same "really inactive?" intelligence applied to the topology
+    // registry (§3.5): a gateway none of whose attachments probe alive is
+    // dead and must not appear on routes.
+    bool any_alive = false;
+    for (const auto& phys : rec.gw_phys) {
+      ++stats_.liveness_probes;
+      if (fabric_.probe(phys)) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive) {
+      rec.deregistered = true;
+      if (role_ == NsRole::primary) {
+        pending_updates_.push_back(update_for_locked(rec));
+      }
+      continue;
+    }
+    GatewayRecord g;
+    g.uadd = rec.uadd;
+    g.name = rec.name;
+    for (std::size_t i = 0; i < rec.gw_nets.size(); ++i) {
+      g.nets.push_back(rec.gw_nets[i]);
+      g.phys.push_back(PhysAddr{rec.gw_phys[i]});
+    }
+    gws.push_back(std::move(g));
+  }
+  return nsp::encode_gateways_response(gws);
+}
+
+ntcs::Bytes NameServer::handle_deregister(UAdd uadd) {
+  std::lock_guard lk(mu_);
+  if (role_ == NsRole::replica) {
+    ++stats_.writes_rejected;
+    return nsp::encode_error_response(ntcs::Errc::unsupported,
+                                      "name-server replica is read-only");
+  }
+  auto it = db_.find(uadd);
+  if (it == db_.end()) {
+    return nsp::encode_error_response(
+        ntcs::Errc::not_found, "unknown UAdd " + uadd.to_string());
+  }
+  it->second.deregistered = true;
+  pending_updates_.push_back(update_for_locked(it->second));
+  return nsp::encode_ok_response();
+}
+
+std::size_t NameServer::record_count() const {
+  std::lock_guard lk(mu_);
+  return db_.size();
+}
+
+std::optional<ResolveInfo> NameServer::db_lookup(UAdd uadd) const {
+  std::lock_guard lk(mu_);
+  auto it = db_.find(uadd);
+  if (it == db_.end() || it->second.deregistered) return std::nullopt;
+  ResolveInfo info;
+  info.name = it->second.name;
+  info.phys = PhysAddr{it->second.phys};
+  info.net = it->second.net;
+  info.arch = convert::arch_from_wire_id(it->second.arch)
+                  .value_or(convert::Arch::vax780);
+  return info;
+}
+
+NameServer::Stats NameServer::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,119 @@
+// name_server.h — the Name Server module (paper §3).
+//
+// "For all practical purposes, the naming service is nothing more than an
+// application built on the Nucleus; however, it is also used by the
+// Nucleus, forcing the Nucleus to operate recursively."
+//
+// The server keeps the name/address database: logical name + attribute set
+// -> UAdd -> uninterpreted physical address, logical network id and
+// machine type (§3.2). It answers NSP requests over its own ordinary NTCS
+// stack, generates UAdds (monotone counter, §3.2), honours the well-known
+// UAdds of itself and the prime gateways, performs the forwarding
+// determination of §3.5 ("first determining whether the old UAdd is really
+// inactive, mapping the old UAdd to its name, and then looking for a
+// similar name in a newer module"), and serves the gateway/topology
+// registry of §4.
+#pragma once
+
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "core/node.h"
+#include "core/nsp/protocol.h"
+
+namespace ntcs::core {
+
+/// Replication role (§7: the naming service implementation "will be
+/// replicated for failure resiliency"). A primary pushes every database
+/// mutation to its replicas over the NTCS itself; replicas serve reads
+/// (lookup / resolve / forward / gateways) and reject writes. Clients fail
+/// over via the LCM-Layer's Name-Server candidate rotation.
+enum class NsRole : std::uint8_t { primary, replica };
+
+class NameServer {
+ public:
+  /// cfg.name defaults to "name-server" when empty; cfg.well_known is
+  /// completed with the server's own physical address after bind.
+  NameServer(simnet::Fabric& fabric, NodeConfig cfg,
+             NsRole role = NsRole::primary);
+  ~NameServer();
+
+  NameServer(const NameServer&) = delete;
+  NameServer& operator=(const NameServer&) = delete;
+
+  ntcs::Status start();
+  void stop();
+
+  NsRole role() const { return role_; }
+
+  /// Primary only: attach a replica (already started and pumping). Sends a
+  /// full database snapshot, then every subsequent mutation incrementally.
+  ntcs::Status add_replica(const NsReplicaInfo& info);
+
+  Node& node() { return *node_; }
+  PhysAddr phys() const { return node_->phys(); }
+  const NetName& net() const { return node_->config().net; }
+
+  /// Database introspection (tests / monitoring).
+  std::size_t record_count() const;
+  std::optional<ResolveInfo> db_lookup(UAdd uadd) const;
+
+  struct Stats {
+    std::uint64_t registers = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t resolves = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t forward_hits = 0;     // a successor was found
+    std::uint64_t liveness_probes = 0;  // §3.5 "really inactive?" checks
+    std::uint64_t bad_requests = 0;
+    std::uint64_t replications_sent = 0;
+    std::uint64_t replications_applied = 0;
+    std::uint64_t writes_rejected = 0;  // writes arriving at a replica
+  };
+  Stats stats() const;
+
+ private:
+  struct DbRecord {
+    UAdd uadd;
+    std::string name;
+    nsp::AttrMap attrs;
+    std::string phys;
+    std::string net;
+    std::uint32_t arch = 0;
+    bool is_gateway = false;
+    std::vector<std::string> gw_nets;
+    std::vector<std::string> gw_phys;
+    std::uint64_t seq = 0;  // registration order: newer wins
+    bool deregistered = false;
+  };
+
+  void serve(const std::stop_token& st);
+  ntcs::Bytes handle(const nsp::Request& req);
+  void apply_replica_update(const nsp::ReplicaUpdate& u);
+  nsp::ReplicaUpdate update_for_locked(const DbRecord& rec) const;
+  /// Ship queued mutations to every replica (serve-thread only).
+  void flush_replication();
+  ntcs::Bytes handle_register(const nsp::RegisterRequest& r);
+  ntcs::Bytes handle_lookup(const std::string& name);
+  ntcs::Bytes handle_lookup_attrs(const nsp::AttrMap& attrs);
+  ntcs::Bytes handle_resolve(UAdd uadd);
+  ntcs::Bytes handle_forward(UAdd old_uadd);
+  ntcs::Bytes handle_gateways();
+  ntcs::Bytes handle_deregister(UAdd uadd);
+
+  simnet::Fabric& fabric_;
+  std::unique_ptr<Node> node_;
+  NsRole role_;
+  std::vector<UAdd> replica_links_;
+  std::vector<nsp::ReplicaUpdate> pending_updates_;
+  mutable std::mutex mu_;
+  std::unordered_map<UAdd, DbRecord> db_;
+  std::uint64_t next_uadd_ = kFirstDynamicUAdd;
+  std::uint64_t next_seq_ = 1;
+  Stats stats_;
+  std::jthread server_;
+  bool running_ = false;
+};
+
+}  // namespace ntcs::core

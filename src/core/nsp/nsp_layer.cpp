@@ -1,0 +1,119 @@
+#include "core/nsp/nsp_layer.h"
+
+namespace ntcs::core {
+
+NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
+                   std::chrono::nanoseconds request_timeout)
+    : lcm_(lcm),
+      identity_(std::move(identity)),
+      timeout_(request_timeout),
+      log_("nsp", identity_->name()) {}
+
+ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.queries;
+  }
+  // Packed-mode characters are representation-free, so the body needs no
+  // pack routine; internal = no monitoring/time recursion on NSP traffic.
+  SendOptions opts;
+  opts.internal = true;
+  opts.timeout = timeout_;
+  auto reply =
+      lcm_.request(kNameServerUAdd, Payload::raw(std::move(request_body)),
+                   opts);
+  if (!reply) {
+    std::lock_guard lk(mu_);
+    ++stats_.failures;
+    return reply.error();
+  }
+  return std::move(reply.value().payload);
+}
+
+ntcs::Result<UAdd> NspLayer::register_module(const RegistrationInfo& info) {
+  nsp::RegisterRequest req;
+  req.name = info.name_override.empty() ? identity_->name()
+                                        : info.name_override;
+  req.attrs = info.attrs;
+  req.phys = identity_->phys().blob;
+  req.net = identity_->net();
+  req.arch = convert::arch_wire_id(identity_->arch());
+  req.requested_uadd = info.requested_uadd;
+  req.is_gateway = info.is_gateway;
+  for (const NetName& n : info.gw_nets) req.gw_nets.push_back(n);
+  for (const PhysAddr& p : info.gw_phys) req.gw_phys.push_back(p.blob);
+
+  auto body = call(nsp::encode_register(req));
+  if (!body) return body.error();
+  auto uadd = nsp::decode_uadd_response(body.value());
+  if (!uadd) return uadd.error();
+  // The TAdd has served its purpose; from now on every message carries the
+  // real UAdd and peers purge the TAdd from their tables (§3.4).
+  identity_->set_uadd(uadd.value());
+  log_.info("registered as " + uadd.value().to_string());
+  return uadd;
+}
+
+ntcs::Result<UAdd> NspLayer::lookup(const std::string& name) {
+  auto body = call(nsp::encode_lookup(name));
+  if (!body) return body.error();
+  return nsp::decode_uadd_response(body.value());
+}
+
+ntcs::Result<std::vector<UAdd>> NspLayer::lookup_attrs(
+    const nsp::AttrMap& attrs) {
+  auto body = call(nsp::encode_lookup_attrs(attrs));
+  if (!body) return body.error();
+  return nsp::decode_uadds_response(body.value());
+}
+
+ntcs::Result<ResolveInfo> NspLayer::resolve_info(UAdd uadd) {
+  auto body = call(nsp::encode_resolve(uadd));
+  if (!body) return body.error();
+  auto resp = nsp::decode_resolve_response(body.value());
+  if (!resp) return resp.error();
+  ResolveInfo out;
+  out.name = std::move(resp.value().name);
+  out.phys = PhysAddr{std::move(resp.value().phys)};
+  out.net = std::move(resp.value().net);
+  out.arch = convert::arch_from_wire_id(resp.value().arch)
+                 .value_or(convert::Arch::vax780);
+  return out;
+}
+
+ntcs::Result<std::vector<GatewayRecord>> NspLayer::gateways() {
+  auto body = call(nsp::encode_gateways());
+  if (!body) return body.error();
+  return nsp::decode_gateways_response(body.value());
+}
+
+ntcs::Status NspLayer::deregister(UAdd uadd) {
+  auto body = call(nsp::encode_deregister(uadd));
+  if (!body) return body.error();
+  return nsp::decode_ok_response(body.value());
+}
+
+ntcs::Status NspLayer::ping() {
+  auto body = call(nsp::encode_ping());
+  if (!body) return body.error();
+  return nsp::decode_ok_response(body.value());
+}
+
+ntcs::Result<ResolvedDest> NspLayer::resolve(UAdd uadd) {
+  auto info = resolve_info(uadd);
+  if (!info) return info.error();
+  return ResolvedDest{uadd, info.value().phys, info.value().net};
+}
+
+ntcs::Result<UAdd> NspLayer::forward(UAdd old_uadd) {
+  auto body = call(nsp::encode_forward(old_uadd));
+  if (!body) return body.error();
+  return nsp::decode_uadd_response(body.value());
+}
+
+NspLayer::Stats NspLayer::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,92 @@
+// nsp_layer.h — the Name Service Protocol Layer (paper §2.4, §3).
+//
+// "The NSP-Layer is the single naming service access point for all layers
+// within the ComMod. Its purpose is to fully isolate the ComMod from the
+// naming service implementation." It talks to the Name Server module over
+// the very Nucleus it serves — the central recursion of the paper (§3.1):
+// every call here is an ordinary LCM request to the well-known Name Server
+// UAdd, flagged internal so it is never monitored or time-stamped.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "convert/machine.h"
+#include "core/lcm/lcm_layer.h"
+#include "core/nsp/protocol.h"
+
+namespace ntcs::core {
+
+/// Full resolution record (name + location + machine type) for one UAdd.
+struct ResolveInfo {
+  std::string name;
+  PhysAddr phys;
+  NetName net;
+  convert::Arch arch = convert::Arch::vax780;
+};
+
+/// Registration parameters beyond what Identity already carries.
+struct RegistrationInfo {
+  nsp::AttrMap attrs;
+  /// Register under this logical name instead of the Identity's (used by
+  /// Gateway modules, whose per-network attachment ComMods carry derived
+  /// names but whose registry entry is the gateway itself).
+  std::string name_override;
+  std::uint64_t requested_uadd = 0;  // for well-known modules only
+  bool is_gateway = false;
+  std::vector<NetName> gw_nets;
+  std::vector<PhysAddr> gw_phys;
+};
+
+class NspLayer : public Resolver {
+ public:
+  NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
+           std::chrono::nanoseconds request_timeout =
+               std::chrono::seconds(5));
+
+  /// Register this module (paper §3.2): ships the logical name, attribute
+  /// set, uninterpreted physical address and logical network id; on success
+  /// updates the module Identity from its TAdd to the assigned UAdd —
+  /// after which the TAdd is purged from peers' tables within two
+  /// exchanges (§3.4).
+  ntcs::Result<UAdd> register_module(const RegistrationInfo& info);
+
+  /// Resource-location: logical name -> UAdd.
+  ntcs::Result<UAdd> lookup(const std::string& name);
+
+  /// Attribute-value naming (§7 extension): all matching modules.
+  ntcs::Result<std::vector<UAdd>> lookup_attrs(const nsp::AttrMap& attrs);
+
+  /// UAdd -> everything the naming service holds about it.
+  ntcs::Result<ResolveInfo> resolve_info(UAdd uadd);
+
+  /// The gateway/topology registry (§4.1, used by the IP-Layer).
+  ntcs::Result<std::vector<GatewayRecord>> gateways();
+
+  ntcs::Status deregister(UAdd uadd);
+  ntcs::Status ping();
+
+  // --- Resolver (the LCM-Layer's upcalls; §3.5) --------------------------
+  ntcs::Result<ResolvedDest> resolve(UAdd uadd) override;
+  ntcs::Result<UAdd> forward(UAdd old_uadd) override;
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t failures = 0;
+  };
+  Stats stats() const;
+
+ private:
+  ntcs::Result<ntcs::Bytes> call(ntcs::Bytes request_body);
+
+  LcmLayer& lcm_;
+  std::shared_ptr<Identity> identity_;
+  std::chrono::nanoseconds timeout_;
+  ntcs::LayerLog log_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace ntcs::core

@@ -1,0 +1,375 @@
+#include "core/nsp/protocol.h"
+
+#include "convert/packed.h"
+
+namespace ntcs::core::nsp {
+
+using convert::Packer;
+using convert::Unpacker;
+
+namespace {
+
+void put_attrs(Packer& p, const AttrMap& attrs) {
+  p.put_u64(attrs.size());
+  for (const auto& [k, v] : attrs) {
+    p.put_string(k);
+    p.put_string(v);
+  }
+}
+
+ntcs::Result<AttrMap> get_attrs(Unpacker& u) {
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > 1024) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd attribute count");
+  }
+  AttrMap attrs;
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto k = u.get_string();
+    if (!k) return k.error();
+    auto v = u.get_string();
+    if (!v) return v.error();
+    attrs.emplace(std::move(k.value()), std::move(v.value()));
+  }
+  return attrs;
+}
+
+void put_strings(Packer& p, const std::vector<std::string>& v) {
+  p.put_u64(v.size());
+  for (const auto& s : v) p.put_string(s);
+}
+
+ntcs::Result<std::vector<std::string>> get_strings(Unpacker& u) {
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > 1024) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd string count");
+  }
+  std::vector<std::string> v;
+  v.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto s = u.get_string();
+    if (!s) return s.error();
+    v.push_back(std::move(s.value()));
+  }
+  return v;
+}
+
+Packer request_prologue(NsOp op) {
+  Packer p;
+  p.put_u64(static_cast<std::uint64_t>(op));
+  return p;
+}
+
+/// Responses: status envelope first.
+Packer ok_prologue() {
+  Packer p;
+  p.put_u64(static_cast<std::uint64_t>(ntcs::Errc::ok));
+  p.put_string("");
+  return p;
+}
+
+/// Consume the status envelope; empty optional = success.
+std::optional<ntcs::Error> check_status(Unpacker& u) {
+  auto code = u.get_u64();
+  if (!code) return code.error();
+  auto text = u.get_string();
+  if (!text) return text.error();
+  if (code.value() == static_cast<std::uint64_t>(ntcs::Errc::ok)) {
+    return std::nullopt;
+  }
+  return ntcs::Error(static_cast<ntcs::Errc>(code.value()), text.value());
+}
+
+}  // namespace
+
+namespace {
+
+void put_register_body(Packer& p, const RegisterRequest& r) {
+  p.put_string(r.name);
+  put_attrs(p, r.attrs);
+  p.put_string(r.phys);
+  p.put_string(r.net);
+  p.put_u64(r.arch);
+  p.put_u64(r.requested_uadd);
+  p.put_bool(r.is_gateway);
+  put_strings(p, r.gw_nets);
+  put_strings(p, r.gw_phys);
+}
+
+ntcs::Result<RegisterRequest> get_register_body(Unpacker& u) {
+  RegisterRequest reg;
+  auto name = u.get_string();
+  if (!name) return name.error();
+  reg.name = std::move(name.value());
+  auto attrs = get_attrs(u);
+  if (!attrs) return attrs.error();
+  reg.attrs = std::move(attrs.value());
+  auto phys = u.get_string();
+  if (!phys) return phys.error();
+  reg.phys = std::move(phys.value());
+  auto net = u.get_string();
+  if (!net) return net.error();
+  reg.net = std::move(net.value());
+  auto arch = u.get_u64();
+  if (!arch) return arch.error();
+  reg.arch = static_cast<std::uint32_t>(arch.value());
+  auto requested = u.get_u64();
+  if (!requested) return requested.error();
+  reg.requested_uadd = requested.value();
+  auto is_gw = u.get_bool();
+  if (!is_gw) return is_gw.error();
+  reg.is_gateway = is_gw.value();
+  auto nets = get_strings(u);
+  if (!nets) return nets.error();
+  reg.gw_nets = std::move(nets.value());
+  auto phys_list = get_strings(u);
+  if (!phys_list) return phys_list.error();
+  reg.gw_phys = std::move(phys_list.value());
+  return reg;
+}
+
+}  // namespace
+
+ntcs::Bytes encode_register(const RegisterRequest& r) {
+  Packer p = request_prologue(NsOp::register_module);
+  put_register_body(p, r);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_replicate(const ReplicaUpdate& u) {
+  Packer p = request_prologue(NsOp::replicate);
+  put_register_body(p, u.reg);
+  p.put_u64(u.uadd_raw);
+  p.put_u64(u.seq);
+  p.put_bool(u.deregistered);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_lookup(const std::string& name) {
+  Packer p = request_prologue(NsOp::lookup);
+  p.put_string(name);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_lookup_attrs(const AttrMap& attrs) {
+  Packer p = request_prologue(NsOp::lookup_attrs);
+  put_attrs(p, attrs);
+  return std::move(p).take();
+}
+
+namespace {
+ntcs::Bytes encode_uadd_request(NsOp op, UAdd uadd) {
+  Packer p = request_prologue(op);
+  p.put_u64(uadd.raw());
+  return std::move(p).take();
+}
+}  // namespace
+
+ntcs::Bytes encode_resolve(UAdd uadd) {
+  return encode_uadd_request(NsOp::resolve, uadd);
+}
+ntcs::Bytes encode_forward(UAdd old_uadd) {
+  return encode_uadd_request(NsOp::forward, old_uadd);
+}
+ntcs::Bytes encode_deregister(UAdd uadd) {
+  return encode_uadd_request(NsOp::deregister, uadd);
+}
+
+ntcs::Bytes encode_gateways() {
+  return std::move(request_prologue(NsOp::gateways)).take();
+}
+ntcs::Bytes encode_ping() {
+  return std::move(request_prologue(NsOp::ping)).take();
+}
+
+ntcs::Result<Request> decode_request(ntcs::BytesView body) {
+  Unpacker u(body);
+  auto op = u.get_u64();
+  if (!op) return op.error();
+  Request req;
+  req.op = static_cast<NsOp>(op.value());
+  switch (req.op) {
+    case NsOp::register_module: {
+      auto reg = get_register_body(u);
+      if (!reg) return reg.error();
+      req.reg = std::move(reg.value());
+      return req;
+    }
+    case NsOp::replicate: {
+      auto reg = get_register_body(u);
+      if (!reg) return reg.error();
+      req.update.reg = std::move(reg.value());
+      auto uadd = u.get_u64();
+      if (!uadd) return uadd.error();
+      req.update.uadd_raw = uadd.value();
+      auto seq = u.get_u64();
+      if (!seq) return seq.error();
+      req.update.seq = seq.value();
+      auto dereg = u.get_bool();
+      if (!dereg) return dereg.error();
+      req.update.deregistered = dereg.value();
+      return req;
+    }
+    case NsOp::lookup: {
+      auto name = u.get_string();
+      if (!name) return name.error();
+      req.name = std::move(name.value());
+      return req;
+    }
+    case NsOp::lookup_attrs: {
+      auto attrs = get_attrs(u);
+      if (!attrs) return attrs.error();
+      req.attrs = std::move(attrs.value());
+      return req;
+    }
+    case NsOp::resolve:
+    case NsOp::forward:
+    case NsOp::deregister: {
+      auto uadd = u.get_u64();
+      if (!uadd) return uadd.error();
+      req.uadd_raw = uadd.value();
+      return req;
+    }
+    case NsOp::gateways:
+    case NsOp::ping:
+      return req;
+  }
+  return ntcs::Error(ntcs::Errc::bad_message, "unknown NSP op");
+}
+
+ntcs::Bytes encode_error_response(ntcs::Errc code, const std::string& text) {
+  Packer p;
+  p.put_u64(static_cast<std::uint64_t>(code));
+  p.put_string(text);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_uadd_response(UAdd uadd) {
+  Packer p = ok_prologue();
+  p.put_u64(uadd.raw());
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_uadds_response(const std::vector<UAdd>& uadds) {
+  Packer p = ok_prologue();
+  p.put_u64(uadds.size());
+  for (UAdd u : uadds) p.put_u64(u.raw());
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_resolve_response(const ResolveResponse& r) {
+  Packer p = ok_prologue();
+  p.put_string(r.name);
+  p.put_string(r.phys);
+  p.put_string(r.net);
+  p.put_u64(r.arch);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_gateways_response(const std::vector<GatewayRecord>& gws) {
+  Packer p = ok_prologue();
+  p.put_u64(gws.size());
+  for (const GatewayRecord& g : gws) {
+    p.put_u64(g.uadd.raw());
+    p.put_string(g.name);
+    p.put_u64(g.nets.size());
+    for (std::size_t i = 0; i < g.nets.size(); ++i) {
+      p.put_string(g.nets[i]);
+      p.put_string(g.phys[i].blob);
+    }
+  }
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_ok_response() { return std::move(ok_prologue()).take(); }
+
+ntcs::Result<UAdd> decode_uadd_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  auto raw = u.get_u64();
+  if (!raw) return raw.error();
+  return UAdd::from_raw(raw.value());
+}
+
+ntcs::Result<std::vector<UAdd>> decode_uadds_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > 100000) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd UAdd count");
+  }
+  std::vector<UAdd> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto raw = u.get_u64();
+    if (!raw) return raw.error();
+    out.push_back(UAdd::from_raw(raw.value()));
+  }
+  return out;
+}
+
+ntcs::Result<ResolveResponse> decode_resolve_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  ResolveResponse r;
+  auto name = u.get_string();
+  if (!name) return name.error();
+  r.name = std::move(name.value());
+  auto phys = u.get_string();
+  if (!phys) return phys.error();
+  r.phys = std::move(phys.value());
+  auto net = u.get_string();
+  if (!net) return net.error();
+  r.net = std::move(net.value());
+  auto arch = u.get_u64();
+  if (!arch) return arch.error();
+  r.arch = static_cast<std::uint32_t>(arch.value());
+  return r;
+}
+
+ntcs::Result<std::vector<GatewayRecord>> decode_gateways_response(
+    ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > 10000) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd gateway count");
+  }
+  std::vector<GatewayRecord> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    GatewayRecord g;
+    auto raw = u.get_u64();
+    if (!raw) return raw.error();
+    g.uadd = UAdd::from_raw(raw.value());
+    auto name = u.get_string();
+    if (!name) return name.error();
+    g.name = std::move(name.value());
+    auto nn = u.get_u64();
+    if (!nn) return nn.error();
+    if (nn.value() > 64) {
+      return ntcs::Error(ntcs::Errc::bad_message, "absurd net count");
+    }
+    for (std::uint64_t j = 0; j < nn.value(); ++j) {
+      auto net = u.get_string();
+      if (!net) return net.error();
+      auto phys = u.get_string();
+      if (!phys) return phys.error();
+      g.nets.push_back(std::move(net.value()));
+      g.phys.push_back(PhysAddr{std::move(phys.value())});
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+ntcs::Status decode_ok_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  return ntcs::Status::success();
+}
+
+}  // namespace ntcs::core::nsp

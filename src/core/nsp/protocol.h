@@ -1,0 +1,108 @@
+// protocol.h — the Name Service Protocol messages (paper §3).
+//
+// NSP requests and responses travel as ordinary NTCS messages in packed
+// mode (character transport format, §5.1) — the naming service "is nothing
+// more than an application built on the Nucleus". The envelope of every
+// response is a status (Errc + text) followed by an op-specific body.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "convert/machine.h"
+#include "core/addr.h"
+#include "core/ip/ip_layer.h"
+
+namespace ntcs::core::nsp {
+
+enum class NsOp : std::uint64_t {
+  register_module = 1,
+  lookup = 2,
+  lookup_attrs = 3,
+  resolve = 4,
+  forward = 5,
+  gateways = 6,
+  deregister = 7,
+  ping = 8,
+  /// Primary -> replica state transfer (§7 replication extension): one
+  /// full database record, sent as an internal datagram.
+  replicate = 9,
+};
+
+/// Attribute set for the attribute-value naming scheme (the paper's §7
+/// successor to plain string names; plain names are the attribute "name").
+using AttrMap = std::map<std::string, std::string>;
+
+struct RegisterRequest {
+  std::string name;
+  AttrMap attrs;
+  std::string phys;  // uninterpreted (§3.2)
+  std::string net;   // logical network identifier
+  std::uint32_t arch = 0;
+  std::uint64_t requested_uadd = 0;  // nonzero: well-known (NS, prime gws)
+  bool is_gateway = false;
+  std::vector<std::string> gw_nets;
+  std::vector<std::string> gw_phys;
+};
+
+struct ResolveResponse {
+  std::string name;
+  std::string phys;
+  std::string net;
+  std::uint32_t arch = 0;
+};
+
+/// One replicated database record (NsOp::replicate).
+struct ReplicaUpdate {
+  RegisterRequest reg;  // the record's registration fields
+  std::uint64_t uadd_raw = 0;
+  std::uint64_t seq = 0;
+  bool deregistered = false;
+};
+
+/// A decoded request (the op plus whichever body applies).
+struct Request {
+  NsOp op;
+  RegisterRequest reg;          // register_module
+  std::string name;             // lookup
+  AttrMap attrs;                // lookup_attrs
+  std::uint64_t uadd_raw = 0;   // resolve / forward / deregister
+  ReplicaUpdate update;         // replicate
+};
+
+ntcs::Bytes encode_register(const RegisterRequest& r);
+ntcs::Bytes encode_lookup(const std::string& name);
+ntcs::Bytes encode_lookup_attrs(const AttrMap& attrs);
+ntcs::Bytes encode_resolve(UAdd uadd);
+ntcs::Bytes encode_forward(UAdd old_uadd);
+ntcs::Bytes encode_gateways();
+ntcs::Bytes encode_deregister(UAdd uadd);
+ntcs::Bytes encode_ping();
+ntcs::Bytes encode_replicate(const ReplicaUpdate& u);
+
+ntcs::Result<Request> decode_request(ntcs::BytesView body);
+
+// ---- responses ------------------------------------------------------------
+
+ntcs::Bytes encode_error_response(ntcs::Errc code, const std::string& text);
+ntcs::Bytes encode_uadd_response(UAdd uadd);  // register/lookup/forward
+ntcs::Bytes encode_uadds_response(const std::vector<UAdd>& uadds);
+ntcs::Bytes encode_resolve_response(const ResolveResponse& r);
+ntcs::Bytes encode_gateways_response(const std::vector<GatewayRecord>& gws);
+ntcs::Bytes encode_ok_response();  // deregister/ping
+
+/// Check the status envelope; on failure returns the carried error, on
+/// success returns the body offset for the op-specific decoder.
+ntcs::Result<UAdd> decode_uadd_response(ntcs::BytesView body);
+ntcs::Result<std::vector<UAdd>> decode_uadds_response(ntcs::BytesView body);
+ntcs::Result<ResolveResponse> decode_resolve_response(ntcs::BytesView body);
+ntcs::Result<std::vector<GatewayRecord>> decode_gateways_response(
+    ntcs::BytesView body);
+ntcs::Status decode_ok_response(ntcs::BytesView body);
+
+}  // namespace ntcs::core::nsp

@@ -1,0 +1,60 @@
+#include "core/nsp/static_resolver.h"
+
+#include "core/node.h"
+
+namespace ntcs::core {
+
+void StaticNameService::add(const std::string& name, UAdd uadd, PhysAddr phys,
+                            NetName net) {
+  std::lock_guard lk(mu_);
+  entries_[uadd] = Entry{name, ResolvedDest{uadd, std::move(phys),
+                                            std::move(net)}};
+}
+
+void StaticNameService::add_gateway(GatewayRecord gw) {
+  std::lock_guard lk(mu_);
+  gateways_.push_back(std::move(gw));
+}
+
+ntcs::Result<UAdd> StaticNameService::lookup(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [uadd, entry] : entries_) {
+    if (entry.name == name) return uadd;
+  }
+  return ntcs::Error(ntcs::Errc::not_found,
+                     "no static entry named '" + name + "'");
+}
+
+ntcs::Result<std::vector<GatewayRecord>> StaticNameService::gateways() const {
+  std::lock_guard lk(mu_);
+  return gateways_;
+}
+
+ntcs::Result<ResolvedDest> StaticNameService::resolve(UAdd uadd) {
+  std::lock_guard lk(mu_);
+  auto it = entries_.find(uadd);
+  if (it == entries_.end()) {
+    return ntcs::Error(ntcs::Errc::not_found,
+                       "no static entry for " + uadd.to_string());
+  }
+  return it->second.dest;
+}
+
+ntcs::Result<UAdd> StaticNameService::forward(UAdd old_uadd) {
+  // A static scheme has no notion of newer generations.
+  return ntcs::Error(ntcs::Errc::not_found,
+                     "static naming has no forwarding for " +
+                         old_uadd.to_string());
+}
+
+std::size_t StaticNameService::size() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+void use_static_naming(Node& node, StaticNameService& svc) {
+  node.lcm().set_resolver(&svc);
+  node.ip().set_topology_source([&svc] { return svc.gateways(); });
+}
+
+}  // namespace ntcs::core

@@ -1,0 +1,60 @@
+// static_resolver.h — a second naming-service implementation (paper §3).
+//
+// "Currently, the NSP-Layer communicates with a single Name Server module
+// ... However, other implementations are certainly possible, with no
+// direct impact on the NTCS. ... the naming service implementation can be
+// changed independently of the basic communication system."
+//
+// This is that claim made executable: a purely local, static name table
+// for fixed deployments — no Name Server module, no naming traffic at all.
+// It plugs into the very interfaces the dynamic service uses (the
+// LCM-Layer's Resolver and the IP-Layer's topology source), so the entire
+// Nucleus runs unchanged. Dynamic reconfiguration is naturally unavailable
+// (forward() has nothing to consult) — the price of a static scheme.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "core/lcm/lcm_layer.h"
+
+namespace ntcs::core {
+
+class Node;
+
+class StaticNameService : public Resolver {
+ public:
+  /// Register a module's full record (the deployer plays Name Server).
+  void add(const std::string& name, UAdd uadd, PhysAddr phys, NetName net);
+
+  /// Register a gateway for topology queries.
+  void add_gateway(GatewayRecord gw);
+
+  /// Logical name -> UAdd (local table lookup; no communication).
+  ntcs::Result<UAdd> lookup(const std::string& name) const;
+
+  ntcs::Result<std::vector<GatewayRecord>> gateways() const;
+
+  // --- Resolver -----------------------------------------------------------
+  ntcs::Result<ResolvedDest> resolve(UAdd uadd) override;
+  ntcs::Result<UAdd> forward(UAdd old_uadd) override;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    ResolvedDest dest;
+  };
+
+  mutable std::mutex mu_;
+  std::map<UAdd, Entry> entries_;
+  std::vector<GatewayRecord> gateways_;
+};
+
+/// Wire a node to a static naming service instead of the NSP/Name-Server
+/// pair: resolver and topology source both point at the table. The service
+/// must outlive the node.
+void use_static_naming(Node& node, StaticNameService& svc);
+
+}  // namespace ntcs::core

@@ -1,0 +1,159 @@
+#include "core/testbed.h"
+
+namespace ntcs::core {
+
+Testbed::Testbed(std::uint64_t seed) : fabric_(seed) {}
+
+Testbed::~Testbed() {
+  // Modules created through make_node/spawn_module are owned by callers and
+  // must already be gone; tear down infrastructure in reverse order.
+  for (auto& gw : gateways_) gw->stop();
+  for (auto& rep : ns_replicas_) rep->stop();
+  if (ns_) ns_->stop();
+}
+
+simnet::NetworkId Testbed::net(const std::string& name,
+                               simnet::NetConfig cfg) {
+  auto it = nets_.find(name);
+  if (it != nets_.end()) return it->second;
+  const simnet::NetworkId id = fabric_.add_network(name, cfg);
+  nets_[name] = id;
+  return id;
+}
+
+simnet::MachineId Testbed::machine(const std::string& name,
+                                   convert::Arch arch,
+                                   const std::vector<std::string>& nets) {
+  auto it = machines_.find(name);
+  if (it != machines_.end()) return it->second;
+  std::vector<simnet::NetworkId> ids;
+  ids.reserve(nets.size());
+  for (const std::string& n : nets) ids.push_back(net(n));
+  const simnet::MachineId id = fabric_.add_machine(name, arch, ids);
+  machines_[name] = id;
+  return id;
+}
+
+simnet::MachineId Testbed::machine_id(const std::string& name) const {
+  return machines_.at(name);
+}
+
+ntcs::Status Testbed::start_name_server(const std::string& machine_name,
+                                        const std::string& net_name,
+                                        simnet::IpcsKind ipcs) {
+  NodeConfig cfg;
+  cfg.name = "name-server";
+  cfg.machine = machines_.at(machine_name);
+  cfg.ipcs = ipcs;
+  cfg.net = net_name;
+  ns_ = std::make_unique<NameServer>(fabric_, cfg);
+  auto st = ns_->start();
+  if (!st.ok()) return st;
+  wk_.name_server_phys = ns_->phys();
+  wk_.name_server_net = net_name;
+  return ntcs::Status::success();
+}
+
+ntcs::Status Testbed::add_name_server_replica(const std::string& machine_name,
+                                              const std::string& net_name,
+                                              simnet::IpcsKind ipcs) {
+  if (!ns_) {
+    return ntcs::Status(ntcs::Errc::bad_argument,
+                        "start the primary name server first");
+  }
+  NodeConfig cfg;
+  cfg.machine = machines_.at(machine_name);
+  cfg.ipcs = ipcs;
+  cfg.net = net_name;
+  auto rep = std::make_unique<NameServer>(fabric_, cfg, NsRole::replica);
+  if (auto st = rep->start(); !st.ok()) return st;
+  ns_replicas_.push_back(std::move(rep));
+  return ntcs::Status::success();
+}
+
+ntcs::Result<Gateway*> Testbed::add_gateway(
+    const std::string& name,
+    const std::vector<Gateway::Attachment>& attachments) {
+  auto gw = std::make_unique<Gateway>(
+      fabric_, name, attachments,
+      UAdd::permanent(next_prime_uadd_++));
+  if (auto st = gw->start(); !st.ok()) return st.error();
+  gateways_.push_back(std::move(gw));
+  return gateways_.back().get();
+}
+
+ntcs::Result<Gateway*> Testbed::add_gateway(const std::string& name,
+                                            const std::string& machine_name,
+                                            const std::vector<std::string>& nets,
+                                            simnet::IpcsKind ipcs) {
+  std::vector<Gateway::Attachment> atts;
+  for (const std::string& n : nets) {
+    Gateway::Attachment a;
+    a.machine = machines_.at(machine_name);
+    a.ipcs = ipcs;
+    a.net = n;
+    atts.push_back(std::move(a));
+  }
+  return add_gateway(name, atts);
+}
+
+ntcs::Status Testbed::finalize() {
+  if (finalized_) return ntcs::Status::success();
+  if (!ns_) {
+    return ntcs::Status(ntcs::Errc::bad_argument, "no name server started");
+  }
+  wk_.prime_gateways.clear();
+  for (const auto& gw : gateways_) {
+    wk_.prime_gateways.push_back(gw->prime_info());
+  }
+  wk_.name_server_replicas.clear();
+  for (const auto& rep : ns_replicas_) {
+    wk_.name_server_replicas.push_back(
+        NsReplicaInfo{rep->phys(), rep->net()});
+  }
+  ns_->node().install_well_known(wk_);
+  for (auto& rep : ns_replicas_) {
+    rep->node().install_well_known(wk_);
+    if (auto st = ns_->add_replica(NsReplicaInfo{rep->phys(), rep->net()});
+        !st.ok()) {
+      return st;
+    }
+  }
+  for (auto& gw : gateways_) {
+    if (auto st = gw->register_with_ns(wk_); !st.ok()) return st;
+  }
+  finalized_ = true;
+  return ntcs::Status::success();
+}
+
+ntcs::Result<std::unique_ptr<Node>> Testbed::make_node(
+    const std::string& name, const std::string& machine_name,
+    const std::string& net_name, simnet::IpcsKind ipcs) {
+  auto mit = machines_.find(machine_name);
+  if (mit == machines_.end()) {
+    return ntcs::Error(ntcs::Errc::bad_argument,
+                       "no machine named '" + machine_name + "'");
+  }
+  NodeConfig cfg;
+  cfg.name = name;
+  cfg.machine = mit->second;
+  cfg.ipcs = ipcs;
+  cfg.net = net_name;
+  cfg.well_known = wk_;
+  auto node = std::make_unique<Node>(fabric_, cfg);
+  if (auto st = node->start(); !st.ok()) return st.error();
+  return node;
+}
+
+ntcs::Result<std::unique_ptr<Node>> Testbed::spawn_module(
+    const std::string& name, const std::string& machine_name,
+    const std::string& net_name, const nsp::AttrMap& attrs,
+    simnet::IpcsKind ipcs) {
+  auto node = make_node(name, machine_name, net_name, ipcs);
+  if (!node) return node.error();
+  auto uadd = node.value()->commod().register_self(attrs);
+  if (!uadd) return uadd.error();
+  return node;
+}
+
+}  // namespace ntcs::core

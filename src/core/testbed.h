@@ -1,0 +1,107 @@
+// testbed.h — convenience assembly of complete NTCS systems.
+//
+// The paper's deployments (three generations of URSA systems on Apollo,
+// VAX and Sun machines across TCP and MBX) all follow the same bring-up
+// order, which this helper encodes:
+//
+//   1. build the simulated fabric (networks, machines);
+//   2. start the Name Server (it owns well-known UAdd 1);
+//   3. start prime gateways (well-known UAdds from 2);
+//   4. finalize(): assemble the well-known address table, hand it to the
+//      Name Server and gateways, and register the gateways;
+//   5. spawn application modules, each of which registers itself.
+//
+// Used by tests, benches and the examples; applications embedding the NTCS
+// can do all of this by hand with Node/NameServer/Gateway directly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ip/gateway.h"
+#include "core/node.h"
+#include "core/nsp/name_server.h"
+
+namespace ntcs::core {
+
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed = 1);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  simnet::Fabric& fabric() { return fabric_; }
+
+  /// Create (or fetch) a named network.
+  simnet::NetworkId net(const std::string& name, simnet::NetConfig cfg = {});
+
+  /// Create a named machine attached to the given networks.
+  simnet::MachineId machine(const std::string& name, convert::Arch arch,
+                            const std::vector<std::string>& nets);
+
+  /// Start the Name Server on a machine (step 2).
+  ntcs::Status start_name_server(const std::string& machine_name,
+                                 const std::string& net_name,
+                                 simnet::IpcsKind ipcs =
+                                     simnet::IpcsKind::tcp);
+
+  /// Start a Name Server replica (§7 replication extension). The primary
+  /// must already be running; finalize() wires the replication link and
+  /// adds the replica to every module's well-known failover list.
+  ntcs::Status add_name_server_replica(const std::string& machine_name,
+                                       const std::string& net_name,
+                                       simnet::IpcsKind ipcs =
+                                           simnet::IpcsKind::tcp);
+
+  /// Start a prime gateway spanning the given (machine, net, ipcs)
+  /// attachments (step 3). Prime UAdds are assigned sequentially.
+  ntcs::Result<Gateway*> add_gateway(
+      const std::string& name,
+      const std::vector<Gateway::Attachment>& attachments);
+  ntcs::Result<Gateway*> add_gateway(
+      const std::string& name, const std::string& machine_name,
+      const std::vector<std::string>& nets,
+      simnet::IpcsKind ipcs = simnet::IpcsKind::tcp);
+
+  /// Step 4: build the well-known table and register the gateways.
+  ntcs::Status finalize();
+
+  const WellKnownTable& well_known() const { return wk_; }
+  NameServer& name_server() { return *ns_; }
+  bool has_name_server() const { return ns_ != nullptr; }
+  std::size_t replica_count() const { return ns_replicas_.size(); }
+  NameServer& replica(std::size_t i) { return *ns_replicas_.at(i); }
+  std::size_t gateway_count() const { return gateways_.size(); }
+  Gateway& gateway(std::size_t i) { return *gateways_.at(i); }
+
+  /// Step 5: a started (but not yet registered) module node.
+  ntcs::Result<std::unique_ptr<Node>> make_node(
+      const std::string& name, const std::string& machine_name,
+      const std::string& net_name,
+      simnet::IpcsKind ipcs = simnet::IpcsKind::tcp);
+
+  /// A started *and registered* module node.
+  ntcs::Result<std::unique_ptr<Node>> spawn_module(
+      const std::string& name, const std::string& machine_name,
+      const std::string& net_name, const nsp::AttrMap& attrs = {},
+      simnet::IpcsKind ipcs = simnet::IpcsKind::tcp);
+
+  simnet::MachineId machine_id(const std::string& name) const;
+
+ private:
+  simnet::Fabric fabric_;
+  std::map<std::string, simnet::NetworkId> nets_;
+  std::map<std::string, simnet::MachineId> machines_;
+  std::unique_ptr<NameServer> ns_;
+  std::vector<std::unique_ptr<NameServer>> ns_replicas_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+  WellKnownTable wk_;
+  std::uint64_t next_prime_uadd_ = kFirstPrimeGatewayUAdd;
+  bool finalized_ = false;
+};
+
+}  // namespace ntcs::core

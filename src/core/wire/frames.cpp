@@ -1,0 +1,316 @@
+#include "core/wire/frames.h"
+
+#include "convert/shift.h"
+
+namespace ntcs::core::wire {
+
+using convert::ShiftReader;
+using convert::ShiftWriter;
+
+namespace {
+
+constexpr std::uint32_t kFragMoreBit = 1u << 31;
+constexpr std::uint32_t kFragLenMask = 0x00FFFFFFu;
+
+void put_string(ShiftWriter& w, std::string_view s) {
+  w.put_u32(static_cast<std::uint32_t>(s.size()));
+  w.put_raw(s);
+}
+
+ntcs::Result<std::string> get_string(ShiftReader& r) {
+  auto len = r.get_u32();
+  if (!len) return len.error();
+  return r.get_raw_string(len.value());
+}
+
+/// Common prologue of every ND message.
+ntcs::Bytes nd_prologue(NdKind kind) {
+  ntcs::Bytes out;
+  ShiftWriter w(out);
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_u32(static_cast<std::uint32_t>(kind));
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- fragments
+
+std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len) {
+  return (more ? kFragMoreBit : 0u) | (chunk_len & kFragLenMask);
+}
+
+bool frag_more(std::uint32_t word) { return (word & kFragMoreBit) != 0; }
+
+std::uint32_t frag_len(std::uint32_t word) { return word & kFragLenMask; }
+
+std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu) {
+  std::vector<ntcs::Bytes> frames;
+  const std::size_t chunk_max = mtu > 4 ? mtu - 4 : 1;
+  std::size_t off = 0;
+  do {
+    const std::size_t n =
+        msg.size() - off < chunk_max ? msg.size() - off : chunk_max;
+    const bool more = off + n < msg.size();
+    ntcs::Bytes frame;
+    frame.reserve(n + 4);
+    ShiftWriter w(frame);
+    w.put_u32(make_frag_word(more, static_cast<std::uint32_t>(n)));
+    w.put_raw(msg.subspan(off, n));
+    frames.push_back(std::move(frame));
+    off += n;
+  } while (off < msg.size());
+  return frames;
+}
+
+ntcs::Result<bool> Reassembler::feed(ntcs::BytesView frame) {
+  ShiftReader r(frame);
+  auto word = r.get_u32();
+  if (!word) return word.error();
+  const std::uint32_t len = frag_len(word.value());
+  if (r.remaining() != len) {
+    return ntcs::Error(ntcs::Errc::bad_message,
+                       "fragment length mismatches frame size");
+  }
+  ntcs::append(acc_, r.rest());
+  return !frag_more(word.value());
+}
+
+ntcs::Bytes Reassembler::take() {
+  ntcs::Bytes out;
+  out.swap(acc_);
+  return out;
+}
+
+// ---------------------------------------------------------------- ND layer
+
+ntcs::Bytes encode_nd_open(const NdOpen& m) {
+  ntcs::Bytes out = nd_prologue(NdKind::open);
+  ShiftWriter w(out);
+  w.put_u64(m.src_uadd.raw());
+  w.put_u32(m.src_arch);
+  put_string(w, m.src_phys);
+  return out;
+}
+
+ntcs::Bytes encode_nd_open_ack(const NdOpenAck& m) {
+  ntcs::Bytes out = nd_prologue(NdKind::open_ack);
+  ShiftWriter w(out);
+  w.put_u64(m.uadd.raw());
+  w.put_u32(m.arch);
+  return out;
+}
+
+ntcs::Bytes encode_nd_payload(ntcs::BytesView ip_envelope) {
+  ntcs::Bytes out = nd_prologue(NdKind::payload);
+  out.reserve(out.size() + ip_envelope.size());
+  ntcs::append(out, ip_envelope);
+  return out;
+}
+
+ntcs::Result<NdMessage> decode_nd(ntcs::BytesView msg) {
+  ShiftReader r(msg);
+  auto magic = r.get_u32();
+  if (!magic) return magic.error();
+  if (magic.value() != kMagic) {
+    return ntcs::Error(ntcs::Errc::bad_message, "bad magic");
+  }
+  auto version = r.get_u32();
+  if (!version) return version.error();
+  if (version.value() != kVersion) {
+    return ntcs::Error(ntcs::Errc::bad_message, "protocol version mismatch");
+  }
+  auto kind = r.get_u32();
+  if (!kind) return kind.error();
+
+  NdMessage out;
+  switch (static_cast<NdKind>(kind.value())) {
+    case NdKind::open: {
+      out.kind = NdKind::open;
+      auto uadd = r.get_u64();
+      if (!uadd) return uadd.error();
+      out.open.src_uadd = UAdd::from_raw(uadd.value());
+      auto arch = r.get_u32();
+      if (!arch) return arch.error();
+      out.open.src_arch = arch.value();
+      auto phys = get_string(r);
+      if (!phys) return phys.error();
+      out.open.src_phys = std::move(phys.value());
+      return out;
+    }
+    case NdKind::open_ack: {
+      out.kind = NdKind::open_ack;
+      auto uadd = r.get_u64();
+      if (!uadd) return uadd.error();
+      out.ack.uadd = UAdd::from_raw(uadd.value());
+      auto arch = r.get_u32();
+      if (!arch) return arch.error();
+      out.ack.arch = arch.value();
+      return out;
+    }
+    case NdKind::payload: {
+      out.kind = NdKind::payload;
+      out.body = ntcs::Bytes(r.rest().begin(), r.rest().end());
+      return out;
+    }
+    default:
+      return ntcs::Error(ntcs::Errc::bad_message, "unknown ND message kind");
+  }
+}
+
+// ---------------------------------------------------------------- IP layer
+
+namespace {
+
+ntcs::Bytes ip_prologue(IpKind kind, std::uint64_t ivc) {
+  ntcs::Bytes out;
+  ShiftWriter w(out);
+  w.put_u32(static_cast<std::uint32_t>(kind));
+  w.put_u64(ivc);
+  return out;
+}
+
+}  // namespace
+
+ntcs::Bytes encode_ip_data(std::uint64_t ivc, ntcs::BytesView lcm_msg) {
+  ntcs::Bytes out = ip_prologue(IpKind::data, ivc);
+  out.reserve(out.size() + lcm_msg.size());
+  ntcs::append(out, lcm_msg);
+  return out;
+}
+
+ntcs::Bytes encode_ip_extend(std::uint64_t ivc, const ExtendBody& b) {
+  ntcs::Bytes out = ip_prologue(IpKind::extend, ivc);
+  ShiftWriter w(out);
+  w.put_u64(b.final_uadd.raw());
+  w.put_u32(static_cast<std::uint32_t>(b.route.size()));
+  for (const RouteHop& hop : b.route) {
+    put_string(w, hop.net);
+    put_string(w, hop.phys);
+  }
+  return out;
+}
+
+ntcs::Bytes encode_ip_extend_ok(std::uint64_t ivc) {
+  return ip_prologue(IpKind::extend_ok, ivc);
+}
+
+ntcs::Bytes encode_ip_extend_fail(std::uint64_t ivc, std::uint32_t errc,
+                                  const std::string& text) {
+  ntcs::Bytes out = ip_prologue(IpKind::extend_fail, ivc);
+  ShiftWriter w(out);
+  w.put_u32(errc);
+  put_string(w, text);
+  return out;
+}
+
+ntcs::Bytes encode_ip_teardown(std::uint64_t ivc) {
+  return ip_prologue(IpKind::teardown, ivc);
+}
+
+ntcs::Result<IpEnvelope> decode_ip(ntcs::BytesView envelope) {
+  ShiftReader r(envelope);
+  auto kind = r.get_u32();
+  if (!kind) return kind.error();
+  auto ivc = r.get_u64();
+  if (!ivc) return ivc.error();
+
+  IpEnvelope out;
+  out.ivc = ivc.value();
+  switch (static_cast<IpKind>(kind.value())) {
+    case IpKind::data:
+      out.kind = IpKind::data;
+      out.body = ntcs::Bytes(r.rest().begin(), r.rest().end());
+      return out;
+    case IpKind::extend: {
+      out.kind = IpKind::extend;
+      auto final_uadd = r.get_u64();
+      if (!final_uadd) return final_uadd.error();
+      out.extend.final_uadd = UAdd::from_raw(final_uadd.value());
+      auto count = r.get_u32();
+      if (!count) return count.error();
+      if (count.value() > 64) {
+        return ntcs::Error(ntcs::Errc::bad_message, "absurd route length");
+      }
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        RouteHop hop;
+        auto net = get_string(r);
+        if (!net) return net.error();
+        hop.net = std::move(net.value());
+        auto phys = get_string(r);
+        if (!phys) return phys.error();
+        hop.phys = std::move(phys.value());
+        out.extend.route.push_back(std::move(hop));
+      }
+      return out;
+    }
+    case IpKind::extend_ok:
+      out.kind = IpKind::extend_ok;
+      return out;
+    case IpKind::extend_fail: {
+      out.kind = IpKind::extend_fail;
+      auto errc = r.get_u32();
+      if (!errc) return errc.error();
+      out.errc = errc.value();
+      auto text = get_string(r);
+      if (!text) return text.error();
+      out.text = std::move(text.value());
+      return out;
+    }
+    case IpKind::teardown:
+      out.kind = IpKind::teardown;
+      return out;
+    default:
+      return ntcs::Error(ntcs::Errc::bad_message, "unknown IP envelope kind");
+  }
+}
+
+// ---------------------------------------------------------------- LCM layer
+
+ntcs::Bytes encode_lcm(const LcmHeader& h, ntcs::BytesView payload) {
+  ntcs::Bytes out;
+  ShiftWriter w(out);
+  w.put_u32(static_cast<std::uint32_t>(h.kind));
+  w.put_u32(h.flags);
+  w.put_u64(h.src.raw());
+  w.put_u64(h.dst.raw());
+  w.put_u32(h.req_id);
+  w.put_u32(h.mode);
+  w.put_u32(h.src_arch);
+  w.put_raw(payload);
+  return out;
+}
+
+ntcs::Result<LcmMessage> decode_lcm(ntcs::BytesView msg) {
+  ShiftReader r(msg);
+  LcmMessage out;
+  auto kind = r.get_u32();
+  if (!kind) return kind.error();
+  if (kind.value() < 1 || kind.value() > 4) {
+    return ntcs::Error(ntcs::Errc::bad_message, "unknown LCM message kind");
+  }
+  out.header.kind = static_cast<LcmKind>(kind.value());
+  auto flags = r.get_u32();
+  if (!flags) return flags.error();
+  out.header.flags = flags.value();
+  auto src = r.get_u64();
+  if (!src) return src.error();
+  out.header.src = UAdd::from_raw(src.value());
+  auto dst = r.get_u64();
+  if (!dst) return dst.error();
+  out.header.dst = UAdd::from_raw(dst.value());
+  auto req = r.get_u32();
+  if (!req) return req.error();
+  out.header.req_id = req.value();
+  auto mode = r.get_u32();
+  if (!mode) return mode.error();
+  out.header.mode = mode.value();
+  auto arch = r.get_u32();
+  if (!arch) return arch.error();
+  out.header.src_arch = arch.value();
+  out.payload = ntcs::Bytes(r.rest().begin(), r.rest().end());
+  return out;
+}
+
+}  // namespace ntcs::core::wire

@@ -1,0 +1,172 @@
+// frames.h — the NTCS internal wire protocol.
+//
+// Everything here is encoded in shift mode (paper §5.2): headers are
+// structures of four-byte integers moved to/from the byte stream with
+// shift/mask routines, so they mean the same thing on every machine
+// representation. Variable-length fields (physical address blobs, route
+// lists) are length-prefixed byte strings — characters are single bytes on
+// every testbed machine, so no conversion is needed for them either.
+//
+// Nesting on a local virtual circuit (one IPCS frame stream):
+//
+//   IPCS frame   = [frag word][chunk]                      (ND fragmentation)
+//   ND message   = [magic][version][nd kind][body]          (after reassembly)
+//     nd open     : body = NdOpen       (channel-open UAdd/arch exchange §3.3)
+//     nd open ack : body = NdOpenAck
+//     nd payload  : body = IP envelope
+//   IP envelope  = [ip kind][ivc id][body]
+//     data        : body = LCM message (opaque to gateways)
+//     extend      : body = ExtendBody  (chained-circuit establishment §4)
+//     extend ok   : body = empty
+//     extend fail : body = [errc][text]
+//     teardown    : body = empty
+//   LCM message  = [lcm kind][flags][src][dst][req id][mode][src arch][payload]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "core/addr.h"
+
+namespace ntcs::core::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4E544353;  // "NTCS"
+inline constexpr std::uint32_t kVersion = 1;
+
+// ---------------------------------------------------------------- fragments
+
+/// Fragment word: bit 31 = more-fragments, bits 0..23 = chunk length.
+std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len);
+bool frag_more(std::uint32_t word);
+std::uint32_t frag_len(std::uint32_t word);
+
+/// Split a message into MTU-sized IPCS frames (each [frag word][chunk]).
+std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu);
+
+/// Streaming reassembler for one virtual circuit (frames arrive in order).
+class Reassembler {
+ public:
+  /// Feed one IPCS frame; returns a complete message when this frame was
+  /// the last fragment, std::nullopt payload via Result error otherwise.
+  /// Errors indicate a malformed frame (protocol violation).
+  ntcs::Result<bool> feed(ntcs::BytesView frame);
+
+  /// The completed message after feed() returned true.
+  ntcs::Bytes take();
+
+  std::size_t pending_bytes() const { return acc_.size(); }
+
+ private:
+  ntcs::Bytes acc_;
+};
+
+// ---------------------------------------------------------------- ND layer
+
+enum class NdKind : std::uint32_t {
+  open = 1,      // first message on a new channel
+  open_ack = 2,  // acceptor's answer
+  payload = 3,   // everything else: an IP envelope
+};
+
+/// Channel-open exchange (§3.3): "information exchanged between modules
+/// during the channel open protocol ... is then locally cached".
+struct NdOpen {
+  UAdd src_uadd;           // may be a TAdd during bootstrap (§3.4)
+  std::uint32_t src_arch;  // convert::arch_wire_id
+  std::string src_phys;    // so the acceptor can cache UAdd -> phys
+};
+
+struct NdOpenAck {
+  UAdd uadd;  // acceptor's UAdd (or TAdd)
+  std::uint32_t arch;
+};
+
+ntcs::Bytes encode_nd_open(const NdOpen& m);
+ntcs::Bytes encode_nd_open_ack(const NdOpenAck& m);
+ntcs::Bytes encode_nd_payload(ntcs::BytesView ip_envelope);
+
+struct NdMessage {
+  NdKind kind;
+  NdOpen open;        // when kind == open
+  NdOpenAck ack;      // when kind == open_ack
+  ntcs::Bytes body;   // when kind == payload: the IP envelope
+};
+
+ntcs::Result<NdMessage> decode_nd(ntcs::BytesView msg);
+
+// ---------------------------------------------------------------- IP layer
+
+enum class IpKind : std::uint32_t {
+  data = 1,
+  extend = 2,
+  extend_ok = 3,
+  extend_fail = 4,
+  teardown = 5,
+};
+
+/// One hop of a source-computed route: which network to continue on and the
+/// physical address to connect to there. The last hop is the destination
+/// module itself.
+struct RouteHop {
+  std::string net;
+  std::string phys;
+};
+
+struct ExtendBody {
+  UAdd final_uadd;
+  std::vector<RouteHop> route;  // remaining hops, front is next
+};
+
+struct IpEnvelope {
+  IpKind kind = IpKind::data;
+  std::uint64_t ivc = 0;
+  ExtendBody extend;       // kind == extend
+  std::uint32_t errc = 0;  // kind == extend_fail
+  std::string text;        // kind == extend_fail
+  ntcs::Bytes body;        // kind == data: the LCM message
+};
+
+ntcs::Bytes encode_ip_data(std::uint64_t ivc, ntcs::BytesView lcm_msg);
+ntcs::Bytes encode_ip_extend(std::uint64_t ivc, const ExtendBody& b);
+ntcs::Bytes encode_ip_extend_ok(std::uint64_t ivc);
+ntcs::Bytes encode_ip_extend_fail(std::uint64_t ivc, std::uint32_t errc,
+                                  const std::string& text);
+ntcs::Bytes encode_ip_teardown(std::uint64_t ivc);
+
+ntcs::Result<IpEnvelope> decode_ip(ntcs::BytesView envelope);
+
+// ---------------------------------------------------------------- LCM layer
+
+enum class LcmKind : std::uint32_t {
+  data = 1,     // one-way message on a conversation
+  request = 2,  // synchronous send: expects a reply
+  reply = 3,
+  dgram = 4,    // connectionless protocol (best effort)
+};
+
+/// Flag bits in the LCM header flags word.
+inline constexpr std::uint32_t kLcmFlagInternal = 1u << 0;  // NTCS/DRTS traffic
+
+struct LcmHeader {
+  LcmKind kind = LcmKind::data;
+  std::uint32_t flags = 0;
+  UAdd src;
+  UAdd dst;
+  std::uint32_t req_id = 0;
+  std::uint32_t mode = 0;      // convert::xfer_mode_wire_id of the payload
+  std::uint32_t src_arch = 0;  // convert::arch_wire_id
+};
+
+ntcs::Bytes encode_lcm(const LcmHeader& h, ntcs::BytesView payload);
+
+struct LcmMessage {
+  LcmHeader header;
+  ntcs::Bytes payload;
+};
+
+ntcs::Result<LcmMessage> decode_lcm(ntcs::BytesView msg);
+
+}  // namespace ntcs::core::wire

@@ -1,0 +1,115 @@
+#include "drts/error_log.h"
+
+#include "convert/packed.h"
+
+namespace ntcs::drts {
+
+using namespace std::chrono_literals;
+
+ErrorLogServer::ErrorLogServer(simnet::Fabric& fabric, core::NodeConfig cfg)
+    : fabric_(fabric) {
+  if (cfg.name.empty()) cfg.name = std::string(kErrorLogName);
+  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+}
+
+ErrorLogServer::~ErrorLogServer() { stop(); }
+
+ntcs::Status ErrorLogServer::start() {
+  if (running_) return ntcs::Status::success();
+  if (auto st = node_->start(); !st.ok()) return st;
+  auto uadd = node_->commod().register_self({{"role", "error-log"}});
+  if (!uadd) return uadd.error();
+  server_ = std::jthread([this](std::stop_token st) { serve(st); });
+  running_ = true;
+  return ntcs::Status::success();
+}
+
+void ErrorLogServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  server_.request_stop();
+  node_->stop();
+  if (server_.joinable()) server_.join();
+}
+
+void ErrorLogServer::serve(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto in = node_->lcm().receive(100ms);
+    if (!in) {
+      if (in.code() == ntcs::Errc::timeout) continue;
+      break;
+    }
+    if (in.value().is_request) {
+      convert::Packer p;
+      {
+        std::lock_guard lk(mu_);
+        p.put_u64(total_);
+      }
+      (void)node_->lcm().reply(in.value().reply_ctx,
+                               core::Payload::raw(std::move(p).take()));
+      continue;
+    }
+    convert::Unpacker u(in.value().payload);
+    auto module = u.get_string();
+    auto layer = u.get_string();
+    auto code = u.get_u64();
+    auto text = u.get_string();
+    if (!module || !layer || !code || !text) continue;
+    ErrorKey key{std::move(module.value()), std::move(layer.value()),
+                 static_cast<ntcs::Errc>(code.value())};
+    std::lock_guard lk(mu_);
+    ++table_[key];
+    ++total_;
+  }
+}
+
+std::map<ErrorKey, std::uint64_t> ErrorLogServer::table() const {
+  std::lock_guard lk(mu_);
+  return table_;
+}
+
+std::uint64_t ErrorLogServer::total() const {
+  std::lock_guard lk(mu_);
+  return total_;
+}
+
+std::uint64_t ErrorLogServer::count_for(const std::string& module) const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : table_) {
+    if (key.module == module) n += count;
+  }
+  return n;
+}
+
+ErrorLogClient::ErrorLogClient(core::Node& node) : node_(node) {}
+
+core::ErrorHook ErrorLogClient::hook() {
+  return [this](std::string_view layer, ntcs::Errc code,
+                std::string_view text) { report(layer, code, text); };
+}
+
+void ErrorLogClient::report(std::string_view layer, ntcs::Errc code,
+                            std::string_view text) {
+  core::UAdd target = core::UAdd::from_raw(log_uadd_raw_.load());
+  if (!target.valid()) {
+    auto located = node_.nsp().lookup(std::string(kErrorLogName));
+    if (!located) return;  // nowhere to report: swallow, never cascade
+    target = located.value();
+    log_uadd_raw_.store(target.raw());
+  }
+  convert::Packer p;
+  p.put_string(node_.identity().name());
+  p.put_string(std::string(layer));
+  p.put_u64(static_cast<std::uint64_t>(code));
+  p.put_string(std::string(text));
+  core::SendOptions opts;
+  opts.internal = true;
+  if (node_.lcm()
+          .dgram(target, core::Payload::raw(std::move(p).take()), opts)
+          .ok()) {
+    reported_.fetch_add(1);
+  }
+}
+
+}  // namespace ntcs::drts

@@ -1,0 +1,188 @@
+#include "drts/monitor.h"
+
+#include <cstdio>
+
+#include "convert/packed.h"
+
+namespace ntcs::drts {
+
+using namespace std::chrono_literals;
+
+MonitorServer::MonitorServer(simnet::Fabric& fabric, core::NodeConfig cfg,
+                             std::size_t ring_capacity)
+    : fabric_(fabric), ring_capacity_(ring_capacity) {
+  if (cfg.name.empty()) cfg.name = std::string(kMonitorName);
+  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+}
+
+MonitorServer::~MonitorServer() { stop(); }
+
+ntcs::Status MonitorServer::start() {
+  if (running_) return ntcs::Status::success();
+  if (auto st = node_->start(); !st.ok()) return st;
+  auto uadd = node_->commod().register_self({{"role", "monitor"}});
+  if (!uadd) return uadd.error();
+  server_ = std::jthread([this](std::stop_token st) { serve(st); });
+  running_ = true;
+  return ntcs::Status::success();
+}
+
+void MonitorServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  server_.request_stop();
+  node_->stop();
+  if (server_.joinable()) server_.join();
+}
+
+void MonitorServer::serve(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto in = node_->lcm().receive(100ms);
+    if (!in) {
+      if (in.code() == ntcs::Errc::timeout) continue;
+      break;
+    }
+    if (in.value().is_request) {
+      // Statistics query.
+      convert::Packer p;
+      {
+        std::lock_guard lk(mu_);
+        p.put_u64(count_);
+        p.put_u64(total_bytes_);
+      }
+      (void)node_->lcm().reply(in.value().reply_ctx,
+                               core::Payload::raw(std::move(p).take()));
+      continue;
+    }
+    // A sample datagram.
+    convert::Unpacker u(in.value().payload);
+    MonitorRecord rec;
+    auto src = u.get_u64();
+    auto dst = u.get_u64();
+    auto bytes = u.get_u64();
+    auto ts = u.get_i64();
+    auto req = u.get_bool();
+    if (!src || !dst || !bytes || !ts || !req) continue;  // malformed: drop
+    rec.src = src.value();
+    rec.dst = dst.value();
+    rec.bytes = bytes.value();
+    rec.timestamp_ns = ts.value();
+    rec.request = req.value();
+    std::lock_guard lk(mu_);
+    ring_.push_back(rec);
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+    total_bytes_ += rec.bytes;
+    ++count_;
+    PairStats& ps = pairs_[{rec.src, rec.dst}];
+    if (ps.count == 0) {
+      ps.src = rec.src;
+      ps.dst = rec.dst;
+      ps.first_ts_ns = rec.timestamp_ns;
+    }
+    ++ps.count;
+    ps.bytes += rec.bytes;
+    ps.last_ts_ns = rec.timestamp_ns;
+  }
+}
+
+std::uint64_t MonitorServer::sample_count() const {
+  std::lock_guard lk(mu_);
+  return count_;
+}
+
+std::uint64_t MonitorServer::total_bytes() const {
+  std::lock_guard lk(mu_);
+  return total_bytes_;
+}
+
+std::vector<MonitorRecord> MonitorServer::samples() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<MonitorServer::PairStats> MonitorServer::pair_stats() const {
+  std::lock_guard lk(mu_);
+  std::vector<PairStats> out;
+  out.reserve(pairs_.size());
+  for (const auto& [key, ps] : pairs_) out.push_back(ps);
+  return out;
+}
+
+std::optional<MonitorServer::PairStats> MonitorServer::pair(
+    std::uint64_t src, std::uint64_t dst) const {
+  std::lock_guard lk(mu_);
+  auto it = pairs_.find({src, dst});
+  if (it == pairs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string MonitorServer::report() const {
+  std::lock_guard lk(mu_);
+  std::string out = "conversation            msgs      bytes   rate(msg/s)\n";
+  char line[128];
+  for (const auto& [key, ps] : pairs_) {
+    std::snprintf(line, sizeof line, "U#%-6llu -> U#%-6llu %7llu %10llu %12.1f\n",
+                  static_cast<unsigned long long>(ps.src),
+                  static_cast<unsigned long long>(ps.dst),
+                  static_cast<unsigned long long>(ps.count),
+                  static_cast<unsigned long long>(ps.bytes),
+                  ps.rate_per_sec());
+    out += line;
+  }
+  return out;
+}
+
+MonitorClient::MonitorClient(core::Node& node) : node_(node) {}
+
+void MonitorClient::emit(const core::MonitorSample& s) {
+  core::UAdd monitor = core::UAdd::from_raw(monitor_uadd_raw_.load());
+  if (!monitor.valid()) {
+    // "If this is the first such communication, the monitor is first
+    // located, and the connection established" (§6.1) — recursive naming
+    // service traffic on this very send path.
+    auto located = node_.nsp().lookup(std::string(kMonitorName));
+    if (!located) {
+      dropped_.fetch_add(1);
+      return;
+    }
+    monitor = located.value();
+    monitor_uadd_raw_.store(monitor.raw());
+  }
+  convert::Packer p;
+  p.put_u64(s.src.raw());
+  p.put_u64(s.dst.raw());
+  p.put_u64(s.bytes);
+  p.put_i64(s.timestamp_ns);
+  p.put_bool(s.request);
+  core::SendOptions opts;
+  opts.internal = true;  // do not monitor the monitor
+  auto st = node_.lcm().dgram(monitor, core::Payload::raw(std::move(p).take()),
+                              opts);
+  if (st.ok()) {
+    emitted_.fetch_add(1);
+  } else {
+    dropped_.fetch_add(1);
+  }
+}
+
+core::MonitorHook MonitorClient::hook() {
+  return [this](const core::MonitorSample& s) { emit(s); };
+}
+
+ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
+                                           core::UAdd monitor) {
+  core::SendOptions opts;
+  opts.internal = true;
+  opts.timeout = 2s;
+  auto reply =
+      via.lcm().request(monitor, core::Payload::raw(ntcs::Bytes{}), opts);
+  if (!reply) return reply.error();
+  convert::Unpacker u(reply.value().payload);
+  auto count = u.get_u64();
+  if (!count) return count.error();
+  auto bytes = u.get_u64();
+  if (!bytes) return bytes.error();
+  return MonitorSummary{count.value(), bytes.value()};
+}
+
+}  // namespace ntcs::drts

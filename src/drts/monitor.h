@@ -1,0 +1,121 @@
+// monitor.h — the DRTS distributed network monitor (paper §1.3, §6.1).
+//
+// The LCM-Layer emits one sample after every successful monitored send
+// ("Upon success, the LCM-layer sends data to the monitor by calling
+// itself", §6.1). Samples travel as connectionless datagrams flagged
+// internal — monitoring the monitor would be "the obvious infinite
+// recursion". The MonitorServer aggregates samples and answers statistics
+// queries; it is how the original project measured and projected system
+// performance [Wang 85].
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <optional>
+#include <memory>
+#include <thread>
+
+#include "core/node.h"
+
+namespace ntcs::drts {
+
+inline constexpr std::string_view kMonitorName = "monitor";
+
+/// One sample as stored by the server.
+struct MonitorRecord {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t timestamp_ns = 0;
+  bool request = false;
+};
+
+class MonitorServer {
+ public:
+  MonitorServer(simnet::Fabric& fabric, core::NodeConfig cfg,
+                std::size_t ring_capacity = 65536);
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  ntcs::Status start();
+  void stop();
+
+  core::Node& node() { return *node_; }
+
+  // Local introspection (tests / reports).
+  std::uint64_t sample_count() const;
+  std::uint64_t total_bytes() const;
+  std::vector<MonitorRecord> samples() const;
+
+  /// Per-conversation aggregation (the Wang-style "performance monitoring
+  /// and projection" use of the monitor, paper ref [27]).
+  struct PairStats {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t first_ts_ns = 0;
+    std::int64_t last_ts_ns = 0;
+
+    /// Projected steady-state message rate from the observed window.
+    double rate_per_sec() const {
+      if (count < 2 || last_ts_ns <= first_ts_ns) return 0.0;
+      return static_cast<double>(count - 1) * 1e9 /
+             static_cast<double>(last_ts_ns - first_ts_ns);
+    }
+  };
+  std::vector<PairStats> pair_stats() const;
+  std::optional<PairStats> pair(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Human-readable traffic report (one line per conversation).
+  std::string report() const;
+
+ private:
+  void serve(const std::stop_token& st);
+
+  simnet::Fabric& fabric_;
+  std::unique_ptr<core::Node> node_;
+  std::size_t ring_capacity_;
+  mutable std::mutex mu_;
+  std::deque<MonitorRecord> ring_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PairStats> pairs_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t count_ = 0;
+  std::jthread server_;
+  bool running_ = false;
+};
+
+/// The sending-side half: builds the LCM monitor hook.
+class MonitorClient {
+ public:
+  explicit MonitorClient(core::Node& node);
+
+  /// The hook to install via LcmLayer::set_monitor_hook. Each invocation
+  /// locates the monitor on first use (recursively, over the NTCS) and
+  /// fires one internal datagram per sample.
+  core::MonitorHook hook();
+
+  std::uint64_t emitted() const { return emitted_.load(); }
+  std::uint64_t dropped() const { return dropped_.load(); }
+
+ private:
+  void emit(const core::MonitorSample& s);
+
+  core::Node& node_;
+  std::atomic<std::uint64_t> monitor_uadd_raw_{0};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Query a (possibly remote) monitor for its aggregate statistics.
+struct MonitorSummary {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
+                                           core::UAdd monitor);
+
+}  // namespace ntcs::drts

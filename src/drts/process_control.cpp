@@ -1,0 +1,132 @@
+#include "drts/process_control.h"
+
+namespace ntcs::drts {
+
+using namespace std::chrono_literals;
+
+ProcessController::ProcessController(core::Testbed& tb) : tb_(tb) {}
+
+ProcessController::~ProcessController() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [name, m] : modules_) names.push_back(name);
+  }
+  for (const auto& name : names) (void)kill(name);
+}
+
+ntcs::Result<core::UAdd> ProcessController::start_managed(
+    Managed& m, const std::string& name, const std::string& machine,
+    const std::string& net) {
+  auto node = tb_.make_node(name, machine, net);
+  if (!node) return node.error();
+  m.node = std::move(node.value());
+  auto uadd = m.node->commod().register_self(m.attrs);
+  if (!uadd) {
+    m.node->stop();
+    m.node.reset();
+    return uadd.error();
+  }
+  core::Node* raw = m.node.get();
+  ServiceFn fn = m.fn;
+  m.service = std::jthread(
+      [raw, fn = std::move(fn)](std::stop_token st) { fn(*raw, st); });
+  return uadd;
+}
+
+ntcs::Result<core::UAdd> ProcessController::spawn(
+    const std::string& name, const std::string& machine,
+    const std::string& net, const core::nsp::AttrMap& attrs, ServiceFn fn) {
+  std::lock_guard lk(mu_);
+  if (modules_.count(name) != 0) {
+    return ntcs::Error(ntcs::Errc::already_exists,
+                       "managed module '" + name + "' already running");
+  }
+  Managed m;
+  m.attrs = attrs;
+  m.fn = std::move(fn);
+  auto uadd = start_managed(m, name, machine, net);
+  if (!uadd) return uadd;
+  modules_[name] = std::move(m);
+  return uadd;
+}
+
+ntcs::Status ProcessController::kill(const std::string& name) {
+  Managed victim;
+  {
+    std::lock_guard lk(mu_);
+    auto it = modules_.find(name);
+    if (it == modules_.end()) {
+      return ntcs::Status(ntcs::Errc::not_found,
+                          "no managed module '" + name + "'");
+    }
+    victim = std::move(it->second);
+    modules_.erase(it);
+  }
+  victim.service.request_stop();
+  victim.node->stop();  // close queue -> service loop drains and exits
+  if (victim.service.joinable()) victim.service.join();
+  return ntcs::Status::success();
+}
+
+ntcs::Result<core::UAdd> ProcessController::relocate(
+    const std::string& name, const std::string& new_machine,
+    const std::string& new_net) {
+  // "allow the replacement, removal or addition of modules while the
+  // system is in operation" (§1.3). Kill first, then respawn under the
+  // same name: in-flight conversations fault, the naming service maps the
+  // old UAdd to this newer module, and traffic resumes (§3.5).
+  core::nsp::AttrMap attrs;
+  ServiceFn fn;
+  {
+    std::lock_guard lk(mu_);
+    auto it = modules_.find(name);
+    if (it == modules_.end()) {
+      return ntcs::Error(ntcs::Errc::not_found,
+                         "no managed module '" + name + "'");
+    }
+    attrs = it->second.attrs;
+    fn = it->second.fn;
+  }
+  if (auto st = kill(name); !st.ok()) return st.error();
+  return spawn(name, new_machine, new_net, attrs, std::move(fn));
+}
+
+core::Node* ProcessController::find(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second.node.get();
+}
+
+std::size_t ProcessController::module_count() const {
+  std::lock_guard lk(mu_);
+  return modules_.size();
+}
+
+ServiceFn make_echo_service(std::string prefix) {
+  return [prefix = std::move(prefix)](core::Node& node, std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = node.commod().receive(100ms);
+      if (!in) {
+        if (in.code() == ntcs::Errc::timeout) continue;
+        break;
+      }
+      if (in.value().is_request) {
+        ntcs::Bytes out = ntcs::to_bytes(prefix);
+        ntcs::append(out, in.value().payload);
+        (void)node.commod().reply(in.value().reply_ctx, out);
+      }
+    }
+  };
+}
+
+ServiceFn make_sink_service() {
+  return [](core::Node& node, std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = node.commod().receive(100ms);
+      if (!in && in.code() != ntcs::Errc::timeout) break;
+    }
+  };
+}
+
+}  // namespace ntcs::drts

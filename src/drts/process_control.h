@@ -1,0 +1,75 @@
+// process_control.h — DRTS distributed process management (paper §1.2).
+//
+// "On top of both the NTCS and the native operating system at each
+// machine, various DRTS services have been added as required" — process
+// control being the first the paper names. The controller spawns managed
+// modules (a Node plus a service loop), kills them, and — the URSA testbed
+// requirement — *relocates* them: kill on one machine, respawn on another
+// under the same logical name, whereupon the naming service's forwarding
+// determination (§3.5) steers every old UAdd to the new incarnation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/testbed.h"
+
+namespace ntcs::drts {
+
+/// The body of a managed module: a server loop reading from the Node's
+/// ComMod until stop is requested.
+using ServiceFn = std::function<void(core::Node&, std::stop_token)>;
+
+class ProcessController {
+ public:
+  explicit ProcessController(core::Testbed& tb);
+  ~ProcessController();
+
+  ProcessController(const ProcessController&) = delete;
+  ProcessController& operator=(const ProcessController&) = delete;
+
+  /// Spawn a managed module: start a Node, register it, run `fn`.
+  ntcs::Result<core::UAdd> spawn(const std::string& name,
+                                 const std::string& machine,
+                                 const std::string& net,
+                                 const core::nsp::AttrMap& attrs,
+                                 ServiceFn fn);
+
+  /// Kill a managed module (endpoint closes; peers see address faults).
+  ntcs::Status kill(const std::string& name);
+
+  /// Dynamic reconfiguration (§3.5): move a module to another machine
+  /// "while the system is in operation". Returns the new UAdd.
+  ntcs::Result<core::UAdd> relocate(const std::string& name,
+                                    const std::string& new_machine,
+                                    const std::string& new_net);
+
+  /// The managed module's Node (nullptr if not running).
+  core::Node* find(const std::string& name);
+
+  std::size_t module_count() const;
+
+ private:
+  struct Managed {
+    std::unique_ptr<core::Node> node;
+    std::jthread service;
+    core::nsp::AttrMap attrs;
+    ServiceFn fn;
+  };
+
+  ntcs::Result<core::UAdd> start_managed(Managed& m, const std::string& name,
+                                         const std::string& machine,
+                                         const std::string& net);
+
+  core::Testbed& tb_;
+  mutable std::mutex mu_;
+  std::map<std::string, Managed> modules_;
+};
+
+/// Ready-made service loops for tests, benches and examples.
+ServiceFn make_echo_service(std::string prefix = "echo:");
+ServiceFn make_sink_service();
+
+}  // namespace ntcs::drts

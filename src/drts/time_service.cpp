@@ -1,0 +1,115 @@
+#include "drts/time_service.h"
+
+#include "convert/packed.h"
+
+namespace ntcs::drts {
+
+using namespace std::chrono_literals;
+
+TimeServer::TimeServer(simnet::Fabric& fabric, core::NodeConfig cfg)
+    : fabric_(fabric) {
+  if (cfg.name.empty()) cfg.name = std::string(kTimeServiceName);
+  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+}
+
+TimeServer::~TimeServer() { stop(); }
+
+ntcs::Status TimeServer::start() {
+  if (running_) return ntcs::Status::success();
+  if (auto st = node_->start(); !st.ok()) return st;
+  auto uadd = node_->commod().register_self({{"role", "time"}});
+  if (!uadd) return uadd.error();
+  server_ = std::jthread([this](std::stop_token st) { serve(st); });
+  running_ = true;
+  return ntcs::Status::success();
+}
+
+void TimeServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  server_.request_stop();
+  node_->stop();
+  if (server_.joinable()) server_.join();
+}
+
+void TimeServer::serve(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto in = node_->lcm().receive(100ms);
+    if (!in) {
+      if (in.code() == ntcs::Errc::timeout) continue;
+      break;
+    }
+    if (!in.value().is_request) continue;
+    // The answer is this machine's local clock — skew included; that is
+    // precisely what the client corrects for.
+    convert::Packer p;
+    p.put_i64(fabric_.machine_now(node_->config().machine).count());
+    served_.fetch_add(1);
+    core::SendOptions opts;
+    opts.internal = true;
+    (void)node_->lcm().reply(in.value().reply_ctx,
+                             core::Payload::raw(std::move(p).take()));
+  }
+}
+
+TimeClient::TimeClient(core::Node& node) : node_(node) {}
+
+std::int64_t TimeClient::local_now_ns() const {
+  return node_.fabric().machine_now(node_.config().machine).count();
+}
+
+ntcs::Status TimeClient::sync(int samples) {
+  // Locate the time service once (recursing through the naming service).
+  core::UAdd server = core::UAdd::from_raw(server_uadd_raw_.load());
+  if (!server.valid()) {
+    auto located = node_.nsp().lookup(std::string(kTimeServiceName));
+    if (!located) return located.error();
+    server = located.value();
+    server_uadd_raw_.store(server.raw());
+  }
+  std::int64_t best_rtt = INT64_MAX;
+  std::int64_t best_offset = 0;
+  core::SendOptions opts;
+  opts.internal = true;  // time traffic must not be time-stamped (§6.1)
+  opts.timeout = 2s;
+  for (int i = 0; i < samples; ++i) {
+    const std::int64_t t0 = local_now_ns();
+    auto reply = node_.lcm().request(
+        server, core::Payload::raw(ntcs::Bytes{}), opts);
+    const std::int64_t t1 = local_now_ns();
+    if (!reply) return reply.error();
+    convert::Unpacker u(reply.value().payload);
+    auto server_ns = u.get_i64();
+    if (!server_ns) return server_ns.error();
+    const std::int64_t rtt = t1 - t0;
+    // Cristian's estimate: the server read its clock roughly mid-flight.
+    const std::int64_t offset = server_ns.value() + rtt / 2 - t1;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best_offset = offset;
+    }
+  }
+  offset_ns_.store(best_offset);
+  synced_.store(true);
+  syncs_.fetch_add(1);
+  return ntcs::Status::success();
+}
+
+std::int64_t TimeClient::corrected_now_ns() {
+  if (!synced_.load()) {
+    // Lazy first correction; the `syncing_` latch stops a recursive send
+    // from re-entering sync() from inside sync()'s own traffic.
+    bool expected = false;
+    if (syncing_.compare_exchange_strong(expected, true)) {
+      (void)sync();
+      syncing_.store(false);
+    }
+  }
+  return local_now_ns() + offset_ns_.load();
+}
+
+core::TimeSource TimeClient::source() {
+  return [this] { return corrected_now_ns(); };
+}
+
+}  // namespace ntcs::drts

@@ -1,0 +1,112 @@
+#include "simnet/endpoint.h"
+
+#include "simnet/fabric.h"
+
+namespace ntcs::simnet {
+
+Endpoint::Endpoint(Fabric* fabric, MachineId machine, IpcsKind kind,
+                   std::string phys)
+    : fabric_(fabric), machine_(machine), kind_(kind), phys_(std::move(phys)) {}
+
+Endpoint::~Endpoint() { close(); }
+
+ntcs::Result<ChannelId> Endpoint::connect(const std::string& dst_phys) {
+  if (is_closed()) return ntcs::Error(ntcs::Errc::closed, "endpoint closed");
+  return fabric_->connect_impl(this, dst_phys);
+}
+
+ntcs::Status Endpoint::send(ChannelId chan, ntcs::BytesView frame) {
+  if (is_closed()) return ntcs::Status(ntcs::Errc::closed, "endpoint closed");
+  return fabric_->send_impl(this, chan, frame);
+}
+
+ntcs::Result<Delivery> Endpoint::recv() { return recv_until(std::nullopt); }
+
+ntcs::Result<Delivery> Endpoint::recv_for(std::chrono::nanoseconds timeout) {
+  return recv_until(std::chrono::steady_clock::now() + timeout);
+}
+
+ntcs::Result<Delivery> Endpoint::recv_until(
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!inbox_.empty() && inbox_.top().at <= now) {
+      Delivery d = std::move(const_cast<Item&>(inbox_.top()).d);
+      inbox_.pop();
+      return d;
+    }
+    if (inbox_closed_ && inbox_.empty()) {
+      return ntcs::Error(ntcs::Errc::closed, "endpoint closed");
+    }
+    // Wait until the earliest pending item is due, a new item arrives, or
+    // the caller's deadline expires.
+    auto wake = deadline;
+    if (!inbox_.empty() && (!wake || inbox_.top().at < *wake)) {
+      wake = inbox_.top().at;
+    }
+    if (wake) {
+      if (deadline && *deadline <= now && (inbox_.empty() || inbox_.top().at > now)) {
+        return ntcs::Error(ntcs::Errc::timeout, "recv timed out");
+      }
+      cv_.wait_until(lk, *wake);
+      if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+        // One more poll for a just-due item before giving up.
+        const auto n2 = std::chrono::steady_clock::now();
+        if (!inbox_.empty() && inbox_.top().at <= n2) continue;
+        if (inbox_closed_ && inbox_.empty()) {
+          return ntcs::Error(ntcs::Errc::closed, "endpoint closed");
+        }
+        return ntcs::Error(ntcs::Errc::timeout, "recv timed out");
+      }
+    } else {
+      cv_.wait(lk);
+    }
+  }
+}
+
+std::optional<Delivery> Endpoint::try_recv() {
+  std::lock_guard lk(mu_);
+  if (inbox_.empty() || inbox_.top().at > std::chrono::steady_clock::now()) {
+    return std::nullopt;
+  }
+  Delivery d = std::move(const_cast<Item&>(inbox_.top()).d);
+  inbox_.pop();
+  return d;
+}
+
+ntcs::Status Endpoint::close_channel(ChannelId chan) {
+  if (is_closed()) return ntcs::Status(ntcs::Errc::closed, "endpoint closed");
+  return fabric_->close_channel_impl(this, chan);
+}
+
+void Endpoint::close() { fabric_->close_endpoint(this); }
+
+bool Endpoint::is_closed() const {
+  std::lock_guard lk(mu_);
+  return inbox_closed_;
+}
+
+std::size_t Endpoint::pending() const {
+  std::lock_guard lk(mu_);
+  return inbox_.size();
+}
+
+void Endpoint::enqueue(Item item) {
+  {
+    std::lock_guard lk(mu_);
+    if (inbox_closed_) return;  // arrived after unbind: dropped by the IPCS
+    inbox_.push(std::move(item));
+  }
+  cv_.notify_all();
+}
+
+void Endpoint::close_inbox() {
+  {
+    std::lock_guard lk(mu_);
+    inbox_closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ntcs::simnet

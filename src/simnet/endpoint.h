@@ -1,0 +1,116 @@
+// endpoint.h — a bound IPCS communication endpoint.
+//
+// An endpoint is what a module gets from the native IPCS when it "creates
+// any necessary communication resources (e.g., a TCP/IP port, or an Apollo
+// MBX server mailbox)" (paper §3.2). It accepts incoming connections
+// implicitly (like a server mailbox), carries message frames over
+// channels, and reports peer death as a `closed` delivery — the raw
+// material from which the ND-Layer builds its uniform STD-IF.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "simnet/types.h"
+
+namespace ntcs::simnet {
+
+class Fabric;
+
+enum class DeliveryKind : std::uint8_t {
+  opened,  // a peer connected; payload empty, peer_phys = connector address
+  data,    // one message frame
+  closed,  // the peer (or the fabric) closed this channel
+};
+
+/// One item received from the IPCS.
+struct Delivery {
+  DeliveryKind kind = DeliveryKind::data;
+  ChannelId chan = 0;
+  ntcs::Bytes payload;
+  std::string peer_phys;  // set for `opened`
+};
+
+/// A bound endpoint. Thread-safe. Obtained from Fabric::bind(); must not
+/// outlive the Fabric. (enable_shared_from_this lets the fabric hold weak
+/// references and pin the endpoint alive across delivery notifications.)
+class Endpoint : public std::enable_shared_from_this<Endpoint> {
+ public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& phys() const { return phys_; }
+  IpcsKind kind() const { return kind_; }
+  MachineId machine() const { return machine_; }
+
+  /// Open a channel to another bound endpoint. Synchronous; the callee
+  /// learns of the connection via an `opened` delivery.
+  ntcs::Result<ChannelId> connect(const std::string& dst_phys);
+
+  /// Send one frame (at most ipcs_mtu(kind()) bytes) on an open channel.
+  ntcs::Status send(ChannelId chan, ntcs::BytesView frame);
+
+  /// Blocking receive of the next delivery.
+  ntcs::Result<Delivery> recv();
+
+  /// Receive with a relative timeout.
+  ntcs::Result<Delivery> recv_for(std::chrono::nanoseconds timeout);
+
+  /// Non-blocking receive.
+  std::optional<Delivery> try_recv();
+
+  /// Close one channel; the peer gets a `closed` delivery.
+  ntcs::Status close_channel(ChannelId chan);
+
+  /// Unbind: all channels close (peers notified), pending receives drain
+  /// then report Errc::closed. Idempotent.
+  void close();
+
+  bool is_closed() const;
+
+  /// Number of deliveries waiting (including not-yet-due ones).
+  std::size_t pending() const;
+
+ private:
+  friend class Fabric;
+
+  Endpoint(Fabric* fabric, MachineId machine, IpcsKind kind, std::string phys);
+
+  struct Item {
+    std::chrono::steady_clock::time_point at;
+    std::uint64_t seq;
+    Delivery d;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  void enqueue(Item item);
+  void close_inbox();
+  ntcs::Result<Delivery> recv_until(
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+
+  Fabric* fabric_;
+  MachineId machine_;
+  IpcsKind kind_;
+  std::string phys_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, Later> inbox_;
+  bool inbox_closed_ = false;
+};
+
+}  // namespace ntcs::simnet

@@ -1,0 +1,395 @@
+#include "simnet/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simnet/phys.h"
+
+namespace ntcs::simnet {
+
+Fabric::Fabric(std::uint64_t seed) : rng_(seed) {}
+
+Fabric::~Fabric() {
+  // Endpoints must already be gone (documented lifetime rule); close any
+  // stragglers defensively so their inboxes stop blocking.
+  std::vector<std::shared_ptr<Endpoint>> eps;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [phys, weak] : bound_) {
+      if (auto ep = weak.lock()) eps.push_back(std::move(ep));
+    }
+  }
+  for (auto& ep : eps) close_endpoint(ep.get());
+}
+
+NetworkId Fabric::add_network(std::string name, NetConfig cfg) {
+  std::lock_guard lk(mu_);
+  nets_.push_back(NetworkState{std::move(name), cfg, false});
+  return static_cast<NetworkId>(nets_.size() - 1);
+}
+
+MachineId Fabric::add_machine(std::string name, convert::Arch arch,
+                              std::vector<NetworkId> networks) {
+  std::lock_guard lk(mu_);
+  machines_.push_back(
+      MachineState{std::move(name), arch, std::move(networks), {}});
+  return static_cast<MachineId>(machines_.size() - 1);
+}
+
+void Fabric::attach_machine(MachineId m, NetworkId n) {
+  std::lock_guard lk(mu_);
+  auto& nets = machines_.at(m).networks;
+  if (std::find(nets.begin(), nets.end(), n) == nets.end()) nets.push_back(n);
+}
+
+std::optional<NetworkId> Fabric::network_by_name(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i].name == name) return static_cast<NetworkId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<MachineId> Fabric::machine_by_name(std::string_view name) const {
+  std::lock_guard lk(mu_);
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (machines_[i].name == name) return static_cast<MachineId>(i);
+  }
+  return std::nullopt;
+}
+
+const std::string& Fabric::machine_name(MachineId m) const {
+  std::lock_guard lk(mu_);
+  return machines_.at(m).name;
+}
+
+const std::string& Fabric::network_name(NetworkId n) const {
+  std::lock_guard lk(mu_);
+  return nets_.at(n).name;
+}
+
+convert::Arch Fabric::machine_arch(MachineId m) const {
+  std::lock_guard lk(mu_);
+  return machines_.at(m).arch;
+}
+
+std::vector<NetworkId> Fabric::machine_networks(MachineId m) const {
+  std::lock_guard lk(mu_);
+  return machines_.at(m).networks;
+}
+
+std::size_t Fabric::machine_count() const {
+  std::lock_guard lk(mu_);
+  return machines_.size();
+}
+
+std::size_t Fabric::network_count() const {
+  std::lock_guard lk(mu_);
+  return nets_.size();
+}
+
+void Fabric::set_clock_offset(MachineId m, std::chrono::nanoseconds offset) {
+  std::lock_guard lk(mu_);
+  machines_.at(m).clock_offset = offset;
+}
+
+std::chrono::nanoseconds Fabric::machine_now(MachineId m) const {
+  std::lock_guard lk(mu_);
+  return std::chrono::steady_clock::now().time_since_epoch() +
+         machines_.at(m).clock_offset;
+}
+
+void Fabric::set_partitioned(NetworkId n, bool partitioned) {
+  std::lock_guard lk(mu_);
+  nets_.at(n).partitioned = partitioned;
+}
+
+void Fabric::set_loss(NetworkId n, double loss_prob) {
+  std::lock_guard lk(mu_);
+  nets_.at(n).cfg.loss_prob = loss_prob;
+}
+
+void Fabric::set_latency(NetworkId n, std::chrono::nanoseconds lo,
+                         std::chrono::nanoseconds hi) {
+  std::lock_guard lk(mu_);
+  nets_.at(n).cfg.latency_min = lo;
+  nets_.at(n).cfg.latency_max = hi;
+}
+
+void Fabric::set_bandwidth(NetworkId n, std::uint64_t bytes_per_sec) {
+  std::lock_guard lk(mu_);
+  nets_.at(n).cfg.bytes_per_sec = bytes_per_sec;
+}
+
+ntcs::Status Fabric::kill_channel(ChannelId chan) {
+  std::shared_ptr<Endpoint> a;
+  std::shared_ptr<Endpoint> b;
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  {
+    std::lock_guard lk(mu_);
+    auto it = channels_.find(chan);
+    if (it == channels_.end()) {
+      return ntcs::Status(ntcs::Errc::not_found, "no such channel");
+    }
+    a = it->second.a_w.lock();
+    b = it->second.b_w.lock();
+    channels_.erase(it);
+    ++stats_.channels_closed;
+    s1 = next_seq_++;
+    s2 = next_seq_++;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (a) a->enqueue({now, s1, Delivery{DeliveryKind::closed, chan, {}, {}}});
+  if (b) b->enqueue({now, s2, Delivery{DeliveryKind::closed, chan, {}, {}}});
+  return ntcs::Status::success();
+}
+
+ntcs::Result<std::shared_ptr<Endpoint>> Fabric::bind(
+    MachineId m, IpcsKind kind, std::string_view local_name) {
+  std::lock_guard lk(mu_);
+  if (m >= machines_.size()) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "no such machine");
+  }
+  std::string phys;
+  if (kind == IpcsKind::tcp) {
+    phys = format_tcp_addr(machines_[m].name, next_port_++);
+  } else {
+    phys = format_mbx_addr(machines_[m].name, local_name);
+    if (bound_.count(phys) != 0) {
+      return ntcs::Error(ntcs::Errc::already_exists,
+                         "mailbox already exists: " + phys);
+    }
+  }
+  // Endpoint's constructor is private; go through new directly.
+  std::shared_ptr<Endpoint> ep(new Endpoint(this, m, kind, phys));
+  bound_[phys] = ep;
+  return ep;
+}
+
+bool Fabric::probe(std::string_view phys) const {
+  std::lock_guard lk(mu_);
+  auto it = bound_.find(std::string(phys));
+  return it != bound_.end() && !it->second.expired();
+}
+
+Fabric::Stats Fabric::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+ntcs::Result<NetworkId> Fabric::shared_network_locked(MachineId a,
+                                                      MachineId b) const {
+  bool found_partitioned = false;
+  for (NetworkId na : machines_.at(a).networks) {
+    for (NetworkId nb : machines_.at(b).networks) {
+      if (na != nb) continue;
+      if (nets_.at(na).partitioned) {
+        found_partitioned = true;
+        continue;
+      }
+      return na;
+    }
+  }
+  if (found_partitioned) {
+    return ntcs::Error(ntcs::Errc::partitioned, "shared network partitioned");
+  }
+  return ntcs::Error(ntcs::Errc::address_fault,
+                     "machines share no network (internetting requires an "
+                     "NTCS gateway)");
+}
+
+std::chrono::nanoseconds Fabric::sample_latency_locked(NetworkId n) {
+  if (n == kInvalidNetwork) return std::chrono::nanoseconds{0};
+  const auto& cfg = nets_.at(n).cfg;
+  if (cfg.latency_max <= cfg.latency_min) return cfg.latency_min;
+  const auto span =
+      static_cast<std::uint64_t>((cfg.latency_max - cfg.latency_min).count());
+  return cfg.latency_min + std::chrono::nanoseconds(rng_.next_below(span + 1));
+}
+
+ntcs::Result<ChannelId> Fabric::connect_impl(Endpoint* src,
+                                             const std::string& dst_phys) {
+  std::shared_ptr<Endpoint> dst;
+  ChannelId chan = 0;
+  std::chrono::steady_clock::time_point deliver_at;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lk(mu_);
+    auto parts = parse_phys(dst_phys);
+    if (!parts) {
+      ++stats_.connects_failed;
+      return ntcs::Error(ntcs::Errc::bad_argument,
+                         "malformed physical address: " + dst_phys);
+    }
+    if (parts->kind != src->kind()) {
+      ++stats_.connects_failed;
+      return ntcs::Error(ntcs::Errc::unsupported,
+                         "cannot connect across IPCS kinds");
+    }
+    auto it = bound_.find(dst_phys);
+    if (it != bound_.end()) dst = it->second.lock();
+    if (!dst) {
+      ++stats_.connects_failed;
+      // The two IPCSs report an unbound destination differently; the
+      // ND-Layer normalises both to an address fault.
+      if (src->kind() == IpcsKind::tcp) {
+        return ntcs::Error(ntcs::Errc::refused,
+                           "connection refused: " + dst_phys);
+      }
+      return ntcs::Error(ntcs::Errc::address_fault,
+                         "no such mailbox: " + dst_phys);
+    }
+    NetworkId net = kInvalidNetwork;
+    if (dst->machine() != src->machine()) {
+      auto shared = shared_network_locked(src->machine(), dst->machine());
+      if (!shared) {
+        ++stats_.connects_failed;
+        return shared.error();
+      }
+      net = shared.value();
+    }
+    chan = next_chan_++;
+    ChannelState st;
+    st.a = src;
+    st.b = dst.get();
+    st.a_w = src->weak_from_this();
+    st.b_w = dst;
+    st.net = net;
+    deliver_at = std::chrono::steady_clock::now() + sample_latency_locked(net);
+    st.floor_to_b = deliver_at;
+    channels_[chan] = st;
+    seq = next_seq_++;
+    ++stats_.connects_ok;
+  }
+  dst->enqueue({deliver_at, seq,
+                Delivery{DeliveryKind::opened, chan, {}, src->phys()}});
+  return chan;
+}
+
+ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
+                               ntcs::BytesView frame) {
+  std::shared_ptr<Endpoint> peer;
+  std::chrono::steady_clock::time_point deliver_at;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lk(mu_);
+    auto it = channels_.find(chan);
+    if (it == channels_.end() ||
+        (it->second.a != src && it->second.b != src)) {
+      return ntcs::Status(ntcs::Errc::address_fault, "channel is gone");
+    }
+    ChannelState& st = it->second;
+    if (frame.size() > ipcs_mtu(src->kind())) {
+      return ntcs::Status(ntcs::Errc::too_big, "frame exceeds IPCS mtu");
+    }
+    if (st.net != kInvalidNetwork && nets_.at(st.net).partitioned) {
+      return ntcs::Status(ntcs::Errc::partitioned, "network partitioned");
+    }
+    ++stats_.frames_sent;
+    stats_.bytes_sent += frame.size();
+    if (st.net != kInvalidNetwork &&
+        rng_.chance(nets_.at(st.net).cfg.loss_prob)) {
+      ++stats_.frames_dropped;
+      return ntcs::Status::success();  // silently lost on the wire
+    }
+    const bool to_b = (it->second.a == src);
+    peer = (to_b ? st.b_w : st.a_w).lock();
+    if (!peer) {
+      // The peer is mid-destruction; its close notification is en route.
+      return ntcs::Status::success();
+    }
+    auto& floor = to_b ? st.floor_to_b : st.floor_to_a;
+    deliver_at = std::chrono::steady_clock::now() + sample_latency_locked(st.net);
+    if (deliver_at < floor) deliver_at = floor;  // per-channel FIFO queueing
+    if (st.net != kInvalidNetwork) {
+      // Serialisation delay on a finite link, applied after queueing so
+      // back-to-back frames occupy the link strictly in turn.
+      const std::uint64_t bps = nets_.at(st.net).cfg.bytes_per_sec;
+      if (bps != 0) {
+        deliver_at += std::chrono::nanoseconds(
+            frame.size() * 1'000'000'000ULL / bps);
+      }
+    }
+    floor = deliver_at;
+    seq = next_seq_++;
+  }
+  peer->enqueue({deliver_at, seq,
+                 Delivery{DeliveryKind::data, chan,
+                          ntcs::Bytes(frame.begin(), frame.end()), {}}});
+  return ntcs::Status::success();
+}
+
+ntcs::Status Fabric::close_channel_impl(Endpoint* src, ChannelId chan) {
+  std::shared_ptr<Endpoint> peer;
+  std::chrono::steady_clock::time_point deliver_at;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lk(mu_);
+    auto it = channels_.find(chan);
+    if (it == channels_.end() ||
+        (it->second.a != src && it->second.b != src)) {
+      return ntcs::Status(ntcs::Errc::not_found, "no such channel");
+    }
+    ChannelState& st = it->second;
+    const bool to_b = (st.a == src);
+    peer = (to_b ? st.b_w : st.a_w).lock();
+    // Close notifications ride the same ordered path as data so a peer
+    // never sees `closed` overtake earlier frames.
+    auto& floor = to_b ? st.floor_to_b : st.floor_to_a;
+    deliver_at = std::chrono::steady_clock::now() + sample_latency_locked(st.net);
+    if (deliver_at < floor) deliver_at = floor;
+    channels_.erase(it);
+    seq = next_seq_++;
+    ++stats_.channels_closed;
+  }
+  if (peer) {
+    peer->enqueue(
+        {deliver_at, seq, Delivery{DeliveryKind::closed, chan, {}, {}}});
+  }
+  return ntcs::Status::success();
+}
+
+void Fabric::close_endpoint(Endpoint* ep) {
+  struct Note {
+    std::shared_ptr<Endpoint> peer;
+    ChannelId chan;
+    std::chrono::steady_clock::time_point at;
+    std::uint64_t seq;
+  };
+  std::vector<Note> notes;
+  {
+    std::lock_guard lk(mu_);
+    auto it = bound_.find(ep->phys());
+    if (it != bound_.end()) {
+      // Only erase our own binding (a later bind may have reused the path
+      // after an earlier endpoint expired).
+      auto cur = it->second.lock();
+      if (!cur || cur.get() == ep) bound_.erase(it);
+    }
+    for (auto cit = channels_.begin(); cit != channels_.end();) {
+      ChannelState& st = cit->second;
+      if (st.a == ep || st.b == ep) {
+        auto peer = (st.a == ep ? st.b_w : st.a_w).lock();
+        auto& floor = st.a == ep ? st.floor_to_b : st.floor_to_a;
+        auto at = std::chrono::steady_clock::now() +
+                  sample_latency_locked(st.net);
+        if (at < floor) at = floor;
+        if (peer && peer.get() != ep) {
+          notes.push_back({std::move(peer), cit->first, at, next_seq_++});
+        }
+        ++stats_.channels_closed;
+        cit = channels_.erase(cit);
+      } else {
+        ++cit;
+      }
+    }
+  }
+  for (const Note& n : notes) {
+    n.peer->enqueue(
+        {n.at, n.seq, Delivery{DeliveryKind::closed, n.chan, {}, {}}});
+  }
+  ep->close_inbox();
+}
+
+}  // namespace ntcs::simnet

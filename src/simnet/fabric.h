@@ -1,0 +1,139 @@
+// fabric.h — the simulated internetwork of machines, networks and IPCSs.
+//
+// Stands in for the paper's hardware environment (DESIGN.md §2): machines
+// with distinct architectures and skewed clocks, attached to one or more
+// networks with configurable latency/loss/partition, each machine offering
+// a TCP-like and an MBX-like native IPCS. Disjoint networks are *only*
+// bridgeable through NTCS Gateway modules — the fabric itself never routes
+// between networks, exactly like the paper's underlying IPCSs (§2.2: the
+// ND-Layer "is not capable of communicating between machines on networks
+// which are not supported directly by the endpoint IPCSs").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "convert/machine.h"
+#include "simnet/endpoint.h"
+#include "simnet/types.h"
+
+namespace ntcs::simnet {
+
+/// The fabric. Thread-safe. Must outlive every Endpoint bound through it.
+class Fabric {
+ public:
+  explicit Fabric(std::uint64_t seed = 1);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // --- topology construction -------------------------------------------
+  NetworkId add_network(std::string name, NetConfig cfg = {});
+  MachineId add_machine(std::string name, convert::Arch arch,
+                        std::vector<NetworkId> networks);
+  void attach_machine(MachineId m, NetworkId n);
+
+  std::optional<NetworkId> network_by_name(std::string_view name) const;
+  std::optional<MachineId> machine_by_name(std::string_view name) const;
+  const std::string& machine_name(MachineId m) const;
+  const std::string& network_name(NetworkId n) const;
+  convert::Arch machine_arch(MachineId m) const;
+  std::vector<NetworkId> machine_networks(MachineId m) const;
+  std::size_t machine_count() const;
+  std::size_t network_count() const;
+
+  // --- per-machine clocks (skew for the DRTS time service) --------------
+  void set_clock_offset(MachineId m, std::chrono::nanoseconds offset);
+  /// The machine's local clock reading (real steady clock + its skew).
+  std::chrono::nanoseconds machine_now(MachineId m) const;
+
+  // --- failure / latency injection ---------------------------------------
+  void set_partitioned(NetworkId n, bool partitioned);
+  void set_loss(NetworkId n, double loss_prob);
+  void set_latency(NetworkId n, std::chrono::nanoseconds lo,
+                   std::chrono::nanoseconds hi);
+  void set_bandwidth(NetworkId n, std::uint64_t bytes_per_sec);
+  /// Sever one live channel; both ends get a `closed` delivery.
+  ntcs::Status kill_channel(ChannelId chan);
+
+  // --- endpoints ----------------------------------------------------------
+  /// Bind a new endpoint on machine `m`. For mbx, `local_name` is the
+  /// mailbox pathname component and must be unique on the machine; for
+  /// tcp a fresh port is assigned (local_name is advisory only).
+  ntcs::Result<std::shared_ptr<Endpoint>> bind(MachineId m, IpcsKind kind,
+                                               std::string_view local_name);
+
+  /// Is anything currently bound at this physical address? (The OS-level
+  /// liveness check the Name Server uses to decide whether an old address
+  /// is "really inactive", §3.5.)
+  bool probe(std::string_view phys) const;
+
+  // --- statistics -----------------------------------------------------------
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t connects_ok = 0;
+    std::uint64_t connects_failed = 0;
+    std::uint64_t channels_closed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  friend class Endpoint;
+
+  struct NetworkState {
+    std::string name;
+    NetConfig cfg;
+    bool partitioned = false;
+  };
+  struct MachineState {
+    std::string name;
+    convert::Arch arch;
+    std::vector<NetworkId> networks;
+    std::chrono::nanoseconds clock_offset{0};
+  };
+  struct ChannelState {
+    // Raw pointers identify the two ends; the weak_ptrs let notification
+    // paths pin an endpoint alive across an enqueue that happens after
+    // the fabric lock is released (an endpoint may be destroyed by its
+    // owner at any moment).
+    Endpoint* a = nullptr;
+    Endpoint* b = nullptr;
+    std::weak_ptr<Endpoint> a_w;
+    std::weak_ptr<Endpoint> b_w;
+    NetworkId net = kInvalidNetwork;  // kInvalidNetwork = same-machine
+    std::chrono::steady_clock::time_point floor_to_a{};
+    std::chrono::steady_clock::time_point floor_to_b{};
+  };
+
+  ntcs::Result<ChannelId> connect_impl(Endpoint* src,
+                                       const std::string& dst_phys);
+  ntcs::Status send_impl(Endpoint* src, ChannelId chan, ntcs::BytesView frame);
+  ntcs::Status close_channel_impl(Endpoint* src, ChannelId chan);
+  void close_endpoint(Endpoint* ep);
+
+  /// Pick a non-partitioned network both machines attach to.
+  ntcs::Result<NetworkId> shared_network_locked(MachineId a, MachineId b) const;
+  std::chrono::nanoseconds sample_latency_locked(NetworkId n);
+
+  mutable std::mutex mu_;
+  std::vector<NetworkState> nets_;
+  std::vector<MachineState> machines_;
+  std::unordered_map<std::string, std::weak_ptr<Endpoint>> bound_;
+  std::unordered_map<ChannelId, ChannelState> channels_;
+  ntcs::Rng rng_;
+  ChannelId next_chan_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::uint16_t next_port_ = 5000;
+  Stats stats_;
+};
+
+}  // namespace ntcs::simnet

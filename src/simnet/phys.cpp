@@ -1,0 +1,62 @@
+#include "simnet/phys.h"
+
+namespace ntcs::simnet {
+
+std::string_view ipcs_kind_name(IpcsKind k) {
+  switch (k) {
+    case IpcsKind::tcp: return "tcp";
+    case IpcsKind::mbx: return "mbx";
+  }
+  return "unknown";
+}
+
+std::size_t ipcs_mtu(IpcsKind k) {
+  switch (k) {
+    case IpcsKind::tcp: return 16 * 1024;
+    case IpcsKind::mbx: return 4 * 1024;  // mailboxes are small
+  }
+  return 4 * 1024;
+}
+
+std::string format_tcp_addr(std::string_view machine, std::uint16_t port) {
+  return "tcp:" + std::string(machine) + ":" + std::to_string(port);
+}
+
+std::string format_mbx_addr(std::string_view machine, std::string_view name) {
+  return "mbx:/" + std::string(machine) + "/" + std::string(name);
+}
+
+std::optional<PhysParts> parse_phys(std::string_view phys) {
+  if (phys.rfind("tcp:", 0) == 0) {
+    const std::string_view rest = phys.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      return std::nullopt;
+    }
+    PhysParts p;
+    p.kind = IpcsKind::tcp;
+    p.machine = std::string(rest.substr(0, colon));
+    p.local = std::string(rest.substr(colon + 1));
+    for (char c : p.local) {
+      if (c < '0' || c > '9') return std::nullopt;
+    }
+    return p;
+  }
+  if (phys.rfind("mbx:/", 0) == 0) {
+    const std::string_view rest = phys.substr(5);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos || slash == 0 ||
+        slash + 1 >= rest.size()) {
+      return std::nullopt;
+    }
+    PhysParts p;
+    p.kind = IpcsKind::mbx;
+    p.machine = std::string(rest.substr(0, slash));
+    p.local = std::string(rest.substr(slash + 1));
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ntcs::simnet

@@ -1,0 +1,35 @@
+// phys.h — physical address formats of the two simulated IPCSs.
+//
+// Paper §2.3: "At the lowest level are network-dependent physical
+// addresses, such as TCP/IP 32-bit integers or Apollo MBX pathnames, over
+// which we have no control." The naming service stores these uninterpreted
+// (§3.2); only the ND-Layer parses them.
+//
+// Formats:
+//   tcp:<machine-name>:<port>        (TCP-like: host + 16-bit port)
+//   mbx:/<machine-name>/<local-name> (MBX-like: server mailbox pathname)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "simnet/types.h"
+
+namespace ntcs::simnet {
+
+/// A parsed physical address.
+struct PhysParts {
+  IpcsKind kind;
+  std::string machine;  // machine name
+  std::string local;    // port (tcp, as text) or mailbox name (mbx)
+};
+
+std::string format_tcp_addr(std::string_view machine, std::uint16_t port);
+std::string format_mbx_addr(std::string_view machine, std::string_view name);
+
+/// Parse either format. Empty on malformed input.
+std::optional<PhysParts> parse_phys(std::string_view phys);
+
+}  // namespace ntcs::simnet

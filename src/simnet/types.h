@@ -1,0 +1,47 @@
+// types.h — identifiers and configuration for the simulated fabric.
+//
+// simnet stands in for the paper's physical testbed: Apollo, VAX and Sun
+// machines on several local networks, each machine offering a native IPCS
+// (Unix TCP or Apollo MBX). The NTCS above sees only IPCS semantics —
+// physical addresses, connections, message frames, failure notifications —
+// which is exactly what this layer provides.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ntcs::simnet {
+
+using NetworkId = std::uint32_t;
+using MachineId = std::uint32_t;
+using ChannelId = std::uint64_t;
+
+inline constexpr NetworkId kInvalidNetwork = 0xFFFFFFFFu;
+
+/// Which native IPCS an endpoint belongs to. The two flavours differ in
+/// physical address format, maximum frame size, and error behaviour —
+/// differences the ND-Layer must hide behind the STD-IF.
+enum class IpcsKind : std::uint8_t { tcp = 0, mbx = 1 };
+
+std::string_view ipcs_kind_name(IpcsKind k);
+
+/// Per-network behaviour knobs (all default to a perfect network; tests and
+/// benches turn individual knobs for failure injection and latency studies).
+struct NetConfig {
+  std::chrono::nanoseconds latency_min{0};
+  std::chrono::nanoseconds latency_max{0};
+  /// Probability that a data frame is silently dropped (failure injection;
+  /// the native IPCSs are reliable, so this is 0 unless a test sets it).
+  double loss_prob = 0.0;
+  /// Link bandwidth; 0 = infinite. Each frame's delivery is additionally
+  /// delayed by size/bandwidth, so large transfers serialise realistically
+  /// (a 1986 Ethernet is ~1.25e6 bytes/s).
+  std::uint64_t bytes_per_sec = 0;
+};
+
+/// Maximum payload of a single IPCS frame. Messages larger than this are
+/// fragmented by the ND-Layer.
+std::size_t ipcs_mtu(IpcsKind k);
+
+}  // namespace ntcs::simnet

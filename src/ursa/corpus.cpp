@@ -1,0 +1,89 @@
+#include "ursa/corpus.h"
+
+#include "common/rng.h"
+
+namespace ursa {
+
+namespace {
+
+constexpr const char* kSyllables[] = {"re", "tri", "ev", "al", "sys",  "tem",
+                                      "ur", "sa", "ta", "do", "cu",   "ment",
+                                      "in", "dex", "quer", "y", "net", "work"};
+constexpr std::size_t kSyllableCount = sizeof(kSyllables) / sizeof(char*);
+
+std::string make_word(ntcs::Rng& rng) {
+  const int parts = static_cast<int>(rng.next_in(2, 4));
+  std::string w;
+  for (int i = 0; i < parts; ++i) {
+    w += kSyllables[rng.next_below(kSyllableCount)];
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c >= 'a' && c <= 'z') {
+      cur.push_back(c);
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+Corpus Corpus::generate(std::size_t doc_count, std::uint64_t seed) {
+  ntcs::Rng rng(seed);
+  Corpus corpus;
+
+  // Vocabulary: ~400 distinct words, de-duplicated.
+  while (corpus.vocab_.size() < 400) {
+    std::string w = make_word(rng);
+    bool dup = false;
+    for (const auto& v : corpus.vocab_) {
+      if (v == w) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) corpus.vocab_.push_back(std::move(w));
+  }
+
+  corpus.docs_.reserve(doc_count);
+  for (std::size_t d = 0; d < doc_count; ++d) {
+    Document doc;
+    doc.id = d + 1;
+    // Zipf-ish pick: square the uniform variate so low ranks dominate.
+    auto pick = [&]() -> const std::string& {
+      const double u = rng.next_double();
+      const auto rank = static_cast<std::size_t>(
+          u * u * static_cast<double>(corpus.vocab_.size()));
+      return corpus.vocab_[rank >= corpus.vocab_.size()
+                               ? corpus.vocab_.size() - 1
+                               : rank];
+    };
+    doc.title = pick() + " " + pick();
+    const int words = static_cast<int>(rng.next_in(40, 160));
+    for (int w = 0; w < words; ++w) {
+      if (w != 0) doc.text.push_back(' ');
+      doc.text += pick();
+    }
+    corpus.docs_.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+const Document* Corpus::find(std::uint64_t id) const {
+  for (const auto& d : docs_) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace ursa

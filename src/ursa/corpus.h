@@ -1,0 +1,43 @@
+// corpus.h — synthetic document corpus for the URSA testbed.
+//
+// The original URSA system served real document collections on specialised
+// backend hardware; we generate a deterministic synthetic corpus with a
+// Zipf-like term distribution so retrieval behaviour (selective terms vs
+// stop-word-ish terms, ranking by term frequency) is realistic and
+// reproducible (DESIGN.md §2 substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+struct Document {
+  std::uint64_t id = 0;
+  std::string title;
+  std::string text;
+};
+
+class Corpus {
+ public:
+  /// Generate `doc_count` documents deterministically from `seed`.
+  static Corpus generate(std::size_t doc_count, std::uint64_t seed);
+
+  const std::vector<Document>& documents() const { return docs_; }
+  const Document* find(std::uint64_t id) const;
+  std::size_t size() const { return docs_.size(); }
+
+  /// The generator's vocabulary (rank order: rank 0 is the most frequent
+  /// term) — handy for building realistic query workloads.
+  const std::vector<std::string>& vocabulary() const { return vocab_; }
+
+ private:
+  std::vector<Document> docs_;
+  std::vector<std::string> vocab_;
+};
+
+/// Lower-case alphabetic tokens of a text.
+std::vector<std::string> tokenize(const std::string& text);
+
+}  // namespace ursa

@@ -1,0 +1,26 @@
+#include "ursa/index.h"
+
+namespace ursa {
+
+void InvertedIndex::add_document(const Document& doc) {
+  std::map<std::string, std::uint32_t> tfs;
+  for (const std::string& t : tokenize(doc.title)) ++tfs[t];
+  for (const std::string& t : tokenize(doc.text)) ++tfs[t];
+  for (const auto& [term, tf] : tfs) {
+    index_[term].push_back(Posting{doc.id, tf});
+  }
+  ++doc_count_;
+}
+
+void InvertedIndex::add_corpus(const Corpus& corpus) {
+  for (const Document& d : corpus.documents()) add_document(d);
+}
+
+const std::vector<Posting>& InvertedIndex::postings(
+    const std::string& term) const {
+  static const std::vector<Posting> kEmpty;
+  auto it = index_.find(term);
+  return it == index_.end() ? kEmpty : it->second;
+}
+
+}  // namespace ursa

@@ -1,0 +1,36 @@
+// index.h — the URSA inverted index (the index-lookup backend's core).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ursa/corpus.h"
+
+namespace ursa {
+
+struct Posting {
+  std::uint64_t doc = 0;
+  std::uint32_t tf = 0;  // term frequency
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+class InvertedIndex {
+ public:
+  void add_document(const Document& doc);
+  void add_corpus(const Corpus& corpus);
+
+  /// Postings for a term, ordered by document id. Empty if unknown.
+  const std::vector<Posting>& postings(const std::string& term) const;
+
+  std::size_t term_count() const { return index_.size(); }
+  std::size_t doc_count() const { return doc_count_; }
+
+ private:
+  std::map<std::string, std::vector<Posting>> index_;
+  std::size_t doc_count_ = 0;
+};
+
+}  // namespace ursa

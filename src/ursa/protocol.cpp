@@ -1,0 +1,280 @@
+#include "ursa/protocol.h"
+
+#include "convert/packed.h"
+
+namespace ursa {
+
+using ntcs::convert::Packer;
+using ntcs::convert::Unpacker;
+
+namespace {
+
+Packer prologue(Op op) {
+  Packer p;
+  p.put_u64(static_cast<std::uint64_t>(op));
+  return p;
+}
+
+Packer ok_prologue() {
+  Packer p;
+  p.put_u64(static_cast<std::uint64_t>(ntcs::Errc::ok));
+  p.put_string("");
+  return p;
+}
+
+std::optional<ntcs::Error> check_status(Unpacker& u) {
+  auto code = u.get_u64();
+  if (!code) return code.error();
+  auto text = u.get_string();
+  if (!text) return text.error();
+  if (code.value() == static_cast<std::uint64_t>(ntcs::Errc::ok)) {
+    return std::nullopt;
+  }
+  return ntcs::Error(static_cast<ntcs::Errc>(code.value()), text.value());
+}
+
+}  // namespace
+
+ntcs::Bytes encode_postings_request(const std::string& term) {
+  Packer p = prologue(Op::postings);
+  p.put_string(term);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_get_doc_request(std::uint64_t doc) {
+  Packer p = prologue(Op::get_doc);
+  p.put_u64(doc);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_search_request(const std::string& query, std::size_t k) {
+  Packer p = prologue(Op::search);
+  p.put_string(query);
+  p.put_u64(k);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_stats_request() {
+  return std::move(prologue(Op::stats)).take();
+}
+
+ntcs::Bytes encode_add_doc_request(const std::string& title,
+                                   const std::string& text) {
+  Packer p = prologue(Op::add_doc);
+  p.put_string(title);
+  p.put_string(text);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_index_doc_request(const Document& doc) {
+  Packer p = prologue(Op::index_doc);
+  p.put_u64(doc.id);
+  p.put_string(doc.title);
+  p.put_string(doc.text);
+  return std::move(p).take();
+}
+
+ntcs::Result<Request> decode_request(ntcs::BytesView body) {
+  Unpacker u(body);
+  auto op = u.get_u64();
+  if (!op) return op.error();
+  Request req;
+  req.op = static_cast<Op>(op.value());
+  switch (req.op) {
+    case Op::postings: {
+      auto term = u.get_string();
+      if (!term) return term.error();
+      req.term = std::move(term.value());
+      return req;
+    }
+    case Op::get_doc: {
+      auto doc = u.get_u64();
+      if (!doc) return doc.error();
+      req.doc = doc.value();
+      return req;
+    }
+    case Op::search: {
+      auto q = u.get_string();
+      if (!q) return q.error();
+      req.query = std::move(q.value());
+      auto k = u.get_u64();
+      if (!k) return k.error();
+      req.k = k.value();
+      return req;
+    }
+    case Op::stats:
+      return req;
+    case Op::add_doc: {
+      auto title = u.get_string();
+      if (!title) return title.error();
+      req.title = std::move(title.value());
+      auto text = u.get_string();
+      if (!text) return text.error();
+      req.text = std::move(text.value());
+      return req;
+    }
+    case Op::index_doc: {
+      auto id = u.get_u64();
+      if (!id) return id.error();
+      req.doc = id.value();
+      auto title = u.get_string();
+      if (!title) return title.error();
+      req.title = std::move(title.value());
+      auto text = u.get_string();
+      if (!text) return text.error();
+      req.text = std::move(text.value());
+      return req;
+    }
+  }
+  return ntcs::Error(ntcs::Errc::bad_message, "unknown URSA op");
+}
+
+ntcs::Bytes encode_error(ntcs::Errc code, const std::string& text) {
+  Packer p;
+  p.put_u64(static_cast<std::uint64_t>(code));
+  p.put_string(text);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_postings_response(const std::vector<Posting>& postings) {
+  Packer p = ok_prologue();
+  p.put_u64(postings.size());
+  for (const Posting& post : postings) {
+    p.put_u64(post.doc);
+    p.put_u64(post.tf);
+  }
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_doc_response(const Document& doc) {
+  Packer p = ok_prologue();
+  p.put_u64(doc.id);
+  p.put_string(doc.title);
+  p.put_string(doc.text);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_search_response(const std::vector<SearchHit>& hits) {
+  Packer p = ok_prologue();
+  p.put_u64(hits.size());
+  for (const SearchHit& h : hits) {
+    p.put_u64(h.doc);
+    p.put_f64(h.score);
+    p.put_string(h.title);
+  }
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_stats_response(std::uint64_t served,
+                                  std::uint64_t items_held,
+                                  std::uint64_t doc_count) {
+  Packer p = ok_prologue();
+  p.put_u64(served);
+  p.put_u64(items_held);
+  p.put_u64(doc_count);
+  return std::move(p).take();
+}
+
+ntcs::Result<std::vector<Posting>> decode_postings_response(
+    ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > 10'000'000) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd posting count");
+  }
+  std::vector<Posting> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto doc = u.get_u64();
+    if (!doc) return doc.error();
+    auto tf = u.get_u64();
+    if (!tf) return tf.error();
+    out.push_back(Posting{doc.value(), static_cast<std::uint32_t>(tf.value())});
+  }
+  return out;
+}
+
+ntcs::Result<Document> decode_doc_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  Document d;
+  auto id = u.get_u64();
+  if (!id) return id.error();
+  d.id = id.value();
+  auto title = u.get_string();
+  if (!title) return title.error();
+  d.title = std::move(title.value());
+  auto text = u.get_string();
+  if (!text) return text.error();
+  d.text = std::move(text.value());
+  return d;
+}
+
+ntcs::Result<std::vector<SearchHit>> decode_search_response(
+    ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > 100000) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd hit count");
+  }
+  std::vector<SearchHit> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    SearchHit h;
+    auto doc = u.get_u64();
+    if (!doc) return doc.error();
+    h.doc = doc.value();
+    auto score = u.get_f64();
+    if (!score) return score.error();
+    h.score = score.value();
+    auto title = u.get_string();
+    if (!title) return title.error();
+    h.title = std::move(title.value());
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+ntcs::Bytes encode_add_doc_response(std::uint64_t id) {
+  Packer p = ok_prologue();
+  p.put_u64(id);
+  return std::move(p).take();
+}
+
+ntcs::Bytes encode_ok_response() { return std::move(ok_prologue()).take(); }
+
+ntcs::Result<std::uint64_t> decode_add_doc_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  auto id = u.get_u64();
+  if (!id) return id.error();
+  return id.value();
+}
+
+ntcs::Status decode_ok_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  return ntcs::Status::success();
+}
+
+ntcs::Result<StatsResponse> decode_stats_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  StatsResponse r;
+  auto served = u.get_u64();
+  if (!served) return served.error();
+  r.served = served.value();
+  auto held = u.get_u64();
+  if (!held) return held.error();
+  r.items_held = held.value();
+  auto docs = u.get_u64();
+  if (!docs) return docs.error();
+  r.doc_count = docs.value();
+  return r;
+}
+
+}  // namespace ursa

@@ -1,0 +1,80 @@
+// protocol.h — the URSA backend wire protocol.
+//
+// Requests and replies travel in packed mode over the NTCS (characters are
+// representation-free, §5.1), so an URSA deployment can mix VAX, Sun and
+// Apollo backends freely — the original project's whole point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "ursa/index.h"
+
+namespace ursa {
+
+enum class Op : std::uint64_t {
+  postings = 1,   // index server: term -> postings
+  get_doc = 2,    // doc server: id -> text
+  search = 3,     // search server: query -> ranked hits
+  stats = 4,      // any server: basic counters
+  add_doc = 5,    // doc server: store a new document -> id
+  index_doc = 6,  // index server: add a document's terms to the index
+};
+
+struct SearchHit {
+  std::uint64_t doc = 0;
+  double score = 0.0;
+  std::string title;
+
+  friend bool operator==(const SearchHit&, const SearchHit&) = default;
+};
+
+// Requests.
+ntcs::Bytes encode_postings_request(const std::string& term);
+ntcs::Bytes encode_get_doc_request(std::uint64_t doc);
+ntcs::Bytes encode_search_request(const std::string& query, std::size_t k);
+ntcs::Bytes encode_stats_request();
+ntcs::Bytes encode_add_doc_request(const std::string& title,
+                                   const std::string& text);
+ntcs::Bytes encode_index_doc_request(const Document& doc);
+
+struct Request {
+  Op op;
+  std::string term;        // postings
+  std::uint64_t doc = 0;   // get_doc / index_doc
+  std::string query;       // search
+  std::uint64_t k = 0;     // search
+  std::string title;       // add_doc / index_doc
+  std::string text;        // add_doc / index_doc
+};
+ntcs::Result<Request> decode_request(ntcs::BytesView body);
+
+// Responses (status envelope first, like the NSP protocol).
+ntcs::Bytes encode_error(ntcs::Errc code, const std::string& text);
+ntcs::Bytes encode_postings_response(const std::vector<Posting>& postings);
+ntcs::Bytes encode_doc_response(const Document& doc);
+ntcs::Bytes encode_search_response(const std::vector<SearchHit>& hits);
+ntcs::Bytes encode_stats_response(std::uint64_t served,
+                                  std::uint64_t items_held,
+                                  std::uint64_t doc_count = 0);
+ntcs::Bytes encode_add_doc_response(std::uint64_t id);
+ntcs::Bytes encode_ok_response();  // index_doc
+
+ntcs::Result<std::vector<Posting>> decode_postings_response(
+    ntcs::BytesView body);
+ntcs::Result<Document> decode_doc_response(ntcs::BytesView body);
+ntcs::Result<std::vector<SearchHit>> decode_search_response(
+    ntcs::BytesView body);
+struct StatsResponse {
+  std::uint64_t served = 0;
+  std::uint64_t items_held = 0;
+  std::uint64_t doc_count = 0;  // corpus size (index server only)
+};
+ntcs::Result<StatsResponse> decode_stats_response(ntcs::BytesView body);
+ntcs::Result<std::uint64_t> decode_add_doc_response(ntcs::BytesView body);
+ntcs::Status decode_ok_response(ntcs::BytesView body);
+
+}  // namespace ursa

@@ -1,0 +1,114 @@
+#include "ursa/query.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ursa/corpus.h"
+
+namespace ursa {
+
+std::vector<std::string> Query::distinct_terms() const {
+  std::vector<std::string> out;
+  for (const QueryGroup& g : groups) {
+    for (const std::string& t : g.terms) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      }
+    }
+  }
+  return out;
+}
+
+bool Query::empty() const {
+  for (const QueryGroup& g : groups) {
+    if (!g.terms.empty()) return false;
+  }
+  return true;
+}
+
+Query parse_query(const std::string& text) {
+  Query q;
+  QueryGroup current;
+  for (const std::string& token : tokenize(text)) {
+    if (token == "or") {
+      if (!current.terms.empty()) {
+        q.groups.push_back(std::move(current));
+        current = QueryGroup{};
+      }
+      continue;
+    }
+    current.terms.push_back(token);
+  }
+  if (!current.terms.empty()) q.groups.push_back(std::move(current));
+  return q;
+}
+
+double idf(std::uint64_t doc_count, std::uint64_t df) {
+  if (df == 0) return 0.0;
+  return std::log(1.0 + static_cast<double>(doc_count) /
+                            static_cast<double>(df));
+}
+
+std::vector<SearchHit> evaluate_query(
+    const Query& q,
+    const std::map<std::string, std::vector<Posting>>& postings,
+    std::uint64_t doc_count, std::size_t k) {
+  // Per-term tf lookup tables and idf weights.
+  std::map<std::string, std::map<std::uint64_t, std::uint32_t>> tf;
+  std::map<std::string, double> weight;
+  for (const auto& [term, list] : postings) {
+    auto& table = tf[term];
+    for (const Posting& p : list) table[p.doc] = p.tf;
+    weight[term] = idf(doc_count, list.size());
+  }
+
+  std::map<std::uint64_t, double> scores;
+  for (const QueryGroup& g : q.groups) {
+    if (g.terms.empty()) continue;
+    // Candidate docs: those containing the group's rarest term; verify the
+    // rest of the conjunction against the tf tables.
+    const std::string* seed = &g.terms.front();
+    for (const std::string& t : g.terms) {
+      auto it = postings.find(t);
+      auto st = postings.find(*seed);
+      const std::size_t n = it == postings.end() ? 0 : it->second.size();
+      const std::size_t sn = st == postings.end() ? 0 : st->second.size();
+      if (n < sn) seed = &t;
+    }
+    auto seed_it = postings.find(*seed);
+    if (seed_it == postings.end()) continue;
+    for (const Posting& cand : seed_it->second) {
+      double group_score = 0.0;
+      bool all = true;
+      for (const std::string& t : g.terms) {
+        auto table_it = tf.find(t);
+        if (table_it == tf.end()) {
+          all = false;
+          break;
+        }
+        auto doc_it = table_it->second.find(cand.doc);
+        if (doc_it == table_it->second.end()) {
+          all = false;
+          break;
+        }
+        group_score += doc_it->second * weight[t];
+      }
+      if (all) scores[cand.doc] += group_score;
+    }
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    hits.push_back(SearchHit{doc, score, ""});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace ursa

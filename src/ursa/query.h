@@ -1,0 +1,56 @@
+// query.h — the URSA query language and ranking model.
+//
+// Query syntax mirrors the boolean retrieval systems of the paper's era
+// (URSA grew out of backend search engines for boolean/proximity queries):
+//
+//   term term ...            conjunction (all terms must occur)
+//   ... or ...               disjunction of conjunctive groups
+//
+// e.g. "information retrieval or document indexing" matches documents
+// containing BOTH "information" AND "retrieval", or both "document" AND
+// "indexing". Ranking is tf·idf summed over the matched groups' terms, so
+// rare (selective) terms dominate common ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ursa/protocol.h"
+
+namespace ursa {
+
+/// One conjunctive group: every term must occur in the document.
+struct QueryGroup {
+  std::vector<std::string> terms;
+};
+
+/// A disjunction of conjunctive groups.
+struct Query {
+  std::vector<QueryGroup> groups;
+
+  /// All distinct terms across groups (what the index must be asked for).
+  std::vector<std::string> distinct_terms() const;
+  bool empty() const;
+};
+
+/// Parse "a b or c d" into {{a,b},{c,d}}. Tokenisation is the corpus
+/// tokeniser's; the bare word "or" is the group separator. Empty groups
+/// are dropped.
+Query parse_query(const std::string& text);
+
+/// Inverse document frequency, ln(1 + N/df). df == 0 yields 0 (the term
+/// matches nothing, so its weight never applies).
+double idf(std::uint64_t doc_count, std::uint64_t df);
+
+/// Evaluate a query against fetched postings. `postings` maps each term of
+/// the query to its postings list (missing/empty lists mean the term occurs
+/// nowhere). Returns the top-k hits, scored by tf·idf over matched groups,
+/// ranked by descending score then ascending document id.
+std::vector<SearchHit> evaluate_query(
+    const Query& q,
+    const std::map<std::string, std::vector<Posting>>& postings,
+    std::uint64_t doc_count, std::size_t k);
+
+}  // namespace ursa

@@ -1,0 +1,79 @@
+// servers.h — the URSA backend servers and host interface (paper §1.2).
+//
+// "The URSA system is based on a number of backend servers (e.g., for
+// index lookup, searching, or retrieval of documents), handling requests
+// from host processors or user workstations."
+//
+// Three backends, each a managed NTCS module:
+//   * ursa-index  — inverted-index lookup (term -> postings);
+//   * ursa-docs   — document retrieval (id -> text);
+//   * ursa-search — query evaluation: tokenises the query, fetches
+//                   postings from the index server (server-to-server NTCS
+//                   traffic), accumulates tf scores, ranks, returns top-k.
+// The UrsaHost is the host-processor-side client API.
+#pragma once
+
+#include <memory>
+
+#include "core/testbed.h"
+#include "drts/process_control.h"
+#include "ursa/protocol.h"
+
+namespace ursa {
+
+inline constexpr std::string_view kIndexServerName = "ursa-index";
+inline constexpr std::string_view kDocServerName = "ursa-docs";
+inline constexpr std::string_view kSearchServerName = "ursa-search";
+
+/// Service loop of the index-lookup backend.
+ntcs::drts::ServiceFn make_index_service(std::shared_ptr<InvertedIndex> idx);
+
+/// Service loop of the document-retrieval backend.
+ntcs::drts::ServiceFn make_doc_service(std::shared_ptr<Corpus> corpus);
+
+/// Service loop of the search backend (talks to the index server).
+ntcs::drts::ServiceFn make_search_service();
+
+/// Placement of the three backends on a testbed.
+struct UrsaPlacement {
+  std::string index_machine, index_net;
+  std::string doc_machine, doc_net;
+  std::string search_machine, search_net;
+};
+
+/// Spawn a complete URSA deployment through the process controller.
+/// Returns the corpus so callers can verify retrieval results.
+ntcs::Result<std::shared_ptr<Corpus>> spawn_ursa(
+    ntcs::drts::ProcessController& pc, const UrsaPlacement& placement,
+    std::size_t corpus_docs = 200, std::uint64_t seed = 7);
+
+/// Host-processor-side API: what a user workstation links against.
+class UrsaHost {
+ public:
+  explicit UrsaHost(ntcs::core::Node& node);
+
+  /// Resolve the backend names once (§1.3: obtain each address once;
+  /// relocation is transparent afterwards).
+  ntcs::Status connect();
+
+  ntcs::Result<std::vector<SearchHit>> search(const std::string& query,
+                                              std::size_t k = 10);
+  ntcs::Result<Document> fetch(std::uint64_t doc);
+  ntcs::Result<StatsResponse> index_stats();
+
+  /// Add a document to the running system: stored by the doc server,
+  /// indexed by the index server, immediately searchable.
+  ntcs::Result<std::uint64_t> add_document(const std::string& title,
+                                           const std::string& text);
+
+  bool connected() const { return connected_; }
+
+ private:
+  ntcs::core::Node& node_;
+  ntcs::core::UAdd search_;
+  ntcs::core::UAdd docs_;
+  ntcs::core::UAdd index_;
+  bool connected_ = false;
+};
+
+}  // namespace ursa

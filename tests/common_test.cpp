@@ -1,0 +1,211 @@
+// Unit tests for the utility substrate (S1): bytes, errors, queues, RNG,
+// logging.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/queue.h"
+#include "common/rng.h"
+
+namespace ntcs {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Bytes, RoundTripString) {
+  Bytes b = to_bytes("hello NTCS");
+  EXPECT_EQ(to_string(b), "hello NTCS");
+}
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a = to_bytes("abc");
+  append(a, to_bytes("def"));
+  EXPECT_EQ(to_string(a), "abcdef");
+}
+
+TEST(Bytes, HexDumpTruncates) {
+  Bytes b(100, 0xAB);
+  const std::string dump = hex_dump(b, 4);
+  EXPECT_EQ(dump, "ab ab ab ab ...");
+}
+
+TEST(Bytes, HexDumpEmpty) { EXPECT_EQ(hex_dump(Bytes{}), ""); }
+
+TEST(Error, NamesAreStable) {
+  EXPECT_EQ(errc_name(Errc::ok), "ok");
+  EXPECT_EQ(errc_name(Errc::address_fault), "address_fault");
+  EXPECT_EQ(errc_name(Errc::still_alive), "still_alive");
+  EXPECT_EQ(errc_name(Errc::recursion_limit), "recursion_limit");
+}
+
+TEST(Error, ToStringIncludesContext) {
+  Error e(Errc::timeout, "waiting for reply");
+  EXPECT_EQ(e.to_string(), "timeout: waiting for reply");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Errc::ok);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error(Errc::not_found, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::not_found);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s(Errc::closed, "endpoint gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::closed);
+}
+
+TEST(Queue, FifoOrder) {
+  BlockingQueue<int> q;
+  ASSERT_TRUE(q.push(1).ok());
+  ASSERT_TRUE(q.push(2).ok());
+  ASSERT_TRUE(q.push(3).ok());
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(Queue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto r = q.pop_for(5ms);
+  EXPECT_EQ(r.code(), Errc::timeout);
+}
+
+TEST(Queue, CloseWakesWaiter) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    auto r = q.pop();
+    EXPECT_EQ(r.code(), Errc::closed);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  t.join();
+}
+
+TEST(Queue, DrainsAfterClose) {
+  BlockingQueue<int> q;
+  ASSERT_TRUE(q.push(9).ok());
+  q.close();
+  EXPECT_EQ(q.pop().value(), 9);
+  EXPECT_EQ(q.pop().code(), Errc::closed);
+  EXPECT_FALSE(q.push(10).ok());
+}
+
+TEST(Queue, CapacityLimitsPush) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.push(1).ok());
+  EXPECT_TRUE(q.push(2).ok());
+  EXPECT_EQ(q.push(3).code(), Errc::no_resource);
+}
+
+TEST(Queue, TryPopNonBlocking) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  ASSERT_TRUE(q.push(5).ok());
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Queue, ManyProducersOneConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) (void)q.push(i);
+    });
+  }
+  int seen = 0;
+  while (seen < kProducers * kPerProducer) {
+    auto r = q.pop_for(1s);
+    ASSERT_TRUE(r.ok());
+    ++seen;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(seen, kProducers * kPerProducer);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(10), 10u);
+    const auto v = r.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(Log, CaptureRecordsByLayer) {
+  Log::instance().set_capture(true);
+  Log::instance().clear_captured();
+  LayerLog lcm("lcm", "modA");
+  LayerLog nd("nd", "modB");
+  lcm.info("hello");
+  nd.debug("world");
+  auto records = Log::instance().captured();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].layer, "lcm");
+  EXPECT_EQ(records[0].module, "modA");
+  EXPECT_EQ(records[1].layer, "nd");
+  Log::instance().set_capture(false);
+}
+
+TEST(Log, SelectivePerLayerLevels) {
+  Log::instance().set_layer_level("nd", LogLevel::trace);
+  Log::instance().set_default_level(LogLevel::warn);
+  EXPECT_TRUE(Log::instance().enabled(LogLevel::trace, "nd"));
+  EXPECT_FALSE(Log::instance().enabled(LogLevel::trace, "ip"));
+  Log::instance().set_layer_level("nd", LogLevel::warn);
+}
+
+}  // namespace
+}  // namespace ntcs

@@ -1,0 +1,461 @@
+// Unit + property tests for the conversion layer (S3): machine types,
+// shift mode, packed mode, image mode, schema codegen, mode selection.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "convert/image.h"
+#include "convert/machine.h"
+#include "convert/mode.h"
+#include "convert/packed.h"
+#include "convert/schema.h"
+#include "convert/shift.h"
+
+namespace ntcs::convert {
+namespace {
+
+constexpr Arch kAllArchs[] = {Arch::vax780, Arch::microvax,
+                              Arch::sun2,   Arch::sun3,
+                              Arch::apollo_dn330, Arch::pdp11_70};
+
+// ---------------------------------------------------------------- machine
+
+TEST(Machine, WireIdsRoundTrip) {
+  for (Arch a : kAllArchs) {
+    auto back = arch_from_wire_id(arch_wire_id(a));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+  EXPECT_FALSE(arch_from_wire_id(999).has_value());
+}
+
+TEST(Machine, ByteOrdersMatchHistory) {
+  EXPECT_EQ(byte_order(Arch::vax780), ByteOrder::little);
+  EXPECT_EQ(byte_order(Arch::microvax), ByteOrder::little);
+  EXPECT_EQ(byte_order(Arch::sun2), ByteOrder::big);
+  EXPECT_EQ(byte_order(Arch::sun3), ByteOrder::big);
+  EXPECT_EQ(byte_order(Arch::apollo_dn330), ByteOrder::big);
+  EXPECT_EQ(byte_order(Arch::pdp11_70), ByteOrder::pdp_mid);
+}
+
+TEST(Machine, ImageCompatibilityIsByteOrderEquality) {
+  EXPECT_TRUE(image_compatible(Arch::vax780, Arch::microvax));
+  EXPECT_TRUE(image_compatible(Arch::sun2, Arch::apollo_dn330));
+  EXPECT_FALSE(image_compatible(Arch::vax780, Arch::sun3));
+  EXPECT_FALSE(image_compatible(Arch::pdp11_70, Arch::vax780));
+  EXPECT_FALSE(image_compatible(Arch::pdp11_70, Arch::sun3));
+}
+
+TEST(Mode, ChooseAvoidsNeedlessConversions) {
+  // §5: "Messages between identical machines are simply byte-copied."
+  for (Arch a : kAllArchs) {
+    EXPECT_EQ(choose_mode(a, a), XferMode::image);
+  }
+  EXPECT_EQ(choose_mode(Arch::vax780, Arch::sun3), XferMode::packed);
+  EXPECT_EQ(choose_mode(Arch::sun3, Arch::apollo_dn330), XferMode::image);
+}
+
+// ---------------------------------------------------------------- shift
+
+TEST(Shift, U32CanonicalBytes) {
+  Bytes out;
+  ShiftWriter w(out);
+  w.put_u32(0x11223344);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0x11);
+  EXPECT_EQ(out[1], 0x22);
+  EXPECT_EQ(out[2], 0x33);
+  EXPECT_EQ(out[3], 0x44);
+}
+
+TEST(Shift, RoundTripAllTypes) {
+  Bytes out;
+  ShiftWriter w(out);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i32(-42);
+  w.put_raw(std::string_view("xyz"));
+  ShiftReader r(out);
+  EXPECT_EQ(r.get_u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.get_i32().value(), -42);
+  EXPECT_EQ(r.get_raw_string(3).value(), "xyz");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Shift, UnderrunIsError) {
+  Bytes out;
+  ShiftWriter w(out);
+  w.put_u32(7);
+  ShiftReader r(out);
+  EXPECT_TRUE(r.get_u32().ok());
+  EXPECT_EQ(r.get_u32().code(), Errc::bad_message);
+  EXPECT_EQ(r.get_u64().code(), Errc::bad_message);
+}
+
+TEST(Shift, BitFields) {
+  std::uint32_t word = 0;
+  word = field_set(word, 0, 8, 0xAB);
+  word = field_set(word, 8, 4, 0xC);
+  word = field_set(word, 31, 1, 1);
+  EXPECT_EQ(field_get(word, 0, 8), 0xABu);
+  EXPECT_EQ(field_get(word, 8, 4), 0xCu);
+  EXPECT_EQ(field_get(word, 31, 1), 1u);
+  word = field_set(word, 31, 1, 0);
+  EXPECT_EQ(field_get(word, 31, 1), 0u);
+  EXPECT_EQ(field_get(word, 0, 8), 0xABu);  // neighbours untouched
+}
+
+TEST(Shift, FullWidthField) {
+  std::uint32_t word = field_set(0, 0, 32, 0xFFFFFFFFu);
+  EXPECT_EQ(field_get(word, 0, 32), 0xFFFFFFFFu);
+}
+
+TEST(Shift, PropertyRandomRoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t v32 = static_cast<std::uint32_t>(rng.next());
+    const std::uint64_t v64 = rng.next();
+    Bytes out;
+    ShiftWriter w(out);
+    w.put_u32(v32);
+    w.put_u64(v64);
+    ShiftReader r(out);
+    EXPECT_EQ(r.get_u32().value(), v32);
+    EXPECT_EQ(r.get_u64().value(), v64);
+  }
+}
+
+// ---------------------------------------------------------------- packed
+
+TEST(Packed, RoundTripAllTypes) {
+  Packer p;
+  p.put_i64(-1234567890123LL);
+  p.put_u64(18446744073709551615ULL);
+  p.put_f64(3.14159265358979);
+  p.put_string("hello | world ; with delimiters");
+  p.put_bytes(Bytes{0x00, 0xFF, 0x7F, 0x80});
+  p.put_bool(true);
+  p.put_bool(false);
+
+  Unpacker u(p.data());
+  EXPECT_EQ(u.get_i64().value(), -1234567890123LL);
+  EXPECT_EQ(u.get_u64().value(), 18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(u.get_f64().value(), 3.14159265358979);
+  EXPECT_EQ(u.get_string().value(), "hello | world ; with delimiters");
+  EXPECT_EQ(u.get_bytes().value(), (Bytes{0x00, 0xFF, 0x7F, 0x80}));
+  EXPECT_TRUE(u.get_bool().value());
+  EXPECT_FALSE(u.get_bool().value());
+  EXPECT_TRUE(u.at_end());
+}
+
+TEST(Packed, StreamIsPureCharacters) {
+  // §5.1: the transport format is a character representation — safe on any
+  // machine with a common character set.
+  Packer p;
+  p.put_i64(-42);
+  p.put_string("text");
+  for (std::uint8_t b : p.data()) {
+    EXPECT_GE(b, 0x20u);
+    EXPECT_LT(b, 0x7Fu);
+  }
+}
+
+TEST(Packed, TagMismatchFailsLoudly) {
+  Packer p;
+  p.put_i64(5);
+  Unpacker u(p.data());
+  EXPECT_EQ(u.get_string().code(), Errc::conversion_error);
+}
+
+TEST(Packed, TruncatedStreamFails) {
+  Packer p;
+  p.put_string("abcdef");
+  Bytes cut(p.data().begin(), p.data().begin() + 4);
+  Unpacker u(cut);
+  EXPECT_EQ(u.get_string().code(), Errc::conversion_error);
+}
+
+TEST(Packed, EmptyStringAndBytes) {
+  Packer p;
+  p.put_string("");
+  p.put_bytes({});
+  Unpacker u(p.data());
+  EXPECT_EQ(u.get_string().value(), "");
+  EXPECT_TRUE(u.get_bytes().value().empty());
+}
+
+TEST(Packed, PropertyRandomValues) {
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t vi = static_cast<std::int64_t>(rng.next());
+    const std::uint64_t vu = rng.next();
+    std::string s;
+    const auto len = rng.next_below(64);
+    for (std::uint64_t c = 0; c < len; ++c) {
+      s.push_back(static_cast<char>(rng.next_in(0, 255)));
+    }
+    Packer p;
+    p.put_i64(vi);
+    p.put_u64(vu);
+    p.put_string(s);
+    Unpacker u(p.data());
+    EXPECT_EQ(u.get_i64().value(), vi);
+    EXPECT_EQ(u.get_u64().value(), vu);
+    EXPECT_EQ(u.get_string().value(), s);
+  }
+}
+
+// ---------------------------------------------------------------- image
+
+struct ArchPair {
+  Arch src;
+  Arch dst;
+};
+
+class ImageAllPairs : public ::testing::TestWithParam<ArchPair> {};
+
+TEST_P(ImageAllPairs, SameRepresentationReadsBack) {
+  // Reading an image with the *same* byte order always succeeds; with a
+  // different one, multi-byte values are scrambled — which is exactly why
+  // the NTCS must pick packed mode there.
+  const auto [src, dst] = GetParam();
+  ImageWriter w(src);
+  w.put_u32(0x01020304);
+  w.put_u16(0xA0B0);
+  w.put_u64(0x1122334455667788ULL);
+  ImageReader r(w.data(), dst);
+  const std::uint32_t v32 = r.get_u32().value();
+  const std::uint16_t v16 = r.get_u16().value();
+  const std::uint64_t v64 = r.get_u64().value();
+  if (image_compatible(src, dst)) {
+    EXPECT_EQ(v32, 0x01020304u);
+    EXPECT_EQ(v16, 0xA0B0u);
+    EXPECT_EQ(v64, 0x1122334455667788ULL);
+  } else {
+    // At least one of the fields must be corrupted.
+    EXPECT_TRUE(v32 != 0x01020304u || v16 != 0xA0B0u ||
+                v64 != 0x1122334455667788ULL);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchPairs, ImageAllPairs, [] {
+      std::vector<ArchPair> pairs;
+      for (Arch s : kAllArchs) {
+        for (Arch d : kAllArchs) pairs.push_back({s, d});
+      }
+      return ::testing::ValuesIn(pairs);
+    }(),
+    [](const ::testing::TestParamInfo<ArchPair>& info) {
+      return std::string(arch_name(info.param.src)) + "_to_" +
+             std::string(arch_name(info.param.dst));
+    });
+
+TEST(Image, VaxLayoutIsLittleEndian) {
+  ImageWriter w(Arch::vax780);
+  w.put_u32(0x01020304);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Image, SunLayoutIsBigEndian) {
+  ImageWriter w(Arch::sun3);
+  w.put_u32(0x01020304);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(Image, Pdp11MiddleEndian32) {
+  // PDP-11: little-endian 16-bit words, most-significant word first.
+  ImageWriter w(Arch::pdp11_70);
+  w.put_u32(0x01020304);
+  EXPECT_EQ(w.data()[0], 0x02);
+  EXPECT_EQ(w.data()[1], 0x01);
+  EXPECT_EQ(w.data()[2], 0x04);
+  EXPECT_EQ(w.data()[3], 0x03);
+}
+
+TEST(Image, CharsAreOrderFree) {
+  ImageWriter w(Arch::vax780);
+  w.put_chars("ursa", 8);
+  ImageReader r(w.data(), Arch::sun3);  // incompatible ints, same chars
+  EXPECT_EQ(r.get_chars(8).value(), "ursa");
+}
+
+TEST(Image, CharsTruncateAndPad) {
+  ImageWriter w(Arch::sun3);
+  w.put_chars("much-too-long", 4);
+  EXPECT_EQ(w.data().size(), 4u);
+  ImageReader r(w.data(), Arch::sun3);
+  EXPECT_EQ(r.get_chars(4).value(), "much");
+}
+
+TEST(Image, F64RoundTripSameArch) {
+  for (Arch a : kAllArchs) {
+    ImageWriter w(a);
+    w.put_f64(-2.718281828459045);
+    ImageReader r(w.data(), a);
+    EXPECT_DOUBLE_EQ(r.get_f64().value(), -2.718281828459045);
+  }
+}
+
+TEST(Image, UnderrunFails) {
+  ImageWriter w(Arch::sun3);
+  w.put_u16(1);
+  ImageReader r(w.data(), Arch::sun3);
+  EXPECT_EQ(r.get_u32().code(), Errc::conversion_error);
+}
+
+// ---------------------------------------------------------------- schema
+
+MessageSchema fixed_schema() {
+  return MessageSchema("fixed", {{"a", FieldType::u8},
+                                 {"b", FieldType::u16},
+                                 {"c", FieldType::u32},
+                                 {"d", FieldType::u64},
+                                 {"e", FieldType::i64},
+                                 {"f", FieldType::f64},
+                                 {"g", FieldType::chars, 12}});
+}
+
+MessageSchema var_schema() {
+  return MessageSchema("variable", {{"n", FieldType::u32},
+                                    {"s", FieldType::string},
+                                    {"b", FieldType::bytes}});
+}
+
+Record fill_fixed(const MessageSchema& s) {
+  Record r = s.make_record();
+  EXPECT_TRUE(r.set_u64("a", 200).ok());
+  EXPECT_TRUE(r.set_u64("b", 50000).ok());
+  EXPECT_TRUE(r.set_u64("c", 0xCAFEBABE).ok());
+  EXPECT_TRUE(r.set_u64("d", 0x0123456789ABCDEFULL).ok());
+  EXPECT_TRUE(r.set_i64("e", -987654321).ok());
+  EXPECT_TRUE(r.set_f64("f", 1.5).ok());
+  EXPECT_TRUE(r.set_string("g", "hello").ok());
+  return r;
+}
+
+TEST(Schema, FixedSizeComputation) {
+  auto s = fixed_schema();
+  EXPECT_TRUE(s.fixed_size());
+  EXPECT_EQ(s.image_size(), 1u + 2 + 4 + 8 + 8 + 8 + 12);
+  EXPECT_FALSE(var_schema().fixed_size());
+}
+
+TEST(Schema, PackUnpackRoundTrip) {
+  auto s = fixed_schema();
+  Record r = fill_fixed(s);
+  auto packed = s.pack(r);
+  ASSERT_TRUE(packed.ok());
+  auto back = s.unpack(packed.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), r);
+}
+
+TEST(Schema, TypeTagInStreamChecked) {
+  auto s1 = fixed_schema();
+  MessageSchema s2("other", {{"a", FieldType::u8}});
+  auto packed = s2.pack(s2.make_record());
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(s1.unpack(packed.value()).code(), Errc::conversion_error);
+}
+
+class SchemaImageAllPairs : public ::testing::TestWithParam<ArchPair> {};
+
+TEST_P(SchemaImageAllPairs, ImageFaithfulIffCompatible) {
+  const auto [src, dst] = GetParam();
+  auto s = fixed_schema();
+  Record r = fill_fixed(s);
+  auto image = s.to_image(r, src);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().size(), s.image_size());
+  auto back = s.from_image(image.value(), dst);
+  ASSERT_TRUE(back.ok());
+  if (image_compatible(src, dst)) {
+    EXPECT_EQ(back.value(), r);
+  } else {
+    EXPECT_NE(back.value(), r);  // integers scrambled
+    // ...but the chars field survives (single bytes).
+    EXPECT_EQ(back.value().get_string("g").value(), "hello");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchPairs, SchemaImageAllPairs, [] {
+      std::vector<ArchPair> pairs;
+      for (Arch s : kAllArchs) {
+        for (Arch d : kAllArchs) pairs.push_back({s, d});
+      }
+      return ::testing::ValuesIn(pairs);
+    }(),
+    [](const ::testing::TestParamInfo<ArchPair>& info) {
+      return std::string(arch_name(info.param.src)) + "_to_" +
+             std::string(arch_name(info.param.dst));
+    });
+
+TEST(Schema, VariableSchemaRejectsImageMode) {
+  auto s = var_schema();
+  EXPECT_EQ(s.to_image(s.make_record(), Arch::sun3).code(),
+            Errc::unsupported);
+}
+
+TEST(Schema, VariableSchemaPacksEverything) {
+  auto s = var_schema();
+  Record r = s.make_record();
+  ASSERT_TRUE(r.set_u64("n", 3).ok());
+  ASSERT_TRUE(r.set_string("s", "variable length here").ok());
+  ASSERT_TRUE(r.set_bytes("b", Bytes{1, 2, 3}).ok());
+  auto packed = s.pack(r);
+  ASSERT_TRUE(packed.ok());
+  auto back = s.unpack(packed.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), r);
+}
+
+TEST(Schema, FieldTypeEnforcement) {
+  auto s = fixed_schema();
+  Record r = s.make_record();
+  EXPECT_EQ(r.set_string("a", "not a number").code(), Errc::bad_argument);
+  EXPECT_EQ(r.set_u64("e", 1).code(), Errc::bad_argument);
+  EXPECT_EQ(r.set_u64("missing", 1).code(), Errc::not_found);
+  EXPECT_EQ(r.get_i64("a").code(), Errc::bad_argument);
+}
+
+TEST(Schema, CharsOverflowRejected) {
+  auto s = fixed_schema();
+  Record r = s.make_record();
+  EXPECT_EQ(r.set_string("g", "way more than twelve characters").code(),
+            Errc::too_big);
+}
+
+TEST(Schema, ImageSizeMismatchRejected) {
+  auto s = fixed_schema();
+  Bytes wrong(s.image_size() + 1, 0);
+  EXPECT_EQ(s.from_image(wrong, Arch::sun3).code(), Errc::conversion_error);
+}
+
+TEST(Schema, PropertyRandomRecordsAllArchPairs) {
+  Rng rng(123);
+  auto s = fixed_schema();
+  for (int i = 0; i < 50; ++i) {
+    Record r = s.make_record();
+    ASSERT_TRUE(r.set_u64("a", rng.next_below(256)).ok());
+    ASSERT_TRUE(r.set_u64("b", rng.next_below(65536)).ok());
+    ASSERT_TRUE(r.set_u64("c", rng.next() & 0xFFFFFFFF).ok());
+    ASSERT_TRUE(r.set_u64("d", rng.next()).ok());
+    ASSERT_TRUE(r.set_i64("e", static_cast<std::int64_t>(rng.next())).ok());
+    ASSERT_TRUE(r.set_f64("f", rng.next_double() * 1e6).ok());
+    // Same-order pair: image round trip. Any pair: pack round trip.
+    const Arch a = kAllArchs[rng.next_below(6)];
+    auto image = s.to_image(r, a);
+    ASSERT_TRUE(image.ok());
+    EXPECT_EQ(s.from_image(image.value(), a).value(), r);
+    auto packed = s.pack(r);
+    ASSERT_TRUE(packed.ok());
+    EXPECT_EQ(s.unpack(packed.value()).value(), r);
+  }
+}
+
+}  // namespace
+}  // namespace ntcs::convert

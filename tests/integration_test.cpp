@@ -1,0 +1,417 @@
+// End-to-end integration tests: full NTCS stacks (Name Server, gateways,
+// application modules) on simulated topologies.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/testbed.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+using simnet::IpcsKind;
+
+/// One LAN, three machines, Name Server + two modules.
+struct SingleLan {
+  Testbed tb;
+  std::unique_ptr<Node> alice;
+  std::unique_ptr<Node> bob;
+
+  SingleLan() {
+    tb.net("lan");
+    tb.machine("vax1", Arch::vax780, {"lan"});
+    tb.machine("sun1", Arch::sun3, {"lan"});
+    tb.machine("apollo1", Arch::apollo_dn330, {"lan"});
+    EXPECT_TRUE(tb.start_name_server("vax1", "lan").ok());
+    EXPECT_TRUE(tb.finalize().ok());
+    alice = tb.spawn_module("alice", "sun1", "lan").value();
+    bob = tb.spawn_module("bob", "apollo1", "lan").value();
+  }
+  ~SingleLan() {
+    if (alice) alice->stop();
+    if (bob) bob->stop();
+  }
+};
+
+TEST(SingleLanTest, RegistrationAssignsPermanentUAdds) {
+  SingleLan rig;
+  EXPECT_TRUE(rig.alice->identity().uadd().valid());
+  EXPECT_FALSE(rig.alice->identity().uadd().is_temporary());
+  EXPECT_NE(rig.alice->identity().uadd(), rig.bob->identity().uadd());
+  EXPECT_GE(rig.alice->identity().uadd().raw(), kFirstDynamicUAdd);
+}
+
+TEST(SingleLanTest, LocateByName) {
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob");
+  ASSERT_TRUE(bob_addr.ok());
+  EXPECT_EQ(bob_addr.value(), rig.bob->identity().uadd());
+  EXPECT_EQ(rig.alice->commod().locate("nobody").code(), Errc::not_found);
+}
+
+TEST(SingleLanTest, SendAndReceive) {
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, to_bytes("hello bob")).ok());
+  auto in = rig.bob->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "hello bob");
+  EXPECT_EQ(in.value().src, rig.alice->identity().uadd());
+  EXPECT_FALSE(in.value().is_request);
+}
+
+TEST(SingleLanTest, RequestReply) {
+  SingleLan rig;
+  std::jthread server([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = rig.bob->commod().receive(100ms);
+      if (!in.ok()) continue;
+      if (in.value().is_request) {
+        std::string text = to_string(in.value().payload);
+        (void)rig.bob->commod().reply(in.value().reply_ctx,
+                                      to_bytes("echo:" + text));
+      }
+    }
+  });
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  auto reply = rig.alice->commod().request(bob_addr, to_bytes("marco"), 2s);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(reply.value().payload), "echo:marco");
+  server.request_stop();
+}
+
+TEST(SingleLanTest, LocateAttrs) {
+  SingleLan rig;
+  auto carol =
+      rig.tb.spawn_module("carol", "sun1", "lan", {{"role", "search"}})
+          .value();
+  auto dave =
+      rig.tb.spawn_module("dave", "apollo1", "lan", {{"role", "search"}})
+          .value();
+  auto hits = rig.alice->commod().locate_attrs({{"role", "search"}});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 2u);
+  carol->stop();
+  dave->stop();
+}
+
+TEST(SingleLanTest, TAddsPurgedAfterRegistration) {
+  SingleLan rig;
+  // Registration itself ran over the Nucleus with a TAdd source; the
+  // Name-Server side must have promoted it by now (within two exchanges,
+  // §3.4). One extra ping forces the second exchange.
+  ASSERT_TRUE(rig.alice->commod().ping_name_server().ok());
+  const auto promoted =
+      rig.tb.name_server().node().lcm().stats().tadds_promoted;
+  EXPECT_GE(promoted, 1u);
+}
+
+TEST(SingleLanTest, LargeMessageIsFragmented) {
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  Bytes big(100 * 1024, 0);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, big).ok());
+  auto in = rig.bob->commod().receive(5s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in.value().payload, big);
+}
+
+TEST(SingleLanTest, OversizeMessageRejected) {
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  Bytes huge(kMaxAppMessage + 1, 1);
+  EXPECT_EQ(rig.alice->commod().send(bob_addr, huge).code(), Errc::too_big);
+}
+
+TEST(SingleLanTest, NameServerRemovableAfterWarmup) {
+  // §3.3: "once all necessary addresses have been resolved ... the Name
+  // Server can be removed with no consequence, unless the system is
+  // reconfigured."
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, to_bytes("warm")).ok());
+  (void)rig.bob->commod().receive(2s);
+
+  rig.tb.name_server().stop();
+
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, to_bytes("still works")).ok());
+  auto in = rig.bob->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "still works");
+  // But new resolutions now fail.
+  EXPECT_FALSE(rig.alice->commod().locate("bob").ok());
+}
+
+/// Two LANs joined by one gateway machine; NS on LAN A.
+struct TwoLans {
+  Testbed tb;
+  std::unique_ptr<Node> host;    // on lan-a (VAX)
+  std::unique_ptr<Node> server;  // on lan-b (Sun)
+
+  TwoLans() {
+    tb.net("lan-a");
+    tb.net("lan-b");
+    tb.machine("vax1", Arch::vax780, {"lan-a"});
+    tb.machine("gwbox", Arch::apollo_dn330, {"lan-a", "lan-b"});
+    tb.machine("sun1", Arch::sun3, {"lan-b"});
+    EXPECT_TRUE(tb.start_name_server("vax1", "lan-a").ok());
+    EXPECT_TRUE(
+        tb.add_gateway("gw-ab", "gwbox", {"lan-a", "lan-b"}).ok());
+    EXPECT_TRUE(tb.finalize().ok());
+    host = tb.spawn_module("host", "vax1", "lan-a").value();
+    server = tb.spawn_module("server", "sun1", "lan-b").value();
+  }
+  ~TwoLans() {
+    if (host) host->stop();
+    if (server) server->stop();
+  }
+};
+
+TEST(TwoLansTest, CrossNetworkRegistrationWorks) {
+  // `server` is on lan-b; its registration had to traverse the prime
+  // gateway to reach the Name Server on lan-a.
+  TwoLans rig;
+  EXPECT_FALSE(rig.server->identity().uadd().is_temporary());
+}
+
+TEST(TwoLansTest, CrossNetworkSend) {
+  TwoLans rig;
+  auto addr = rig.host->commod().locate("server").value();
+  ASSERT_TRUE(rig.host->commod().send(addr, to_bytes("over the hill")).ok());
+  auto in = rig.server->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "over the hill");
+}
+
+TEST(TwoLansTest, CrossNetworkRequestReply) {
+  TwoLans rig;
+  std::jthread srv([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = rig.server->commod().receive(100ms);
+      if (in.ok() && in.value().is_request) {
+        (void)rig.server->commod().reply(in.value().reply_ctx,
+                                         to_bytes("ack"));
+      }
+    }
+  });
+  auto addr = rig.host->commod().locate("server").value();
+  auto reply = rig.host->commod().request(addr, to_bytes("syn"), 2s);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(reply.value().payload), "ack");
+  srv.request_stop();
+}
+
+TEST(TwoLansTest, GatewayRelaysData) {
+  TwoLans rig;
+  auto addr = rig.host->commod().locate("server").value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        rig.host->commod().send(addr, to_bytes(std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto in = rig.server->commod().receive(2s);
+    ASSERT_TRUE(in.ok());
+    EXPECT_EQ(to_string(in.value().payload), std::to_string(i));
+  }
+  // The relay fast path ran in the gateway's attachment IP-Layers.
+  std::uint64_t relayed = 0;
+  for (std::size_t i = 0; i < rig.tb.gateway(0).attachment_count(); ++i) {
+    relayed += rig.tb.gateway(0).attachment(i).ip().stats().messages_relayed;
+  }
+  EXPECT_GT(relayed, 0u);
+}
+
+TEST(TwoLansTest, HeterogeneousConversionAppliedAutomatically) {
+  // host is a VAX (little-endian), server a Sun (big-endian): a schema
+  // message must arrive intact because the Nucleus switches to packed mode.
+  TwoLans rig;
+  convert::MessageSchema schema(
+      "probe", {{"id", convert::FieldType::u32},
+                {"value", convert::FieldType::i64},
+                {"label", convert::FieldType::chars, 8}});
+  auto rec = schema.make_record();
+  ASSERT_TRUE(rec.set_u64("id", 0xDEADBEEF).ok());
+  ASSERT_TRUE(rec.set_i64("value", -123456789).ok());
+  ASSERT_TRUE(rec.set_string("label", "ursa").ok());
+
+  auto addr = rig.host->commod().locate("server").value();
+  auto payload = rig.host->commod().payload_for(rec);
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE(rig.host->commod().send(addr, payload.value()).ok());
+
+  auto in = rig.server->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in.value().mode, convert::XferMode::packed);
+  auto decoded = rig.server->commod().decode(in.value(), schema);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().get_u64("id").value(), 0xDEADBEEFu);
+  EXPECT_EQ(decoded.value().get_i64("value").value(), -123456789);
+  EXPECT_EQ(decoded.value().get_string("label").value(), "ursa");
+}
+
+TEST(TwoLansTest, SameArchUsesImageMode) {
+  TwoLans rig;
+  auto peer = rig.tb.spawn_module("peer", "vax1", "lan-a").value();
+  convert::MessageSchema schema("probe", {{"id", convert::FieldType::u32}});
+  auto rec = schema.make_record();
+  ASSERT_TRUE(rec.set_u64("id", 7).ok());
+  auto addr = rig.host->commod().locate("peer").value();
+  auto payload = rig.host->commod().payload_for(rec);
+  ASSERT_TRUE(payload.ok());
+  ASSERT_TRUE(rig.host->commod().send(addr, payload.value()).ok());
+  auto in = peer->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in.value().mode, convert::XferMode::image);
+  auto decoded = peer->commod().decode(in.value(), schema);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().get_u64("id").value(), 7u);
+  peer->stop();
+}
+
+/// Three LANs in a chain: a - b - c, two gateways, NS on b (the middle).
+struct ThreeLans {
+  Testbed tb;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  ThreeLans() {
+    tb.net("lan-a");
+    tb.net("lan-b");
+    tb.net("lan-c");
+    tb.machine("ma", Arch::vax780, {"lan-a"});
+    tb.machine("gw1", Arch::apollo_dn330, {"lan-a", "lan-b"});
+    tb.machine("mb", Arch::sun3, {"lan-b"});
+    tb.machine("gw2", Arch::apollo_dn330, {"lan-b", "lan-c"});
+    tb.machine("mc", Arch::sun2, {"lan-c"});
+    EXPECT_TRUE(tb.start_name_server("mb", "lan-b").ok());
+    EXPECT_TRUE(tb.add_gateway("gw-ab", "gw1", {"lan-a", "lan-b"}).ok());
+    EXPECT_TRUE(tb.add_gateway("gw-bc", "gw2", {"lan-b", "lan-c"}).ok());
+    EXPECT_TRUE(tb.finalize().ok());
+    left = tb.spawn_module("left", "ma", "lan-a").value();
+    right = tb.spawn_module("right", "mc", "lan-c").value();
+  }
+  ~ThreeLans() {
+    if (left) left->stop();
+    if (right) right->stop();
+  }
+};
+
+TEST(ThreeLansTest, TwoHopChainedCircuit) {
+  ThreeLans rig;
+  auto addr = rig.left->commod().locate("right").value();
+  ASSERT_TRUE(rig.left->commod().send(addr, to_bytes("across 2 gws")).ok());
+  auto in = rig.right->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "across 2 gws");
+}
+
+TEST(ThreeLansTest, RouteComputationFindsChain) {
+  ThreeLans rig;
+  ResolvedDest dst;
+  dst.uadd = rig.right->identity().uadd();
+  dst.phys = rig.right->phys();
+  dst.net = "lan-c";
+  auto route = rig.left->ip().compute_route(dst);
+  ASSERT_TRUE(route.ok());
+  ASSERT_EQ(route.value().size(), 3u);  // gw1 on lan-a, gw2 on lan-b, dst
+  EXPECT_EQ(route.value()[0].net, "lan-a");
+  EXPECT_EQ(route.value()[1].net, "lan-b");
+  EXPECT_EQ(route.value()[2].net, "lan-c");
+  EXPECT_EQ(route.value()[2].phys, rig.right->phys().blob);
+}
+
+TEST(ThreeLansTest, NoRouteToUnknownNetwork) {
+  ThreeLans rig;
+  ResolvedDest dst;
+  dst.uadd = UAdd::permanent(424242);
+  dst.phys = PhysAddr{"tcp:nowhere:1"};
+  dst.net = "lan-z";
+  auto route = rig.left->ip().compute_route(dst);
+  EXPECT_EQ(route.code(), Errc::no_route);
+}
+
+TEST(ThreeLansTest, ReplyTraversesChainBackwards) {
+  ThreeLans rig;
+  std::jthread srv([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = rig.right->commod().receive(100ms);
+      if (in.ok() && in.value().is_request) {
+        (void)rig.right->commod().reply(in.value().reply_ctx,
+                                        to_bytes("pong from lan-c"));
+      }
+    }
+  });
+  auto addr = rig.left->commod().locate("right").value();
+  auto reply = rig.left->commod().request(addr, to_bytes("ping"), 3s);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(reply.value().payload), "pong from lan-c");
+  srv.request_stop();
+}
+
+TEST(ReconfigTest, RelocatedModuleIsFoundTransparently) {
+  // §3.5: after an address fault the LCM-Layer obtains a forwarding UAdd
+  // and re-establishes the connection; the application keeps using the
+  // address it first obtained.
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, to_bytes("gen1")).ok());
+  ASSERT_TRUE(rig.bob->commod().receive(2s).ok());
+
+  // Move bob: kill the old module, bring up a new generation elsewhere.
+  rig.bob->stop();
+  auto bob2 = rig.tb.spawn_module("bob", "sun1", "lan").value();
+
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, to_bytes("gen2")).ok());
+  auto in = bob2->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "gen2");
+  // The LCM installed a forwarding entry old -> new.
+  EXPECT_EQ(rig.alice->lcm().current_target(bob_addr),
+            bob2->identity().uadd());
+  EXPECT_GE(rig.alice->lcm().stats().relocations, 1u);
+  bob2->stop();
+}
+
+TEST(ReconfigTest, DeadModuleWithoutReplacementFails) {
+  SingleLan rig;
+  auto bob_addr = rig.alice->commod().locate("bob").value();
+  ASSERT_TRUE(rig.alice->commod().send(bob_addr, to_bytes("hi")).ok());
+  ASSERT_TRUE(rig.bob->commod().receive(2s).ok());
+  rig.bob->stop();
+  auto st = rig.alice->commod().send(bob_addr, to_bytes("to the void"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Errc::not_found);  // "no replacement module located"
+}
+
+TEST(ReconfigTest, NameServerCircuitBreakRecovers) {
+  // The §6.3 scenario, patched: the virtual circuit between a module and
+  // the Name Server breaks; the next naming-service call must recover via
+  // the well-known address instead of recursing to death.
+  SingleLan rig;
+  ASSERT_TRUE(rig.alice->commod().ping_name_server().ok());
+  // Sever every live channel of alice (brutal but precise: her only
+  // circuits are to the Name Server at this point).
+  rig.tb.fabric();  // no-op; keeps the rig alive conceptually
+  // Kill the NS-side circuit by bouncing the Name Server's endpoint — the
+  // cleanest equivalent of a broken VC is a dead channel, which we get by
+  // killing all channels via a partition blip.
+  auto* ns_node = &rig.tb.name_server().node();
+  (void)ns_node;
+  // Use fault injection: partition then heal, so the next send faults.
+  auto lan = rig.tb.fabric().network_by_name("lan").value();
+  rig.tb.fabric().set_partitioned(lan, true);
+  auto st = rig.alice->commod().ping_name_server();
+  rig.tb.fabric().set_partitioned(lan, false);
+  // After healing, the naming service is reachable again.
+  EXPECT_TRUE(rig.alice->commod().ping_name_server().ok());
+  (void)st;  // during the partition the call may fail — that is fine
+  EXPECT_EQ(rig.alice->lcm().stats().recursion_trips, 0u);
+}
+
+}  // namespace
+}  // namespace ntcs::core

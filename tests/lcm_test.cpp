@@ -1,0 +1,276 @@
+// Tests for the LCM-Layer (S7) behaviours not already covered by the
+// integration suite: timeouts, the connectionless protocol, forwarding
+// chains, the recursion guard (§6.3 — both patched and reproduced), and
+// shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/testbed.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+struct Rig {
+  Testbed tb;
+  std::unique_ptr<Node> a;
+  std::unique_ptr<Node> b;
+
+  explicit Rig(LcmConfig lcm_cfg = {}) {
+    tb.net("lan");
+    tb.machine("m1", Arch::vax780, {"lan"});
+    tb.machine("m2", Arch::sun3, {"lan"});
+    EXPECT_TRUE(tb.start_name_server("m1", "lan").ok());
+    EXPECT_TRUE(tb.finalize().ok());
+    NodeConfig cfg_a;
+    cfg_a.name = "a";
+    cfg_a.machine = tb.machine_id("m1");
+    cfg_a.net = "lan";
+    cfg_a.well_known = tb.well_known();
+    cfg_a.lcm = lcm_cfg;
+    a = std::make_unique<Node>(tb.fabric(), cfg_a);
+    EXPECT_TRUE(a->start().ok());
+    EXPECT_TRUE(a->commod().register_self().ok());
+    b = tb.spawn_module("b", "m2", "lan").value();
+  }
+  ~Rig() {
+    if (a) a->stop();
+    if (b) b->stop();
+  }
+};
+
+TEST(LcmLayer, RequestTimesOutAgainstSilentPeer) {
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  // b never replies.
+  auto reply = rig.a->commod().request(addr, to_bytes("anyone?"), 100ms);
+  EXPECT_EQ(reply.code(), Errc::timeout);
+  // The request itself was delivered.
+  auto in = rig.b->commod().receive(1s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(in.value().is_request);
+  // A late reply to the timed-out request is dropped silently.
+  EXPECT_TRUE(rig.b->commod().reply(in.value().reply_ctx,
+                                    to_bytes("too late")).ok());
+  std::this_thread::sleep_for(20ms);
+}
+
+TEST(LcmLayer, SendToInvalidUAddRejected) {
+  Rig rig;
+  EXPECT_EQ(rig.a->commod().send(UAdd{}, to_bytes("x")).code(),
+            Errc::bad_argument);
+  EXPECT_EQ(rig.a->commod().request(UAdd{}, to_bytes("x")).code(),
+            Errc::bad_argument);
+  EXPECT_EQ(rig.a->commod().dgram(UAdd{}, to_bytes("x")).code(),
+            Errc::bad_argument);
+}
+
+TEST(LcmLayer, SendToUnknownUAddNotFound) {
+  Rig rig;
+  auto st = rig.a->commod().send(UAdd::permanent(99999), to_bytes("x"));
+  EXPECT_EQ(st.code(), Errc::not_found);
+}
+
+TEST(LcmLayer, DgramDelivered) {
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  ASSERT_TRUE(rig.a->commod().dgram(addr, to_bytes("datagram")).ok());
+  auto in = rig.b->commod().receive(1s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "datagram");
+  EXPECT_FALSE(in.value().is_request);
+}
+
+TEST(LcmLayer, DgramToDeadModuleGivesUpQuickly) {
+  // The connectionless protocol has no relocation recovery: one retry.
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  ASSERT_TRUE(rig.a->commod().dgram(addr, to_bytes("warm")).ok());
+  (void)rig.b->commod().receive(1s);
+  rig.b->stop();
+  rig.b.reset();
+  auto st = rig.a->commod().dgram(addr, to_bytes("lost"));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(LcmLayer, ForwardingChainCompresses) {
+  // Three generations of the same module: a's forwarding table must chase
+  // old -> mid -> new and then compress to old -> new.
+  Rig rig;
+  auto gen1 = rig.a->commod().locate("b").value();
+  ASSERT_TRUE(rig.a->commod().send(gen1, to_bytes("g1")).ok());
+  (void)rig.b->commod().receive(1s);
+
+  rig.b->stop();
+  auto gen2 = rig.tb.spawn_module("b", "m2", "lan").value();
+  ASSERT_TRUE(rig.a->commod().send(gen1, to_bytes("g2")).ok());
+  (void)gen2->commod().receive(1s);
+
+  gen2->stop();
+  auto gen3 = rig.tb.spawn_module("b", "m1", "lan").value();
+  ASSERT_TRUE(rig.a->commod().send(gen1, to_bytes("g3")).ok());
+  auto in = gen3->commod().receive(1s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "g3");
+  EXPECT_EQ(rig.a->lcm().current_target(gen1), gen3->identity().uadd());
+  EXPECT_GE(rig.a->lcm().stats().relocations, 2u);
+  gen2.reset();
+  gen3->stop();
+  rig.b.reset();
+}
+
+TEST(LcmLayer, FaultInKillWindowDoesNotStrandClient) {
+  // Regression: a fault handled *between* a module's death and its
+  // successor's registration retires the old record at the Name Server
+  // (forward -> probe dead -> deregister -> not_found). A later send to
+  // the same old UAdd then fails resolution — and must still run the
+  // forwarding determination, which now finds the successor.
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  ASSERT_TRUE(rig.a->commod().send(addr, to_bytes("warm")).ok());
+  ASSERT_TRUE(rig.b->commod().receive(1s).ok());
+
+  rig.b->stop();  // dead, no successor yet
+  // This send faults; the forwarding query confirms death, retires the
+  // record, finds nothing, and the send fails — correctly.
+  EXPECT_EQ(rig.a->commod().send(addr, to_bytes("gap")).code(),
+            Errc::not_found);
+
+  // The successor registers only now.
+  auto gen2 = rig.tb.spawn_module("b", "m1", "lan").value();
+  // The retried send must reach it despite resolve(old) being not_found.
+  ASSERT_TRUE(rig.a->commod().send(addr, to_bytes("found you")).ok());
+  auto in = gen2->commod().receive(2s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(to_string(in.value().payload), "found you");
+  gen2->stop();
+  rig.b.reset();
+}
+
+TEST(LcmLayer, InboundCircuitReusedForReplyTraffic) {
+  // After b sends to a, a's sends to b ride the same circuit (reverse
+  // mapping) — no new establishment.
+  Rig rig;
+  auto a_addr = rig.b->commod().locate("a").value();
+  ASSERT_TRUE(rig.b->commod().send(a_addr, to_bytes("hi a")).ok());
+  auto in = rig.a->commod().receive(1s);
+  ASSERT_TRUE(in.ok());
+  const auto opened_before = rig.a->ip().stats().ivcs_opened;
+  ASSERT_TRUE(rig.a->commod().send(in.value().src, to_bytes("hi b")).ok());
+  EXPECT_EQ(rig.a->ip().stats().ivcs_opened, opened_before);
+  auto back = rig.b->commod().receive(1s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(to_string(back.value().payload), "hi b");
+}
+
+TEST(LcmLayer, RecursionGuardTripsWhenBugReproduced) {
+  // §6.3 as published: "the ND-Layer ... will see the dead circuit, and
+  // recursively run through this whole thing until either the stack
+  // overflows, or the connection can be reestablished". With the patch
+  // disabled and the Name Server gone for good, the guard must convert
+  // the would-be stack overflow into Errc::recursion_limit.
+  LcmConfig buggy;
+  buggy.reproduce_ns_fault_bug = true;
+  buggy.fault_retries = 1;
+  Rig rig(buggy);
+  ASSERT_TRUE(rig.a->commod().ping_name_server().ok());
+  rig.tb.name_server().stop();  // circuit to NS is now permanently dead
+  auto st = rig.a->commod().ping_name_server();
+  EXPECT_FALSE(st.ok());
+  EXPECT_GE(rig.a->lcm().stats().recursion_trips, 1u);
+}
+
+TEST(LcmLayer, PatchedFaultHandlerRecoversNameServerCircuit) {
+  // Same situation with the patch (default): the dead NS circuit is
+  // re-established through the well-known physical address, no recursion.
+  Rig rig;
+  ASSERT_TRUE(rig.a->commod().ping_name_server().ok());
+  // Sever the NS circuit (kill all live channels between a and the NS by
+  // bouncing a partition long enough for the fault to register).
+  auto lan = rig.tb.fabric().network_by_name("lan").value();
+  rig.tb.fabric().set_partitioned(lan, true);
+  (void)rig.a->commod().ping_name_server();  // faults
+  rig.tb.fabric().set_partitioned(lan, false);
+  EXPECT_TRUE(rig.a->commod().ping_name_server().ok());
+  EXPECT_EQ(rig.a->lcm().stats().recursion_trips, 0u);
+}
+
+TEST(LcmLayer, InternalFlagVisibleToReceiver) {
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  SendOptions opts;
+  opts.internal = true;
+  ASSERT_TRUE(rig.a->lcm().send(addr, Payload::raw(to_bytes("sys")), opts)
+                  .ok());
+  auto in = rig.b->commod().receive(1s);
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(in.value().internal);
+}
+
+TEST(LcmLayer, ShutdownFailsPendingRequests) {
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  std::jthread requester([&] {
+    auto reply = rig.a->commod().request(addr, to_bytes("never"), 5s);
+    EXPECT_FALSE(reply.ok());
+  });
+  std::this_thread::sleep_for(50ms);
+  rig.a->stop();
+  requester.join();
+  rig.a.reset();
+}
+
+TEST(LcmLayer, ReplyWithInvalidContextRejected) {
+  Rig rig;
+  ReplyCtx bogus;
+  EXPECT_EQ(rig.a->commod().reply(bogus, to_bytes("x")).code(),
+            Errc::bad_argument);
+}
+
+TEST(LcmLayer, StatsAccumulate) {
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  ASSERT_TRUE(rig.a->commod().send(addr, to_bytes("1")).ok());
+  ASSERT_TRUE(rig.a->commod().dgram(addr, to_bytes("2")).ok());
+  const auto s = rig.a->lcm().stats();
+  EXPECT_GE(s.sends, 1u);
+  EXPECT_GE(s.dgrams, 1u);
+  EXPECT_GE(s.requests, 1u);  // the NSP lookups were requests
+}
+
+TEST(LcmLayer, ConcurrentRequestersMultiplexOneCircuit) {
+  Rig rig;
+  std::jthread echo([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = rig.b->commod().receive(50ms);
+      if (in.ok() && in.value().is_request) {
+        (void)rig.b->commod().reply(in.value().reply_ctx, in.value().payload);
+      }
+    }
+  });
+  auto addr = rig.a->commod().locate("b").value();
+  constexpr int kThreads = 8;
+  constexpr int kEach = 25;
+  std::vector<std::jthread> workers;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) {
+        const std::string body = std::to_string(t) + ":" + std::to_string(i);
+        auto reply = rig.a->commod().request(addr, to_bytes(body), 5s);
+        if (reply.ok() && to_string(reply.value().payload) == body) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  workers.clear();  // join
+  EXPECT_EQ(ok.load(), kThreads * kEach);
+  echo.request_stop();
+}
+
+}  // namespace
+}  // namespace ntcs::core

@@ -1,0 +1,266 @@
+// Unit tests for the ND-Layer (S5): STD-IF semantics, the channel-open
+// exchange, retry-on-open, fragmentation, TAdd promotion, the phys cache.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/queue.h"
+#include "core/nd/nd_layer.h"
+#include "simnet/phys.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+using simnet::IpcsKind;
+
+/// A bare two-endpoint rig: no Nucleus above, just two ND-Layers. Both
+/// sides are pumped continuously (as a Node would) with the upward events
+/// collected into queues the tests pop from.
+struct NdRig {
+  simnet::Fabric fabric{1};
+  simnet::NetworkId lan;
+  simnet::MachineId vax, sun;
+  std::shared_ptr<Identity> id_a, id_b;
+  std::unique_ptr<NdLayer> a, b;
+  BlockingQueue<NdEvent> events_a, events_b;
+  std::jthread pump_a, pump_b;
+
+  explicit NdRig(IpcsKind kind = IpcsKind::tcp, NdConfig cfg = {}) {
+    lan = fabric.add_network("lan");
+    vax = fabric.add_machine("vax1", Arch::vax780, {lan});
+    sun = fabric.add_machine("sun1", Arch::sun3, {lan});
+    id_a = std::make_shared<Identity>("mod-a", Arch::vax780, "lan");
+    id_b = std::make_shared<Identity>("mod-b", Arch::sun3, "lan");
+    a = std::make_unique<NdLayer>(fabric, vax, kind, "mod-a", id_a, cfg);
+    b = std::make_unique<NdLayer>(fabric, sun, kind, "mod-b", id_b, cfg);
+    EXPECT_TRUE(a->bind().ok());
+    EXPECT_TRUE(b->bind().ok());
+    pump_a = start_pump(*a, events_a);
+    pump_b = start_pump(*b, events_b);
+  }
+
+  ~NdRig() {
+    pump_a.request_stop();
+    pump_b.request_stop();
+  }
+
+  static std::jthread start_pump(NdLayer& nd, BlockingQueue<NdEvent>& out) {
+    return std::jthread([&nd, &out](std::stop_token st) {
+      while (!st.stop_requested()) {
+        auto ev = nd.pump(20ms);
+        if (!ev) {
+          if (ev.code() == Errc::timeout) continue;
+          break;
+        }
+        if (ev.value()) (void)out.push(std::move(*ev.value()));
+      }
+    });
+  }
+
+  Result<NdEvent> next_a() { return events_a.pop_for(2s); }
+  Result<NdEvent> next_b() { return events_b.pop_for(2s); }
+};
+
+TEST(NdLayer, BindPublishesPhys) {
+  NdRig rig;
+  EXPECT_TRUE(rig.a->local_phys().valid());
+  EXPECT_EQ(rig.id_a->phys(), rig.a->local_phys());
+  EXPECT_TRUE(rig.fabric.probe(rig.a->local_phys().blob));
+}
+
+TEST(NdLayer, OpenExchangesIdentity) {
+  NdRig rig;
+  rig.id_a->set_uadd(UAdd::permanent(1001));
+  rig.id_b->set_uadd(UAdd::permanent(1002));
+
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  // b's side: pump until the opened event, then check what b learned.
+  auto ev = rig.next_b();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, NdEvent::Kind::opened);
+  auto peer_at_b = rig.b->peer(ev.value().lvc);
+  ASSERT_TRUE(peer_at_b.has_value());
+  EXPECT_EQ(peer_at_b->uadd, UAdd::permanent(1001));
+  EXPECT_EQ(peer_at_b->arch, Arch::vax780);
+  EXPECT_EQ(peer_at_b->phys, rig.a->local_phys());
+  // a's side learned b's identity from the ack.
+  auto peer_at_a = rig.a->peer(lvc.value());
+  ASSERT_TRUE(peer_at_a.has_value());
+  EXPECT_EQ(peer_at_a->uadd, UAdd::permanent(1002));
+  EXPECT_EQ(peer_at_a->arch, Arch::sun3);
+  // The open exchange populated both phys caches (§3.3).
+  EXPECT_EQ(rig.a->cached_phys(UAdd::permanent(1002)), rig.b->local_phys());
+  EXPECT_EQ(rig.b->cached_phys(UAdd::permanent(1001)), rig.a->local_phys());
+}
+
+TEST(NdLayer, TAddNotCached) {
+  // TAdds "are of no use in locating objects" (§3.4): never cached.
+  NdRig rig;
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  auto ev = rig.next_b();
+  ASSERT_TRUE(ev.ok());
+  auto peer_at_b = rig.b->peer(ev.value().lvc);
+  ASSERT_TRUE(peer_at_b.has_value());
+  EXPECT_TRUE(peer_at_b->uadd.is_temporary());
+  EXPECT_FALSE(rig.b->cached_phys(peer_at_b->uadd).has_value());
+}
+
+TEST(NdLayer, PromotePeerReplacesTAdd) {
+  NdRig rig;
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  auto ev = rig.next_b();
+  const LvcId at_b = ev.value().lvc;
+  rig.b->promote_peer(at_b, UAdd::permanent(5000));
+  auto peer = rig.b->peer(at_b);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(peer->uadd, UAdd::permanent(5000));
+  // Promotion also installs the phys cache entry.
+  EXPECT_EQ(rig.b->cached_phys(UAdd::permanent(5000)), rig.a->local_phys());
+  EXPECT_EQ(rig.b->stats().tadds_promoted, 1u);
+  // Promoting again (or to a TAdd) is a no-op.
+  rig.b->promote_peer(at_b, UAdd::permanent(6000));
+  EXPECT_EQ(rig.b->peer(at_b)->uadd, UAdd::permanent(5000));
+}
+
+TEST(NdLayer, MessagesRoundTrip) {
+  NdRig rig;
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  Bytes msg = to_bytes("the ip envelope");
+  ASSERT_TRUE(rig.a->send(lvc.value(), msg).ok());
+  // b: first event is `opened`, second is the message.
+  auto ev = rig.next_b();
+  ASSERT_TRUE(ev.ok());
+  ASSERT_EQ(ev.value().kind, NdEvent::Kind::opened);
+  ev = rig.next_b();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, NdEvent::Kind::message);
+  EXPECT_EQ(ev.value().message, msg);
+}
+
+TEST(NdLayer, FragmentationOverMbxMtu) {
+  NdRig rig(IpcsKind::mbx);
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  Bytes big(3 * simnet::ipcs_mtu(IpcsKind::mbx) + 17);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(rig.a->send(lvc.value(), big).ok());
+  (void)rig.next_b();  // opened
+  auto ev = rig.next_b();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, NdEvent::Kind::message);
+  EXPECT_EQ(ev.value().message, big);
+}
+
+TEST(NdLayer, RetryOnOpenOutwaitsLateBinder) {
+  // §2.2: the only ND-Layer recovery is "retry on open". The destination
+  // binds a moment after the first attempt.
+  // TCP ports are assigned at bind, so a late binder's address cannot be
+  // known in advance; MBX pathnames can — the destination binds its
+  // mailbox a moment after the opener's first attempt.
+  NdRig rig;
+  auto mbx_id = std::make_shared<Identity>("late-mbx", Arch::sun3, "lan");
+  NdConfig cfg;
+  cfg.open_attempts = 40;
+  cfg.open_retry_delay = 5ms;
+  NdLayer mbx_opener(rig.fabric, rig.vax, IpcsKind::mbx, "op-mbx", rig.id_a,
+                     cfg);
+  ASSERT_TRUE(mbx_opener.bind().ok());
+  BlockingQueue<NdEvent> scratch;
+  auto pump_m = NdRig::start_pump(mbx_opener, scratch);
+
+  NdLayer mbx_late(rig.fabric, rig.sun, IpcsKind::mbx, "late-mbx", mbx_id);
+  std::jthread late_pump;
+  std::jthread binder([&] {
+    std::this_thread::sleep_for(30ms);
+    ASSERT_TRUE(mbx_late.bind().ok());
+    late_pump = std::jthread([&mbx_late](std::stop_token st) {
+      while (!st.stop_requested()) (void)mbx_late.pump(20ms);
+    });
+  });
+  auto lvc =
+      mbx_opener.open(PhysAddr{simnet::format_mbx_addr("sun1", "late-mbx")});
+  EXPECT_TRUE(lvc.ok());
+  EXPECT_GT(mbx_opener.stats().open_retries, 0u);
+  binder.join();
+  late_pump.request_stop();
+}
+
+TEST(NdLayer, OpenToNothingFailsAfterRetries) {
+  NdConfig cfg;
+  cfg.open_attempts = 3;
+  cfg.open_retry_delay = 1ms;
+  NdRig rig(IpcsKind::tcp, cfg);
+  auto r = rig.a->open(PhysAddr{"tcp:sun1:9"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(rig.a->stats().open_retries, 2u);
+}
+
+TEST(NdLayer, MalformedAddressFailsFast) {
+  NdRig rig;
+  auto r = rig.a->open(PhysAddr{"total garbage"});
+  EXPECT_EQ(r.code(), Errc::bad_argument);
+  EXPECT_EQ(rig.a->stats().open_retries, 0u);  // no pointless retries
+}
+
+TEST(NdLayer, PeerCloseSurfacesAsEvent) {
+  NdRig rig;
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  auto ev = rig.next_b();  // opened
+  const LvcId at_b = ev.value().lvc;
+  ASSERT_TRUE(rig.a->close(lvc.value()).ok());
+  ev = rig.next_b();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, NdEvent::Kind::closed);
+  EXPECT_EQ(ev.value().lvc, at_b);
+  // Sending on the dead LVC is an address fault; "notification is simply
+  // passed upward" — no recovery here.
+  EXPECT_EQ(rig.b->send(at_b, to_bytes("x")).code(), Errc::address_fault);
+}
+
+TEST(NdLayer, SendOnUnknownLvcFaults) {
+  NdRig rig;
+  EXPECT_EQ(rig.a->send(424242, to_bytes("x")).code(), Errc::address_fault);
+}
+
+TEST(NdLayer, PhysCacheBasics) {
+  NdRig rig;
+  rig.a->cache_phys(UAdd::permanent(7), PhysAddr{"tcp:x:1"});
+  EXPECT_EQ(rig.a->cached_phys(UAdd::permanent(7))->blob, "tcp:x:1");
+  rig.a->uncache_phys(UAdd::permanent(7));
+  EXPECT_FALSE(rig.a->cached_phys(UAdd::permanent(7)).has_value());
+  // Temporary addresses are rejected by the cache.
+  rig.a->cache_phys(UAdd::temporary(7), PhysAddr{"tcp:y:2"});
+  EXPECT_FALSE(rig.a->cached_phys(UAdd::temporary(7)).has_value());
+}
+
+TEST(NdLayer, ShutdownStopsPump) {
+  NdRig rig;
+  rig.a->shutdown();
+  auto ev = rig.a->pump(50ms);
+  EXPECT_EQ(ev.code(), Errc::closed);
+}
+
+TEST(NdLayer, StatsCountTraffic) {
+  NdRig rig;
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  ASSERT_TRUE(rig.a->send(lvc.value(), to_bytes("m")).ok());
+  (void)rig.next_b();
+  (void)rig.next_b();
+  EXPECT_EQ(rig.a->stats().opens_initiated, 1u);
+  EXPECT_EQ(rig.a->stats().messages_sent, 1u);
+  EXPECT_EQ(rig.b->stats().opens_accepted, 1u);
+  EXPECT_EQ(rig.b->stats().messages_received, 1u);
+}
+
+}  // namespace
+}  // namespace ntcs::core

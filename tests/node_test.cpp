@@ -1,0 +1,121 @@
+// Tests for Node assembly/lifecycle (S10 glue) and Testbed misuse paths.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+TEST(Node, StartIsIdempotent) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto node = tb.make_node("n", "m1", "lan").value();
+  EXPECT_TRUE(node->running());
+  EXPECT_TRUE(node->start().ok());  // second start: no-op success
+  node->stop();
+  EXPECT_FALSE(node->running());
+  node->stop();  // second stop: no-op
+}
+
+TEST(Node, IdentityStartsTemporary) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::sun3, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto node = tb.make_node("fresh", "m1", "lan").value();
+  EXPECT_TRUE(node->identity().uadd().is_temporary());
+  EXPECT_EQ(node->identity().name(), "fresh");
+  EXPECT_EQ(node->identity().arch(), Arch::sun3);
+  EXPECT_EQ(node->identity().net(), "lan");
+  EXPECT_TRUE(node->phys().valid());
+  auto uadd = node->commod().register_self();
+  ASSERT_TRUE(uadd.ok());
+  EXPECT_FALSE(node->identity().uadd().is_temporary());
+  node->stop();
+}
+
+TEST(Node, DistinctTAddsAcrossModules) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto n1 = tb.make_node("n1", "m1", "lan").value();
+  auto n2 = tb.make_node("n2", "m1", "lan").value();
+  // In-process TAdds are distinct (a convenience; the protocol would
+  // tolerate collisions, which is the whole point of §3.4).
+  EXPECT_NE(n1->identity().uadd(), n2->identity().uadd());
+  n1->stop();
+  n2->stop();
+}
+
+TEST(Node, LateWellKnownInstallEnablesNaming) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  // Build a node with an EMPTY well-known table, then install late.
+  NodeConfig cfg;
+  cfg.name = "late";
+  cfg.machine = tb.machine_id("m1");
+  cfg.net = "lan";
+  Node node(tb.fabric(), cfg);
+  ASSERT_TRUE(node.start().ok());
+  EXPECT_FALSE(node.commod().register_self().ok());  // cannot find the NS
+  node.install_well_known(tb.well_known());
+  EXPECT_TRUE(node.commod().register_self().ok());
+  node.stop();
+}
+
+TEST(Node, UadToStringFormats) {
+  EXPECT_EQ(UAdd::permanent(17).to_string(), "U#17");
+  EXPECT_EQ(UAdd::temporary(4).to_string(), "T#4");
+  EXPECT_EQ(UAdd{}.to_string(), "U#invalid");
+}
+
+TEST(Testbed, UnknownMachineRejected) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto bad = tb.make_node("x", "marsrover", "lan");
+  EXPECT_EQ(bad.code(), Errc::bad_argument);
+}
+
+TEST(Testbed, FinalizeWithoutNameServerRejected) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  EXPECT_EQ(tb.finalize().code(), Errc::bad_argument);
+}
+
+TEST(Testbed, NetAndMachineAreIdempotent) {
+  Testbed tb;
+  auto n1 = tb.net("lan");
+  auto n2 = tb.net("lan");
+  EXPECT_EQ(n1, n2);
+  auto m1 = tb.machine("m", Arch::sun2, {"lan"});
+  auto m2 = tb.machine("m", Arch::sun3, {"lan"});  // second arch ignored
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(tb.fabric().machine_arch(m1), Arch::sun2);
+}
+
+TEST(Testbed, ReplicaBeforePrimaryRejected) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  EXPECT_EQ(tb.add_name_server_replica("m1", "lan").code(),
+            Errc::bad_argument);
+}
+
+}  // namespace
+}  // namespace ntcs::core

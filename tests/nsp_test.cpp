@@ -1,0 +1,261 @@
+// Tests for the naming service (S9): NSP protocol codecs, Name Server
+// database semantics (registration, generations, forwarding determination,
+// liveness probes, the gateway registry), and the recursive access path.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+// ---------------------------------------------------------------- codecs
+
+TEST(NspProtocol, RegisterRoundTrip) {
+  nsp::RegisterRequest req;
+  req.name = "mod";
+  req.attrs = {{"role", "search"}, {"gen", "2"}};
+  req.phys = "tcp:m:5001";
+  req.net = "lan-a";
+  req.arch = 2;
+  req.requested_uadd = 0;
+  req.is_gateway = true;
+  req.gw_nets = {"lan-a", "lan-b"};
+  req.gw_phys = {"tcp:m:5001", "tcp:m:5002"};
+  auto back = nsp::decode_request(nsp::encode_register(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().op, nsp::NsOp::register_module);
+  EXPECT_EQ(back.value().reg.name, "mod");
+  EXPECT_EQ(back.value().reg.attrs.at("role"), "search");
+  EXPECT_EQ(back.value().reg.phys, "tcp:m:5001");
+  EXPECT_TRUE(back.value().reg.is_gateway);
+  ASSERT_EQ(back.value().reg.gw_nets.size(), 2u);
+  EXPECT_EQ(back.value().reg.gw_phys[1], "tcp:m:5002");
+}
+
+TEST(NspProtocol, AllOpsDecode) {
+  EXPECT_EQ(nsp::decode_request(nsp::encode_lookup("x")).value().op,
+            nsp::NsOp::lookup);
+  EXPECT_EQ(nsp::decode_request(nsp::encode_lookup_attrs({{"a", "b"}}))
+                .value()
+                .op,
+            nsp::NsOp::lookup_attrs);
+  EXPECT_EQ(
+      nsp::decode_request(nsp::encode_resolve(UAdd::permanent(5))).value().op,
+      nsp::NsOp::resolve);
+  EXPECT_EQ(
+      nsp::decode_request(nsp::encode_forward(UAdd::permanent(5))).value().op,
+      nsp::NsOp::forward);
+  EXPECT_EQ(nsp::decode_request(nsp::encode_gateways()).value().op,
+            nsp::NsOp::gateways);
+  EXPECT_EQ(nsp::decode_request(nsp::encode_deregister(UAdd::permanent(5)))
+                .value()
+                .op,
+            nsp::NsOp::deregister);
+  EXPECT_EQ(nsp::decode_request(nsp::encode_ping()).value().op,
+            nsp::NsOp::ping);
+}
+
+TEST(NspProtocol, ErrorEnvelopePropagates) {
+  auto body = nsp::encode_error_response(Errc::not_found, "gone");
+  auto uadd = nsp::decode_uadd_response(body);
+  EXPECT_EQ(uadd.code(), Errc::not_found);
+  EXPECT_EQ(uadd.error().what(), "gone");
+  EXPECT_EQ(nsp::decode_ok_response(body).code(), Errc::not_found);
+}
+
+TEST(NspProtocol, GatewaysResponseRoundTrip) {
+  std::vector<GatewayRecord> gws(2);
+  gws[0].uadd = UAdd::permanent(2);
+  gws[0].name = "gw-a";
+  gws[0].nets = {"n1", "n2"};
+  gws[0].phys = {PhysAddr{"p1"}, PhysAddr{"p2"}};
+  gws[1].uadd = UAdd::permanent(3);
+  gws[1].name = "gw-b";
+  auto back = nsp::decode_gateways_response(nsp::encode_gateways_response(gws));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[0].uadd, UAdd::permanent(2));
+  EXPECT_EQ(back.value()[0].nets[1], "n2");
+  EXPECT_EQ(back.value()[0].phys[1].blob, "p2");
+  EXPECT_EQ(back.value()[1].name, "gw-b");
+}
+
+// ---------------------------------------------------------------- server
+
+struct Rig {
+  Testbed tb;
+  std::unique_ptr<Node> mod;
+
+  Rig() {
+    tb.net("lan");
+    tb.machine("m1", Arch::vax780, {"lan"});
+    tb.machine("m2", Arch::sun3, {"lan"});
+    EXPECT_TRUE(tb.start_name_server("m1", "lan").ok());
+    EXPECT_TRUE(tb.finalize().ok());
+    mod = tb.spawn_module("mod", "m2", "lan").value();
+  }
+  ~Rig() {
+    if (mod) mod->stop();
+  }
+};
+
+TEST(NameServerDb, SelfEntryExists) {
+  Rig rig;
+  auto self = rig.tb.name_server().db_lookup(kNameServerUAdd);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->name, "name-server");
+  // And it is locatable by name through the service itself.
+  auto located = rig.mod->commod().locate("name-server");
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ(located.value(), kNameServerUAdd);
+}
+
+TEST(NameServerDb, ResolveReturnsRegistrationData) {
+  Rig rig;
+  auto info = rig.mod->nsp().resolve_info(rig.mod->identity().uadd());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().name, "mod");
+  EXPECT_EQ(info.value().net, "lan");
+  EXPECT_EQ(info.value().arch, Arch::sun3);
+  EXPECT_EQ(info.value().phys, rig.mod->phys());
+}
+
+TEST(NameServerDb, ResolveUnknownFails) {
+  Rig rig;
+  EXPECT_EQ(rig.mod->nsp().resolve_info(UAdd::permanent(77777)).code(),
+            Errc::not_found);
+}
+
+TEST(NameServerDb, LookupPrefersNewestGeneration) {
+  Rig rig;
+  auto gen2 = rig.tb.spawn_module("mod", "m1", "lan").value();
+  auto located = gen2->commod().locate("mod");
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ(located.value(), gen2->identity().uadd());
+  gen2->stop();
+}
+
+TEST(NameServerDb, ForwardStillAliveWhenModuleLives) {
+  Rig rig;
+  auto fwd = rig.mod->nsp().forward(rig.mod->identity().uadd());
+  EXPECT_EQ(fwd.code(), Errc::still_alive);
+  EXPECT_GE(rig.tb.name_server().stats().liveness_probes, 1u);
+}
+
+TEST(NameServerDb, ForwardFindsSuccessorByName) {
+  Rig rig;
+  const UAdd old = rig.mod->identity().uadd();
+  rig.mod->stop();
+  auto gen2 = rig.tb.spawn_module("mod", "m1", "lan").value();
+  auto fwd = gen2->nsp().forward(old);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_EQ(fwd.value(), gen2->identity().uadd());
+  EXPECT_GE(rig.tb.name_server().stats().forward_hits, 1u);
+  gen2->stop();
+  rig.mod.reset();
+}
+
+TEST(NameServerDb, ForwardFindsSuccessorByRoleAttr) {
+  // §3.5: "With our new attribute-based naming, this is more involved."
+  // A differently named module announcing the same role is accepted once
+  // no same-name successor exists.
+  Rig rig;
+  auto worker =
+      rig.tb.spawn_module("worker-1", "m2", "lan", {{"role", "crunch"}})
+          .value();
+  const UAdd old = worker->identity().uadd();
+  worker->stop();
+  auto successor =
+      rig.tb.spawn_module("worker-2", "m1", "lan", {{"role", "crunch"}})
+          .value();
+  auto fwd = rig.mod->nsp().forward(old);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_EQ(fwd.value(), successor->identity().uadd());
+  successor->stop();
+}
+
+TEST(NameServerDb, ForwardWithoutSuccessorNotFound) {
+  Rig rig;
+  auto loner = rig.tb.spawn_module("loner", "m2", "lan").value();
+  const UAdd old = loner->identity().uadd();
+  loner->stop();
+  EXPECT_EQ(rig.mod->nsp().forward(old).code(), Errc::not_found);
+}
+
+TEST(NameServerDb, ForwardNeverReturnsOlderGeneration) {
+  // A successor must be NEWER than the dead module — a stale generation
+  // must not resurrect.
+  Rig rig;
+  const UAdd gen1 = rig.mod->identity().uadd();
+  rig.mod->stop();
+  auto gen2 = rig.tb.spawn_module("mod", "m1", "lan").value();
+  const UAdd gen2_addr = gen2->identity().uadd();
+  gen2->stop();
+  // gen2 dead too; forwarding gen2 must not land on gen1.
+  auto probe_node = rig.tb.spawn_module("probe", "m1", "lan").value();
+  EXPECT_EQ(probe_node->nsp().forward(gen2_addr).code(), Errc::not_found);
+  EXPECT_EQ(probe_node->nsp().forward(gen1).value_or(UAdd{}),
+            UAdd{});  // also nothing newer alive
+  probe_node->stop();
+  rig.mod.reset();
+}
+
+TEST(NameServerDb, DeregisterRemovesFromLookup) {
+  Rig rig;
+  ASSERT_TRUE(rig.mod->commod().deregister().ok());
+  EXPECT_EQ(rig.mod->commod().locate("mod").code(), Errc::not_found);
+  EXPECT_EQ(rig.mod->nsp().resolve_info(rig.mod->identity().uadd()).code(),
+            Errc::not_found);
+}
+
+TEST(NameServerDb, WellKnownUAddConflictRejected) {
+  Rig rig;
+  // Requesting a well-known UAdd held by another live module fails.
+  RegistrationInfo info;
+  info.requested_uadd = kNameServerUAdd.raw();
+  auto taken = rig.mod->nsp().register_module(info);
+  EXPECT_EQ(taken.code(), Errc::already_exists);
+  // Requesting a dynamic-range UAdd as "well-known" is a caller error.
+  RegistrationInfo bad;
+  bad.requested_uadd = kFirstDynamicUAdd + 5;
+  EXPECT_EQ(rig.mod->nsp().register_module(bad).code(), Errc::bad_argument);
+}
+
+TEST(NameServerDb, MalformedRequestAnsweredWithError) {
+  Rig rig;
+  SendOptions opts;
+  opts.internal = true;
+  opts.timeout = 2s;
+  auto reply = rig.mod->lcm().request(
+      kNameServerUAdd, Payload::raw(to_bytes("not an NSP message")), opts);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(nsp::decode_ok_response(reply.value().payload).code(),
+            Errc::bad_message);
+  EXPECT_GE(rig.tb.name_server().stats().bad_requests, 1u);
+}
+
+TEST(NameServerDb, GatewayRegistryServed) {
+  Testbed tb;
+  tb.net("n1");
+  tb.net("n2");
+  tb.machine("m1", Arch::vax780, {"n1"});
+  tb.machine("gw", Arch::apollo_dn330, {"n1", "n2"});
+  tb.machine("m2", Arch::sun3, {"n2"});
+  ASSERT_TRUE(tb.start_name_server("m1", "n1").ok());
+  ASSERT_TRUE(tb.add_gateway("gw-1", "gw", {"n1", "n2"}).ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto mod = tb.spawn_module("m", "m2", "n2").value();
+  auto gws = mod->nsp().gateways();
+  ASSERT_TRUE(gws.ok());
+  ASSERT_EQ(gws.value().size(), 1u);
+  EXPECT_EQ(gws.value()[0].name, "gw-1");
+  ASSERT_EQ(gws.value()[0].nets.size(), 2u);
+  EXPECT_EQ(gws.value()[0].uadd, tb.gateway(0).uadd());
+  mod->stop();
+}
+
+}  // namespace
+}  // namespace ntcs::core

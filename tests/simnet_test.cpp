@@ -1,0 +1,345 @@
+// Unit tests for the simulated fabric (S2): topology, endpoints, channels,
+// latency, loss, partitions, clocks, probes.
+#include <gtest/gtest.h>
+
+#include "convert/machine.h"
+#include "simnet/fabric.h"
+#include "simnet/phys.h"
+
+namespace ntcs::simnet {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+struct Rig {
+  Fabric fabric{1};
+  NetworkId lan;
+  MachineId vax;
+  MachineId sun;
+
+  Rig() {
+    lan = fabric.add_network("lan-a");
+    vax = fabric.add_machine("vax1", Arch::vax780, {lan});
+    sun = fabric.add_machine("sun1", Arch::sun3, {lan});
+  }
+};
+
+TEST(PhysFormat, TcpRoundTrip) {
+  const std::string addr = format_tcp_addr("vax1", 5001);
+  auto p = parse_phys(addr);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, IpcsKind::tcp);
+  EXPECT_EQ(p->machine, "vax1");
+  EXPECT_EQ(p->local, "5001");
+}
+
+TEST(PhysFormat, MbxRoundTrip) {
+  const std::string addr = format_mbx_addr("apollo1", "server-mbx");
+  auto p = parse_phys(addr);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, IpcsKind::mbx);
+  EXPECT_EQ(p->machine, "apollo1");
+  EXPECT_EQ(p->local, "server-mbx");
+}
+
+TEST(PhysFormat, RejectsGarbage) {
+  EXPECT_FALSE(parse_phys("").has_value());
+  EXPECT_FALSE(parse_phys("bogus").has_value());
+  EXPECT_FALSE(parse_phys("tcp:").has_value());
+  EXPECT_FALSE(parse_phys("tcp:host:notaport").has_value());
+  EXPECT_FALSE(parse_phys("mbx:/nopath").has_value());
+  EXPECT_FALSE(parse_phys("mbx://x").has_value());
+}
+
+TEST(PhysFormat, MtuDiffersByKind) {
+  EXPECT_GT(ipcs_mtu(IpcsKind::tcp), ipcs_mtu(IpcsKind::mbx));
+}
+
+TEST(FabricTopology, NamesResolve) {
+  Rig rig;
+  EXPECT_EQ(rig.fabric.machine_by_name("vax1"), rig.vax);
+  EXPECT_EQ(rig.fabric.network_by_name("lan-a"), rig.lan);
+  EXPECT_FALSE(rig.fabric.machine_by_name("nope").has_value());
+  EXPECT_EQ(rig.fabric.machine_arch(rig.vax), Arch::vax780);
+  EXPECT_EQ(rig.fabric.machine_count(), 2u);
+  EXPECT_EQ(rig.fabric.network_count(), 1u);
+}
+
+TEST(FabricTopology, AttachIsIdempotent) {
+  Rig rig;
+  rig.fabric.attach_machine(rig.vax, rig.lan);
+  EXPECT_EQ(rig.fabric.machine_networks(rig.vax).size(), 1u);
+}
+
+TEST(Endpoint, BindAssignsDistinctTcpPorts) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a");
+  auto b = rig.fabric.bind(rig.vax, IpcsKind::tcp, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value()->phys(), b.value()->phys());
+}
+
+TEST(Endpoint, MbxNamesMustBeUniquePerMachine) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::mbx, "box");
+  ASSERT_TRUE(a.ok());
+  auto b = rig.fabric.bind(rig.vax, IpcsKind::mbx, "box");
+  EXPECT_EQ(b.code(), ntcs::Errc::already_exists);
+  // Same name on another machine is a different pathname.
+  auto c = rig.fabric.bind(rig.sun, IpcsKind::mbx, "box");
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(Endpoint, ConnectAndExchange) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+
+  auto chan = a->connect(b->phys());
+  ASSERT_TRUE(chan.ok());
+
+  auto opened = b->recv_for(1s);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().kind, DeliveryKind::opened);
+  EXPECT_EQ(opened.value().peer_phys, a->phys());
+  EXPECT_EQ(opened.value().chan, chan.value());
+
+  Bytes msg = to_bytes("ping");
+  ASSERT_TRUE(a->send(chan.value(), msg).ok());
+  auto got = b->recv_for(1s);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().kind, DeliveryKind::data);
+  EXPECT_EQ(to_string(got.value().payload), "ping");
+
+  // And back.
+  ASSERT_TRUE(b->send(chan.value(), to_bytes("pong")).ok());
+  auto back = a->recv_for(1s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(to_string(back.value().payload), "pong");
+}
+
+TEST(Endpoint, ConnectToUnboundTcpIsRefused) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto r = a->connect("tcp:sun1:9999");
+  EXPECT_EQ(r.code(), ntcs::Errc::refused);
+}
+
+TEST(Endpoint, ConnectToUnboundMbxIsAddressFault) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::mbx, "a").value();
+  auto r = a->connect("mbx:/sun1/nothing");
+  EXPECT_EQ(r.code(), ntcs::Errc::address_fault);
+}
+
+TEST(Endpoint, CrossIpcsConnectIsUnsupported) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::mbx, "b").value();
+  auto r = a->connect(b->phys());
+  EXPECT_EQ(r.code(), ntcs::Errc::unsupported);
+}
+
+TEST(Endpoint, NoSharedNetworkIsUnreachable) {
+  Fabric fabric{1};
+  auto na = fabric.add_network("net-a");
+  auto nb = fabric.add_network("net-b");
+  auto m1 = fabric.add_machine("m1", Arch::vax780, {na});
+  auto m2 = fabric.add_machine("m2", Arch::sun3, {nb});
+  auto a = fabric.bind(m1, IpcsKind::tcp, "a").value();
+  auto b = fabric.bind(m2, IpcsKind::tcp, "b").value();
+  auto r = a->connect(b->phys());
+  EXPECT_EQ(r.code(), ntcs::Errc::address_fault);
+}
+
+TEST(Endpoint, SameMachineNeedsNoNetwork) {
+  Fabric fabric{1};
+  auto m = fabric.add_machine("lonely", Arch::sun3, {});
+  auto a = fabric.bind(m, IpcsKind::tcp, "a").value();
+  auto b = fabric.bind(m, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys());
+  ASSERT_TRUE(chan.ok());
+  ASSERT_TRUE(a->send(chan.value(), to_bytes("x")).ok());
+  (void)b->recv_for(1s);  // opened
+  auto got = b->recv_for(1s);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(to_string(got.value().payload), "x");
+}
+
+TEST(Endpoint, MtuEnforced) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::mbx, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::mbx, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  Bytes big(ipcs_mtu(IpcsKind::mbx) + 1, 0x7);
+  EXPECT_EQ(a->send(chan, big).code(), ntcs::Errc::too_big);
+}
+
+TEST(Endpoint, CloseChannelNotifiesPeer) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  ASSERT_TRUE(a->close_channel(chan).ok());
+  auto got = b->recv_for(1s);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().kind, DeliveryKind::closed);
+  // Sending on the dead channel faults.
+  EXPECT_EQ(b->send(chan, to_bytes("late")).code(),
+            ntcs::Errc::address_fault);
+}
+
+TEST(Endpoint, EndpointCloseKillsAllChannels) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto c = rig.fabric.bind(rig.sun, IpcsKind::tcp, "c").value();
+  auto ab = a->connect(b->phys()).value();
+  auto ac = a->connect(c->phys()).value();
+  (void)ab;
+  (void)ac;
+  a->close();
+  EXPECT_TRUE(a->is_closed());
+  auto evb = b->recv_for(1s);
+  ASSERT_TRUE(evb.ok());
+  // b sees opened then closed (order preserved per channel).
+  if (evb.value().kind == DeliveryKind::opened) {
+    evb = b->recv_for(1s);
+    ASSERT_TRUE(evb.ok());
+  }
+  EXPECT_EQ(evb.value().kind, DeliveryKind::closed);
+}
+
+TEST(Endpoint, RecvAfterCloseDrainsThenCloses) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto r = a->recv_for(5ms);
+  EXPECT_EQ(r.code(), ntcs::Errc::timeout);
+  a->close();
+  r = a->recv_for(5ms);
+  EXPECT_EQ(r.code(), ntcs::Errc::closed);
+}
+
+TEST(Endpoint, ProbeSeesBindings) {
+  Rig rig;
+  EXPECT_FALSE(rig.fabric.probe("tcp:vax1:5000"));
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  EXPECT_TRUE(rig.fabric.probe(a->phys()));
+  a->close();
+  EXPECT_FALSE(rig.fabric.probe(a->phys()));
+}
+
+TEST(FaultInjection, PartitionBlocksTraffic) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  rig.fabric.set_partitioned(rig.lan, true);
+  EXPECT_EQ(a->send(chan, to_bytes("x")).code(), ntcs::Errc::partitioned);
+  EXPECT_EQ(a->connect(b->phys()).code(), ntcs::Errc::partitioned);
+  rig.fabric.set_partitioned(rig.lan, false);
+  EXPECT_TRUE(a->send(chan, to_bytes("x")).ok());
+}
+
+TEST(FaultInjection, LossDropsFramesSilently) {
+  Rig rig;
+  rig.fabric.set_loss(rig.lan, 1.0);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened (control, not lossy)
+  EXPECT_TRUE(a->send(chan, to_bytes("gone")).ok());
+  EXPECT_EQ(b->recv_for(20ms).code(), ntcs::Errc::timeout);
+  EXPECT_EQ(rig.fabric.stats().frames_dropped, 1u);
+}
+
+TEST(FaultInjection, KillChannelNotifiesBothEnds) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  ASSERT_TRUE(rig.fabric.kill_channel(chan).ok());
+  EXPECT_EQ(a->recv_for(1s).value().kind, DeliveryKind::closed);
+  EXPECT_EQ(b->recv_for(1s).value().kind, DeliveryKind::closed);
+  EXPECT_EQ(rig.fabric.kill_channel(chan).code(), ntcs::Errc::not_found);
+}
+
+TEST(Latency, DelaysDelivery) {
+  Rig rig;
+  rig.fabric.set_latency(rig.lan, 20ms, 20ms);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto chan = a->connect(b->phys()).value();
+  ASSERT_TRUE(a->send(chan, to_bytes("slow")).ok());
+  (void)b->recv_for(1s);  // opened (delayed too)
+  auto got = b->recv_for(1s);
+  ASSERT_TRUE(got.ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, 20ms);
+}
+
+TEST(Latency, FifoPreservedPerChannel) {
+  Rig rig;
+  rig.fabric.set_latency(rig.lan, 0ms, 5ms);  // jitter
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(a->send(chan, to_bytes(std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto got = b->recv_for(1s);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(to_string(got.value().payload), std::to_string(i));
+  }
+}
+
+TEST(Latency, BandwidthSerialisesFrames) {
+  // 1 MB/s link: a 10 KiB frame takes ~10 ms on the wire, and back-to-back
+  // frames queue (~20 ms for two).
+  Rig rig;
+  rig.fabric.set_bandwidth(rig.lan, 1'000'000);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  Bytes frame(10 * 1024, 0x1);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->send(chan, frame).ok());
+  ASSERT_TRUE(a->send(chan, frame).ok());
+  ASSERT_TRUE(b->recv_for(2s).ok());
+  const auto first = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(b->recv_for(2s).ok());
+  const auto second = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(first, 9ms);
+  EXPECT_GE(second, 19ms);  // queued behind the first
+}
+
+TEST(Clocks, SkewIsVisible) {
+  Rig rig;
+  rig.fabric.set_clock_offset(rig.vax, 1h);
+  const auto vax_now = rig.fabric.machine_now(rig.vax);
+  const auto sun_now = rig.fabric.machine_now(rig.sun);
+  EXPECT_GT(vax_now - sun_now, 59min);
+}
+
+TEST(Stats, CountsTraffic) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  ASSERT_TRUE(a->send(chan, to_bytes("12345")).ok());
+  auto s = rig.fabric.stats();
+  EXPECT_EQ(s.connects_ok, 1u);
+  EXPECT_EQ(s.frames_sent, 1u);
+  EXPECT_EQ(s.bytes_sent, 5u);
+}
+
+}  // namespace
+}  // namespace ntcs::simnet

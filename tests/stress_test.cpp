@@ -1,0 +1,200 @@
+// Stress tests: many modules, concurrent crossbar traffic, churn, and
+// registration fan-out — the load shapes that surface races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/testbed.h"
+#include "drts/process_control.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+TEST(Stress, FiftyModuleRegistrationFanOut) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  tb.machine("m2", Arch::sun3, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+
+  constexpr int kModules = 50;
+  std::vector<std::unique_ptr<Node>> nodes(kModules);
+  std::vector<std::jthread> spawners;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kModules; ++i) {
+    spawners.emplace_back([&, i] {
+      auto node = tb.spawn_module("fan-" + std::to_string(i),
+                                  i % 2 == 0 ? "m1" : "m2", "lan");
+      if (node.ok()) {
+        nodes[static_cast<std::size_t>(i)] = std::move(node.value());
+        ok.fetch_add(1);
+      }
+    });
+  }
+  spawners.clear();  // join
+  EXPECT_EQ(ok.load(), kModules);
+  // All are locatable and have distinct UAdds.
+  std::set<UAdd> uadds;
+  for (const auto& node : nodes) {
+    ASSERT_NE(node, nullptr);
+    uadds.insert(node->identity().uadd());
+  }
+  EXPECT_EQ(uadds.size(), static_cast<std::size_t>(kModules));
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(Stress, CrossbarTrafficWithJitter) {
+  Testbed tb;
+  simnet::NetConfig jitter;
+  jitter.latency_min = std::chrono::microseconds(10);
+  jitter.latency_max = std::chrono::microseconds(200);
+  tb.net("lan", jitter);
+  tb.machine("m1", Arch::vax780, {"lan"});
+  tb.machine("m2", Arch::sun3, {"lan"});
+  tb.machine("m3", Arch::apollo_dn330, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+
+  constexpr int kModules = 6;
+  constexpr int kMessagesEach = 40;
+  const char* machines[] = {"m1", "m2", "m3"};
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < kModules; ++i) {
+    nodes.push_back(tb.spawn_module("x-" + std::to_string(i),
+                                    machines[i % 3], "lan")
+                        .value());
+  }
+  std::vector<UAdd> addrs;
+  for (int i = 0; i < kModules; ++i) {
+    addrs.push_back(
+        nodes[0]->commod().locate("x-" + std::to_string(i)).value());
+  }
+  // Every module echoes requests; every module fires requests at everyone.
+  std::vector<std::jthread> echoes;
+  for (auto& node : nodes) {
+    echoes.emplace_back([&node](std::stop_token st) {
+      while (!st.stop_requested()) {
+        auto in = node->commod().receive(50ms);
+        if (in.ok() && in.value().is_request) {
+          (void)node->commod().reply(in.value().reply_ctx,
+                                     in.value().payload);
+        }
+      }
+    });
+  }
+  std::atomic<int> answered{0};
+  std::vector<std::jthread> drivers;
+  for (int i = 0; i < kModules; ++i) {
+    drivers.emplace_back([&, i] {
+      Rng rng(static_cast<std::uint64_t>(i) + 99);
+      for (int m = 0; m < kMessagesEach; ++m) {
+        const int target = static_cast<int>(rng.next_below(kModules));
+        const std::string body = std::to_string(i * 1000 + m);
+        auto reply =
+            nodes[static_cast<std::size_t>(i)]->commod().request(
+                addrs[static_cast<std::size_t>(target)], to_bytes(body), 10s);
+        if (reply.ok() && to_string(reply.value().payload) == body) {
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  drivers.clear();  // join
+  EXPECT_EQ(answered.load(), kModules * kMessagesEach);
+  echoes.clear();
+  for (auto& node : nodes) node->stop();
+}
+
+TEST(Stress, ChurnSurvivesSustainedTraffic) {
+  // Relocation churn + traffic + a lossy blip, all at once.
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  tb.machine("m2", Arch::sun3, {"lan"});
+  tb.machine("m3", Arch::apollo_dn330, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  ntcs::drts::ProcessController pc(tb);
+  ASSERT_TRUE(pc.spawn("svc-a", "m2", "lan", {},
+                       ntcs::drts::make_echo_service())
+                  .ok());
+  ASSERT_TRUE(pc.spawn("svc-b", "m3", "lan", {},
+                       ntcs::drts::make_echo_service())
+                  .ok());
+  auto client = tb.spawn_module("driver", "m1", "lan").value();
+  auto a_addr = client->commod().locate("svc-a").value();
+  auto b_addr = client->commod().locate("svc-b").value();
+
+  // Bounded churn burst concurrent with the traffic (see property_test:
+  // unbounded churn can outpace recovery on a loaded machine).
+  std::jthread churn([&] {
+    const char* spots[] = {"m1", "m2", "m3"};
+    for (int i = 0; i < 40; ++i) {
+      (void)pc.relocate(i % 2 == 0 ? "svc-a" : "svc-b", spots[i % 3], "lan");
+      std::this_thread::sleep_for(15ms);
+    }
+  });
+  int delivered = 0;
+  constexpr int kTotal = 60;
+  for (int i = 0; i < kTotal; ++i) {
+    const UAdd dst = i % 2 == 0 ? a_addr : b_addr;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      auto reply = client->commod().request(dst, to_bytes("m"), 2s);
+      if (reply.ok()) {
+        ++delivered;
+        break;
+      }
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  churn.join();
+  EXPECT_EQ(delivered, kTotal);
+  client->stop();
+}
+
+TEST(Stress, LargeMessagesConcurrently) {
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  tb.machine("m2", Arch::sun3, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto a = tb.spawn_module("a", "m1", "lan").value();
+  auto b = tb.spawn_module("b", "m2", "lan").value();
+  auto addr = a->commod().locate("b").value();
+
+  constexpr int kThreads = 4;
+  constexpr int kEach = 10;
+  std::atomic<int> sent{0};
+  std::vector<std::jthread> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 7);
+      for (int i = 0; i < kEach; ++i) {
+        Bytes msg(200 * 1024);
+        for (auto& byte : msg) byte = static_cast<std::uint8_t>(rng.next());
+        if (a->commod().send(addr, msg).ok()) sent.fetch_add(1);
+      }
+    });
+  }
+  senders.clear();  // join
+  EXPECT_EQ(sent.load(), kThreads * kEach);
+  int received = 0;
+  for (int i = 0; i < kThreads * kEach; ++i) {
+    auto in = b->commod().receive(5s);
+    if (!in.ok()) break;
+    EXPECT_EQ(in.value().payload.size(), 200u * 1024);
+    ++received;
+  }
+  EXPECT_EQ(received, kThreads * kEach);
+  a->stop();
+  b->stop();
+}
+
+}  // namespace
+}  // namespace ntcs::core

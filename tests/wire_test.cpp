@@ -1,0 +1,265 @@
+// Unit tests for the NTCS wire protocol (S4): fragmentation, ND open
+// exchange, IP envelopes, LCM headers — including malformed-input fuzzing.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "convert/shift.h"
+#include "core/wire/frames.h"
+
+namespace ntcs::core::wire {
+namespace {
+
+TEST(Fragment, SmallMessageIsOneFrame) {
+  Bytes msg = to_bytes("small");
+  auto frames = fragment(msg, 1024);
+  ASSERT_EQ(frames.size(), 1u);
+  Reassembler r;
+  auto done = r.feed(frames[0]);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(done.value());
+  EXPECT_EQ(r.take(), msg);
+}
+
+TEST(Fragment, EmptyMessageStillFrames) {
+  auto frames = fragment({}, 1024);
+  ASSERT_EQ(frames.size(), 1u);
+  Reassembler r;
+  EXPECT_TRUE(r.feed(frames[0]).value());
+  EXPECT_TRUE(r.take().empty());
+}
+
+TEST(Fragment, ExactMtuBoundary) {
+  constexpr std::size_t kMtu = 128;
+  Bytes msg(kMtu - 4, 0xAA);  // exactly one chunk
+  auto frames = fragment(msg, kMtu);
+  EXPECT_EQ(frames.size(), 1u);
+  Bytes msg2(kMtu - 4 + 1, 0xBB);  // one byte over
+  EXPECT_EQ(fragment(msg2, kMtu).size(), 2u);
+}
+
+TEST(Fragment, LargeMessageRoundTrip) {
+  Rng rng(5);
+  Bytes msg(50000);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  auto frames = fragment(msg, 4096);
+  EXPECT_GT(frames.size(), 10u);
+  for (const auto& f : frames) EXPECT_LE(f.size(), 4096u);
+  Reassembler r;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    auto done = r.feed(frames[i]);
+    ASSERT_TRUE(done.ok());
+    EXPECT_EQ(done.value(), i + 1 == frames.size());
+  }
+  EXPECT_EQ(r.take(), msg);
+}
+
+TEST(Fragment, LengthMismatchRejected) {
+  Bytes frame;
+  convert::ShiftWriter w(frame);
+  w.put_u32(make_frag_word(false, 10));  // claims 10 bytes
+  w.put_raw(std::string_view("abc"));    // carries 3
+  Reassembler r;
+  EXPECT_EQ(r.feed(frame).code(), Errc::bad_message);
+}
+
+TEST(Fragment, WordHelpers) {
+  const auto w = make_frag_word(true, 12345);
+  EXPECT_TRUE(frag_more(w));
+  EXPECT_EQ(frag_len(w), 12345u);
+  const auto w2 = make_frag_word(false, 0);
+  EXPECT_FALSE(frag_more(w2));
+  EXPECT_EQ(frag_len(w2), 0u);
+}
+
+TEST(NdFrames, OpenRoundTrip) {
+  NdOpen open;
+  open.src_uadd = UAdd::temporary(42);
+  open.src_arch = 3;
+  open.src_phys = "tcp:vax1:5001";
+  auto bytes = encode_nd_open(open);
+  auto back = decode_nd(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().kind, NdKind::open);
+  EXPECT_EQ(back.value().open.src_uadd, open.src_uadd);
+  EXPECT_TRUE(back.value().open.src_uadd.is_temporary());
+  EXPECT_EQ(back.value().open.src_arch, 3u);
+  EXPECT_EQ(back.value().open.src_phys, "tcp:vax1:5001");
+}
+
+TEST(NdFrames, OpenAckRoundTrip) {
+  NdOpenAck ack;
+  ack.uadd = UAdd::permanent(1001);
+  ack.arch = 1;
+  auto back = decode_nd(encode_nd_open_ack(ack));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().kind, NdKind::open_ack);
+  EXPECT_EQ(back.value().ack.uadd, ack.uadd);
+}
+
+TEST(NdFrames, PayloadCarriesBody) {
+  Bytes body = to_bytes("ip envelope here");
+  auto back = decode_nd(encode_nd_payload(body));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().kind, NdKind::payload);
+  EXPECT_EQ(back.value().body, body);
+}
+
+TEST(NdFrames, BadMagicRejected) {
+  Bytes bytes = encode_nd_payload(to_bytes("x"));
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(decode_nd(bytes).code(), Errc::bad_message);
+}
+
+TEST(NdFrames, BadVersionRejected) {
+  Bytes bytes = encode_nd_payload(to_bytes("x"));
+  bytes[7] ^= 0x01;  // low byte of the version word
+  EXPECT_EQ(decode_nd(bytes).code(), Errc::bad_message);
+}
+
+TEST(IpFrames, DataRoundTrip) {
+  auto env = decode_ip(encode_ip_data(777, to_bytes("lcm message")));
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().kind, IpKind::data);
+  EXPECT_EQ(env.value().ivc, 777u);
+  EXPECT_EQ(to_string(env.value().body), "lcm message");
+}
+
+TEST(IpFrames, ExtendRoundTrip) {
+  ExtendBody body;
+  body.final_uadd = UAdd::permanent(1234);
+  body.route = {{"lan-b", "tcp:gw2:5003"}, {"lan-c", "tcp:mc:5004"}};
+  auto env = decode_ip(encode_ip_extend(9, body));
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().kind, IpKind::extend);
+  EXPECT_EQ(env.value().extend.final_uadd, body.final_uadd);
+  ASSERT_EQ(env.value().extend.route.size(), 2u);
+  EXPECT_EQ(env.value().extend.route[0].net, "lan-b");
+  EXPECT_EQ(env.value().extend.route[1].phys, "tcp:mc:5004");
+}
+
+TEST(IpFrames, ExtendEmptyRoute) {
+  ExtendBody body;
+  body.final_uadd = UAdd::permanent(1);
+  auto env = decode_ip(encode_ip_extend(3, body));
+  ASSERT_TRUE(env.ok());
+  EXPECT_TRUE(env.value().extend.route.empty());
+}
+
+TEST(IpFrames, ExtendFailCarriesError) {
+  auto env = decode_ip(encode_ip_extend_fail(
+      5, static_cast<std::uint32_t>(Errc::no_route), "no gateway"));
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().kind, IpKind::extend_fail);
+  EXPECT_EQ(env.value().errc, static_cast<std::uint32_t>(Errc::no_route));
+  EXPECT_EQ(env.value().text, "no gateway");
+}
+
+TEST(IpFrames, ControlMessagesRoundTrip) {
+  EXPECT_EQ(decode_ip(encode_ip_extend_ok(8)).value().kind, IpKind::extend_ok);
+  EXPECT_EQ(decode_ip(encode_ip_teardown(8)).value().kind, IpKind::teardown);
+  EXPECT_EQ(decode_ip(encode_ip_teardown(8)).value().ivc, 8u);
+}
+
+TEST(LcmFrames, HeaderRoundTrip) {
+  LcmHeader h;
+  h.kind = LcmKind::request;
+  h.flags = kLcmFlagInternal;
+  h.src = UAdd::permanent(1001);
+  h.dst = UAdd::permanent(1);
+  h.req_id = 42;
+  h.mode = 1;
+  h.src_arch = 2;
+  Bytes payload = to_bytes("body");
+  auto back = decode_lcm(encode_lcm(h, payload));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().header.kind, LcmKind::request);
+  EXPECT_EQ(back.value().header.flags, kLcmFlagInternal);
+  EXPECT_EQ(back.value().header.src, h.src);
+  EXPECT_EQ(back.value().header.dst, h.dst);
+  EXPECT_EQ(back.value().header.req_id, 42u);
+  EXPECT_EQ(back.value().header.mode, 1u);
+  EXPECT_EQ(back.value().header.src_arch, 2u);
+  EXPECT_EQ(back.value().payload, payload);
+}
+
+TEST(LcmFrames, AllKindsRoundTrip) {
+  for (LcmKind kind : {LcmKind::data, LcmKind::request, LcmKind::reply,
+                       LcmKind::dgram}) {
+    LcmHeader h;
+    h.kind = kind;
+    auto back = decode_lcm(encode_lcm(h, {}));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().header.kind, kind);
+  }
+}
+
+TEST(LcmFrames, UnknownKindRejected) {
+  LcmHeader h;
+  h.kind = LcmKind::data;
+  Bytes bytes = encode_lcm(h, {});
+  bytes[3] = 99;  // low byte of the kind word
+  EXPECT_EQ(decode_lcm(bytes).code(), Errc::bad_message);
+}
+
+TEST(Fuzz, TruncationsNeverCrash) {
+  // Every prefix of every valid message must decode to an error or a
+  // value — never crash or read out of bounds.
+  NdOpen open;
+  open.src_uadd = UAdd::permanent(5);
+  open.src_arch = 1;
+  open.src_phys = "tcp:m:1";
+  ExtendBody eb;
+  eb.final_uadd = UAdd::permanent(9);
+  eb.route = {{"n1", "p1"}, {"n2", "p2"}};
+  LcmHeader lh;
+  lh.kind = LcmKind::reply;
+  const std::vector<Bytes> messages = {
+      encode_nd_open(open),
+      encode_nd_open_ack({UAdd::permanent(2), 0}),
+      encode_nd_payload(to_bytes("xyz")),
+      encode_ip_extend(4, eb),
+      encode_ip_data(4, to_bytes("d")),
+      encode_lcm(lh, to_bytes("payload")),
+  };
+  for (const Bytes& msg : messages) {
+    for (std::size_t cut = 0; cut < msg.size(); ++cut) {
+      Bytes prefix(msg.begin(), msg.begin() + static_cast<long>(cut));
+      (void)decode_nd(prefix);
+      (void)decode_ip(prefix);
+      (void)decode_lcm(prefix);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, RandomBytesNeverCrash) {
+  Rng rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    (void)decode_nd(junk);
+    (void)decode_ip(junk);
+    (void)decode_lcm(junk);
+    Reassembler r;
+    (void)r.feed(junk);
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, BitFlipsNeverCrash) {
+  ExtendBody eb;
+  eb.final_uadd = UAdd::permanent(9);
+  eb.route = {{"net-with-a-longer-name", "tcp:machine:12345"}};
+  const Bytes base = encode_ip_extend(11, eb);
+  Rng rng(4242);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = base;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    (void)decode_ip(mutated);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ntcs::core::wire
