@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drts.dir/bench_drts.cpp.o"
+  "CMakeFiles/bench_drts.dir/bench_drts.cpp.o.d"
+  "bench_drts"
+  "bench_drts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

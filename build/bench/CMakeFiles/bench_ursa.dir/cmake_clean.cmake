@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ursa.dir/bench_ursa.cpp.o"
+  "CMakeFiles/bench_ursa.dir/bench_ursa.cpp.o.d"
+  "bench_ursa"
+  "bench_ursa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ursa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drts_services.dir/drts_services.cpp.o"
+  "CMakeFiles/drts_services.dir/drts_services.cpp.o.d"
+  "drts_services"
+  "drts_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drts_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

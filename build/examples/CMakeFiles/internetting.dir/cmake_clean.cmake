@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internetting.dir/internetting.cpp.o"
+  "CMakeFiles/internetting.dir/internetting.cpp.o.d"
+  "internetting"
+  "internetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

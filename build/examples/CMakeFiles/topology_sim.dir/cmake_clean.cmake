@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_sim.dir/topology_sim.cpp.o"
+  "CMakeFiles/topology_sim.dir/topology_sim.cpp.o.d"
+  "topology_sim"
+  "topology_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_retrieval.dir/ursa_retrieval.cpp.o"
+  "CMakeFiles/ursa_retrieval.dir/ursa_retrieval.cpp.o.d"
+  "ursa_retrieval"
+  "ursa_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

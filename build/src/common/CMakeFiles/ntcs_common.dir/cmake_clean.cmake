@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcs_common.dir/bytes.cpp.o"
+  "CMakeFiles/ntcs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/ntcs_common.dir/error.cpp.o"
+  "CMakeFiles/ntcs_common.dir/error.cpp.o.d"
+  "CMakeFiles/ntcs_common.dir/log.cpp.o"
+  "CMakeFiles/ntcs_common.dir/log.cpp.o.d"
+  "CMakeFiles/ntcs_common.dir/rng.cpp.o"
+  "CMakeFiles/ntcs_common.dir/rng.cpp.o.d"
+  "libntcs_common.a"
+  "libntcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/convert/image.cpp" "src/convert/CMakeFiles/ntcs_convert.dir/image.cpp.o" "gcc" "src/convert/CMakeFiles/ntcs_convert.dir/image.cpp.o.d"
+  "/root/repo/src/convert/machine.cpp" "src/convert/CMakeFiles/ntcs_convert.dir/machine.cpp.o" "gcc" "src/convert/CMakeFiles/ntcs_convert.dir/machine.cpp.o.d"
+  "/root/repo/src/convert/mode.cpp" "src/convert/CMakeFiles/ntcs_convert.dir/mode.cpp.o" "gcc" "src/convert/CMakeFiles/ntcs_convert.dir/mode.cpp.o.d"
+  "/root/repo/src/convert/packed.cpp" "src/convert/CMakeFiles/ntcs_convert.dir/packed.cpp.o" "gcc" "src/convert/CMakeFiles/ntcs_convert.dir/packed.cpp.o.d"
+  "/root/repo/src/convert/schema.cpp" "src/convert/CMakeFiles/ntcs_convert.dir/schema.cpp.o" "gcc" "src/convert/CMakeFiles/ntcs_convert.dir/schema.cpp.o.d"
+  "/root/repo/src/convert/shift.cpp" "src/convert/CMakeFiles/ntcs_convert.dir/shift.cpp.o" "gcc" "src/convert/CMakeFiles/ntcs_convert.dir/shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

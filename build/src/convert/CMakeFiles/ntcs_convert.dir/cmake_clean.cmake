@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcs_convert.dir/image.cpp.o"
+  "CMakeFiles/ntcs_convert.dir/image.cpp.o.d"
+  "CMakeFiles/ntcs_convert.dir/machine.cpp.o"
+  "CMakeFiles/ntcs_convert.dir/machine.cpp.o.d"
+  "CMakeFiles/ntcs_convert.dir/mode.cpp.o"
+  "CMakeFiles/ntcs_convert.dir/mode.cpp.o.d"
+  "CMakeFiles/ntcs_convert.dir/packed.cpp.o"
+  "CMakeFiles/ntcs_convert.dir/packed.cpp.o.d"
+  "CMakeFiles/ntcs_convert.dir/schema.cpp.o"
+  "CMakeFiles/ntcs_convert.dir/schema.cpp.o.d"
+  "CMakeFiles/ntcs_convert.dir/shift.cpp.o"
+  "CMakeFiles/ntcs_convert.dir/shift.cpp.o.d"
+  "libntcs_convert.a"
+  "libntcs_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcs_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addr.cpp" "src/core/CMakeFiles/ntcs_core.dir/addr.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/addr.cpp.o.d"
+  "/root/repo/src/core/ali/commod.cpp" "src/core/CMakeFiles/ntcs_core.dir/ali/commod.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/ali/commod.cpp.o.d"
+  "/root/repo/src/core/ip/gateway.cpp" "src/core/CMakeFiles/ntcs_core.dir/ip/gateway.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/ip/gateway.cpp.o.d"
+  "/root/repo/src/core/ip/ip_layer.cpp" "src/core/CMakeFiles/ntcs_core.dir/ip/ip_layer.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/ip/ip_layer.cpp.o.d"
+  "/root/repo/src/core/lcm/lcm_layer.cpp" "src/core/CMakeFiles/ntcs_core.dir/lcm/lcm_layer.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/lcm/lcm_layer.cpp.o.d"
+  "/root/repo/src/core/nd/nd_layer.cpp" "src/core/CMakeFiles/ntcs_core.dir/nd/nd_layer.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/nd/nd_layer.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/ntcs_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/nsp/name_server.cpp" "src/core/CMakeFiles/ntcs_core.dir/nsp/name_server.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/nsp/name_server.cpp.o.d"
+  "/root/repo/src/core/nsp/nsp_layer.cpp" "src/core/CMakeFiles/ntcs_core.dir/nsp/nsp_layer.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/nsp/nsp_layer.cpp.o.d"
+  "/root/repo/src/core/nsp/protocol.cpp" "src/core/CMakeFiles/ntcs_core.dir/nsp/protocol.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/nsp/protocol.cpp.o.d"
+  "/root/repo/src/core/nsp/static_resolver.cpp" "src/core/CMakeFiles/ntcs_core.dir/nsp/static_resolver.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/nsp/static_resolver.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/ntcs_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/testbed.cpp.o.d"
+  "/root/repo/src/core/wire/frames.cpp" "src/core/CMakeFiles/ntcs_core.dir/wire/frames.cpp.o" "gcc" "src/core/CMakeFiles/ntcs_core.dir/wire/frames.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/ntcs_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ntcs_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcs_core.dir/addr.cpp.o"
+  "CMakeFiles/ntcs_core.dir/addr.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/ali/commod.cpp.o"
+  "CMakeFiles/ntcs_core.dir/ali/commod.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/ip/gateway.cpp.o"
+  "CMakeFiles/ntcs_core.dir/ip/gateway.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/ip/ip_layer.cpp.o"
+  "CMakeFiles/ntcs_core.dir/ip/ip_layer.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/lcm/lcm_layer.cpp.o"
+  "CMakeFiles/ntcs_core.dir/lcm/lcm_layer.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/nd/nd_layer.cpp.o"
+  "CMakeFiles/ntcs_core.dir/nd/nd_layer.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/node.cpp.o"
+  "CMakeFiles/ntcs_core.dir/node.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/nsp/name_server.cpp.o"
+  "CMakeFiles/ntcs_core.dir/nsp/name_server.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/nsp/nsp_layer.cpp.o"
+  "CMakeFiles/ntcs_core.dir/nsp/nsp_layer.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/nsp/protocol.cpp.o"
+  "CMakeFiles/ntcs_core.dir/nsp/protocol.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/nsp/static_resolver.cpp.o"
+  "CMakeFiles/ntcs_core.dir/nsp/static_resolver.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/testbed.cpp.o"
+  "CMakeFiles/ntcs_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/ntcs_core.dir/wire/frames.cpp.o"
+  "CMakeFiles/ntcs_core.dir/wire/frames.cpp.o.d"
+  "libntcs_core.a"
+  "libntcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drts/error_log.cpp" "src/drts/CMakeFiles/ntcs_drts.dir/error_log.cpp.o" "gcc" "src/drts/CMakeFiles/ntcs_drts.dir/error_log.cpp.o.d"
+  "/root/repo/src/drts/file_service.cpp" "src/drts/CMakeFiles/ntcs_drts.dir/file_service.cpp.o" "gcc" "src/drts/CMakeFiles/ntcs_drts.dir/file_service.cpp.o.d"
+  "/root/repo/src/drts/monitor.cpp" "src/drts/CMakeFiles/ntcs_drts.dir/monitor.cpp.o" "gcc" "src/drts/CMakeFiles/ntcs_drts.dir/monitor.cpp.o.d"
+  "/root/repo/src/drts/process_control.cpp" "src/drts/CMakeFiles/ntcs_drts.dir/process_control.cpp.o" "gcc" "src/drts/CMakeFiles/ntcs_drts.dir/process_control.cpp.o.d"
+  "/root/repo/src/drts/time_service.cpp" "src/drts/CMakeFiles/ntcs_drts.dir/time_service.cpp.o" "gcc" "src/drts/CMakeFiles/ntcs_drts.dir/time_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ntcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ntcs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/ntcs_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcs_drts.dir/error_log.cpp.o"
+  "CMakeFiles/ntcs_drts.dir/error_log.cpp.o.d"
+  "CMakeFiles/ntcs_drts.dir/file_service.cpp.o"
+  "CMakeFiles/ntcs_drts.dir/file_service.cpp.o.d"
+  "CMakeFiles/ntcs_drts.dir/monitor.cpp.o"
+  "CMakeFiles/ntcs_drts.dir/monitor.cpp.o.d"
+  "CMakeFiles/ntcs_drts.dir/process_control.cpp.o"
+  "CMakeFiles/ntcs_drts.dir/process_control.cpp.o.d"
+  "CMakeFiles/ntcs_drts.dir/time_service.cpp.o"
+  "CMakeFiles/ntcs_drts.dir/time_service.cpp.o.d"
+  "libntcs_drts.a"
+  "libntcs_drts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcs_drts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/endpoint.cpp" "src/simnet/CMakeFiles/ntcs_simnet.dir/endpoint.cpp.o" "gcc" "src/simnet/CMakeFiles/ntcs_simnet.dir/endpoint.cpp.o.d"
+  "/root/repo/src/simnet/fabric.cpp" "src/simnet/CMakeFiles/ntcs_simnet.dir/fabric.cpp.o" "gcc" "src/simnet/CMakeFiles/ntcs_simnet.dir/fabric.cpp.o.d"
+  "/root/repo/src/simnet/phys.cpp" "src/simnet/CMakeFiles/ntcs_simnet.dir/phys.cpp.o" "gcc" "src/simnet/CMakeFiles/ntcs_simnet.dir/phys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ntcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/ntcs_convert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

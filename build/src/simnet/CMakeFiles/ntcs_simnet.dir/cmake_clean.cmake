@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcs_simnet.dir/endpoint.cpp.o"
+  "CMakeFiles/ntcs_simnet.dir/endpoint.cpp.o.d"
+  "CMakeFiles/ntcs_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/ntcs_simnet.dir/fabric.cpp.o.d"
+  "CMakeFiles/ntcs_simnet.dir/phys.cpp.o"
+  "CMakeFiles/ntcs_simnet.dir/phys.cpp.o.d"
+  "libntcs_simnet.a"
+  "libntcs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ursa/corpus.cpp" "src/ursa/CMakeFiles/ntcs_ursa.dir/corpus.cpp.o" "gcc" "src/ursa/CMakeFiles/ntcs_ursa.dir/corpus.cpp.o.d"
+  "/root/repo/src/ursa/index.cpp" "src/ursa/CMakeFiles/ntcs_ursa.dir/index.cpp.o" "gcc" "src/ursa/CMakeFiles/ntcs_ursa.dir/index.cpp.o.d"
+  "/root/repo/src/ursa/protocol.cpp" "src/ursa/CMakeFiles/ntcs_ursa.dir/protocol.cpp.o" "gcc" "src/ursa/CMakeFiles/ntcs_ursa.dir/protocol.cpp.o.d"
+  "/root/repo/src/ursa/query.cpp" "src/ursa/CMakeFiles/ntcs_ursa.dir/query.cpp.o" "gcc" "src/ursa/CMakeFiles/ntcs_ursa.dir/query.cpp.o.d"
+  "/root/repo/src/ursa/servers.cpp" "src/ursa/CMakeFiles/ntcs_ursa.dir/servers.cpp.o" "gcc" "src/ursa/CMakeFiles/ntcs_ursa.dir/servers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ntcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drts/CMakeFiles/ntcs_drts.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ntcs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/ntcs_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

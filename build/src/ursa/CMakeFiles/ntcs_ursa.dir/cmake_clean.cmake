@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntcs_ursa.dir/corpus.cpp.o"
+  "CMakeFiles/ntcs_ursa.dir/corpus.cpp.o.d"
+  "CMakeFiles/ntcs_ursa.dir/index.cpp.o"
+  "CMakeFiles/ntcs_ursa.dir/index.cpp.o.d"
+  "CMakeFiles/ntcs_ursa.dir/protocol.cpp.o"
+  "CMakeFiles/ntcs_ursa.dir/protocol.cpp.o.d"
+  "CMakeFiles/ntcs_ursa.dir/query.cpp.o"
+  "CMakeFiles/ntcs_ursa.dir/query.cpp.o.d"
+  "CMakeFiles/ntcs_ursa.dir/servers.cpp.o"
+  "CMakeFiles/ntcs_ursa.dir/servers.cpp.o.d"
+  "libntcs_ursa.a"
+  "libntcs_ursa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntcs_ursa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

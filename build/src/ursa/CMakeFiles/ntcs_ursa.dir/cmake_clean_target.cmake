@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntcs_ursa.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commod_test.dir/commod_test.cpp.o"
+  "CMakeFiles/commod_test.dir/commod_test.cpp.o.d"
+  "commod_test"
+  "commod_test.pdb"
+  "commod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drts_test.dir/drts_test.cpp.o"
+  "CMakeFiles/drts_test.dir/drts_test.cpp.o.d"
+  "drts_test"
+  "drts_test.pdb"
+  "drts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

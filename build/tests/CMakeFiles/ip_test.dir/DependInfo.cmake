@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ip_test.cpp" "tests/CMakeFiles/ip_test.dir/ip_test.cpp.o" "gcc" "tests/CMakeFiles/ip_test.dir/ip_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ntcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drts/CMakeFiles/ntcs_drts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ursa/CMakeFiles/ntcs_ursa.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ntcs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/ntcs_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_test.dir/lcm_test.cpp.o"
+  "CMakeFiles/lcm_test.dir/lcm_test.cpp.o.d"
+  "lcm_test"
+  "lcm_test.pdb"
+  "lcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

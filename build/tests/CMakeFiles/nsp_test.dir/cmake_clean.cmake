@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsp_test.dir/nsp_test.cpp.o"
+  "CMakeFiles/nsp_test.dir/nsp_test.cpp.o.d"
+  "nsp_test"
+  "nsp_test.pdb"
+  "nsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_naming_test.dir/static_naming_test.cpp.o"
+  "CMakeFiles/static_naming_test.dir/static_naming_test.cpp.o.d"
+  "static_naming_test"
+  "static_naming_test.pdb"
+  "static_naming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_naming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

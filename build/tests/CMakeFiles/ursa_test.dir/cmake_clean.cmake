@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_test.dir/ursa_test.cpp.o"
+  "CMakeFiles/ursa_test.dir/ursa_test.cpp.o.d"
+  "ursa_test"
+  "ursa_test.pdb"
+  "ursa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/convert_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/nd_test[1]_include.cmake")
+include("/root/repo/build/tests/lcm_test[1]_include.cmake")
+include("/root/repo/build/tests/nsp_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_test[1]_include.cmake")
+include("/root/repo/build/tests/static_naming_test[1]_include.cmake")
+include("/root/repo/build/tests/ip_test[1]_include.cmake")
+include("/root/repo/build/tests/commod_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/drts_test[1]_include.cmake")
+include("/root/repo/build/tests/file_service_test[1]_include.cmake")
+include("/root/repo/build/tests/ursa_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/grand_test[1]_include.cmake")
+include("/root/repo/build/tests/observability_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[GrandIntegration.FullSystemEndToEnd]=]  /root/repo/build/tests/grand_test [==[--gtest_filter=GrandIntegration.FullSystemEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GrandIntegration.FullSystemEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  grand_test_TESTS GrandIntegration.FullSystemEndToEnd)
