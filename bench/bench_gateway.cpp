@@ -80,4 +80,18 @@ BENCHMARK(BM_SizeSweepOneHop)->Range(64, 256 << 10)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run can leave its per-layer metrics
+// snapshot behind: after the gateway benchmarks every hop rig has pushed
+// traffic through 0..3 gateways, so BENCH_metrics.json carries nonzero
+// lcm.sends, ip.hops_forwarded, and the convert.mode.* breakdown.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!ntcs::bench::dump_metrics_json()) {
+    std::fprintf(stderr, "failed to write BENCH_metrics.json\n");
+    return 1;
+  }
+  return 0;
+}

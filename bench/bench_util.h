@@ -5,10 +5,12 @@
 // distinct architectures so conversion decisions stay realistic.
 #pragma once
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <thread>
 
+#include "common/metrics.h"
 #include "core/testbed.h"
 #include "drts/process_control.h"
 
@@ -76,6 +78,20 @@ inline HopRig& hop_rig(int hops) {
     it = rigs.emplace(hops, std::make_unique<HopRig>(hops)).first;
   }
   return *it->second;
+}
+
+/// Dump the process-wide metrics snapshot as JSON next to the benchmark's
+/// own output, so a run leaves behind the per-layer event counts (lcm.sends,
+/// ip.hops_forwarded, convert.mode.*, ...) alongside its timings.
+inline bool dump_metrics_json(const char* path = "BENCH_metrics.json") {
+  const std::string json = metrics::MetricsRegistry::instance()
+                               .snapshot()
+                               .to_json();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
 }
 
 }  // namespace ntcs::bench

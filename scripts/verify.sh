@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# verify.sh — the full local verification flow.
+#
+# 1. Configure + build (pass NTCS_SANITIZE=thread in the environment to get
+#    a TSan build: the metrics hot paths are relaxed-atomic and must be
+#    clean under it).
+# 2. Run the whole suite once.
+# 3. Re-run the stress and failure suites under --repeat until-fail:3 —
+#    these exercise timing-dependent recovery paths (killed channels,
+#    partitions, reconnects) where a flake is a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SANITIZE="${NTCS_SANITIZE:-}"
+
+cmake -B "$BUILD_DIR" -S . -DNTCS_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+# Test names come from gtest suites: Stress.*, Failure.*
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure \
+  -R '^(Stress|Failure)\.' --repeat until-fail:3
+
+echo "verify: OK"

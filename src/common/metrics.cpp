@@ -1,0 +1,138 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace ntcs::metrics {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Intentionally leaked: call sites cache Counter&/Histogram& references
+  // in function-local statics, and detached module threads may still be
+  // bumping them during static destruction. An immortal registry makes the
+  // cached references valid for the whole process lifetime.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  std::lock_guard lk(mu_);
+  for (const auto& [name, c] : counters_) {
+    MetricValue v;
+    v.kind = MetricKind::counter;
+    v.count = c->value();
+    s.values.emplace(name, std::move(v));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricValue v;
+    v.kind = MetricKind::histogram;
+    v.count = h->count();
+    v.sum = h->sum();
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h->bucket(i) != 0) top = i + 1;
+    }
+    v.buckets.reserve(top);
+    for (std::size_t i = 0; i < top; ++i) v.buckets.push_back(h->bucket(i));
+    s.values.emplace(name, std::move(v));
+  }
+  return s;
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  auto it = values.find(name);
+  return it == values.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Snapshot::value(std::string_view name) const {
+  const MetricValue* v = find(name);
+  return v == nullptr ? 0 : v->count;
+}
+
+Snapshot Snapshot::delta(const Snapshot& since) const {
+  Snapshot out;
+  for (const auto& [name, now] : values) {
+    const MetricValue* old = since.find(name);
+    MetricValue d = now;
+    if (old != nullptr && old->kind == now.kind) {
+      d.count -= std::min(old->count, now.count);
+      d.sum -= std::min(old->sum, now.sum);
+      for (std::size_t i = 0;
+           i < d.buckets.size() && i < old->buckets.size(); ++i) {
+        d.buckets[i] -= std::min(old->buckets[i], d.buckets[i]);
+      }
+    }
+    out.values.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    if (v.kind != MetricKind::counter) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(v.count);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, v] : values) {
+    if (v.kind != MetricKind::histogram) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(v.count) +
+           ", \"sum_ns\": " + std::to_string(v.sum) + ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < v.buckets.size(); ++i) {
+      if (v.buckets[i] == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      // Bucket i covers [2^(i-1), 2^i); report the exclusive upper bound.
+      const std::uint64_t upper =
+          i >= 63 ? ~0ULL : (1ULL << i);
+      out += "[" + std::to_string(upper) + ", " +
+             std::to_string(v.buckets[i]) + "]";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+}  // namespace ntcs::metrics

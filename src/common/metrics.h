@@ -1,0 +1,158 @@
+// metrics.h — the process-wide per-layer metrics registry.
+//
+// The paper's project measured and projected system performance through the
+// DRTS network monitor (§6.1, [Wang 85]), and §6.2 argues that a recursive
+// system is only debuggable when one can observe *which layer* did *what*,
+// with *selectivity*. This registry is that observation surface in counter
+// form: every Nucleus/ComMod layer owns a handful of named counters and
+// latency histograms, addressable as "layer.name" (lcm.sends,
+// nd.open_retries, ip.hops_forwarded, nsp.cache_hits, convert.mode.image,
+// ali.recv_wait_ns, ...), snapshotted locally or — through the DRTS
+// MonitorServer — over the NTCS itself.
+//
+// Cost model: metrics are created lazily on first touch, so a metric that
+// is never touched costs nothing and never appears in a snapshot. The
+// intended call-site idiom resolves the registry lookup once per site and
+// pays one relaxed atomic add per event thereafter:
+//
+//   static metrics::Counter& c = metrics::counter("lcm.sends");
+//   c.inc();
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntcs::metrics {
+
+/// A monotonically increasing event counter. Relaxed ordering: counts are
+/// observational, never used for synchronisation.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram: bucket i counts samples whose value in
+/// nanoseconds satisfies 2^(i-1) <= v < 2^i (bucket 0 counts v == 0).
+/// Power-of-two buckets keep record() branch-free and allocation-free: the
+/// bucket index is the bit width of the sample.
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+class Histogram {
+ public:
+  void record(std::uint64_t ns) {
+    const std::size_t b = std::min<std::size_t>(
+        static_cast<std::size_t>(std::bit_width(ns)), kHistogramBuckets - 1);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void record(std::chrono::nanoseconds d) {
+    record(d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count()));
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Times a scope into a histogram (used for blocking waits: receive,
+/// circuit open, request round trips).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { h_.record(std::chrono::steady_clock::now() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+enum class MetricKind : std::uint8_t { counter = 0, histogram = 1 };
+
+/// One metric's value as captured by snapshot(). For counters `count` is
+/// the counter value and `sum`/`buckets` are unused; for histograms `count`
+/// is the sample count, `sum` the summed nanoseconds, and `buckets` the
+/// per-bucket sample counts (trailing zero buckets trimmed).
+struct MetricValue {
+  MetricKind kind = MetricKind::counter;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// A consistent point-in-time capture of every touched metric. "Consistent"
+/// per metric (each load is atomic); the capture as a whole is not a global
+/// barrier — exactly the semantics of the paper's monitor samples.
+struct Snapshot {
+  std::map<std::string, MetricValue, std::less<>> values;
+
+  const MetricValue* find(std::string_view name) const;
+  /// Counter value / histogram sample count, 0 when never touched.
+  std::uint64_t value(std::string_view name) const;
+
+  /// Per-name difference `this - since` (names missing from `since` keep
+  /// their value; names only in `since` are dropped). Counter deltas
+  /// subtract; histogram deltas subtract count, sum and buckets pairwise.
+  Snapshot delta(const Snapshot& since) const;
+
+  /// Stable JSON rendering: {"counters": {...}, "histograms": {name:
+  /// {"count": n, "sum_ns": s, "buckets": [[upper_bound_ns, count], ...]}}}.
+  std::string to_json() const;
+};
+
+/// The registry: name -> metric, created on first touch. Instantiable for
+/// unit tests; production code uses the process-wide instance().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& instance();
+
+  /// Fetch-or-create. The returned reference is stable for the registry's
+  /// lifetime, so call sites may cache it (the intended idiom).
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-wide shorthands for instrumentation sites.
+inline Counter& counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+
+}  // namespace ntcs::metrics

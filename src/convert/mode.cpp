@@ -1,6 +1,28 @@
 #include "convert/mode.h"
 
+#include "common/metrics.h"
+
 namespace ntcs::convert {
+
+void note_mode(XferMode m) {
+  switch (m) {
+    case XferMode::image: {
+      static metrics::Counter& c = metrics::counter("convert.mode.image");
+      c.inc();
+      return;
+    }
+    case XferMode::packed: {
+      static metrics::Counter& c = metrics::counter("convert.mode.packed");
+      c.inc();
+      return;
+    }
+    case XferMode::shift: {
+      static metrics::Counter& c = metrics::counter("convert.mode.shift");
+      c.inc();
+      return;
+    }
+  }
+}
 
 std::string_view xfer_mode_name(XferMode m) {
   switch (m) {
@@ -16,7 +38,10 @@ std::uint32_t xfer_mode_wire_id(XferMode m) {
 }
 
 XferMode choose_mode(Arch src, Arch dst) {
-  return image_compatible(src, dst) ? XferMode::image : XferMode::packed;
+  const XferMode m =
+      image_compatible(src, dst) ? XferMode::image : XferMode::packed;
+  note_mode(m);
+  return m;
 }
 
 }  // namespace ntcs::convert

@@ -28,6 +28,14 @@ std::uint32_t xfer_mode_wire_id(XferMode m);
 /// Decide image vs packed for an application payload between two machines.
 /// Called at the *lowest* layer, where the destination machine type is
 /// visible ("the decision to apply them is left to the lowest layers").
+/// Every decision is counted under `convert.mode.<mode>` in the metrics
+/// registry — the counters that *prove* "no needless conversions".
 XferMode choose_mode(Arch src, Arch dst);
+
+/// Count a transfer-mode use under `convert.mode.<mode>`. choose_mode calls
+/// this itself; the LCM-Layer calls it for the forced-image path (payloads
+/// with no pack routine) and the wire layer for every shift-mode header, so
+/// the breakdown covers all three modes of §5.
+void note_mode(XferMode m);
 
 }  // namespace ntcs::convert

@@ -1,5 +1,7 @@
 #include "core/ali/commod.h"
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
 
 ComMod::ComMod(LcmLayer& lcm, NspLayer& nsp,
@@ -73,6 +75,10 @@ ntcs::Result<Reply> ComMod::request(UAdd dst, const Payload& p,
 }
 
 ntcs::Result<Incoming> ComMod::receive(std::chrono::nanoseconds timeout) {
+  // How long modules sit blocked at the ALI is the paper's headline latency
+  // number (§7); the histogram shape tells polling from event-driven apart.
+  static metrics::Histogram& m_wait = metrics::histogram("ali.recv_wait_ns");
+  metrics::ScopedTimer timer(m_wait);
   return lcm_.receive(timeout);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
 
 IpLayer::IpLayer(NdLayer& nd, std::shared_ptr<Identity> identity,
@@ -61,6 +63,8 @@ ntcs::Result<std::vector<GatewayRecord>> IpLayer::topology(bool static_only) {
         }
         if (!replaced) merged.push_back(std::move(g));
       }
+      static metrics::Counter& m_topo = metrics::counter("ip.topology_fetches");
+      m_topo.inc();
       std::lock_guard lk(mu_);
       ++stats_.topology_fetches;
       topo_cache_ = merged;
@@ -156,6 +160,8 @@ ntcs::Result<std::vector<wire::RouteHop>> IpLayer::compute_route(
 }
 
 ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
+  static metrics::Histogram& m_open_ns = metrics::histogram("ip.open_ivc_ns");
+  metrics::ScopedTimer open_timer(m_open_ns);
   for (int attempt = 0; attempt < 2; ++attempt) {
     auto route = compute_route(dst);
     if (!route) return route.error();
@@ -207,6 +213,8 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
         if (it != ivcs_.end()) it->second.established = true;
         ++stats_.ivcs_opened;
       }
+      static metrics::Counter& m_opened = metrics::counter("ip.ivcs_opened");
+      m_opened.inc();
       log_.debug("IVC open to " + dst.uadd.to_string() + " via " +
                  std::to_string(hops.size()) + " onward hop(s)");
       return h;
@@ -216,6 +224,8 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
       ivcs_.erase(h);
       ++stats_.extend_failures;
     }
+    static metrics::Counter& m_efail = metrics::counter("ip.extend_failures");
+    m_efail.inc();
     // Do not leave a useless LVC behind if this node opened it just now
     // and nothing else multiplexes on it yet.
     bool lvc_in_use = false;
@@ -388,7 +398,12 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
         }
       }
       if (is_relay) {
-        // The fast path through a Gateway: forward on the chained LVC.
+        // The fast path through a Gateway: forward on the chained LVC. Each
+        // traversed gateway bumps the hop counter once per data message, so
+        // an N-hop send adds N to ip.hops_forwarded process-wide.
+        static metrics::Counter& m_hops =
+            metrics::counter("ip.hops_forwarded");
+        m_hops.inc();
         (void)relay.out->nd().send(
             relay.out_h.lvc, wire::encode_ip_data(relay.out_h.ivc, env.body));
         return {};

@@ -1,8 +1,25 @@
 #include "core/lcm/lcm_layer.h"
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
 
 namespace {
+
+/// Counters of *monitored* (application) traffic. NTCS/DRTS-internal sends
+/// — NSP queries, monitor samples, time-service exchanges — are excluded,
+/// the same exemption §6.1 applies to the monitor hook itself: metrics
+/// about monitored sends must not be moved by the machinery that observes
+/// them, or observing the system changes the numbers it reports.
+/// Internal traffic is counted separately under lcm.internal_sends.
+void count_app_send(metrics::Counter& app, bool internal) {
+  if (internal) {
+    static metrics::Counter& c = metrics::counter("lcm.internal_sends");
+    c.inc();
+  } else {
+    app.inc();
+  }
+}
 
 /// Per-thread NTCS recursion depth (§6.1/§6.3). The paper's layers recurse
 /// on one stack; so do ours — hooks and resolver calls run on the sending
@@ -90,13 +107,21 @@ UAdd LcmLayer::chase_forward(UAdd dst) {
 }
 
 ntcs::Result<ResolvedDest> LcmLayer::resolved_for(UAdd dst) {
+  // The resolved-destination cache is where NSP answers are remembered, so
+  // the nsp.cache_* counters live here rather than in the NSP layer itself.
+  static metrics::Counter& m_hits = metrics::counter("nsp.cache_hits");
+  static metrics::Counter& m_misses = metrics::counter("nsp.cache_misses");
   Resolver* resolver = nullptr;
   {
     std::lock_guard lk(mu_);
     auto it = resolved_cache_.find(dst);
-    if (it != resolved_cache_.end()) return it->second;
+    if (it != resolved_cache_.end()) {
+      m_hits.inc();
+      return it->second;
+    }
     resolver = resolver_;
   }
+  m_misses.inc();
   if (resolver == nullptr) {
     return ntcs::Error(ntcs::Errc::not_found,
                        "no resolver and " + dst.to_string() +
@@ -132,6 +157,8 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
                                                const SendOptions& opts,
                                                int fault_retries) {
   if (g_recursion_depth > cfg_.max_recursion_depth) {
+    static metrics::Counter& m_trips = metrics::counter("lcm.recursion_trips");
+    m_trips.inc();
     ErrorHook hook;
     {
       std::lock_guard lk(mu_);
@@ -182,9 +209,22 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
         } else {
           h = opened.value();
           have = true;
-          std::lock_guard lk(mu_);
-          conns_[cur] = h;
-          if (attempt > 0) ++stats_.reconnects;
+          // A reconnect is any re-establishment toward a destination we
+          // already had a circuit to: either this very send failed on the
+          // stale handle (attempt > 0), or the ivc_closed notification got
+          // here first and left the destination in reconnect_pending_.
+          bool reconnected = attempt > 0;
+          {
+            std::lock_guard lk(mu_);
+            conns_[cur] = h;
+            if (reconnect_pending_.erase(cur) > 0) reconnected = true;
+            if (reconnected) ++stats_.reconnects;
+          }
+          if (reconnected) {
+            static metrics::Counter& m_reconnects =
+                metrics::counter("lcm.reconnects");
+            m_reconnects.inc();
+          }
         }
       }
     }
@@ -215,6 +255,8 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     }
 
     // ---- address-fault handler (§3.5) --------------------------------
+    static metrics::Counter& m_faults = metrics::counter("lcm.address_faults");
+    m_faults.inc();
     ErrorHook error_hook;
     {
       std::lock_guard lk(mu_);
@@ -263,6 +305,8 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     if (resolver == nullptr) return last;
     auto fwd = resolver->forward(cur);  // recursive naming-service call
     if (fwd) {
+      static metrics::Counter& m_reloc = metrics::counter("lcm.relocations");
+      m_reloc.inc();
       std::lock_guard lk(mu_);
       forwards_[cur] = fwd.value();
       ++stats_.relocations;
@@ -283,6 +327,8 @@ ntcs::Status LcmLayer::send(UAdd dst, const Payload& p, SendOptions opts) {
   if (!dst.valid()) {
     return ntcs::Status(ntcs::Errc::bad_argument, "invalid destination");
   }
+  static metrics::Counter& m_sends = metrics::counter("lcm.sends");
+  count_app_send(m_sends, opts.internal);
   TimeSource time_source;
   MonitorHook monitor;
   {
@@ -318,6 +364,10 @@ ntcs::Result<Reply> LcmLayer::request(UAdd dst, const Payload& p,
   if (!dst.valid()) {
     return ntcs::Error(ntcs::Errc::bad_argument, "invalid destination");
   }
+  static metrics::Counter& m_requests = metrics::counter("lcm.requests");
+  count_app_send(m_requests, opts.internal);
+  static metrics::Histogram& m_rtt = metrics::histogram("lcm.request_rtt_ns");
+  metrics::ScopedTimer rtt_timer(m_rtt);
   TimeSource time_source;
   MonitorHook monitor;
   {
@@ -394,6 +444,8 @@ ntcs::Status LcmLayer::reply(const ReplyCtx& ctx, const Payload& p) {
     std::lock_guard lk(mu_);
     ++stats_.replies;
   }
+  static metrics::Counter& m_replies = metrics::counter("lcm.replies");
+  m_replies.inc();
   auto peer = ip_.nd().peer(ctx.via.lvc);
   const convert::Arch peer_arch = peer ? peer->arch : identity_->arch();
   convert::XferMode mode = convert::XferMode::image;
@@ -420,6 +472,8 @@ ntcs::Status LcmLayer::dgram(UAdd dst, const Payload& p, SendOptions opts) {
     std::lock_guard lk(mu_);
     ++stats_.dgrams;
   }
+  static metrics::Counter& m_dgrams = metrics::counter("lcm.dgrams");
+  count_app_send(m_dgrams, opts.internal);
   // Connectionless: one resolution attempt, no relocation recovery.
   auto sent = send_message(dst, wire::LcmKind::dgram, 0, p, opts, 1);
   if (!sent) return sent.error();
@@ -464,6 +518,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
                         .value_or(convert::Arch::vax780);
       in.internal = (m.header.flags & wire::kLcmFlagInternal) != 0;
 
+      static metrics::Counter& m_received = metrics::counter("lcm.received");
       switch (m.header.kind) {
         case wire::LcmKind::data:
         case wire::LcmKind::dgram: {
@@ -471,6 +526,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             std::lock_guard lk(mu_);
             ++stats_.received;
           }
+          m_received.inc();
           (void)app_queue_.push(std::move(in));
           return;
         }
@@ -481,6 +537,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             std::lock_guard lk(mu_);
             ++stats_.received;
           }
+          m_received.inc();
           (void)app_queue_.push(std::move(in));
           return;
         }
@@ -501,6 +558,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
         std::lock_guard lk(mu_);
         for (auto it = conns_.begin(); it != conns_.end();) {
           if (it->second == ev.via) {
+            reconnect_pending_.insert(it->first);
             it = conns_.erase(it);
           } else {
             ++it;

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/bytes.h"
 #include "common/error.h"
@@ -230,6 +231,10 @@ class LcmLayer {
 
   mutable std::mutex mu_;
   std::unordered_map<UAdd, IvcHandle> conns_;
+  // Destinations whose circuit died underneath us (ivc_closed): the next
+  // successful open toward one of these counts as a reconnect even when the
+  // closed notification beat the send to the conns_ cleanup.
+  std::unordered_set<UAdd> reconnect_pending_;
   std::unordered_map<UAdd, UAdd> forwards_;
   std::unordered_map<UAdd, ResolvedDest> resolved_cache_;
   std::unordered_map<std::uint32_t, std::shared_ptr<ReplySlot>> slots_;

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
 
 NdLayer::NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
@@ -38,12 +40,18 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     std::lock_guard lk(mu_);
     ++stats_.opens_initiated;
   }
+  static metrics::Counter& m_opens = metrics::counter("nd.opens");
+  static metrics::Counter& m_retries = metrics::counter("nd.open_retries");
+  static metrics::Histogram& m_open_ns = metrics::histogram("nd.open_ns");
+  m_opens.inc();
+  metrics::ScopedTimer open_timer(m_open_ns);
   // Retry on open (§2.2: "no automatic relocation or recovery from failed
   // channels (except for retry on open)").
   ntcs::Error last(ntcs::Errc::address_fault, "open never attempted");
   for (int attempt = 0; attempt < cfg_.open_attempts; ++attempt) {
     if (attempt != 0) {
       std::this_thread::sleep_for(cfg_.open_retry_delay);
+      m_retries.inc();
       std::lock_guard lk(mu_);
       ++stats_.open_retries;
     }
@@ -123,6 +131,8 @@ ntcs::Status NdLayer::send(LvcId lvc, ntcs::BytesView ip_envelope) {
     }
     ++stats_.messages_sent;
   }
+  static metrics::Counter& m_sent = metrics::counter("nd.msgs_sent");
+  m_sent.inc();
   return send_raw(lvc, wire::encode_nd_payload(ip_envelope));
 }
 
@@ -299,6 +309,8 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
         std::lock_guard lk(mu_);
         ++stats_.messages_received;
       }
+      static metrics::Counter& m_recv = metrics::counter("nd.msgs_received");
+      m_recv.inc();
       NdEvent ev;
       ev.kind = NdEvent::Kind::message;
       ev.lvc = lvc;

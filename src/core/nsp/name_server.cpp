@@ -1,5 +1,7 @@
 #include "core/nsp/name_server.h"
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
 
 NameServer::NameServer(simnet::Fabric& fabric, NodeConfig cfg, NsRole role)
@@ -182,6 +184,8 @@ ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
 }
 
 ntcs::Bytes NameServer::handle(const nsp::Request& req) {
+  static metrics::Counter& m_requests = metrics::counter("nsp.ns_requests");
+  m_requests.inc();
   switch (req.op) {
     case nsp::NsOp::register_module:
       return handle_register(req.reg);

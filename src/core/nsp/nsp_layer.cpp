@@ -1,5 +1,7 @@
 #include "core/nsp/nsp_layer.h"
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
 
 NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
@@ -10,6 +12,8 @@ NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
       log_("nsp", identity_->name()) {}
 
 ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
+  static metrics::Counter& m_queries = metrics::counter("nsp.queries");
+  m_queries.inc();
   {
     std::lock_guard lk(mu_);
     ++stats_.queries;
@@ -23,6 +27,8 @@ ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
       lcm_.request(kNameServerUAdd, Payload::raw(std::move(request_body)),
                    opts);
   if (!reply) {
+    static metrics::Counter& m_failures = metrics::counter("nsp.failures");
+    m_failures.inc();
     std::lock_guard lk(mu_);
     ++stats_.failures;
     return reply.error();

@@ -1,5 +1,6 @@
 #include "core/wire/frames.h"
 
+#include "convert/mode.h"
 #include "convert/shift.h"
 
 namespace ntcs::core::wire {
@@ -269,6 +270,9 @@ ntcs::Result<IpEnvelope> decode_ip(ntcs::BytesView envelope) {
 // ---------------------------------------------------------------- LCM layer
 
 ntcs::Bytes encode_lcm(const LcmHeader& h, ntcs::BytesView payload) {
+  // Every NTCS header travels shift-encoded (§5.2); count it so the
+  // convert.mode.* breakdown covers all three modes.
+  convert::note_mode(convert::XferMode::shift);
   ntcs::Bytes out;
   ShiftWriter w(out);
   w.put_u32(static_cast<std::uint32_t>(h.kind));

@@ -8,6 +8,61 @@ namespace ntcs::drts {
 
 using namespace std::chrono_literals;
 
+namespace {
+
+// Wire form of a metrics snapshot (packed mode, like every monitor message):
+// u64 entry count, then per entry: string name, u64 kind, u64 count,
+// u64 sum, u64 bucket count, then that many u64 bucket values.
+ntcs::Bytes encode_snapshot(const metrics::Snapshot& snap) {
+  convert::Packer p;
+  p.put_u64(snap.values.size());
+  for (const auto& [name, v] : snap.values) {
+    p.put_string(name);
+    p.put_u64(static_cast<std::uint64_t>(v.kind));
+    p.put_u64(v.count);
+    p.put_u64(v.sum);
+    p.put_u64(v.buckets.size());
+    for (std::uint64_t b : v.buckets) p.put_u64(b);
+  }
+  return std::move(p).take();
+}
+
+ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes) {
+  convert::Unpacker u(bytes);
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  metrics::Snapshot snap;
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto name = u.get_string();
+    if (!name) return name.error();
+    auto kind = u.get_u64();
+    if (!kind) return kind.error();
+    auto count = u.get_u64();
+    if (!count) return count.error();
+    auto sum = u.get_u64();
+    if (!sum) return sum.error();
+    auto nb = u.get_u64();
+    if (!nb) return nb.error();
+    if (nb.value() > metrics::kHistogramBuckets) {
+      return ntcs::Error(ntcs::Errc::bad_message, "absurd bucket count");
+    }
+    metrics::MetricValue v;
+    v.kind = static_cast<metrics::MetricKind>(kind.value());
+    v.count = count.value();
+    v.sum = sum.value();
+    v.buckets.reserve(nb.value());
+    for (std::uint64_t b = 0; b < nb.value(); ++b) {
+      auto bv = u.get_u64();
+      if (!bv) return bv.error();
+      v.buckets.push_back(bv.value());
+    }
+    snap.values.emplace(std::move(name.value()), std::move(v));
+  }
+  return snap;
+}
+
+}  // namespace
+
 MonitorServer::MonitorServer(simnet::Fabric& fabric, core::NodeConfig cfg,
                              std::size_t ring_capacity)
     : fabric_(fabric), ring_capacity_(ring_capacity) {
@@ -43,15 +98,31 @@ void MonitorServer::serve(const std::stop_token& st) {
       break;
     }
     if (in.value().is_request) {
-      // Statistics query.
-      convert::Packer p;
-      {
-        std::lock_guard lk(mu_);
-        p.put_u64(count_);
-        p.put_u64(total_bytes_);
+      // Statistics query. An empty payload is the original protocol
+      // ("summary"); otherwise the payload selects the report.
+      std::uint64_t op = kMonitorOpSummary;
+      if (!in.value().payload.empty()) {
+        convert::Unpacker u(in.value().payload);
+        auto got = u.get_u64();
+        if (got) op = got.value();
+      }
+      ntcs::Bytes body;
+      if (op == kMonitorOpMetrics) {
+        // The per-layer registry, served over the NTCS itself. This query
+        // path is internal traffic end to end, so answering it perturbs
+        // none of the monitored-send metrics it reports (§6.1).
+        body = encode_snapshot(metrics::MetricsRegistry::instance().snapshot());
+      } else {
+        convert::Packer p;
+        {
+          std::lock_guard lk(mu_);
+          p.put_u64(count_);
+          p.put_u64(total_bytes_);
+        }
+        body = std::move(p).take();
       }
       (void)node_->lcm().reply(in.value().reply_ctx,
-                               core::Payload::raw(std::move(p).take()));
+                               core::Payload::raw(std::move(body)));
       continue;
     }
     // A sample datagram.
@@ -183,6 +254,19 @@ ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
   auto bytes = u.get_u64();
   if (!bytes) return bytes.error();
   return MonitorSummary{count.value(), bytes.value()};
+}
+
+ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
+                                              core::UAdd monitor) {
+  convert::Packer p;
+  p.put_u64(kMonitorOpMetrics);
+  core::SendOptions opts;
+  opts.internal = true;
+  opts.timeout = 2s;
+  auto reply = via.lcm().request(monitor,
+                                 core::Payload::raw(std::move(p).take()), opts);
+  if (!reply) return reply.error();
+  return decode_snapshot(reply.value().payload);
 }
 
 }  // namespace ntcs::drts

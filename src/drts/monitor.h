@@ -16,11 +16,18 @@
 #include <memory>
 #include <thread>
 
+#include "common/metrics.h"
 #include "core/node.h"
 
 namespace ntcs::drts {
 
 inline constexpr std::string_view kMonitorName = "monitor";
+
+// Statistics-query ops. A request with an *empty* payload is the original
+// protocol and still means "summary"; a non-empty payload carries a
+// packed-mode u64 selecting what to report.
+inline constexpr std::uint64_t kMonitorOpSummary = 1;
+inline constexpr std::uint64_t kMonitorOpMetrics = 2;
 
 /// One sample as stored by the server.
 struct MonitorRecord {
@@ -117,5 +124,13 @@ struct MonitorSummary {
 };
 ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
                                            core::UAdd monitor);
+
+/// Query a (possibly remote) monitor for its process's per-layer metrics
+/// snapshot (kMonitorOpMetrics). The reply is the remote
+/// MetricsRegistry::instance().snapshot(), wire-encoded in packed mode —
+/// the metrics registry queried over the NTCS itself, like every other
+/// DRTS service.
+ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
+                                              core::UAdd monitor);
 
 }  // namespace ntcs::drts

@@ -2,6 +2,7 @@
 // shift mode, packed mode, image mode, schema codegen, mode selection.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "convert/image.h"
 #include "convert/machine.h"
@@ -52,6 +53,35 @@ TEST(Mode, ChooseAvoidsNeedlessConversions) {
   }
   EXPECT_EQ(choose_mode(Arch::vax780, Arch::sun3), XferMode::packed);
   EXPECT_EQ(choose_mode(Arch::sun3, Arch::apollo_dn330), XferMode::image);
+}
+
+TEST(Mode, IdenticalArchPairsNeverLeaveImageModeAndCountersProveIt) {
+  // The convert.mode.* counters are the auditable form of the "no needless
+  // conversions" claim: N mode decisions between representation-identical
+  // machines must read as N image picks and zero packed picks.
+  metrics::Snapshot before =
+      metrics::MetricsRegistry::instance().snapshot();
+  std::uint64_t decisions = 0;
+  for (Arch a : kAllArchs) {
+    EXPECT_EQ(choose_mode(a, a), XferMode::image);
+    ++decisions;
+  }
+  // Distinct machines with the same byte order are just as
+  // representation-identical as a machine with itself (§5).
+  constexpr std::pair<Arch, Arch> kSameOrderPairs[] = {
+      {Arch::vax780, Arch::microvax},
+      {Arch::sun2, Arch::sun3},
+      {Arch::sun3, Arch::apollo_dn330},
+  };
+  for (auto [src, dst] : kSameOrderPairs) {
+    EXPECT_EQ(choose_mode(src, dst), XferMode::image);
+    EXPECT_EQ(choose_mode(dst, src), XferMode::image);
+    decisions += 2;
+  }
+  metrics::Snapshot d =
+      metrics::MetricsRegistry::instance().snapshot().delta(before);
+  EXPECT_EQ(d.value("convert.mode.image"), decisions);
+  EXPECT_EQ(d.value("convert.mode.packed"), 0u);
 }
 
 // ---------------------------------------------------------------- shift

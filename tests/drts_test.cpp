@@ -2,6 +2,7 @@
 // control, error log — including the §6.1 recursion scenario.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "core/testbed.h"
 #include "drts/error_log.h"
 #include "drts/monitor.h"
@@ -147,6 +148,78 @@ TEST(Monitor, RemoteQuery) {
   auto summary = query_monitor(*sender, mon_addr);
   ASSERT_TRUE(summary.ok());
   EXPECT_EQ(summary.value().count, 1u);
+  sender->stop();
+  sink->stop();
+}
+
+TEST(Monitor, MetricsQueryOverNtcsMatchesLocalSnapshot) {
+  // The per-layer metrics registry is served through the same statistics
+  // protocol as the traffic summary: a remote module's query must see the
+  // numbers a local snapshot() sees. Compared on the metrics the query
+  // itself cannot perturb — its own traffic is internal end to end, so the
+  // monitored-send counters hold still between the two captures.
+  Rig rig;
+  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  ASSERT_TRUE(monitor.start().ok());
+  auto sender = rig.tb.spawn_module("mq-s", "vax1", "lan").value();
+  auto sink = rig.tb.spawn_module("mq-k", "sun1", "lan").value();
+  auto dst = sender->commod().locate("mq-k").value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sender->commod().send(dst, to_bytes("counted")).ok());
+    ASSERT_TRUE(sink->commod().receive(1s).ok());
+  }
+  auto mon_addr = sender->commod().locate(kMonitorName).value();
+
+  metrics::Snapshot local = metrics::MetricsRegistry::instance().snapshot();
+  auto remote = query_metrics(*sender, mon_addr);
+  ASSERT_TRUE(remote.ok());
+  for (const char* name :
+       {"lcm.sends", "lcm.dgrams", "lcm.requests", "ip.hops_forwarded"}) {
+    EXPECT_EQ(remote.value().value(name), local.value(name)) << name;
+  }
+  EXPECT_GE(remote.value().value("lcm.sends"), 4u);
+  // Histograms round-trip through the wire encoding intact.
+  const metrics::MetricValue* lh = local.find("ali.recv_wait_ns");
+  const metrics::MetricValue* rh = remote.value().find("ali.recv_wait_ns");
+  ASSERT_NE(lh, nullptr);
+  ASSERT_NE(rh, nullptr);
+  EXPECT_EQ(rh->kind, metrics::MetricKind::histogram);
+  EXPECT_EQ(rh->count, lh->count);
+  EXPECT_EQ(rh->sum, lh->sum);
+  EXPECT_EQ(rh->buckets, lh->buckets);
+  sender->stop();
+  sink->stop();
+}
+
+TEST(Monitor, MonitorTrafficNeverIncrementsMonitoredSendMetrics) {
+  // §6.1 extended to metrics: the monitor sample datagram (and the NSP
+  // locate it may trigger) is internal traffic, counted under
+  // lcm.internal_sends — never under the lcm.sends/dgrams the monitor
+  // exists to observe. Otherwise observing traffic would create traffic.
+  Rig rig;
+  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  ASSERT_TRUE(monitor.start().ok());
+  auto sender = rig.tb.spawn_module("ng-s", "vax1", "lan").value();
+  auto sink = rig.tb.spawn_module("ng-k", "sun1", "lan").value();
+  MonitorClient mc(*sender);
+  sender->lcm().set_monitor_hook(mc.hook());
+  auto dst = sender->commod().locate("ng-k").value();
+
+  metrics::Snapshot before = metrics::MetricsRegistry::instance().snapshot();
+  ASSERT_TRUE(sender->commod().send(dst, to_bytes("watched")).ok());
+  ASSERT_TRUE(sink->commod().receive(1s).ok());
+  for (int spin = 0; spin < 100 && mc.emitted() < 1; ++spin) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_EQ(mc.emitted(), 1u);
+  metrics::Snapshot d =
+      metrics::MetricsRegistry::instance().snapshot().delta(before);
+  // One app send was observed; the observation itself (a dgram, plus the
+  // monitor-locating NSP request) shows up only in the internal counter.
+  EXPECT_EQ(d.value("lcm.sends"), 1u);
+  EXPECT_EQ(d.value("lcm.dgrams"), 0u);
+  EXPECT_EQ(d.value("lcm.requests"), 0u);
+  EXPECT_GE(d.value("lcm.internal_sends"), 1u);
   sender->stop();
   sink->stop();
 }

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "core/testbed.h"
+#include "drts/monitor.h"
 
 namespace ntcs::core {
 namespace {
@@ -109,6 +111,11 @@ TEST(Observability, SelectivityFiltersStderrNotCapture) {
   // still records — the paper's "selectivity" requirement as two
   // independent axes.
   Log::instance().set_default_level(LogLevel::off);
+  // Clear per-layer overrides a previous test's guard may have left (gtest
+  // runs every test of this binary in one process when invoked directly).
+  for (const char* layer : {"nd", "ip", "lcm", "nsp", "ali"}) {
+    Log::instance().set_layer_level(layer, LogLevel::off);
+  }
   LayerLog lcm("lcm", "mod");
   lcm.error("captured but not printed");
   EXPECT_FALSE(Log::instance().enabled(LogLevel::error, "lcm"));
@@ -118,6 +125,59 @@ TEST(Observability, SelectivityFiltersStderrNotCapture) {
   Log::instance().set_layer_level("nd", LogLevel::trace);
   EXPECT_TRUE(Log::instance().enabled(LogLevel::trace, "nd"));
   EXPECT_FALSE(Log::instance().enabled(LogLevel::error, "ip"));
+}
+
+TEST(Observability, MetricsAttributeTrafficToLayersAndSurviveRemoteQuery) {
+  // The metrics registry is the counter-shaped half of the §6.2 story: the
+  // log stream says *why* a layer ran, the "layer.name" counters say *how
+  // often* — and, like every other DRTS statistic, they are observable
+  // over the NTCS itself with the same numbers a local snapshot shows.
+  Testbed tb;
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  tb.machine("m2", Arch::sun3, {"lan"});
+  tb.machine("m3", Arch::apollo_dn330, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  NodeConfig mon_cfg;
+  mon_cfg.machine = tb.machine_id("m3");
+  mon_cfg.net = "lan";
+  mon_cfg.well_known = tb.well_known();
+  drts::MonitorServer monitor(tb.fabric(), mon_cfg);
+  ASSERT_TRUE(monitor.start().ok());
+  auto a = tb.spawn_module("obs-a", "m1", "lan").value();
+  auto b = tb.spawn_module("obs-b", "m2", "lan").value();
+  auto addr = a->commod().locate("obs-b").value();
+  auto mon_addr = a->commod().locate(drts::kMonitorName).value();
+  // Warm the a->b circuit so the measured window contains no naming
+  // traffic (the first send's NSP resolve is itself received by the Name
+  // Server's LCM and would show up in the process-wide counters).
+  ASSERT_TRUE(a->commod().send(addr, to_bytes("warm")).ok());
+  ASSERT_TRUE(b->commod().receive(2s).ok());
+
+  metrics::Snapshot before = metrics::MetricsRegistry::instance().snapshot();
+  ASSERT_TRUE(a->commod().send(addr, to_bytes("observed")).ok());
+  ASSERT_TRUE(b->commod().receive(2s).ok());
+  metrics::Snapshot after = metrics::MetricsRegistry::instance().snapshot();
+
+  // One app-level send decomposes into per-layer events, each attributed
+  // to the layer that performed it.
+  metrics::Snapshot d = after.delta(before);
+  EXPECT_EQ(d.value("lcm.sends"), 1u);
+  EXPECT_EQ(d.value("lcm.received"), 1u);
+  EXPECT_GE(d.value("nd.msgs_sent"), 1u);
+  EXPECT_GE(d.value("convert.mode.shift"), 1u);  // the header, at least
+
+  // The same numbers through the DRTS monitor, over the NTCS. The query
+  // is internal end to end, so the monitored-send metrics cannot have
+  // moved between the local capture and the remote one.
+  auto remote = drts::query_metrics(*a, mon_addr);
+  ASSERT_TRUE(remote.ok());
+  for (const char* name : {"lcm.sends", "lcm.dgrams", "lcm.requests"}) {
+    EXPECT_EQ(remote.value().value(name), after.value(name)) << name;
+  }
+  a->stop();
+  b->stop();
 }
 
 }  // namespace
