@@ -1,0 +1,146 @@
+// Chaos overhead: what each injected fault class costs a steady-state
+// request/reply workload across one gateway hop.
+//
+// The fault engine bends the delivery schedule inside the fabric, and the
+// layers pay for recovery (ND dedup/resync, retry-on-open backoff), so the
+// interesting number is the end-to-end round trip under each class
+// relative to the clean baseline. Request/reply keeps at most one message
+// in flight per direction, so reordering can displace a frame by at most
+// its window — the per-circuit sequence numbers absorb everything.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+enum FaultClass : std::int64_t {
+  kNone = 0,
+  kDup = 1,
+  kReorder = 2,
+  kJitter = 3,
+};
+
+const char* fault_label(std::int64_t c) {
+  switch (c) {
+    case kDup: return "dup=0.05";
+    case kReorder: return "reorder=0.05";
+    case kJitter: return "jitter=50us";
+    default: return "clean";
+  }
+}
+
+simnet::FaultPlan fault_plan(std::int64_t c) {
+  simnet::FaultPlan plan;
+  switch (c) {
+    case kDup:
+      plan.dup_prob = 0.05;
+      break;
+    case kReorder:
+      plan.reorder_prob = 0.05;
+      plan.reorder_window = 300us;
+      break;
+    case kJitter:
+      plan.jitter = 50us;
+      break;
+    default:
+      break;
+  }
+  return plan;
+}
+
+/// Install the plan on every network of the rig's fabric, run the body,
+/// clear on scope exit.
+struct PlanScope {
+  core::Testbed& tb;
+  PlanScope(core::Testbed& tb_, const simnet::FaultPlan& plan) : tb(tb_) {
+    for (std::size_t n = 0; n < tb.fabric().network_count(); ++n) {
+      tb.fabric().set_fault_plan(static_cast<simnet::NetworkId>(n), plan);
+    }
+  }
+  ~PlanScope() { tb.fabric().clear_faults(); }
+};
+
+/// Round trip across one gateway under each fault class.
+void BM_RequestUnderFaults(benchmark::State& state) {
+  HopRig& rig = hop_rig(1);
+  state.SetLabel(fault_label(state.range(0)));
+  PlanScope scope(rig.tb, fault_plan(state.range(0)));
+  const Bytes msg(256, 0x5A);
+  for (auto _ : state) {
+    auto reply = rig.src->commod().request(rig.dst_addr, msg, 5s);
+    if (!reply.ok()) {
+      state.SkipWithError("request failed");
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_RequestUnderFaults)
+    ->Arg(kNone)->Arg(kDup)->Arg(kReorder)->Arg(kJitter)
+    ->Unit(benchmark::kMicrosecond);
+
+/// One-way goodput under duplication: the fabric carries ~5% extra frames
+/// and the receiving ND-Layer discards them before they cost anything
+/// above the STD-IF.
+void BM_OneWaySendUnderDup(benchmark::State& state) {
+  HopRig& rig = hop_rig(1);
+  PlanScope scope(rig.tb, fault_plan(kDup));
+  const Bytes msg(256, 0x5A);
+  for (auto _ : state) {
+    auto st = rig.src->commod().send(rig.dst_addr, msg);
+    if (!st.ok()) {
+      state.SkipWithError("send failed");
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_OneWaySendUnderDup)->Unit(benchmark::kMicrosecond);
+
+/// Circuit establishment through a flapping link: the cost of the open
+/// backoff ladder when the first attempts land in a down phase. Down time
+/// is kept short so the ladder, not the wait for the up phase, dominates.
+void BM_EstablishOverFlappingLink(benchmark::State& state) {
+  HopRig& rig = hop_rig(1);
+  simnet::FaultPlan plan;
+  plan.flap_period = 4ms;
+  plan.flap_down = 1ms;
+  PlanScope scope(rig.tb, plan);
+  core::ResolvedDest dest;
+  dest.uadd = rig.dst->identity().uadd();
+  dest.phys = rig.dst->phys();
+  dest.net = HopRig::net_name(1);
+  for (auto _ : state) {
+    auto ivc = rig.src->ip().open_ivc(dest);
+    if (!ivc.ok()) {
+      state.SkipWithError("open_ivc failed");
+      break;
+    }
+    (void)rig.src->ip().close_ivc(ivc.value());
+  }
+}
+// Fixed iteration count: an unlucky open waits out a full ack timeout, so
+// letting the library auto-scale iterations makes run time unbounded.
+BENCHMARK(BM_EstablishOverFlappingLink)
+    ->Iterations(25)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+// Expanded BENCHMARK_MAIN (see bench_gateway.cpp): leave the per-layer
+// metrics snapshot behind so a run shows the recovery work next to its
+// timings — simnet.dup and nd.frames_deduped correlate directly here.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!ntcs::bench::dump_metrics_json("BENCH_chaos_metrics.json")) {
+    std::fprintf(stderr, "failed to write BENCH_chaos_metrics.json\n");
+    return 1;
+  }
+  return 0;
+}

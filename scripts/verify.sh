@@ -8,6 +8,9 @@
 # 3. Re-run the stress and failure suites under --repeat until-fail:3 —
 #    these exercise timing-dependent recovery paths (killed channels,
 #    partitions, reconnects) where a flake is a bug.
+# 4. Build the chaos suite under TSan and run it repeatedly: the
+#    fault-injection engine plus every layer's recovery path is the most
+#    interleaving-sensitive code in the tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +25,15 @@ ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
 # Test names come from gtest suites: Stress.*, Failure.*
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure \
   -R '^(Stress|Failure)\.' --repeat until-fail:3
+
+# Chaos suite under TSan, repeated until-fail. Selected by ctest label.
+TSAN_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "$TSAN_DIR" -S . -DNTCS_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target chaos_test simnet_test nd_test
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -L chaos --repeat until-fail:3
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -R '^(FaultPlan|FaultInjection|FabricTopology|NdLayer)\.' \
+  --repeat until-fail:3
 
 echo "verify: OK"

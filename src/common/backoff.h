@@ -1,0 +1,60 @@
+// backoff.h — capped exponential backoff with jitter.
+//
+// Every retry loop in the NTCS (ND retry-on-open, LCM circuit
+// re-establishment, IP extend retries) shares this policy: a fixed retry
+// delay synchronises competing retriers into storms and loses races with
+// flapping links, while exponential growth with randomised spread drains
+// contention and rides out outages of unknown length. Determinism is
+// preserved by drawing the jitter from an explicitly seeded Rng.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ntcs {
+
+/// Tunables for one retry loop. Delay for attempt k (0-based, first retry)
+/// is `min(initial * multiplier^k, cap)` spread uniformly over
+/// `[d*(1-jitter), d*(1+jitter)]`.
+struct BackoffPolicy {
+  std::chrono::nanoseconds initial{std::chrono::milliseconds(1)};
+  std::chrono::nanoseconds cap{std::chrono::milliseconds(32)};
+  double multiplier = 2.0;
+  double jitter = 0.5;  // 0 = deterministic delays, 1 = full spread
+};
+
+/// One retry sequence. Not thread-safe; callers serialise per loop.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy)
+      : policy_(policy), next_(policy.initial) {}
+
+  /// The delay to sleep before the next retry; advances the sequence.
+  std::chrono::nanoseconds next(Rng& rng) {
+    const auto base = next_;
+    const double grown =
+        static_cast<double>(next_.count()) * std::max(policy_.multiplier, 1.0);
+    const double capped =
+        std::min(grown, static_cast<double>(policy_.cap.count()));
+    next_ = std::chrono::nanoseconds(static_cast<std::int64_t>(capped));
+    const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+    if (j <= 0.0 || base.count() <= 0) return base;
+    const auto lo = static_cast<std::uint64_t>(
+        static_cast<double>(base.count()) * (1.0 - j));
+    const auto span = static_cast<std::uint64_t>(
+        static_cast<double>(base.count()) * 2.0 * j);
+    return std::chrono::nanoseconds(lo + rng.next_below(span + 1));
+  }
+
+  /// Restart from `initial` (after a success).
+  void reset() { next_ = policy_.initial; }
+
+ private:
+  BackoffPolicy policy_;
+  std::chrono::nanoseconds next_;
+};
+
+}  // namespace ntcs

@@ -8,7 +8,11 @@
 // latency histograms, addressable as "layer.name" (lcm.sends,
 // nd.open_retries, ip.hops_forwarded, nsp.cache_hits, convert.mode.image,
 // ali.recv_wait_ns, ...), snapshotted locally or — through the DRTS
-// MonitorServer — over the NTCS itself.
+// MonitorServer — over the NTCS itself. The simulated substrate reports
+// through the same surface: its fault-injection engine counts simnet.dup,
+// simnet.reordered and simnet.flaps, so a chaos run can correlate injected
+// faults with each layer's recovery work (nd.frames_deduped,
+// ip.extend_transient_retries, lcm.fault_backoffs).
 //
 // Cost model: metrics are created lazily on first touch, so a metric that
 // is never touched costs nothing and never appears in a snapshot. The

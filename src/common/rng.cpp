@@ -2,6 +2,15 @@
 
 namespace ntcs {
 
+std::uint64_t seed_from(std::string_view tag, std::uint64_t salt) {
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ salt;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 std::uint64_t Rng::next() {
   std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;

@@ -6,8 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace ntcs {
+
+/// Deterministic 64-bit seed from a string tag (FNV-1a). Components that
+/// need reproducible per-instance randomness (e.g. per-module retry jitter)
+/// derive their seed from their own name instead of global state.
+std::uint64_t seed_from(std::string_view tag, std::uint64_t salt = 0);
 
 /// SplitMix64: tiny, fast, high-quality 64-bit generator. Deterministic for
 /// a given seed on every platform.

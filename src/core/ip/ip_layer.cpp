@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <thread>
 
 #include "common/metrics.h"
 
@@ -13,7 +14,8 @@ IpLayer::IpLayer(NdLayer& nd, std::shared_ptr<Identity> identity,
       identity_(std::move(identity)),
       local_net_(std::move(local_net)),
       cfg_(cfg),
-      log_("ip", identity_->name()) {}
+      log_("ip", identity_->name()),
+      rng_(ntcs::seed_from(identity_->name(), 0x49504C59ULL /* "IPLY" */)) {}
 
 void IpLayer::set_topology_source(TopologySource src) {
   std::lock_guard lk(mu_);
@@ -161,8 +163,25 @@ ntcs::Result<std::vector<wire::RouteHop>> IpLayer::compute_route(
 
 ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
   static metrics::Histogram& m_open_ns = metrics::histogram("ip.open_ivc_ns");
+  static metrics::Counter& m_transient =
+      metrics::counter("ip.extend_transient_retries");
   metrics::ScopedTimer open_timer(m_open_ns);
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  // Transient failures (a flapping or congested link) retry the same route
+  // after a backoff; permanent ones (dead gateway, stale registry) get at
+  // most one topology refresh before the error goes upward.
+  ntcs::Backoff backoff(cfg_.extend_backoff);
+  bool topo_refreshed = false;
+  ntcs::Error last(ntcs::Errc::no_route, "IVC open never attempted");
+  for (int attempt = 0; attempt < std::max(cfg_.extend_attempts, 1);
+       ++attempt) {
+    if (attempt != 0) {
+      std::chrono::nanoseconds delay;
+      {
+        std::lock_guard lk(mu_);
+        delay = backoff.next(rng_);
+      }
+      std::this_thread::sleep_for(delay);
+    }
     auto route = compute_route(dst);
     if (!route) return route.error();
     auto& hops = route.value();
@@ -171,11 +190,20 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
 
     auto lvc = nd_.open(PhysAddr{first.phys});
     if (!lvc) {
+      last = lvc.error();
+      const ntcs::Errc code = last.code();
+      if (code == ntcs::Errc::timeout || code == ntcs::Errc::partitioned) {
+        // The hop is reachable in principle — the link is misbehaving.
+        // Blacklisting it would punish a healthy gateway for its wire.
+        m_transient.inc();
+        continue;
+      }
       // A dead first-hop *gateway* is routed around: blacklist the
       // attachment, refresh the registry, recompute (§4.2 failover).
-      if (attempt == 0 && !hops.empty()) {
+      if (!topo_refreshed && !hops.empty()) {
         blacklist_hop(first.phys);
         invalidate_topology();
+        topo_refreshed = true;
         continue;
       }
       return lvc.error();
@@ -239,13 +267,24 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
       }
     }
     if (!lvc_in_use) (void)nd_.close(h.lvc);
-    if (attempt == 0 && outcome.code() == ntcs::Errc::no_route) {
+    last = outcome.error();
+    if (outcome.code() == ntcs::Errc::no_route) {
+      if (topo_refreshed) return outcome.error();
       invalidate_topology();  // stale gateway registry: refresh and retry
+      topo_refreshed = true;
+      continue;
+    }
+    if (outcome.code() == ntcs::Errc::timeout ||
+        outcome.code() == ntcs::Errc::partitioned ||
+        outcome.code() == ntcs::Errc::address_fault) {
+      // The extend died en route (flap mid-handshake, circuit killed):
+      // transient — the same route may well work on the next try.
+      m_transient.inc();
       continue;
     }
     return outcome.error();
   }
-  return ntcs::Error(ntcs::Errc::no_route, "IVC open failed after refresh");
+  return last;
 }
 
 ntcs::Status IpLayer::send(IvcHandle h, ntcs::BytesView lcm_msg) {

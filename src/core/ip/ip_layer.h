@@ -24,9 +24,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "core/nd/nd_layer.h"
 #include "core/wire/frames.h"
 
@@ -91,6 +93,13 @@ struct IpConfig {
   /// computation (decentralised failover: the route is recomputed around
   /// it, §4.2).
   std::chrono::nanoseconds gateway_blacklist{std::chrono::seconds(5)};
+  /// Total open attempts per open_ivc call. Transient failures (timeout,
+  /// partition — e.g. a flapping link) retry the same route after a
+  /// backoff; permanent ones (refused, address fault on the first hop)
+  /// blacklist the hop, refresh the topology and route around it.
+  int extend_attempts = 3;
+  BackoffPolicy extend_backoff{std::chrono::milliseconds(1),
+                               std::chrono::milliseconds(16), 2.0, 0.5};
 };
 
 class IpLayer {
@@ -193,6 +202,7 @@ class IpLayer {
   NetName local_net_;
   IpConfig cfg_;
   ntcs::LayerLog log_;
+  ntcs::Rng rng_;  // extend-retry jitter; guarded by mu_
 
   mutable std::mutex mu_;
   std::unordered_map<IvcHandle, IvcState, IvcHandleHash> ivcs_;

@@ -1,5 +1,7 @@
 #include "core/lcm/lcm_layer.h"
 
+#include <thread>
+
 #include "common/metrics.h"
 
 namespace ntcs::core {
@@ -41,7 +43,8 @@ LcmLayer::LcmLayer(IpLayer& ip, std::shared_ptr<Identity> identity,
     : ip_(ip),
       identity_(std::move(identity)),
       cfg_(cfg),
-      log_("lcm", identity_->name()) {}
+      log_("lcm", identity_->name()),
+      rng_(ntcs::seed_from(identity_->name(), 0x4C434D4CULL /* "LCML" */)) {}
 
 void LcmLayer::set_resolver(Resolver* r) {
   std::lock_guard lk(mu_);
@@ -174,7 +177,22 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
   RecursionScope scope;
 
   ntcs::Error last(ntcs::Errc::address_fault, "send never attempted");
+  ntcs::Backoff backoff(cfg_.fault_backoff);
   for (int attempt = 0; attempt <= fault_retries; ++attempt) {
+    if (attempt != 0) {
+      // Pace the §3.5 recovery loop: the destination may be mid-move or
+      // behind a flapping link, and an instant reconnect mostly re-runs
+      // into the same fault.
+      static metrics::Counter& m_backoffs =
+          metrics::counter("lcm.fault_backoffs");
+      m_backoffs.inc();
+      std::chrono::nanoseconds delay;
+      {
+        std::lock_guard lk(mu_);
+        delay = backoff.next(rng_);
+      }
+      std::this_thread::sleep_for(delay);
+    }
     const UAdd cur = chase_forward(dst);
 
     // Establish (or reuse) the circuit — "with the underlying IVCs being

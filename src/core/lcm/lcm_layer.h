@@ -32,10 +32,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/backoff.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/queue.h"
+#include "common/rng.h"
 #include "convert/mode.h"
 #include "core/identity.h"
 #include "core/ip/ip_layer.h"
@@ -130,6 +132,11 @@ struct LcmConfig {
   std::chrono::nanoseconds request_timeout{std::chrono::seconds(5)};
   /// Address-fault recovery attempts per send.
   int fault_retries = 3;
+  /// Backoff between recovery attempts: re-establishment "exactly as an
+  /// initial connection" (§3.5) against a flapping or mid-reconfiguration
+  /// destination should not spin at full speed.
+  BackoffPolicy fault_backoff{std::chrono::milliseconds(1),
+                              std::chrono::milliseconds(16), 2.0, 0.5};
   /// Depth bound on NTCS-internal recursion (the §6.3 patch).
   int max_recursion_depth = 8;
   /// Re-enable the paper's Name-Server dead-circuit recursion bug (§6.3)
@@ -228,6 +235,7 @@ class LcmLayer {
   std::shared_ptr<Identity> identity_;
   LcmConfig cfg_;
   ntcs::LayerLog log_;
+  ntcs::Rng rng_;  // fault-retry jitter; guarded by mu_
 
   mutable std::mutex mu_;
   std::unordered_map<UAdd, IvcHandle> conns_;

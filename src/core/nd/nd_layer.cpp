@@ -15,7 +15,8 @@ NdLayer::NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
       local_name_(std::move(local_name)),
       identity_(std::move(identity)),
       cfg_(cfg),
-      log_("nd", identity_->name()) {}
+      log_("nd", identity_->name()),
+      rng_(ntcs::seed_from(local_name_, 0x4E444C59ULL /* "NDLY" */)) {}
 
 NdLayer::~NdLayer() { shutdown(); }
 
@@ -46,14 +47,21 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
   m_opens.inc();
   metrics::ScopedTimer open_timer(m_open_ns);
   // Retry on open (§2.2: "no automatic relocation or recovery from failed
-  // channels (except for retry on open)").
+  // channels (except for retry on open)"), spacing attempts with capped
+  // exponential backoff + jitter so a flapping link is eventually caught
+  // in its up phase and concurrent openers don't retry in lockstep.
+  ntcs::Backoff backoff(cfg_.open_backoff);
   ntcs::Error last(ntcs::Errc::address_fault, "open never attempted");
   for (int attempt = 0; attempt < cfg_.open_attempts; ++attempt) {
     if (attempt != 0) {
-      std::this_thread::sleep_for(cfg_.open_retry_delay);
+      std::chrono::nanoseconds delay;
+      {
+        std::lock_guard lk(mu_);
+        delay = backoff.next(rng_);
+        ++stats_.open_retries;
+      }
       m_retries.inc();
-      std::lock_guard lk(mu_);
-      ++stats_.open_retries;
+      std::this_thread::sleep_for(delay);
     }
     auto chan = endpoint_->connect(dst.blob);
     if (!chan) {
@@ -85,9 +93,15 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     auto sent = send_raw(lvc, wire::encode_nd_open(intro));
     if (!sent.ok()) {
       last = sent.error();
-      std::lock_guard lk(mu_);
-      lvcs_.erase(lvc);
-      open_waiters_.erase(lvc);
+      {
+        std::lock_guard lk(mu_);
+        lvcs_.erase(lvc);
+        open_waiters_.erase(lvc);
+      }
+      // The IPCS channel exists even though the introduction never made
+      // it out; without this close it would linger in the fabric until
+      // endpoint teardown.
+      (void)endpoint_->close_channel(lvc);
       continue;
     }
     std::unique_lock wl(waiter->mu);
@@ -104,8 +118,14 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     }
     if (!waiter->result->ok()) {
       last = waiter->result->error();
-      std::lock_guard lk(mu_);
-      lvcs_.erase(lvc);
+      {
+        std::lock_guard lk(mu_);
+        lvcs_.erase(lvc);
+      }
+      // Usually the channel died (the waiter was failed by a `closed`
+      // delivery) and this is a no-op, but a nacked-yet-alive channel
+      // must not be stranded in the fabric.
+      (void)endpoint_->close_channel(lvc);
       continue;
     }
     const PeerInfo& peer = waiter->result->value();
@@ -138,21 +158,22 @@ ntcs::Status NdLayer::send(LvcId lvc, ntcs::BytesView ip_envelope) {
 
 ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
   // Hold the circuit's transmit lock across all fragments so concurrent
-  // senders on the same LVC cannot interleave mid-message.
-  std::shared_ptr<std::mutex> send_mu;
+  // senders on the same LVC cannot interleave mid-message, and stamp each
+  // fragment with the circuit's running frame number.
+  std::shared_ptr<TxState> tx_state;
   {
     std::lock_guard lk(mu_);
     auto it = lvcs_.find(lvc);
-    if (it != lvcs_.end()) send_mu = it->second.send_mu;
+    if (it != lvcs_.end()) tx_state = it->second.tx;
   }
-  if (!send_mu) {
+  if (!tx_state) {
     // The circuit vanished between lookup and here (or this is the open
-    // handshake racing creation); a private lock preserves the invariant.
-    send_mu = std::make_shared<std::mutex>();
+    // handshake racing creation); private state preserves the invariant.
+    tx_state = std::make_shared<TxState>();
   }
-  std::lock_guard tx(*send_mu);
+  std::lock_guard tx(tx_state->mu);
   for (const ntcs::Bytes& frame :
-       wire::fragment(nd_message, simnet::ipcs_mtu(ipcs_))) {
+       wire::fragment(nd_message, simnet::ipcs_mtu(ipcs_), tx_state->seq)) {
     auto st = endpoint_->send(lvc, frame);
     if (!st.ok()) {
       // Normalise the two IPCSs' failure vocabulary to an address fault,
@@ -225,6 +246,9 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
       return std::optional<NdEvent>{std::move(ev)};
     }
     case simnet::DeliveryKind::data: {
+      static metrics::Counter& m_dedup = metrics::counter("nd.frames_deduped");
+      static metrics::Counter& m_resync =
+          metrics::counter("nd.frames_resynced");
       ntcs::Bytes complete;
       {
         std::lock_guard lk(mu_);
@@ -232,12 +256,26 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
         if (it == lvcs_.end()) {
           return std::optional<NdEvent>{};  // stray frame after close
         }
-        auto done = it->second.reassembler.feed(d.payload);
-        if (!done) {
-          log_.warn("dropping malformed frame: " + done.error().to_string());
+        auto fed = it->second.reassembler.feed(d.payload);
+        if (!fed) {
+          log_.warn("dropping malformed frame: " + fed.error().to_string());
           return std::optional<NdEvent>{};
         }
-        if (!done.value()) return std::optional<NdEvent>{};
+        if (fed.value().dropped) {
+          // Duplicate or stale frame from a misbehaving substrate — the
+          // application must never see it twice (or late).
+          ++stats_.frames_deduped;
+          m_dedup.inc();
+          return std::optional<NdEvent>{};
+        }
+        if (fed.value().resynced) {
+          // Frames went missing mid-stream; that message is lost (ND
+          // offers no retransmission — failures are "simply passed
+          // upward") but the stream continues cleanly from here.
+          ++stats_.frames_resynced;
+          m_resync.inc();
+        }
+        if (!fed.value().complete) return std::optional<NdEvent>{};
         complete = it->second.reassembler.take();
       }
       return handle_message(d.chan, std::move(complete));

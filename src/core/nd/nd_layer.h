@@ -28,9 +28,11 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/backoff.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "common/rng.h"
 #include "convert/machine.h"
 #include "core/addr.h"
 #include "core/identity.h"
@@ -63,10 +65,13 @@ struct PeerInfo {
   PhysAddr phys;
 };
 
-/// Tunables for the open retry loop.
+/// Tunables for the open retry loop. Retries back off exponentially with
+/// jitter (a fixed delay synchronises retry storms and keeps losing the
+/// same race against a flapping link); observable via `nd.open_retries`.
 struct NdConfig {
   int open_attempts = 5;
-  std::chrono::nanoseconds open_retry_delay{std::chrono::milliseconds(2)};
+  BackoffPolicy open_backoff{std::chrono::milliseconds(1),
+                             std::chrono::milliseconds(32), 2.0, 0.5};
   std::chrono::nanoseconds open_ack_timeout{std::chrono::seconds(5)};
 };
 
@@ -134,19 +139,27 @@ class NdLayer {
     std::uint64_t messages_received = 0;
     std::uint64_t lvcs_closed = 0;
     std::uint64_t tadds_promoted = 0;
+    std::uint64_t frames_deduped = 0;   // duplicate/stale frames suppressed
+    std::uint64_t frames_resynced = 0;  // reassembly resyncs after a gap
   };
   Stats stats() const;
 
  private:
+  /// Per-circuit transmit state: the lock serialises multi-fragment
+  /// transmissions (a message's frames must stay contiguous on the circuit
+  /// or the peer's reassembler would interleave concurrent senders'
+  /// fragments), and `seq` is the running frame number stamped into each
+  /// fragment word for the receiver's duplicate/overtake detection.
+  struct TxState {
+    std::mutex mu;
+    std::uint32_t seq = 0;
+  };
   struct LvcState {
     PeerInfo peer;
     bool open_complete = false;
     bool initiated_by_us = false;
     wire::Reassembler reassembler;
-    /// Serialises multi-fragment transmissions: a message's frames must
-    /// stay contiguous on the circuit or the peer's reassembler would
-    /// interleave concurrent senders' fragments.
-    std::shared_ptr<std::mutex> send_mu = std::make_shared<std::mutex>();
+    std::shared_ptr<TxState> tx = std::make_shared<TxState>();
   };
   struct OpenWaiter {
     std::mutex mu;
@@ -166,6 +179,7 @@ class NdLayer {
   std::shared_ptr<Identity> identity_;
   NdConfig cfg_;
   ntcs::LayerLog log_;
+  ntcs::Rng rng_;  // retry jitter; guarded by mu_
 
   std::shared_ptr<simnet::Endpoint> endpoint_;
 

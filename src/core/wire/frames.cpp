@@ -38,15 +38,20 @@ ntcs::Bytes nd_prologue(NdKind kind) {
 
 // ---------------------------------------------------------------- fragments
 
-std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len) {
-  return (more ? kFragMoreBit : 0u) | (chunk_len & kFragLenMask);
+std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len,
+                             std::uint32_t seq) {
+  return (more ? kFragMoreBit : 0u) | ((seq & kFragSeqMask) << 24) |
+         (chunk_len & kFragLenMask);
 }
 
 bool frag_more(std::uint32_t word) { return (word & kFragMoreBit) != 0; }
 
 std::uint32_t frag_len(std::uint32_t word) { return word & kFragLenMask; }
 
-std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu) {
+std::uint32_t frag_seq(std::uint32_t word) { return (word >> 24) & kFragSeqMask; }
+
+std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu,
+                                  std::uint32_t& seq) {
   std::vector<ntcs::Bytes> frames;
   const std::size_t chunk_max = mtu > 4 ? mtu - 4 : 1;
   std::size_t off = 0;
@@ -57,7 +62,8 @@ std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu) {
     ntcs::Bytes frame;
     frame.reserve(n + 4);
     ShiftWriter w(frame);
-    w.put_u32(make_frag_word(more, static_cast<std::uint32_t>(n)));
+    w.put_u32(make_frag_word(more, static_cast<std::uint32_t>(n), seq));
+    seq = (seq + 1) & kFragSeqMask;
     w.put_raw(msg.subspan(off, n));
     frames.push_back(std::move(frame));
     off += n;
@@ -65,7 +71,12 @@ std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu) {
   return frames;
 }
 
-ntcs::Result<bool> Reassembler::feed(ntcs::BytesView frame) {
+std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu) {
+  std::uint32_t seq = 0;
+  return fragment(msg, mtu, seq);
+}
+
+ntcs::Result<Reassembler::FeedResult> Reassembler::feed(ntcs::BytesView frame) {
   ShiftReader r(frame);
   auto word = r.get_u32();
   if (!word) return word.error();
@@ -74,8 +85,28 @@ ntcs::Result<bool> Reassembler::feed(ntcs::BytesView frame) {
     return ntcs::Error(ntcs::Errc::bad_message,
                        "fragment length mismatches frame size");
   }
+  FeedResult res;
+  const std::uint32_t seq = frag_seq(word.value());
+  // Wrap-aware forward distance from the last accepted frame. 1 is the
+  // in-order successor; 0 a duplicate; just short of a full wrap is a late
+  // straggler from behind (overtaken on the wire — reordering only shifts
+  // frames by a handful of slots, so the stale zone is kept narrow: a
+  // large "gap" after a loss burst must not read as staleness).
+  const std::uint32_t dist = (seq - last_seq_) & kFragSeqMask;
+  if (dist == 0 || dist > kFragSeqMask - kFragStaleWindow) {
+    res.dropped = true;
+    return res;
+  }
+  if (dist != 1) {
+    // Frames went missing (lost, or overtaken and due to arrive stale):
+    // whatever message they belonged to is unrecoverable. Resynchronise.
+    acc_.clear();
+    res.resynced = true;
+  }
+  last_seq_ = seq;
   ntcs::append(acc_, r.rest());
-  return !frag_more(word.value());
+  res.complete = !frag_more(word.value());
+  return res;
 }
 
 ntcs::Bytes Reassembler::take() {

@@ -38,29 +38,63 @@ inline constexpr std::uint32_t kVersion = 1;
 
 // ---------------------------------------------------------------- fragments
 
-/// Fragment word: bit 31 = more-fragments, bits 0..23 = chunk length.
-std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len);
+/// Fragment word: bit 31 = more-fragments, bits 24..30 = a 7-bit frame
+/// sequence number (mod 128, per circuit per direction), bits 0..23 =
+/// chunk length. The sequence number lets the receiver suppress duplicated
+/// frames and detect overtaken/lost ones — the ND-Layer's end of hiding
+/// "IPCS error conventions" when the substrate misbehaves.
+inline constexpr std::uint32_t kFragSeqMask = 0x7Fu;
+/// Frames up to this far *behind* the last accepted one are stale
+/// stragglers (dropped); larger backward distances read as forward gaps
+/// (lost frames) instead. Reordering shifts frames by a few slots, loss
+/// bursts can span dozens — hence a narrow stale zone.
+inline constexpr std::uint32_t kFragStaleWindow = 16u;
+std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len,
+                             std::uint32_t seq = 0);
 bool frag_more(std::uint32_t word);
 std::uint32_t frag_len(std::uint32_t word);
+std::uint32_t frag_seq(std::uint32_t word);
 
 /// Split a message into MTU-sized IPCS frames (each [frag word][chunk]).
+/// `seq` is the running per-circuit frame counter; it is stamped into each
+/// frame and advanced past them.
+std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu,
+                                  std::uint32_t& seq);
+/// Sequence-free convenience (tests, single-shot encodings): frames are
+/// numbered from 0.
 std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu);
 
-/// Streaming reassembler for one virtual circuit (frames arrive in order).
+/// Streaming reassembler for one virtual circuit. Frames normally arrive
+/// in order; under fault injection they may be duplicated or overtaken,
+/// and the sequence number sorts that out:
+///   * a frame repeating the last sequence number is a duplicate — dropped;
+///   * a frame a little behind (wrap-aware backward distance within
+///     kFragStaleWindow) is stale — dropped;
+///   * a small forward gap means frames were lost or overtaken — any
+///     partial reassembly is discarded (that message is lost) and the
+///     stream re-synchronises at the new frame.
 class Reassembler {
  public:
-  /// Feed one IPCS frame; returns a complete message when this frame was
-  /// the last fragment, std::nullopt payload via Result error otherwise.
-  /// Errors indicate a malformed frame (protocol violation).
-  ntcs::Result<bool> feed(ntcs::BytesView frame);
+  struct FeedResult {
+    bool complete = false;  // this frame finished a message; call take()
+    bool dropped = false;   // duplicate or stale frame, ignored
+    bool resynced = false;  // forward gap: stream resynchronised
+  };
 
-  /// The completed message after feed() returned true.
+  /// Feed one IPCS frame. Errors indicate a malformed frame (protocol
+  /// violation); fault-induced anomalies come back in the FeedResult.
+  ntcs::Result<FeedResult> feed(ntcs::BytesView frame);
+
+  /// The completed message after feed() reported complete.
   ntcs::Bytes take();
 
   std::size_t pending_bytes() const { return acc_.size(); }
 
  private:
   ntcs::Bytes acc_;
+  // Last accepted sequence number; initialised so the first frame (seq 0)
+  // is in-order.
+  std::uint32_t last_seq_ = kFragSeqMask;
 };
 
 // ---------------------------------------------------------------- ND layer

@@ -6,6 +6,13 @@
 // implicitly (like a server mailbox), carries message frames over
 // channels, and reports peer death as a `closed` delivery — the raw
 // material from which the ND-Layer builds its uniform STD-IF.
+//
+// The inbox delivers strictly by (due time, enqueue sequence). The fabric
+// normally keeps a per-channel FIFO floor so frames on one channel arrive
+// in send order; an installed FaultPlan injects faults purely by bending
+// that schedule — a duplicate is a second item, a reordered frame is one
+// whose due time was pushed past later frames. The endpoint itself never
+// needs to know a fault plan exists.
 #pragma once
 
 #include <chrono>

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.h"
 #include "simnet/phys.h"
 
 namespace ntcs::simnet {
+
+namespace {
+metrics::Counter& m_dup() { return metrics::counter("simnet.dup"); }
+metrics::Counter& m_reordered() { return metrics::counter("simnet.reordered"); }
+metrics::Counter& m_flaps() { return metrics::counter("simnet.flaps"); }
+}  // namespace
 
 Fabric::Fabric(std::uint64_t seed) : rng_(seed) {}
 
@@ -58,12 +65,12 @@ std::optional<MachineId> Fabric::machine_by_name(std::string_view name) const {
   return std::nullopt;
 }
 
-const std::string& Fabric::machine_name(MachineId m) const {
+std::string Fabric::machine_name(MachineId m) const {
   std::lock_guard lk(mu_);
   return machines_.at(m).name;
 }
 
-const std::string& Fabric::network_name(NetworkId n) const {
+std::string Fabric::network_name(NetworkId n) const {
   std::lock_guard lk(mu_);
   return nets_.at(n).name;
 }
@@ -121,11 +128,45 @@ void Fabric::set_bandwidth(NetworkId n, std::uint64_t bytes_per_sec) {
   nets_.at(n).cfg.bytes_per_sec = bytes_per_sec;
 }
 
+void Fabric::set_fault_plan(NetworkId n, FaultPlan plan) {
+  std::lock_guard lk(mu_);
+  NetworkState& ns = nets_.at(n);
+  ns.faults = plan;
+  ns.flap_epoch = std::chrono::steady_clock::now();
+  ns.flap_was_down = false;
+}
+
+void Fabric::clear_faults() {
+  std::lock_guard lk(mu_);
+  for (NetworkState& ns : nets_) {
+    ns.faults = FaultPlan{};
+    ns.flap_was_down = false;
+  }
+}
+
+bool Fabric::flap_down_locked(NetworkId n,
+                              std::chrono::steady_clock::time_point now) {
+  if (n == kInvalidNetwork) return false;
+  NetworkState& ns = nets_.at(n);
+  const FaultPlan& fp = ns.faults;
+  if (fp.flap_period.count() <= 0 || fp.flap_down.count() <= 0) return false;
+  const auto phase = (now - ns.flap_epoch) % fp.flap_period;
+  const bool down = phase < fp.flap_down;
+  if (down && !ns.flap_was_down) {
+    ++stats_.link_flaps;
+    m_flaps().inc();
+  }
+  ns.flap_was_down = down;
+  return down;
+}
+
 ntcs::Status Fabric::kill_channel(ChannelId chan) {
   std::shared_ptr<Endpoint> a;
   std::shared_ptr<Endpoint> b;
   std::uint64_t s1 = 0;
   std::uint64_t s2 = 0;
+  std::chrono::steady_clock::time_point at_a;
+  std::chrono::steady_clock::time_point at_b;
   {
     std::lock_guard lk(mu_);
     auto it = channels_.find(chan);
@@ -134,15 +175,25 @@ ntcs::Status Fabric::kill_channel(ChannelId chan) {
     }
     a = it->second.a_w.lock();
     b = it->second.b_w.lock();
+    // Even a violent kill rides the per-direction FIFO path: `closed` must
+    // not overtake data frames already in flight (the ordering contract in
+    // close_channel_impl).
+    const auto now = std::chrono::steady_clock::now();
+    at_a = std::max(now, it->second.floor_to_a);
+    at_b = std::max(now, it->second.floor_to_b);
     channels_.erase(it);
     ++stats_.channels_closed;
     s1 = next_seq_++;
     s2 = next_seq_++;
   }
-  const auto now = std::chrono::steady_clock::now();
-  if (a) a->enqueue({now, s1, Delivery{DeliveryKind::closed, chan, {}, {}}});
-  if (b) b->enqueue({now, s2, Delivery{DeliveryKind::closed, chan, {}, {}}});
+  if (a) a->enqueue({at_a, s1, Delivery{DeliveryKind::closed, chan, {}, {}}});
+  if (b) b->enqueue({at_b, s2, Delivery{DeliveryKind::closed, chan, {}, {}}});
   return ntcs::Status::success();
+}
+
+std::size_t Fabric::channel_count() const {
+  std::lock_guard lk(mu_);
+  return channels_.size();
 }
 
 ntcs::Result<std::shared_ptr<Endpoint>> Fabric::bind(
@@ -249,6 +300,14 @@ ntcs::Result<ChannelId> Fabric::connect_impl(Endpoint* src,
       }
       net = shared.value();
     }
+    if (flap_down_locked(net, std::chrono::steady_clock::now())) {
+      // A flapping link swallows the connection attempt; unlike a
+      // partition (an error the layers treat as lasting), the caller sees
+      // the transient face of failure and should retry with backoff.
+      ++stats_.connects_failed;
+      return ntcs::Error(ntcs::Errc::timeout,
+                         "link down (flapping): " + dst_phys);
+    }
     chan = next_chan_++;
     ChannelState st;
     st.a = src;
@@ -272,6 +331,9 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
   std::shared_ptr<Endpoint> peer;
   std::chrono::steady_clock::time_point deliver_at;
   std::uint64_t seq = 0;
+  std::optional<std::chrono::steady_clock::time_point> dup_at;
+  std::uint64_t dup_seq = 0;
+  ntcs::Bytes payload(frame.begin(), frame.end());
   {
     std::lock_guard lk(mu_);
     auto it = channels_.find(chan);
@@ -288,6 +350,14 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
     }
     ++stats_.frames_sent;
     stats_.bytes_sent += frame.size();
+    const auto now = std::chrono::steady_clock::now();
+    if (flap_down_locked(st.net, now)) {
+      // A down link loses frames without telling the sender — exactly the
+      // "simply passed upward" failure class the layers must ride out.
+      ++stats_.frames_dropped;
+      ++stats_.flap_dropped;
+      return ntcs::Status::success();
+    }
     if (st.net != kInvalidNetwork &&
         rng_.chance(nets_.at(st.net).cfg.loss_prob)) {
       ++stats_.frames_dropped;
@@ -299,8 +369,23 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
       // The peer is mid-destruction; its close notification is en route.
       return ntcs::Status::success();
     }
+    const FaultPlan* fp = nullptr;
+    if (st.net != kInvalidNetwork && nets_.at(st.net).faults.active()) {
+      fp = &nets_.at(st.net).faults;
+    }
+    if (fp != nullptr && fp->corrupt_prob > 0.0 && !payload.empty() &&
+        (to_b ? fp->corrupt_to_b : fp->corrupt_to_a) &&
+        rng_.chance(fp->corrupt_prob)) {
+      payload[rng_.next_below(payload.size())] ^=
+          static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      ++stats_.frames_corrupted;
+    }
     auto& floor = to_b ? st.floor_to_b : st.floor_to_a;
-    deliver_at = std::chrono::steady_clock::now() + sample_latency_locked(st.net);
+    deliver_at = now + sample_latency_locked(st.net);
+    if (fp != nullptr && fp->jitter.count() > 0) {
+      deliver_at += std::chrono::nanoseconds(rng_.next_below(
+          static_cast<std::uint64_t>(fp->jitter.count()) + 1));
+    }
     if (deliver_at < floor) deliver_at = floor;  // per-channel FIFO queueing
     if (st.net != kInvalidNetwork) {
       // Serialisation delay on a finite link, applied after queueing so
@@ -311,12 +396,38 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
             frame.size() * 1'000'000'000ULL / bps);
       }
     }
-    floor = deliver_at;
+    if (fp != nullptr && rng_.chance(fp->reorder_prob)) {
+      // Hold this frame back *without* raising the FIFO floor, so frames
+      // sent after it may overtake it in the inbox.
+      const auto window =
+          std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(fp->reorder_window.count()));
+      floor = deliver_at;
+      deliver_at += std::chrono::nanoseconds(1 + rng_.next_below(window));
+      ++stats_.frames_reordered;
+      m_reordered().inc();
+    } else {
+      floor = deliver_at;
+    }
     seq = next_seq_++;
+    if (fp != nullptr && rng_.chance(fp->dup_prob)) {
+      // The copy trails the original and also skips the floor, so it can
+      // land between (or after) later frames.
+      const auto window =
+          std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(fp->reorder_window.count()));
+      dup_at = deliver_at + std::chrono::nanoseconds(1 + rng_.next_below(window));
+      dup_seq = next_seq_++;
+      ++stats_.frames_duplicated;
+      m_dup().inc();
+    }
   }
   peer->enqueue({deliver_at, seq,
-                 Delivery{DeliveryKind::data, chan,
-                          ntcs::Bytes(frame.begin(), frame.end()), {}}});
+                 Delivery{DeliveryKind::data, chan, payload, {}}});
+  if (dup_at) {
+    peer->enqueue({*dup_at, dup_seq,
+                   Delivery{DeliveryKind::data, chan, std::move(payload), {}}});
+  }
   return ntcs::Status::success();
 }
 

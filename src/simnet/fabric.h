@@ -42,8 +42,10 @@ class Fabric {
 
   std::optional<NetworkId> network_by_name(std::string_view name) const;
   std::optional<MachineId> machine_by_name(std::string_view name) const;
-  const std::string& machine_name(MachineId m) const;
-  const std::string& network_name(NetworkId n) const;
+  // By value: a reference into machines_/nets_ would dangle as soon as a
+  // concurrent add_machine/add_network reallocates the vector.
+  std::string machine_name(MachineId m) const;
+  std::string network_name(NetworkId n) const;
   convert::Arch machine_arch(MachineId m) const;
   std::vector<NetworkId> machine_networks(MachineId m) const;
   std::size_t machine_count() const;
@@ -60,8 +62,15 @@ class Fabric {
   void set_latency(NetworkId n, std::chrono::nanoseconds lo,
                    std::chrono::nanoseconds hi);
   void set_bandwidth(NetworkId n, std::uint64_t bytes_per_sec);
+  /// Install a fault-injection plan on one network (replaces any previous
+  /// plan; the flap cycle restarts now). See FaultPlan.
+  void set_fault_plan(NetworkId n, FaultPlan plan);
+  /// Remove the fault plans from every network.
+  void clear_faults();
   /// Sever one live channel; both ends get a `closed` delivery.
   ntcs::Status kill_channel(ChannelId chan);
+  /// Live channel count (tests: channel-conservation checks).
+  std::size_t channel_count() const;
 
   // --- endpoints ----------------------------------------------------------
   /// Bind a new endpoint on machine `m`. For mbx, `local_name` is the
@@ -83,6 +92,12 @@ class Fabric {
     std::uint64_t connects_ok = 0;
     std::uint64_t connects_failed = 0;
     std::uint64_t channels_closed = 0;
+    // Fault-injection counters (FaultPlan).
+    std::uint64_t frames_duplicated = 0;
+    std::uint64_t frames_reordered = 0;
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t flap_dropped = 0;  // data frames lost to a down link
+    std::uint64_t link_flaps = 0;    // up -> down transitions observed
   };
   Stats stats() const;
 
@@ -93,6 +108,11 @@ class Fabric {
     std::string name;
     NetConfig cfg;
     bool partitioned = false;
+    FaultPlan faults;
+    // Flap bookkeeping: the cycle is phase-locked to when the plan was
+    // installed; `flap_was_down` lets stats count each transition once.
+    std::chrono::steady_clock::time_point flap_epoch{};
+    bool flap_was_down = false;
   };
   struct MachineState {
     std::string name;
@@ -123,6 +143,8 @@ class Fabric {
   /// Pick a non-partitioned network both machines attach to.
   ntcs::Result<NetworkId> shared_network_locked(MachineId a, MachineId b) const;
   std::chrono::nanoseconds sample_latency_locked(NetworkId n);
+  /// Is the network's flapping link currently in its down phase?
+  bool flap_down_locked(NetworkId n, std::chrono::steady_clock::time_point now);
 
   mutable std::mutex mu_;
   std::vector<NetworkState> nets_;

@@ -40,6 +40,41 @@ struct NetConfig {
   std::uint64_t bytes_per_sec = 0;
 };
 
+/// Per-network fault-injection plan (beyond the always-available loss and
+/// partition knobs in NetConfig). Installed with Fabric::set_fault_plan();
+/// all randomness flows through the Fabric's seeded Rng so a chaos run is
+/// reproducible frame-for-frame. The NTCS layers own recovery: the
+/// ND-Layer suppresses duplicates and re-synchronises after reordering,
+/// backoff in ND/IP/LCM rides out link flaps (DESIGN.md "Fault model").
+struct FaultPlan {
+  /// Probability a data frame is delivered twice (the copy is scheduled a
+  /// little later and does not advance the channel's FIFO floor).
+  double dup_prob = 0.0;
+  /// Probability a data frame is held back by up to `reorder_window`
+  /// beyond its natural delivery time, letting later frames overtake it.
+  double reorder_prob = 0.0;
+  std::chrono::nanoseconds reorder_window{std::chrono::milliseconds(1)};
+  /// Extra uniform delivery delay in [0, jitter] per frame (slow link /
+  /// queueing noise; FIFO order is preserved).
+  std::chrono::nanoseconds jitter{0};
+  /// Deterministic link-flap duty cycle: every `flap_period` the link goes
+  /// down for the first `flap_down` of the cycle (cycle starts down when a
+  /// plan is installed). While down, connects fail with Errc::timeout and
+  /// data frames are silently dropped. 0 = never flaps.
+  std::chrono::nanoseconds flap_period{0};
+  std::chrono::nanoseconds flap_down{0};
+  /// Probability a data frame has one byte flipped, per direction of the
+  /// channel (a->b is the direction of the original connect).
+  double corrupt_prob = 0.0;
+  bool corrupt_to_b = true;
+  bool corrupt_to_a = true;
+
+  bool active() const {
+    return dup_prob > 0.0 || reorder_prob > 0.0 || jitter.count() > 0 ||
+           flap_period.count() > 0 || corrupt_prob > 0.0;
+  }
+};
+
 /// Maximum payload of a single IPCS frame. Messages larger than this are
 /// fragmented by the ND-Layer.
 std::size_t ipcs_mtu(IpcsKind k);

@@ -2,6 +2,7 @@
 // exchange, retry-on-open, fragmentation, TAdd promotion, the phys cache.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "common/queue.h"
@@ -169,7 +170,7 @@ TEST(NdLayer, RetryOnOpenOutwaitsLateBinder) {
   auto mbx_id = std::make_shared<Identity>("late-mbx", Arch::sun3, "lan");
   NdConfig cfg;
   cfg.open_attempts = 40;
-  cfg.open_retry_delay = 5ms;
+  cfg.open_backoff = BackoffPolicy{2ms, 8ms, 2.0, 0.5};
   NdLayer mbx_opener(rig.fabric, rig.vax, IpcsKind::mbx, "op-mbx", rig.id_a,
                      cfg);
   ASSERT_TRUE(mbx_opener.bind().ok());
@@ -196,7 +197,7 @@ TEST(NdLayer, RetryOnOpenOutwaitsLateBinder) {
 TEST(NdLayer, OpenToNothingFailsAfterRetries) {
   NdConfig cfg;
   cfg.open_attempts = 3;
-  cfg.open_retry_delay = 1ms;
+  cfg.open_backoff = BackoffPolicy{1ms, 2ms, 2.0, 0.5};
   NdRig rig(IpcsKind::tcp, cfg);
   auto r = rig.a->open(PhysAddr{"tcp:sun1:9"});
   EXPECT_FALSE(r.ok());
@@ -247,6 +248,100 @@ TEST(NdLayer, ShutdownStopsPump) {
   rig.a->shutdown();
   auto ev = rig.a->pump(50ms);
   EXPECT_EQ(ev.code(), Errc::closed);
+}
+
+TEST(NdLayer, FailedOpenLeaksNoChannels_AckTimeout) {
+  // A peer that accepts the IPCS connection but never answers the NdOpen:
+  // every attempt must tear its channel down, not strand it in the fabric.
+  NdConfig cfg;
+  cfg.open_attempts = 2;
+  cfg.open_backoff = BackoffPolicy{1ms, 2ms, 2.0, 0.5};
+  cfg.open_ack_timeout = 30ms;
+  NdRig rig(IpcsKind::tcp, cfg);
+  auto mute = rig.fabric.bind(rig.sun, IpcsKind::tcp, "mute").value();
+  auto r = rig.a->open(PhysAddr{mute->phys()});
+  EXPECT_EQ(r.code(), Errc::timeout);
+  EXPECT_EQ(rig.fabric.channel_count(), 0u);
+}
+
+TEST(NdLayer, FailedOpenLeaksNoChannels_KilledDuringOpen) {
+  // The fabric kills the channel mid-handshake (the nacked-open path: the
+  // pump fails the waiter with an address fault). Regression for the leak
+  // where the dead-but-present channel was never closed.
+  NdConfig cfg;
+  cfg.open_attempts = 2;
+  cfg.open_backoff = BackoffPolicy{1ms, 2ms, 2.0, 0.5};
+  NdRig rig(IpcsKind::tcp, cfg);
+  auto trap = rig.fabric.bind(rig.sun, IpcsKind::tcp, "trap").value();
+  std::jthread killer([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto d = trap->recv_for(20ms);
+      if (d.ok() && d.value().kind == simnet::DeliveryKind::opened) {
+        (void)rig.fabric.kill_channel(d.value().chan);
+      }
+    }
+  });
+  auto r = rig.a->open(PhysAddr{trap->phys()});
+  EXPECT_EQ(r.code(), Errc::address_fault);
+  killer.request_stop();
+  killer.join();
+  EXPECT_EQ(rig.fabric.channel_count(), 0u);
+}
+
+TEST(NdLayer, FailedOpenLeaksNoChannels_PartitionChurn) {
+  // Partition flickering during a batch of opens exercises every failure
+  // point — connect refused, the introduction send failing after the
+  // channel exists (the classic leak), ack lost. However each open ends,
+  // channel accounting must balance.
+  NdConfig cfg;
+  cfg.open_attempts = 1;
+  cfg.open_ack_timeout = 30ms;
+  NdRig rig(IpcsKind::tcp, cfg);
+  std::atomic<bool> stop{false};
+  std::jthread toggler([&] {
+    bool part = false;
+    while (!stop.load()) {
+      part = !part;
+      rig.fabric.set_partitioned(rig.lan, part);
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  std::vector<LvcId> opened;
+  for (int i = 0; i < 20; ++i) {
+    auto r = rig.a->open(rig.b->local_phys());
+    if (r.ok()) opened.push_back(r.value());
+  }
+  stop.store(true);
+  toggler.join();
+  rig.fabric.set_partitioned(rig.lan, false);
+  for (LvcId lvc : opened) EXPECT_TRUE(rig.a->close(lvc).ok());
+  EXPECT_EQ(rig.fabric.channel_count(), 0u);
+}
+
+TEST(NdLayer, DuplicatedFramesReachApplicationOnce) {
+  // A duplicating network: the ND frame sequence number suppresses the
+  // copies, so the layer above sees each message exactly once.
+  NdConfig cfg;
+  NdRig rig(IpcsKind::tcp, cfg);
+  simnet::FaultPlan plan;
+  plan.dup_prob = 1.0;
+  rig.fabric.set_fault_plan(rig.lan, plan);
+  auto lvc = rig.a->open(rig.b->local_phys());
+  ASSERT_TRUE(lvc.ok());
+  (void)rig.next_b();  // opened
+  constexpr int kMsgs = 10;
+  for (int i = 0; i < kMsgs; ++i) {
+    ASSERT_TRUE(rig.a->send(lvc.value(), to_bytes(std::to_string(i))).ok());
+  }
+  for (int i = 0; i < kMsgs; ++i) {
+    auto ev = rig.next_b();
+    ASSERT_TRUE(ev.ok());
+    ASSERT_EQ(ev.value().kind, NdEvent::Kind::message);
+    EXPECT_EQ(ev.value().message, to_bytes(std::to_string(i)));
+  }
+  // Nothing further arrives: every duplicate was eaten below the STD-IF.
+  EXPECT_EQ(rig.events_b.pop_for(50ms).code(), Errc::timeout);
+  EXPECT_GT(rig.b->stats().frames_deduped, 0u);
 }
 
 TEST(NdLayer, StatsCountTraffic) {

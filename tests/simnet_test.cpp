@@ -2,6 +2,9 @@
 // latency, loss, partitions, clocks, probes.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+
 #include "convert/machine.h"
 #include "simnet/fabric.h"
 #include "simnet/phys.h"
@@ -339,6 +342,237 @@ TEST(Stats, CountsTraffic) {
   EXPECT_EQ(s.connects_ok, 1u);
   EXPECT_EQ(s.frames_sent, 1u);
   EXPECT_EQ(s.bytes_sent, 5u);
+}
+
+TEST(FabricTopology, NameLookupsReturnDurableValues) {
+  // machine_name/network_name return copies: the values must stay intact
+  // even when topology growth reallocates the underlying vectors.
+  Rig rig;
+  const std::string m = rig.fabric.machine_name(rig.vax);
+  const std::string n = rig.fabric.network_name(rig.lan);
+  for (int i = 0; i < 200; ++i) {
+    rig.fabric.add_machine("extra-" + std::to_string(i), Arch::apollo_dn330,
+                           {rig.lan});
+    rig.fabric.add_network("net-" + std::to_string(i));
+  }
+  EXPECT_EQ(m, "vax1");
+  EXPECT_EQ(n, "lan-a");
+  EXPECT_EQ(rig.fabric.machine_name(rig.vax), "vax1");
+  EXPECT_EQ(rig.fabric.network_name(rig.lan), "lan-a");
+}
+
+TEST(FabricTopology, NameLookupRacesTopologyGrowth) {
+  // Regression for the dangling-reference bug: under TSan this test is the
+  // tripwire — reading a returned reference into machines_ while
+  // add_machine reallocates the vector was a use-after-free.
+  Rig rig;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      if (rig.fabric.machine_name(rig.vax) != "vax1") break;
+      if (rig.fabric.network_name(rig.lan) != "lan-a") break;
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    rig.fabric.add_machine("m-" + std::to_string(i), Arch::sun3, {rig.lan});
+    if (i % 4 == 0) rig.fabric.add_network("n-" + std::to_string(i));
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(rig.fabric.machine_name(rig.vax), "vax1");
+}
+
+TEST(FaultInjection, KillDuringBurstCloseDoesNotOvertake) {
+  // Regression for kill_channel enqueuing `closed` at `now`: with frames
+  // still in flight on a slow link, the close must queue behind them, not
+  // overtake (the ordering contract of close_channel_impl).
+  Rig rig;
+  rig.fabric.set_latency(rig.lan, 5ms, 10ms);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  constexpr int kBurst = 30;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(a->send(chan, to_bytes(std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(rig.fabric.kill_channel(chan).ok());
+  int data_seen = 0;
+  bool closed_seen = false;
+  for (;;) {
+    auto got = b->recv_for(1s);
+    if (!got.ok()) break;
+    if (got.value().kind == DeliveryKind::closed) {
+      closed_seen = true;
+      break;
+    }
+    ASSERT_FALSE(closed_seen);
+    EXPECT_EQ(to_string(got.value().payload), std::to_string(data_seen));
+    ++data_seen;
+  }
+  EXPECT_TRUE(closed_seen);
+  EXPECT_EQ(data_seen, kBurst);  // every in-flight frame beat the close
+}
+
+TEST(FaultInjection, ChannelCountTracksLifecycles) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  EXPECT_EQ(rig.fabric.channel_count(), 0u);
+  auto c1 = a->connect(b->phys()).value();
+  auto c2 = a->connect(b->phys()).value();
+  EXPECT_EQ(rig.fabric.channel_count(), 2u);
+  ASSERT_TRUE(a->close_channel(c1).ok());
+  EXPECT_EQ(rig.fabric.channel_count(), 1u);
+  ASSERT_TRUE(rig.fabric.kill_channel(c2).ok());
+  EXPECT_EQ(rig.fabric.channel_count(), 0u);
+}
+
+TEST(FaultPlan, DuplicationDeliversCopies) {
+  Rig rig;
+  FaultPlan plan;
+  plan.dup_prob = 1.0;
+  rig.fabric.set_fault_plan(rig.lan, plan);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  ASSERT_TRUE(a->send(chan, to_bytes("echo")).ok());
+  auto first = b->recv_for(1s);
+  auto second = b->recv_for(1s);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().payload, second.value().payload);
+  const auto s = rig.fabric.stats();
+  EXPECT_EQ(s.frames_duplicated, 1u);
+  rig.fabric.clear_faults();
+  ASSERT_TRUE(a->send(chan, to_bytes("solo")).ok());
+  ASSERT_TRUE(b->recv_for(1s).ok());
+  EXPECT_EQ(b->pending(), 0u);  // no trailing copy once cleared
+}
+
+TEST(FaultPlan, ReorderingLetsLaterFramesOvertake) {
+  Rig rig;
+  FaultPlan plan;
+  plan.reorder_prob = 0.5;
+  plan.reorder_window = 2ms;
+  rig.fabric.set_fault_plan(rig.lan, plan);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  constexpr int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(a->send(chan, to_bytes(std::to_string(i))).ok());
+  }
+  std::vector<int> order;
+  for (int i = 0; i < kFrames; ++i) {
+    auto got = b->recv_for(1s);
+    ASSERT_TRUE(got.ok());
+    order.push_back(std::stoi(to_string(got.value().payload)));
+  }
+  // Everything arrives exactly once...
+  std::set<int> uniq(order.begin(), order.end());
+  EXPECT_EQ(uniq.size(), order.size());
+  // ...but not in send order, and the fabric counted what it did.
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_GT(rig.fabric.stats().frames_reordered, 0u);
+}
+
+TEST(FaultPlan, FlappingLinkDropsAndRecovers) {
+  Rig rig;
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  FaultPlan plan;
+  plan.flap_period = 40ms;
+  plan.flap_down = 20ms;  // cycle starts down
+  rig.fabric.set_fault_plan(rig.lan, plan);
+  // Down phase: connects are refused with the transient face of failure,
+  // data frames vanish silently.
+  EXPECT_EQ(a->connect(b->phys()).code(), ntcs::Errc::timeout);
+  ASSERT_TRUE(a->send(chan, to_bytes("lost")).ok());
+  const auto down = rig.fabric.stats();
+  EXPECT_EQ(down.flap_dropped, 1u);
+  EXPECT_GE(down.link_flaps, 1u);
+  // Up phase: traffic flows again.
+  std::this_thread::sleep_for(25ms);
+  EXPECT_TRUE(a->connect(b->phys()).ok());
+  (void)b->recv_for(1s);  // opened (the up-phase probe connect)
+  ASSERT_TRUE(a->send(chan, to_bytes("through")).ok());
+  auto got = b->recv_for(1s);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(to_string(got.value().payload), "through");
+}
+
+TEST(FaultPlan, CorruptionFlipsBytesPerDirection) {
+  Rig rig;
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;
+  plan.corrupt_to_b = true;
+  plan.corrupt_to_a = false;
+  rig.fabric.set_fault_plan(rig.lan, plan);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  const Bytes msg = to_bytes("pristine");
+  ASSERT_TRUE(a->send(chan, msg).ok());
+  auto to_b_got = b->recv_for(1s);
+  ASSERT_TRUE(to_b_got.ok());
+  EXPECT_NE(to_b_got.value().payload, msg);  // a -> b corrupted
+  EXPECT_EQ(to_b_got.value().payload.size(), msg.size());
+  ASSERT_TRUE(b->send(chan, msg).ok());
+  auto to_a_got = a->recv_for(1s);
+  ASSERT_TRUE(to_a_got.ok());
+  EXPECT_EQ(to_a_got.value().payload, msg);  // b -> a untouched
+  EXPECT_EQ(rig.fabric.stats().frames_corrupted, 1u);
+}
+
+TEST(FaultPlan, JitterDelaysButPreservesFifo) {
+  Rig rig;
+  FaultPlan plan;
+  plan.jitter = 3ms;
+  rig.fabric.set_fault_plan(rig.lan, plan);
+  auto a = rig.fabric.bind(rig.vax, IpcsKind::tcp, "a").value();
+  auto b = rig.fabric.bind(rig.sun, IpcsKind::tcp, "b").value();
+  auto chan = a->connect(b->phys()).value();
+  (void)b->recv_for(1s);  // opened
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(a->send(chan, to_bytes(std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto got = b->recv_for(1s);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(to_string(got.value().payload), std::to_string(i));
+  }
+}
+
+TEST(FaultPlan, DeterministicForFixedSeed) {
+  // Two fabrics with the same seed and workload inject identical faults.
+  auto run = [] {
+    Fabric fabric{77};
+    auto lan = fabric.add_network("lan");
+    auto m1 = fabric.add_machine("m1", Arch::vax780, {lan});
+    auto m2 = fabric.add_machine("m2", Arch::sun3, {lan});
+    FaultPlan plan;
+    plan.dup_prob = 0.3;
+    plan.reorder_prob = 0.3;
+    plan.corrupt_prob = 0.1;
+    fabric.set_fault_plan(lan, plan);
+    auto a = fabric.bind(m1, IpcsKind::tcp, "a").value();
+    auto b = fabric.bind(m2, IpcsKind::tcp, "b").value();
+    auto chan = a->connect(b->phys()).value();
+    (void)b->recv_for(1s);
+    for (int i = 0; i < 100; ++i) {
+      (void)a->send(chan, to_bytes(std::to_string(i)));
+    }
+    const auto s = fabric.stats();
+    return std::tuple{s.frames_duplicated, s.frames_reordered,
+                      s.frames_corrupted};
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ TEST(Fragment, SmallMessageIsOneFrame) {
   Reassembler r;
   auto done = r.feed(frames[0]);
   ASSERT_TRUE(done.ok());
-  EXPECT_TRUE(done.value());
+  EXPECT_TRUE(done.value().complete);
   EXPECT_EQ(r.take(), msg);
 }
 
@@ -24,7 +24,7 @@ TEST(Fragment, EmptyMessageStillFrames) {
   auto frames = fragment({}, 1024);
   ASSERT_EQ(frames.size(), 1u);
   Reassembler r;
-  EXPECT_TRUE(r.feed(frames[0]).value());
+  EXPECT_TRUE(r.feed(frames[0]).value().complete);
   EXPECT_TRUE(r.take().empty());
 }
 
@@ -48,7 +48,8 @@ TEST(Fragment, LargeMessageRoundTrip) {
   for (std::size_t i = 0; i < frames.size(); ++i) {
     auto done = r.feed(frames[i]);
     ASSERT_TRUE(done.ok());
-    EXPECT_EQ(done.value(), i + 1 == frames.size());
+    EXPECT_EQ(done.value().complete, i + 1 == frames.size());
+    EXPECT_FALSE(done.value().dropped);
   }
   EXPECT_EQ(r.take(), msg);
 }
@@ -66,9 +67,103 @@ TEST(Fragment, WordHelpers) {
   const auto w = make_frag_word(true, 12345);
   EXPECT_TRUE(frag_more(w));
   EXPECT_EQ(frag_len(w), 12345u);
+  EXPECT_EQ(frag_seq(w), 0u);
   const auto w2 = make_frag_word(false, 0);
   EXPECT_FALSE(frag_more(w2));
   EXPECT_EQ(frag_len(w2), 0u);
+  // The sequence field coexists with the flag and length bits and wraps
+  // at 7 bits.
+  const auto w3 = make_frag_word(true, 0x00FFFFFFu, 130);
+  EXPECT_TRUE(frag_more(w3));
+  EXPECT_EQ(frag_len(w3), 0x00FFFFFFu);
+  EXPECT_EQ(frag_seq(w3), 130u & kFragSeqMask);
+}
+
+TEST(Fragment, SequenceNumbersRunAcrossMessages) {
+  std::uint32_t seq = 126;  // about to wrap
+  auto f1 = fragment(to_bytes("one"), 1024, seq);
+  auto f2 = fragment(to_bytes("two"), 1024, seq);
+  ASSERT_EQ(f1.size(), 1u);
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_EQ(seq, 0u);  // 126 -> 127 -> wrap to 0
+  Reassembler r;
+  // Pre-position the receiver at seq 125 by feeding a synthetic stream.
+  std::uint32_t warm = 0;
+  Bytes msg = to_bytes("warm");
+  for (int i = 0; i < 126; ++i) {
+    auto f = fragment(msg, 1024, warm);
+    ASSERT_TRUE(r.feed(f[0]).ok());
+    r.take();
+  }
+  auto a = r.feed(f1[0]);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a.value().complete);
+  EXPECT_FALSE(a.value().dropped);
+  EXPECT_EQ(r.take(), to_bytes("one"));
+  auto b = r.feed(f2[0]);  // crosses the 127 -> 0 wrap
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b.value().complete);
+  EXPECT_FALSE(b.value().dropped);
+  EXPECT_EQ(r.take(), to_bytes("two"));
+}
+
+TEST(Fragment, DuplicateFrameIsDropped) {
+  std::uint32_t seq = 0;
+  auto frames = fragment(to_bytes("hello"), 1024, seq);
+  ASSERT_EQ(frames.size(), 1u);
+  Reassembler r;
+  EXPECT_TRUE(r.feed(frames[0]).value().complete);
+  EXPECT_EQ(r.take(), to_bytes("hello"));
+  auto again = r.feed(frames[0]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().dropped);
+  EXPECT_FALSE(again.value().complete);
+  EXPECT_EQ(r.pending_bytes(), 0u);
+}
+
+TEST(Fragment, StaleFrameFromBehindIsDropped) {
+  std::uint32_t seq = 0;
+  Bytes msg = to_bytes("x");
+  auto f0 = fragment(msg, 1024, seq);
+  auto f1 = fragment(msg, 1024, seq);
+  auto f2 = fragment(msg, 1024, seq);
+  Reassembler r;
+  EXPECT_TRUE(r.feed(f0[0]).value().complete);
+  r.take();
+  EXPECT_TRUE(r.feed(f1[0]).value().complete);
+  r.take();
+  EXPECT_TRUE(r.feed(f2[0]).value().complete);
+  r.take();
+  // A late copy of frame 1 (overtaken on the wire) must not be delivered.
+  auto late = r.feed(f1[0]);
+  ASSERT_TRUE(late.ok());
+  EXPECT_TRUE(late.value().dropped);
+}
+
+TEST(Fragment, GapDiscardsPartialMessageAndResyncs) {
+  // A three-fragment message loses its middle frame; the trailing frame
+  // resyncs the stream, the assembled garbage is ND's problem (decode
+  // fails there), and the next message comes through intact.
+  constexpr std::size_t kMtu = 16;  // 12-byte chunks
+  std::uint32_t seq = 0;
+  Bytes big(30, 0xCD);
+  auto frames = fragment(big, kMtu, seq);
+  ASSERT_EQ(frames.size(), 3u);
+  Reassembler r;
+  EXPECT_FALSE(r.feed(frames[0]).value().complete);
+  // frames[1] lost.
+  auto tail = r.feed(frames[2]);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(tail.value().resynced);  // partial accumulation discarded
+  EXPECT_TRUE(tail.value().complete);
+  EXPECT_EQ(r.take().size(), big.size() - 2 * (kMtu - 4));
+  auto next = fragment(to_bytes("fresh"), kMtu, seq);
+  ASSERT_EQ(next.size(), 1u);
+  auto got = r.feed(next[0]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().complete);
+  EXPECT_FALSE(got.value().resynced);
+  EXPECT_EQ(r.take(), to_bytes("fresh"));
 }
 
 TEST(NdFrames, OpenRoundTrip) {
