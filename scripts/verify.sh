@@ -11,6 +11,11 @@
 # 4. Build the chaos suite under TSan and run it repeatedly: the
 #    fault-injection engine plus every layer's recovery path is the most
 #    interleaving-sensitive code in the tree.
+# 5. Fabric-seed sweep: re-run the pipeline + chaos suites across 10 fixed
+#    fabric seeds (NTCS_FABRIC_SEED), normal build and TSan build. Each
+#    seed is a different deterministic fault/latency schedule; the
+#    pipelined request engine must keep its correlation and window
+#    invariants under every one of them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,5 +40,25 @@ ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
 ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
   -R '^(FaultPlan|FaultInjection|FabricTopology|NdLayer)\.' \
   --repeat until-fail:3
+
+# Pipelined-request seed sweep: the pipeline and chaos labels plus the
+# PipelinedChaos property suite, across 10 fixed fabric seeds, first in
+# the normal build and then under TSan.
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target pipeline_test property_test
+SEEDS="1 2 3 5 7 11 13 17 19 23"
+for seed in $SEEDS; do
+  echo "=== pipeline sweep: fabric seed $seed (normal) ==="
+  NTCS_FABRIC_SEED="$seed" ctest --test-dir "$BUILD_DIR" -j"$(nproc)" \
+    --output-on-failure -L 'pipeline|chaos'
+  NTCS_FABRIC_SEED="$seed" ctest --test-dir "$BUILD_DIR" -j"$(nproc)" \
+    --output-on-failure -R 'PipelinedChaos'
+done
+for seed in $SEEDS; do
+  echo "=== pipeline sweep: fabric seed $seed (TSan) ==="
+  NTCS_FABRIC_SEED="$seed" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
+    --output-on-failure -L 'pipeline|chaos'
+  NTCS_FABRIC_SEED="$seed" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
+    --output-on-failure -R 'PipelinedChaos'
+done
 
 echo "verify: OK"

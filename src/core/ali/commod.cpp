@@ -44,6 +44,19 @@ ntcs::Result<std::vector<UAdd>> ComMod::locate_attrs(
   return nsp_.lookup_attrs(attrs);
 }
 
+ntcs::Result<std::vector<ntcs::Result<UAdd>>> ComMod::locate_many(
+    const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "empty name list");
+  }
+  for (const std::string& name : names) {
+    if (name.empty()) {
+      return ntcs::Error(ntcs::Errc::bad_argument, "empty logical name");
+    }
+  }
+  return nsp_.lookup_many(names);
+}
+
 ntcs::Status ComMod::deregister() { return nsp_.deregister(identity_->uadd()); }
 
 ntcs::Status ComMod::send(UAdd dst, ntcs::BytesView bytes) {
@@ -72,6 +85,27 @@ ntcs::Result<Reply> ComMod::request(UAdd dst, const Payload& p,
   SendOptions opts;
   opts.timeout = timeout;
   return lcm_.request(dst, p, opts);
+}
+
+ntcs::Result<RequestTicket> ComMod::request_async(
+    UAdd dst, ntcs::BytesView bytes, std::chrono::nanoseconds timeout) {
+  if (auto st = check_dst(dst, bytes.size()); !st.ok()) return st.error();
+  SendOptions opts;
+  opts.timeout = timeout;
+  return lcm_.request_async(
+      dst, Payload::raw(ntcs::Bytes(bytes.begin(), bytes.end())), opts);
+}
+
+ntcs::Result<RequestTicket> ComMod::request_async(
+    UAdd dst, const Payload& p, std::chrono::nanoseconds timeout) {
+  if (auto st = check_dst(dst, p.image.size()); !st.ok()) return st.error();
+  SendOptions opts;
+  opts.timeout = timeout;
+  return lcm_.request_async(dst, p, opts);
+}
+
+ntcs::Result<Reply> ComMod::await(const RequestTicket& t) {
+  return lcm_.await(t);
 }
 
 ntcs::Result<Incoming> ComMod::receive(std::chrono::nanoseconds timeout) {

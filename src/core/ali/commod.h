@@ -43,6 +43,10 @@ class ComMod {
   ntcs::Result<UAdd> locate(std::string_view name);
   /// Attribute-based location (all matches).
   ntcs::Result<std::vector<UAdd>> locate_attrs(const nsp::AttrMap& attrs);
+  /// Batch location: all names resolved in one pipelined sweep over the
+  /// Name Server circuit. Result i answers names[i].
+  ntcs::Result<std::vector<ntcs::Result<UAdd>>> locate_many(
+      const std::vector<std::string>& names);
   ntcs::Status deregister();
 
   // ---- basic communication primitives ------------------------------------
@@ -57,6 +61,17 @@ class ComMod {
   ntcs::Result<Reply> request(UAdd dst, const Payload& p,
                               std::chrono::nanoseconds timeout =
                                   std::chrono::seconds(5));
+  /// Pipelined request issue: returns immediately with a ticket; up to the
+  /// Nucleus' window depth of requests ride one circuit concurrently.
+  ntcs::Result<RequestTicket> request_async(UAdd dst, ntcs::BytesView bytes,
+                                            std::chrono::nanoseconds timeout =
+                                                std::chrono::seconds(5));
+  ntcs::Result<RequestTicket> request_async(UAdd dst, const Payload& p,
+                                            std::chrono::nanoseconds timeout =
+                                                std::chrono::seconds(5));
+  /// Redeem a request_async ticket (once): blocks until the reply or the
+  /// ticket's deadline.
+  ntcs::Result<Reply> await(const RequestTicket& t);
   /// Blocking receive of the next message addressed to this module.
   ntcs::Result<Incoming> receive(std::chrono::nanoseconds timeout);
   ntcs::Status reply(const ReplyCtx& ctx, ntcs::BytesView bytes);

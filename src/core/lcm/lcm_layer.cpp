@@ -1,12 +1,72 @@
 #include "core/lcm/lcm_layer.h"
 
+#include <algorithm>
+#include <deque>
 #include <thread>
 
 #include "common/metrics.h"
 
 namespace ntcs::core {
 
+/// Per-destination sliding send window. Admission is strictly FIFO: a
+/// caller that finds the window full (or other callers already queued)
+/// parks a waiter node at the back of the queue; each completed request
+/// admits the front waiter. Every waiter carries its request's own
+/// deadline, so a stalled window times out per request, never per circuit.
+struct LcmSendWindow {
+  struct Waiter {
+    bool admitted = false;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int depth = 1;
+  int in_flight = 0;
+  bool closed = false;
+  std::deque<std::shared_ptr<Waiter>> queue;
+
+  /// mu held. Admit queued waiters while capacity remains.
+  void grant_locked(metrics::Histogram& depth_h) {
+    while (!queue.empty() && in_flight < depth) {
+      queue.front()->admitted = true;
+      queue.pop_front();
+      ++in_flight;
+      depth_h.record(static_cast<std::uint64_t>(in_flight));
+    }
+  }
+};
+
+/// One entry of the pending-request table. The immutable half (dst,
+/// payload, options, deadline) survives retries; the live half (the
+/// correlation ID, the circuit it went out on, the result slot) is
+/// re-armed each time the §3.5 machinery re-sends the request.
+struct PendingRequest {
+  UAdd dst;
+  Payload payload;
+  SendOptions opts;
+  std::chrono::steady_clock::time_point deadline;
+  int retries_left = 0;
+  bool awaited = false;  // single-await guard; touched by the owner only
+  std::int64_t ts = 0;   // monitor timestamp taken at issue (§6.1)
+
+  std::uint32_t req_id = 0;  // current correlation ID (fresh per retry)
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<ntcs::Result<Reply>> result;
+  std::atomic<std::uint64_t> via_lvc{0};
+  std::atomic<std::uint64_t> via_ivc{0};
+
+  std::shared_ptr<LcmSendWindow> window;
+  std::atomic<bool> window_held{false};
+};
+
 namespace {
+
+metrics::Histogram& pipeline_depth_hist() {
+  static metrics::Histogram& h = metrics::histogram("lcm.pipeline_depth");
+  return h;
+}
 
 /// Counters of *monitored* (application) traffic. NTCS/DRTS-internal sends
 /// — NSP queries, monitor samples, time-service exchanges — are excluded,
@@ -377,81 +437,184 @@ ntcs::Status LcmLayer::send(UAdd dst, const Payload& p, SendOptions opts) {
   return ntcs::Status::success();
 }
 
-ntcs::Result<Reply> LcmLayer::request(UAdd dst, const Payload& p,
-                                      SendOptions opts) {
+std::shared_ptr<LcmSendWindow> LcmLayer::window_for(UAdd dst) {
+  std::lock_guard lk(mu_);
+  auto& w = windows_[dst];
+  if (!w) {
+    w = std::make_shared<LcmSendWindow>();
+    w->depth = std::max(1, cfg_.window_depth);
+  }
+  return w;
+}
+
+ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
+  static metrics::Counter& m_stalls = metrics::counter("lcm.window_stalls");
+  LcmSendWindow& w = *req.window;
+  std::unique_lock lk(w.mu);
+  if (w.closed) {
+    return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
+  }
+  if (w.queue.empty() && w.in_flight < w.depth) {
+    ++w.in_flight;
+    pipeline_depth_hist().record(static_cast<std::uint64_t>(w.in_flight));
+    req.window_held.store(true);
+    return ntcs::Status::success();
+  }
+  // Full window (or earlier arrivals still queued — no overtaking): park
+  // at the back and wait to be admitted, bounded by this request's own
+  // deadline.
+  m_stalls.inc();
+  window_stalls_.fetch_add(1, std::memory_order_relaxed);
+  auto node = std::make_shared<LcmSendWindow::Waiter>();
+  w.queue.push_back(node);
+  while (!node->admitted && !w.closed) {
+    if (w.cv.wait_until(lk, req.deadline) == std::cv_status::timeout &&
+        !node->admitted) {
+      w.queue.erase(std::find(w.queue.begin(), w.queue.end(), node));
+      return ntcs::Status(ntcs::Errc::timeout,
+                          "send window full until request deadline");
+    }
+  }
+  if (!node->admitted) {  // window closed by shutdown
+    w.queue.erase(std::find(w.queue.begin(), w.queue.end(), node));
+    return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
+  }
+  req.window_held.store(true);
+  return ntcs::Status::success();
+}
+
+void LcmLayer::release_window(PendingRequest& req) {
+  if (!req.window || !req.window_held.exchange(false)) return;
+  LcmSendWindow& w = *req.window;
+  {
+    std::lock_guard lk(w.mu);
+    --w.in_flight;
+    w.grant_locked(pipeline_depth_hist());
+  }
+  w.cv.notify_all();
+}
+
+ntcs::Status LcmLayer::issue(const RequestTicket& t) {
+  if (auto st = acquire_window(*t); !st.ok()) return st;
+  const std::uint32_t req_id = next_req_id_.fetch_add(1);
+  {
+    std::lock_guard sl(t->mu);
+    t->result.reset();
+  }
+  t->req_id = req_id;
+  t->via_lvc.store(0);
+  t->via_ivc.store(0);
+  {
+    std::lock_guard lk(mu_);
+    pending_[req_id] = t;
+  }
+  auto sent = send_message(t->dst, wire::LcmKind::request, req_id, t->payload,
+                           t->opts, cfg_.fault_retries);
+  if (!sent) {
+    {
+      std::lock_guard lk(mu_);
+      pending_.erase(req_id);
+    }
+    release_window(*t);
+    return sent.error();
+  }
+  t->via_lvc.store(sent.value().lvc);
+  t->via_ivc.store(sent.value().ivc);
+  return ntcs::Status::success();
+}
+
+ntcs::Result<RequestTicket> LcmLayer::request_async(UAdd dst, const Payload& p,
+                                                    SendOptions opts) {
   if (!dst.valid()) {
     return ntcs::Error(ntcs::Errc::bad_argument, "invalid destination");
   }
   static metrics::Counter& m_requests = metrics::counter("lcm.requests");
   count_app_send(m_requests, opts.internal);
-  static metrics::Histogram& m_rtt = metrics::histogram("lcm.request_rtt_ns");
-  metrics::ScopedTimer rtt_timer(m_rtt);
   TimeSource time_source;
-  MonitorHook monitor;
   {
     std::lock_guard lk(mu_);
     ++stats_.requests;
-    if (!opts.internal) {
-      time_source = time_source_;
-      monitor = monitor_hook_;
-    }
+    if (!opts.internal) time_source = time_source_;
   }
-  const std::int64_t ts = time_source ? time_source() : 0;
-  const auto timeout = opts.timeout.count() != 0 ? opts.timeout
-                                                 : cfg_.request_timeout;
+  auto t = std::make_shared<PendingRequest>();
+  t->dst = dst;
+  t->payload = p;
+  t->opts = opts;
+  // The deadline is absolute from the moment of issue and is shared by
+  // every retry; nanosecond-resolution arithmetic end to end, so sub-ms
+  // timeouts are honoured exactly (never truncated to 0 = instant or
+  // rounded into a coarser unit).
+  const auto timeout =
+      opts.timeout.count() != 0 ? opts.timeout : cfg_.request_timeout;
+  t->deadline = std::chrono::steady_clock::now() + timeout;
+  t->retries_left = cfg_.fault_retries;
+  t->ts = time_source ? time_source() : 0;
+  t->window = window_for(dst);
+  if (auto st = issue(t); !st.ok()) return st.error();
+  return t;
+}
 
-  ntcs::Error last(ntcs::Errc::timeout, "request never attempted");
-  for (int attempt = 0; attempt <= cfg_.fault_retries; ++attempt) {
-    const std::uint32_t req_id = next_req_id_.fetch_add(1);
-    auto slot = std::make_shared<ReplySlot>();
-    {
-      std::lock_guard lk(mu_);
-      slots_[req_id] = slot;
-    }
-    auto sent =
-        send_message(dst, wire::LcmKind::request, req_id, p, opts,
-                     cfg_.fault_retries);
-    if (!sent) {
-      std::lock_guard lk(mu_);
-      slots_.erase(req_id);
-      return sent.error();
-    }
-    slot->via_lvc.store(sent.value().lvc);
-    slot->via_ivc.store(sent.value().ivc);
-
+ntcs::Result<Reply> LcmLayer::await(const RequestTicket& t) {
+  if (!t || t->awaited) {
+    return ntcs::Error(ntcs::Errc::bad_argument, "invalid request ticket");
+  }
+  t->awaited = true;
+  for (;;) {
     ntcs::Result<Reply> outcome =
         ntcs::Error(ntcs::Errc::timeout, "reply timed out");
     {
-      std::unique_lock sl(slot->mu);
-      if (slot->cv.wait_for(sl, timeout,
-                            [&] { return slot->result.has_value(); })) {
-        outcome = std::move(*slot->result);
+      std::unique_lock sl(t->mu);
+      if (t->cv.wait_until(sl, t->deadline,
+                           [&] { return t->result.has_value(); })) {
+        outcome = std::move(*t->result);
       }
     }
+    release_window(*t);
     {
       std::lock_guard lk(mu_);
-      slots_.erase(req_id);
+      pending_.erase(t->req_id);
     }
     if (outcome.ok()) {
+      MonitorHook monitor;
+      if (!t->opts.internal) {
+        std::lock_guard lk(mu_);
+        monitor = monitor_hook_;
+      }
       if (monitor) {
         MonitorSample s;
         s.src = identity_->uadd();
-        s.dst = dst;
-        s.bytes = p.image.size();
-        s.timestamp_ns = ts;
+        s.dst = t->dst;
+        s.bytes = t->payload.image.size();
+        s.timestamp_ns = t->ts;
         s.request = true;
         monitor(s);
       }
       return outcome;
     }
-    last = outcome.error();
-    // The circuit died while we waited: run the fault/relocation machinery
-    // once more. A plain timeout is surfaced to the caller — the peer may
-    // simply be slow, and retrying a non-idempotent request is the
-    // transaction manager's business, not ours (§3.5).
-    if (last.code() != ntcs::Errc::address_fault) return last;
+    const ntcs::Error last = outcome.error();
+    // The circuit died while this request was pending: run the §3.5
+    // fault/relocation machinery once more — for this request alone, with
+    // a fresh correlation ID, under the original deadline. Other requests
+    // multiplexed on the same circuit recover (or fail) independently. A
+    // plain timeout is surfaced to the caller — the peer may simply be
+    // slow, and retrying a non-idempotent request is the transaction
+    // manager's business, not ours (§3.5).
+    if (last.code() != ntcs::Errc::address_fault || t->retries_left <= 0 ||
+        std::chrono::steady_clock::now() >= t->deadline) {
+      return last;
+    }
+    --t->retries_left;
+    if (auto st = issue(t); !st.ok()) return st.error();
   }
-  return last;
+}
+
+ntcs::Result<Reply> LcmLayer::request(UAdd dst, const Payload& p,
+                                      SendOptions opts) {
+  static metrics::Histogram& m_rtt = metrics::histogram("lcm.request_rtt_ns");
+  metrics::ScopedTimer rtt_timer(m_rtt);
+  auto t = request_async(dst, p, opts);
+  if (!t) return t.error();
+  return await(t.value());
 }
 
 ntcs::Status LcmLayer::reply(const ReplyCtx& ctx, const Payload& p) {
@@ -564,14 +727,20 @@ void LcmLayer::on_ip_event(IpEvent ev) {
           r.payload = std::move(in.payload);
           r.mode = in.mode;
           r.src_arch = in.src_arch;
-          fill_slot(m.header.req_id, std::move(r));
+          // Correlation: the reply finds its request by ID, regardless of
+          // how many requests are interleaved on this circuit.
+          complete(m.header.req_id, std::move(r));
           return;
         }
       }
       return;
     }
     case IpEvent::Kind::ivc_closed: {
-      std::vector<std::shared_ptr<ReplySlot>> broken;
+      // Every request pending on the dead circuit faults *individually*:
+      // each awaiter observes address_fault on its own ticket and drives
+      // its own §3.5 retry — there is no per-circuit failure sweep that
+      // could cross-wire or double-complete requests.
+      std::vector<RequestTicket> broken;
       {
         std::lock_guard lk(mu_);
         for (auto it = conns_.begin(); it != conns_.end();) {
@@ -582,54 +751,77 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             ++it;
           }
         }
-        for (auto& [id, slot] : slots_) {
-          if (slot->via_lvc.load() == ev.via.lvc &&
-              slot->via_ivc.load() == ev.via.ivc) {
-            broken.push_back(slot);
+        for (auto& [id, t] : pending_) {
+          if (t->via_lvc.load() == ev.via.lvc &&
+              t->via_ivc.load() == ev.via.ivc) {
+            broken.push_back(t);
           }
         }
       }
-      for (auto& slot : broken) {
-        std::lock_guard sl(slot->mu);
-        if (!slot->result) {
-          slot->result = ntcs::Error(ntcs::Errc::address_fault,
-                                     "circuit closed while awaiting reply");
-          slot->cv.notify_all();
+      for (auto& t : broken) {
+        {
+          std::lock_guard sl(t->mu);
+          if (!t->result) {
+            t->result = ntcs::Error(ntcs::Errc::address_fault,
+                                    "circuit closed while awaiting reply");
+            t->cv.notify_all();
+          }
         }
+        release_window(*t);
       }
       return;
     }
   }
 }
 
-void LcmLayer::fill_slot(std::uint32_t req_id, ntcs::Result<Reply> result) {
-  std::shared_ptr<ReplySlot> slot;
+void LcmLayer::complete(std::uint32_t req_id, ntcs::Result<Reply> result) {
+  RequestTicket t;
   {
     std::lock_guard lk(mu_);
-    auto it = slots_.find(req_id);
-    if (it == slots_.end()) return;  // late reply after timeout: dropped
-    slot = it->second;
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // late reply after timeout: dropped
+    t = it->second;
   }
-  std::lock_guard sl(slot->mu);
-  if (!slot->result) {
-    slot->result = std::move(result);
-    slot->cv.notify_all();
+  {
+    std::lock_guard sl(t->mu);
+    if (!t->result) {
+      t->result = std::move(result);
+      t->cv.notify_all();
+    }
   }
+  // The request is finished the moment its result exists — its window slot
+  // frees immediately, not when the awaiter gets scheduled.
+  release_window(*t);
 }
 
 void LcmLayer::shutdown() {
   app_queue_.close();
-  std::vector<std::shared_ptr<ReplySlot>> pending;
+  std::vector<RequestTicket> pending;
+  std::vector<std::shared_ptr<LcmSendWindow>> windows;
   {
     std::lock_guard lk(mu_);
-    for (auto& [id, slot] : slots_) pending.push_back(slot);
+    for (auto& [id, t] : pending_) pending.push_back(t);
+    for (auto& [dst, w] : windows_) windows.push_back(w);
   }
-  for (auto& slot : pending) {
-    std::lock_guard sl(slot->mu);
-    if (!slot->result) {
-      slot->result = ntcs::Error(ntcs::Errc::shutdown, "module shutting down");
-      slot->cv.notify_all();
+  // Wake window waiters first so nobody blocks on a slot that a dying
+  // request will never free.
+  for (auto& w : windows) {
+    {
+      std::lock_guard lk(w->mu);
+      w->closed = true;
     }
+    w->cv.notify_all();
+  }
+  for (auto& t : pending) {
+    {
+      std::lock_guard sl(t->mu);
+      if (!t->result) {
+        t->result =
+            ntcs::Error(ntcs::Errc::shutdown, "module shutting down");
+        t->cv.notify_all();
+      }
+    }
+    release_window(*t);
   }
 }
 
@@ -637,7 +829,9 @@ UAdd LcmLayer::current_target(UAdd dst) { return chase_forward(dst); }
 
 LcmLayer::Stats LcmLayer::stats() const {
   std::lock_guard lk(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.window_stalls = window_stalls_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace ntcs::core

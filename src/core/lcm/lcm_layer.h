@@ -96,6 +96,16 @@ struct SendOptions {
   std::chrono::nanoseconds timeout{std::chrono::seconds(5)};
 };
 
+/// One in-flight pipelined request: an entry in the LCM-Layer's
+/// pending-request table, keyed by the correlation ID stamped into the
+/// LCM wire header. Opaque to callers — obtained from request_async(),
+/// redeemed with await().
+struct PendingRequest;
+using RequestTicket = std::shared_ptr<PendingRequest>;
+
+/// Per-destination sliding send window (internal).
+struct LcmSendWindow;
+
 /// The naming-service face the LCM-Layer sees (implemented by the
 /// NSP-Layer — the recursion of §3.1).
 class Resolver {
@@ -132,6 +142,10 @@ struct LcmConfig {
   std::chrono::nanoseconds request_timeout{std::chrono::seconds(5)};
   /// Address-fault recovery attempts per send.
   int fault_retries = 3;
+  /// Sliding send-window depth per destination circuit: how many requests
+  /// may be outstanding toward one destination before further callers
+  /// block (fair FIFO wakeup). Values below 1 are clamped to 1.
+  int window_depth = 32;
   /// Backoff between recovery attempts: re-establishment "exactly as an
   /// initial connection" (§3.5) against a flapping or mid-reconfiguration
   /// destination should not spin at full speed.
@@ -173,8 +187,27 @@ class LcmLayer {
   ntcs::Status send(UAdd dst, const Payload& p, SendOptions opts = {});
 
   /// Synchronous send/receive/reply: send a request, wait for the reply.
+  /// Equivalent to request_async() + await().
   ntcs::Result<Reply> request(UAdd dst, const Payload& p,
                               SendOptions opts = {});
+
+  /// Pipelined request issue: stamps a fresh correlation ID, admits the
+  /// request through the destination's send window (blocking fairly when
+  /// the window is full), sends it, and returns without waiting for the
+  /// reply — so N independent requests ride one IVC concurrently. The
+  /// request's deadline is fixed here (opts.timeout from now, with the
+  /// configured default when zero) and covers admission, transmission,
+  /// retries, and the reply wait.
+  ntcs::Result<RequestTicket> request_async(UAdd dst, const Payload& p,
+                                            SendOptions opts = {});
+
+  /// Redeem a ticket: wait for the reply (or the ticket's deadline). If
+  /// the circuit faults while the request is pending, the §3.5 recovery
+  /// machinery runs *for this request alone* — it is re-sent with a fresh
+  /// correlation ID against the relocated destination, under the same
+  /// deadline — while other requests on the circuit fail and retry
+  /// independently. await() may be called once per ticket.
+  ntcs::Result<Reply> await(const RequestTicket& t);
 
   /// Answer a received request.
   ntcs::Status reply(const ReplyCtx& ctx, const Payload& p);
@@ -205,18 +238,11 @@ class LcmLayer {
     std::uint64_t reconnects = 0;      // circuit re-establishments
     std::uint64_t recursion_trips = 0; // guard rejections
     std::uint64_t tadds_promoted = 0;
+    std::uint64_t window_stalls = 0;   // callers that blocked on a full window
   };
   Stats stats() const;
 
  private:
-  struct ReplySlot {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<ntcs::Result<Reply>> result;
-    std::atomic<std::uint64_t> via_lvc{0};
-    std::atomic<std::uint64_t> via_ivc{0};
-  };
-
   /// Follow the forwarding-address table (§3.5).
   UAdd chase_forward(UAdd dst);
   ntcs::Result<ResolvedDest> resolved_for(UAdd dst);
@@ -229,7 +255,15 @@ class LcmLayer {
   ntcs::Result<ntcs::Bytes> encode_body(const Payload& p,
                                         convert::Arch peer_arch,
                                         convert::XferMode& mode_out);
-  void fill_slot(std::uint32_t req_id, ntcs::Result<Reply> result);
+  /// (Re-)issue a pending request: window admission, fresh correlation ID,
+  /// table insert, send.
+  ntcs::Status issue(const RequestTicket& t);
+  /// Deliver a result to the pending request with this correlation ID (or
+  /// drop it if the request already finished) and free its window slot.
+  void complete(std::uint32_t req_id, ntcs::Result<Reply> result);
+  std::shared_ptr<LcmSendWindow> window_for(UAdd dst);
+  ntcs::Status acquire_window(PendingRequest& req);
+  void release_window(PendingRequest& req);
 
   IpLayer& ip_;
   std::shared_ptr<Identity> identity_;
@@ -245,7 +279,13 @@ class LcmLayer {
   std::unordered_set<UAdd> reconnect_pending_;
   std::unordered_map<UAdd, UAdd> forwards_;
   std::unordered_map<UAdd, ResolvedDest> resolved_cache_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<ReplySlot>> slots_;
+  /// The pending-request table: correlation ID -> in-flight request. A
+  /// retried request re-enters under its fresh ID; await() removes it.
+  std::unordered_map<std::uint32_t, RequestTicket> pending_;
+  /// Per-destination send windows (a destination ≈ one circuit; conns_
+  /// is keyed the same way).
+  std::unordered_map<UAdd, std::shared_ptr<LcmSendWindow>> windows_;
+  std::atomic<std::uint64_t> window_stalls_{0};
   std::vector<ResolvedDest> ns_candidates_;  // primary first, then replicas
   std::size_t ns_candidate_idx_ = 0;
   Resolver* resolver_ = nullptr;

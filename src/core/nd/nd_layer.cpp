@@ -171,19 +171,35 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
     // handshake racing creation); private state preserves the invariant.
     tx_state = std::make_shared<TxState>();
   }
-  std::lock_guard tx(tx_state->mu);
-  for (const ntcs::Bytes& frame :
-       wire::fragment(nd_message, simnet::ipcs_mtu(ipcs_), tx_state->seq)) {
-    auto st = endpoint_->send(lvc, frame);
-    if (!st.ok()) {
-      // Normalise the two IPCSs' failure vocabulary to an address fault,
-      // except for conditions the layers above treat specially.
-      if (st.code() == ntcs::Errc::partitioned ||
-          st.code() == ntcs::Errc::too_big) {
-        return st;
+  static metrics::Counter& m_no_copy =
+      metrics::counter("nd.frag_copies_avoided");
+  std::size_t frames = 0;
+  {
+    std::lock_guard tx(tx_state->mu);
+    // Zero-copy fragmentation: each frame is a small stack-encoded header
+    // plus a view into the original message, gathered by the IPCS into the
+    // delivery buffer. No per-fragment Bytes is ever materialised.
+    for (const wire::FragSpan& s : wire::fragment_spans(
+             nd_message, simnet::ipcs_mtu(ipcs_), tx_state->seq)) {
+      std::uint8_t hdr[wire::kFragHeaderMax];
+      const std::size_t hn = wire::encode_frag_header(s, hdr);
+      auto st = endpoint_->send(lvc, ntcs::BytesView(hdr, hn), s.chunk);
+      if (!st.ok()) {
+        // Normalise the two IPCSs' failure vocabulary to an address fault,
+        // except for conditions the layers above treat specially.
+        if (st.code() == ntcs::Errc::partitioned ||
+            st.code() == ntcs::Errc::too_big) {
+          return st;
+        }
+        return ntcs::Status(ntcs::Errc::address_fault, st.error().what());
       }
-      return ntcs::Status(ntcs::Errc::address_fault, st.error().what());
+      ++frames;
     }
+  }
+  m_no_copy.inc(frames);
+  {
+    std::lock_guard lk(mu_);
+    stats_.frag_copies_avoided += frames;
   }
   return ntcs::Status::success();
 }
@@ -213,11 +229,14 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
   switch (d.kind) {
     case simnet::DeliveryKind::opened: {
       // IPCS-level connection; the NTCS-level open completes when the
-      // peer's NdOpen arrives.
+      // peer's NdOpen arrives. On a self-connect (a module opening a
+      // circuit to its own endpoint) the channel already has state created
+      // by open() — overwriting it here would reset the transmit sequence
+      // counter and the reassembler mid-handshake, so only create state
+      // for channels some other endpoint initiated.
       std::lock_guard lk(mu_);
-      LvcState st;
-      st.peer.phys = PhysAddr{d.peer_phys};
-      lvcs_[d.chan] = std::move(st);
+      auto [it, inserted] = lvcs_.try_emplace(d.chan);
+      if (inserted) it->second.peer.phys = PhysAddr{d.peer_phys};
       return std::optional<NdEvent>{};
     }
     case simnet::DeliveryKind::closed: {
@@ -268,10 +287,12 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
           m_dedup.inc();
           return std::optional<NdEvent>{};
         }
-        if (fed.value().resynced) {
+        if (fed.value().resynced || fed.value().orphan) {
           // Frames went missing mid-stream; that message is lost (ND
           // offers no retransmission — failures are "simply passed
-          // upward") but the stream continues cleanly from here.
+          // upward") but the stream continues cleanly from here. Orphan
+          // continuations (head frame lost before the resync point) are
+          // part of the same loss event.
           ++stats_.frames_resynced;
           m_resync.inc();
         }

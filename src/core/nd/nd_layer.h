@@ -141,6 +141,10 @@ class NdLayer {
     std::uint64_t tadds_promoted = 0;
     std::uint64_t frames_deduped = 0;   // duplicate/stale frames suppressed
     std::uint64_t frames_resynced = 0;  // reassembly resyncs after a gap
+    // Frames sent as header+chunk gathers straight from the message buffer
+    // — each one a per-fragment Bytes materialisation that no longer
+    // happens.
+    std::uint64_t frag_copies_avoided = 0;
   };
   Stats stats() const;
 

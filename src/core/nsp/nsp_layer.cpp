@@ -11,7 +11,7 @@ NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
       timeout_(request_timeout),
       log_("nsp", identity_->name()) {}
 
-ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
+ntcs::Result<RequestTicket> NspLayer::call_async(ntcs::Bytes request_body) {
   static metrics::Counter& m_queries = metrics::counter("nsp.queries");
   m_queries.inc();
   {
@@ -23,9 +23,15 @@ ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
   SendOptions opts;
   opts.internal = true;
   opts.timeout = timeout_;
-  auto reply =
-      lcm_.request(kNameServerUAdd, Payload::raw(std::move(request_body)),
-                   opts);
+  return lcm_.request_async(kNameServerUAdd,
+                            Payload::raw(std::move(request_body)), opts);
+}
+
+ntcs::Result<ntcs::Bytes> NspLayer::await_call(
+    const ntcs::Result<RequestTicket>& ticket) {
+  ntcs::Result<Reply> reply =
+      ticket ? lcm_.await(ticket.value())
+             : ntcs::Result<Reply>(ticket.error());
   if (!reply) {
     static metrics::Counter& m_failures = metrics::counter("nsp.failures");
     m_failures.inc();
@@ -34,6 +40,10 @@ ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
     return reply.error();
   }
   return std::move(reply.value().payload);
+}
+
+ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
+  return await_call(call_async(std::move(request_body)));
 }
 
 ntcs::Result<UAdd> NspLayer::register_module(const RegistrationInfo& info) {
@@ -64,6 +74,28 @@ ntcs::Result<UAdd> NspLayer::lookup(const std::string& name) {
   auto body = call(nsp::encode_lookup(name));
   if (!body) return body.error();
   return nsp::decode_uadd_response(body.value());
+}
+
+std::vector<ntcs::Result<UAdd>> NspLayer::lookup_many(
+    const std::vector<std::string>& names) {
+  // Issue phase: every query goes out before any reply is awaited, so the
+  // batch costs ~one round trip instead of names.size() of them.
+  std::vector<ntcs::Result<RequestTicket>> tickets;
+  tickets.reserve(names.size());
+  for (const std::string& name : names) {
+    tickets.push_back(call_async(nsp::encode_lookup(name)));
+  }
+  std::vector<ntcs::Result<UAdd>> out;
+  out.reserve(names.size());
+  for (const auto& ticket : tickets) {
+    auto body = await_call(ticket);
+    if (!body) {
+      out.push_back(body.error());
+      continue;
+    }
+    out.push_back(nsp::decode_uadd_response(body.value()));
+  }
+  return out;
 }
 
 ntcs::Result<std::vector<UAdd>> NspLayer::lookup_attrs(

@@ -56,6 +56,13 @@ class NspLayer : public Resolver {
   /// Resource-location: logical name -> UAdd.
   ntcs::Result<UAdd> lookup(const std::string& name);
 
+  /// Pipelined resource-location: issue every lookup over the Name Server
+  /// circuit at once (correlation-ID multiplexed through the LCM send
+  /// window), then collect the replies. Result i answers names[i]; one
+  /// name failing does not disturb the others.
+  std::vector<ntcs::Result<UAdd>> lookup_many(
+      const std::vector<std::string>& names);
+
   /// Attribute-value naming (§7 extension): all matching modules.
   ntcs::Result<std::vector<UAdd>> lookup_attrs(const nsp::AttrMap& attrs);
 
@@ -80,6 +87,9 @@ class NspLayer : public Resolver {
 
  private:
   ntcs::Result<ntcs::Bytes> call(ntcs::Bytes request_body);
+  ntcs::Result<RequestTicket> call_async(ntcs::Bytes request_body);
+  ntcs::Result<ntcs::Bytes> await_call(
+      const ntcs::Result<RequestTicket>& ticket);
 
   LcmLayer& lcm_;
   std::shared_ptr<Identity> identity_;

@@ -11,7 +11,11 @@ using convert::ShiftWriter;
 namespace {
 
 constexpr std::uint32_t kFragMoreBit = 1u << 31;
-constexpr std::uint32_t kFragLenMask = 0x00FFFFFFu;
+constexpr std::uint32_t kFragFirstBit = 1u << 23;
+/// Cap on how much a first frame's announced total may pre-reserve: a
+/// corrupted total-length field must not allocate the machine away. Larger
+/// (legitimate) messages still reassemble; the buffer just grows normally.
+constexpr std::uint32_t kMaxReserve = 4u << 20;
 
 void put_string(ShiftWriter& w, std::string_view s) {
   w.put_u32(static_cast<std::uint32_t>(s.size()));
@@ -39,35 +43,71 @@ ntcs::Bytes nd_prologue(NdKind kind) {
 // ---------------------------------------------------------------- fragments
 
 std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len,
-                             std::uint32_t seq) {
+                             std::uint32_t seq, bool first) {
   return (more ? kFragMoreBit : 0u) | ((seq & kFragSeqMask) << 24) |
-         (chunk_len & kFragLenMask);
+         (first ? kFragFirstBit : 0u) | (chunk_len & kFragLenMask);
 }
 
 bool frag_more(std::uint32_t word) { return (word & kFragMoreBit) != 0; }
+
+bool frag_first(std::uint32_t word) { return (word & kFragFirstBit) != 0; }
 
 std::uint32_t frag_len(std::uint32_t word) { return word & kFragLenMask; }
 
 std::uint32_t frag_seq(std::uint32_t word) { return (word >> 24) & kFragSeqMask; }
 
+std::size_t encode_frag_header(const FragSpan& s,
+                               std::uint8_t out[kFragHeaderMax]) {
+  // Shift mode by hand (MSB first), matching ShiftWriter's stream layout.
+  out[0] = static_cast<std::uint8_t>(s.word >> 24);
+  out[1] = static_cast<std::uint8_t>(s.word >> 16);
+  out[2] = static_cast<std::uint8_t>(s.word >> 8);
+  out[3] = static_cast<std::uint8_t>(s.word);
+  if (!s.first) return 4;
+  out[4] = static_cast<std::uint8_t>(s.total >> 24);
+  out[5] = static_cast<std::uint8_t>(s.total >> 16);
+  out[6] = static_cast<std::uint8_t>(s.total >> 8);
+  out[7] = static_cast<std::uint8_t>(s.total);
+  return 8;
+}
+
+std::vector<FragSpan> fragment_spans(ntcs::BytesView msg, std::size_t mtu,
+                                     std::uint32_t& seq) {
+  std::vector<FragSpan> spans;
+  const std::uint32_t total = static_cast<std::uint32_t>(msg.size());
+  std::size_t off = 0;
+  bool first = true;
+  do {
+    const std::size_t hdr = first ? 8 : 4;
+    const std::size_t chunk_max = mtu > hdr ? mtu - hdr : 1;
+    const std::size_t n =
+        msg.size() - off < chunk_max ? msg.size() - off : chunk_max;
+    FragSpan s;
+    s.first = first;
+    s.total = total;
+    s.word = make_frag_word(/*more=*/off + n < msg.size(),
+                            static_cast<std::uint32_t>(n), seq, first);
+    seq = (seq + 1) & kFragSeqMask;
+    s.chunk = msg.subspan(off, n);
+    spans.push_back(s);
+    off += n;
+    first = false;
+  } while (off < msg.size());
+  return spans;
+}
+
 std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu,
                                   std::uint32_t& seq) {
   std::vector<ntcs::Bytes> frames;
-  const std::size_t chunk_max = mtu > 4 ? mtu - 4 : 1;
-  std::size_t off = 0;
-  do {
-    const std::size_t n =
-        msg.size() - off < chunk_max ? msg.size() - off : chunk_max;
-    const bool more = off + n < msg.size();
+  for (const FragSpan& s : fragment_spans(msg, mtu, seq)) {
+    std::uint8_t hdr[kFragHeaderMax];
+    const std::size_t hn = encode_frag_header(s, hdr);
     ntcs::Bytes frame;
-    frame.reserve(n + 4);
-    ShiftWriter w(frame);
-    w.put_u32(make_frag_word(more, static_cast<std::uint32_t>(n), seq));
-    seq = (seq + 1) & kFragSeqMask;
-    w.put_raw(msg.subspan(off, n));
+    frame.reserve(hn + s.chunk.size());
+    ntcs::append(frame, ntcs::BytesView(hdr, hn));
+    ntcs::append(frame, s.chunk);
     frames.push_back(std::move(frame));
-    off += n;
-  } while (off < msg.size());
+  }
   return frames;
 }
 
@@ -80,6 +120,13 @@ ntcs::Result<Reassembler::FeedResult> Reassembler::feed(ntcs::BytesView frame) {
   ShiftReader r(frame);
   auto word = r.get_u32();
   if (!word) return word.error();
+  const bool first = frag_first(word.value());
+  std::uint32_t total = 0;
+  if (first) {
+    auto t = r.get_u32();
+    if (!t) return t.error();
+    total = t.value();
+  }
   const std::uint32_t len = frag_len(word.value());
   if (r.remaining() != len) {
     return ntcs::Error(ntcs::Errc::bad_message,
@@ -101,17 +148,51 @@ ntcs::Result<Reassembler::FeedResult> Reassembler::feed(ntcs::BytesView frame) {
     // Frames went missing (lost, or overtaken and due to arrive stale):
     // whatever message they belonged to is unrecoverable. Resynchronise.
     acc_.clear();
+    have_head_ = false;
     res.resynced = true;
   }
   last_seq_ = seq;
+  if (first) {
+    if (have_head_ || !acc_.empty()) {
+      // The sender started a new message while we held a partial one —
+      // its tail frames were lost without leaving a sequence gap we could
+      // see (e.g. lost then resent range). The partial message is gone.
+      acc_.clear();
+      res.resynced = true;
+    }
+    have_head_ = true;
+    expect_total_ = total;
+    // The whole message's storage, reserved once; every chunk after this
+    // appends in place.
+    acc_.reserve(total < kMaxReserve ? total : kMaxReserve);
+  } else if (!have_head_) {
+    // Continuation of a message whose first frame we never accepted (it
+    // was lost ahead of the resync point). The frame is sequence-valid —
+    // consume its number — but its bytes belong to nothing.
+    res.orphan = true;
+    return res;
+  }
   ntcs::append(acc_, r.rest());
-  res.complete = !frag_more(word.value());
+  if (!frag_more(word.value())) {
+    if (acc_.size() != expect_total_) {
+      // Header corruption slipped past the length checks (a flipped bit
+      // in a chunk-length or total-length field): the message cannot be
+      // trusted. Drop it and restart cleanly at the next first frame.
+      acc_.clear();
+      have_head_ = false;
+      res.resynced = true;
+      return res;
+    }
+    res.complete = true;
+  }
   return res;
 }
 
 ntcs::Bytes Reassembler::take() {
   ntcs::Bytes out;
   out.swap(acc_);
+  have_head_ = false;
+  expect_total_ = 0;
   return out;
 }
 

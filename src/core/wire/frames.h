@@ -39,25 +39,60 @@ inline constexpr std::uint32_t kVersion = 1;
 // ---------------------------------------------------------------- fragments
 
 /// Fragment word: bit 31 = more-fragments, bits 24..30 = a 7-bit frame
-/// sequence number (mod 128, per circuit per direction), bits 0..23 =
-/// chunk length. The sequence number lets the receiver suppress duplicated
-/// frames and detect overtaken/lost ones — the ND-Layer's end of hiding
-/// "IPCS error conventions" when the substrate misbehaves.
+/// sequence number (mod 128, per circuit per direction), bit 23 =
+/// first-fragment-of-message, bits 0..22 = chunk length. The sequence
+/// number lets the receiver suppress duplicated frames and detect
+/// overtaken/lost ones — the ND-Layer's end of hiding "IPCS error
+/// conventions" when the substrate misbehaves. The first-fragment flag
+/// marks where a message starts; the first frame additionally carries the
+/// message's total length as a fourth header byte-quad so the reassembler
+/// can reserve the whole buffer once and append chunks in place.
 inline constexpr std::uint32_t kFragSeqMask = 0x7Fu;
+inline constexpr std::uint32_t kFragLenMask = 0x007FFFFFu;
 /// Frames up to this far *behind* the last accepted one are stale
 /// stragglers (dropped); larger backward distances read as forward gaps
 /// (lost frames) instead. Reordering shifts frames by a few slots, loss
 /// bursts can span dozens — hence a narrow stale zone.
 inline constexpr std::uint32_t kFragStaleWindow = 16u;
 std::uint32_t make_frag_word(bool more, std::uint32_t chunk_len,
-                             std::uint32_t seq = 0);
+                             std::uint32_t seq = 0, bool first = false);
 bool frag_more(std::uint32_t word);
+bool frag_first(std::uint32_t word);
 std::uint32_t frag_len(std::uint32_t word);
 std::uint32_t frag_seq(std::uint32_t word);
 
-/// Split a message into MTU-sized IPCS frames (each [frag word][chunk]).
-/// `seq` is the running per-circuit frame counter; it is stamped into each
-/// frame and advanced past them.
+/// One MTU-sized frame of a message, described without copying the chunk:
+/// the header words plus a view into the original message. The frame on
+/// the wire is [frag word][chunk] — or, when `first`,
+/// [frag word][total len][chunk].
+struct FragSpan {
+  std::uint32_t word = 0;
+  std::uint32_t total = 0;  // whole-message length; meaningful when first
+  bool first = false;
+  ntcs::BytesView chunk;
+
+  std::size_t header_size() const { return first ? 8 : 4; }
+};
+
+/// Largest frame header a FragSpan can need.
+inline constexpr std::size_t kFragHeaderMax = 8;
+
+/// Serialise a span's frame header (shift mode: MSB first) into `out`;
+/// returns the number of bytes written (4 or 8). The frame on the wire is
+/// this header followed by the span's chunk bytes.
+std::size_t encode_frag_header(const FragSpan& s,
+                               std::uint8_t out[kFragHeaderMax]);
+
+/// Split a message into MTU-sized frame descriptors whose chunks alias
+/// `msg` — the zero-copy fragmentation path. `seq` is the running
+/// per-circuit frame counter; it is stamped into each frame and advanced
+/// past them. `msg` must outlive the spans.
+std::vector<FragSpan> fragment_spans(ntcs::BytesView msg, std::size_t mtu,
+                                     std::uint32_t& seq);
+
+/// Split a message into MTU-sized IPCS frames (each a materialised
+/// [header][chunk] buffer). Kept for tests and single-frame encodings; the
+/// ND-Layer's hot path sends fragment_spans() directly.
 std::vector<ntcs::Bytes> fragment(ntcs::BytesView msg, std::size_t mtu,
                                   std::uint32_t& seq);
 /// Sequence-free convenience (tests, single-shot encodings): frames are
@@ -79,6 +114,7 @@ class Reassembler {
     bool complete = false;  // this frame finished a message; call take()
     bool dropped = false;   // duplicate or stale frame, ignored
     bool resynced = false;  // forward gap: stream resynchronised
+    bool orphan = false;    // continuation whose first frame was lost
   };
 
   /// Feed one IPCS frame. Errors indicate a malformed frame (protocol
@@ -92,6 +128,8 @@ class Reassembler {
 
  private:
   ntcs::Bytes acc_;
+  bool have_head_ = false;         // saw the current message's first frame
+  std::uint32_t expect_total_ = 0; // its announced total length
   // Last accepted sequence number; initialised so the first frame (seq 0)
   // is in-order.
   std::uint32_t last_seq_ = kFragSeqMask;

@@ -17,7 +17,13 @@ ntcs::Result<ChannelId> Endpoint::connect(const std::string& dst_phys) {
 
 ntcs::Status Endpoint::send(ChannelId chan, ntcs::BytesView frame) {
   if (is_closed()) return ntcs::Status(ntcs::Errc::closed, "endpoint closed");
-  return fabric_->send_impl(this, chan, frame);
+  return fabric_->send_impl(this, chan, {}, frame);
+}
+
+ntcs::Status Endpoint::send(ChannelId chan, ntcs::BytesView header,
+                            ntcs::BytesView body) {
+  if (is_closed()) return ntcs::Status(ntcs::Errc::closed, "endpoint closed");
+  return fabric_->send_impl(this, chan, header, body);
 }
 
 ntcs::Result<Delivery> Endpoint::recv() { return recv_until(std::nullopt); }

@@ -67,6 +67,13 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   /// Send one frame (at most ipcs_mtu(kind()) bytes) on an open channel.
   ntcs::Status send(ChannelId chan, ntcs::BytesView frame);
 
+  /// Gather-send: one frame given as header + body, concatenated by the
+  /// fabric directly into the delivery buffer. This is the zero-copy
+  /// fragmentation path's exit — the caller never materialises the frame,
+  /// so the only copy of the chunk bytes is the delivery itself.
+  ntcs::Status send(ChannelId chan, ntcs::BytesView header,
+                    ntcs::BytesView body);
+
   /// Blocking receive of the next delivery.
   ntcs::Result<Delivery> recv();
 

@@ -327,13 +327,18 @@ ntcs::Result<ChannelId> Fabric::connect_impl(Endpoint* src,
 }
 
 ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
-                               ntcs::BytesView frame) {
+                               ntcs::BytesView header, ntcs::BytesView body) {
   std::shared_ptr<Endpoint> peer;
   std::chrono::steady_clock::time_point deliver_at;
   std::uint64_t seq = 0;
   std::optional<std::chrono::steady_clock::time_point> dup_at;
   std::uint64_t dup_seq = 0;
-  ntcs::Bytes payload(frame.begin(), frame.end());
+  // The one frame copy in the whole transmit path: header and body gathered
+  // straight into the delivery buffer, reserved once.
+  ntcs::Bytes payload;
+  payload.reserve(header.size() + body.size());
+  ntcs::append(payload, header);
+  ntcs::append(payload, body);
   {
     std::lock_guard lk(mu_);
     auto it = channels_.find(chan);
@@ -342,14 +347,14 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
       return ntcs::Status(ntcs::Errc::address_fault, "channel is gone");
     }
     ChannelState& st = it->second;
-    if (frame.size() > ipcs_mtu(src->kind())) {
+    if (payload.size() > ipcs_mtu(src->kind())) {
       return ntcs::Status(ntcs::Errc::too_big, "frame exceeds IPCS mtu");
     }
     if (st.net != kInvalidNetwork && nets_.at(st.net).partitioned) {
       return ntcs::Status(ntcs::Errc::partitioned, "network partitioned");
     }
     ++stats_.frames_sent;
-    stats_.bytes_sent += frame.size();
+    stats_.bytes_sent += payload.size();
     const auto now = std::chrono::steady_clock::now();
     if (flap_down_locked(st.net, now)) {
       // A down link loses frames without telling the sender — exactly the
@@ -393,7 +398,7 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
       const std::uint64_t bps = nets_.at(st.net).cfg.bytes_per_sec;
       if (bps != 0) {
         deliver_at += std::chrono::nanoseconds(
-            frame.size() * 1'000'000'000ULL / bps);
+            payload.size() * 1'000'000'000ULL / bps);
       }
     }
     if (fp != nullptr && rng_.chance(fp->reorder_prob)) {

@@ -136,7 +136,10 @@ class Fabric {
 
   ntcs::Result<ChannelId> connect_impl(Endpoint* src,
                                        const std::string& dst_phys);
-  ntcs::Status send_impl(Endpoint* src, ChannelId chan, ntcs::BytesView frame);
+  /// One frame = header ++ body, assembled once into the delivery buffer
+  /// (the gather-send path; plain sends pass an empty header).
+  ntcs::Status send_impl(Endpoint* src, ChannelId chan, ntcs::BytesView header,
+                         ntcs::BytesView body);
   ntcs::Status close_channel_impl(Endpoint* src, ChannelId chan);
   void close_endpoint(Endpoint* ep);
 

@@ -5,11 +5,14 @@
 // monotone per-channel ordering at the ALI, and eventual circuit
 // establishment under flapping links (retry-on-open, §2.2).
 //
-// Every test runs against a fixed fabric seed, so the injected fault
-// schedule is deterministic; only thread interleaving varies run to run,
-// and the assertions are chosen to be robust against it.
+// Every test runs against a fixed fabric seed (NTCS_FABRIC_SEED overrides
+// it, which is how scripts/verify.sh sweeps the suite across ten seeds),
+// so the injected fault schedule is deterministic; only thread
+// interleaving varies run to run, and the assertions are chosen to be
+// robust against it.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <thread>
 
@@ -22,6 +25,14 @@ namespace {
 using namespace std::chrono_literals;
 using convert::Arch;
 
+/// Fabric seed for every rig below: NTCS_FABRIC_SEED if set, else 1.
+std::uint64_t fabric_seed() {
+  if (const char* s = std::getenv("NTCS_FABRIC_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return 1;
+}
+
 /// One LAN, two modules, a Name Server — the smallest stack that exercises
 /// registration, locate and application traffic over a faulty network.
 struct LanRig {
@@ -29,7 +40,7 @@ struct LanRig {
   simnet::NetworkId lan;
   std::unique_ptr<Node> a, b;
 
-  LanRig() {
+  LanRig() : tb(fabric_seed()) {
     tb.net("lan");
     tb.machine("m1", Arch::vax780, {"lan"});
     tb.machine("m2", Arch::sun3, {"lan"});
@@ -52,7 +63,7 @@ struct GatewayRig {
   simnet::NetworkId lan_a, lan_b;
   std::unique_ptr<Node> a, b;
 
-  GatewayRig() {
+  GatewayRig() : tb(fabric_seed()) {
     tb.net("lan-a");
     tb.net("lan-b");
     tb.machine("m1", Arch::vax780, {"lan-a"});
@@ -277,6 +288,19 @@ TEST(Chaos, CombinedFaultsAcceptance) {
     addr = rig.a->commod().locate("b");
   }
   ASSERT_TRUE(addr.ok()) << "locate never succeeded under faults";
+
+  // Guarantee at least one open retry: partition the far network so the
+  // gateway's first EXTEND open fails, and heal it once the retry counter
+  // moves. The flap plan alone cannot promise a retry — on a loaded
+  // machine (TSan, parallel jobs) the first open can thread an up phase.
+  rig.tb.fabric().set_partitioned(rig.lan_b, true);
+  (void)rig.a->commod().send(addr.value(), to_bytes("ping-prime"));
+  auto retry_deadline = std::chrono::steady_clock::now() + 5s;
+  while (metrics::counter("nd.open_retries").value() == retries_before &&
+         std::chrono::steady_clock::now() < retry_deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  rig.tb.fabric().set_partitioned(rig.lan_b, false);
 
   // Establish the 2-hop circuit through the flapping link.
   deadline = std::chrono::steady_clock::now() + 10s;

@@ -58,6 +58,57 @@ TEST(LcmLayer, RequestTimesOutAgainstSilentPeer) {
   std::this_thread::sleep_for(20ms);
 }
 
+TEST(LcmLayer, SubMillisecondTimeoutIsHonored) {
+  // Regression guard for duration truncation: a 500µs timeout must stay a
+  // 500µs deadline all the way down. Coarsening it to whole milliseconds
+  // (or seconds) would turn it into 0 — and 0 must mean "use the
+  // configured default", not "infinite" and not "already expired".
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  // b never replies.
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = rig.a->commod().request(addr, to_bytes("quick"), 500us);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(reply.code(), Errc::timeout);
+  // The deadline actually ran: not an instant synchronous failure...
+  EXPECT_GE(elapsed, 400us);
+  // ...and nowhere near the 5s config default (generous bound: a loaded
+  // machine may oversleep, but three orders of magnitude is the tell).
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST(LcmLayer, ZeroTimeoutMeansConfiguredDefault) {
+  // SendOptions{timeout: 0} falls back to LcmConfig::request_timeout —
+  // it must not be taken literally (instant expiry) nor as "forever".
+  LcmConfig cfg;
+  cfg.request_timeout = 300ms;
+  Rig rig(cfg);
+  auto addr = rig.a->commod().locate("b").value();
+  SendOptions opts;
+  opts.timeout = 0ns;
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = rig.a->lcm().request(addr, Payload::raw(to_bytes("dflt")),
+                                    opts);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(reply.code(), Errc::timeout);
+  EXPECT_GE(elapsed, 250ms);  // ran to the configured default...
+  EXPECT_LT(elapsed, 3s);     // ...not to some truncated/infinite value
+}
+
+TEST(LcmLayer, SubMillisecondTimeoutOnAsyncTicket) {
+  // The same guarantee through the pipelined path: the deadline fixed at
+  // issue() covers await() at sub-millisecond resolution.
+  Rig rig;
+  auto addr = rig.a->commod().locate("b").value();
+  auto t = rig.a->commod().request_async(addr, to_bytes("quick"), 700us);
+  ASSERT_TRUE(t.ok()) << t.error().to_string();
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = rig.a->commod().await(t.value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(reply.code(), Errc::timeout);
+  EXPECT_LT(elapsed, 2s);
+}
+
 TEST(LcmLayer, SendToInvalidUAddRejected) {
   Rig rig;
   EXPECT_EQ(rig.a->commod().send(UAdd{}, to_bytes("x")).code(),

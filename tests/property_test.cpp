@@ -250,5 +250,137 @@ INSTANTIATE_TEST_SUITE_P(
              std::string(convert::arch_name(info.param.dst));
     });
 
+// ---------------------------------------------------------------------------
+// P5 (pipelined correlation): with many requests outstanding on one
+// circuit from many threads, under fault injection, a reply redeemed for a
+// ticket always carries *that request's* payload — never another
+// request's, never a duplicate, never garbage. The fabric seed comes from
+// NTCS_FABRIC_SEED when set (scripts/verify.sh sweeps it), so one binary
+// checks the property across many deterministic fault schedules.
+
+std::uint64_t env_fabric_seed(std::uint64_t fallback) {
+  if (const char* s = std::getenv("NTCS_FABRIC_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return fallback;
+}
+
+struct ChaosClass {
+  const char* name;
+  simnet::FaultPlan plan;
+};
+
+std::vector<ChaosClass> chaos_classes() {
+  std::vector<ChaosClass> out;
+  {
+    ChaosClass c{"dup", {}};
+    c.plan.dup_prob = 0.3;
+    out.push_back(c);
+  }
+  {
+    ChaosClass c{"reorder", {}};
+    c.plan.reorder_prob = 0.2;
+    c.plan.reorder_window = std::chrono::milliseconds(1);
+    c.plan.jitter = std::chrono::microseconds(200);
+    out.push_back(c);
+  }
+  {
+    ChaosClass c{"flap", {}};
+    c.plan.flap_period = std::chrono::milliseconds(40);
+    c.plan.flap_down = std::chrono::milliseconds(8);
+    out.push_back(c);
+  }
+  return out;
+}
+
+class PipelinedChaos : public ::testing::TestWithParam<ChaosClass> {};
+
+TEST_P(PipelinedChaos, EveryReplyMatchesItsOwnRequest) {
+  const ChaosClass& cls = GetParam();
+  Testbed tb(env_fabric_seed(1));
+  tb.net("lan");
+  tb.machine("m1", Arch::vax780, {"lan"});
+  tb.machine("m2", Arch::sun3, {"lan"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto client = tb.spawn_module("client", "m1", "lan").value();
+  auto server = tb.spawn_module("server", "m2", "lan").value();
+  auto addr = client->commod().locate("server").value();
+
+  // Echo loop: the reply *is* the request payload, so a cross-matched
+  // correlation ID is immediately visible at the client.
+  std::jthread echo([&server](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = server->commod().receive(20ms);
+      if (in.ok() && in.value().is_request) {
+        (void)server->commod().reply(in.value().reply_ctx,
+                                     in.value().payload);
+      }
+    }
+  });
+
+  const auto lan = tb.fabric().network_by_name("lan").value();
+  tb.fabric().set_fault_plan(lan, cls.plan);
+
+  constexpr int kThreads = 4;     // M concurrent issuers
+  constexpr int kPerThread = 10;  // K requests each
+  constexpr int kBatch = 4;       // outstanding tickets per issuer
+  std::atomic<int> answered{0};
+  std::atomic<int> mismatched{0};
+  std::vector<std::jthread> issuers;
+  for (int t = 0; t < kThreads; ++t) {
+    issuers.emplace_back([&, t] {
+      int done = 0;
+      while (done < kPerThread) {
+        // Issue a batch of pipelined requests, then redeem them all;
+        // individual requests may time out under a flapping link and are
+        // retried (fresh ticket) until the budget runs out.
+        const int n = std::min(kBatch, kPerThread - done);
+        std::vector<std::pair<std::string, RequestTicket>> batch;
+        for (int i = 0; i < n; ++i) {
+          const std::string body = "t" + std::to_string(t) + "-req" +
+                                   std::to_string(done + i) + "-seed" +
+                                   std::to_string(env_fabric_seed(1));
+          auto ticket =
+              client->commod().request_async(addr, to_bytes(body), 2s);
+          if (ticket.ok()) batch.emplace_back(body, ticket.value());
+        }
+        for (auto& [body, ticket] : batch) {
+          bool ok = false;
+          auto r = client->commod().await(ticket);
+          for (int attempt = 0; attempt < 100; ++attempt) {
+            if (r.ok()) {
+              if (to_string(r.value().payload) == body) {
+                ok = true;
+              } else {
+                ++mismatched;
+              }
+              break;
+            }
+            auto again = client->commod().request_async(
+                addr, to_bytes(body), 2s);
+            if (again.ok()) r = client->commod().await(again.value());
+          }
+          if (ok) ++answered;
+          ++done;
+        }
+      }
+    });
+  }
+  issuers.clear();
+  EXPECT_EQ(mismatched.load(), 0) << "cross-correlated replies under "
+                                  << cls.name;
+  EXPECT_EQ(answered.load(), kThreads * kPerThread);
+  tb.fabric().clear_faults();
+  client->stop();
+  server->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultClasses, PipelinedChaos,
+                         ::testing::ValuesIn(chaos_classes()),
+                         [](const ::testing::TestParamInfo<ChaosClass>& info) {
+                           return std::string(info.param.name);
+                         });
+
 }  // namespace
 }  // namespace ntcs::core

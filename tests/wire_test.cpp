@@ -30,10 +30,11 @@ TEST(Fragment, EmptyMessageStillFrames) {
 
 TEST(Fragment, ExactMtuBoundary) {
   constexpr std::size_t kMtu = 128;
-  Bytes msg(kMtu - 4, 0xAA);  // exactly one chunk
+  // A first frame carries an 8-byte header (frag word + total length).
+  Bytes msg(kMtu - 8, 0xAA);  // exactly one chunk
   auto frames = fragment(msg, kMtu);
   EXPECT_EQ(frames.size(), 1u);
-  Bytes msg2(kMtu - 4 + 1, 0xBB);  // one byte over
+  Bytes msg2(kMtu - 8 + 1, 0xBB);  // one byte over
   EXPECT_EQ(fragment(msg2, kMtu).size(), 2u);
 }
 
@@ -72,11 +73,18 @@ TEST(Fragment, WordHelpers) {
   EXPECT_FALSE(frag_more(w2));
   EXPECT_EQ(frag_len(w2), 0u);
   // The sequence field coexists with the flag and length bits and wraps
-  // at 7 bits.
-  const auto w3 = make_frag_word(true, 0x00FFFFFFu, 130);
+  // at 7 bits; the length field is 23 bits wide.
+  const auto w3 = make_frag_word(true, kFragLenMask, 130);
   EXPECT_TRUE(frag_more(w3));
-  EXPECT_EQ(frag_len(w3), 0x00FFFFFFu);
+  EXPECT_EQ(frag_len(w3), kFragLenMask);
   EXPECT_EQ(frag_seq(w3), 130u & kFragSeqMask);
+  EXPECT_FALSE(frag_first(w3));
+  // The first-fragment flag is independent of the other fields.
+  const auto w4 = make_frag_word(false, 7, 5, /*first=*/true);
+  EXPECT_TRUE(frag_first(w4));
+  EXPECT_FALSE(frag_more(w4));
+  EXPECT_EQ(frag_len(w4), 7u);
+  EXPECT_EQ(frag_seq(w4), 5u);
 }
 
 TEST(Fragment, SequenceNumbersRunAcrossMessages) {
@@ -142,9 +150,10 @@ TEST(Fragment, StaleFrameFromBehindIsDropped) {
 
 TEST(Fragment, GapDiscardsPartialMessageAndResyncs) {
   // A three-fragment message loses its middle frame; the trailing frame
-  // resyncs the stream, the assembled garbage is ND's problem (decode
-  // fails there), and the next message comes through intact.
-  constexpr std::size_t kMtu = 16;  // 12-byte chunks
+  // resyncs the stream, its bytes are discarded (no first frame claims
+  // them — no garbage ever reaches ND), and the next message comes
+  // through intact.
+  constexpr std::size_t kMtu = 16;  // 8-byte first chunk, 12-byte rest
   std::uint32_t seq = 0;
   Bytes big(30, 0xCD);
   auto frames = fragment(big, kMtu, seq);
@@ -155,8 +164,9 @@ TEST(Fragment, GapDiscardsPartialMessageAndResyncs) {
   auto tail = r.feed(frames[2]);
   ASSERT_TRUE(tail.ok());
   EXPECT_TRUE(tail.value().resynced);  // partial accumulation discarded
-  EXPECT_TRUE(tail.value().complete);
-  EXPECT_EQ(r.take().size(), big.size() - 2 * (kMtu - 4));
+  EXPECT_TRUE(tail.value().orphan);   // continuation with no head: dropped
+  EXPECT_FALSE(tail.value().complete);
+  EXPECT_EQ(r.pending_bytes(), 0u);
   auto next = fragment(to_bytes("fresh"), kMtu, seq);
   ASSERT_EQ(next.size(), 1u);
   auto got = r.feed(next[0]);
@@ -164,6 +174,51 @@ TEST(Fragment, GapDiscardsPartialMessageAndResyncs) {
   EXPECT_TRUE(got.value().complete);
   EXPECT_FALSE(got.value().resynced);
   EXPECT_EQ(r.take(), to_bytes("fresh"));
+}
+
+TEST(Fragment, InterruptedMessageRestartsAtNextFirstFrame) {
+  // The sender abandons a message mid-stream (its tail was lost and
+  // retransmission starts a fresh message with consecutive sequence
+  // numbers): the new first frame evicts the stale partial.
+  constexpr std::size_t kMtu = 16;
+  std::uint32_t seq = 0;
+  auto partial = fragment(Bytes(30, 0x11), kMtu, seq);
+  ASSERT_EQ(partial.size(), 3u);
+  Reassembler r;
+  EXPECT_FALSE(r.feed(partial[0]).value().complete);
+  EXPECT_FALSE(r.feed(partial[1]).value().complete);
+  // partial[2] never arrives; instead a new message starts at seq 3.
+  auto fresh = fragment(to_bytes("clean"), kMtu, seq);
+  ASSERT_EQ(fresh.size(), 1u);
+  auto got = r.feed(fresh[0]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().resynced);  // old partial thrown away
+  EXPECT_TRUE(got.value().complete);
+  EXPECT_EQ(r.take(), to_bytes("clean"));
+}
+
+TEST(Fragment, TotalLengthMismatchDropsMessage) {
+  // A corrupted chunk-length that still passes the per-frame size check
+  // shows up as a total-length mismatch at end of message; the message
+  // must be dropped, not delivered truncated.
+  std::uint32_t seq = 0;
+  auto frames = fragment(to_bytes("abcdef"), 1024, seq);
+  ASSERT_EQ(frames.size(), 1u);
+  // Rewrite the announced total (bytes 4..7 of the first frame header).
+  Bytes evil = frames[0];
+  evil[7] = static_cast<std::uint8_t>(evil[7] + 1);
+  Reassembler r;
+  auto fed = r.feed(evil);
+  ASSERT_TRUE(fed.ok());
+  EXPECT_FALSE(fed.value().complete);
+  EXPECT_TRUE(fed.value().resynced);
+  EXPECT_EQ(r.pending_bytes(), 0u);
+  // The stream recovers at the next message.
+  auto next = fragment(to_bytes("ok"), 1024, seq);
+  auto got = r.feed(next[0]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().complete);
+  EXPECT_EQ(r.take(), to_bytes("ok"));
 }
 
 TEST(NdFrames, OpenRoundTrip) {
