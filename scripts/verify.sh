@@ -16,11 +16,18 @@
 #    seed is a different deterministic fault/latency schedule; the
 #    pipelined request engine must keep its correlation and window
 #    invariants under every one of them.
+# 6. Lint gate: scripts/lint.sh (annotated-mutex grep gate + clang-tidy
+#    where available) — run first, it is the cheapest failure.
+# 7. ASan/UBSan build (the second sanitizer-matrix axis,
+#    NTCS_SANITIZE=address,undefined with -fno-sanitize-recover): full
+#    suite plus the analysis-label lock-validator tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 SANITIZE="${NTCS_SANITIZE:-}"
+
+./scripts/lint.sh "$BUILD_DIR"
 
 cmake -B "$BUILD_DIR" -S . -DNTCS_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
@@ -60,5 +67,17 @@ for seed in $SEEDS; do
   NTCS_FABRIC_SEED="$seed" ctest --test-dir "$TSAN_DIR" -j"$(nproc)" \
     --output-on-failure -R 'PipelinedChaos'
 done
+
+# ASan/UBSan axis of the sanitizer matrix: memory errors and UB across
+# the whole suite (TSan cannot be combined with ASan, hence two trees).
+# UBSan runs with -fno-sanitize-recover, so any finding is a test failure,
+# and the analysis-label suite re-checks the lock-rank validator with
+# ASan watching its thread-local stack bookkeeping.
+ASAN_DIR="${ASAN_BUILD_DIR:-build-asan}"
+cmake -B "$ASAN_DIR" -S . -DNTCS_SANITIZE=address,undefined
+cmake --build "$ASAN_DIR" -j"$(nproc)"
+ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure
+ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L analysis \
+  --repeat until-fail:3
 
 echo "verify: OK"

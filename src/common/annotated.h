@@ -1,0 +1,295 @@
+// annotated.h — capability-annotated locking primitives and the runtime
+// lock-hierarchy validator.
+//
+// The Nucleus is a stack of concurrently-driven layers (ND → IP → LCM →
+// NSP → ALI over the simnet substrate), and the locking discipline that
+// keeps LvcState, the per-circuit send windows, the Fabric FIFOs and the
+// metrics registry consistent used to exist only in the authors' heads.
+// This header turns that discipline into two machine-checked contracts:
+//
+//  1. **Static**: Clang thread-safety attributes. `ntcs::Mutex` is a
+//     CAPABILITY, `ntcs::LockGuard`/`ntcs::UniqueLock` are
+//     SCOPED_CAPABILITYs, and shared state throughout src/ is annotated
+//     GUARDED_BY its mutex. Under Clang the build runs with
+//     `-Wthread-safety -Werror=thread-safety`; under GCC (which has no
+//     such analysis) every attribute expands to nothing and the wrappers
+//     are zero-overhead forwarding shims.
+//
+//  2. **Dynamic**: a lock-hierarchy registry. Every mutex is constructed
+//     with a *rank* (see `lockrank` below — lower rank = acquired
+//     earlier / held outermost). A thread-local held-lock stack checks,
+//     on every acquisition, that the new lock's rank is strictly greater
+//     than every ranked lock already held by the thread. A violation is
+//     a *rank inversion*: two threads interleaving the same pair of
+//     locks in opposite orders is the classic deadlock cycle, and rank
+//     inversions are exactly the acquisitions that make such cycles
+//     possible. Inversions are counted in `analysis.lock_inversions`
+//     (metrics registry) and reported once per offending lock pair on
+//     stderr. The validator is compiled in when NTCS_LOCK_RANK_CHECKS
+//     is defined (CMake option NTCS_LOCK_CHECKS, default ON — including
+//     RelWithDebInfo, so the tier-1 suite always runs under it) and
+//     costs one thread-local stack scan (depth ≤ 4 in practice) per
+//     lock; perf builds may configure it away.
+//
+// The condition-variable wrapper is std::condition_variable_any: its
+// wait() releases and reacquires through UniqueLock::unlock()/lock(), so
+// the held-lock bookkeeping stays exact across blocking waits.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+// ---- Clang thread-safety annotation macros --------------------------------
+// The canonical attribute set from the Clang thread-safety docs. Under any
+// compiler without the capability analysis these expand to nothing.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define NTCS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NTCS_THREAD_ANNOTATION
+#define NTCS_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) NTCS_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY NTCS_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) NTCS_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) NTCS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) NTCS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) NTCS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) NTCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) NTCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) NTCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) NTCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) NTCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) NTCS_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) NTCS_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS NTCS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ntcs {
+
+// ---- the lock hierarchy ---------------------------------------------------
+// One rank per lock *role*; lower rank = acquired earlier (outermost).
+// A thread holding a lock of rank r may only acquire locks of rank > r.
+// The numbering is derived from the empirical nesting in the codebase
+// (documented per-edge below and in DESIGN.md §6), not from conceptual
+// layering alone — e.g. the LCM-Layer's state lock is *outer* to the
+// ND-Layer's because resolution results are pushed down into the ND
+// physical-address cache while the LCM table lock is held.
+//
+// Rank 0 (kUnranked) exempts a mutex from ordering checks; it is for
+// test scaffolding and genuinely order-free leaves only — production
+// locks all carry a rank.
+namespace lockrank {
+inline constexpr std::uint16_t kUnranked = 0;
+
+// DRTS managed-process control: held across module start/stop, which
+// re-enters the whole Nucleus (register_self → NSP → LCM → ND → fabric),
+// so it must be outermost of all.
+inline constexpr std::uint16_t kDrtsProcessControl = 100;
+// DRTS server state (monitor rollups, error-log ring, file tables):
+// leaf-scoped copies, never held across NTCS calls.
+inline constexpr std::uint16_t kDrtsServer = 110;
+// IP gateway relay/stats state.
+inline constexpr std::uint16_t kGatewayState = 120;
+
+// NSP-Layer: resolver caches and the name-server database. Held only
+// around table mutation/copy; NTCS traffic happens outside.
+inline constexpr std::uint16_t kNspState = 200;
+inline constexpr std::uint16_t kNameServerDb = 210;
+inline constexpr std::uint16_t kStaticResolver = 220;
+
+// LCM-Layer: the connection/forward/pending tables lock is held while
+// seeding the ND physical cache (lcm.state < nd.state); the per-circuit
+// send window and per-request ticket locks are taken strictly after it
+// and never nested with each other.
+inline constexpr std::uint16_t kLcmState = 300;
+inline constexpr std::uint16_t kLcmWindow = 310;
+inline constexpr std::uint16_t kLcmRequest = 320;
+
+// IP-Layer: route-extension waiters are held while relay state is
+// installed (ip.extend_wait < ip.state); the state lock is never held
+// across ND-Layer calls.
+inline constexpr std::uint16_t kIpExtendWait = 400;
+inline constexpr std::uint16_t kIpState = 410;
+
+// ND-Layer: an open waiter's lock is held across the whole open attempt
+// (nd.open_wait < nd.state < fabric, via close_channel on stale
+// attempts); the per-LVC transmit lock serialises fragment trains across
+// Endpoint::send (nd.tx < fabric).
+inline constexpr std::uint16_t kNdOpenWait = 500;
+inline constexpr std::uint16_t kNdState = 510;
+inline constexpr std::uint16_t kNdTx = 520;
+
+// Node identity (UAdd/phys snapshot): leaf below the layer locks.
+inline constexpr std::uint16_t kIdentity = 600;
+
+// simnet substrate: endpoint inbox and fabric core. The fabric never
+// holds its lock across Endpoint::enqueue and endpoints never call back
+// into the fabric under their inbox lock, so the two are unnested; both
+// sit below every Nucleus lock that reaches them (nd.tx, nd.open_wait).
+inline constexpr std::uint16_t kSimnetEndpoint = 700;
+inline constexpr std::uint16_t kSimnetFabric = 710;
+
+// Leaf infrastructure: acquired last, never held across anything.
+inline constexpr std::uint16_t kBlockingQueue = 800;
+inline constexpr std::uint16_t kLog = 900;
+inline constexpr std::uint16_t kMetricsRegistry = 910;
+}  // namespace lockrank
+
+namespace analysis {
+/// Process-wide count of detected rank inversions (same value the
+/// `analysis.lock_inversions` metric carries; readable without touching
+/// the metrics registry, e.g. from the validator's own failure paths).
+std::uint64_t lock_inversions();
+
+/// Number of ranked locks the calling thread currently holds.
+std::size_t held_lock_depth();
+
+// Internal hooks used by ntcs::Mutex (defined even when the validator is
+// compiled out, as empty inlines, so annotated.h stays the only
+// conditional surface).
+#ifdef NTCS_LOCK_RANK_CHECKS
+void note_acquire(const void* m, std::uint16_t rank, const char* name);
+void note_release(const void* m);
+#else
+inline void note_acquire(const void*, std::uint16_t, const char*) {}
+inline void note_release(const void*) {}
+#endif
+}  // namespace analysis
+
+// ---- the annotated mutex --------------------------------------------------
+
+/// A standard mutex that (a) carries Clang capability annotations and
+/// (b) participates in the runtime lock-hierarchy validator. Construct
+/// with a rank from ntcs::lockrank and a static-storage name.
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// Unranked (ordering-exempt) mutex — test scaffolding only.
+  Mutex() = default;
+  Mutex(std::uint16_t rank, const char* name) : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    analysis::note_acquire(this, rank_, name_);
+  }
+  void unlock() RELEASE() {
+    analysis::note_release(this);
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    analysis::note_acquire(this, rank_, name_);
+    return true;
+  }
+
+  std::uint16_t rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+  /// For code paths the static analysis cannot follow (e.g. a lock
+  /// handed through a callback): assert at analysis level that the
+  /// capability is held.
+  void assert_held() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+  std::uint16_t rank_ = lockrank::kUnranked;
+  const char* name_ = "unranked";
+};
+
+/// Scoped lock, the std::lock_guard analogue.
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~LockGuard() RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Relockable scoped lock, the std::unique_lock analogue — BasicLockable,
+/// so std::condition_variable_any can release/reacquire it (keeping the
+/// hierarchy validator's bookkeeping exact across waits).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) ACQUIRE(m) : mu_(&m), owned_(true) {
+    mu_->lock();
+  }
+  ~UniqueLock() RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() RELEASE() {
+    owned_ = false;
+    mu_->unlock();
+  }
+  bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex* mu_;
+  bool owned_;
+};
+
+/// Condition variable over ntcs::Mutex. std::condition_variable_any waits
+/// by calling UniqueLock::unlock()/lock(), so every blocking wait passes
+/// through the same rank bookkeeping as a plain acquisition. The wait
+/// overloads mirror the std ones used in this codebase. (The thread-safety
+/// analysis treats the lock as held across a wait — true at entry and
+/// exit, which is what GUARDED_BY cares about.)
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk); }
+
+  template <typename Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    cv_.wait(lk, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk, d);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lk, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) {
+    return cv_.wait_for(lk, d, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk, tp);
+  }
+
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(UniqueLock& lk,
+                  const std::chrono::time_point<Clock, Duration>& tp,
+                  Pred pred) {
+    return cv_.wait_until(lk, tp, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ntcs

@@ -22,12 +22,12 @@ Log& Log::instance() {
 }
 
 void Log::set_default_level(LogLevel lvl) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   default_level_ = lvl;
 }
 
 void Log::set_layer_level(std::string_view layer, LogLevel lvl) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (auto& [name, level] : layer_levels_) {
     if (name == layer) {
       level = lvl;
@@ -38,7 +38,7 @@ void Log::set_layer_level(std::string_view layer, LogLevel lvl) {
 }
 
 LogLevel Log::level_for(std::string_view layer) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (const auto& [name, level] : layer_levels_) {
     if (name == layer) return level;
   }
@@ -46,19 +46,19 @@ LogLevel Log::level_for(std::string_view layer) const {
 }
 
 void Log::set_capture(bool on, std::size_t ring_capacity) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   capture_ = on;
   ring_capacity_ = ring_capacity;
   if (!on) ring_.clear();
 }
 
 std::vector<LogRecord> Log::captured() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 void Log::clear_captured() {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ring_.clear();
 }
 
@@ -66,7 +66,7 @@ void Log::write(LogLevel lvl, std::string_view layer, std::string_view module,
                 std::string_view text) {
   bool to_stderr = false;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     LogLevel eff = default_level_;
     for (const auto& [name, level] : layer_levels_) {
       if (name == layer) {

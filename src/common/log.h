@@ -10,10 +10,11 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated.h"
 
 namespace ntcs {
 
@@ -56,12 +57,16 @@ class Log {
  private:
   Log() = default;
 
-  mutable std::mutex mu_;
-  LogLevel default_level_ = LogLevel::warn;
-  std::vector<std::pair<std::string, LogLevel>> layer_levels_;
-  bool capture_ = false;
-  std::size_t ring_capacity_ = 4096;
-  std::deque<LogRecord> ring_;
+  // Near-leaf rank: layers log from under their state locks (e.g. the
+  // ND-Layer warns about unknown channels while holding nd.state), so the
+  // sink lock must order after every layer lock; only stderr I/O happens
+  // beneath it (outside the lock).
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kLog, "common.log"};
+  LogLevel default_level_ GUARDED_BY(mu_) = LogLevel::warn;
+  std::vector<std::pair<std::string, LogLevel>> layer_levels_ GUARDED_BY(mu_);
+  bool capture_ GUARDED_BY(mu_) = false;
+  std::size_t ring_capacity_ GUARDED_BY(mu_) = 4096;
+  std::deque<LogRecord> ring_ GUARDED_BY(mu_);
 };
 
 /// Convenience front-end bound to one (layer, module) pair; cheap to copy.

@@ -14,7 +14,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -24,7 +24,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -35,7 +35,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot s;
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (const auto& [name, c] : counters_) {
     MetricValue v;
     v.kind = MetricKind::counter;

@@ -31,10 +31,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotated.h"
 
 namespace ntcs::metrics {
 
@@ -146,9 +147,14 @@ class MetricsRegistry {
   Snapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Leaf rank: instrumentation sites touch the registry from under any
+  // layer lock (first-touch metric creation), so nothing may be acquired
+  // beneath it. The returned Counter/Histogram references are lock-free.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kMetricsRegistry, "metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Process-wide shorthands for instrumentation sites.

@@ -6,12 +6,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/annotated.h"
 #include "common/error.h"
 
 namespace ntcs {
@@ -32,7 +31,7 @@ class BlockingQueue {
   /// or with closed after close().
   Status push(T item) {
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       if (closed_) return Status(Errc::closed, "queue closed");
       if (capacity_ != 0 && q_.size() >= capacity_) {
         return Status(Errc::no_resource, "queue full");
@@ -45,14 +44,14 @@ class BlockingQueue {
 
   /// Blocking dequeue; waits forever.
   Result<T> pop() {
-    std::unique_lock lk(mu_);
+    ntcs::UniqueLock lk(mu_);
     cv_.wait(lk, [&] { return !q_.empty() || closed_; });
     return pop_locked();
   }
 
   /// Dequeue with a relative timeout.
   Result<T> pop_for(std::chrono::nanoseconds timeout) {
-    std::unique_lock lk(mu_);
+    ntcs::UniqueLock lk(mu_);
     if (!cv_.wait_for(lk, timeout, [&] { return !q_.empty() || closed_; })) {
       return Error(Errc::timeout, "queue pop timed out");
     }
@@ -61,7 +60,7 @@ class BlockingQueue {
 
   /// Non-blocking dequeue.
   std::optional<T> try_pop() {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     if (q_.empty()) return std::nullopt;
     T item = std::move(q_.front());
     q_.pop_front();
@@ -71,26 +70,26 @@ class BlockingQueue {
   /// Close the queue; waiters wake, remaining items stay poppable.
   void close() {
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     return q_.size();
   }
 
   bool empty() const { return size() == 0; }
 
  private:
-  Result<T> pop_locked() {
+  Result<T> pop_locked() REQUIRES(mu_) {
     if (!q_.empty()) {
       T item = std::move(q_.front());
       q_.pop_front();
@@ -99,11 +98,13 @@ class BlockingQueue {
     return Error(Errc::closed, "queue closed");
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> q_;
+  // Leaf rank: queues are pushed/popped from under no other lock, and
+  // nothing is acquired while holding the queue lock.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kBlockingQueue, "common.queue"};
+  ntcs::CondVar cv_;
+  std::deque<T> q_ GUARDED_BY(mu_);
   std::size_t capacity_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ntcs

@@ -10,6 +10,12 @@
 // veneer." Three primitive classes (§1.3): basic communication (async
 // send, sync send/receive/reply, datagrams), resource location
 // (register/locate), and utilities (stats, ping, schema payload helpers).
+//
+// Concurrency (DESIGN.md §6): the ComMod is deliberately the one layer
+// with no lock of its own — it holds no mutable shared state (identity
+// updates are atomic swaps inside Identity). Every guarded table it
+// touches lives in the LCM/NSP layers below, so ALI calls enter the lock
+// hierarchy at lcm.state/nsp.state rank with nothing held above them.
 #pragma once
 
 #include <chrono>

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 
+#include "common/annotated.h"
 #include "convert/machine.h"
 #include "core/addr.h"
 
@@ -32,11 +32,11 @@ class Identity {
   const NetName& net() const { return net_; }
 
   PhysAddr phys() const {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     return phys_;
   }
   void set_phys(PhysAddr p) {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     phys_ = std::move(p);
   }
 
@@ -52,8 +52,10 @@ class Identity {
   convert::Arch arch_;
   NetName net_;
   std::atomic<std::uint64_t> uadd_raw_;
-  mutable std::mutex mu_;
-  PhysAddr phys_;
+  // Leaf below the layer locks: phys() is read during sends with no other
+  // lock held; set_phys comes from bind(), also lock-free above.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kIdentity, "core.identity"};
+  PhysAddr phys_ GUARDED_BY(mu_);
 };
 
 }  // namespace ntcs::core

@@ -75,7 +75,7 @@ ntcs::Status Gateway::register_with_ns(const WellKnownTable& wk) {
   auto uadd = via->nsp().register_module(info);
   if (!uadd) return uadd.error();
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     uadd_ = uadd.value();
   }
   // All attachments share the gateway's single identity.
@@ -95,7 +95,7 @@ void Gateway::stop() {
 GatewayRecord Gateway::record() const {
   GatewayRecord g;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     g.uadd = uadd_;
   }
   g.name = name_;
@@ -117,7 +117,7 @@ PrimeGatewayInfo Gateway::prime_info() const {
 }
 
 UAdd Gateway::uadd() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return uadd_;
 }
 
@@ -146,7 +146,7 @@ void Gateway::worker_main(const std::stop_token& st) {
 void Gateway::fail(const ExtendJob& job, ntcs::Errc code,
                    const std::string& text) {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.extends_failed;
   }
   (void)job.in->nd().send(
@@ -156,7 +156,7 @@ void Gateway::fail(const ExtendJob& job, ntcs::Errc code,
 
 void Gateway::process(const ExtendJob& job) {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.extends_handled;
   }
   if (job.body.route.empty()) {
@@ -193,7 +193,7 @@ void Gateway::process(const ExtendJob& job) {
   if (!sent.ok()) {
     outcome = sent;
   } else {
-    std::unique_lock wl(waiter->mu);
+    ntcs::UniqueLock wl(waiter->mu);
     if (!waiter->cv.wait_for(wl, std::chrono::seconds(8),
                              [&] { return waiter->result.has_value(); })) {
       outcome = ntcs::Status(ntcs::Errc::timeout, "onward EXTEND timed out");
@@ -214,7 +214,7 @@ void Gateway::process(const ExtendJob& job) {
 }
 
 Gateway::Stats Gateway::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return stats_;
 }
 

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotated.h"
 #include "common/queue.h"
 #include "core/node.h"
 
@@ -96,10 +97,12 @@ class Gateway : public GatewayHook {
   std::vector<std::unique_ptr<Node>> nodes_;
   ntcs::BlockingQueue<ExtendJob> jobs_;
   std::jthread worker_;
-  mutable std::mutex mu_;
-  UAdd uadd_;
-  Stats stats_;
-  bool running_ = false;
+  // gateway.state: leaf-scoped (uadd/stats snapshots only), but ranked
+  // near the top because it sits beside the DRTS module locks.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kGatewayState, "gateway.state"};
+  UAdd uadd_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ntcs::core

@@ -18,36 +18,36 @@ IpLayer::IpLayer(NdLayer& nd, std::shared_ptr<Identity> identity,
       rng_(ntcs::seed_from(identity_->name(), 0x49504C59ULL /* "IPLY" */)) {}
 
 void IpLayer::set_topology_source(TopologySource src) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   topo_source_ = std::move(src);
 }
 
 void IpLayer::set_gateway(GatewayHook* gw) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   gateway_ = gw;
 }
 
 void IpLayer::invalidate_topology() {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   topo_cache_.reset();
 }
 
 void IpLayer::set_prime_gateways(std::vector<GatewayRecord> primes) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   static_gws_ = std::move(primes);
 }
 
 ntcs::Result<std::vector<GatewayRecord>> IpLayer::topology(bool static_only) {
   TopologySource src;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     if (static_only) return static_gws_;
     if (topo_cache_) return *topo_cache_;
     src = topo_source_;
   }
   std::vector<GatewayRecord> merged;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     merged = static_gws_;
   }
   if (src) {
@@ -67,7 +67,7 @@ ntcs::Result<std::vector<GatewayRecord>> IpLayer::topology(bool static_only) {
       }
       static metrics::Counter& m_topo = metrics::counter("ip.topology_fetches");
       m_topo.inc();
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       ++stats_.topology_fetches;
       topo_cache_ = merged;
       return merged;
@@ -83,13 +83,13 @@ ntcs::Result<std::vector<GatewayRecord>> IpLayer::topology(bool static_only) {
 }
 
 void IpLayer::blacklist_hop(const std::string& phys) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   hop_blacklist_[phys] =
       std::chrono::steady_clock::now() + cfg_.gateway_blacklist;
 }
 
 bool IpLayer::hop_blacklisted(const std::string& phys) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = hop_blacklist_.find(phys);
   return it != hop_blacklist_.end() &&
          it->second > std::chrono::steady_clock::now();
@@ -177,7 +177,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
     if (attempt != 0) {
       std::chrono::nanoseconds delay;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         delay = backoff.next(rng_);
       }
       std::this_thread::sleep_for(delay);
@@ -212,7 +212,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
     h.lvc = lvc.value();
     std::shared_ptr<ExtendWait> waiter;
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       h.ivc = next_ivc_++;
       ivcs_[h] = IvcState{IvcRole::originator, false};
     }
@@ -225,7 +225,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
     if (!sent.ok()) {
       outcome = sent;
     } else {
-      std::unique_lock wl(waiter->mu);
+      ntcs::UniqueLock wl(waiter->mu);
       if (!waiter->cv.wait_for(wl, cfg_.extend_timeout,
                                [&] { return waiter->result.has_value(); })) {
         outcome = ntcs::Status(ntcs::Errc::timeout, "IVC extend timed out");
@@ -236,7 +236,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
     unregister_extend_waiter(h);
     if (outcome.ok()) {
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto it = ivcs_.find(h);
         if (it != ivcs_.end()) it->second.established = true;
         ++stats_.ivcs_opened;
@@ -248,7 +248,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
       return h;
     }
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       ivcs_.erase(h);
       ++stats_.extend_failures;
     }
@@ -258,7 +258,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
     // and nothing else multiplexes on it yet.
     bool lvc_in_use = false;
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       for (const auto& [other, st] : ivcs_) {
         if (other.lvc == h.lvc) {
           lvc_in_use = true;
@@ -289,7 +289,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
 
 ntcs::Status IpLayer::send(IvcHandle h, ntcs::BytesView lcm_msg) {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = ivcs_.find(h);
     if (it == ivcs_.end() || !it->second.established) {
       return ntcs::Status(ntcs::Errc::address_fault, "IVC is gone");
@@ -298,7 +298,7 @@ ntcs::Status IpLayer::send(IvcHandle h, ntcs::BytesView lcm_msg) {
   auto st = nd_.send(h.lvc, wire::encode_ip_data(h.ivc, lcm_msg));
   if (!st.ok() && st.code() != ntcs::Errc::too_big) {
     // The circuit is dead; forget it so the LCM-Layer re-establishes.
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ivcs_.erase(h);
   }
   return st;
@@ -306,7 +306,7 @@ ntcs::Status IpLayer::send(IvcHandle h, ntcs::BytesView lcm_msg) {
 
 ntcs::Status IpLayer::close_ivc(IvcHandle h) {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     if (ivcs_.erase(h) == 0) {
       return ntcs::Status(ntcs::Errc::not_found, "no such IVC");
     }
@@ -319,29 +319,29 @@ ntcs::Status IpLayer::close_ivc(IvcHandle h) {
 std::shared_ptr<IpLayer::ExtendWait> IpLayer::register_extend_waiter(
     IvcHandle h) {
   auto w = std::make_shared<ExtendWait>();
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   extend_waiters_[h] = w;
   return w;
 }
 
 void IpLayer::unregister_extend_waiter(IvcHandle h) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   extend_waiters_.erase(h);
 }
 
 void IpLayer::add_relay(IvcHandle in, IpLayer* out_ip, IvcHandle out) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   relays_[in] = RelayTarget{out_ip, out};
 }
 
 void IpLayer::mark_established(IvcHandle h) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = ivcs_.find(h);
   if (it != ivcs_.end()) it->second.established = true;
 }
 
 void IpLayer::remove_relay_entry(IvcHandle h) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   relays_.erase(h);
 }
 
@@ -372,7 +372,7 @@ std::vector<IpEvent> IpLayer::on_lvc_closed(LvcId lvc) {
   std::vector<std::pair<RelayTarget, IvcHandle>> dead_relays;
   std::vector<std::shared_ptr<ExtendWait>> failed_waiters;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     for (auto it = ivcs_.begin(); it != ivcs_.end();) {
       if (it->first.lvc == lvc) {
         IpEvent e;
@@ -403,7 +403,7 @@ std::vector<IpEvent> IpLayer::on_lvc_closed(LvcId lvc) {
     }
   }
   for (auto& w : failed_waiters) {
-    std::lock_guard wl(w->mu);
+    ntcs::LockGuard wl(w->mu);
     w->result = ntcs::Status(ntcs::Errc::address_fault, "LVC died");
     w->cv.notify_all();
   }
@@ -426,7 +426,7 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
       bool is_relay = false;
       bool is_local = false;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto rit = relays_.find(h);
         if (rit != relays_.end()) {
           relay = rit->second;
@@ -461,7 +461,7 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
       if (env.extend.route.empty()) {
         // We are the destination: accept the inbound circuit.
         {
-          std::lock_guard lk(mu_);
+          ntcs::LockGuard lk(mu_);
           ivcs_[h] = IvcState{IvcRole::terminal, true};
           ++stats_.ivcs_accepted;
         }
@@ -470,7 +470,7 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
       }
       GatewayHook* gw = nullptr;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         gw = gateway_;
       }
       if (gw == nullptr) {
@@ -489,12 +489,12 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
     case wire::IpKind::extend_fail: {
       std::shared_ptr<ExtendWait> waiter;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto it = extend_waiters_.find(h);
         if (it != extend_waiters_.end()) waiter = it->second;
       }
       if (waiter) {
-        std::lock_guard wl(waiter->mu);
+        ntcs::LockGuard wl(waiter->mu);
         if (env.kind == wire::IpKind::extend_ok) {
           waiter->result = ntcs::Status::success();
         } else {
@@ -510,7 +510,7 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
       bool is_relay = false;
       bool was_local = false;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto rit = relays_.find(h);
         if (rit != relays_.end()) {
           relay = rit->second;
@@ -540,7 +540,7 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
 }
 
 IpLayer::Stats IpLayer::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return stats_;
 }
 

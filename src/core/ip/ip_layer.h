@@ -15,15 +15,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated.h"
 #include "common/backoff.h"
 #include "common/bytes.h"
 #include "common/error.h"
@@ -141,9 +140,11 @@ class IpLayer {
 
   // ---- gateway support (called from Gateway worker threads) -------------
   struct ExtendWait {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<ntcs::Status> result;
+    // ip.extend_wait: the gateway worker holds it across the whole EXTEND
+    // round trip, during which relay state is installed under ip.state.
+    ntcs::Mutex mu{ntcs::lockrank::kIpExtendWait, "ip.extend_wait"};
+    ntcs::CondVar cv;
+    std::optional<ntcs::Status> result GUARDED_BY(mu);
   };
   std::shared_ptr<ExtendWait> register_extend_waiter(IvcHandle h);
   void unregister_extend_waiter(IvcHandle h);
@@ -202,21 +203,24 @@ class IpLayer {
   NetName local_net_;
   IpConfig cfg_;
   ntcs::LayerLog log_;
-  ntcs::Rng rng_;  // extend-retry jitter; guarded by mu_
 
-  mutable std::mutex mu_;
-  std::unordered_map<IvcHandle, IvcState, IvcHandleHash> ivcs_;
-  std::unordered_map<IvcHandle, RelayTarget, IvcHandleHash> relays_;
+  // ip.state: leaf within the Nucleus proper — never held across ND-Layer
+  // calls (routes are computed from copies; sends happen after release).
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kIpState, "ip.state"};
+  ntcs::Rng rng_ GUARDED_BY(mu_);  // extend-retry jitter
+  std::unordered_map<IvcHandle, IvcState, IvcHandleHash> ivcs_ GUARDED_BY(mu_);
+  std::unordered_map<IvcHandle, RelayTarget, IvcHandleHash> relays_
+      GUARDED_BY(mu_);
   std::unordered_map<IvcHandle, std::shared_ptr<ExtendWait>, IvcHandleHash>
-      extend_waiters_;
-  TopologySource topo_source_;
-  std::vector<GatewayRecord> static_gws_;
-  std::optional<std::vector<GatewayRecord>> topo_cache_;
+      extend_waiters_ GUARDED_BY(mu_);
+  TopologySource topo_source_ GUARDED_BY(mu_);
+  std::vector<GatewayRecord> static_gws_ GUARDED_BY(mu_);
+  std::optional<std::vector<GatewayRecord>> topo_cache_ GUARDED_BY(mu_);
   std::unordered_map<std::string, std::chrono::steady_clock::time_point>
-      hop_blacklist_;
-  GatewayHook* gateway_ = nullptr;
-  std::uint64_t next_ivc_ = 1;
-  Stats stats_;
+      hop_blacklist_ GUARDED_BY(mu_);
+  GatewayHook* gateway_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t next_ivc_ GUARDED_BY(mu_) = 1;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace ntcs::core

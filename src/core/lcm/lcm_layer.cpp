@@ -18,15 +18,18 @@ struct LcmSendWindow {
     bool admitted = false;
   };
 
-  std::mutex mu;
-  std::condition_variable cv;
-  int depth = 1;
-  int in_flight = 0;
-  bool closed = false;
-  std::deque<std::shared_ptr<Waiter>> queue;
+  // lcm.window: taken strictly after lcm.state is released and never
+  // nested with the per-request lock — admission and completion touch the
+  // two sequentially.
+  ntcs::Mutex mu{ntcs::lockrank::kLcmWindow, "lcm.window"};
+  ntcs::CondVar cv;
+  int depth GUARDED_BY(mu) = 1;
+  int in_flight GUARDED_BY(mu) = 0;
+  bool closed GUARDED_BY(mu) = false;
+  std::deque<std::shared_ptr<Waiter>> queue GUARDED_BY(mu);
 
-  /// mu held. Admit queued waiters while capacity remains.
-  void grant_locked(metrics::Histogram& depth_h) {
+  /// Admit queued waiters while capacity remains.
+  void grant_locked(metrics::Histogram& depth_h) REQUIRES(mu) {
     while (!queue.empty() && in_flight < depth) {
       queue.front()->admitted = true;
       queue.pop_front();
@@ -51,9 +54,10 @@ struct PendingRequest {
 
   std::uint32_t req_id = 0;  // current correlation ID (fresh per retry)
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::optional<ntcs::Result<Reply>> result;
+  // lcm.request: the reply rendezvous; leaf among the LCM locks.
+  ntcs::Mutex mu{ntcs::lockrank::kLcmRequest, "lcm.request"};
+  ntcs::CondVar cv;
+  std::optional<ntcs::Result<Reply>> result GUARDED_BY(mu);
   std::atomic<std::uint64_t> via_lvc{0};
   std::atomic<std::uint64_t> via_ivc{0};
 
@@ -107,27 +111,27 @@ LcmLayer::LcmLayer(IpLayer& ip, std::shared_ptr<Identity> identity,
       rng_(ntcs::seed_from(identity_->name(), 0x4C434D4CULL /* "LCML" */)) {}
 
 void LcmLayer::set_resolver(Resolver* r) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   resolver_ = r;
 }
 
 void LcmLayer::set_time_source(TimeSource t) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   time_source_ = std::move(t);
 }
 
 void LcmLayer::set_monitor_hook(MonitorHook m) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   monitor_hook_ = std::move(m);
 }
 
 void LcmLayer::set_error_hook(ErrorHook e) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   error_hook_ = std::move(e);
 }
 
 void LcmLayer::preload_well_known(const WellKnownTable& wk) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   if (wk.name_server_phys.valid()) {
     ns_candidates_.clear();
     ns_candidate_idx_ = 0;
@@ -151,13 +155,13 @@ void LcmLayer::preload_well_known(const WellKnownTable& wk) {
 }
 
 void LcmLayer::cache_destination(UAdd uadd, ResolvedDest dest) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ip_.nd().cache_phys(uadd, dest.phys);
   resolved_cache_[uadd] = std::move(dest);
 }
 
 UAdd LcmLayer::chase_forward(UAdd dst) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   UAdd cur = dst;
   for (int hops = 0; hops < 16; ++hops) {
     auto it = forwards_.find(cur);
@@ -176,7 +180,7 @@ ntcs::Result<ResolvedDest> LcmLayer::resolved_for(UAdd dst) {
   static metrics::Counter& m_misses = metrics::counter("nsp.cache_misses");
   Resolver* resolver = nullptr;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = resolved_cache_.find(dst);
     if (it != resolved_cache_.end()) {
       m_hits.inc();
@@ -192,7 +196,7 @@ ntcs::Result<ResolvedDest> LcmLayer::resolved_for(UAdd dst) {
   }
   auto rd = resolver->resolve(dst);  // recursive naming-service call (§3.1)
   if (!rd) return rd.error();
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   resolved_cache_[dst] = rd.value();
   ip_.nd().cache_phys(dst, rd.value().phys);
   return rd.value();
@@ -224,7 +228,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     m_trips.inc();
     ErrorHook hook;
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       ++stats_.recursion_trips;
       hook = error_hook_;
     }
@@ -248,7 +252,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
       m_backoffs.inc();
       std::chrono::nanoseconds delay;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         delay = backoff.next(rng_);
       }
       std::this_thread::sleep_for(delay);
@@ -260,7 +264,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     IvcHandle h;
     bool have = false;
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       auto it = conns_.find(cur);
       if (it != conns_.end()) {
         h = it->second;
@@ -293,7 +297,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
           // here first and left the destination in reconnect_pending_.
           bool reconnected = attempt > 0;
           {
-            std::lock_guard lk(mu_);
+            ntcs::LockGuard lk(mu_);
             conns_[cur] = h;
             if (reconnect_pending_.erase(cur) > 0) reconnected = true;
             if (reconnected) ++stats_.reconnects;
@@ -337,7 +341,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     m_faults.inc();
     ErrorHook error_hook;
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       ++stats_.address_faults;
       conns_.erase(cur);
       resolved_cache_.erase(cur);
@@ -363,7 +367,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
         // Re-install a well-known entry so the reconnect can proceed
         // without a resolver — rotating to the next Name Server candidate
         // (primary, then replicas) on each fault.
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         if (!ns_candidates_.empty()) {
           if (attempt > 0) ++ns_candidate_idx_;
           const ResolvedDest& cand =
@@ -377,7 +381,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
 
     Resolver* resolver = nullptr;
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       resolver = resolver_;
     }
     if (resolver == nullptr) return last;
@@ -385,7 +389,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     if (fwd) {
       static metrics::Counter& m_reloc = metrics::counter("lcm.relocations");
       m_reloc.inc();
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       forwards_[cur] = fwd.value();
       ++stats_.relocations;
       log_.info("relocated " + cur.to_string() + " -> " +
@@ -410,7 +414,7 @@ ntcs::Status LcmLayer::send(UAdd dst, const Payload& p, SendOptions opts) {
   TimeSource time_source;
   MonitorHook monitor;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.sends;
     if (!opts.internal) {
       time_source = time_source_;
@@ -438,7 +442,7 @@ ntcs::Status LcmLayer::send(UAdd dst, const Payload& p, SendOptions opts) {
 }
 
 std::shared_ptr<LcmSendWindow> LcmLayer::window_for(UAdd dst) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto& w = windows_[dst];
   if (!w) {
     w = std::make_shared<LcmSendWindow>();
@@ -450,7 +454,7 @@ std::shared_ptr<LcmSendWindow> LcmLayer::window_for(UAdd dst) {
 ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
   static metrics::Counter& m_stalls = metrics::counter("lcm.window_stalls");
   LcmSendWindow& w = *req.window;
-  std::unique_lock lk(w.mu);
+  ntcs::UniqueLock lk(w.mu);
   if (w.closed) {
     return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
   }
@@ -487,7 +491,7 @@ void LcmLayer::release_window(PendingRequest& req) {
   if (!req.window || !req.window_held.exchange(false)) return;
   LcmSendWindow& w = *req.window;
   {
-    std::lock_guard lk(w.mu);
+    ntcs::LockGuard lk(w.mu);
     --w.in_flight;
     w.grant_locked(pipeline_depth_hist());
   }
@@ -498,21 +502,21 @@ ntcs::Status LcmLayer::issue(const RequestTicket& t) {
   if (auto st = acquire_window(*t); !st.ok()) return st;
   const std::uint32_t req_id = next_req_id_.fetch_add(1);
   {
-    std::lock_guard sl(t->mu);
+    ntcs::LockGuard sl(t->mu);
     t->result.reset();
   }
   t->req_id = req_id;
   t->via_lvc.store(0);
   t->via_ivc.store(0);
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     pending_[req_id] = t;
   }
   auto sent = send_message(t->dst, wire::LcmKind::request, req_id, t->payload,
                            t->opts, cfg_.fault_retries);
   if (!sent) {
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       pending_.erase(req_id);
     }
     release_window(*t);
@@ -532,7 +536,7 @@ ntcs::Result<RequestTicket> LcmLayer::request_async(UAdd dst, const Payload& p,
   count_app_send(m_requests, opts.internal);
   TimeSource time_source;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.requests;
     if (!opts.internal) time_source = time_source_;
   }
@@ -563,7 +567,7 @@ ntcs::Result<Reply> LcmLayer::await(const RequestTicket& t) {
     ntcs::Result<Reply> outcome =
         ntcs::Error(ntcs::Errc::timeout, "reply timed out");
     {
-      std::unique_lock sl(t->mu);
+      ntcs::UniqueLock sl(t->mu);
       if (t->cv.wait_until(sl, t->deadline,
                            [&] { return t->result.has_value(); })) {
         outcome = std::move(*t->result);
@@ -571,13 +575,13 @@ ntcs::Result<Reply> LcmLayer::await(const RequestTicket& t) {
     }
     release_window(*t);
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       pending_.erase(t->req_id);
     }
     if (outcome.ok()) {
       MonitorHook monitor;
       if (!t->opts.internal) {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         monitor = monitor_hook_;
       }
       if (monitor) {
@@ -622,7 +626,7 @@ ntcs::Status LcmLayer::reply(const ReplyCtx& ctx, const Payload& p) {
     return ntcs::Status(ntcs::Errc::bad_argument, "invalid reply context");
   }
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.replies;
   }
   static metrics::Counter& m_replies = metrics::counter("lcm.replies");
@@ -650,7 +654,7 @@ ntcs::Status LcmLayer::dgram(UAdd dst, const Payload& p, SendOptions opts) {
     return ntcs::Status(ntcs::Errc::bad_argument, "invalid destination");
   }
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.dgrams;
   }
   static metrics::Counter& m_dgrams = metrics::counter("lcm.dgrams");
@@ -682,12 +686,12 @@ void LcmLayer::on_ip_event(IpEvent ev) {
         auto peer = ip_.nd().peer(ev.via.lvc);
         if (peer && peer->uadd.is_temporary()) {
           ip_.nd().promote_peer(ev.via.lvc, m.header.src);
-          std::lock_guard lk(mu_);
+          ntcs::LockGuard lk(mu_);
           ++stats_.tadds_promoted;
         }
         // Cache the reverse mapping so sends to this peer reuse the
         // inbound circuit (and pick up its post-relocation incarnation).
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         conns_[m.header.src] = ev.via;
       }
 
@@ -704,7 +708,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
         case wire::LcmKind::data:
         case wire::LcmKind::dgram: {
           {
-            std::lock_guard lk(mu_);
+            ntcs::LockGuard lk(mu_);
             ++stats_.received;
           }
           m_received.inc();
@@ -715,7 +719,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
           in.is_request = true;
           in.reply_ctx = ReplyCtx{ev.via, m.header.req_id, m.header.src};
           {
-            std::lock_guard lk(mu_);
+            ntcs::LockGuard lk(mu_);
             ++stats_.received;
           }
           m_received.inc();
@@ -742,7 +746,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
       // could cross-wire or double-complete requests.
       std::vector<RequestTicket> broken;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         for (auto it = conns_.begin(); it != conns_.end();) {
           if (it->second == ev.via) {
             reconnect_pending_.insert(it->first);
@@ -760,7 +764,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
       }
       for (auto& t : broken) {
         {
-          std::lock_guard sl(t->mu);
+          ntcs::LockGuard sl(t->mu);
           if (!t->result) {
             t->result = ntcs::Error(ntcs::Errc::address_fault,
                                     "circuit closed while awaiting reply");
@@ -777,13 +781,13 @@ void LcmLayer::on_ip_event(IpEvent ev) {
 void LcmLayer::complete(std::uint32_t req_id, ntcs::Result<Reply> result) {
   RequestTicket t;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = pending_.find(req_id);
     if (it == pending_.end()) return;  // late reply after timeout: dropped
     t = it->second;
   }
   {
-    std::lock_guard sl(t->mu);
+    ntcs::LockGuard sl(t->mu);
     if (!t->result) {
       t->result = std::move(result);
       t->cv.notify_all();
@@ -799,7 +803,7 @@ void LcmLayer::shutdown() {
   std::vector<RequestTicket> pending;
   std::vector<std::shared_ptr<LcmSendWindow>> windows;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     for (auto& [id, t] : pending_) pending.push_back(t);
     for (auto& [dst, w] : windows_) windows.push_back(w);
   }
@@ -807,14 +811,14 @@ void LcmLayer::shutdown() {
   // request will never free.
   for (auto& w : windows) {
     {
-      std::lock_guard lk(w->mu);
+      ntcs::LockGuard lk(w->mu);
       w->closed = true;
     }
     w->cv.notify_all();
   }
   for (auto& t : pending) {
     {
-      std::lock_guard sl(t->mu);
+      ntcs::LockGuard sl(t->mu);
       if (!t->result) {
         t->result =
             ntcs::Error(ntcs::Errc::shutdown, "module shutting down");
@@ -828,7 +832,7 @@ void LcmLayer::shutdown() {
 UAdd LcmLayer::current_target(UAdd dst) { return chase_forward(dst); }
 
 LcmLayer::Stats LcmLayer::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   Stats out = stats_;
   out.window_stalls = window_stalls_.load(std::memory_order_relaxed);
   return out;

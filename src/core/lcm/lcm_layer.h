@@ -23,15 +23,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/annotated.h"
 #include "common/backoff.h"
 #include "common/bytes.h"
 #include "common/error.h"
@@ -269,32 +268,37 @@ class LcmLayer {
   std::shared_ptr<Identity> identity_;
   LcmConfig cfg_;
   ntcs::LayerLog log_;
-  ntcs::Rng rng_;  // fault-retry jitter; guarded by mu_
 
-  mutable std::mutex mu_;
-  std::unordered_map<UAdd, IvcHandle> conns_;
+  // lcm.state: outermost Nucleus lock — held while resolution results are
+  // seeded into the ND physical cache (lcm.state < nd.state); never held
+  // across IP-Layer opens/sends or window/request waits.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kLcmState, "lcm.state"};
+  ntcs::Rng rng_ GUARDED_BY(mu_);  // fault-retry jitter
+  std::unordered_map<UAdd, IvcHandle> conns_ GUARDED_BY(mu_);
   // Destinations whose circuit died underneath us (ivc_closed): the next
   // successful open toward one of these counts as a reconnect even when the
   // closed notification beat the send to the conns_ cleanup.
-  std::unordered_set<UAdd> reconnect_pending_;
-  std::unordered_map<UAdd, UAdd> forwards_;
-  std::unordered_map<UAdd, ResolvedDest> resolved_cache_;
+  std::unordered_set<UAdd> reconnect_pending_ GUARDED_BY(mu_);
+  std::unordered_map<UAdd, UAdd> forwards_ GUARDED_BY(mu_);
+  std::unordered_map<UAdd, ResolvedDest> resolved_cache_ GUARDED_BY(mu_);
   /// The pending-request table: correlation ID -> in-flight request. A
   /// retried request re-enters under its fresh ID; await() removes it.
-  std::unordered_map<std::uint32_t, RequestTicket> pending_;
+  std::unordered_map<std::uint32_t, RequestTicket> pending_ GUARDED_BY(mu_);
   /// Per-destination send windows (a destination ≈ one circuit; conns_
   /// is keyed the same way).
-  std::unordered_map<UAdd, std::shared_ptr<LcmSendWindow>> windows_;
+  std::unordered_map<UAdd, std::shared_ptr<LcmSendWindow>> windows_
+      GUARDED_BY(mu_);
   std::atomic<std::uint64_t> window_stalls_{0};
-  std::vector<ResolvedDest> ns_candidates_;  // primary first, then replicas
-  std::size_t ns_candidate_idx_ = 0;
+  std::vector<ResolvedDest> ns_candidates_
+      GUARDED_BY(mu_);  // primary first, then replicas
+  std::size_t ns_candidate_idx_ GUARDED_BY(mu_) = 0;
   Resolver* resolver_ = nullptr;
   TimeSource time_source_;
   MonitorHook monitor_hook_;
   ErrorHook error_hook_;
   std::atomic<std::uint32_t> next_req_id_{1};
   ntcs::BlockingQueue<Incoming> app_queue_;
-  Stats stats_;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace ntcs::core

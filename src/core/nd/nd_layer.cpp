@@ -38,7 +38,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     return ntcs::Error(ntcs::Errc::bad_argument, "ND-Layer not bound");
   }
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.opens_initiated;
   }
   static metrics::Counter& m_opens = metrics::counter("nd.opens");
@@ -56,7 +56,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     if (attempt != 0) {
       std::chrono::nanoseconds delay;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         delay = backoff.next(rng_);
         ++stats_.open_retries;
       }
@@ -77,7 +77,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     const LvcId lvc = chan.value();
     auto waiter = std::make_shared<OpenWaiter>();
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       LvcState st;
       st.initiated_by_us = true;
       st.peer.phys = dst;
@@ -94,7 +94,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     if (!sent.ok()) {
       last = sent.error();
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         lvcs_.erase(lvc);
         open_waiters_.erase(lvc);
       }
@@ -104,11 +104,11 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
       (void)endpoint_->close_channel(lvc);
       continue;
     }
-    std::unique_lock wl(waiter->mu);
+    ntcs::UniqueLock wl(waiter->mu);
     const bool got = waiter->cv.wait_for(
         wl, cfg_.open_ack_timeout, [&] { return waiter->result.has_value(); });
     {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       open_waiters_.erase(lvc);
     }
     if (!got) {
@@ -119,7 +119,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     if (!waiter->result->ok()) {
       last = waiter->result->error();
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         lvcs_.erase(lvc);
       }
       // Usually the channel died (the waiter was failed by a `closed`
@@ -144,7 +144,7 @@ ntcs::Status NdLayer::send(LvcId lvc, ntcs::BytesView ip_envelope) {
     return ntcs::Status(ntcs::Errc::bad_argument, "ND-Layer not bound");
   }
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = lvcs_.find(lvc);
     if (it == lvcs_.end()) {
       return ntcs::Status(ntcs::Errc::address_fault, "LVC is gone");
@@ -162,7 +162,7 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
   // fragment with the circuit's running frame number.
   std::shared_ptr<TxState> tx_state;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = lvcs_.find(lvc);
     if (it != lvcs_.end()) tx_state = it->second.tx;
   }
@@ -175,7 +175,7 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
       metrics::counter("nd.frag_copies_avoided");
   std::size_t frames = 0;
   {
-    std::lock_guard tx(tx_state->mu);
+    ntcs::LockGuard tx(tx_state->mu);
     // Zero-copy fragmentation: each frame is a small stack-encoded header
     // plus a view into the original message, gathered by the IPCS into the
     // delivery buffer. No per-fragment Bytes is ever materialised.
@@ -198,7 +198,7 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
   }
   m_no_copy.inc(frames);
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     stats_.frag_copies_avoided += frames;
   }
   return ntcs::Status::success();
@@ -206,7 +206,7 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
 
 ntcs::Status NdLayer::close(LvcId lvc) {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     if (lvcs_.erase(lvc) == 0) {
       return ntcs::Status(ntcs::Errc::not_found, "no such LVC");
     }
@@ -234,7 +234,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
       // by open() — overwriting it here would reset the transmit sequence
       // counter and the reassembler mid-handshake, so only create state
       // for channels some other endpoint initiated.
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       auto [it, inserted] = lvcs_.try_emplace(d.chan);
       if (inserted) it->second.peer.phys = PhysAddr{d.peer_phys};
       return std::optional<NdEvent>{};
@@ -243,7 +243,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
       std::shared_ptr<OpenWaiter> waiter;
       bool known = false;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         known = lvcs_.erase(d.chan) != 0;
         if (known) ++stats_.lvcs_closed;
         auto wit = open_waiters_.find(d.chan);
@@ -253,7 +253,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
         }
       }
       if (waiter) {
-        std::lock_guard wl(waiter->mu);
+        ntcs::LockGuard wl(waiter->mu);
         waiter->result =
             ntcs::Error(ntcs::Errc::address_fault, "channel died during open");
         waiter->cv.notify_all();
@@ -270,7 +270,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
           metrics::counter("nd.frames_resynced");
       ntcs::Bytes complete;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto it = lvcs_.find(d.chan);
         if (it == lvcs_.end()) {
           return std::optional<NdEvent>{};  // stray frame after close
@@ -317,7 +317,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
   switch (m.kind) {
     case wire::NdKind::open: {
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto it = lvcs_.find(lvc);
         if (it == lvcs_.end()) return std::optional<NdEvent>{};
         it->second.peer.uadd = m.open.src_uadd;
@@ -345,7 +345,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
       std::shared_ptr<OpenWaiter> waiter;
       PeerInfo info;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         auto it = lvcs_.find(lvc);
         if (it == lvcs_.end()) return std::optional<NdEvent>{};
         it->second.peer.uadd = m.ack.uadd;
@@ -357,7 +357,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
         if (wit != open_waiters_.end()) waiter = wit->second;
       }
       if (waiter) {
-        std::lock_guard wl(waiter->mu);
+        ntcs::LockGuard wl(waiter->mu);
         waiter->result = info;
         waiter->cv.notify_all();
       }
@@ -365,7 +365,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
     }
     case wire::NdKind::payload: {
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         ++stats_.messages_received;
       }
       static metrics::Counter& m_recv = metrics::counter("nd.msgs_received");
@@ -381,14 +381,14 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_message(LvcId lvc,
 }
 
 std::optional<PeerInfo> NdLayer::peer(LvcId lvc) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = lvcs_.find(lvc);
   if (it == lvcs_.end() || !it->second.open_complete) return std::nullopt;
   return it->second.peer;
 }
 
 void NdLayer::promote_peer(LvcId lvc, UAdd real) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = lvcs_.find(lvc);
   if (it == lvcs_.end()) return;
   if (it->second.peer.uadd.is_temporary() && !real.is_temporary()) {
@@ -404,19 +404,19 @@ void NdLayer::promote_peer(LvcId lvc, UAdd real) {
 
 void NdLayer::cache_phys(UAdd uadd, PhysAddr phys) {
   if (!uadd.valid() || uadd.is_temporary()) return;
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   phys_cache_[uadd] = std::move(phys);
 }
 
 std::optional<PhysAddr> NdLayer::cached_phys(UAdd uadd) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = phys_cache_.find(uadd);
   if (it == phys_cache_.end()) return std::nullopt;
   return it->second;
 }
 
 void NdLayer::uncache_phys(UAdd uadd) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   phys_cache_.erase(uadd);
 }
 
@@ -425,7 +425,7 @@ void NdLayer::shutdown() {
 }
 
 NdLayer::Stats NdLayer::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return stats_;
 }
 

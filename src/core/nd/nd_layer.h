@@ -20,14 +20,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotated.h"
 #include "common/backoff.h"
 #include "common/bytes.h"
 #include "common/error.h"
@@ -155,8 +154,10 @@ class NdLayer {
   /// fragments), and `seq` is the running frame number stamped into each
   /// fragment word for the receiver's duplicate/overtake detection.
   struct TxState {
-    std::mutex mu;
-    std::uint32_t seq = 0;
+    // nd.tx: held across Endpoint::send for a whole fragment train, so it
+    // orders before the fabric core lock and after nd.state.
+    ntcs::Mutex mu{ntcs::lockrank::kNdTx, "nd.tx"};
+    std::uint32_t seq GUARDED_BY(mu) = 0;
   };
   struct LvcState {
     PeerInfo peer;
@@ -166,9 +167,12 @@ class NdLayer {
     std::shared_ptr<TxState> tx = std::make_shared<TxState>();
   };
   struct OpenWaiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<ntcs::Result<PeerInfo>> result;
+    // nd.open_wait: held across a whole open attempt, during which the
+    // state lock is taken (twice) and stale channels are closed through
+    // the fabric — hence ranked before both.
+    ntcs::Mutex mu{ntcs::lockrank::kNdOpenWait, "nd.open_wait"};
+    ntcs::CondVar cv;
+    std::optional<ntcs::Result<PeerInfo>> result GUARDED_BY(mu);
   };
 
   ntcs::Result<std::optional<NdEvent>> handle_delivery(simnet::Delivery d);
@@ -183,15 +187,19 @@ class NdLayer {
   std::shared_ptr<Identity> identity_;
   NdConfig cfg_;
   ntcs::LayerLog log_;
-  ntcs::Rng rng_;  // retry jitter; guarded by mu_
 
   std::shared_ptr<simnet::Endpoint> endpoint_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<LvcId, LvcState> lvcs_;
-  std::unordered_map<LvcId, std::shared_ptr<OpenWaiter>> open_waiters_;
-  std::unordered_map<UAdd, PhysAddr> phys_cache_;
-  Stats stats_;
+  // nd.state: ordered after lcm.state (the LCM-Layer seeds the phys cache
+  // while holding its table lock) and before the simnet locks; never held
+  // across Endpoint::send/connect.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kNdState, "nd.state"};
+  ntcs::Rng rng_ GUARDED_BY(mu_);  // retry jitter
+  std::unordered_map<LvcId, LvcState> lvcs_ GUARDED_BY(mu_);
+  std::unordered_map<LvcId, std::shared_ptr<OpenWaiter>> open_waiters_
+      GUARDED_BY(mu_);
+  std::unordered_map<UAdd, PhysAddr> phys_cache_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace ntcs::core

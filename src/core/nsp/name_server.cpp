@@ -30,7 +30,7 @@ ntcs::Status NameServer::start() {
   // Self-entry in the database so "name-server" is locatable by name.
   // Replicas start empty; the primary's snapshot fills them.
   if (role_ == NsRole::primary) {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     DbRecord self;
     self.uadd = kNameServerUAdd;
     self.name = node_->identity().name();
@@ -72,7 +72,7 @@ void NameServer::serve(const std::stop_token& st) {
     auto req = nsp::decode_request(in.value().payload);
     ntcs::Bytes response;
     if (!req) {
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       ++stats_.bad_requests;
       response = nsp::encode_error_response(ntcs::Errc::bad_message,
                                             req.error().to_string());
@@ -102,7 +102,7 @@ nsp::ReplicaUpdate NameServer::update_for_locked(const DbRecord& rec) const {
 }
 
 void NameServer::apply_replica_update(const nsp::ReplicaUpdate& u) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   DbRecord rec;
   rec.uadd = UAdd::from_raw(u.uadd_raw);
   rec.name = u.reg.name;
@@ -128,7 +128,7 @@ void NameServer::flush_replication() {
   std::vector<nsp::ReplicaUpdate> updates;
   std::vector<UAdd> links;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     if (pending_updates_.empty() || replica_links_.empty()) {
       pending_updates_.clear();
       return;
@@ -142,7 +142,7 @@ void NameServer::flush_replication() {
     const ntcs::Bytes body = nsp::encode_replicate(u);
     for (UAdd link : links) {
       (void)node_->lcm().dgram(link, Payload::raw(body), opts);
-      std::lock_guard lk(mu_);
+      ntcs::LockGuard lk(mu_);
       ++stats_.replications_sent;
     }
   }
@@ -154,7 +154,7 @@ ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
   }
   UAdd link;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     link = UAdd::permanent(kReplicaLinkUAddBase + replica_links_.size());
     replica_links_.push_back(link);
   }
@@ -165,7 +165,7 @@ ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
   // Full snapshot, then the serve loop streams increments.
   std::vector<nsp::ReplicaUpdate> snapshot;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     snapshot.reserve(db_.size());
     for (const auto& [uadd, rec] : db_) {
       snapshot.push_back(update_for_locked(rec));
@@ -177,7 +177,7 @@ ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
     auto st = node_->lcm().dgram(link, Payload::raw(nsp::encode_replicate(u)),
                                  opts);
     if (!st.ok()) return st;
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.replications_sent;
   }
   return ntcs::Status::success();
@@ -208,13 +208,13 @@ ntcs::Bytes NameServer::handle(const nsp::Request& req) {
       // is a protocol violation.
       break;
   }
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ++stats_.bad_requests;
   return nsp::encode_error_response(ntcs::Errc::bad_message, "unknown op");
 }
 
 ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ++stats_.registers;
   if (role_ == NsRole::replica) {
     ++stats_.writes_rejected;
@@ -267,7 +267,7 @@ ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
 }
 
 ntcs::Bytes NameServer::handle_lookup(const std::string& name) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ++stats_.lookups;
   const DbRecord* best = nullptr;
   for (const auto& [uadd, rec] : db_) {
@@ -282,7 +282,7 @@ ntcs::Bytes NameServer::handle_lookup(const std::string& name) {
 }
 
 ntcs::Bytes NameServer::handle_lookup_attrs(const nsp::AttrMap& attrs) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ++stats_.lookups;
   std::vector<UAdd> matches;
   for (const auto& [uadd, rec] : db_) {
@@ -301,7 +301,7 @@ ntcs::Bytes NameServer::handle_lookup_attrs(const nsp::AttrMap& attrs) {
 }
 
 ntcs::Bytes NameServer::handle_resolve(UAdd uadd) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ++stats_.resolves;
   auto it = db_.find(uadd);
   if (it == db_.end() || it->second.deregistered) {
@@ -321,7 +321,7 @@ ntcs::Bytes NameServer::handle_forward(UAdd old_uadd) {
   // determining whether the old UAdd is really inactive, mapping the old
   // UAdd to its name, and then looking for a similar name in a newer
   // module."
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   ++stats_.forwards;
   auto it = db_.find(old_uadd);
   if (it == db_.end()) {
@@ -373,7 +373,7 @@ ntcs::Bytes NameServer::handle_forward(UAdd old_uadd) {
 }
 
 ntcs::Bytes NameServer::handle_gateways() {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   std::vector<GatewayRecord> gws;
   for (auto& [uadd, rec] : db_) {
     if (rec.deregistered || !rec.is_gateway) continue;
@@ -408,7 +408,7 @@ ntcs::Bytes NameServer::handle_gateways() {
 }
 
 ntcs::Bytes NameServer::handle_deregister(UAdd uadd) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   if (role_ == NsRole::replica) {
     ++stats_.writes_rejected;
     return nsp::encode_error_response(ntcs::Errc::unsupported,
@@ -425,12 +425,12 @@ ntcs::Bytes NameServer::handle_deregister(UAdd uadd) {
 }
 
 std::size_t NameServer::record_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return db_.size();
 }
 
 std::optional<ResolveInfo> NameServer::db_lookup(UAdd uadd) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = db_.find(uadd);
   if (it == db_.end() || it->second.deregistered) return std::nullopt;
   ResolveInfo info;
@@ -443,7 +443,7 @@ std::optional<ResolveInfo> NameServer::db_lookup(UAdd uadd) const {
 }
 
 NameServer::Stats NameServer::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return stats_;
 }
 

@@ -19,6 +19,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/annotated.h"
 #include "core/node.h"
 #include "core/nsp/protocol.h"
 
@@ -91,7 +92,8 @@ class NameServer {
   void serve(const std::stop_token& st);
   ntcs::Bytes handle(const nsp::Request& req);
   void apply_replica_update(const nsp::ReplicaUpdate& u);
-  nsp::ReplicaUpdate update_for_locked(const DbRecord& rec) const;
+  nsp::ReplicaUpdate update_for_locked(const DbRecord& rec) const
+      REQUIRES(mu_);
   /// Ship queued mutations to every replica (serve-thread only).
   void flush_replication();
   ntcs::Bytes handle_register(const nsp::RegisterRequest& r);
@@ -106,12 +108,13 @@ class NameServer {
   std::unique_ptr<Node> node_;
   NsRole role_;
   std::vector<UAdd> replica_links_;
-  std::vector<nsp::ReplicaUpdate> pending_updates_;
-  mutable std::mutex mu_;
-  std::unordered_map<UAdd, DbRecord> db_;
-  std::uint64_t next_uadd_ = kFirstDynamicUAdd;
-  std::uint64_t next_seq_ = 1;
-  Stats stats_;
+  std::vector<nsp::ReplicaUpdate> pending_updates_ GUARDED_BY(mu_);
+  // Leaf-scoped: requests mutate the db under it and reply outside.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kNameServerDb, "nsp.name_server"};
+  std::unordered_map<UAdd, DbRecord> db_ GUARDED_BY(mu_);
+  std::uint64_t next_uadd_ GUARDED_BY(mu_) = kFirstDynamicUAdd;
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  Stats stats_ GUARDED_BY(mu_);
   std::jthread server_;
   bool running_ = false;
 };

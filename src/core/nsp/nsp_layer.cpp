@@ -15,7 +15,7 @@ ntcs::Result<RequestTicket> NspLayer::call_async(ntcs::Bytes request_body) {
   static metrics::Counter& m_queries = metrics::counter("nsp.queries");
   m_queries.inc();
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.queries;
   }
   // Packed-mode characters are representation-free, so the body needs no
@@ -35,7 +35,7 @@ ntcs::Result<ntcs::Bytes> NspLayer::await_call(
   if (!reply) {
     static metrics::Counter& m_failures = metrics::counter("nsp.failures");
     m_failures.inc();
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++stats_.failures;
     return reply.error();
   }
@@ -150,7 +150,7 @@ ntcs::Result<UAdd> NspLayer::forward(UAdd old_uadd) {
 }
 
 NspLayer::Stats NspLayer::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return stats_;
 }
 

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <memory>
 
+#include "common/annotated.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "convert/machine.h"
@@ -95,8 +96,8 @@ class NspLayer : public Resolver {
   std::shared_ptr<Identity> identity_;
   std::chrono::nanoseconds timeout_;
   ntcs::LayerLog log_;
-  mutable std::mutex mu_;
-  Stats stats_;
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kNspState, "nsp.state"};
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace ntcs::core

@@ -6,18 +6,18 @@ namespace ntcs::core {
 
 void StaticNameService::add(const std::string& name, UAdd uadd, PhysAddr phys,
                             NetName net) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   entries_[uadd] = Entry{name, ResolvedDest{uadd, std::move(phys),
                                             std::move(net)}};
 }
 
 void StaticNameService::add_gateway(GatewayRecord gw) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   gateways_.push_back(std::move(gw));
 }
 
 ntcs::Result<UAdd> StaticNameService::lookup(const std::string& name) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (const auto& [uadd, entry] : entries_) {
     if (entry.name == name) return uadd;
   }
@@ -26,12 +26,12 @@ ntcs::Result<UAdd> StaticNameService::lookup(const std::string& name) const {
 }
 
 ntcs::Result<std::vector<GatewayRecord>> StaticNameService::gateways() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return gateways_;
 }
 
 ntcs::Result<ResolvedDest> StaticNameService::resolve(UAdd uadd) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = entries_.find(uadd);
   if (it == entries_.end()) {
     return ntcs::Error(ntcs::Errc::not_found,
@@ -48,7 +48,7 @@ ntcs::Result<UAdd> StaticNameService::forward(UAdd old_uadd) {
 }
 
 std::size_t StaticNameService::size() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return entries_.size();
 }
 

@@ -14,8 +14,8 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
+#include "common/annotated.h"
 #include "core/lcm/lcm_layer.h"
 
 namespace ntcs::core {
@@ -47,9 +47,10 @@ class StaticNameService : public Resolver {
     ResolvedDest dest;
   };
 
-  mutable std::mutex mu_;
-  std::map<UAdd, Entry> entries_;
-  std::vector<GatewayRecord> gateways_;
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kStaticResolver,
+                          "nsp.static_resolver"};
+  std::map<UAdd, Entry> entries_ GUARDED_BY(mu_);
+  std::vector<GatewayRecord> gateways_ GUARDED_BY(mu_);
 };
 
 /// Wire a node to a static naming service instead of the NSP/Name-Server

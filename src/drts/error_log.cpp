@@ -42,7 +42,7 @@ void ErrorLogServer::serve(const std::stop_token& st) {
     if (in.value().is_request) {
       convert::Packer p;
       {
-        std::lock_guard lk(mu_);
+        ntcs::LockGuard lk(mu_);
         p.put_u64(total_);
       }
       (void)node_->lcm().reply(in.value().reply_ctx,
@@ -57,24 +57,24 @@ void ErrorLogServer::serve(const std::stop_token& st) {
     if (!module || !layer || !code || !text) continue;
     ErrorKey key{std::move(module.value()), std::move(layer.value()),
                  static_cast<ntcs::Errc>(code.value())};
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ++table_[key];
     ++total_;
   }
 }
 
 std::map<ErrorKey, std::uint64_t> ErrorLogServer::table() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return table_;
 }
 
 std::uint64_t ErrorLogServer::total() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return total_;
 }
 
 std::uint64_t ErrorLogServer::count_for(const std::string& module) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   std::uint64_t n = 0;
   for (const auto& [key, count] : table_) {
     if (key.module == module) n += count;

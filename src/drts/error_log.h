@@ -13,6 +13,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/annotated.h"
 #include "core/node.h"
 
 namespace ntcs::drts {
@@ -54,9 +55,9 @@ class ErrorLogServer {
 
   simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
-  mutable std::mutex mu_;
-  std::map<ErrorKey, std::uint64_t> table_;
-  std::uint64_t total_ = 0;
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.error_log"};
+  std::map<ErrorKey, std::uint64_t> table_ GUARDED_BY(mu_);
+  std::uint64_t total_ GUARDED_BY(mu_) = 0;
   std::jthread server_;
   bool running_ = false;
 };

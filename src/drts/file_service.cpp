@@ -119,7 +119,7 @@ ntcs::Bytes FileServer::handle(ntcs::BytesView request) {
       static_cast<FsOp>(op.value()) != FsOp::list) {
     return error_response(ntcs::Errc::bad_argument, "empty path");
   }
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   switch (static_cast<FsOp>(op.value())) {
     case FsOp::write: {
       auto data = u.get_bytes();
@@ -203,12 +203,12 @@ ntcs::Bytes FileServer::handle(ntcs::BytesView request) {
 }
 
 std::size_t FileServer::file_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return files_.size();
 }
 
 std::uint64_t FileServer::bytes_stored() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   std::uint64_t total = 0;
   for (const auto& [path, e] : files_) total += e.data.size();
   return total;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/annotated.h"
 #include "core/node.h"
 
 namespace ntcs::drts {
@@ -59,8 +60,8 @@ class FileServer {
 
   simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> files_;
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.file_service"};
+  std::map<std::string, Entry> files_ GUARDED_BY(mu_);
   std::jthread server_;
   bool running_ = false;
 };

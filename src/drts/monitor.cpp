@@ -115,7 +115,7 @@ void MonitorServer::serve(const std::stop_token& st) {
       } else {
         convert::Packer p;
         {
-          std::lock_guard lk(mu_);
+          ntcs::LockGuard lk(mu_);
           p.put_u64(count_);
           p.put_u64(total_bytes_);
         }
@@ -139,7 +139,7 @@ void MonitorServer::serve(const std::stop_token& st) {
     rec.bytes = bytes.value();
     rec.timestamp_ns = ts.value();
     rec.request = req.value();
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     ring_.push_back(rec);
     while (ring_.size() > ring_capacity_) ring_.pop_front();
     total_bytes_ += rec.bytes;
@@ -157,22 +157,22 @@ void MonitorServer::serve(const std::stop_token& st) {
 }
 
 std::uint64_t MonitorServer::sample_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return count_;
 }
 
 std::uint64_t MonitorServer::total_bytes() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return total_bytes_;
 }
 
 std::vector<MonitorRecord> MonitorServer::samples() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::vector<MonitorServer::PairStats> MonitorServer::pair_stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   std::vector<PairStats> out;
   out.reserve(pairs_.size());
   for (const auto& [key, ps] : pairs_) out.push_back(ps);
@@ -181,14 +181,14 @@ std::vector<MonitorServer::PairStats> MonitorServer::pair_stats() const {
 
 std::optional<MonitorServer::PairStats> MonitorServer::pair(
     std::uint64_t src, std::uint64_t dst) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = pairs_.find({src, dst});
   if (it == pairs_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string MonitorServer::report() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   std::string out = "conversation            msgs      bytes   rate(msg/s)\n";
   char line[128];
   for (const auto& [key, ps] : pairs_) {

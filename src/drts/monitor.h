@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/annotated.h"
 #include "core/node.h"
 
 namespace ntcs::drts {
@@ -86,11 +87,12 @@ class MonitorServer {
   simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
   std::size_t ring_capacity_;
-  mutable std::mutex mu_;
-  std::deque<MonitorRecord> ring_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, PairStats> pairs_;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t count_ = 0;
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.monitor"};
+  std::deque<MonitorRecord> ring_ GUARDED_BY(mu_);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PairStats> pairs_
+      GUARDED_BY(mu_);
+  std::uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
+  std::uint64_t count_ GUARDED_BY(mu_) = 0;
   std::jthread server_;
   bool running_ = false;
 };

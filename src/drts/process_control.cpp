@@ -9,7 +9,7 @@ ProcessController::ProcessController(core::Testbed& tb) : tb_(tb) {}
 ProcessController::~ProcessController() {
   std::vector<std::string> names;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     for (auto& [name, m] : modules_) names.push_back(name);
   }
   for (const auto& name : names) (void)kill(name);
@@ -37,16 +37,30 @@ ntcs::Result<core::UAdd> ProcessController::start_managed(
 ntcs::Result<core::UAdd> ProcessController::spawn(
     const std::string& name, const std::string& machine,
     const std::string& net, const core::nsp::AttrMap& attrs, ServiceFn fn) {
-  std::lock_guard lk(mu_);
-  if (modules_.count(name) != 0) {
-    return ntcs::Error(ntcs::Errc::already_exists,
-                       "managed module '" + name + "' already running");
+  // Reserve the name under the lock, but run the actual start — which
+  // blocks on a full Node bring-up and naming-service registration, and
+  // re-enters every layer of the Nucleus — with the lock released, so
+  // concurrent kill/find/module_count (e.g. a monitor poll) never stall
+  // behind a slow or fault-injected start.
+  {
+    ntcs::LockGuard lk(mu_);
+    if (modules_.count(name) != 0) {
+      return ntcs::Error(ntcs::Errc::already_exists,
+                         "managed module '" + name + "' already running");
+    }
+    Managed placeholder;
+    placeholder.starting = true;
+    modules_[name] = std::move(placeholder);
   }
   Managed m;
   m.attrs = attrs;
   m.fn = std::move(fn);
   auto uadd = start_managed(m, name, machine, net);
-  if (!uadd) return uadd;
+  ntcs::LockGuard lk(mu_);
+  if (!uadd) {
+    modules_.erase(name);
+    return uadd;
+  }
   modules_[name] = std::move(m);
   return uadd;
 }
@@ -54,11 +68,15 @@ ntcs::Result<core::UAdd> ProcessController::spawn(
 ntcs::Status ProcessController::kill(const std::string& name) {
   Managed victim;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = modules_.find(name);
     if (it == modules_.end()) {
       return ntcs::Status(ntcs::Errc::not_found,
                           "no managed module '" + name + "'");
+    }
+    if (it->second.starting) {
+      return ntcs::Status(ntcs::Errc::no_resource,
+                          "managed module '" + name + "' still starting");
     }
     victim = std::move(it->second);
     modules_.erase(it);
@@ -79,7 +97,7 @@ ntcs::Result<core::UAdd> ProcessController::relocate(
   core::nsp::AttrMap attrs;
   ServiceFn fn;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = modules_.find(name);
     if (it == modules_.end()) {
       return ntcs::Error(ntcs::Errc::not_found,
@@ -93,13 +111,13 @@ ntcs::Result<core::UAdd> ProcessController::relocate(
 }
 
 core::Node* ProcessController::find(const std::string& name) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = modules_.find(name);
   return it == modules_.end() ? nullptr : it->second.node.get();
 }
 
 std::size_t ProcessController::module_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return modules_.size();
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/annotated.h"
 #include "core/testbed.h"
 
 namespace ntcs::drts {
@@ -57,6 +58,10 @@ class ProcessController {
     std::jthread service;
     core::nsp::AttrMap attrs;
     ServiceFn fn;
+    // True while spawn() is starting this module outside the table lock
+    // (the slot reserves the name; node is still null). kill()/relocate()
+    // refuse mid-start modules instead of dereferencing the placeholder.
+    bool starting = false;
   };
 
   ntcs::Result<core::UAdd> start_managed(Managed& m, const std::string& name,
@@ -64,8 +69,12 @@ class ProcessController {
                                          const std::string& net);
 
   core::Testbed& tb_;
-  mutable std::mutex mu_;
-  std::map<std::string, Managed> modules_;
+  // Outermost rank of the whole tree: registration state is mutated under
+  // it, but module start/stop (which re-enters every layer) happens with
+  // it released — a name is reserved first, then started unlocked.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsProcessControl,
+                          "drts.process_control"};
+  std::map<std::string, Managed> modules_ GUARDED_BY(mu_);
 };
 
 /// Ready-made service loops for tests, benches and examples.

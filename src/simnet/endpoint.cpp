@@ -34,7 +34,7 @@ ntcs::Result<Delivery> Endpoint::recv_for(std::chrono::nanoseconds timeout) {
 
 ntcs::Result<Delivery> Endpoint::recv_until(
     std::optional<std::chrono::steady_clock::time_point> deadline) {
-  std::unique_lock lk(mu_);
+  ntcs::UniqueLock lk(mu_);
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
     if (!inbox_.empty() && inbox_.top().at <= now) {
@@ -72,7 +72,7 @@ ntcs::Result<Delivery> Endpoint::recv_until(
 }
 
 std::optional<Delivery> Endpoint::try_recv() {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   if (inbox_.empty() || inbox_.top().at > std::chrono::steady_clock::now()) {
     return std::nullopt;
   }
@@ -89,18 +89,18 @@ ntcs::Status Endpoint::close_channel(ChannelId chan) {
 void Endpoint::close() { fabric_->close_endpoint(this); }
 
 bool Endpoint::is_closed() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return inbox_closed_;
 }
 
 std::size_t Endpoint::pending() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return inbox_.size();
 }
 
 void Endpoint::enqueue(Item item) {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     if (inbox_closed_) return;  // arrived after unbind: dropped by the IPCS
     inbox_.push(std::move(item));
   }
@@ -109,7 +109,7 @@ void Endpoint::enqueue(Item item) {
 
 void Endpoint::close_inbox() {
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     inbox_closed_ = true;
   }
   cv_.notify_all();

@@ -16,15 +16,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "common/annotated.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "simnet/types.h"
@@ -121,10 +120,13 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   IpcsKind kind_;
   std::string phys_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Item, std::vector<Item>, Later> inbox_;
-  bool inbox_closed_ = false;
+  // Below every Nucleus lock (the ND-Layer receives/sends under its
+  // waiter and tx locks); never nested with the fabric lock — the fabric
+  // always releases its core lock before Endpoint::enqueue.
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kSimnetEndpoint, "simnet.endpoint"};
+  ntcs::CondVar cv_;
+  std::priority_queue<Item, std::vector<Item>, Later> inbox_ GUARDED_BY(mu_);
+  bool inbox_closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ntcs::simnet

@@ -9,9 +9,22 @@
 namespace ntcs::simnet {
 
 namespace {
-metrics::Counter& m_dup() { return metrics::counter("simnet.dup"); }
-metrics::Counter& m_reordered() { return metrics::counter("simnet.reordered"); }
-metrics::Counter& m_flaps() { return metrics::counter("simnet.flaps"); }
+// Resolved once: these fire per faulted frame *under the fabric core
+// lock*, so a registry map lookup (and the registry mutex) per event was
+// both hot-path overhead and a gratuitous lock acquisition beneath mu_.
+// After first touch the shims are a plain relaxed atomic add.
+metrics::Counter& m_dup() {
+  static metrics::Counter& c = metrics::counter("simnet.dup");
+  return c;
+}
+metrics::Counter& m_reordered() {
+  static metrics::Counter& c = metrics::counter("simnet.reordered");
+  return c;
+}
+metrics::Counter& m_flaps() {
+  static metrics::Counter& c = metrics::counter("simnet.flaps");
+  return c;
+}
 }  // namespace
 
 Fabric::Fabric(std::uint64_t seed) : rng_(seed) {}
@@ -21,7 +34,7 @@ Fabric::~Fabric() {
   // stragglers defensively so their inboxes stop blocking.
   std::vector<std::shared_ptr<Endpoint>> eps;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     for (auto& [phys, weak] : bound_) {
       if (auto ep = weak.lock()) eps.push_back(std::move(ep));
     }
@@ -30,27 +43,27 @@ Fabric::~Fabric() {
 }
 
 NetworkId Fabric::add_network(std::string name, NetConfig cfg) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   nets_.push_back(NetworkState{std::move(name), cfg, false});
   return static_cast<NetworkId>(nets_.size() - 1);
 }
 
 MachineId Fabric::add_machine(std::string name, convert::Arch arch,
                               std::vector<NetworkId> networks) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   machines_.push_back(
       MachineState{std::move(name), arch, std::move(networks), {}});
   return static_cast<MachineId>(machines_.size() - 1);
 }
 
 void Fabric::attach_machine(MachineId m, NetworkId n) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto& nets = machines_.at(m).networks;
   if (std::find(nets.begin(), nets.end(), n) == nets.end()) nets.push_back(n);
 }
 
 std::optional<NetworkId> Fabric::network_by_name(std::string_view name) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (std::size_t i = 0; i < nets_.size(); ++i) {
     if (nets_[i].name == name) return static_cast<NetworkId>(i);
   }
@@ -58,7 +71,7 @@ std::optional<NetworkId> Fabric::network_by_name(std::string_view name) const {
 }
 
 std::optional<MachineId> Fabric::machine_by_name(std::string_view name) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (std::size_t i = 0; i < machines_.size(); ++i) {
     if (machines_[i].name == name) return static_cast<MachineId>(i);
   }
@@ -66,70 +79,70 @@ std::optional<MachineId> Fabric::machine_by_name(std::string_view name) const {
 }
 
 std::string Fabric::machine_name(MachineId m) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return machines_.at(m).name;
 }
 
 std::string Fabric::network_name(NetworkId n) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return nets_.at(n).name;
 }
 
 convert::Arch Fabric::machine_arch(MachineId m) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return machines_.at(m).arch;
 }
 
 std::vector<NetworkId> Fabric::machine_networks(MachineId m) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return machines_.at(m).networks;
 }
 
 std::size_t Fabric::machine_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return machines_.size();
 }
 
 std::size_t Fabric::network_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return nets_.size();
 }
 
 void Fabric::set_clock_offset(MachineId m, std::chrono::nanoseconds offset) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   machines_.at(m).clock_offset = offset;
 }
 
 std::chrono::nanoseconds Fabric::machine_now(MachineId m) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return std::chrono::steady_clock::now().time_since_epoch() +
          machines_.at(m).clock_offset;
 }
 
 void Fabric::set_partitioned(NetworkId n, bool partitioned) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   nets_.at(n).partitioned = partitioned;
 }
 
 void Fabric::set_loss(NetworkId n, double loss_prob) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   nets_.at(n).cfg.loss_prob = loss_prob;
 }
 
 void Fabric::set_latency(NetworkId n, std::chrono::nanoseconds lo,
                          std::chrono::nanoseconds hi) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   nets_.at(n).cfg.latency_min = lo;
   nets_.at(n).cfg.latency_max = hi;
 }
 
 void Fabric::set_bandwidth(NetworkId n, std::uint64_t bytes_per_sec) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   nets_.at(n).cfg.bytes_per_sec = bytes_per_sec;
 }
 
 void Fabric::set_fault_plan(NetworkId n, FaultPlan plan) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   NetworkState& ns = nets_.at(n);
   ns.faults = plan;
   ns.flap_epoch = std::chrono::steady_clock::now();
@@ -137,7 +150,7 @@ void Fabric::set_fault_plan(NetworkId n, FaultPlan plan) {
 }
 
 void Fabric::clear_faults() {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   for (NetworkState& ns : nets_) {
     ns.faults = FaultPlan{};
     ns.flap_was_down = false;
@@ -168,7 +181,7 @@ ntcs::Status Fabric::kill_channel(ChannelId chan) {
   std::chrono::steady_clock::time_point at_a;
   std::chrono::steady_clock::time_point at_b;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = channels_.find(chan);
     if (it == channels_.end()) {
       return ntcs::Status(ntcs::Errc::not_found, "no such channel");
@@ -192,13 +205,13 @@ ntcs::Status Fabric::kill_channel(ChannelId chan) {
 }
 
 std::size_t Fabric::channel_count() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return channels_.size();
 }
 
 ntcs::Result<std::shared_ptr<Endpoint>> Fabric::bind(
     MachineId m, IpcsKind kind, std::string_view local_name) {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   if (m >= machines_.size()) {
     return ntcs::Error(ntcs::Errc::bad_argument, "no such machine");
   }
@@ -219,13 +232,13 @@ ntcs::Result<std::shared_ptr<Endpoint>> Fabric::bind(
 }
 
 bool Fabric::probe(std::string_view phys) const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   auto it = bound_.find(std::string(phys));
   return it != bound_.end() && !it->second.expired();
 }
 
 Fabric::Stats Fabric::stats() const {
-  std::lock_guard lk(mu_);
+  ntcs::LockGuard lk(mu_);
   return stats_;
 }
 
@@ -266,7 +279,7 @@ ntcs::Result<ChannelId> Fabric::connect_impl(Endpoint* src,
   std::chrono::steady_clock::time_point deliver_at;
   std::uint64_t seq = 0;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto parts = parse_phys(dst_phys);
     if (!parts) {
       ++stats_.connects_failed;
@@ -340,7 +353,7 @@ ntcs::Status Fabric::send_impl(Endpoint* src, ChannelId chan,
   ntcs::append(payload, header);
   ntcs::append(payload, body);
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = channels_.find(chan);
     if (it == channels_.end() ||
         (it->second.a != src && it->second.b != src)) {
@@ -441,7 +454,7 @@ ntcs::Status Fabric::close_channel_impl(Endpoint* src, ChannelId chan) {
   std::chrono::steady_clock::time_point deliver_at;
   std::uint64_t seq = 0;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = channels_.find(chan);
     if (it == channels_.end() ||
         (it->second.a != src && it->second.b != src)) {
@@ -475,7 +488,7 @@ void Fabric::close_endpoint(Endpoint* ep) {
   };
   std::vector<Note> notes;
   {
-    std::lock_guard lk(mu_);
+    ntcs::LockGuard lk(mu_);
     auto it = bound_.find(ep->phys());
     if (it != bound_.end()) {
       // Only erase our own binding (a later bind may have reused the path

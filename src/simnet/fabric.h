@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "convert/machine.h"
@@ -144,21 +145,29 @@ class Fabric {
   void close_endpoint(Endpoint* ep);
 
   /// Pick a non-partitioned network both machines attach to.
-  ntcs::Result<NetworkId> shared_network_locked(MachineId a, MachineId b) const;
-  std::chrono::nanoseconds sample_latency_locked(NetworkId n);
+  ntcs::Result<NetworkId> shared_network_locked(MachineId a, MachineId b) const
+      REQUIRES(mu_);
+  std::chrono::nanoseconds sample_latency_locked(NetworkId n) REQUIRES(mu_);
   /// Is the network's flapping link currently in its down phase?
-  bool flap_down_locked(NetworkId n, std::chrono::steady_clock::time_point now);
+  bool flap_down_locked(NetworkId n, std::chrono::steady_clock::time_point now)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<NetworkState> nets_;
-  std::vector<MachineState> machines_;
-  std::unordered_map<std::string, std::weak_ptr<Endpoint>> bound_;
-  std::unordered_map<ChannelId, ChannelState> channels_;
-  ntcs::Rng rng_;
-  ChannelId next_chan_ = 1;
-  std::uint64_t next_seq_ = 1;
-  std::uint16_t next_port_ = 5000;
-  Stats stats_;
+  // Bottom of the layer hierarchy: reached with ND-Layer locks held
+  // (open/send paths) and never held across Endpoint::enqueue — every
+  // delivery is enqueued after this lock is released, which is what keeps
+  // endpoint and fabric un-nested (and destruction races impossible, see
+  // ChannelState).
+  mutable ntcs::Mutex mu_{ntcs::lockrank::kSimnetFabric, "simnet.fabric"};
+  std::vector<NetworkState> nets_ GUARDED_BY(mu_);
+  std::vector<MachineState> machines_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::weak_ptr<Endpoint>> bound_
+      GUARDED_BY(mu_);
+  std::unordered_map<ChannelId, ChannelState> channels_ GUARDED_BY(mu_);
+  ntcs::Rng rng_ GUARDED_BY(mu_);
+  ChannelId next_chan_ GUARDED_BY(mu_) = 1;
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::uint16_t next_port_ GUARDED_BY(mu_) = 5000;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace ntcs::simnet
