@@ -8,6 +8,9 @@
 //     too grows with hop count (one EXTEND round per hop).
 #include <benchmark/benchmark.h>
 
+#include "common/trace.h"
+#include "common/trace_export.h"
+
 #include "bench_util.h"
 
 namespace {
@@ -80,17 +83,37 @@ BENCHMARK(BM_SizeSweepOneHop)->Range(64, 256 << 10)
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN so the run can leave its per-layer metrics
-// snapshot behind: after the gateway benchmarks every hop rig has pushed
-// traffic through 0..3 gateways, so BENCH_metrics.json carries nonzero
-// lcm.sends, ip.hops_forwarded, and the convert.mode.* breakdown.
+// Expanded BENCHMARK_MAIN so the run can leave its artifacts behind: after
+// the gateway benchmarks every hop rig has pushed traffic through 0..3
+// gateways, so BENCH_gateway_metrics.json carries nonzero lcm.sends,
+// ip.hops_forwarded, and the convert.mode.* breakdown — then a short
+// sampled burst across the 2-gateway chain is exported as a Chrome
+// trace-event timeline (BENCH_trace.json: root -> per-hop -> reply spans,
+// loadable in chrome://tracing or Perfetto).
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!ntcs::bench::dump_metrics_json()) {
-    std::fprintf(stderr, "failed to write BENCH_metrics.json\n");
+    std::fprintf(stderr, "failed to write BENCH_gateway_metrics.json\n");
+    return 1;
+  }
+  ntcs::trace::set_sampling(ntcs::trace::SampleMode::always);
+  ntcs::trace::clear_spans();
+  HopRig& rig = hop_rig(2);
+  for (int i = 0; i < 8; ++i) {
+    if (!rig.src->commod().request(rig.dst_addr, to_bytes("traced"), 5s)
+             .ok()) {
+      std::fprintf(stderr, "traced request failed\n");
+      return 1;
+    }
+  }
+  ntcs::trace::set_sampling(ntcs::trace::SampleMode::off);
+  const std::vector<ntcs::trace::Span> spans =
+      ntcs::trace::merge_harvests({ntcs::trace::snapshot_spans()});
+  if (!ntcs::trace::write_chrome_json(spans, "BENCH_trace.json")) {
+    std::fprintf(stderr, "failed to write BENCH_trace.json\n");
     return 1;
   }
   return 0;

@@ -10,8 +10,11 @@
 //     grows.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <deque>
+#include <string_view>
 
+#include "common/trace.h"
 #include "bench_util.h"
 
 namespace {
@@ -378,10 +381,19 @@ bool dump_pipeline_json(const char* path) {
 // benchmarks, run the pipelined-throughput sweep and leave the artifact
 // behind as BENCH_pipeline.json.
 int main(int argc, char** argv) {
+  // Tracing-overhead ablation (EXPERIMENTS.md): NTCS_TRACE=always samples
+  // every root span, NTCS_TRACE=off (or unset) is the production default —
+  // the same binary measures both sides of the <2% overhead budget.
+  if (const char* t = std::getenv("NTCS_TRACE")) {
+    if (std::string_view(t) == "always") {
+      ntcs::trace::set_sampling(ntcs::trace::SampleMode::always);
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  ntcs::trace::set_sampling(ntcs::trace::SampleMode::off);
   if (!dump_pipeline_json("BENCH_pipeline.json")) {
     std::fprintf(stderr, "failed to write BENCH_pipeline.json\n");
     return 1;

@@ -82,8 +82,11 @@ inline HopRig& hop_rig(int hops) {
 
 /// Dump the process-wide metrics snapshot as JSON next to the benchmark's
 /// own output, so a run leaves behind the per-layer event counts (lcm.sends,
-/// ip.hops_forwarded, convert.mode.*, ...) alongside its timings.
-inline bool dump_metrics_json(const char* path = "BENCH_metrics.json") {
+/// ip.hops_forwarded, convert.mode.*, ...) and latency percentiles
+/// (p50/p90/p99 per histogram) alongside its timings. The default artifact
+/// name follows the BENCH_<bench>_*.json convention
+/// (BENCH_chaos_metrics.json, BENCH_pipeline.json).
+inline bool dump_metrics_json(const char* path = "BENCH_gateway_metrics.json") {
   const std::string json = metrics::MetricsRegistry::instance()
                                .snapshot()
                                .to_json();

@@ -41,6 +41,24 @@ else
   echo "ok: no raw locking primitives outside common/annotated.h"
 fi
 
+echo "== lint: trace static-ref grep gate =="
+# Mirror of the metrics call-site rule for spans: instrumentation sites use
+# the free helpers in common/trace.h (record_child / ScopedSpan / RootSpan /
+# snapshot_spans ...), never a per-event SpanBuffer::instance() lookup.
+# trace.cpp holds the one static reference behind those helpers.
+violations=$(grep -rn 'SpanBuffer::instance' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/common/trace\.cpp:' \
+  | grep -v '^src/common/trace\.h:' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: SpanBuffer::instance() outside common/trace.{h,cpp} — use the"
+  echo "      free helpers in common/trace.h at instrumentation sites:"
+  echo "$violations"
+  fail=1
+else
+  echo "ok: span recording goes through the trace.h helpers"
+fi
+
 echo "== lint: clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "skip: clang-tidy not installed on this toolchain"

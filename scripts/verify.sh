@@ -11,14 +11,16 @@
 # 4. Build the chaos suite under TSan and run it repeatedly: the
 #    fault-injection engine plus every layer's recovery path is the most
 #    interleaving-sensitive code in the tree.
-# 5. Fabric-seed sweep: re-run the pipeline + chaos suites across 10 fixed
+# 5. Trace suite (ctest label `trace`) in the normal build, then repeated
+#    under TSan: the span ring's lock-free writers vs. snapshot readers.
+# 6. Fabric-seed sweep: re-run the pipeline + chaos suites across 10 fixed
 #    fabric seeds (NTCS_FABRIC_SEED), normal build and TSan build. Each
 #    seed is a different deterministic fault/latency schedule; the
 #    pipelined request engine must keep its correlation and window
 #    invariants under every one of them.
-# 6. Lint gate: scripts/lint.sh (annotated-mutex grep gate + clang-tidy
-#    where available) — run first, it is the cheapest failure.
-# 7. ASan/UBSan build (the second sanitizer-matrix axis,
+# 7. Lint gate: scripts/lint.sh (annotated-mutex + trace static-ref grep
+#    gates, clang-tidy where available) — run first, cheapest failure.
+# 8. ASan/UBSan build (the second sanitizer-matrix axis,
 #    NTCS_SANITIZE=address,undefined with -fno-sanitize-recover): full
 #    suite plus the analysis-label lock-validator tests.
 set -euo pipefail
@@ -47,6 +49,15 @@ ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
 ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
   -R '^(FaultPlan|FaultInjection|FabricTopology|NdLayer)\.' \
   --repeat until-fail:3
+
+# Tracing suite (label `trace`): the wire round trip, the span ring, the
+# gateway-chain span chain and the chaos-harvest acceptance — once in the
+# normal build, then under TSan (the span ring's seqlock writers race its
+# snapshot readers by design and must stay clean).
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target trace_test
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L trace
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -L trace --repeat until-fail:3
 
 # Pipelined-request seed sweep: the pipeline and chaos labels plus the
 # PipelinedChaos property suite, across 10 fixed fabric seeds, first in

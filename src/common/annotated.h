@@ -137,6 +137,10 @@ inline constexpr std::uint16_t kSimnetFabric = 710;
 inline constexpr std::uint16_t kBlockingQueue = 800;
 inline constexpr std::uint16_t kLog = 900;
 inline constexpr std::uint16_t kMetricsRegistry = 910;
+// Trace span-buffer drain lock (writes are lock-free; only snapshot/clear
+// serialise here). Strict leaf: drains may run under the DRTS server lock
+// and first-touch a metric, never the other way around.
+inline constexpr std::uint16_t kTraceBuffer = 920;
 }  // namespace lockrank
 
 namespace analysis {

@@ -1,6 +1,9 @@
 #include "common/log.h"
 
+#include <cinttypes>
 #include <cstdio>
+
+#include "common/trace.h"
 
 namespace ntcs {
 
@@ -64,6 +67,16 @@ void Log::clear_captured() {
 
 void Log::write(LogLevel lvl, std::string_view layer, std::string_view module,
                 std::string_view text) {
+  // Log/trace correlation (§6.2 selectivity, cross-referenced): a line
+  // emitted while a trace context is installed carries that trace's hex ID,
+  // so a harvested trace ID greps straight into the log and vice versa.
+  char trace_id[33];
+  trace_id[0] = '\0';
+  const trace::TraceContext tctx = trace::current();
+  if (tctx.valid()) {
+    std::snprintf(trace_id, sizeof(trace_id), "%016" PRIx64 "%016" PRIx64,
+                  tctx.hi, tctx.lo);
+  }
   bool to_stderr = false;
   {
     ntcs::LockGuard lk(mu_);
@@ -77,16 +90,25 @@ void Log::write(LogLevel lvl, std::string_view layer, std::string_view module,
     to_stderr = lvl >= eff && eff != LogLevel::off;
     if (capture_) {
       ring_.push_back(LogRecord{lvl, std::string(layer), std::string(module),
-                                std::string(text)});
+                                std::string(text), std::string(trace_id)});
       while (ring_.size() > ring_capacity_) ring_.pop_front();
     }
   }
   if (to_stderr) {
-    std::fprintf(stderr, "[%.*s] %.*s/%.*s: %.*s\n",
-                 static_cast<int>(log_level_name(lvl).size()),
-                 log_level_name(lvl).data(), static_cast<int>(layer.size()),
-                 layer.data(), static_cast<int>(module.size()), module.data(),
-                 static_cast<int>(text.size()), text.data());
+    if (trace_id[0] != '\0') {
+      std::fprintf(stderr, "[%.*s] %.*s/%.*s {%s}: %.*s\n",
+                   static_cast<int>(log_level_name(lvl).size()),
+                   log_level_name(lvl).data(), static_cast<int>(layer.size()),
+                   layer.data(), static_cast<int>(module.size()),
+                   module.data(), trace_id, static_cast<int>(text.size()),
+                   text.data());
+    } else {
+      std::fprintf(stderr, "[%.*s] %.*s/%.*s: %.*s\n",
+                   static_cast<int>(log_level_name(lvl).size()),
+                   log_level_name(lvl).data(), static_cast<int>(layer.size()),
+                   layer.data(), static_cast<int>(module.size()),
+                   module.data(), static_cast<int>(text.size()), text.data());
+    }
   }
 }
 

@@ -28,6 +28,10 @@ struct LogRecord {
   std::string layer;   // e.g. "nd", "ip", "lcm", "nsp", "ali", "simnet"
   std::string module;  // logical module name, e.g. "name-server"
   std::string text;
+  /// Hex trace ID active on the emitting thread (log/trace correlation:
+  /// grep a query_traces harvest's trace ID straight into the log). Empty
+  /// when no trace context was installed.
+  std::string trace_id;
 };
 
 /// Process-wide log sink. Thread-safe. Default level is `warn` so tests and

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace ntcs::metrics {
 
@@ -88,6 +89,36 @@ Snapshot Snapshot::delta(const Snapshot& since) const {
 
 namespace {
 
+/// Shared percentile estimator over power-of-two buckets: find the bucket
+/// holding rank p*count, then interpolate linearly between its bounds
+/// (bucket 0 is exactly zero; bucket i covers [2^(i-1), 2^i)). The
+/// interpolation error is bounded by the bucket width — coarse at the
+/// tail, but rank-exact at bucket granularity, which is what a
+/// shift-counted histogram can honestly promise.
+double percentile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                               double p) {
+  std::uint64_t count = 0;
+  for (std::uint64_t b : buckets) count += b;
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double c = static_cast<double>(buckets[i]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      if (i == 0) return 0.0;  // the all-zeros bucket
+      const double lower = static_cast<double>(1ULL << (i - 1));
+      const double upper =
+          i >= 63 ? 2.0 * lower : static_cast<double>(1ULL << i);
+      const double frac = target <= cum ? 0.0 : (target - cum) / c;
+      return lower + frac * (upper - lower);
+    }
+    cum += c;
+  }
+  return 0.0;  // unreachable: cum reaches count
+}
+
 void append_json_string(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
@@ -98,6 +129,16 @@ void append_json_string(std::string& out, std::string_view s) {
 }
 
 }  // namespace
+
+double Histogram::percentile(double p) const {
+  std::vector<std::uint64_t> b(kHistogramBuckets);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) b[i] = bucket(i);
+  return percentile_from_buckets(b, p);
+}
+
+double MetricValue::percentile(double p) const {
+  return percentile_from_buckets(buckets, p);
+}
 
 std::string Snapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
@@ -116,8 +157,13 @@ std::string Snapshot::to_json() const {
     out += first ? "\n    " : ",\n    ";
     first = false;
     append_json_string(out, name);
+    char pbuf[96];
+    std::snprintf(pbuf, sizeof(pbuf),
+                  ", \"p50_ns\": %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f",
+                  v.percentile(0.50), v.percentile(0.90), v.percentile(0.99));
     out += ": {\"count\": " + std::to_string(v.count) +
-           ", \"sum_ns\": " + std::to_string(v.sum) + ", \"buckets\": [";
+           ", \"sum_ns\": " + std::to_string(v.sum) + pbuf +
+           ", \"buckets\": [";
     bool bfirst = true;
     for (std::size_t i = 0; i < v.buckets.size(); ++i) {
       if (v.buckets[i] == 0) continue;

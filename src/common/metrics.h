@@ -75,6 +75,10 @@ class Histogram {
     return buckets_.at(i).load(std::memory_order_relaxed);
   }
 
+  /// Estimated p-quantile (p in [0,1]) by linear interpolation inside the
+  /// power-of-two bucket holding the target rank. 0 when empty.
+  double percentile(double p) const;
+
  private:
   std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
@@ -107,6 +111,10 @@ struct MetricValue {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::vector<std::uint64_t> buckets;
+
+  /// Histogram-only: same estimator as Histogram::percentile, computed
+  /// from the captured buckets (works on snapshots and deltas alike).
+  double percentile(double p) const;
 };
 
 /// A consistent point-in-time capture of every touched metric. "Consistent"
@@ -125,7 +133,8 @@ struct Snapshot {
   Snapshot delta(const Snapshot& since) const;
 
   /// Stable JSON rendering: {"counters": {...}, "histograms": {name:
-  /// {"count": n, "sum_ns": s, "buckets": [[upper_bound_ns, count], ...]}}}.
+  /// {"count": n, "sum_ns": s, "p50_ns": ..., "p90_ns": ..., "p99_ns": ...,
+  /// "buckets": [[upper_bound_ns, count], ...]}}}.
   std::string to_json() const;
 };
 

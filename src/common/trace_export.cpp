@@ -1,0 +1,133 @@
+#include "common/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace ntcs::trace {
+
+namespace {
+
+using SpanKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+
+SpanKey key_of(const Span& s) {
+  return {s.trace_hi, s.trace_lo, s.span_id};
+}
+
+void append_hex128(std::string& out, std::uint64_t hi, std::uint64_t lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, hi, lo);
+  out += buf;
+}
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::vector<Span> merge_harvests(
+    const std::vector<std::vector<Span>>& harvests) {
+  std::map<SpanKey, Span> merged;
+  for (const auto& h : harvests) {
+    for (const auto& s : h) merged.emplace(key_of(s), s);
+  }
+  std::vector<Span> out;
+  out.reserve(merged.size());
+  for (auto& [k, s] : merged) out.push_back(std::move(s));
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::vector<Span> find_orphans(const std::vector<Span>& spans) {
+  // Per-trace set of known span IDs.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::set<std::uint64_t>>
+      ids;
+  for (const auto& s : spans) {
+    ids[{s.trace_hi, s.trace_lo}].insert(s.span_id);
+  }
+  std::vector<Span> orphans;
+  for (const auto& s : spans) {
+    if ((s.trace_hi | s.trace_lo) == 0) continue;  // context-free event
+    if (s.parent_id == 0) continue;                // root
+    const auto& known = ids[{s.trace_hi, s.trace_lo}];
+    if (known.find(s.parent_id) == known.end()) orphans.push_back(s);
+  }
+  return orphans;
+}
+
+std::string to_chrome_json(const std::vector<Span>& spans) {
+  // Stable node -> pid mapping, in order of first appearance.
+  std::map<std::string, int> pids;
+  std::vector<std::string> node_order;
+  for (const auto& s : spans) {
+    if (pids.emplace(s.node, 0).second) node_order.push_back(s.node);
+  }
+  int next_pid = 1;
+  for (const auto& n : node_order) pids[n] = next_pid++;
+
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& n : node_order) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+           std::to_string(pids[n]) + ", \"args\": {\"name\": ";
+    append_json_string(out, n);
+    out += "}}";
+  }
+  for (const auto& s : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    char num[64];
+    out += "  {\"ph\": \"X\", \"name\": ";
+    append_json_string(out, s.op);
+    out += ", \"cat\": ";
+    append_json_string(out, s.layer);
+    const double ts_us = static_cast<double>(s.start_ns) / 1000.0;
+    const std::int64_t dur_ns = s.end_ns > s.start_ns ? s.end_ns - s.start_ns
+                                                      : 0;
+    const double dur_us = static_cast<double>(dur_ns) / 1000.0;
+    std::snprintf(num, sizeof(num), ", \"ts\": %.3f, \"dur\": %.3f", ts_us,
+                  dur_us);
+    out += num;
+    const int pid = pids[s.node];
+    out += ", \"pid\": " + std::to_string(pid) +
+           ", \"tid\": " + std::to_string(pid) + ", \"args\": {\"trace\": \"";
+    append_hex128(out, s.trace_hi, s.trace_lo);
+    out += "\", \"span\": \"";
+    append_hex64(out, s.span_id);
+    out += "\", \"parent\": \"";
+    append_hex64(out, s.parent_id);
+    out += "\", \"flags\": " + std::to_string(s.flags) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_json(const std::vector<Span>& spans,
+                       const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json(spans);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ntcs::trace

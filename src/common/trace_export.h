@@ -1,0 +1,42 @@
+// trace_export.h — merging multi-node span harvests into a timeline.
+//
+// The paper's DRTS monitor gathers per-node observations over the NTCS
+// itself (§6.1); query_traces (drts/monitor.h) is the span-flavoured
+// version of that harvest. This module is the post-processing step: merge
+// the per-node harvests, check causal completeness, and render the result
+// as Chrome trace-event JSON (chrome://tracing / Perfetto "traceEvents"
+// format) so an internetted request's gateway-by-gateway path reads as one
+// timeline. All nodes in the simnet share one steady_clock, so merged
+// timestamps are directly comparable with no skew correction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace ntcs::trace {
+
+/// Merges per-node harvests into one span list: deduplicates by
+/// (trace_hi, trace_lo, span_id) — harvesting the same buffer twice, or a
+/// node relaying its own traffic, must not double-count — and sorts by
+/// start time.
+std::vector<Span> merge_harvests(
+    const std::vector<std::vector<Span>>& harvests);
+
+/// Spans whose parent is missing from their own trace's span set. A
+/// complete harvest of a delivered request yields none: every hop/deliver/
+/// reply span parents on the root carried in the wire context. Spans with
+/// a zero trace ID (context-free events such as ND dedup) are exempt.
+std::vector<Span> find_orphans(const std::vector<Span>& spans);
+
+/// Chrome trace-event JSON: one complete "X" event per span (timestamps in
+/// microseconds), nodes mapped to process IDs with process_name metadata,
+/// trace/span/parent IDs and flags in "args".
+std::string to_chrome_json(const std::vector<Span>& spans);
+
+/// to_chrome_json written to `path`; false on I/O failure.
+bool write_chrome_json(const std::vector<Span>& spans,
+                       const std::string& path);
+
+}  // namespace ntcs::trace

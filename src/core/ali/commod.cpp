@@ -1,6 +1,7 @@
 #include "core/ali/commod.h"
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace ntcs::core {
 
@@ -61,11 +62,13 @@ ntcs::Status ComMod::deregister() { return nsp_.deregister(identity_->uadd()); }
 
 ntcs::Status ComMod::send(UAdd dst, ntcs::BytesView bytes) {
   if (auto st = check_dst(dst, bytes.size()); !st.ok()) return st;
+  trace::RootSpan root("ali", "send", identity_->name());
   return lcm_.send(dst, Payload::raw(ntcs::Bytes(bytes.begin(), bytes.end())));
 }
 
 ntcs::Status ComMod::send(UAdd dst, const Payload& p) {
   if (auto st = check_dst(dst, p.image.size()); !st.ok()) return st;
+  trace::RootSpan root("ali", "send", identity_->name());
   return lcm_.send(dst, p);
 }
 
@@ -74,6 +77,7 @@ ntcs::Result<Reply> ComMod::request(UAdd dst, ntcs::BytesView bytes,
   if (auto st = check_dst(dst, bytes.size()); !st.ok()) return st.error();
   SendOptions opts;
   opts.timeout = timeout;
+  trace::RootSpan root("ali", "request", identity_->name());
   return lcm_.request(dst,
                       Payload::raw(ntcs::Bytes(bytes.begin(), bytes.end())),
                       opts);
@@ -84,6 +88,7 @@ ntcs::Result<Reply> ComMod::request(UAdd dst, const Payload& p,
   if (auto st = check_dst(dst, p.image.size()); !st.ok()) return st.error();
   SendOptions opts;
   opts.timeout = timeout;
+  trace::RootSpan root("ali", "request", identity_->name());
   return lcm_.request(dst, p, opts);
 }
 
@@ -92,6 +97,10 @@ ntcs::Result<RequestTicket> ComMod::request_async(
   if (auto st = check_dst(dst, bytes.size()); !st.ok()) return st.error();
   SendOptions opts;
   opts.timeout = timeout;
+  // The root covers the *issue* leg only; the reply's arrival is traced by
+  // the receive-side complete event (the ticket carries the context for
+  // the await/retry path).
+  trace::RootSpan root("ali", "request_async", identity_->name());
   return lcm_.request_async(
       dst, Payload::raw(ntcs::Bytes(bytes.begin(), bytes.end())), opts);
 }
@@ -101,6 +110,7 @@ ntcs::Result<RequestTicket> ComMod::request_async(
   if (auto st = check_dst(dst, p.image.size()); !st.ok()) return st.error();
   SendOptions opts;
   opts.timeout = timeout;
+  trace::RootSpan root("ali", "request_async", identity_->name());
   return lcm_.request_async(dst, p, opts);
 }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace ntcs::core {
 
@@ -166,6 +167,7 @@ ntcs::Result<IvcHandle> IpLayer::open_ivc(const ResolvedDest& dst) {
   static metrics::Counter& m_transient =
       metrics::counter("ip.extend_transient_retries");
   metrics::ScopedTimer open_timer(m_open_ns);
+  trace::ScopedSpan open_span("ip", "open_ivc", identity_->name());
   // Transient failures (a flapping or congested link) retry the same route
   // after a backoff; permanent ones (dead gateway, stale registry) get at
   // most one topology refresh before the error goes upward.
@@ -295,7 +297,16 @@ ntcs::Status IpLayer::send(IvcHandle h, ntcs::BytesView lcm_msg) {
       return ntcs::Status(ntcs::Errc::address_fault, "IVC is gone");
     }
   }
+  const trace::TraceContext tctx =
+      trace::enabled() ? trace::current() : trace::TraceContext{};
+  const std::int64_t hop_start = tctx.valid() ? trace::now_ns() : 0;
   auto st = nd_.send(h.lvc, wire::encode_ip_data(h.ivc, lcm_msg));
+  if (tctx.valid()) {
+    // The origin's own hop onto the wire; each traversed gateway records
+    // its forwarding hop in on_envelope, completing the per-hop chain.
+    trace::record_child(tctx, "ip", "hop", identity_->name(), hop_start,
+                        trace::now_ns());
+  }
   if (!st.ok() && st.code() != ntcs::Errc::too_big) {
     // The circuit is dead; forget it so the LCM-Layer re-establishes.
     ntcs::LockGuard lk(mu_);
@@ -443,8 +454,21 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
         static metrics::Counter& m_hops =
             metrics::counter("ip.hops_forwarded");
         m_hops.inc();
+        // A relayed message's context is only on the wire: peek the LCM
+        // trace words so the gateway hop lands on the request's trace.
+        std::optional<wire::LcmTraceWords> tw;
+        std::int64_t relay_start = 0;
+        if (trace::enabled()) {
+          tw = wire::peek_lcm_trace(env.body);
+          if (tw) relay_start = trace::now_ns();
+        }
         (void)relay.out->nd().send(
             relay.out_h.lvc, wire::encode_ip_data(relay.out_h.ivc, env.body));
+        if (tw) {
+          trace::record_child(
+              trace::TraceContext{tw->hi, tw->lo, tw->parent}, "ip", "hop",
+              identity_->name(), relay_start, trace::now_ns());
+        }
         return {};
       }
       if (is_local) {

@@ -51,6 +51,10 @@ struct PendingRequest {
   int retries_left = 0;
   bool awaited = false;  // single-await guard; touched by the owner only
   std::int64_t ts = 0;   // monitor timestamp taken at issue (§6.1)
+  // Issuer's trace context, captured at request_async: retries run on the
+  // awaiting thread, which must re-enter it for the re-sent frames to stay
+  // on the original trace.
+  trace::TraceContext trace;
 
   std::uint32_t req_id = 0;  // current correlation ID (fresh per retry)
 
@@ -250,6 +254,13 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
       static metrics::Counter& m_backoffs =
           metrics::counter("lcm.fault_backoffs");
       m_backoffs.inc();
+      if (trace::enabled()) {
+        const trace::TraceContext tctx = trace::current();
+        if (tctx.valid()) {
+          trace::record_event(tctx, "lcm", "fault_retry", identity_->name(),
+                              static_cast<std::uint32_t>(attempt));
+        }
+      }
       std::chrono::nanoseconds delay;
       {
         ntcs::LockGuard lk(mu_);
@@ -329,6 +340,18 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
       hdr.req_id = req_id;
       hdr.mode = convert::xfer_mode_wire_id(mode);
       hdr.src_arch = convert::arch_wire_id(identity_->arch());
+      // Application traffic carries the caller's trace context on the wire
+      // (§6.1-style monitoring recursion exemption: internal/DRTS traffic
+      // stays untraced).
+      if (!opts.internal && trace::enabled()) {
+        const trace::TraceContext tctx = trace::current();
+        if (tctx.valid()) {
+          hdr.flags |= wire::kLcmFlagTraced;
+          hdr.trace_hi = tctx.hi;
+          hdr.trace_lo = tctx.lo;
+          hdr.trace_parent = tctx.span;
+        }
+      }
 
       auto st = ip_.send(h, wire::encode_lcm(hdr, body.value()));
       if (st.ok()) return h;
@@ -469,6 +492,8 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
   // deadline.
   m_stalls.inc();
   window_stalls_.fetch_add(1, std::memory_order_relaxed);
+  const bool stall_traced = trace::enabled() && req.trace.valid();
+  const std::int64_t stall_start = stall_traced ? trace::now_ns() : 0;
   auto node = std::make_shared<LcmSendWindow::Waiter>();
   w.queue.push_back(node);
   while (!node->admitted && !w.closed) {
@@ -484,6 +509,10 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
     return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
   }
   req.window_held.store(true);
+  if (stall_traced) {
+    trace::record_child(req.trace, "lcm", "window_stall", identity_->name(),
+                        stall_start, trace::now_ns());
+  }
   return ntcs::Status::success();
 }
 
@@ -553,6 +582,7 @@ ntcs::Result<RequestTicket> LcmLayer::request_async(UAdd dst, const Payload& p,
   t->deadline = std::chrono::steady_clock::now() + timeout;
   t->retries_left = cfg_.fault_retries;
   t->ts = time_source ? time_source() : 0;
+  t->trace = trace::current();
   t->window = window_for(dst);
   if (auto st = issue(t); !st.ok()) return st.error();
   return t;
@@ -608,7 +638,17 @@ ntcs::Result<Reply> LcmLayer::await(const RequestTicket& t) {
       return last;
     }
     --t->retries_left;
-    if (auto st = issue(t); !st.ok()) return st.error();
+    {
+      // The awaiting thread is not the issuing thread's call stack: re-
+      // enter the request's context so the re-sent frame (and every span
+      // below it) stays on the original trace.
+      trace::ContextScope tscope(t->trace);
+      if (trace::enabled() && t->trace.valid()) {
+        trace::record_event(t->trace, "lcm", "reissue", identity_->name(),
+                            static_cast<std::uint32_t>(t->retries_left));
+      }
+      if (auto st = issue(t); !st.ok()) return st.error();
+    }
   }
 }
 
@@ -645,6 +685,23 @@ ntcs::Status LcmLayer::reply(const ReplyCtx& ctx, const Payload& p) {
   hdr.req_id = ctx.req_id;
   hdr.mode = convert::xfer_mode_wire_id(mode);
   hdr.src_arch = convert::arch_wire_id(identity_->arch());
+  // Replies always carry kLcmFlagInternal (they are circuit bookkeeping,
+  // not new application traffic), so trace stamping keys on the request's
+  // context, never on the internal bit: a traced request gets a traced
+  // reply riding the same trace ID back.
+  if (trace::enabled() && ctx.trace.valid()) {
+    hdr.flags |= wire::kLcmFlagTraced;
+    hdr.trace_hi = ctx.trace.hi;
+    hdr.trace_lo = ctx.trace.lo;
+    hdr.trace_parent = ctx.trace.span;
+    trace::ContextScope tscope(ctx.trace);
+    const std::int64_t reply_start = trace::now_ns();
+    // Replies ride the inbound circuit; if it died the requester recovers.
+    auto st = ip_.send(ctx.via, wire::encode_lcm(hdr, body.value()));
+    trace::record_child(ctx.trace, "lcm", "reply", identity_->name(),
+                        reply_start, trace::now_ns());
+    return st;
+  }
   // Replies ride the inbound circuit; if it died the requester recovers.
   return ip_.send(ctx.via, wire::encode_lcm(hdr, body.value()));
 }
@@ -702,6 +759,10 @@ void LcmLayer::on_ip_event(IpEvent ev) {
       in.src_arch = convert::arch_from_wire_id(m.header.src_arch)
                         .value_or(convert::Arch::vax780);
       in.internal = (m.header.flags & wire::kLcmFlagInternal) != 0;
+      if ((m.header.flags & wire::kLcmFlagTraced) != 0) {
+        in.trace = trace::TraceContext{m.header.trace_hi, m.header.trace_lo,
+                                       m.header.trace_parent};
+      }
 
       static metrics::Counter& m_received = metrics::counter("lcm.received");
       switch (m.header.kind) {
@@ -712,17 +773,26 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             ++stats_.received;
           }
           m_received.inc();
+          if (trace::enabled() && in.trace.valid()) {
+            trace::record_event(in.trace, "lcm", "deliver",
+                                identity_->name());
+          }
           (void)app_queue_.push(std::move(in));
           return;
         }
         case wire::LcmKind::request: {
           in.is_request = true;
-          in.reply_ctx = ReplyCtx{ev.via, m.header.req_id, m.header.src};
+          in.reply_ctx =
+              ReplyCtx{ev.via, m.header.req_id, m.header.src, in.trace};
           {
             ntcs::LockGuard lk(mu_);
             ++stats_.received;
           }
           m_received.inc();
+          if (trace::enabled() && in.trace.valid()) {
+            trace::record_event(in.trace, "lcm", "deliver",
+                                identity_->name());
+          }
           (void)app_queue_.push(std::move(in));
           return;
         }
@@ -731,6 +801,10 @@ void LcmLayer::on_ip_event(IpEvent ev) {
           r.payload = std::move(in.payload);
           r.mode = in.mode;
           r.src_arch = in.src_arch;
+          if (trace::enabled() && in.trace.valid()) {
+            trace::record_event(in.trace, "lcm", "complete",
+                                identity_->name());
+          }
           // Correlation: the reply finds its request by ID, regardless of
           // how many requests are interleaved on this circuit.
           complete(m.header.req_id, std::move(r));

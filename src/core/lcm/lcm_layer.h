@@ -32,6 +32,7 @@
 
 #include "common/annotated.h"
 #include "common/backoff.h"
+#include "common/trace.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/log.h"
@@ -64,6 +65,10 @@ struct ReplyCtx {
   IvcHandle via;
   std::uint32_t req_id = 0;
   UAdd requester;
+  /// The requester's trace context as carried in the request's wire header
+  /// (invalid when the request was untraced). reply() re-enters it so the
+  /// reply leg joins the requester's trace.
+  trace::TraceContext trace;
 
   bool valid() const { return via.valid(); }
 };
@@ -78,6 +83,9 @@ struct Incoming {
   bool is_request = false;
   bool internal = false;
   ReplyCtx reply_ctx;
+  /// Trace context from the wire header (invalid when untraced); lets a
+  /// receiving module parent further work on the sender's trace.
+  trace::TraceContext trace;
 };
 
 /// A synchronous request's answer.

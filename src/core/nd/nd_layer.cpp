@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace ntcs::core {
 
@@ -173,6 +174,9 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
   }
   static metrics::Counter& m_no_copy =
       metrics::counter("nd.frag_copies_avoided");
+  const trace::TraceContext tctx =
+      trace::enabled() ? trace::current() : trace::TraceContext{};
+  const std::int64_t frag_start = tctx.valid() ? trace::now_ns() : 0;
   std::size_t frames = 0;
   {
     ntcs::LockGuard tx(tx_state->mu);
@@ -197,6 +201,10 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
     }
   }
   m_no_copy.inc(frames);
+  if (tctx.valid()) {
+    trace::record_child(tctx, "nd", "fragment", identity_->name(), frag_start,
+                        trace::now_ns(), static_cast<std::uint32_t>(frames));
+  }
   {
     ntcs::LockGuard lk(mu_);
     stats_.frag_copies_avoided += frames;
@@ -285,6 +293,13 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
           // application must never see it twice (or late).
           ++stats_.frames_deduped;
           m_dedup.inc();
+          if (trace::enabled()) {
+            // A dropped frame never reassembles, so its trace context is
+            // unrecoverable: a context-free event marks where dedup work
+            // happened (exempt from the orphan check by its zero trace ID).
+            trace::record_event(trace::TraceContext{}, "nd", "dedup",
+                                identity_->name());
+          }
           return std::optional<NdEvent>{};
         }
         if (fed.value().resynced || fed.value().orphan) {
@@ -295,9 +310,23 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
           // part of the same loss event.
           ++stats_.frames_resynced;
           m_resync.inc();
+          if (trace::enabled()) {
+            trace::record_event(trace::TraceContext{}, "nd", "resync",
+                                identity_->name());
+          }
         }
         if (!fed.value().complete) return std::optional<NdEvent>{};
         complete = it->second.reassembler.take();
+      }
+      if (trace::enabled()) {
+        // Receive side has no thread-local context: peek it out of the
+        // reassembled frame (ND prologue -> IP data -> LCM trace words).
+        if (auto tw = wire::peek_nd_trace(complete)) {
+          trace::record_event(
+              trace::TraceContext{tw->hi, tw->lo, tw->parent}, "nd",
+              "reassemble", identity_->name(),
+              static_cast<std::uint32_t>(complete.size()));
+        }
       }
       return handle_message(d.chan, std::move(complete));
     }

@@ -394,6 +394,11 @@ ntcs::Bytes encode_lcm(const LcmHeader& h, ntcs::BytesView payload) {
   w.put_u32(h.req_id);
   w.put_u32(h.mode);
   w.put_u32(h.src_arch);
+  if ((h.flags & kLcmFlagTraced) != 0) {
+    w.put_u64(h.trace_hi);
+    w.put_u64(h.trace_lo);
+    w.put_u64(h.trace_parent);
+  }
   w.put_raw(payload);
   return out;
 }
@@ -425,8 +430,65 @@ ntcs::Result<LcmMessage> decode_lcm(ntcs::BytesView msg) {
   auto arch = r.get_u32();
   if (!arch) return arch.error();
   out.header.src_arch = arch.value();
+  if ((out.header.flags & kLcmFlagTraced) != 0) {
+    auto hi = r.get_u64();
+    if (!hi) return hi.error();
+    out.header.trace_hi = hi.value();
+    auto lo = r.get_u64();
+    if (!lo) return lo.error();
+    out.header.trace_lo = lo.value();
+    auto parent = r.get_u64();
+    if (!parent) return parent.error();
+    out.header.trace_parent = parent.value();
+  }
   out.payload = ntcs::Bytes(r.rest().begin(), r.rest().end());
   return out;
+}
+
+std::optional<LcmTraceWords> peek_lcm_trace(ntcs::BytesView lcm_msg) {
+  // Fixed shift-mode layout: kind(4) flags(4) src(8) dst(8) req_id(4)
+  // mode(4) src_arch(4) = 36 bytes, then the three trace words.
+  constexpr std::size_t kFlagsOff = 4;
+  constexpr std::size_t kTraceOff = 36;
+  if (lcm_msg.size() < kTraceOff + 24) return std::nullopt;
+  ShiftReader fr(lcm_msg.subspan(kFlagsOff));
+  auto flags = fr.get_u32();
+  if (!flags || (flags.value() & kLcmFlagTraced) == 0) return std::nullopt;
+  ShiftReader tr(lcm_msg.subspan(kTraceOff));
+  LcmTraceWords w;
+  auto hi = tr.get_u64();
+  auto lo = tr.get_u64();
+  auto parent = tr.get_u64();
+  if (!hi || !lo || !parent) return std::nullopt;
+  w.hi = hi.value();
+  w.lo = lo.value();
+  w.parent = parent.value();
+  if ((w.hi | w.lo) == 0) return std::nullopt;
+  return w;
+}
+
+std::optional<LcmTraceWords> peek_nd_trace(ntcs::BytesView nd_msg) {
+  // ND prologue: magic(4) version(4) kind(4); IP data envelope: kind(4)
+  // ivc(8); the LCM message starts at byte 24.
+  constexpr std::size_t kNdPrologue = 12;
+  constexpr std::size_t kIpPrologue = 12;
+  if (nd_msg.size() < kNdPrologue + kIpPrologue) return std::nullopt;
+  ShiftReader nr(nd_msg);
+  auto magic = nr.get_u32();
+  auto version = nr.get_u32();
+  auto nd_kind = nr.get_u32();
+  if (!magic || magic.value() != kMagic) return std::nullopt;
+  if (!version || version.value() != kVersion) return std::nullopt;
+  if (!nd_kind ||
+      nd_kind.value() != static_cast<std::uint32_t>(NdKind::payload)) {
+    return std::nullopt;
+  }
+  auto ip_kind = nr.get_u32();
+  if (!ip_kind || ip_kind.value() != static_cast<std::uint32_t>(IpKind::data)) {
+    return std::nullopt;
+  }
+  if (!nr.get_u64()) return std::nullopt;  // ivc
+  return peek_lcm_trace(nr.rest());
 }
 
 }  // namespace ntcs::core::wire

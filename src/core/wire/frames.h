@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -221,6 +222,11 @@ enum class LcmKind : std::uint32_t {
 
 /// Flag bits in the LCM header flags word.
 inline constexpr std::uint32_t kLcmFlagInternal = 1u << 0;  // NTCS/DRTS traffic
+/// Header carries three optional trace words (trace ID hi/lo + parent span
+/// ID) between `src_arch` and the payload. Version-tolerant: frames without
+/// the bit decode exactly as before, and decoders that predate the bit skip
+/// nothing (the words only exist when the bit is set).
+inline constexpr std::uint32_t kLcmFlagTraced = 1u << 1;
 
 struct LcmHeader {
   LcmKind kind = LcmKind::data;
@@ -230,6 +236,11 @@ struct LcmHeader {
   std::uint32_t req_id = 0;
   std::uint32_t mode = 0;      // convert::xfer_mode_wire_id of the payload
   std::uint32_t src_arch = 0;  // convert::arch_wire_id
+  // Distributed-trace context, meaningful only when kLcmFlagTraced is set:
+  // 128-bit trace ID plus the sender-side parent span ID (trace.h).
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t trace_parent = 0;
 };
 
 ntcs::Bytes encode_lcm(const LcmHeader& h, ntcs::BytesView payload);
@@ -240,5 +251,23 @@ struct LcmMessage {
 };
 
 ntcs::Result<LcmMessage> decode_lcm(ntcs::BytesView msg);
+
+/// The trace words of an LCM message, read without decoding the payload.
+struct LcmTraceWords {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t parent = 0;
+};
+
+/// Cheap fixed-offset peek at an LCM message's trace words; nullopt when
+/// the frame is untraced (or too short to carry the header). Used by
+/// forwarding/reassembly sites that must attribute a span to in-flight
+/// traffic without paying a full decode.
+std::optional<LcmTraceWords> peek_lcm_trace(ntcs::BytesView lcm_msg);
+
+/// Same peek through an ND payload frame: ND prologue -> IP data envelope
+/// -> LCM header. nullopt for non-payload ND kinds, non-data IP envelopes
+/// and untraced messages.
+std::optional<LcmTraceWords> peek_nd_trace(ntcs::BytesView nd_msg);
 
 }  // namespace ntcs::core::wire

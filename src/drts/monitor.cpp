@@ -61,6 +61,67 @@ ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes) {
   return snap;
 }
 
+// Wire form of a span harvest (packed mode): u64 span count, then per
+// span: u64 trace_hi/trace_lo/span_id/parent_id, i64 start/end, u64 flags,
+// string layer/op/node.
+ntcs::Bytes encode_spans(const std::vector<trace::Span>& spans) {
+  convert::Packer p;
+  p.put_u64(spans.size());
+  for (const auto& s : spans) {
+    p.put_u64(s.trace_hi);
+    p.put_u64(s.trace_lo);
+    p.put_u64(s.span_id);
+    p.put_u64(s.parent_id);
+    p.put_i64(s.start_ns);
+    p.put_i64(s.end_ns);
+    p.put_u64(s.flags);
+    p.put_string(s.layer);
+    p.put_string(s.op);
+    p.put_string(s.node);
+  }
+  return std::move(p).take();
+}
+
+ntcs::Result<std::vector<trace::Span>> decode_spans(ntcs::BytesView bytes) {
+  convert::Unpacker u(bytes);
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > kMaxTraceHarvest) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd span count");
+  }
+  std::vector<trace::Span> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    trace::Span s;
+    auto hi = u.get_u64();
+    auto lo = u.get_u64();
+    auto id = u.get_u64();
+    auto parent = u.get_u64();
+    auto start = u.get_i64();
+    auto end = u.get_i64();
+    auto flags = u.get_u64();
+    auto layer = u.get_string();
+    auto op = u.get_string();
+    auto node = u.get_string();
+    if (!hi || !lo || !id || !parent || !start || !end || !flags || !layer ||
+        !op || !node) {
+      return ntcs::Error(ntcs::Errc::bad_message, "truncated span harvest");
+    }
+    s.trace_hi = hi.value();
+    s.trace_lo = lo.value();
+    s.span_id = id.value();
+    s.parent_id = parent.value();
+    s.start_ns = start.value();
+    s.end_ns = end.value();
+    s.flags = static_cast<std::uint32_t>(flags.value());
+    s.layer = std::move(layer.value());
+    s.op = std::move(op.value());
+    s.node = std::move(node.value());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 }  // namespace
 
 MonitorServer::MonitorServer(simnet::Fabric& fabric, core::NodeConfig cfg,
@@ -112,6 +173,44 @@ void MonitorServer::serve(const std::stop_token& st) {
         // path is internal traffic end to end, so answering it perturbs
         // none of the monitored-send metrics it reports (§6.1).
         body = encode_snapshot(metrics::MetricsRegistry::instance().snapshot());
+      } else if (op == kMonitorOpTraces) {
+        // Span-buffer harvest: the same recursive monitor path, serving
+        // the process's trace ring. Query traffic is internal, so the
+        // harvest itself never appears in the spans it returns.
+        TraceQuery q;
+        convert::Unpacker tu(in.value().payload);
+        (void)tu.get_u64();  // op, already decoded above
+        auto kind = tu.get_u64();
+        auto hi = tu.get_u64();
+        auto lo = tu.get_u64();
+        auto since = tu.get_i64();
+        if (kind && hi && lo && since) {
+          q.kind = static_cast<TraceQuery::Kind>(kind.value());
+          q.trace_hi = hi.value();
+          q.trace_lo = lo.value();
+          q.since_ns = since.value();
+        }
+        std::vector<trace::Span> spans;
+        switch (q.kind) {
+          case TraceQuery::Kind::by_trace:
+            spans = trace::spans_for_trace(q.trace_hi, q.trace_lo);
+            break;
+          case TraceQuery::Kind::since:
+            spans = trace::spans_since(q.since_ns);
+            break;
+          case TraceQuery::Kind::all:
+          default:
+            spans = trace::snapshot_spans();
+            break;
+        }
+        if (spans.size() > kMaxTraceHarvest) {
+          // Newest spans win (the ring already discarded the oldest).
+          spans.erase(spans.begin(),
+                      spans.begin() +
+                          static_cast<std::ptrdiff_t>(spans.size() -
+                                                      kMaxTraceHarvest));
+        }
+        body = encode_spans(spans);
       } else {
         convert::Packer p;
         {
@@ -267,6 +366,24 @@ ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
                                  core::Payload::raw(std::move(p).take()), opts);
   if (!reply) return reply.error();
   return decode_snapshot(reply.value().payload);
+}
+
+ntcs::Result<std::vector<trace::Span>> query_traces(core::Node& via,
+                                                    core::UAdd monitor,
+                                                    const TraceQuery& q) {
+  convert::Packer p;
+  p.put_u64(kMonitorOpTraces);
+  p.put_u64(static_cast<std::uint64_t>(q.kind));
+  p.put_u64(q.trace_hi);
+  p.put_u64(q.trace_lo);
+  p.put_i64(q.since_ns);
+  core::SendOptions opts;
+  opts.internal = true;
+  opts.timeout = 2s;
+  auto reply = via.lcm().request(monitor,
+                                 core::Payload::raw(std::move(p).take()), opts);
+  if (!reply) return reply.error();
+  return decode_spans(reply.value().payload);
 }
 
 }  // namespace ntcs::drts

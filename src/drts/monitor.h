@@ -18,6 +18,7 @@
 
 #include "common/metrics.h"
 #include "common/annotated.h"
+#include "common/trace.h"
 #include "core/node.h"
 
 namespace ntcs::drts {
@@ -29,6 +30,7 @@ inline constexpr std::string_view kMonitorName = "monitor";
 // packed-mode u64 selecting what to report.
 inline constexpr std::uint64_t kMonitorOpSummary = 1;
 inline constexpr std::uint64_t kMonitorOpMetrics = 2;
+inline constexpr std::uint64_t kMonitorOpTraces = 3;
 
 /// One sample as stored by the server.
 struct MonitorRecord {
@@ -134,5 +136,27 @@ ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
 /// DRTS service.
 ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
                                               core::UAdd monitor);
+
+/// Filter for query_traces: everything in the answering process's span
+/// buffer, one trace ID, or spans starting at/after a steady_clock
+/// timestamp.
+struct TraceQuery {
+  enum class Kind : std::uint64_t { all = 0, by_trace = 1, since = 2 };
+  Kind kind = Kind::all;
+  std::uint64_t trace_hi = 0;  // by_trace
+  std::uint64_t trace_lo = 0;  // by_trace
+  std::int64_t since_ns = 0;   // since
+};
+
+/// Harvest cap per query_traces reply: newest spans win. Sized so a full
+/// harvest (~90 wire bytes/span) stays inside the 1 MiB ALI message limit.
+inline constexpr std::size_t kMaxTraceHarvest = 8192;
+
+/// Drain a (possibly remote) monitor's span buffer over the NTCS
+/// (kMonitorOpTraces) — the §6.1 recursive-harvest path, span-flavoured.
+/// Merge multi-node harvests with trace::merge_harvests (trace_export.h).
+ntcs::Result<std::vector<trace::Span>> query_traces(core::Node& via,
+                                                    core::UAdd monitor,
+                                                    const TraceQuery& q = {});
 
 }  // namespace ntcs::drts

@@ -48,6 +48,44 @@ TEST(Metrics, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(h.bucket(0), 2u);
 }
 
+TEST(Metrics, PercentilesInterpolateWithinBuckets) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram& h = reg.histogram("layer.lat_ns");
+  EXPECT_EQ(h.percentile(0.50), 0.0);  // empty histogram
+
+  // 100 samples spread over one bucket, [64, 128): ranks interpolate
+  // linearly across the bucket's span.
+  for (int i = 0; i < 100; ++i) h.record(std::uint64_t{100});
+  EXPECT_GE(h.percentile(0.50), 64.0);
+  EXPECT_LE(h.percentile(0.50), 128.0);
+  EXPECT_LT(h.percentile(0.10), h.percentile(0.90));
+
+  // A distinct tail: 10 samples land in [1024, 2048), so p99 must sit in
+  // the tail bucket while p50 stays in the body.
+  for (int i = 0; i < 10; ++i) h.record(std::uint64_t{1500});
+  EXPECT_LE(h.percentile(0.50), 128.0);
+  EXPECT_GE(h.percentile(0.99), 1024.0);
+  EXPECT_LE(h.percentile(0.99), 2048.0);
+
+  // Zeros occupy bucket 0 and report exactly zero; out-of-range p clamps.
+  metrics::Histogram& z = reg.histogram("layer.zeros");
+  for (int i = 0; i < 5; ++i) z.record(std::uint64_t{0});
+  EXPECT_EQ(z.percentile(0.99), 0.0);
+  EXPECT_EQ(z.percentile(-1.0), 0.0);
+  EXPECT_GE(h.percentile(2.0), 1024.0);  // clamps to the max rank
+
+  // The snapshot side agrees with the live histogram, and the JSON dump
+  // carries the interpolated keys.
+  const metrics::Snapshot snap = reg.snapshot();
+  const metrics::MetricValue* v = snap.find("layer.lat_ns");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->percentile(0.99), h.percentile(0.99));
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"p50_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+}
+
 TEST(Metrics, UntouchedMetricsNeverAppearInSnapshots) {
   metrics::MetricsRegistry reg;
   reg.counter("touched").inc();

@@ -1,0 +1,465 @@
+// Distributed-tracing tests (ctest label `trace`): the trace context on the
+// LCM wire, the lock-free span ring, and the end-to-end property the whole
+// subsystem exists for — a request crossing gateway chains leaves a complete
+// root -> per-hop -> deliver -> reply -> complete span chain that can be
+// harvested from the DRTS monitor over the NTCS itself (§6.1 recursion),
+// merged, and rendered as one Chrome trace-event timeline. The chaos case
+// runs the same check under fault injection with pipelined requests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/trace.h"
+#include "common/trace_export.h"
+#include "core/testbed.h"
+#include "core/wire/frames.h"
+#include "drts/monitor.h"
+
+namespace ntcs::core {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+/// Fabric seed for the rigs below: NTCS_FABRIC_SEED if set, else 1 (the
+/// scripts/verify.sh seed sweep overrides it, same as the chaos suite).
+std::uint64_t fabric_seed() {
+  if (const char* s = std::getenv("NTCS_FABRIC_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return 1;
+}
+
+/// RAII sampling window: empties the process buffer, samples every root for
+/// the scope, and always restores the off default (other suites in this
+/// binary — and the tier-1 invariant — depend on tracing staying off).
+struct SamplingScope {
+  explicit SamplingScope(trace::SampleMode mode = trace::SampleMode::always,
+                         std::uint32_t n = 1) {
+    trace::clear_spans();
+    trace::set_sampling(mode, n);
+  }
+  ~SamplingScope() { trace::set_sampling(trace::SampleMode::off); }
+};
+
+/// Spans of `all` belonging to one trace, grouped as op -> spans.
+std::map<std::string, std::vector<trace::Span>> by_op(
+    const std::vector<trace::Span>& all, std::uint64_t hi, std::uint64_t lo) {
+  std::map<std::string, std::vector<trace::Span>> out;
+  for (const trace::Span& s : all) {
+    if (s.trace_hi == hi && s.trace_lo == lo) out[s.op].push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- the wire
+
+TEST(TraceWire, ContextRoundTripAndPeek) {
+  const Bytes payload = to_bytes("payload-bytes");
+
+  // Traced header: the three words survive encode/decode and the
+  // fixed-offset peek agrees with the full decode.
+  wire::LcmHeader h;
+  h.kind = wire::LcmKind::request;
+  h.flags = wire::kLcmFlagTraced;
+  h.req_id = 77;
+  h.trace_hi = 0x1122334455667788ull;
+  h.trace_lo = 0x99AABBCCDDEEFF00ull;
+  h.trace_parent = 0x0F0E0D0C0B0A0908ull;
+  const Bytes msg = wire::encode_lcm(h, payload);
+
+  auto dec = wire::decode_lcm(msg);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.value().header.flags & wire::kLcmFlagTraced,
+            wire::kLcmFlagTraced);
+  EXPECT_EQ(dec.value().header.trace_hi, h.trace_hi);
+  EXPECT_EQ(dec.value().header.trace_lo, h.trace_lo);
+  EXPECT_EQ(dec.value().header.trace_parent, h.trace_parent);
+  EXPECT_EQ(dec.value().payload, payload);
+
+  auto peek = wire::peek_lcm_trace(msg);
+  ASSERT_TRUE(peek.has_value());
+  EXPECT_EQ(peek->hi, h.trace_hi);
+  EXPECT_EQ(peek->lo, h.trace_lo);
+  EXPECT_EQ(peek->parent, h.trace_parent);
+
+  // The same peek through the full ND nesting: ND payload -> IP data
+  // envelope -> LCM message (the gateway-relay attribution path).
+  const Bytes nd = wire::encode_nd_payload(wire::encode_ip_data(42, msg));
+  auto nd_peek = wire::peek_nd_trace(nd);
+  ASSERT_TRUE(nd_peek.has_value());
+  EXPECT_EQ(nd_peek->hi, h.trace_hi);
+  EXPECT_EQ(nd_peek->lo, h.trace_lo);
+  EXPECT_EQ(nd_peek->parent, h.trace_parent);
+
+  // Version tolerance: an untraced header carries no trace words, decodes
+  // to zeros, and both peeks answer nullopt.
+  wire::LcmHeader plain;
+  plain.kind = wire::LcmKind::data;
+  const Bytes plain_msg = wire::encode_lcm(plain, payload);
+  EXPECT_LT(plain_msg.size(), msg.size());  // the words exist only if flagged
+  auto plain_dec = wire::decode_lcm(plain_msg);
+  ASSERT_TRUE(plain_dec.ok());
+  EXPECT_EQ(plain_dec.value().header.trace_hi, 0u);
+  EXPECT_EQ(plain_dec.value().header.trace_lo, 0u);
+  EXPECT_EQ(plain_dec.value().header.trace_parent, 0u);
+  EXPECT_EQ(plain_dec.value().payload, payload);
+  EXPECT_FALSE(wire::peek_lcm_trace(plain_msg).has_value());
+  EXPECT_FALSE(
+      wire::peek_nd_trace(
+          wire::encode_nd_payload(wire::encode_ip_data(42, plain_msg)))
+          .has_value());
+
+  // Non-payload ND kinds and truncated buffers peek to nullopt, not UB.
+  wire::NdOpen open;
+  open.src_arch = 1;
+  EXPECT_FALSE(wire::peek_nd_trace(wire::encode_nd_open(open)).has_value());
+  EXPECT_FALSE(
+      wire::peek_lcm_trace(BytesView(msg.data(), 16)).has_value());
+}
+
+// ---------------------------------------------------------------- the ring
+
+TEST(TraceBuffer, OverwriteOldestAndCountDrops) {
+  trace::SpanBuffer buf(8);
+  const trace::TraceContext ctx{0xAAu, 0xBBu, 3};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    buf.record(ctx, 100 + i, 3, static_cast<std::int64_t>(i),
+               static_cast<std::int64_t>(i) + 1, "lcm", "op", "node-x");
+  }
+  EXPECT_EQ(buf.snapshot().size(), 8u);
+  EXPECT_EQ(buf.dropped(), 0u);
+
+  // Four more wrap the ring: the four oldest are gone, each overwrite
+  // counted, newest-first survivors intact and in order.
+  for (std::uint64_t i = 8; i < 12; ++i) {
+    buf.record(ctx, 100 + i, 3, static_cast<std::int64_t>(i),
+               static_cast<std::int64_t>(i) + 1, "lcm", "op", "node-x");
+  }
+  EXPECT_EQ(buf.dropped(), 4u);
+  const auto spans = buf.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].span_id, 104 + i);  // oldest first, 100..103 lost
+    EXPECT_EQ(spans[i].trace_hi, 0xAAu);
+    EXPECT_EQ(spans[i].parent_id, 3u);
+    EXPECT_EQ(spans[i].layer, "lcm");
+    EXPECT_EQ(spans[i].node, "node-x");
+  }
+
+  // Filters.
+  EXPECT_EQ(buf.for_trace(0xAA, 0xBB).size(), 8u);
+  EXPECT_TRUE(buf.for_trace(1, 2).empty());
+  EXPECT_EQ(buf.since(10).size(), 2u);  // start_ns 10 and 11
+
+  // Over-long strings truncate into the fixed slot fields, no overflow.
+  buf.record(ctx, 999, 3, 0, 1, "a-very-long-layer-name",
+             "an-op-name-well-past-twenty-bytes", "node");
+  const auto trunc = buf.snapshot();
+  const auto it = std::find_if(trunc.begin(), trunc.end(),
+                               [](const trace::Span& s) {
+                                 return s.span_id == 999;
+                               });
+  ASSERT_NE(it, trunc.end());
+  EXPECT_LE(it->layer.size(), 12u);
+  EXPECT_LE(it->op.size(), 20u);
+  EXPECT_EQ(std::string("a-very-long-layer-name").substr(0, it->layer.size()),
+            it->layer);
+
+  buf.clear();
+  EXPECT_TRUE(buf.snapshot().empty());
+}
+
+TEST(TraceBuffer, SamplingModes) {
+  // off: the hot-path gate reports disabled and roots open nothing.
+  trace::set_sampling(trace::SampleMode::off);
+  EXPECT_FALSE(trace::enabled());
+  {
+    trace::RootSpan root("ali", "send", "n");
+    EXPECT_FALSE(root.context().valid());
+    EXPECT_FALSE(trace::current().valid());
+  }
+
+  // one_in_n: deterministic per-thread cadence — exactly 1 in 4 here.
+  {
+    SamplingScope sampling(trace::SampleMode::one_in_n, 4);
+    EXPECT_TRUE(trace::enabled());
+    int sampled = 0;
+    for (int i = 0; i < 400; ++i) {
+      if (trace::sample_this()) ++sampled;
+    }
+    EXPECT_EQ(sampled, 100);
+  }
+  EXPECT_EQ(trace::sampling_mode(), trace::SampleMode::off);
+
+  // always: a root installs a fresh context, restores on destruction, and
+  // records itself (parent 0) plus its children into the process buffer.
+  SamplingScope sampling;
+  trace::TraceContext seen;
+  {
+    trace::RootSpan root("ali", "request", "n");
+    ASSERT_TRUE(root.context().valid());
+    seen = trace::current();
+    EXPECT_EQ(seen, root.context());
+    trace::record_event(seen, "lcm", "deliver", "n");
+    {
+      trace::RootSpan nested("ali", "send", "n");  // joins, no new root
+      EXPECT_FALSE(nested.context().valid());
+      EXPECT_EQ(trace::current(), seen);
+    }
+  }
+  EXPECT_FALSE(trace::current().valid());
+  const auto spans = trace::spans_for_trace(seen.hi, seen.lo);
+  ASSERT_EQ(spans.size(), 2u);
+  for (const trace::Span& s : spans) {
+    if (s.op == "request") {
+      EXPECT_EQ(s.span_id, seen.span);
+      EXPECT_EQ(s.parent_id, 0u);
+    } else {
+      EXPECT_EQ(s.op, "deliver");
+      EXPECT_EQ(s.parent_id, seen.span);
+    }
+  }
+  EXPECT_TRUE(trace::find_orphans(spans).empty());
+}
+
+// ------------------------------------------------------- the gateway chain
+
+TEST(TraceChain, RequestAcrossAGatewayLeavesACompleteSpanChain) {
+  Testbed tb(fabric_seed());
+  tb.net("lan-a");
+  tb.net("lan-b");
+  tb.machine("m1", Arch::vax780, {"lan-a"});
+  tb.machine("gw1", Arch::apollo_dn330, {"lan-a", "lan-b"});
+  tb.machine("m2", Arch::sun3, {"lan-b"});
+  ASSERT_TRUE(tb.start_name_server("m1", "lan-a").ok());
+  ASSERT_TRUE(tb.add_gateway("gw", "gw1", {"lan-a", "lan-b"}).ok());
+  ASSERT_TRUE(tb.finalize().ok());
+  auto a = tb.spawn_module("a", "m1", "lan-a").value();
+  auto b = tb.spawn_module("b", "m2", "lan-b").value();
+
+  std::jthread echo([&b](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = b->commod().receive(50ms);
+      if (in.ok() && in.value().is_request) {
+        (void)b->commod().reply(in.value().reply_ctx, in.value().payload);
+      }
+    }
+  });
+
+  auto addr = a->commod().locate("b");
+  ASSERT_TRUE(addr.ok());
+  // Warm the circuit untraced so the traced request is pure steady state.
+  ASSERT_TRUE(a->commod().request(addr.value(), to_bytes("warm"), 5s).ok());
+
+  std::vector<trace::Span> all;
+  {
+    SamplingScope sampling;
+    ASSERT_TRUE(a->commod().request(addr.value(), to_bytes("traced"), 5s).ok());
+    all = trace::snapshot_spans();
+  }
+  echo.request_stop();
+
+  // Exactly one root: the traced request. (Internal/name-service traffic
+  // opens no roots and never stamps the wire — §6.1's recursion exemption.)
+  std::vector<trace::Span> roots;
+  for (const trace::Span& s : all) {
+    if (s.parent_id == 0 && s.trace_hi != 0) roots.push_back(s);
+  }
+  ASSERT_EQ(roots.size(), 1u);
+  const trace::Span root = roots[0];
+  EXPECT_EQ(root.layer, "ali");
+  EXPECT_EQ(root.op, "request");
+  EXPECT_EQ(root.node, "a");
+
+  const auto ops = by_op(all, root.trace_hi, root.trace_lo);
+  // The full chain: source hop, gateway relay hop(s), destination deliver,
+  // destination reply, source completion — every one a direct child of the
+  // root carried on the wire (flat parentage).
+  ASSERT_TRUE(ops.count("hop"));
+  EXPECT_GE(ops.at("hop").size(), 3u);  // a->gw, gw relay, b's reply leg
+  std::set<std::string> hop_nodes;
+  for (const trace::Span& s : ops.at("hop")) hop_nodes.insert(s.node);
+  EXPECT_TRUE(hop_nodes.count("a"));
+  bool gateway_hop = false;
+  for (const std::string& n : hop_nodes) {
+    if (n != "a" && n != "b") gateway_hop = true;
+  }
+  EXPECT_TRUE(gateway_hop) << "no relay span from the gateway";
+
+  for (const char* op : {"fragment", "reassemble", "deliver", "reply",
+                         "complete"}) {
+    ASSERT_TRUE(ops.count(op)) << op;
+  }
+  EXPECT_EQ(ops.at("deliver").front().node, "b");
+  EXPECT_EQ(ops.at("reply").front().node, "b");
+  EXPECT_EQ(ops.at("complete").front().node, "a");
+
+  // Parentage and causal completeness.
+  std::size_t in_trace = 0;
+  for (const trace::Span& s : all) {
+    if (s.trace_hi != root.trace_hi || s.trace_lo != root.trace_lo) continue;
+    ++in_trace;
+    if (s.span_id != root.span_id) {
+      EXPECT_EQ(s.parent_id, root.span_id);
+    }
+    EXPECT_LE(s.start_ns, s.end_ns);
+  }
+  EXPECT_GE(in_trace, 8u);
+  EXPECT_TRUE(trace::find_orphans(all).empty());
+
+  a->stop();
+  b->stop();
+}
+
+// ------------------------------------------------ chaos + recursive harvest
+
+TEST(TraceChaos, PipelinedRequestsUnderFaultsHarvestComplete) {
+  // The acceptance scenario: pipelined requests across a 2-gateway chain
+  // with duplication and reordering on the middle network, spans harvested
+  // through the DRTS monitor protocol (query_traces — over the NTCS
+  // itself), merged, orphan-checked, and rendered as Chrome JSON.
+  Testbed tb(fabric_seed());
+  tb.net("net-0");
+  tb.net("net-1");
+  tb.net("net-2");
+  tb.machine("m-src", Arch::vax780, {"net-0"});
+  tb.machine("m-gw0", Arch::apollo_dn330, {"net-0", "net-1"});
+  tb.machine("m-gw1", Arch::apollo_dn330, {"net-1", "net-2"});
+  tb.machine("m-dst", Arch::sun3, {"net-2"});
+  tb.machine("m-mon", Arch::pdp11_70, {"net-0"});
+  ASSERT_TRUE(tb.start_name_server("m-src", "net-0").ok());
+  ASSERT_TRUE(tb.add_gateway("gw-0", "m-gw0", {"net-0", "net-1"}).ok());
+  ASSERT_TRUE(tb.add_gateway("gw-1", "m-gw1", {"net-1", "net-2"}).ok());
+  ASSERT_TRUE(tb.finalize().ok());
+
+  NodeConfig mon_cfg;
+  mon_cfg.machine = tb.machine_id("m-mon");
+  mon_cfg.net = "net-0";
+  mon_cfg.well_known = tb.well_known();
+  drts::MonitorServer monitor(tb.fabric(), mon_cfg);
+  ASSERT_TRUE(monitor.start().ok());
+
+  auto a = tb.spawn_module("a", "m-src", "net-0").value();
+  auto b = tb.spawn_module("b", "m-dst", "net-2").value();
+  std::jthread echo([&b](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = b->commod().receive(50ms);
+      if (in.ok() && in.value().is_request) {
+        (void)b->commod().reply(in.value().reply_ctx, in.value().payload);
+      }
+    }
+  });
+  auto addr = a->commod().locate("b");
+  ASSERT_TRUE(addr.ok());
+  auto mon_addr = a->commod().locate(drts::kMonitorName);
+  ASSERT_TRUE(mon_addr.ok());
+  ASSERT_TRUE(a->commod().request(addr.value(), to_bytes("warm"), 5s).ok());
+
+  // Faults on the middle network only: application traffic must cross them
+  // both ways; naming and harvest traffic on net-0 stays clean.
+  simnet::FaultPlan plan;
+  plan.dup_prob = 0.05;
+  plan.reorder_prob = 0.05;
+  plan.reorder_window = 300us;
+  tb.fabric().set_fault_plan(tb.fabric().network_by_name("net-1").value(),
+                             plan);
+
+  constexpr int kBatches = 4;
+  constexpr int kDepth = 8;
+  int issued = 0;
+  int delivered = 0;
+  {
+    SamplingScope sampling;
+    for (int batch = 0; batch < kBatches; ++batch) {
+      std::vector<Result<RequestTicket>> tickets;
+      for (int i = 0; i < kDepth; ++i) {
+        tickets.push_back(a->commod().request_async(
+            addr.value(), to_bytes("req-" + std::to_string(issued)), 3s));
+        ++issued;
+      }
+      for (auto& t : tickets) {
+        if (t.ok() && a->commod().await(t.value()).ok()) ++delivered;
+      }
+    }
+  }
+  tb.fabric().clear_faults();
+  ASSERT_GT(delivered, issued / 2) << "fault plan collapsed the rig";
+
+  // Recursive harvest: drain the span buffer through the monitor, twice,
+  // and merge — the dedup-by-span-ID path a real multi-node overlap hits.
+  auto h1 = drts::query_traces(*a, mon_addr.value());
+  ASSERT_TRUE(h1.ok());
+  auto h2 = drts::query_traces(*a, mon_addr.value());
+  ASSERT_TRUE(h2.ok());
+  const auto merged = trace::merge_harvests({h1.value(), h2.value()});
+  EXPECT_LE(merged.size(), h1.value().size() + h2.value().size());
+  ASSERT_FALSE(merged.empty());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].start_ns, merged[i].start_ns);
+  }
+
+  // Every delivered request must read back as a complete chain: root,
+  // origin + two relay hops, deliver, reply, completion — and no span in
+  // the whole harvest may be orphaned.
+  EXPECT_TRUE(trace::find_orphans(merged).empty());
+  std::set<std::pair<std::uint64_t, std::uint64_t>> traces;
+  for (const trace::Span& s : merged) {
+    if (s.trace_hi != 0) traces.insert({s.trace_hi, s.trace_lo});
+  }
+  int complete_chains = 0;
+  for (const auto& [hi, lo] : traces) {
+    const auto ops = by_op(merged, hi, lo);
+    if (!ops.count("complete")) continue;  // an undelivered (timed-out) try
+    EXPECT_TRUE(ops.count("request_async"));
+    EXPECT_GE(ops.at("hop").size(), 3u);
+    EXPECT_TRUE(ops.count("deliver"));
+    EXPECT_TRUE(ops.count("reply"));
+    ++complete_chains;
+  }
+  EXPECT_GE(complete_chains, (delivered * 99 + 99) / 100)
+      << "delivered=" << delivered << " traces=" << traces.size();
+
+  // Targeted harvest: one trace ID through the by_trace query kind.
+  const auto [q_hi, q_lo] = *traces.begin();
+  drts::TraceQuery q;
+  q.kind = drts::TraceQuery::Kind::by_trace;
+  q.trace_hi = q_hi;
+  q.trace_lo = q_lo;
+  auto one = drts::query_traces(*a, mon_addr.value(), q);
+  ASSERT_TRUE(one.ok());
+  ASSERT_FALSE(one.value().empty());
+  for (const trace::Span& s : one.value()) {
+    EXPECT_EQ(s.trace_hi, q_hi);
+    EXPECT_EQ(s.trace_lo, q_lo);
+  }
+
+  // The merged timeline renders as Chrome trace-event JSON and survives a
+  // write/read round trip.
+  const std::string json = trace::to_chrome_json(merged);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"a\""), std::string::npos);
+  const std::string path =
+      ::testing::TempDir() + "trace_test_timeline.json";
+  ASSERT_TRUE(trace::write_chrome_json(merged, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_EQ(static_cast<std::size_t>(std::ftell(f)), json.size());
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  echo.request_stop();
+  a->stop();
+  b->stop();
+  monitor.stop();
+}
+
+}  // namespace
+}  // namespace ntcs::core
