@@ -31,15 +31,14 @@ struct DrtsRig {
     tb.machine("m2", convert::Arch::sun3, {"lan"});
     if (!tb.start_name_server("m1", "lan").ok()) std::abort();
     if (!tb.finalize().ok()) std::abort();
-    core::NodeConfig cfg;
-    cfg.machine = tb.machine_id("m2");
-    cfg.net = "lan";
-    cfg.well_known = tb.well_known();
-    time_server = std::make_unique<ntcs::drts::TimeServer>(tb.fabric(), cfg);
+    time_server =
+        std::make_unique<ntcs::drts::TimeServer>(tb.node_config("", "m2", "lan"));
     if (!time_server->start().ok()) std::abort();
-    file_server = std::make_unique<ntcs::drts::FileServer>(tb.fabric(), cfg);
+    file_server =
+        std::make_unique<ntcs::drts::FileServer>(tb.node_config("", "m2", "lan"));
     if (!file_server->start().ok()) std::abort();
-    errlog = std::make_unique<ntcs::drts::ErrorLogServer>(tb.fabric(), cfg);
+    errlog = std::make_unique<ntcs::drts::ErrorLogServer>(
+        tb.node_config("", "m2", "lan"));
     if (!errlog->start().ok()) std::abort();
     client = tb.spawn_module("bench-client", "m1", "lan").value();
     tc = std::make_unique<ntcs::drts::TimeClient>(*client);

@@ -233,13 +233,9 @@ struct PipeRig {
     if (!tb.start_name_server("m-src", "lan").ok()) std::abort();
     if (!tb.finalize().ok()) std::abort();
     // The client gets a deep window so the sweep can go to 64 outstanding.
-    core::NodeConfig cfg;
-    cfg.name = "src";
-    cfg.machine = tb.machine_id("m-src");
-    cfg.net = "lan";
-    cfg.well_known = tb.well_known();
+    core::NodeConfig cfg = tb.node_config("src", "m-src", "lan");
     cfg.lcm.window_depth = 64;
-    src = std::make_unique<core::Node>(tb.fabric(), cfg);
+    src = std::make_unique<core::Node>(std::move(cfg));
     if (!src->start().ok() || !src->commod().register_self().ok()) {
       std::abort();
     }

@@ -1,0 +1,144 @@
+// Substrate comparison: the SAME HopRig harness (bench_util.h) timed over
+// the simulated fabric and over real loopback TCP sockets.
+//
+// What the numbers mean: simnet hops cost a mutex-protected queue handoff
+// plus simulated latency; realnet hops cost real syscalls (sendmsg /
+// read), kernel socket buffers and thread wakeups. The per-hop delta is
+// the price of a real IPCS below the STD-IF — and the proof that nothing
+// above the ND-Layer had to change to pay it.
+//
+// Artifacts: standard google-benchmark timings for the registered
+// benchmarks, plus BENCH_realnet.json — a per-hop cost table (request
+// round-trip and async-send throughput at 0 and 1 gateway hops, both
+// substrates) written by an explicit sweep in main() so the artifact does
+// not depend on benchmark CLI flags.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ntcs;
+using namespace ntcs::bench;
+
+core::Substrate substrate_arg(const benchmark::State& state) {
+  return state.range(1) == 0 ? core::Substrate::simnet
+                             : core::Substrate::realnet;
+}
+
+void BM_RequestReply(benchmark::State& state) {
+  HopRig& rig = hop_rig(static_cast<int>(state.range(0)),
+                        substrate_arg(state));
+  const Bytes msg(1024, 0x42);
+  for (auto _ : state) {
+    auto reply = rig.src->commod().request(rig.dst_addr, msg, 5s);
+    if (!reply.ok()) state.SkipWithError("request failed");
+  }
+  state.SetLabel(state.range(1) == 0 ? "simnet" : "realnet");
+}
+BENCHMARK(BM_RequestReply)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AsyncSend(benchmark::State& state) {
+  HopRig& rig = hop_rig(static_cast<int>(state.range(0)),
+                        substrate_arg(state));
+  const Bytes msg(1024, 0x42);
+  for (auto _ : state) {
+    if (!rig.src->commod().send(rig.dst_addr, msg).ok()) {
+      state.SkipWithError("send failed");
+    }
+  }
+  state.SetLabel(state.range(1) == 0 ? "simnet" : "realnet");
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AsyncSend)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+struct Point {
+  const char* substrate;
+  int hops;
+  double request_us;
+  double per_hop_us;
+};
+
+/// One measured sweep point: median-of-3 batches of synchronous 1 KiB
+/// request round trips.
+double measure_request_us(HopRig& rig, int iters) {
+  const Bytes msg(1024, 0x42);
+  for (int i = 0; i < 50; ++i) {  // steady-state: circuits, caches, threads
+    if (!rig.src->commod().request(rig.dst_addr, msg, 5s).ok()) std::abort();
+  }
+  std::vector<double> batches;
+  for (int b = 0; b < 3; ++b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      auto reply = rig.src->commod().request(rig.dst_addr, msg, 5s);
+      if (!reply.ok()) std::abort();
+    }
+    const auto dt = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    batches.push_back(dt / iters);
+  }
+  std::sort(batches.begin(), batches.end());
+  return batches[1];
+}
+
+bool dump_realnet_json(const char* path) {
+  constexpr int kIters = 300;
+  std::vector<Point> points;
+  for (const auto substrate :
+       {core::Substrate::simnet, core::Substrate::realnet}) {
+    const char* name =
+        substrate == core::Substrate::simnet ? "simnet" : "realnet";
+    const double direct = measure_request_us(hop_rig(0, substrate), kIters);
+    const double one_gw = measure_request_us(hop_rig(1, substrate), kIters);
+    points.push_back({name, 0, direct, 0.0});
+    points.push_back({name, 1, one_gw, one_gw - direct});
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"payload_bytes\": 1024,\n"
+               "  \"requests_per_point\": %d,\n"
+               "  \"points\": [\n",
+               kIters);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"substrate\": \"%s\", \"gateway_hops\": %d, "
+                 "\"request_us\": %.1f, \"per_gateway_hop_us\": %.1f}%s\n",
+                 p.substrate, p.hops, p.request_us, p.per_hop_us,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+// Expanded BENCHMARK_MAIN (see bench_primitives.cpp): after the registered
+// benchmarks run, sweep the per-hop cost table and leave it behind as
+// BENCH_realnet.json.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!dump_realnet_json("BENCH_realnet.json")) {
+    std::fprintf(stderr, "failed to write BENCH_realnet.json\n");
+    return 1;
+  }
+  return 0;
+}

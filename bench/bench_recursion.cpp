@@ -41,13 +41,11 @@ struct RecursionRig {
     if (!tb.start_name_server("m1", "lan").ok()) std::abort();
     if (!tb.finalize().ok()) std::abort();
 
-    core::NodeConfig scfg;
-    scfg.machine = tb.machine_id("m2");
-    scfg.net = "lan";
-    scfg.well_known = tb.well_known();
-    time_server = std::make_unique<ntcs::drts::TimeServer>(tb.fabric(), scfg);
+    time_server =
+        std::make_unique<ntcs::drts::TimeServer>(tb.node_config("", "m2", "lan"));
     if (!time_server->start().ok()) std::abort();
-    monitor = std::make_unique<ntcs::drts::MonitorServer>(tb.fabric(), scfg);
+    monitor = std::make_unique<ntcs::drts::MonitorServer>(
+        tb.node_config("", "m2", "lan"));
     if (!monitor->start().ok()) std::abort();
 
     plain = tb.spawn_module("plain", "m1", "lan").value();

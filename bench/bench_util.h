@@ -19,7 +19,9 @@ namespace ntcs::bench {
 using namespace std::chrono_literals;
 
 /// A chain of `hops+1` networks with `hops` gateways; a source module on
-/// the first network, an echo server on the last.
+/// the first network, an echo server on the last. Runs unchanged over
+/// either substrate — that is the point of BENCH_realnet.json: the same
+/// harness, simnet vs real loopback sockets.
 struct HopRig {
   core::Testbed tb;
   std::unique_ptr<core::Node> src;
@@ -27,7 +29,9 @@ struct HopRig {
   std::jthread echo;
   core::UAdd dst_addr;
 
-  explicit HopRig(int hops) {
+  explicit HopRig(int hops,
+                  core::Substrate substrate = core::Substrate::simnet)
+      : tb(1, substrate) {
     for (int n = 0; n <= hops; ++n) tb.net(net_name(n));
     tb.machine("m-src", convert::Arch::vax780, {net_name(0)});
     tb.machine("m-dst", convert::Arch::sun3, {net_name(hops)});
@@ -71,11 +75,13 @@ struct HopRig {
   static std::string gw_machine(int g) { return "m-gw" + std::to_string(g); }
 };
 
-inline HopRig& hop_rig(int hops) {
-  static std::map<int, std::unique_ptr<HopRig>> rigs;
-  auto it = rigs.find(hops);
+inline HopRig& hop_rig(int hops,
+                       core::Substrate substrate = core::Substrate::simnet) {
+  static std::map<std::pair<int, int>, std::unique_ptr<HopRig>> rigs;
+  const std::pair<int, int> key{hops, static_cast<int>(substrate)};
+  auto it = rigs.find(key);
   if (it == rigs.end()) {
-    it = rigs.emplace(hops, std::make_unique<HopRig>(hops)).first;
+    it = rigs.emplace(key, std::make_unique<HopRig>(hops, substrate)).first;
   }
   return *it->second;
 }

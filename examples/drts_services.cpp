@@ -31,17 +31,11 @@ int main() {
   if (!tb.finalize().ok()) return 1;
   tb.fabric().set_clock_offset(tb.machine_id("sun1"), 3s);
 
-  ntcs::core::NodeConfig scfg;
-  scfg.machine = tb.machine_id("sun1");
-  scfg.net = "lan";
-  scfg.well_known = tb.well_known();
-  ntcs::drts::TimeServer time_server(tb.fabric(), scfg);
+  ntcs::drts::TimeServer time_server(tb.node_config("", "sun1", "lan"));
   if (!time_server.start().ok()) return 1;
-  ntcs::drts::MonitorServer monitor(tb.fabric(), scfg);
+  ntcs::drts::MonitorServer monitor(tb.node_config("", "sun1", "lan"));
   if (!monitor.start().ok()) return 1;
-  ntcs::core::NodeConfig ecfg = scfg;
-  ecfg.machine = tb.machine_id("apollo1");
-  ntcs::drts::ErrorLogServer errlog(tb.fabric(), ecfg);
+  ntcs::drts::ErrorLogServer errlog(tb.node_config("", "apollo1", "lan"));
   if (!errlog.start().ok()) return 1;
   std::printf("DRTS up: time-service, monitor, error-log (+ NS replica)\n");
 

@@ -66,11 +66,8 @@ int main(int argc, char** argv) {
   if (!tb.finalize().ok()) return 1;
 
   // Monitor on the last network (the farthest point from the host).
-  ntcs::core::NodeConfig mcfg;
-  mcfg.machine = tb.machine_id(machines.back());
-  mcfg.net = nets.back();
-  mcfg.well_known = tb.well_known();
-  ntcs::drts::MonitorServer monitor(tb.fabric(), mcfg);
+  ntcs::drts::MonitorServer monitor(
+      tb.node_config("", machines.back(), nets.back()));
   if (!monitor.start().ok()) return 1;
 
   ntcs::drts::ProcessController pc(tb);

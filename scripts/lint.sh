@@ -59,6 +59,44 @@ else
   echo "ok: span recording goes through the trace.h helpers"
 fi
 
+echo "== lint: STD-IF isolation grep gate =="
+# The paper's portability claim, enforced: machine/network dependence is
+# confined to the ND-Layer's backends. Raw socket headers may appear only
+# in src/realnet/; concrete backend headers (simnet/, realnet/) may be
+# named only by the backends themselves and by core/testbed.{h,cpp} — the
+# one composition root that picks a substrate. Everything else in src/
+# talks through the STD-IF (core/nd/backend.h).
+violations=$(grep -rn \
+  -e '#include [<"]sys/socket\.h' \
+  -e '#include [<"]netinet/' \
+  -e '#include [<"]arpa/inet\.h' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/realnet/' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: raw socket headers outside src/realnet/ — go through the"
+  echo "      STD-IF (core/nd/backend.h):"
+  echo "$violations"
+  fail=1
+else
+  echo "ok: raw socket headers confined to src/realnet/"
+fi
+violations=$(grep -rn \
+  -e '#include "simnet/' \
+  -e '#include "realnet/' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/simnet/' \
+  | grep -v '^src/realnet/' \
+  | grep -v '^src/core/testbed\.h:' \
+  | grep -v '^src/core/testbed\.cpp:' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: concrete backend headers outside the backends and the"
+  echo "      testbed composition root:"
+  echo "$violations"
+  fail=1
+else
+  echo "ok: concrete backend types named only by backends + testbed"
+fi
+
 echo "== lint: clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "skip: clang-tidy not installed on this toolchain"

@@ -13,14 +13,18 @@
 #    interleaving-sensitive code in the tree.
 # 5. Trace suite (ctest label `trace`) in the normal build, then repeated
 #    under TSan: the span ring's lock-free writers vs. snapshot readers.
-# 6. Fabric-seed sweep: re-run the pipeline + chaos suites across 10 fixed
+# 6. Realnet stage: the STD-IF conformance labels (`nd`, `realnet`) plus
+#    the realnet half of the parameterized integration suite, normal build
+#    and TSan — real listener/reader threads over real loopback sockets.
+# 7. Fabric-seed sweep: re-run the pipeline + chaos suites across 10 fixed
 #    fabric seeds (NTCS_FABRIC_SEED), normal build and TSan build. Each
 #    seed is a different deterministic fault/latency schedule; the
 #    pipelined request engine must keep its correlation and window
 #    invariants under every one of them.
-# 7. Lint gate: scripts/lint.sh (annotated-mutex + trace static-ref grep
-#    gates, clang-tidy where available) — run first, cheapest failure.
-# 8. ASan/UBSan build (the second sanitizer-matrix axis,
+# 8. Lint gate: scripts/lint.sh (annotated-mutex, trace static-ref and
+#    STD-IF isolation grep gates, clang-tidy where available) — run
+#    first, cheapest failure.
+# 9. ASan/UBSan build (the second sanitizer-matrix axis,
 #    NTCS_SANITIZE=address,undefined with -fno-sanitize-recover): full
 #    suite plus the analysis-label lock-validator tests.
 set -euo pipefail
@@ -58,6 +62,23 @@ cmake --build "$TSAN_DIR" -j"$(nproc)" --target trace_test
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L trace
 ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
   -L trace --repeat until-fail:3
+
+# Realnet stage: the backend-parameterized conformance suites prove the
+# STD-IF contract over real loopback sockets (labels `nd` + `realnet`:
+# conformance over both backends, the realnet-only edge cases, and the
+# multi-process bootstrap/exchange/shutdown test), then the same suites
+# run under TSan — the TCP backend's listener/reader/reaper threads are
+# real OS concurrency, not the fabric's deterministic scheduler.
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target realnet_test \
+  multiprocess_test multiprocess_peer integration_test
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure \
+  -L 'nd|realnet'
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure \
+  -R '/realnet' # the realnet half of the parameterized suites
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -L 'nd|realnet' --repeat until-fail:3
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -R '/realnet'
 
 # Pipelined-request seed sweep: the pipeline and chaos labels plus the
 # PipelinedChaos property suite, across 10 fixed fabric seeds, first in

@@ -133,6 +133,17 @@ inline constexpr std::uint16_t kIdentity = 600;
 inline constexpr std::uint16_t kSimnetEndpoint = 700;
 inline constexpr std::uint16_t kSimnetFabric = 710;
 
+// realnet substrate (real loopback TCP sockets), same stratum as simnet:
+// reached with ND-Layer locks held. The port lock guards the channel
+// table (taken by connect/close and the listener/reader threads); each
+// channel's tx lock serialises gather-writes onto its socket and is
+// taken after the port lock (connect sends nothing, send looks up the
+// channel under kRealnetPort then writes under kRealnetTx); the inbox
+// lock is a strict leaf the reader threads and recv_for meet at.
+inline constexpr std::uint16_t kRealnetPort = 720;
+inline constexpr std::uint16_t kRealnetTx = 730;
+inline constexpr std::uint16_t kRealnetInbox = 740;
+
 // Leaf infrastructure: acquired last, never held across anything.
 inline constexpr std::uint16_t kBlockingQueue = 800;
 inline constexpr std::uint16_t kLog = 900;

@@ -2,11 +2,9 @@
 
 namespace ntcs::core {
 
-Gateway::Gateway(simnet::Fabric& fabric, std::string name,
-                 std::vector<Attachment> attachments,
+Gateway::Gateway(std::string name, std::vector<Attachment> attachments,
                  std::optional<UAdd> prime_uadd)
-    : fabric_(fabric),
-      name_(std::move(name)),
+    : name_(std::move(name)),
       attachments_(std::move(attachments)),
       prime_uadd_(prime_uadd) {
   if (prime_uadd_) uadd_ = *prime_uadd_;
@@ -20,10 +18,9 @@ ntcs::Status Gateway::start() {
     const Attachment& a = attachments_[i];
     NodeConfig cfg;
     cfg.name = name_ + "." + a.net;  // one ComMod per network (Fig. 2-2)
-    cfg.machine = a.machine;
-    cfg.ipcs = a.ipcs;
+    cfg.backend = a.backend;
     cfg.net = a.net;
-    auto node = std::make_unique<Node>(fabric_, cfg);
+    auto node = std::make_unique<Node>(cfg);
     if (prime_uadd_) node->identity().set_uadd(*prime_uadd_);
     if (auto st = node->start(); !st.ok()) return st;
     node->ip().set_gateway(this);

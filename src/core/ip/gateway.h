@@ -35,13 +35,15 @@ namespace ntcs::core {
 class Gateway : public GatewayHook {
  public:
   struct Attachment {
-    simnet::MachineId machine = 0;
-    simnet::IpcsKind ipcs = simnet::IpcsKind::tcp;
+    /// Backend the attachment's Node binds through ("each ComMod is
+    /// bound with an ND-Layer designed for one of the networks" — the
+    /// backends of one gateway may even be different substrates, which
+    /// is how a simnet network gateways to a real-TCP one).
+    std::shared_ptr<IpcsBackend> backend;
     NetName net;
   };
 
-  Gateway(simnet::Fabric& fabric, std::string name,
-          std::vector<Attachment> attachments,
+  Gateway(std::string name, std::vector<Attachment> attachments,
           std::optional<UAdd> prime_uadd = std::nullopt);
   ~Gateway() override;
 
@@ -90,7 +92,6 @@ class Gateway : public GatewayHook {
   void process(const ExtendJob& job);
   void fail(const ExtendJob& job, ntcs::Errc code, const std::string& text);
 
-  simnet::Fabric& fabric_;
   std::string name_;
   std::vector<Attachment> attachments_;
   std::optional<UAdd> prime_uadd_;

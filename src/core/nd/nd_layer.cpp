@@ -7,12 +7,9 @@
 
 namespace ntcs::core {
 
-NdLayer::NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
-                 simnet::IpcsKind ipcs, std::string local_name,
+NdLayer::NdLayer(IpcsBackend& backend, std::string local_name,
                  std::shared_ptr<Identity> identity, NdConfig cfg)
-    : fabric_(fabric),
-      machine_(machine),
-      ipcs_(ipcs),
+    : backend_(backend),
       local_name_(std::move(local_name)),
       identity_(std::move(identity)),
       cfg_(cfg),
@@ -22,20 +19,20 @@ NdLayer::NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
 NdLayer::~NdLayer() { shutdown(); }
 
 ntcs::Status NdLayer::bind() {
-  auto ep = fabric_.bind(machine_, ipcs_, local_name_);
-  if (!ep) return ep.error();
-  endpoint_ = std::move(ep.value());
-  identity_->set_phys(PhysAddr{endpoint_->phys()});
-  log_.debug("bound at " + endpoint_->phys());
+  auto port = backend_.bind(local_name_);
+  if (!port) return port.error();
+  port_ = std::move(port.value());
+  identity_->set_phys(PhysAddr{port_->phys()});
+  log_.debug("bound at " + port_->phys());
   return ntcs::Status::success();
 }
 
 PhysAddr NdLayer::local_phys() const {
-  return endpoint_ ? PhysAddr{endpoint_->phys()} : PhysAddr{};
+  return port_ ? PhysAddr{port_->phys()} : PhysAddr{};
 }
 
 ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
-  if (!endpoint_) {
+  if (!port_) {
     return ntcs::Error(ntcs::Errc::bad_argument, "ND-Layer not bound");
   }
   {
@@ -64,7 +61,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
       m_retries.inc();
       std::this_thread::sleep_for(delay);
     }
-    auto chan = endpoint_->connect(dst.blob);
+    auto chan = port_->connect(dst.blob);
     if (!chan) {
       last = chan.error();
       // A partitioned network will not heal within the retry window; a
@@ -90,7 +87,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
     wire::NdOpen intro;
     intro.src_uadd = identity_->uadd();
     intro.src_arch = convert::arch_wire_id(identity_->arch());
-    intro.src_phys = endpoint_->phys();
+    intro.src_phys = port_->phys();
     auto sent = send_raw(lvc, wire::encode_nd_open(intro));
     if (!sent.ok()) {
       last = sent.error();
@@ -100,9 +97,9 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
         open_waiters_.erase(lvc);
       }
       // The IPCS channel exists even though the introduction never made
-      // it out; without this close it would linger in the fabric until
-      // endpoint teardown.
-      (void)endpoint_->close_channel(lvc);
+      // it out; without this close it would linger in the substrate (a
+      // real socket fd, on the realnet backend) until port teardown.
+      (void)port_->close_channel(lvc);
       continue;
     }
     ntcs::UniqueLock wl(waiter->mu);
@@ -125,8 +122,8 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
       }
       // Usually the channel died (the waiter was failed by a `closed`
       // delivery) and this is a no-op, but a nacked-yet-alive channel
-      // must not be stranded in the fabric.
-      (void)endpoint_->close_channel(lvc);
+      // must not be stranded in the substrate.
+      (void)port_->close_channel(lvc);
       continue;
     }
     const PeerInfo& peer = waiter->result->value();
@@ -141,7 +138,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
 }
 
 ntcs::Status NdLayer::send(LvcId lvc, ntcs::BytesView ip_envelope) {
-  if (!endpoint_) {
+  if (!port_) {
     return ntcs::Status(ntcs::Errc::bad_argument, "ND-Layer not bound");
   }
   {
@@ -183,11 +180,11 @@ ntcs::Status NdLayer::send_raw(LvcId lvc, ntcs::BytesView nd_message) {
     // Zero-copy fragmentation: each frame is a small stack-encoded header
     // plus a view into the original message, gathered by the IPCS into the
     // delivery buffer. No per-fragment Bytes is ever materialised.
-    for (const wire::FragSpan& s : wire::fragment_spans(
-             nd_message, simnet::ipcs_mtu(ipcs_), tx_state->seq)) {
+    for (const wire::FragSpan& s :
+         wire::fragment_spans(nd_message, port_->mtu(), tx_state->seq)) {
       std::uint8_t hdr[wire::kFragHeaderMax];
       const std::size_t hn = wire::encode_frag_header(s, hdr);
-      auto st = endpoint_->send(lvc, ntcs::BytesView(hdr, hn), s.chunk);
+      auto st = port_->send(lvc, ntcs::BytesView(hdr, hn), s.chunk);
       if (!st.ok()) {
         // Normalise the two IPCSs' failure vocabulary to an address fault,
         // except for conditions the layers above treat specially.
@@ -220,22 +217,21 @@ ntcs::Status NdLayer::close(LvcId lvc) {
     }
     ++stats_.lvcs_closed;
   }
-  if (endpoint_) (void)endpoint_->close_channel(lvc);
+  if (port_) (void)port_->close_channel(lvc);
   return ntcs::Status::success();
 }
 
 ntcs::Result<std::optional<NdEvent>> NdLayer::pump(
     std::chrono::nanoseconds timeout) {
-  if (!endpoint_) return ntcs::Error(ntcs::Errc::closed, "not bound");
-  auto d = endpoint_->recv_for(timeout);
+  if (!port_) return ntcs::Error(ntcs::Errc::closed, "not bound");
+  auto d = port_->recv_for(timeout);
   if (!d) return d.error();
   return handle_delivery(std::move(d.value()));
 }
 
-ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
-    simnet::Delivery d) {
+ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(IpcsDelivery d) {
   switch (d.kind) {
-    case simnet::DeliveryKind::opened: {
+    case IpcsDeliveryKind::opened: {
       // IPCS-level connection; the NTCS-level open completes when the
       // peer's NdOpen arrives. On a self-connect (a module opening a
       // circuit to its own endpoint) the channel already has state created
@@ -247,7 +243,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
       if (inserted) it->second.peer.phys = PhysAddr{d.peer_phys};
       return std::optional<NdEvent>{};
     }
-    case simnet::DeliveryKind::closed: {
+    case IpcsDeliveryKind::closed: {
       std::shared_ptr<OpenWaiter> waiter;
       bool known = false;
       {
@@ -272,7 +268,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(
       ev.lvc = d.chan;
       return std::optional<NdEvent>{std::move(ev)};
     }
-    case simnet::DeliveryKind::data: {
+    case IpcsDeliveryKind::data: {
       static metrics::Counter& m_dedup = metrics::counter("nd.frames_deduped");
       static metrics::Counter& m_resync =
           metrics::counter("nd.frames_resynced");
@@ -450,7 +446,7 @@ void NdLayer::uncache_phys(UAdd uadd) {
 }
 
 void NdLayer::shutdown() {
-  if (endpoint_) endpoint_->close();
+  if (port_) port_->close();
 }
 
 NdLayer::Stats NdLayer::stats() const {

@@ -35,15 +35,14 @@
 #include "convert/machine.h"
 #include "core/addr.h"
 #include "core/identity.h"
+#include "core/nd/backend.h"
 #include "core/wire/frames.h"
-#include "simnet/endpoint.h"
-#include "simnet/fabric.h"
 
 namespace ntcs::core {
 
 /// A local virtual circuit id (node-local; equal to the underlying IPCS
 /// channel id in this implementation).
-using LvcId = std::uint64_t;
+using LvcId = IpcsChannelId;
 
 /// What the ND-Layer reports upward to the IP-Layer.
 struct NdEvent {
@@ -76,8 +75,7 @@ struct NdConfig {
 
 class NdLayer {
  public:
-  NdLayer(simnet::Fabric& fabric, simnet::MachineId machine,
-          simnet::IpcsKind ipcs, std::string local_name,
+  NdLayer(IpcsBackend& backend, std::string local_name,
           std::shared_ptr<Identity> identity, NdConfig cfg = {});
   ~NdLayer();
 
@@ -125,9 +123,7 @@ class NdLayer {
   /// Tear down the endpoint; the pump sees Errc::closed.
   void shutdown();
 
-  simnet::IpcsKind ipcs_kind() const { return ipcs_; }
-  simnet::MachineId machine() const { return machine_; }
-  simnet::Fabric& fabric() { return fabric_; }
+  IpcsBackend& backend() { return backend_; }
 
   /// Counters for tests/benches.
   struct Stats {
@@ -154,8 +150,8 @@ class NdLayer {
   /// fragments), and `seq` is the running frame number stamped into each
   /// fragment word for the receiver's duplicate/overtake detection.
   struct TxState {
-    // nd.tx: held across Endpoint::send for a whole fragment train, so it
-    // orders before the fabric core lock and after nd.state.
+    // nd.tx: held across IpcsPort::send for a whole fragment train, so it
+    // orders before the substrate locks and after nd.state.
     ntcs::Mutex mu{ntcs::lockrank::kNdTx, "nd.tx"};
     std::uint32_t seq GUARDED_BY(mu) = 0;
   };
@@ -169,30 +165,28 @@ class NdLayer {
   struct OpenWaiter {
     // nd.open_wait: held across a whole open attempt, during which the
     // state lock is taken (twice) and stale channels are closed through
-    // the fabric — hence ranked before both.
+    // the backend — hence ranked before both.
     ntcs::Mutex mu{ntcs::lockrank::kNdOpenWait, "nd.open_wait"};
     ntcs::CondVar cv;
     std::optional<ntcs::Result<PeerInfo>> result GUARDED_BY(mu);
   };
 
-  ntcs::Result<std::optional<NdEvent>> handle_delivery(simnet::Delivery d);
+  ntcs::Result<std::optional<NdEvent>> handle_delivery(IpcsDelivery d);
   ntcs::Result<std::optional<NdEvent>> handle_message(LvcId lvc,
                                                       ntcs::Bytes msg);
   ntcs::Status send_raw(LvcId lvc, ntcs::BytesView nd_message);
 
-  simnet::Fabric& fabric_;
-  simnet::MachineId machine_;
-  simnet::IpcsKind ipcs_;
+  IpcsBackend& backend_;
   std::string local_name_;
   std::shared_ptr<Identity> identity_;
   NdConfig cfg_;
   ntcs::LayerLog log_;
 
-  std::shared_ptr<simnet::Endpoint> endpoint_;
+  std::shared_ptr<IpcsPort> port_;
 
   // nd.state: ordered after lcm.state (the LCM-Layer seeds the phys cache
-  // while holding its table lock) and before the simnet locks; never held
-  // across Endpoint::send/connect.
+  // while holding its table lock) and before the substrate locks; never
+  // held across IpcsPort::send/connect.
   mutable ntcs::Mutex mu_{ntcs::lockrank::kNdState, "nd.state"};
   ntcs::Rng rng_ GUARDED_BY(mu_);  // retry jitter
   std::unordered_map<LvcId, LvcState> lvcs_ GUARDED_BY(mu_);

@@ -16,12 +16,11 @@ std::vector<GatewayRecord> prime_gateway_records(const WellKnownTable& wk) {
   return out;
 }
 
-Node::Node(simnet::Fabric& fabric, NodeConfig cfg)
-    : fabric_(fabric),
-      cfg_(std::move(cfg)),
-      identity_(std::make_shared<Identity>(
-          cfg_.name, fabric.machine_arch(cfg_.machine), cfg_.net)),
-      nd_(fabric_, cfg_.machine, cfg_.ipcs, cfg_.name, identity_, cfg_.nd),
+Node::Node(NodeConfig cfg)
+    : cfg_(std::move(cfg)),
+      identity_(std::make_shared<Identity>(cfg_.name, cfg_.backend->arch(),
+                                           cfg_.net)),
+      nd_(*cfg_.backend, cfg_.name, identity_, cfg_.nd),
       ip_(nd_, identity_, cfg_.net, cfg_.ip),
       lcm_(ip_, identity_, cfg_.lcm),
       nsp_(lcm_, identity_),

@@ -16,16 +16,18 @@
 #include "core/identity.h"
 #include "core/ip/ip_layer.h"
 #include "core/lcm/lcm_layer.h"
+#include "core/nd/backend.h"
 #include "core/nd/nd_layer.h"
 #include "core/nsp/nsp_layer.h"
-#include "simnet/fabric.h"
 
 namespace ntcs::core {
 
 struct NodeConfig {
   std::string name;  // logical module name
-  simnet::MachineId machine = 0;
-  simnet::IpcsKind ipcs = simnet::IpcsKind::tcp;
+  /// The STD-IF backend this module's ND-Layer binds through (a
+  /// simnet::SimnetBackend or realnet::TcpBackend; built by Testbed or
+  /// by hand). Must outlive the Node.
+  std::shared_ptr<IpcsBackend> backend;
   NetName net;  // logical network identifier this module reports
   WellKnownTable well_known;
   NdConfig nd;
@@ -35,7 +37,7 @@ struct NodeConfig {
 
 class Node {
  public:
-  Node(simnet::Fabric& fabric, NodeConfig cfg);
+  explicit Node(NodeConfig cfg);
   ~Node();
 
   Node(const Node&) = delete;
@@ -60,15 +62,17 @@ class Node {
   LcmLayer& lcm() { return lcm_; }
   NspLayer& nsp() { return nsp_; }
   ComMod& commod() { return commod_; }
-  simnet::Fabric& fabric() { return fabric_; }
+  IpcsBackend& backend() { return *cfg_.backend; }
   const NodeConfig& config() const { return cfg_; }
   PhysAddr phys() const { return nd_.local_phys(); }
+  /// The local machine's clock, via the backend (simnet: the machine's
+  /// skewed virtual clock; realnet: the OS steady clock).
+  std::chrono::nanoseconds now() const { return cfg_.backend->now(); }
   bool running() const { return running_; }
 
  private:
   void pump_main(const std::stop_token& st);
 
-  simnet::Fabric& fabric_;
   NodeConfig cfg_;
   std::shared_ptr<Identity> identity_;
   NdLayer nd_;

@@ -4,12 +4,11 @@
 
 namespace ntcs::core {
 
-NameServer::NameServer(simnet::Fabric& fabric, NodeConfig cfg, NsRole role)
-    : fabric_(fabric), role_(role) {
+NameServer::NameServer(NodeConfig cfg, NsRole role) : role_(role) {
   if (cfg.name.empty()) {
     cfg.name = role == NsRole::primary ? "name-server" : "name-server-replica";
   }
-  node_ = std::make_unique<Node>(fabric, std::move(cfg));
+  node_ = std::make_unique<Node>(std::move(cfg));
   // The server *is* the well-known UAdd — it never registers with itself
   // over the wire (it could not: §3.4, it "can not provide its own"
   // address prior to connection).
@@ -331,7 +330,7 @@ ntcs::Bytes NameServer::handle_forward(UAdd old_uadd) {
   DbRecord& old = it->second;
   if (!old.deregistered) {
     ++stats_.liveness_probes;
-    if (fabric_.probe(old.phys)) {
+    if (node_->backend().probe(old.phys)) {
       // "the original module is still alive" — the caller should simply
       // reconnect.
       return nsp::encode_error_response(ntcs::Errc::still_alive,
@@ -383,7 +382,7 @@ ntcs::Bytes NameServer::handle_gateways() {
     bool any_alive = false;
     for (const auto& phys : rec.gw_phys) {
       ++stats_.liveness_probes;
-      if (fabric_.probe(phys)) {
+      if (node_->backend().probe(phys)) {
         any_alive = true;
         break;
       }

@@ -36,8 +36,7 @@ class NameServer {
  public:
   /// cfg.name defaults to "name-server" when empty; cfg.well_known is
   /// completed with the server's own physical address after bind.
-  NameServer(simnet::Fabric& fabric, NodeConfig cfg,
-             NsRole role = NsRole::primary);
+  explicit NameServer(NodeConfig cfg, NsRole role = NsRole::primary);
   ~NameServer();
 
   NameServer(const NameServer&) = delete;
@@ -104,7 +103,6 @@ class NameServer {
   ntcs::Bytes handle_gateways();
   ntcs::Bytes handle_deregister(UAdd uadd);
 
-  simnet::Fabric& fabric_;
   std::unique_ptr<Node> node_;
   NsRole role_;
   std::vector<UAdd> replica_links_;

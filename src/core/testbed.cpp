@@ -2,7 +2,17 @@
 
 namespace ntcs::core {
 
-Testbed::Testbed(std::uint64_t seed) : fabric_(seed) {}
+Testbed::Testbed(std::uint64_t seed, Substrate substrate)
+    : substrate_(substrate), fabric_(seed) {
+  if (substrate_ == Substrate::realnet) {
+    tcp_backend_ = std::make_shared<realnet::TcpBackend>();
+  }
+}
+
+Testbed::Testbed(realnet::TcpConfig tcp_cfg)
+    : substrate_(Substrate::realnet),
+      fabric_(1),
+      tcp_backend_(std::make_shared<realnet::TcpBackend>(std::move(tcp_cfg))) {}
 
 Testbed::~Testbed() {
   // Modules created through make_node/spawn_module are owned by callers and
@@ -38,15 +48,30 @@ simnet::MachineId Testbed::machine_id(const std::string& name) const {
   return machines_.at(name);
 }
 
+std::shared_ptr<IpcsBackend> Testbed::backend(const std::string& machine_name,
+                                              simnet::IpcsKind ipcs) {
+  if (substrate_ == Substrate::realnet) return tcp_backend_;
+  return std::make_shared<simnet::SimnetBackend>(
+      fabric_, machines_.at(machine_name), ipcs);
+}
+
+NodeConfig Testbed::node_config(const std::string& name,
+                                const std::string& machine_name,
+                                const std::string& net_name,
+                                simnet::IpcsKind ipcs) {
+  NodeConfig cfg;
+  cfg.name = name;
+  cfg.backend = backend(machine_name, ipcs);
+  cfg.net = net_name;
+  cfg.well_known = wk_;
+  return cfg;
+}
+
 ntcs::Status Testbed::start_name_server(const std::string& machine_name,
                                         const std::string& net_name,
                                         simnet::IpcsKind ipcs) {
-  NodeConfig cfg;
-  cfg.name = "name-server";
-  cfg.machine = machines_.at(machine_name);
-  cfg.ipcs = ipcs;
-  cfg.net = net_name;
-  ns_ = std::make_unique<NameServer>(fabric_, cfg);
+  NodeConfig cfg = node_config("name-server", machine_name, net_name, ipcs);
+  ns_ = std::make_unique<NameServer>(std::move(cfg));
   auto st = ns_->start();
   if (!st.ok()) return st;
   wk_.name_server_phys = ns_->phys();
@@ -61,11 +86,8 @@ ntcs::Status Testbed::add_name_server_replica(const std::string& machine_name,
     return ntcs::Status(ntcs::Errc::bad_argument,
                         "start the primary name server first");
   }
-  NodeConfig cfg;
-  cfg.machine = machines_.at(machine_name);
-  cfg.ipcs = ipcs;
-  cfg.net = net_name;
-  auto rep = std::make_unique<NameServer>(fabric_, cfg, NsRole::replica);
+  NodeConfig cfg = node_config("", machine_name, net_name, ipcs);
+  auto rep = std::make_unique<NameServer>(std::move(cfg), NsRole::replica);
   if (auto st = rep->start(); !st.ok()) return st;
   ns_replicas_.push_back(std::move(rep));
   return ntcs::Status::success();
@@ -74,9 +96,8 @@ ntcs::Status Testbed::add_name_server_replica(const std::string& machine_name,
 ntcs::Result<Gateway*> Testbed::add_gateway(
     const std::string& name,
     const std::vector<Gateway::Attachment>& attachments) {
-  auto gw = std::make_unique<Gateway>(
-      fabric_, name, attachments,
-      UAdd::permanent(next_prime_uadd_++));
+  auto gw = std::make_unique<Gateway>(name, attachments,
+                                      UAdd::permanent(next_prime_uadd_++));
   if (auto st = gw->start(); !st.ok()) return st.error();
   gateways_.push_back(std::move(gw));
   return gateways_.back().get();
@@ -89,8 +110,7 @@ ntcs::Result<Gateway*> Testbed::add_gateway(const std::string& name,
   std::vector<Gateway::Attachment> atts;
   for (const std::string& n : nets) {
     Gateway::Attachment a;
-    a.machine = machines_.at(machine_name);
-    a.ipcs = ipcs;
+    a.backend = backend(machine_name, ipcs);
     a.net = n;
     atts.push_back(std::move(a));
   }
@@ -129,18 +149,13 @@ ntcs::Status Testbed::finalize() {
 ntcs::Result<std::unique_ptr<Node>> Testbed::make_node(
     const std::string& name, const std::string& machine_name,
     const std::string& net_name, simnet::IpcsKind ipcs) {
-  auto mit = machines_.find(machine_name);
-  if (mit == machines_.end()) {
+  if (substrate_ == Substrate::simnet &&
+      machines_.find(machine_name) == machines_.end()) {
     return ntcs::Error(ntcs::Errc::bad_argument,
                        "no machine named '" + machine_name + "'");
   }
-  NodeConfig cfg;
-  cfg.name = name;
-  cfg.machine = mit->second;
-  cfg.ipcs = ipcs;
-  cfg.net = net_name;
-  cfg.well_known = wk_;
-  auto node = std::make_unique<Node>(fabric_, cfg);
+  NodeConfig cfg = node_config(name, machine_name, net_name, ipcs);
+  auto node = std::make_unique<Node>(std::move(cfg));
   if (auto st = node->start(); !st.ok()) return st.error();
   return node;
 }

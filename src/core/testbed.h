@@ -4,12 +4,20 @@
 // VAX and Sun machines across TCP and MBX) all follow the same bring-up
 // order, which this helper encodes:
 //
-//   1. build the simulated fabric (networks, machines);
+//   1. pick the substrate (a simulated fabric, or real loopback TCP) and
+//      describe its topology (networks, machines);
 //   2. start the Name Server (it owns well-known UAdd 1);
 //   3. start prime gateways (well-known UAdds from 2);
 //   4. finalize(): assemble the well-known address table, hand it to the
 //      Name Server and gateways, and register the gateways;
 //   5. spawn application modules, each of which registers itself.
+//
+// The Testbed is the *composition root*: the one place (outside the
+// backends themselves) allowed to name concrete substrate types. Every
+// Node it builds talks to its substrate through the STD-IF
+// (core/nd/backend.h), so the same bring-up runs over simnet or over real
+// sockets — which is exactly what the backend-parameterized conformance
+// suite exercises.
 //
 // Used by tests, benches and the examples; applications embedding the NTCS
 // can do all of this by hand with Node/NameServer/Gateway directly.
@@ -23,25 +31,55 @@
 #include "core/ip/gateway.h"
 #include "core/node.h"
 #include "core/nsp/name_server.h"
+#include "realnet/tcp_backend.h"
+#include "simnet/backend.h"
 
 namespace ntcs::core {
 
+/// Which substrate a Testbed builds its backends on.
+enum class Substrate : std::uint8_t { simnet, realnet };
+
 class Testbed {
  public:
-  explicit Testbed(std::uint64_t seed = 1);
+  explicit Testbed(std::uint64_t seed = 1,
+                   Substrate substrate = Substrate::simnet);
+  /// Real-TCP testbed with explicit backend knobs (well-known ports for
+  /// multi-process bootstrap, etc.).
+  explicit Testbed(realnet::TcpConfig tcp_cfg);
   ~Testbed();
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
+  Substrate substrate() const { return substrate_; }
+
+  /// The simulated fabric. Valid in every mode (realnet testbeds simply
+  /// never bind through it) so simnet-only fault/topology assertions can
+  /// be written unconditionally in simnet-mode tests.
   simnet::Fabric& fabric() { return fabric_; }
 
-  /// Create (or fetch) a named network.
+  /// Create (or fetch) a named network. Realnet: logical only (every
+  /// port lives on loopback; reachability is governed by NTCS routing).
   simnet::NetworkId net(const std::string& name, simnet::NetConfig cfg = {});
 
-  /// Create a named machine attached to the given networks.
+  /// Create a named machine attached to the given networks. Realnet: a
+  /// logical label for the one real host.
   simnet::MachineId machine(const std::string& name, convert::Arch arch,
                             const std::vector<std::string>& nets);
+
+  /// An STD-IF backend for a machine. Simnet: a SimnetBackend for
+  /// (machine, ipcs); realnet: the process-wide TcpBackend (machine and
+  /// ipcs are advisory).
+  std::shared_ptr<IpcsBackend> backend(
+      const std::string& machine_name,
+      simnet::IpcsKind ipcs = simnet::IpcsKind::tcp);
+
+  /// A ready-to-construct NodeConfig: backend, net and the current
+  /// well-known table filled in.
+  NodeConfig node_config(const std::string& name,
+                         const std::string& machine_name,
+                         const std::string& net_name,
+                         simnet::IpcsKind ipcs = simnet::IpcsKind::tcp);
 
   /// Start the Name Server on a machine (step 2).
   ntcs::Status start_name_server(const std::string& machine_name,
@@ -57,8 +95,8 @@ class Testbed {
                                        simnet::IpcsKind ipcs =
                                            simnet::IpcsKind::tcp);
 
-  /// Start a prime gateway spanning the given (machine, net, ipcs)
-  /// attachments (step 3). Prime UAdds are assigned sequentially.
+  /// Start a prime gateway spanning the given attachments (step 3).
+  /// Prime UAdds are assigned sequentially.
   ntcs::Result<Gateway*> add_gateway(
       const std::string& name,
       const std::vector<Gateway::Attachment>& attachments);
@@ -93,7 +131,9 @@ class Testbed {
   simnet::MachineId machine_id(const std::string& name) const;
 
  private:
+  Substrate substrate_ = Substrate::simnet;
   simnet::Fabric fabric_;
+  std::shared_ptr<realnet::TcpBackend> tcp_backend_;
   std::map<std::string, simnet::NetworkId> nets_;
   std::map<std::string, simnet::MachineId> machines_;
   std::unique_ptr<NameServer> ns_;

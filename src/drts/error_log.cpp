@@ -6,10 +6,9 @@ namespace ntcs::drts {
 
 using namespace std::chrono_literals;
 
-ErrorLogServer::ErrorLogServer(simnet::Fabric& fabric, core::NodeConfig cfg)
-    : fabric_(fabric) {
+ErrorLogServer::ErrorLogServer(core::NodeConfig cfg) {
   if (cfg.name.empty()) cfg.name = std::string(kErrorLogName);
-  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+  node_ = std::make_unique<core::Node>(std::move(cfg));
 }
 
 ErrorLogServer::~ErrorLogServer() { stop(); }

@@ -34,7 +34,7 @@ struct ErrorKey {
 
 class ErrorLogServer {
  public:
-  ErrorLogServer(simnet::Fabric& fabric, core::NodeConfig cfg);
+  explicit ErrorLogServer(core::NodeConfig cfg);
   ~ErrorLogServer();
 
   ErrorLogServer(const ErrorLogServer&) = delete;
@@ -53,7 +53,6 @@ class ErrorLogServer {
  private:
   void serve(const std::stop_token& st);
 
-  simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
   mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.error_log"};
   std::map<ErrorKey, std::uint64_t> table_ GUARDED_BY(mu_);

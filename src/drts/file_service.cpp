@@ -70,10 +70,9 @@ ntcs::Result<FileInfo> get_info(Unpacker& u) {
 
 }  // namespace
 
-FileServer::FileServer(simnet::Fabric& fabric, core::NodeConfig cfg)
-    : fabric_(fabric) {
+FileServer::FileServer(core::NodeConfig cfg) {
   if (cfg.name.empty()) cfg.name = std::string(kFileServiceName);
-  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+  node_ = std::make_unique<core::Node>(std::move(cfg));
 }
 
 FileServer::~FileServer() { stop(); }

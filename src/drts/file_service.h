@@ -34,7 +34,7 @@ struct FileInfo {
 
 class FileServer {
  public:
-  FileServer(simnet::Fabric& fabric, core::NodeConfig cfg);
+  explicit FileServer(core::NodeConfig cfg);
   ~FileServer();
 
   FileServer(const FileServer&) = delete;
@@ -58,7 +58,6 @@ class FileServer {
   void serve(const std::stop_token& st);
   ntcs::Bytes handle(ntcs::BytesView request);
 
-  simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
   mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.file_service"};
   std::map<std::string, Entry> files_ GUARDED_BY(mu_);

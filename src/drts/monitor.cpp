@@ -124,11 +124,10 @@ ntcs::Result<std::vector<trace::Span>> decode_spans(ntcs::BytesView bytes) {
 
 }  // namespace
 
-MonitorServer::MonitorServer(simnet::Fabric& fabric, core::NodeConfig cfg,
-                             std::size_t ring_capacity)
-    : fabric_(fabric), ring_capacity_(ring_capacity) {
+MonitorServer::MonitorServer(core::NodeConfig cfg, std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {
   if (cfg.name.empty()) cfg.name = std::string(kMonitorName);
-  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+  node_ = std::make_unique<core::Node>(std::move(cfg));
 }
 
 MonitorServer::~MonitorServer() { stop(); }

@@ -43,8 +43,8 @@ struct MonitorRecord {
 
 class MonitorServer {
  public:
-  MonitorServer(simnet::Fabric& fabric, core::NodeConfig cfg,
-                std::size_t ring_capacity = 65536);
+  explicit MonitorServer(core::NodeConfig cfg,
+                         std::size_t ring_capacity = 65536);
   ~MonitorServer();
 
   MonitorServer(const MonitorServer&) = delete;
@@ -86,7 +86,6 @@ class MonitorServer {
  private:
   void serve(const std::stop_token& st);
 
-  simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
   std::size_t ring_capacity_;
   mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.monitor"};

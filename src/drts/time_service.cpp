@@ -6,10 +6,9 @@ namespace ntcs::drts {
 
 using namespace std::chrono_literals;
 
-TimeServer::TimeServer(simnet::Fabric& fabric, core::NodeConfig cfg)
-    : fabric_(fabric) {
+TimeServer::TimeServer(core::NodeConfig cfg) {
   if (cfg.name.empty()) cfg.name = std::string(kTimeServiceName);
-  node_ = std::make_unique<core::Node>(fabric, std::move(cfg));
+  node_ = std::make_unique<core::Node>(std::move(cfg));
 }
 
 TimeServer::~TimeServer() { stop(); }
@@ -43,7 +42,7 @@ void TimeServer::serve(const std::stop_token& st) {
     // The answer is this machine's local clock — skew included; that is
     // precisely what the client corrects for.
     convert::Packer p;
-    p.put_i64(fabric_.machine_now(node_->config().machine).count());
+    p.put_i64(node_->now().count());
     served_.fetch_add(1);
     core::SendOptions opts;
     opts.internal = true;
@@ -55,7 +54,7 @@ void TimeServer::serve(const std::stop_token& st) {
 TimeClient::TimeClient(core::Node& node) : node_(node) {}
 
 std::int64_t TimeClient::local_now_ns() const {
-  return node_.fabric().machine_now(node_.config().machine).count();
+  return node_.now().count();
 }
 
 ntcs::Status TimeClient::sync(int samples) {

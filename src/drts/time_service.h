@@ -26,7 +26,7 @@ inline constexpr std::string_view kTimeServiceName = "time-service";
 
 class TimeServer {
  public:
-  TimeServer(simnet::Fabric& fabric, core::NodeConfig cfg);
+  explicit TimeServer(core::NodeConfig cfg);
   ~TimeServer();
 
   TimeServer(const TimeServer&) = delete;
@@ -42,7 +42,6 @@ class TimeServer {
  private:
   void serve(const std::stop_token& st);
 
-  simnet::Fabric& fabric_;
   std::unique_ptr<core::Node> node_;
   std::jthread server_;
   std::atomic<std::uint64_t> served_{0};

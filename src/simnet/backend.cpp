@@ -1,0 +1,41 @@
+#include "simnet/backend.h"
+
+namespace ntcs::simnet {
+
+namespace {
+
+core::IpcsDeliveryKind to_stdif(DeliveryKind k) {
+  switch (k) {
+    case DeliveryKind::opened:
+      return core::IpcsDeliveryKind::opened;
+    case DeliveryKind::data:
+      return core::IpcsDeliveryKind::data;
+    case DeliveryKind::closed:
+      return core::IpcsDeliveryKind::closed;
+  }
+  return core::IpcsDeliveryKind::closed;
+}
+
+}  // namespace
+
+ntcs::Result<core::IpcsDelivery> SimnetPort::recv_for(
+    std::chrono::nanoseconds timeout) {
+  auto d = ep_->recv_for(timeout);
+  if (!d) return d.error();
+  core::IpcsDelivery out;
+  out.kind = to_stdif(d.value().kind);
+  out.chan = d.value().chan;
+  out.payload = std::move(d.value().payload);
+  out.peer_phys = std::move(d.value().peer_phys);
+  return out;
+}
+
+ntcs::Result<std::shared_ptr<core::IpcsPort>> SimnetBackend::bind(
+    const std::string& local_name) {
+  auto ep = fabric_.bind(machine_, kind_, local_name);
+  if (!ep) return ep.error();
+  return std::shared_ptr<core::IpcsPort>(
+      std::make_shared<SimnetPort>(std::move(ep.value())));
+}
+
+}  // namespace ntcs::simnet

@@ -189,12 +189,8 @@ TEST(Analysis, CleanPathPipelinedChaosRunHasZeroInversions) {
     std::vector<std::jthread> clients;
     for (int c = 0; c < kThreads; ++c) {
       clients.emplace_back([&tb, c] {
-        core::NodeConfig cfg;
-        cfg.name = "client" + std::to_string(c);
-        cfg.machine = tb.machine_id("m1");
-        cfg.net = "lan";
-        cfg.well_known = tb.well_known();
-        core::Node node(tb.fabric(), cfg);
+        core::Node node(
+            tb.node_config("client" + std::to_string(c), "m1", "lan"));
         ASSERT_TRUE(node.start().ok());
         ASSERT_TRUE(node.commod().register_self().ok());
         auto addr = node.commod().locate("server");

@@ -1,0 +1,127 @@
+// backend_harness.h — shared plumbing for the backend-parameterized
+// conformance suites (nd_test, integration_test, realnet_test).
+//
+// The STD-IF contract cases must pass identically over the simulated
+// fabric and over real loopback TCP; this header builds the pair of
+// STD-IF backends a test rig runs on, for either substrate, plus the
+// substrate-specific addresses the contract cases need (an address
+// nothing listens on, and an address that is knowable *before* its
+// owner binds — the late-binder/retry-on-open case).
+#pragma once
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/nd/backend.h"
+#include "realnet/tcp_backend.h"
+#include "simnet/backend.h"
+#include "simnet/phys.h"
+
+namespace ntcs::core::harness {
+
+enum class BackendKind : std::uint8_t { simnet, realnet };
+
+inline const char* backend_param_name(BackendKind k) {
+  return k == BackendKind::simnet ? "simnet" : "realnet";
+}
+
+/// A loopback port that was bound a moment ago and is now free: connecting
+/// to it is refused until somebody binds it. Used both as "nothing listens
+/// here" and as a well-known port a late binder will claim.
+inline std::uint16_t reserve_loopback_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)), 0);
+  socklen_t len = sizeof(sa);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len), 0);
+  const std::uint16_t port = ntohs(sa.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// Two STD-IF backends that can reach each other: two simnet machines
+/// (a VAX and a Sun) on one fabric network, or two realnet TcpBackends
+/// on loopback (arch labels chosen to match the simnet pair, so identity
+/// assertions are substrate-independent).
+struct BackendPair {
+  // Populated in simnet mode only; null over realnet.
+  std::unique_ptr<simnet::Fabric> fabric;
+  simnet::NetworkId lan{};
+  simnet::MachineId m_a{}, m_b{};
+
+  std::shared_ptr<IpcsBackend> a, b;
+
+  explicit BackendPair(BackendKind kind,
+                       simnet::IpcsKind ipcs = simnet::IpcsKind::tcp,
+                       std::uint64_t seed = 1) {
+    if (kind == BackendKind::simnet) {
+      fabric = std::make_unique<simnet::Fabric>(seed);
+      lan = fabric->add_network("lan");
+      m_a = fabric->add_machine("vax1", convert::Arch::vax780, {lan});
+      m_b = fabric->add_machine("sun1", convert::Arch::sun3, {lan});
+      a = std::make_shared<simnet::SimnetBackend>(*fabric, m_a, ipcs);
+      b = std::make_shared<simnet::SimnetBackend>(*fabric, m_b, ipcs);
+    } else {
+      realnet::TcpConfig ca;
+      ca.arch = convert::Arch::vax780;
+      realnet::TcpConfig cb;
+      cb.arch = convert::Arch::sun3;
+      a = std::make_shared<realnet::TcpBackend>(std::move(ca));
+      b = std::make_shared<realnet::TcpBackend>(std::move(cb));
+    }
+  }
+
+  bool is_simnet() const { return fabric != nullptr; }
+
+  /// A well-formed address nothing listens on: opens are refused (and
+  /// therefore retried) until the caller's patience runs out.
+  std::string unreachable_phys() const {
+    if (is_simnet()) return "tcp:sun1:9";
+    return realnet::format_tcp_phys("127.0.0.1", reserve_loopback_port());
+  }
+
+  /// The retry-on-open conformance case needs a destination address that
+  /// is knowable before the destination binds. Simnet: an MBX pathname
+  /// (derived from machine + module name). Realnet: a well-known port
+  /// from TcpConfig::fixed_ports — the same mechanism the multi-process
+  /// bootstrap uses.
+  struct LateBinder {
+    std::shared_ptr<IpcsBackend> opener;  // backend the opening side uses
+    std::shared_ptr<IpcsBackend> binder;  // backend the late side binds on
+    std::string binder_name;              // local_name the late side binds
+    std::string known_phys;               // its address, known in advance
+  };
+
+  LateBinder late_binder() {
+    LateBinder lb;
+    lb.binder_name = "late-mod";
+    if (is_simnet()) {
+      lb.opener = std::make_shared<simnet::SimnetBackend>(
+          *fabric, m_a, simnet::IpcsKind::mbx);
+      lb.binder = std::make_shared<simnet::SimnetBackend>(
+          *fabric, m_b, simnet::IpcsKind::mbx);
+      lb.known_phys = simnet::format_mbx_addr("sun1", lb.binder_name);
+    } else {
+      const std::uint16_t port = reserve_loopback_port();
+      realnet::TcpConfig cb;
+      cb.arch = convert::Arch::sun3;
+      cb.fixed_ports[lb.binder_name] = port;
+      lb.opener = a;
+      lb.binder = std::make_shared<realnet::TcpBackend>(std::move(cb));
+      lb.known_phys = realnet::format_tcp_phys("127.0.0.1", port);
+    }
+    return lb;
+  }
+};
+
+}  // namespace ntcs::core::harness

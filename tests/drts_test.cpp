@@ -30,11 +30,7 @@ struct Rig {
 };
 
 core::NodeConfig service_cfg(Rig& rig, const std::string& machine) {
-  core::NodeConfig cfg;
-  cfg.machine = rig.tb.machine_id(machine);
-  cfg.net = "lan";
-  cfg.well_known = rig.tb.well_known();
-  return cfg;
+  return rig.tb.node_config("", machine, "lan");
 }
 
 TEST(TimeService, CorrectsClockSkew) {
@@ -42,7 +38,7 @@ TEST(TimeService, CorrectsClockSkew) {
   // sun1's clock is 2 seconds ahead of vax1's.
   rig.tb.fabric().set_clock_offset(rig.tb.machine_id("sun1"), 2s);
 
-  TimeServer server(rig.tb.fabric(), service_cfg(rig, "sun1"));
+  TimeServer server(service_cfg(rig, "sun1"));
   ASSERT_TRUE(server.start().ok());
 
   auto client_node = rig.tb.spawn_module("clienty", "vax1", "lan").value();
@@ -62,7 +58,7 @@ TEST(TimeService, CorrectsClockSkew) {
 
 TEST(TimeService, LazySyncOnFirstUse) {
   Rig rig;
-  TimeServer server(rig.tb.fabric(), service_cfg(rig, "sun1"));
+  TimeServer server(service_cfg(rig, "sun1"));
   ASSERT_TRUE(server.start().ok());
   auto node = rig.tb.spawn_module("lazy", "vax1", "lan").value();
   TimeClient client(*node);
@@ -83,7 +79,7 @@ TEST(TimeService, SyncFailsWithoutServer) {
 
 TEST(Monitor, CollectsSamplesFromHook) {
   Rig rig;
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
 
   auto sender = rig.tb.spawn_module("sender", "vax1", "lan").value();
@@ -115,7 +111,7 @@ TEST(Monitor, MonitoringIsNotMonitored) {
   // obvious infinite recursion" — NSP and monitor traffic must not
   // generate further samples.
   Rig rig;
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
   auto sender = rig.tb.spawn_module("s2", "vax1", "lan").value();
   auto sink = rig.tb.spawn_module("k2", "sun1", "lan").value();
@@ -133,7 +129,7 @@ TEST(Monitor, MonitoringIsNotMonitored) {
 
 TEST(Monitor, RemoteQuery) {
   Rig rig;
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
   auto sender = rig.tb.spawn_module("s3", "vax1", "lan").value();
   auto sink = rig.tb.spawn_module("k3", "sun1", "lan").value();
@@ -159,7 +155,7 @@ TEST(Monitor, MetricsQueryOverNtcsMatchesLocalSnapshot) {
   // itself cannot perturb — its own traffic is internal end to end, so the
   // monitored-send counters hold still between the two captures.
   Rig rig;
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
   auto sender = rig.tb.spawn_module("mq-s", "vax1", "lan").value();
   auto sink = rig.tb.spawn_module("mq-k", "sun1", "lan").value();
@@ -197,7 +193,7 @@ TEST(Monitor, MonitorTrafficNeverIncrementsMonitoredSendMetrics) {
   // lcm.internal_sends — never under the lcm.sends/dgrams the monitor
   // exists to observe. Otherwise observing traffic would create traffic.
   Rig rig;
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
   auto sender = rig.tb.spawn_module("ng-s", "vax1", "lan").value();
   auto sink = rig.tb.spawn_module("ng-k", "sun1", "lan").value();
@@ -226,7 +222,7 @@ TEST(Monitor, MonitorTrafficNeverIncrementsMonitoredSendMetrics) {
 
 TEST(Monitor, PairStatsAggregatePerConversation) {
   Rig rig;
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
   auto sender = rig.tb.spawn_module("ps", "vax1", "lan").value();
   auto sink1 = rig.tb.spawn_module("sink1", "sun1", "lan").value();
@@ -234,7 +230,7 @@ TEST(Monitor, PairStatsAggregatePerConversation) {
   MonitorClient mc(*sender);
   sender->lcm().set_monitor_hook(mc.hook());
   TimeClient tc(*sender);  // timestamps needed for rate projection
-  TimeServer ts(rig.tb.fabric(), service_cfg(rig, "sun1"));
+  TimeServer ts(service_cfg(rig, "sun1"));
   ASSERT_TRUE(ts.start().ok());
   sender->lcm().set_time_source(tc.source());
 
@@ -271,7 +267,7 @@ TEST(ErrorLog, LcmFaultsReportedAutomatically) {
   // §6.3: the running table of errors, fed by the LCM address-fault
   // handler through the error hook — no manual report() calls.
   Rig rig;
-  ErrorLogServer log(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  ErrorLogServer log(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(log.start().ok());
   auto client = rig.tb.spawn_module("hooked", "vax1", "lan").value();
   auto victim = rig.tb.spawn_module("victim", "sun1", "lan").value();
@@ -304,9 +300,9 @@ TEST(Recursion, FirstMonitoredSendTriggersNestedCalls) {
   // (2) emit a monitor sample — which locates the monitor — all
   // recursively through the same stack, all before/after the actual send.
   Rig rig;
-  TimeServer time_server(rig.tb.fabric(), service_cfg(rig, "sun1"));
+  TimeServer time_server(service_cfg(rig, "sun1"));
   ASSERT_TRUE(time_server.start().ok());
-  MonitorServer monitor(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  MonitorServer monitor(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(monitor.start().ok());
 
   auto app = rig.tb.spawn_module("app", "vax1", "lan").value();
@@ -386,8 +382,10 @@ TEST(ProcessControl, RelocationIsTransparentToClients) {
   EXPECT_EQ(to_string(reply.value().payload), "echo:two");
   EXPECT_GE(client->lcm().stats().relocations, 1u);
   // And the relocated module really is on the other machine.
-  EXPECT_EQ(pc.find("svc")->config().machine,
-            rig.tb.machine_id("apollo1"));
+  auto* be = dynamic_cast<simnet::SimnetBackend*>(
+      &pc.find("svc")->backend());
+  ASSERT_NE(be, nullptr);
+  EXPECT_EQ(be->machine(), rig.tb.machine_id("apollo1"));
   client->stop();
 }
 
@@ -409,7 +407,7 @@ TEST(ProcessControl, RelocationPreservesArchSensitivity) {
 
 TEST(ErrorLog, AccumulatesReports) {
   Rig rig;
-  ErrorLogServer log(rig.tb.fabric(), service_cfg(rig, "apollo1"));
+  ErrorLogServer log(service_cfg(rig, "apollo1"));
   ASSERT_TRUE(log.start().ok());
   auto node = rig.tb.spawn_module("reporter", "vax1", "lan").value();
   ErrorLogClient client(*node);

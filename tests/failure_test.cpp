@@ -300,11 +300,9 @@ TEST(Failure, MixedIpcsGatewayBridgesTcpAndMbx) {
   tb.machine("ap1", Arch::apollo_dn330, {"mbx-ring"});
   ASSERT_TRUE(tb.start_name_server("vax1", "tcp-lan").ok());
   std::vector<Gateway::Attachment> atts(2);
-  atts[0].machine = tb.machine_id("bridge");
-  atts[0].ipcs = simnet::IpcsKind::tcp;
+  atts[0].backend = tb.backend("bridge", simnet::IpcsKind::tcp);
   atts[0].net = "tcp-lan";
-  atts[1].machine = tb.machine_id("bridge");
-  atts[1].ipcs = simnet::IpcsKind::mbx;
+  atts[1].backend = tb.backend("bridge", simnet::IpcsKind::mbx);
   atts[1].net = "mbx-ring";
   ASSERT_TRUE(tb.add_gateway("bridge-gw", atts).ok());
   ASSERT_TRUE(tb.finalize().ok());

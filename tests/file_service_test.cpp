@@ -26,11 +26,7 @@ struct Rig {
     tb.machine("sun1", Arch::sun3, {"lan"});
     EXPECT_TRUE(tb.start_name_server("vax1", "lan").ok());
     EXPECT_TRUE(tb.finalize().ok());
-    core::NodeConfig cfg;
-    cfg.machine = tb.machine_id("sun1");
-    cfg.net = "lan";
-    cfg.well_known = tb.well_known();
-    server = std::make_unique<FileServer>(tb.fabric(), cfg);
+    server = std::make_unique<FileServer>(tb.node_config("", "sun1", "lan"));
     EXPECT_TRUE(server->start().ok());
     client_node = tb.spawn_module("fs-client", "vax1", "lan").value();
     fs = std::make_unique<FileClient>(*client_node);

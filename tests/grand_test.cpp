@@ -43,21 +43,13 @@ TEST(GrandIntegration, FullSystemEndToEnd) {
   tb.fabric().set_clock_offset(tb.machine_id("sun-be"), 2s);
 
   // --- DRTS: time, monitor, error log, file service ----------------------
-  NodeConfig backbone_cfg;
-  backbone_cfg.machine = tb.machine_id("mv-mid");
-  backbone_cfg.net = "backbone";
-  backbone_cfg.well_known = tb.well_known();
-  NodeConfig backend_cfg = backbone_cfg;
-  backend_cfg.machine = tb.machine_id("sun-be");
-  backend_cfg.net = "backend";
-
-  ntcs::drts::TimeServer time_server(tb.fabric(), backend_cfg);
+  ntcs::drts::TimeServer time_server(tb.node_config("", "sun-be", "backend"));
   ASSERT_TRUE(time_server.start().ok());
-  ntcs::drts::MonitorServer monitor(tb.fabric(), backbone_cfg);
+  ntcs::drts::MonitorServer monitor(tb.node_config("", "mv-mid", "backbone"));
   ASSERT_TRUE(monitor.start().ok());
-  ntcs::drts::ErrorLogServer errlog(tb.fabric(), backbone_cfg);
+  ntcs::drts::ErrorLogServer errlog(tb.node_config("", "mv-mid", "backbone"));
   ASSERT_TRUE(errlog.start().ok());
-  ntcs::drts::FileServer files(tb.fabric(), backend_cfg);
+  ntcs::drts::FileServer files(tb.node_config("", "sun-be", "backend"));
   ASSERT_TRUE(files.start().ok());
 
   // --- the application: URSA backends on the backend network -------------

@@ -25,13 +25,9 @@ struct Rig {
     tb.machine("m2", Arch::sun3, {"lan"});
     EXPECT_TRUE(tb.start_name_server("m1", "lan").ok());
     EXPECT_TRUE(tb.finalize().ok());
-    NodeConfig cfg_a;
-    cfg_a.name = "a";
-    cfg_a.machine = tb.machine_id("m1");
-    cfg_a.net = "lan";
-    cfg_a.well_known = tb.well_known();
+    NodeConfig cfg_a = tb.node_config("a", "m1", "lan");
     cfg_a.lcm = lcm_cfg;
-    a = std::make_unique<Node>(tb.fabric(), cfg_a);
+    a = std::make_unique<Node>(std::move(cfg_a));
     EXPECT_TRUE(a->start().ok());
     EXPECT_TRUE(a->commod().register_self().ok());
     b = tb.spawn_module("b", "m2", "lan").value();

@@ -1,0 +1,131 @@
+// multiprocess_peer — the helper binary fork/exec'd by multiprocess_test.
+//
+// Each invocation is ONE real OS process holding one corner of a
+// multi-process NTCS fabric over loopback TCP. The only shared knowledge
+// between processes is the well-known Name Server port passed on the
+// command line (§bootstrap: well-known physical addresses).
+//
+//   multiprocess_peer server <ns_port>
+//       Starts the Name Server on the fixed port plus an "echo" module,
+//       prints "READY" on stdout, serves requests ("echo:" + payload)
+//       until stdin reaches EOF (the parent closing its pipe end is the
+//       shutdown signal), then tears everything down and exits 0.
+//
+//   multiprocess_peer client <ns_port> <id> <requests>
+//       Builds a Node whose well-known table points at the server
+//       process, registers, locates "echo", runs a pipelined
+//       request_async exchange, verifies every reply, exits 0 on success.
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "core/testbed.h"
+#include "realnet/tcp_backend.h"
+
+using namespace std::chrono_literals;
+
+namespace {
+
+int run_server(std::uint16_t ns_port) {
+  ntcs::realnet::TcpConfig tc;
+  tc.fixed_ports["name-server"] = ns_port;
+  ntcs::core::Testbed tb(tc);
+  if (!tb.start_name_server("host", "lan").ok()) return 10;
+  if (!tb.finalize().ok()) return 11;
+  auto echo = tb.spawn_module("echo", "host", "lan");
+  if (!echo.ok()) return 12;
+
+  std::printf("READY\n");
+  std::fflush(stdout);
+
+  // Serve until the parent closes our stdin.
+  for (;;) {
+    pollfd pfd{0, POLLIN, 0};
+    if (::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      char buf[64];
+      if (::read(0, buf, sizeof(buf)) <= 0) break;
+    }
+    auto in = echo.value()->commod().receive(100ms);
+    if (!in.ok()) continue;
+    if (in.value().is_request) {
+      const std::string answer =
+          "echo:" + ntcs::to_string(in.value().payload);
+      (void)echo.value()->commod().reply(in.value().reply_ctx,
+                                         ntcs::to_bytes(answer));
+    }
+  }
+  echo.value()->stop();
+  return 0;
+}
+
+int run_client(std::uint16_t ns_port, int id, int requests) {
+  ntcs::core::NodeConfig cfg;
+  cfg.name = "client-" + std::to_string(id);
+  cfg.backend = std::make_shared<ntcs::realnet::TcpBackend>();
+  cfg.net = "lan";
+  cfg.well_known.name_server_phys =
+      ntcs::core::PhysAddr{ntcs::realnet::format_tcp_phys("127.0.0.1",
+                                                          ns_port)};
+  cfg.well_known.name_server_net = "lan";
+  ntcs::core::Node node(std::move(cfg));
+  if (!node.start().ok()) return 20;
+  if (!node.commod().register_self().ok()) return 21;
+
+  // The server process may still be coming up; locate with patience.
+  ntcs::Result<ntcs::core::UAdd> echo =
+      ntcs::Error(ntcs::Errc::not_found, "not yet");
+  for (int i = 0; i < 100 && !echo.ok(); ++i) {
+    echo = node.commod().locate("echo");
+    if (!echo.ok()) std::this_thread::sleep_for(50ms);
+  }
+  if (!echo.ok()) return 22;
+
+  // Pipelined exchange: a window of requests in flight per wave.
+  constexpr int kWindow = 8;
+  int sent = 0;
+  while (sent < requests) {
+    std::vector<std::pair<int, ntcs::core::RequestTicket>> wave;
+    for (int w = 0; w < kWindow && sent < requests; ++w, ++sent) {
+      const std::string body =
+          "c" + std::to_string(id) + "-" + std::to_string(sent);
+      auto t = node.commod().request_async(echo.value(),
+                                           ntcs::to_bytes(body), 10s);
+      if (!t.ok()) return 23;
+      wave.emplace_back(sent, std::move(t.value()));
+    }
+    for (auto& [seq, ticket] : wave) {
+      auto reply = node.commod().await(ticket);
+      if (!reply.ok()) return 24;
+      const std::string expect =
+          "echo:c" + std::to_string(id) + "-" + std::to_string(seq);
+      if (ntcs::to_string(reply.value().payload) != expect) return 25;
+    }
+  }
+
+  if (!node.commod().deregister().ok()) return 26;
+  node.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s server <ns_port> | client <ns_port> <id> <n>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string role = argv[1];
+  const auto ns_port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  if (role == "server") return run_server(ns_port);
+  if (role == "client" && argc >= 5) {
+    return run_client(ns_port, std::atoi(argv[3]), std::atoi(argv[4]));
+  }
+  return 2;
+}

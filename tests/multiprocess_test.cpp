@@ -1,0 +1,161 @@
+// The multi-process loopback test: real OS processes form an NTCS fabric
+// over real TCP, bootstrapped only by a well-known host:port — the §3.2
+// bootstrap story, executed for real.
+//
+// The orchestrating gtest process fork/execs the multiprocess_peer helper
+// (see multiprocess_peer.cpp): one server process (Name Server + echo
+// module on the well-known port) and two client processes that register,
+// locate the echo service by name, and run a pipelined request exchange.
+// The assertion of value is at the end: every process exits 0 — requests
+// all answered, shutdown clean (no wedged listener/reader thread keeps a
+// child alive past the waitpid timeout).
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "backend_harness.h"
+
+#ifndef NTCS_MULTIPROCESS_PEER
+#error "NTCS_MULTIPROCESS_PEER (helper binary path) must be defined"
+#endif
+
+namespace {
+
+using ntcs::core::harness::reserve_loopback_port;
+
+struct Child {
+  pid_t pid = -1;
+  int stdin_wr = -1;   // parent's write end of the child's stdin
+  int stdout_rd = -1;  // parent's read end of the child's stdout
+};
+
+Child spawn(const std::vector<std::string>& args) {
+  int in_pipe[2], out_pipe[2];
+  EXPECT_EQ(::pipe(in_pipe), 0);
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(in_pipe[0], 0);
+    ::dup2(out_pipe[1], 1);
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(NTCS_MULTIPROCESS_PEER));
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execv(NTCS_MULTIPROCESS_PEER, argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  return Child{pid, in_pipe[1], out_pipe[0]};
+}
+
+/// Read the child's stdout until a line equal to `line` arrives.
+bool await_line(const Child& c, const std::string& line, int timeout_ms) {
+  std::string buf;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{c.stdout_rd, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    char chunk[256];
+    const ssize_t n = ::read(c.stdout_rd, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.find(line + "\n") != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Wait for exit with a deadline; SIGKILL on overrun (then the test
+/// fails — a clean shutdown never needs the kill).
+int await_exit(const Child& c, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
+    if (r == c.pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      return -WTERMSIG(status);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(c.pid, SIGKILL);
+      ::waitpid(c.pid, &status, 0);
+      return -999;  // did not shut down on its own
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void close_child_fds(const Child& c) {
+  if (c.stdin_wr >= 0) ::close(c.stdin_wr);
+  if (c.stdout_rd >= 0) ::close(c.stdout_rd);
+}
+
+TEST(Multiprocess, ThreeProcessesBootstrapExchangeAndShutDownCleanly) {
+  const std::uint16_t ns_port = reserve_loopback_port();
+  const std::string port_str = std::to_string(ns_port);
+
+  // Process 1: Name Server + echo service on the well-known port.
+  Child server = spawn({"server", port_str});
+  ASSERT_TRUE(await_line(server, "READY", 10000))
+      << "server process never became ready";
+
+  // Processes 2 and 3: clients that know only the well-known address.
+  Child c1 = spawn({"client", port_str, "1", "32"});
+  Child c2 = spawn({"client", port_str, "2", "32"});
+
+  EXPECT_EQ(await_exit(c1, 30000), 0) << "client 1 failed";
+  EXPECT_EQ(await_exit(c2, 30000), 0) << "client 2 failed";
+  close_child_fds(c1);
+  close_child_fds(c2);
+
+  // Closing the server's stdin is the shutdown signal; it must exit 0
+  // promptly (listener thread, channel readers and Name Server all wind
+  // down without being killed).
+  ::close(server.stdin_wr);
+  server.stdin_wr = -1;
+  EXPECT_EQ(await_exit(server, 15000), 0) << "server shutdown not clean";
+  close_child_fds(server);
+}
+
+TEST(Multiprocess, ServerSurvivesAClientKilledMidExchange) {
+  const std::uint16_t ns_port = reserve_loopback_port();
+  const std::string port_str = std::to_string(ns_port);
+
+  Child server = spawn({"server", port_str});
+  ASSERT_TRUE(await_line(server, "READY", 10000));
+
+  // A long-running client, killed hard mid-exchange: real peer death.
+  Child victim = spawn({"client", port_str, "7", "100000"});
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ::kill(victim.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(victim.pid, &status, 0);
+  close_child_fds(victim);
+
+  // The server must keep serving a fresh, well-behaved client.
+  Child c = spawn({"client", port_str, "8", "16"});
+  EXPECT_EQ(await_exit(c, 30000), 0)
+      << "server did not survive a killed peer";
+  close_child_fds(c);
+
+  ::close(server.stdin_wr);
+  server.stdin_wr = -1;
+  EXPECT_EQ(await_exit(server, 15000), 0);
+  close_child_fds(server);
+}
+
+}  // namespace

@@ -65,9 +65,9 @@ TEST(Node, LateWellKnownInstallEnablesNaming) {
   // Build a node with an EMPTY well-known table, then install late.
   NodeConfig cfg;
   cfg.name = "late";
-  cfg.machine = tb.machine_id("m1");
+  cfg.backend = tb.backend("m1");
   cfg.net = "lan";
-  Node node(tb.fabric(), cfg);
+  Node node(std::move(cfg));
   ASSERT_TRUE(node.start().ok());
   EXPECT_FALSE(node.commod().register_self().ok());  // cannot find the NS
   node.install_well_known(tb.well_known());

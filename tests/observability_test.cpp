@@ -139,11 +139,7 @@ TEST(Observability, MetricsAttributeTrafficToLayersAndSurviveRemoteQuery) {
   tb.machine("m3", Arch::apollo_dn330, {"lan"});
   ASSERT_TRUE(tb.start_name_server("m1", "lan").ok());
   ASSERT_TRUE(tb.finalize().ok());
-  NodeConfig mon_cfg;
-  mon_cfg.machine = tb.machine_id("m3");
-  mon_cfg.net = "lan";
-  mon_cfg.well_known = tb.well_known();
-  drts::MonitorServer monitor(tb.fabric(), mon_cfg);
+  drts::MonitorServer monitor(tb.node_config("", "m3", "lan"));
   ASSERT_TRUE(monitor.start().ok());
   auto a = tb.spawn_module("obs-a", "m1", "lan").value();
   auto b = tb.spawn_module("obs-b", "m2", "lan").value();

@@ -42,13 +42,9 @@ struct Rig {
     tb.machine("m2", Arch::sun3, {"lan"});
     EXPECT_TRUE(tb.start_name_server("m1", "lan").ok());
     EXPECT_TRUE(tb.finalize().ok());
-    NodeConfig cfg;
-    cfg.name = "client";
-    cfg.machine = tb.machine_id("m1");
-    cfg.net = "lan";
-    cfg.well_known = tb.well_known();
+    NodeConfig cfg = tb.node_config("client", "m1", "lan");
     cfg.lcm = lcm_cfg;
-    client = std::make_unique<Node>(tb.fabric(), cfg);
+    client = std::make_unique<Node>(std::move(cfg));
     EXPECT_TRUE(client->start().ok());
     EXPECT_TRUE(client->commod().register_self().ok());
     server = tb.spawn_module("server", "m2", "lan").value();

@@ -1,0 +1,411 @@
+// Tests for the real-socket STD-IF backend that only make sense over real
+// TCP: OS port collisions, peers dying mid-stream, frames arriving split
+// across arbitrary read() boundaries, malicious/garbled length prefixes,
+// fd hygiene over many channel lifecycles, and a mixed fabric where a
+// simnet network is gatewayed to a TCP network. The substrate-independent
+// contract cases live in the backend-parameterized suites (nd_test,
+// integration_test); this file is the realnet-only remainder.
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "backend_harness.h"
+#include "core/ip/gateway.h"
+#include "core/node.h"
+#include "core/nsp/static_resolver.h"
+#include "realnet/tcp_backend.h"
+#include "simnet/backend.h"
+
+namespace ntcs::realnet {
+namespace {
+
+using namespace std::chrono_literals;
+using core::IpcsDelivery;
+using core::IpcsDeliveryKind;
+using core::harness::reserve_loopback_port;
+
+/// A plain OS TCP client speaking the backend's wire format by hand, so
+/// tests control exactly where the byte-stream is cut.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& phys) {
+    std::string host;
+    std::uint16_t port = 0;
+    EXPECT_TRUE(parse_tcp_phys(phys, host, port));
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)),
+        0);
+  }
+  ~RawClient() { close_gracefully(); }
+
+  void write_bytes(const void* data, std::size_t len) {
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void write_prefix(std::uint32_t frame_len) {
+    const unsigned char hdr[4] = {
+        static_cast<unsigned char>(frame_len >> 24),
+        static_cast<unsigned char>(frame_len >> 16),
+        static_cast<unsigned char>(frame_len >> 8),
+        static_cast<unsigned char>(frame_len)};
+    write_bytes(hdr, sizeof(hdr));
+  }
+
+  void write_frame(const std::string& payload) {
+    write_prefix(static_cast<std::uint32_t>(payload.size()));
+    write_bytes(payload.data(), payload.size());
+  }
+
+  /// FIN: what the kernel sends on behalf of a killed process.
+  void close_gracefully() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// RST: connection torn down with data in flight (hard peer death).
+  void close_with_reset() {
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Receive deliveries until one of `kind` arrives; fails the test on
+/// timeout or port closure.
+IpcsDelivery recv_kind(core::IpcsPort& port, IpcsDeliveryKind kind,
+                       std::chrono::nanoseconds total = 2s) {
+  const auto deadline = std::chrono::steady_clock::now() + total;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto d = port.recv_for(50ms);
+    if (!d.ok()) {
+      EXPECT_EQ(d.code(), Errc::timeout);
+      continue;
+    }
+    if (d.value().kind == kind) return d.value();
+  }
+  ADD_FAILURE() << "delivery of kind " << static_cast<int>(kind)
+                << " never arrived";
+  return {};
+}
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for (const auto& e :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)e;
+    ++n;
+  }
+  return n;  // includes the iterator's own fd; constant across calls
+}
+
+TEST(Realnet, PhysFormatRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(format_tcp_phys("127.0.0.1", 4242), "127.0.0.1:4242");
+  std::string host;
+  std::uint16_t port = 0;
+  ASSERT_TRUE(parse_tcp_phys("127.0.0.1:4242", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 4242);
+  EXPECT_FALSE(parse_tcp_phys("no-port-here", host, port));
+  EXPECT_FALSE(parse_tcp_phys("h:", host, port));
+  EXPECT_FALSE(parse_tcp_phys("h:notanumber", host, port));
+  EXPECT_FALSE(parse_tcp_phys("h:99999", host, port));
+  EXPECT_FALSE(parse_tcp_phys("", host, port));
+}
+
+TEST(Realnet, BindOnPortInUseFailsWithAlreadyExists) {
+  const std::uint16_t port = reserve_loopback_port();
+  TcpConfig ca;
+  ca.fixed_ports["svc"] = port;
+  TcpBackend first(ca);
+  auto held = first.bind("svc");
+  ASSERT_TRUE(held.ok());
+
+  TcpConfig cb;
+  cb.fixed_ports["svc"] = port;
+  TcpBackend second(cb);
+  auto clash = second.bind("svc");
+  ASSERT_FALSE(clash.ok());
+  EXPECT_EQ(clash.code(), Errc::already_exists);
+
+  // The port becomes bindable again once the holder releases it.
+  held.value()->close();
+  auto retry = second.bind("svc");
+  EXPECT_TRUE(retry.ok());
+  retry.value()->close();
+}
+
+TEST(Realnet, FramesSplitAcrossArbitraryWritesAreReassembled) {
+  TcpBackend backend;
+  auto port = backend.bind("mod").value();
+
+  RawClient peer(port->phys());
+  recv_kind(*port, IpcsDeliveryKind::opened);
+
+  // Dribble one frame: prefix in two writes, payload in three, with
+  // pauses so each lands in its own read().
+  const std::string payload = "reassembled across partial reads";
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char hdr[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8), static_cast<unsigned char>(len)};
+  peer.write_bytes(hdr, 1);
+  std::this_thread::sleep_for(5ms);
+  peer.write_bytes(hdr + 1, 3);
+  std::this_thread::sleep_for(5ms);
+  peer.write_bytes(payload.data(), 10);
+  std::this_thread::sleep_for(5ms);
+  peer.write_bytes(payload.data() + 10, 10);
+  std::this_thread::sleep_for(5ms);
+  peer.write_bytes(payload.data() + 20, payload.size() - 20);
+
+  auto d = recv_kind(*port, IpcsDeliveryKind::data);
+  EXPECT_EQ(to_string(d.payload), payload);
+
+  // Two frames in one write burst still arrive as two deliveries.
+  peer.write_frame("first");
+  peer.write_frame("second");
+  EXPECT_EQ(to_string(recv_kind(*port, IpcsDeliveryKind::data).payload),
+            "first");
+  EXPECT_EQ(to_string(recv_kind(*port, IpcsDeliveryKind::data).payload),
+            "second");
+  port->close();
+}
+
+TEST(Realnet, PeerDeathMidFrameDropsThePartialAndSurfacesClosed) {
+  TcpBackend backend;
+  auto port = backend.bind("mod").value();
+
+  RawClient peer(port->phys());
+  const auto opened = recv_kind(*port, IpcsDeliveryKind::opened);
+
+  peer.write_frame("complete frame");
+  // A frame promising 100 bytes, of which only 10 ever arrive — then the
+  // peer "process" dies (FIN from the kernel).
+  peer.write_prefix(100);
+  peer.write_bytes("truncated!", 10);
+  peer.close_gracefully();
+
+  EXPECT_EQ(to_string(recv_kind(*port, IpcsDeliveryKind::data).payload),
+            "complete frame");
+  const auto closed = recv_kind(*port, IpcsDeliveryKind::closed);
+  EXPECT_EQ(closed.chan, opened.chan);
+  // The truncated frame was never delivered.
+  auto extra = port->recv_for(100ms);
+  EXPECT_FALSE(extra.ok());
+  port->close();
+}
+
+TEST(Realnet, PeerResetMidStreamSurfacesClosed) {
+  TcpBackend backend;
+  auto port = backend.bind("mod").value();
+
+  RawClient peer(port->phys());
+  const auto opened = recv_kind(*port, IpcsDeliveryKind::opened);
+  peer.write_frame("before the reset");
+  EXPECT_EQ(to_string(recv_kind(*port, IpcsDeliveryKind::data).payload),
+            "before the reset");
+  peer.close_with_reset();
+
+  const auto closed = recv_kind(*port, IpcsDeliveryKind::closed);
+  EXPECT_EQ(closed.chan, opened.chan);
+  port->close();
+}
+
+TEST(Realnet, GarbledLengthPrefixClosesTheChannelNotThePort) {
+  TcpBackend backend;
+  auto port = backend.bind("mod").value();
+
+  {
+    // Length beyond the MTU: the reader refuses to allocate and drops
+    // the channel.
+    RawClient evil(port->phys());
+    recv_kind(*port, IpcsDeliveryKind::opened);
+    evil.write_prefix(static_cast<std::uint32_t>(tcp_mtu()) + 1);
+    recv_kind(*port, IpcsDeliveryKind::closed);
+  }
+  {
+    // Zero-length frame: equally malformed (ND never sends empty frames).
+    RawClient evil(port->phys());
+    recv_kind(*port, IpcsDeliveryKind::opened);
+    evil.write_prefix(0);
+    recv_kind(*port, IpcsDeliveryKind::closed);
+  }
+
+  // The port itself survived both and still accepts well-behaved peers.
+  RawClient good(port->phys());
+  recv_kind(*port, IpcsDeliveryKind::opened);
+  good.write_frame("still serving");
+  EXPECT_EQ(to_string(recv_kind(*port, IpcsDeliveryKind::data).payload),
+            "still serving");
+  port->close();
+}
+
+TEST(Realnet, ProbeTracksBindLifecycle) {
+  TcpBackend backend;
+  auto port = backend.bind("mod").value();
+  const std::string phys = port->phys();
+  EXPECT_TRUE(backend.probe(phys));
+  // The probe's transient connect/disconnect must not wedge the port.
+  RawClient peer(phys);
+  recv_kind(*port, IpcsDeliveryKind::opened);
+  peer.write_frame("after a probe");
+  EXPECT_EQ(to_string(recv_kind(*port, IpcsDeliveryKind::data).payload),
+            "after a probe");
+  port->close();
+  EXPECT_FALSE(backend.probe(phys));
+  EXPECT_FALSE(backend.probe("not an address"));
+}
+
+// The FD-leak regression test of this PR's close-path audit: cycling many
+// channels through open/use/close must return the process to its fd
+// baseline — sockets are reaped, not merely shutdown, and reader threads
+// are joined.
+TEST(Realnet, FdCountReturnsToBaselineAfterOpenCloseCycles) {
+  TcpBackend backend;
+  auto server = backend.bind("server").value();
+  auto client = backend.bind("client").value();
+
+  auto* sp = dynamic_cast<TcpPort*>(server.get());
+  auto* cp = dynamic_cast<TcpPort*>(client.get());
+  ASSERT_NE(sp, nullptr);
+  ASSERT_NE(cp, nullptr);
+
+  // Drive recv_for (which runs the reaper) until every cycled channel is
+  // joined and its socket closed on both sides.
+  auto quiesce = [&] {
+    for (int tries = 0;
+         tries < 300 && (sp->channel_count() != 0 || cp->channel_count() != 0);
+         ++tries) {
+      (void)client->recv_for(10ms);
+      (void)server->recv_for(10ms);
+    }
+    ASSERT_EQ(sp->channel_count(), 0u);
+    ASSERT_EQ(cp->channel_count(), 0u);
+  };
+
+  auto cycle = [&] {
+    auto chan = client->connect(server->phys());
+    ASSERT_TRUE(chan.ok());
+    const auto opened = recv_kind(*server, IpcsDeliveryKind::opened);
+    ASSERT_TRUE(client
+                    ->send(chan.value(), to_bytes("ping"),
+                           ntcs::BytesView{})
+                    .ok());
+    EXPECT_EQ(
+        to_string(recv_kind(*server, IpcsDeliveryKind::data).payload),
+        "ping");
+    ASSERT_TRUE(client->close_channel(chan.value()).ok());
+    EXPECT_EQ(recv_kind(*server, IpcsDeliveryKind::closed).chan,
+              opened.chan);
+  };
+  // Warm one full cycle so lazily-created fds are in the baseline, then
+  // take the baseline only once both ports are fully reaped — a baseline
+  // holding a transient channel fd would make the final count read low.
+  cycle();
+  quiesce();
+  const std::size_t baseline = open_fd_count();
+
+  for (int i = 0; i < 100; ++i) cycle();
+  quiesce();
+  EXPECT_EQ(open_fd_count(), baseline);
+
+  server->close();
+  client->close();
+}
+
+// The mixed-fabric tentpole case: a module on a simulated network reaches
+// a module on a real-TCP network through the existing IP gateway relay —
+// one gateway attachment binds through simnet, the other through real
+// sockets, and neither end knows the difference.
+TEST(Realnet, MixedSimnetTcpFabricRelaysThroughGateway) {
+  simnet::Fabric fabric{1};
+  auto sim_lan = fabric.add_network("sim-lan");
+  auto m1 = fabric.add_machine("m1", convert::Arch::vax780, {sim_lan});
+  auto gm = fabric.add_machine("gm", convert::Arch::sun3, {sim_lan});
+
+  auto tcp_backend = std::make_shared<TcpBackend>();
+
+  core::Gateway gw(
+      "gw",
+      {{std::make_shared<simnet::SimnetBackend>(fabric, gm,
+                                                simnet::IpcsKind::tcp),
+        "sim-lan"},
+       {tcp_backend, "tcp-lan"}},
+      core::UAdd::permanent(2));
+  ASSERT_TRUE(gw.start().ok());
+
+  core::NodeConfig cfg_a;
+  cfg_a.name = "a";
+  cfg_a.backend = std::make_shared<simnet::SimnetBackend>(
+      fabric, m1, simnet::IpcsKind::tcp);
+  cfg_a.net = "sim-lan";
+  core::Node a(std::move(cfg_a));
+  ASSERT_TRUE(a.start().ok());
+  a.identity().set_uadd(core::UAdd::permanent(2001));
+
+  core::NodeConfig cfg_b;
+  cfg_b.name = "b";
+  cfg_b.backend = tcp_backend;
+  cfg_b.net = "tcp-lan";
+  core::Node b(std::move(cfg_b));
+  ASSERT_TRUE(b.start().ok());
+  b.identity().set_uadd(core::UAdd::permanent(2002));
+
+  core::StaticNameService svc;
+  svc.add("a", core::UAdd::permanent(2001), a.phys(), "sim-lan");
+  svc.add("b", core::UAdd::permanent(2002), b.phys(), "tcp-lan");
+  svc.add_gateway(gw.record());
+  core::use_static_naming(a, svc);
+  core::use_static_naming(b, svc);
+
+  // simnet -> gateway -> real TCP.
+  ASSERT_TRUE(a.commod()
+                  .send(core::UAdd::permanent(2002),
+                        to_bytes("across substrates"))
+                  .ok());
+  auto in_b = b.commod().receive(3s);
+  ASSERT_TRUE(in_b.ok());
+  EXPECT_EQ(to_string(in_b.value().payload), "across substrates");
+  EXPECT_EQ(in_b.value().src, core::UAdd::permanent(2001));
+
+  // And back: real TCP -> gateway -> simnet.
+  ASSERT_TRUE(b.commod()
+                  .send(core::UAdd::permanent(2001),
+                        to_bytes("return path"))
+                  .ok());
+  auto in_a = a.commod().receive(3s);
+  ASSERT_TRUE(in_a.ok());
+  EXPECT_EQ(to_string(in_a.value().payload), "return path");
+
+  a.stop();
+  b.stop();
+  gw.stop();
+}
+
+}  // namespace
+}  // namespace ntcs::realnet

@@ -5,6 +5,7 @@
 
 #include "core/nsp/static_resolver.h"
 #include "core/testbed.h"
+#include "simnet/backend.h"
 
 namespace ntcs::core {
 namespace {
@@ -36,17 +37,19 @@ TEST(StaticNaming, FullSystemWithoutNameServer) {
 
   NodeConfig cfg_a;
   cfg_a.name = "a";
-  cfg_a.machine = vax;
+  cfg_a.backend = std::make_shared<simnet::SimnetBackend>(
+      fabric, vax, simnet::IpcsKind::tcp);
   cfg_a.net = "lan";
-  Node a(fabric, cfg_a);
+  Node a(std::move(cfg_a));
   ASSERT_TRUE(a.start().ok());
   a.identity().set_uadd(UAdd::permanent(2001));
 
   NodeConfig cfg_b;
   cfg_b.name = "b";
-  cfg_b.machine = sun;
+  cfg_b.backend = std::make_shared<simnet::SimnetBackend>(
+      fabric, sun, simnet::IpcsKind::tcp);
   cfg_b.net = "lan";
-  Node b(fabric, cfg_b);
+  Node b(std::move(cfg_b));
   ASSERT_TRUE(b.start().ok());
   b.identity().set_uadd(UAdd::permanent(2002));
 
@@ -79,24 +82,29 @@ TEST(StaticNaming, CrossNetworkViaStaticGatewayRecord) {
   auto m2 = fabric.add_machine("m2", Arch::sun3, {nb});
 
   // A gateway still works — its record simply comes from the static table.
-  Gateway gw(fabric, "gw", {{gm, simnet::IpcsKind::tcp, "net-a"},
-                            {gm, simnet::IpcsKind::tcp, "net-b"}},
+  auto gw_backend = [&] {
+    return std::make_shared<simnet::SimnetBackend>(fabric, gm,
+                                                   simnet::IpcsKind::tcp);
+  };
+  Gateway gw("gw", {{gw_backend(), "net-a"}, {gw_backend(), "net-b"}},
              UAdd::permanent(2));
   ASSERT_TRUE(gw.start().ok());
 
   NodeConfig cfg_a;
   cfg_a.name = "a";
-  cfg_a.machine = m1;
+  cfg_a.backend = std::make_shared<simnet::SimnetBackend>(
+      fabric, m1, simnet::IpcsKind::tcp);
   cfg_a.net = "net-a";
-  Node a(fabric, cfg_a);
+  Node a(std::move(cfg_a));
   ASSERT_TRUE(a.start().ok());
   a.identity().set_uadd(UAdd::permanent(2001));
 
   NodeConfig cfg_b;
   cfg_b.name = "b";
-  cfg_b.machine = m2;
+  cfg_b.backend = std::make_shared<simnet::SimnetBackend>(
+      fabric, m2, simnet::IpcsKind::tcp);
   cfg_b.net = "net-b";
-  Node b(fabric, cfg_b);
+  Node b(std::move(cfg_b));
   ASSERT_TRUE(b.start().ok());
   b.identity().set_uadd(UAdd::permanent(2002));
 
@@ -124,14 +132,15 @@ TEST(StaticNaming, NoForwardingMeansCleanFailureOnDeath) {
   auto m = fabric.add_machine("m", Arch::vax780, {lan});
   NodeConfig cfg_a;
   cfg_a.name = "a";
-  cfg_a.machine = m;
+  cfg_a.backend = std::make_shared<simnet::SimnetBackend>(
+      fabric, m, simnet::IpcsKind::tcp);
   cfg_a.net = "lan";
-  Node a(fabric, cfg_a);
+  NodeConfig cfg_b = cfg_a;
+  Node a(std::move(cfg_a));
   ASSERT_TRUE(a.start().ok());
   a.identity().set_uadd(UAdd::permanent(2001));
-  NodeConfig cfg_b = cfg_a;
   cfg_b.name = "b";
-  auto b = std::make_unique<Node>(fabric, cfg_b);
+  auto b = std::make_unique<Node>(std::move(cfg_b));
   ASSERT_TRUE(b->start().ok());
   b->identity().set_uadd(UAdd::permanent(2002));
   StaticNameService svc;

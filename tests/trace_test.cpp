@@ -337,11 +337,7 @@ TEST(TraceChaos, PipelinedRequestsUnderFaultsHarvestComplete) {
   ASSERT_TRUE(tb.add_gateway("gw-1", "m-gw1", {"net-1", "net-2"}).ok());
   ASSERT_TRUE(tb.finalize().ok());
 
-  NodeConfig mon_cfg;
-  mon_cfg.machine = tb.machine_id("m-mon");
-  mon_cfg.net = "net-0";
-  mon_cfg.well_known = tb.well_known();
-  drts::MonitorServer monitor(tb.fabric(), mon_cfg);
+  drts::MonitorServer monitor(tb.node_config("", "m-mon", "net-0"));
   ASSERT_TRUE(monitor.start().ok());
 
   auto a = tb.spawn_module("a", "m-src", "net-0").value();
