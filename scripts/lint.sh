@@ -97,6 +97,33 @@ else
   echo "ok: concrete backend types named only by backends + testbed"
 fi
 
+echo "== lint: bounded-queue grep gate =="
+# Overload-control floor (DESIGN.md "Overload control"): every queue-typed
+# declaration in src/ must carry a documented bound — a `// bound: ...`
+# comment on the declaration line or within the three lines above it —
+# naming the capacity and what happens at it. An unannotated std::deque /
+# std::queue / std::priority_queue is exactly how the unbounded-growth
+# bug this gate guards against gets reintroduced.
+violations=""
+while IFS=: read -r file line _; do
+  start=$((line > 3 ? line - 3 : 1))
+  if ! sed -n "${start},${line}p" "$file" | grep -q 'bound:'; then
+    violations="${violations}${file}:${line}"$'\n'
+  fi
+done < <(grep -rn \
+  -e 'std::deque<' \
+  -e 'std::queue<' \
+  -e 'std::priority_queue<' \
+  src/ --include='*.h' --include='*.cpp')
+if [ -n "$violations" ]; then
+  echo "FAIL: queue declarations without a documented bound (add a"
+  echo "      '// bound: <capacity> — <shed semantics>' comment):"
+  printf '%s' "$violations"
+  fail=1
+else
+  echo "ok: every queue declaration in src/ documents its bound"
+fi
+
 echo "== lint: clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "skip: clang-tidy not installed on this toolchain"

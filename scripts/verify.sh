@@ -27,6 +27,9 @@
 # 9. ASan/UBSan build (the second sanitizer-matrix axis,
 #    NTCS_SANITIZE=address,undefined with -fno-sanitize-recover): full
 #    suite plus the analysis-label lock-validator tests.
+# 10. Overload stage (ctest label `overload`): bounded-queue shedding,
+#    busy-frame back-pressure, admission control, control-plane priority
+#    and gateway fairness under storm load — normal build, then ASan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -111,5 +114,13 @@ cmake --build "$ASAN_DIR" -j"$(nproc)"
 ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure
 ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L analysis \
   --repeat until-fail:3
+
+# Overload stage (label `overload`): bounded queues, busy back-pressure,
+# deadline-aware admission, control-plane priority and gateway fairness
+# under deliberate storms — normal build first (includes the getrusage
+# bounded-memory assertion), then under ASan, where every shed path's
+# buffer lifetime is checked while the storm is in flight.
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L overload
+ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L overload
 
 echo "verify: OK"

@@ -22,6 +22,7 @@ std::string_view errc_name(Errc e) {
     case Errc::partitioned: return "partitioned";
     case Errc::unsupported: return "unsupported";
     case Errc::still_alive: return "still_alive";
+    case Errc::overloaded: return "overloaded";
   }
   return "unknown";
 }

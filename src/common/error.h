@@ -56,6 +56,10 @@ enum class Errc : std::uint8_t {
   /// Forwarding query answered: the old module is still alive (§3.5 —
   /// "the original module is still alive"; the caller should reconnect).
   still_alive,
+  /// Admission rejected under overload: the destination (or this node's
+  /// own admission control) cannot serve the request within its deadline.
+  /// Retriable — back off and try again; nothing was partially applied.
+  overloaded,
 };
 
 /// Human-readable name of an error code.

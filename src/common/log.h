@@ -70,6 +70,7 @@ class Log {
   std::vector<std::pair<std::string, LogLevel>> layer_levels_ GUARDED_BY(mu_);
   bool capture_ GUARDED_BY(mu_) = false;
   std::size_t ring_capacity_ GUARDED_BY(mu_) = 4096;
+  // bound: ring_capacity_ — emit trims the front past it.
   std::deque<LogRecord> ring_ GUARDED_BY(mu_);
 };
 

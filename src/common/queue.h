@@ -5,6 +5,7 @@
 // monitor feed. A single well-tested primitive serves them all.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <optional>
@@ -19,28 +20,34 @@ namespace ntcs {
 /// capacity turns push into try-push). pop() blocks with an optional
 /// deadline. close() wakes all waiters; subsequent pops drain remaining
 /// items and then report Errc::closed.
+///
+/// Priority classes (overload control): a `control_reserve` keeps the top
+/// slots of a bounded queue for control-class items. push() — the normal
+/// (data) class — rejects once `capacity - reserve` items are queued, while
+/// push_control() may fill the queue to its true capacity. Data-plane
+/// overload therefore cannot starve control traffic (NSP lookups, DRTS
+/// harvests, replies) of queue admission.
 template <typename T>
 class BlockingQueue {
  public:
-  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit BlockingQueue(std::size_t capacity = 0,
+                         std::size_t control_reserve = 0)
+      : capacity_(capacity),
+        control_reserve_(capacity == 0 ? 0
+                                       : std::min(control_reserve,
+                                                  capacity - 1)) {}
 
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  /// Enqueue. Fails with no_resource when a capacity is set and reached,
-  /// or with closed after close().
-  Status push(T item) {
-    {
-      ntcs::LockGuard lk(mu_);
-      if (closed_) return Status(Errc::closed, "queue closed");
-      if (capacity_ != 0 && q_.size() >= capacity_) {
-        return Status(Errc::no_resource, "queue full");
-      }
-      q_.push_back(std::move(item));
-    }
-    cv_.notify_one();
-    return Status::success();
-  }
+  /// Enqueue at normal (data) class. Fails with no_resource when a
+  /// capacity is set and the data-class share (capacity - control reserve)
+  /// is reached, or with closed after close().
+  Status push(T item) { return push_class(std::move(item), control_reserve_); }
+
+  /// Enqueue at control class: may consume the reserved headroom, so it
+  /// only fails once the queue is at true capacity (or closed).
+  Status push_control(T item) { return push_class(std::move(item), 0); }
 
   /// Blocking dequeue; waits forever.
   Result<T> pop() {
@@ -89,6 +96,19 @@ class BlockingQueue {
   bool empty() const { return size() == 0; }
 
  private:
+  Status push_class(T item, std::size_t reserve) {
+    {
+      ntcs::LockGuard lk(mu_);
+      if (closed_) return Status(Errc::closed, "queue closed");
+      if (capacity_ != 0 && q_.size() + reserve >= capacity_) {
+        return Status(Errc::no_resource, "queue full");
+      }
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return Status::success();
+  }
+
   Result<T> pop_locked() REQUIRES(mu_) {
     if (!q_.empty()) {
       T item = std::move(q_.front());
@@ -102,8 +122,9 @@ class BlockingQueue {
   // nothing is acquired while holding the queue lock.
   mutable ntcs::Mutex mu_{ntcs::lockrank::kBlockingQueue, "common.queue"};
   ntcs::CondVar cv_;
-  std::deque<T> q_ GUARDED_BY(mu_);
+  std::deque<T> q_ GUARDED_BY(mu_);  // bound: capacity_ (0 = unbounded by owner's choice)
   std::size_t capacity_;
+  std::size_t control_reserve_;
   bool closed_ GUARDED_BY(mu_) = false;
 };
 

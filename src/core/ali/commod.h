@@ -60,7 +60,13 @@ class ComMod {
   ntcs::Status send(UAdd dst, ntcs::BytesView bytes);
   /// Asynchronous send with application pack/unpack (§5.1).
   ntcs::Status send(UAdd dst, const Payload& p);
-  /// Synchronous send/receive/reply round trip.
+  /// Synchronous send/receive/reply round trip. Under destination
+  /// overload the call can fail fast with Errc::overloaded — either
+  /// rejected locally (the queue-depth wait estimate already exceeds
+  /// `timeout`, or the peer's busy signal is still in force) or shed
+  /// remotely (the peer's inbound queue was full and it answered with a
+  /// busy frame). overloaded is retriable: nothing was partially applied;
+  /// back off and try again.
   ntcs::Result<Reply> request(UAdd dst, ntcs::BytesView bytes,
                               std::chrono::nanoseconds timeout =
                                   std::chrono::seconds(5));
@@ -69,6 +75,9 @@ class ComMod {
                                   std::chrono::seconds(5));
   /// Pipelined request issue: returns immediately with a ticket; up to the
   /// Nucleus' window depth of requests ride one circuit concurrently.
+  /// Subject to the same admission control as request(): fails (here or at
+  /// await()) with the retriable Errc::overloaded when the destination
+  /// cannot serve the request within its deadline.
   ntcs::Result<RequestTicket> request_async(UAdd dst, ntcs::BytesView bytes,
                                             std::chrono::nanoseconds timeout =
                                                 std::chrono::seconds(5));

@@ -1,12 +1,23 @@
 #include "core/ip/gateway.h"
 
+#include "common/metrics.h"
+
 namespace ntcs::core {
+
+namespace {
+// Bound on the pending-EXTEND backlog. Establishment is the slow path (a
+// worker round trip per job); 1024 queued opens is already far beyond any
+// healthy burst, and past it an attacker-shaped storm must be refused, not
+// buffered into process memory.
+constexpr std::size_t kExtendBacklog = 1024;
+}  // namespace
 
 Gateway::Gateway(std::string name, std::vector<Attachment> attachments,
                  std::optional<UAdd> prime_uadd)
     : name_(std::move(name)),
       attachments_(std::move(attachments)),
-      prime_uadd_(prime_uadd) {
+      prime_uadd_(prime_uadd),
+      jobs_(kExtendBacklog) {
   if (prime_uadd_) uadd_ = *prime_uadd_;
 }
 
@@ -125,7 +136,20 @@ void Gateway::on_extend(IpLayer* in, LvcId in_lvc, std::uint64_t ivc,
   job.in_lvc = in_lvc;
   job.ivc = ivc;
   job.body = std::move(body);
-  (void)jobs_.push(std::move(job));  // worker picks it up; pump returns
+  auto st = jobs_.push(std::move(job));  // worker picks it up; pump returns
+  if (!st.ok() && st.code() == ntcs::Errc::no_resource) {
+    // Backlog full: refuse the establishment instead of buffering without
+    // bound. The originator sees a retriable overloaded extend-failure.
+    // fail() only sends one frame on the inbound LVC — pump-safe.
+    static metrics::Counter& m_shed = metrics::counter("gw.extend_shed");
+    m_shed.inc();
+    ExtendJob shed;  // fail() only reads the reply coordinates
+    shed.in = in;
+    shed.in_lvc = in_lvc;
+    shed.ivc = ivc;
+    fail(shed, ntcs::Errc::overloaded,
+         "gateway '" + name_ + "' extend backlog full");
+  }
 }
 
 void Gateway::worker_main(const std::stop_token& st) {

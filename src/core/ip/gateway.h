@@ -96,6 +96,8 @@ class Gateway : public GatewayHook {
   std::vector<Attachment> attachments_;
   std::optional<UAdd> prime_uadd_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // bound: kExtendBacklog (gateway.cpp) — an overflowing EXTEND is failed
+  // back to its originator with overloaded, never silently queued forever.
   ntcs::BlockingQueue<ExtendJob> jobs_;
   std::jthread worker_;
   // gateway.state: leaf-scoped (uadd/stats snapshots only), but ranked

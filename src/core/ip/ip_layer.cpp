@@ -16,7 +16,50 @@ IpLayer::IpLayer(NdLayer& nd, std::shared_ptr<Identity> identity,
       local_net_(std::move(local_net)),
       cfg_(cfg),
       log_("ip", identity_->name()),
-      rng_(ntcs::seed_from(identity_->name(), 0x49504C59ULL /* "IPLY" */)) {}
+      rng_(ntcs::seed_from(identity_->name(), 0x49504C59ULL /* "IPLY" */)) {
+  relay_fair_rate_.store(cfg_.relay_fair_rate, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Spend one token from a relayed circuit's bucket, refilling it first
+/// from wall-clock progress. Pure atomics (pump fast path). The burst cap
+/// (rate/10, floor 32) bounds both how far a bucket can save up and how
+/// deep into debt racing spenders can briefly drive it.
+bool relay_admit(IpLayer::RelayMeter& m, std::uint64_t rate,
+                 std::int64_t now_ns) {
+  const auto burst = static_cast<std::int64_t>(
+      std::max<std::uint64_t>(rate / 10, 32));
+  std::int64_t last = m.last_refill_ns.load(std::memory_order_relaxed);
+  if (last == 0) {
+    // First frame on this circuit: prime a full bucket.
+    if (m.last_refill_ns.compare_exchange_strong(last, now_ns,
+                                                 std::memory_order_relaxed)) {
+      m.tokens.store(burst, std::memory_order_relaxed);
+    }
+  } else if (now_ns > last) {
+    // Gap clamped to 1s: anything longer refills to the burst cap anyway,
+    // and the clamp keeps the multiplication overflow-proof.
+    const auto gap = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(now_ns - last), 1000000000u);
+    const auto add = static_cast<std::int64_t>(gap * rate / 1000000000u);
+    if (add > 0 &&
+        m.last_refill_ns.compare_exchange_strong(last, now_ns,
+                                                 std::memory_order_relaxed)) {
+      std::int64_t cur = m.tokens.load(std::memory_order_relaxed);
+      std::int64_t want;
+      do {
+        want = std::min(burst, cur + add);
+      } while (!m.tokens.compare_exchange_weak(cur, want,
+                                               std::memory_order_relaxed));
+    }
+  }
+  if (m.tokens.fetch_sub(1, std::memory_order_relaxed) > 0) return true;
+  m.tokens.fetch_add(1, std::memory_order_relaxed);  // no deep debt
+  return false;
+}
+
+}  // namespace
 
 void IpLayer::set_topology_source(TopologySource src) {
   ntcs::LockGuard lk(mu_);
@@ -117,6 +160,8 @@ ntcs::Result<std::vector<wire::RouteHop>> IpLayer::compute_route(
     NetName via_net;  // network we were on when taking via_gw
   };
   std::unordered_map<std::string, Step> visited;
+  // bound: |networks| — each net enters the frontier at most once (visited
+  // gate below).
   std::deque<NetName> frontier;
   visited[local_net_] = Step{local_net_, -1, {}};
   frontier.push_back(local_net_);
@@ -342,7 +387,7 @@ void IpLayer::unregister_extend_waiter(IvcHandle h) {
 
 void IpLayer::add_relay(IvcHandle in, IpLayer* out_ip, IvcHandle out) {
   ntcs::LockGuard lk(mu_);
-  relays_[in] = RelayTarget{out_ip, out};
+  relays_[in] = RelayTarget{out_ip, out, std::make_shared<RelayMeter>()};
 }
 
 void IpLayer::mark_established(IvcHandle h) {
@@ -365,6 +410,9 @@ std::vector<IpEvent> IpLayer::on_nd_event(const NdEvent& ev) {
     case NdEvent::Kind::message: {
       auto env = wire::decode_ip(ev.message);
       if (!env) {
+        static metrics::Counter& m_decode_drops =
+            metrics::counter("ip.decode_drops");
+        m_decode_drops.inc();
         log_.warn("dropping undecodable IP envelope: " +
                   env.error().to_string());
         return {};
@@ -420,7 +468,11 @@ std::vector<IpEvent> IpLayer::on_lvc_closed(LvcId lvc) {
   }
   for (auto& [target, in_h] : dead_relays) {
     // Instruct the far side to close the associated IVC; its own teardown
-    // cascades onward (§4.3).
+    // cascades onward (§4.3). Frames in flight on the dead circuit are
+    // gone — make the teardown (and thus the loss) observable.
+    static metrics::Counter& m_teardowns =
+        metrics::counter("ip.relay_teardowns");
+    m_teardowns.inc();
     (void)target.out->nd().send(target.out_h.lvc,
                                 wire::encode_ip_teardown(target.out_h.ivc));
     target.out->remove_relay_entry(target.out_h);
@@ -448,22 +500,59 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
         }
       }
       if (is_relay) {
+        // A relayed message's context is only on the wire: peek the LCM
+        // trace words so gateway decisions land on the request's trace.
+        std::optional<wire::LcmTraceWords> tw;
+        if (trace::enabled()) tw = wire::peek_lcm_trace(env.body);
+        // Per-peer fairness metering: one hot circuit must not starve the
+        // relay. Control-class frames bypass — the control plane survives
+        // the very overload the meter exists to manage.
+        const std::uint64_t rate =
+            relay_fair_rate_.load(std::memory_order_relaxed);
+        if (rate != 0 && relay.meter) {
+          const auto flags = wire::peek_lcm_flags(env.body);
+          const bool control =
+              flags && (*flags & wire::kLcmFlagInternal) != 0;
+          if (!control &&
+              !relay_admit(*relay.meter, rate,
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now()
+                                   .time_since_epoch())
+                               .count())) {
+            static metrics::Counter& m_fair =
+                metrics::counter("gw.fairness_drops");
+            m_fair.inc();
+            if (tw) {
+              trace::record_event(
+                  trace::TraceContext{tw->hi, tw->lo, tw->parent}, "gw",
+                  "fairness_drop", identity_->name());
+            }
+            return {};
+          }
+        }
         // The fast path through a Gateway: forward on the chained LVC. Each
         // traversed gateway bumps the hop counter once per data message, so
         // an N-hop send adds N to ip.hops_forwarded process-wide.
         static metrics::Counter& m_hops =
             metrics::counter("ip.hops_forwarded");
         m_hops.inc();
-        // A relayed message's context is only on the wire: peek the LCM
-        // trace words so the gateway hop lands on the request's trace.
-        std::optional<wire::LcmTraceWords> tw;
-        std::int64_t relay_start = 0;
-        if (trace::enabled()) {
-          tw = wire::peek_lcm_trace(env.body);
-          if (tw) relay_start = trace::now_ns();
-        }
-        (void)relay.out->nd().send(
+        const std::int64_t relay_start = tw ? trace::now_ns() : 0;
+        auto st = relay.out->nd().send(
             relay.out_h.lvc, wire::encode_ip_data(relay.out_h.ivc, env.body));
+        if (!st.ok()) {
+          // The onward LVC refused the frame (dying circuit, backend
+          // overload): the message is lost here. Never silently — count
+          // it and pin the loss on the sender's trace.
+          static metrics::Counter& m_relay_drops =
+              metrics::counter("ip.relay_drops");
+          m_relay_drops.inc();
+          if (tw) {
+            trace::record_event(
+                trace::TraceContext{tw->hi, tw->lo, tw->parent}, "ip",
+                "relay_drop", identity_->name());
+          }
+          return {};
+        }
         if (tw) {
           trace::record_child(
               trace::TraceContext{tw->hi, tw->lo, tw->parent}, "ip", "hop",
@@ -478,6 +567,10 @@ std::vector<IpEvent> IpLayer::on_envelope(LvcId lvc,
         e.lcm_msg = env.body;
         return {std::move(e)};
       }
+      // Data for an IVC this node no longer knows (raced teardown, stale
+      // chain): dropped, visibly.
+      static metrics::Counter& m_stray = metrics::counter("ip.stray_drops");
+      m_stray.inc();
       log_.debug("stray data for unknown IVC " + std::to_string(env.ivc));
       return {};
     }

@@ -14,6 +14,7 @@
 // communication ever takes place" beyond the circuits themselves.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -99,6 +100,13 @@ struct IpConfig {
   int extend_attempts = 3;
   BackoffPolicy extend_backoff{std::chrono::milliseconds(1),
                                std::chrono::milliseconds(16), 2.0, 0.5};
+  /// Per-peer fairness at a gateway: each relayed circuit gets its own
+  /// token bucket of this many data frames per second, so one hot peer
+  /// cannot starve the relay for everyone else. Control-class frames
+  /// (kLcmFlagInternal — NSP, DRTS, replies) bypass the meter. 0 disables
+  /// metering (the default; overload deployments turn it on, also at
+  /// runtime via set_relay_fair_rate).
+  std::uint64_t relay_fair_rate = 0;
 };
 
 class IpLayer {
@@ -146,6 +154,14 @@ class IpLayer {
     ntcs::CondVar cv;
     std::optional<ntcs::Status> result GUARDED_BY(mu);
   };
+  /// Per-relayed-circuit token bucket (fairness metering). Refilled and
+  /// spent with plain atomics on the pump fast path — no lock is ever
+  /// taken for a metering decision.
+  struct RelayMeter {
+    std::atomic<std::int64_t> tokens{0};
+    std::atomic<std::int64_t> last_refill_ns{0};  // 0 = not yet primed
+  };
+
   std::shared_ptr<ExtendWait> register_extend_waiter(IvcHandle h);
   void unregister_extend_waiter(IvcHandle h);
   /// Install a relay mapping: traffic on `in` is forwarded to `out` on
@@ -172,6 +188,13 @@ class IpLayer {
   void blacklist_hop(const std::string& phys);
   bool hop_blacklisted(const std::string& phys) const;
 
+  /// Change the per-peer relay fairness rate at runtime (frames/s per
+  /// relayed circuit; 0 disables). Lock-free; takes effect on the next
+  /// relayed frame.
+  void set_relay_fair_rate(std::uint64_t per_circuit_fps) {
+    relay_fair_rate_.store(per_circuit_fps, std::memory_order_relaxed);
+  }
+
   struct Stats {
     std::uint64_t ivcs_opened = 0;
     std::uint64_t ivcs_accepted = 0;
@@ -191,6 +214,7 @@ class IpLayer {
   struct RelayTarget {
     IpLayer* out = nullptr;
     IvcHandle out_h;
+    std::shared_ptr<RelayMeter> meter;
   };
 
   ntcs::Result<std::vector<GatewayRecord>> topology(bool static_only);
@@ -220,6 +244,7 @@ class IpLayer {
       hop_blacklist_ GUARDED_BY(mu_);
   GatewayHook* gateway_ GUARDED_BY(mu_) = nullptr;
   std::uint64_t next_ivc_ GUARDED_BY(mu_) = 1;
+  std::atomic<std::uint64_t> relay_fair_rate_{0};
   Stats stats_ GUARDED_BY(mu_);
 };
 

@@ -16,6 +16,11 @@ namespace ntcs::core {
 struct LcmSendWindow {
   struct Waiter {
     bool admitted = false;
+    /// Set by the sweeper in grant_locked: this waiter's deadline passed
+    /// while it was parked; it was removed from the queue and must not be
+    /// admitted. Its owner observes the flag and reports timeout.
+    bool expired = false;
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   // lcm.window: taken strictly after lcm.state is released and never
@@ -26,16 +31,41 @@ struct LcmSendWindow {
   int depth GUARDED_BY(mu) = 1;
   int in_flight GUARDED_BY(mu) = 0;
   bool closed GUARDED_BY(mu) = false;
+  // bound: depth admitted + one parked waiter per caller thread (callers
+  // block here, so the queue cannot outgrow the thread population).
   std::deque<std::shared_ptr<Waiter>> queue GUARDED_BY(mu);
+  /// Back-pressure gate: the destination shed one of our requests; no new
+  /// non-internal request is admitted before this instant.
+  std::chrono::steady_clock::time_point busy_until GUARDED_BY(mu){};
+  /// EWMA of slot-hold time (admission -> release, ≈ one request's full
+  /// service incl. reply wait), feeding the deadline-aware admission
+  /// estimate. 0 until the first request completes, so a fresh circuit
+  /// never false-rejects.
+  std::uint64_t avg_service_ns GUARDED_BY(mu) = 0;
 
-  /// Admit queued waiters while capacity remains.
-  void grant_locked(metrics::Histogram& depth_h) REQUIRES(mu) {
-    while (!queue.empty() && in_flight < depth) {
-      queue.front()->admitted = true;
+  /// Admit queued waiters while capacity remains, sweeping expired ones:
+  /// a waiter whose deadline has passed must not absorb a grant (its owner
+  /// is timing out), and must not linger ahead of live waiters wedging the
+  /// depth accounting.
+  std::uint64_t grant_locked(metrics::Histogram& depth_h,
+                             std::chrono::steady_clock::time_point now)
+      REQUIRES(mu) {
+    std::uint64_t swept = 0;
+    while (!queue.empty()) {
+      const std::shared_ptr<Waiter>& front = queue.front();
+      if (front->deadline <= now) {
+        front->expired = true;
+        queue.pop_front();
+        ++swept;
+        continue;
+      }
+      if (in_flight >= depth) break;
+      front->admitted = true;
       queue.pop_front();
       ++in_flight;
       depth_h.record(static_cast<std::uint64_t>(in_flight));
     }
+    return swept;
   }
 };
 
@@ -57,6 +87,11 @@ struct PendingRequest {
   trace::TraceContext trace;
 
   std::uint32_t req_id = 0;  // current correlation ID (fresh per retry)
+  // When this request was admitted through the send window; the hold time
+  // (admission -> release) feeds the window's service-time EWMA. Written
+  // before window_held is set, read after it is cleared — the atomic
+  // exchange orders the two.
+  std::chrono::steady_clock::time_point admitted_at{};
 
   // lcm.request: the reply rendezvous; leaf among the LCM locks.
   ntcs::Mutex mu{ntcs::lockrank::kLcmRequest, "lcm.request"};
@@ -112,7 +147,8 @@ LcmLayer::LcmLayer(IpLayer& ip, std::shared_ptr<Identity> identity,
       identity_(std::move(identity)),
       cfg_(cfg),
       log_("lcm", identity_->name()),
-      rng_(ntcs::seed_from(identity_->name(), 0x4C434D4CULL /* "LCML" */)) {}
+      rng_(ntcs::seed_from(identity_->name(), 0x4C434D4CULL /* "LCML" */)),
+      app_queue_(cfg_.max_inbound_queue, cfg_.control_reserve) {}
 
 void LcmLayer::set_resolver(Resolver* r) {
   ntcs::LockGuard lk(mu_);
@@ -476,38 +512,107 @@ std::shared_ptr<LcmSendWindow> LcmLayer::window_for(UAdd dst) {
 
 ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
   static metrics::Counter& m_stalls = metrics::counter("lcm.window_stalls");
+  static metrics::Counter& m_rejects =
+      metrics::counter("lcm.admission_rejects");
+  static metrics::Counter& m_pauses = metrics::counter("lcm.busy_pauses");
   LcmSendWindow& w = *req.window;
   ntcs::UniqueLock lk(w.mu);
   if (w.closed) {
     return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
   }
+  // ---- admission control (overload control; non-internal only — the
+  // control plane must keep flowing while the data plane is paused) ------
+  if (!req.opts.internal) {
+    auto now = std::chrono::steady_clock::now();
+    if (w.busy_until > now) {
+      // The destination shed a request of ours: honor its busy frame by
+      // pausing admission instead of hammering it with retries. A caller
+      // whose deadline falls inside the pause cannot be served — reject
+      // fast with the retriable overloaded.
+      if (w.busy_until >= req.deadline) {
+        m_rejects.inc();
+        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return ntcs::Status(ntcs::Errc::overloaded,
+                            "destination busy past request deadline");
+      }
+      m_pauses.inc();
+      busy_pauses_.fetch_add(1, std::memory_order_relaxed);
+      while (!w.closed) {
+        now = std::chrono::steady_clock::now();
+        if (w.busy_until <= now) break;
+        if (w.busy_until >= req.deadline) {
+          m_rejects.inc();
+          admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+          return ntcs::Status(ntcs::Errc::overloaded,
+                              "destination busy past request deadline");
+        }
+        w.cv.wait_until(lk, w.busy_until);
+      }
+      if (w.closed) {
+        return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
+      }
+    }
+    // Deadline-aware fast reject: with `backlog` requests ahead of us and
+    // `depth` served concurrently at ~avg_service_ns each, the expected
+    // wait is avg * backlog / depth. When that already overshoots the
+    // caller's deadline, parking the caller only manufactures a timeout —
+    // reject now, retriably, while the caller can still do something else.
+    if (w.avg_service_ns != 0) {
+      const std::uint64_t backlog =
+          w.queue.size() + static_cast<std::uint64_t>(w.in_flight);
+      const std::uint64_t est_ns =
+          w.avg_service_ns * backlog / static_cast<std::uint64_t>(w.depth);
+      if (now + std::chrono::nanoseconds(est_ns) > req.deadline) {
+        m_rejects.inc();
+        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return ntcs::Status(ntcs::Errc::overloaded,
+                            "queue-depth wait estimate exceeds deadline");
+      }
+    }
+  }
   if (w.queue.empty() && w.in_flight < w.depth) {
     ++w.in_flight;
     pipeline_depth_hist().record(static_cast<std::uint64_t>(w.in_flight));
+    req.admitted_at = std::chrono::steady_clock::now();
     req.window_held.store(true);
     return ntcs::Status::success();
   }
   // Full window (or earlier arrivals still queued — no overtaking): park
   // at the back and wait to be admitted, bounded by this request's own
-  // deadline.
+  // deadline. A caller already past its deadline is not parked at all —
+  // an expired waiter can only wedge the queue.
+  if (std::chrono::steady_clock::now() >= req.deadline) {
+    return ntcs::Status(ntcs::Errc::timeout,
+                        "send window full until request deadline");
+  }
   m_stalls.inc();
   window_stalls_.fetch_add(1, std::memory_order_relaxed);
   const bool stall_traced = trace::enabled() && req.trace.valid();
   const std::int64_t stall_start = stall_traced ? trace::now_ns() : 0;
   auto node = std::make_shared<LcmSendWindow::Waiter>();
+  node->deadline = req.deadline;
   w.queue.push_back(node);
-  while (!node->admitted && !w.closed) {
+  while (!node->admitted && !node->expired && !w.closed) {
     if (w.cv.wait_until(lk, req.deadline) == std::cv_status::timeout &&
         !node->admitted) {
-      w.queue.erase(std::find(w.queue.begin(), w.queue.end(), node));
+      // The sweeper may have removed the node already (expired); only
+      // erase what is still queued.
+      auto it = std::find(w.queue.begin(), w.queue.end(), node);
+      if (it != w.queue.end()) w.queue.erase(it);
       return ntcs::Status(ntcs::Errc::timeout,
                           "send window full until request deadline");
     }
   }
+  if (node->expired) {  // swept by grant_locked at our deadline
+    return ntcs::Status(ntcs::Errc::timeout,
+                        "send window full until request deadline");
+  }
   if (!node->admitted) {  // window closed by shutdown
-    w.queue.erase(std::find(w.queue.begin(), w.queue.end(), node));
+    auto it = std::find(w.queue.begin(), w.queue.end(), node);
+    if (it != w.queue.end()) w.queue.erase(it);
     return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
   }
+  req.admitted_at = std::chrono::steady_clock::now();
   req.window_held.store(true);
   if (stall_traced) {
     trace::record_child(req.trace, "lcm", "window_stall", identity_->name(),
@@ -518,11 +623,25 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
 
 void LcmLayer::release_window(PendingRequest& req) {
   if (!req.window || !req.window_held.exchange(false)) return;
+  static metrics::Counter& m_sweeps = metrics::counter("lcm.waiter_sweeps");
   LcmSendWindow& w = *req.window;
+  const auto now = std::chrono::steady_clock::now();
+  const auto held = now - req.admitted_at;
+  std::uint64_t swept = 0;
   {
     ntcs::LockGuard lk(w.mu);
     --w.in_flight;
-    w.grant_locked(pipeline_depth_hist());
+    if (held.count() > 0) {
+      // Slot-hold EWMA (alpha 1/8): the admission estimate's denominator.
+      const auto e = static_cast<std::uint64_t>(held.count());
+      w.avg_service_ns =
+          w.avg_service_ns == 0 ? e : (7 * w.avg_service_ns + e) / 8;
+    }
+    swept = w.grant_locked(pipeline_depth_hist(), now);
+  }
+  if (swept != 0) {
+    m_sweeps.inc(swept);
+    waiter_sweeps_.fetch_add(swept, std::memory_order_relaxed);
   }
   w.cv.notify_all();
 }
@@ -731,6 +850,9 @@ void LcmLayer::on_ip_event(IpEvent ev) {
     case IpEvent::Kind::message: {
       auto decoded = wire::decode_lcm(ev.lcm_msg);
       if (!decoded) {
+        static metrics::Counter& m_decode_drops =
+            metrics::counter("lcm.decode_drops");
+        m_decode_drops.inc();
         log_.warn("dropping undecodable LCM message: " +
                   decoded.error().to_string());
         return;
@@ -765,6 +887,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
       }
 
       static metrics::Counter& m_received = metrics::counter("lcm.received");
+      static metrics::Counter& m_shed = metrics::counter("lcm.shed");
       switch (m.header.kind) {
         case wire::LcmKind::data:
         case wire::LcmKind::dgram: {
@@ -777,7 +900,21 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             trace::record_event(in.trace, "lcm", "deliver",
                                 identity_->name());
           }
-          (void)app_queue_.push(std::move(in));
+          const trace::TraceContext tctx = in.trace;
+          const bool internal = in.internal;
+          auto st = internal ? app_queue_.push_control(std::move(in))
+                             : app_queue_.push(std::move(in));
+          if (!st.ok() && st.code() == ntcs::Errc::no_resource) {
+            // Bounded queue full: shed. Data and dgrams have no reply
+            // channel to signal on — the drop is visible in the metric and
+            // the sender's trace (like a frame lost in transit; dgrams are
+            // best-effort by contract anyway).
+            m_shed.inc();
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            if (trace::enabled() && tctx.valid()) {
+              trace::record_event(tctx, "lcm", "shed", identity_->name());
+            }
+          }
           return;
         }
         case wire::LcmKind::request: {
@@ -793,10 +930,63 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             trace::record_event(in.trace, "lcm", "deliver",
                                 identity_->name());
           }
-          (void)app_queue_.push(std::move(in));
+          const trace::TraceContext tctx = in.trace;
+          const bool internal = in.internal;
+          const std::uint32_t req_id = m.header.req_id;
+          const UAdd requester = m.header.src;
+          auto st = internal ? app_queue_.push_control(std::move(in))
+                             : app_queue_.push(std::move(in));
+          if (!st.ok() && st.code() == ntcs::Errc::no_resource) {
+            // Bounded queue full: shed the request and tell the sender so
+            // with a busy reply — it pauses admission toward us instead of
+            // retrying, and its caller gets the retriable overloaded.
+            m_shed.inc();
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            if (trace::enabled() && tctx.valid()) {
+              trace::record_event(tctx, "lcm", "shed", identity_->name());
+            }
+            wire::LcmHeader bh;
+            bh.kind = wire::LcmKind::reply;
+            bh.flags = wire::kLcmFlagInternal | wire::kLcmFlagBusy;
+            bh.src = identity_->uadd();
+            bh.dst = requester;
+            bh.req_id = req_id;
+            bh.mode = convert::xfer_mode_wire_id(convert::XferMode::image);
+            bh.src_arch = convert::arch_wire_id(identity_->arch());
+            if ((ip_.send(ev.via, wire::encode_lcm(bh, {}))).ok()) {
+              static metrics::Counter& m_busy =
+                  metrics::counter("lcm.busy_frames");
+              m_busy.inc();
+              busy_frames_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
           return;
         }
         case wire::LcmKind::reply: {
+          if ((m.header.flags & wire::kLcmFlagBusy) != 0) {
+            // The peer shed our request (back-pressure): pause admission
+            // toward it and fail the request retriably — await() does NOT
+            // re-send (only address faults retry; hammering an overloaded
+            // peer is exactly what the busy frame asks us not to do).
+            static metrics::Counter& m_busy_recv =
+                metrics::counter("lcm.busy_received");
+            m_busy_recv.inc();
+            RequestTicket t;
+            {
+              ntcs::LockGuard lk(mu_);
+              auto it = pending_.find(m.header.req_id);
+              if (it != pending_.end()) t = it->second;
+            }
+            if (t && t->window) {
+              ntcs::LockGuard wl(t->window->mu);
+              t->window->busy_until =
+                  std::chrono::steady_clock::now() + cfg_.busy_pause;
+            }
+            complete(m.header.req_id,
+                     ntcs::Error(ntcs::Errc::overloaded,
+                                 "request shed by overloaded receiver"));
+            return;
+          }
           Reply r;
           r.payload = std::move(in.payload);
           r.mode = in.mode;
@@ -909,6 +1099,11 @@ LcmLayer::Stats LcmLayer::stats() const {
   ntcs::LockGuard lk(mu_);
   Stats out = stats_;
   out.window_stalls = window_stalls_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.busy_frames = busy_frames_.load(std::memory_order_relaxed);
+  out.busy_pauses = busy_pauses_.load(std::memory_order_relaxed);
+  out.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  out.waiter_sweeps = waiter_sweeps_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -164,6 +164,21 @@ struct LcmConfig {
   /// for demonstration: the fault handler consults the naming service
   /// even when the faulted destination *is* the Name Server.
   bool reproduce_ns_fault_bug = false;
+  /// Bound on the inbound application-message queue (messages). At the
+  /// bound further data-plane deliveries are shed: data/dgrams are dropped
+  /// (counted in lcm.shed), requests additionally earn a busy reply frame
+  /// that pauses the sender's admission. 0 = unbounded (tests only).
+  std::size_t max_inbound_queue = 4096;
+  /// Slots of max_inbound_queue reserved for control-class traffic —
+  /// NSP lookups, DRTS harvests, anything sent with opts.internal — so a
+  /// data-plane overload storm cannot starve the control plane of queue
+  /// admission.
+  std::size_t control_reserve = 256;
+  /// How long a sender pauses request admission toward a destination after
+  /// that destination sheds one of its requests (busy-frame back-pressure,
+  /// wire::kLcmFlagBusy). Admission resumes automatically; callers whose
+  /// deadline falls inside the pause are rejected fast with overloaded.
+  std::chrono::nanoseconds busy_pause{std::chrono::milliseconds(2)};
 };
 
 class LcmLayer {
@@ -246,6 +261,11 @@ class LcmLayer {
     std::uint64_t recursion_trips = 0; // guard rejections
     std::uint64_t tadds_promoted = 0;
     std::uint64_t window_stalls = 0;   // callers that blocked on a full window
+    std::uint64_t shed = 0;            // inbound messages dropped at the bound
+    std::uint64_t busy_frames = 0;     // busy replies sent back to requesters
+    std::uint64_t busy_pauses = 0;     // admissions paused by a peer's busy
+    std::uint64_t admission_rejects = 0;  // overloaded fast-rejects
+    std::uint64_t waiter_sweeps = 0;   // expired waiters swept from windows
   };
   Stats stats() const;
 
@@ -297,6 +317,14 @@ class LcmLayer {
   std::unordered_map<UAdd, std::shared_ptr<LcmSendWindow>> windows_
       GUARDED_BY(mu_);
   std::atomic<std::uint64_t> window_stalls_{0};
+  // Overload-control counters: bumped on the pump thread and under window
+  // locks, where taking lcm.state would invert the lock order — atomics,
+  // like window_stalls_.
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> busy_frames_{0};
+  std::atomic<std::uint64_t> busy_pauses_{0};
+  std::atomic<std::uint64_t> admission_rejects_{0};
+  std::atomic<std::uint64_t> waiter_sweeps_{0};
   std::vector<ResolvedDest> ns_candidates_
       GUARDED_BY(mu_);  // primary first, then replicas
   std::size_t ns_candidate_idx_ GUARDED_BY(mu_) = 0;
@@ -305,6 +333,8 @@ class LcmLayer {
   MonitorHook monitor_hook_;
   ErrorHook error_hook_;
   std::atomic<std::uint32_t> next_req_id_{1};
+  // bound: LcmConfig::max_inbound_queue, with control_reserve slots kept
+  // for internal-class deliveries (overload control).
   ntcs::BlockingQueue<Incoming> app_queue_;
   Stats stats_ GUARDED_BY(mu_);
 };

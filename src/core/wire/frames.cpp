@@ -467,6 +467,18 @@ std::optional<LcmTraceWords> peek_lcm_trace(ntcs::BytesView lcm_msg) {
   return w;
 }
 
+std::optional<std::uint32_t> peek_lcm_flags(ntcs::BytesView lcm_msg) {
+  // Fixed shift-mode layout: kind(4), then the flags word. 36 bytes is the
+  // smallest (untraced) complete header; anything shorter is not LCM.
+  constexpr std::size_t kFlagsOff = 4;
+  constexpr std::size_t kHeaderMin = 36;
+  if (lcm_msg.size() < kHeaderMin) return std::nullopt;
+  ShiftReader fr(lcm_msg.subspan(kFlagsOff));
+  auto flags = fr.get_u32();
+  if (!flags) return std::nullopt;
+  return flags.value();
+}
+
 std::optional<LcmTraceWords> peek_nd_trace(ntcs::BytesView nd_msg) {
   // ND prologue: magic(4) version(4) kind(4); IP data envelope: kind(4)
   // ivc(8); the LCM message starts at byte 24.

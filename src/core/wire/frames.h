@@ -227,6 +227,13 @@ inline constexpr std::uint32_t kLcmFlagInternal = 1u << 0;  // NTCS/DRTS traffic
 /// the bit decode exactly as before, and decoders that predate the bit skip
 /// nothing (the words only exist when the bit is set).
 inline constexpr std::uint32_t kLcmFlagTraced = 1u << 1;
+/// Back-pressure signal (overload control): set on a `reply` frame to tell
+/// the requester its request was *shed* at the receiver — no application
+/// reply is coming. The sender's window logic pauses admission toward that
+/// destination for a configured interval instead of retrying, and the
+/// request completes with the retriable Errc::overloaded. A busy frame is
+/// also marked kLcmFlagInternal (it is circuit bookkeeping, not data).
+inline constexpr std::uint32_t kLcmFlagBusy = 1u << 2;
 
 struct LcmHeader {
   LcmKind kind = LcmKind::data;
@@ -264,6 +271,12 @@ struct LcmTraceWords {
 /// forwarding/reassembly sites that must attribute a span to in-flight
 /// traffic without paying a full decode.
 std::optional<LcmTraceWords> peek_lcm_trace(ntcs::BytesView lcm_msg);
+
+/// Cheap fixed-offset peek at an LCM message's flags word; nullopt when
+/// the buffer is too short to hold an LCM header. Gateways use it on the
+/// relay fast path to classify control-class (kLcmFlagInternal) frames —
+/// which bypass per-peer fairness metering — without a full decode.
+std::optional<std::uint32_t> peek_lcm_flags(ntcs::BytesView lcm_msg);
 
 /// Same peek through an ND payload frame: ND prologue -> IP data envelope
 /// -> LCM header. nullopt for non-payload ND kinds, non-data IP envelopes

@@ -89,6 +89,7 @@ class MonitorServer {
   std::unique_ptr<core::Node> node_;
   std::size_t ring_capacity_;
   mutable ntcs::Mutex mu_{ntcs::lockrank::kDrtsServer, "drts.monitor"};
+  // bound: ring_capacity_ — record() trims the front past it.
   std::deque<MonitorRecord> ring_ GUARDED_BY(mu_);
   std::map<std::pair<std::uint64_t, std::uint64_t>, PairStats> pairs_
       GUARDED_BY(mu_);

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace ntcs::realnet {
 
 namespace {
@@ -197,6 +199,19 @@ void TcpPort::listener_main() {
         listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen));
     if (cfd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Fd/buffer exhaustion is transient: the pending connection stays
+        // in the kernel backlog, and accept() would fail again instantly —
+        // spinning here starves the readers that could free fds. Back off
+        // (shutdown-aware: the self-pipe cuts the sleep short) and retry.
+        static metrics::Counter& m_accept_errors =
+            metrics::counter("realnet.accept_errors");
+        m_accept_errors.inc();
+        pollfd wake{wake_rd_, POLLIN, 0};
+        (void)::poll(&wake, 1, 100);
+        continue;
+      }
       return;  // listener socket is gone
     }
     (void)adopt_fd(cfd, sockaddr_phys(peer), /*announce=*/true);
@@ -274,8 +289,23 @@ void TcpPort::reader_main(core::IpcsChannelId chan, int fd) {
 
 void TcpPort::enqueue(core::IpcsDelivery d) {
   {
-    ntcs::LockGuard lk(inbox_mu_);
+    ntcs::UniqueLock lk(inbox_mu_);
     if (inbox_closed_) return;
+    if (d.kind == core::IpcsDeliveryKind::data && cfg_.inbox_capacity != 0) {
+      // Bounded inbox: block this reader until the consumer drains (which
+      // propagates back-pressure onto the TCP stream — see TcpConfig).
+      // opened/closed bypass, and port teardown (closing_) releases us:
+      // close() joins readers before marking the inbox closed, so waiting
+      // on inbox_closed_ alone would deadlock the join.
+      static metrics::Counter& m_stalls =
+          metrics::counter("realnet.inbox_stalls");
+      if (inbox_.size() >= cfg_.inbox_capacity) m_stalls.inc();
+      inbox_space_cv_.wait(lk, [&] {
+        return inbox_.size() < cfg_.inbox_capacity || inbox_closed_ ||
+               closing_.load(std::memory_order_acquire);
+      });
+      if (inbox_closed_ || closing_.load(std::memory_order_acquire)) return;
+    }
     inbox_.push_back(std::move(d));
   }
   inbox_cv_.notify_one();
@@ -415,6 +445,7 @@ ntcs::Result<core::IpcsDelivery> TcpPort::recv_for(
   if (!inbox_.empty()) {
     core::IpcsDelivery d = std::move(inbox_.front());
     inbox_.pop_front();
+    inbox_space_cv_.notify_one();  // a blocked reader may resume
     return d;
   }
   if (inbox_closed_) return ntcs::Error(ntcs::Errc::closed, "port closed");
@@ -442,6 +473,12 @@ ntcs::Status TcpPort::close_channel(core::IpcsChannelId chan) {
 void TcpPort::close() {
   if (closed_.exchange(true)) return;
   closing_.store(true, std::memory_order_release);
+  // Release any reader blocked on a full inbox *before* reap() joins it.
+  // The empty critical section orders the closing_ store against the
+  // readers' predicate checks: any reader is then either pre-check (sees
+  // closing_) or parked (gets the notify) — no missed-wakeup window.
+  { ntcs::LockGuard lk(inbox_mu_); }
+  inbox_space_cv_.notify_all();
   // Wake the listener, then take the listening socket away.
   if (wake_wr_ >= 0) {
     const char b = 0;

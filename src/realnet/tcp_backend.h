@@ -61,6 +61,13 @@ struct TcpConfig {
   convert::Arch arch = convert::Arch::sun3;
   /// connect(2) patience before Errc::timeout.
   std::chrono::nanoseconds connect_timeout{std::chrono::seconds(2)};
+  /// Bound on the port inbox (deliveries). A reader thread whose data
+  /// delivery finds the inbox full *blocks* until the consumer drains it —
+  /// it stops reading its socket, the kernel buffers fill, and the remote
+  /// sender's sendmsg stalls: real TCP back-pressure end to end instead of
+  /// unbounded process memory. opened/closed deliveries bypass the bound
+  /// (they are what unblocks consumers). 0 = unbounded.
+  std::size_t inbox_capacity = 8192;
 };
 
 /// Largest frame a TcpPort accepts — matches simnet's TCP IPCS so the
@@ -173,8 +180,9 @@ class TcpPort final : public core::IpcsPort,
   // realnet.inbox: strict leaf where reader threads meet recv_for.
   mutable ntcs::Mutex inbox_mu_{ntcs::lockrank::kRealnetInbox,
                                 "realnet.inbox"};
-  ntcs::CondVar inbox_cv_;
-  std::deque<core::IpcsDelivery> inbox_ GUARDED_BY(inbox_mu_);
+  ntcs::CondVar inbox_cv_;        // consumer side: item available
+  ntcs::CondVar inbox_space_cv_;  // producer side: space freed / closing
+  std::deque<core::IpcsDelivery> inbox_ GUARDED_BY(inbox_mu_);  // bound: cfg_.inbox_capacity
   bool inbox_closed_ GUARDED_BY(inbox_mu_) = false;
 };
 

@@ -1,8 +1,19 @@
 #include "simnet/endpoint.h"
 
+#include "common/metrics.h"
 #include "simnet/fabric.h"
 
 namespace ntcs::simnet {
+
+namespace {
+// Bound on an endpoint's inbox. Simnet cannot exert real back-pressure
+// (there is no kernel socket buffer behind it — delivery is a function
+// call), so a full inbox sheds *data* frames exactly like a lossy wire:
+// the receiver's reassembler observes the gap and re-synchronises, upper
+// layers recover the same way they do from real frame loss. opened/closed
+// control deliveries are never shed — channel lifecycle must stay exact.
+constexpr std::size_t kInboxCapacity = 65536;
+}  // namespace
 
 Endpoint::Endpoint(Fabric* fabric, MachineId machine, IpcsKind kind,
                    std::string phys)
@@ -102,6 +113,11 @@ void Endpoint::enqueue(Item item) {
   {
     ntcs::LockGuard lk(mu_);
     if (inbox_closed_) return;  // arrived after unbind: dropped by the IPCS
+    if (item.d.kind == DeliveryKind::data && inbox_.size() >= kInboxCapacity) {
+      static metrics::Counter& m_shed = metrics::counter("simnet.inbox_shed");
+      m_shed.inc();
+      return;
+    }
     inbox_.push(std::move(item));
   }
   cv_.notify_all();

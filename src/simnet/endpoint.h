@@ -125,6 +125,8 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   // always releases its core lock before Endpoint::enqueue.
   mutable ntcs::Mutex mu_{ntcs::lockrank::kSimnetEndpoint, "simnet.endpoint"};
   ntcs::CondVar cv_;
+  // bound: kInboxCapacity (endpoint.cpp) — beyond it data frames shed
+  // like wire loss; opened/closed always accepted.
   std::priority_queue<Item, std::vector<Item>, Later> inbox_ GUARDED_BY(mu_);
   bool inbox_closed_ GUARDED_BY(mu_) = false;
 };

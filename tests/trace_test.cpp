@@ -260,7 +260,25 @@ TEST(TraceChain, RequestAcrossAGatewayLeavesACompleteSpanChain) {
   {
     SamplingScope sampling;
     ASSERT_TRUE(a->commod().request(addr.value(), to_bytes("traced"), 5s).ok());
-    all = trace::snapshot_spans();
+    // The gateway and b record their reply-leg spans *after* forwarding
+    // the reply — i.e. concurrently with request() returning here. Poll
+    // the ring until the chain has settled instead of racing those
+    // writers; sampling stays on so the late records still land.
+    for (int spin = 0; spin < 200; ++spin) {
+      all = trace::snapshot_spans();
+      std::size_t hops = 0;
+      std::set<std::string> seen;
+      for (const trace::Span& s : all) {
+        if (std::string_view(s.op) == "hop") ++hops;
+        seen.insert(s.op);
+      }
+      if (hops >= 3 && seen.count("fragment") && seen.count("reassemble") &&
+          seen.count("deliver") && seen.count("reply") &&
+          seen.count("complete")) {
+        break;
+      }
+      std::this_thread::sleep_for(10ms);
+    }
   }
   echo.request_stop();
 
