@@ -124,6 +124,31 @@ else
   echo "ok: every queue declaration in src/ documents its bound"
 fi
 
+echo "== lint: lease-cache isolation grep gate =="
+# Correct-under-churn caching depends on every cache touch going through
+# the lease API in nsp_layer.cpp (freshness check, epoch purge, the
+# leaf-scoped lease_mu_ contract). Direct access to the cache members
+# anywhere else in src/ bypasses the TTL/epoch discipline — and holding
+# the lease lock across an LCM call is precisely the rank inversion the
+# kNspLease rank exists to catch. The NspLayer's own header declares the
+# members; nsp_layer.cpp is the only implementation file allowed to name
+# them.
+violations=$(grep -rn \
+  -e 'lease_cache_' \
+  -e 'shard_epochs_' \
+  -e 'lease_mu_' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/core/nsp/nsp_layer\.h:' \
+  | grep -v '^src/core/nsp/nsp_layer\.cpp:' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: NSP lease-cache state touched outside core/nsp/nsp_layer.{h,cpp}"
+  echo "      — go through the lease API (lookup / forward / lease_peek):"
+  echo "$violations"
+  fail=1
+else
+  echo "ok: lease-cache state confined to core/nsp/nsp_layer.{h,cpp}"
+fi
+
 echo "== lint: clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "skip: clang-tidy not installed on this toolchain"

@@ -30,6 +30,9 @@
 # 10. Overload stage (ctest label `overload`): bounded-queue shedding,
 #    busy-frame back-pressure, admission control, control-plane priority
 #    and gateway fairness under storm load — normal build, then ASan.
+# 11. Naming stage (ctest label `naming`): the sharded name service —
+#    backend-parameterized conformance, ring invariants, seeded churn and
+#    the failover chaos regression — normal build, then repeated TSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -114,6 +117,17 @@ cmake --build "$ASAN_DIR" -j"$(nproc)"
 ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure
 ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L analysis \
   --repeat until-fail:3
+
+# Naming stage (label `naming`): the sharded name service's conformance
+# suite (both substrates), the ring invariants, the seeded churn property
+# suite and the primary-death chaos regression — once in the normal build,
+# then repeated under TSan: the lease cache, the epoch purges and the
+# standby promotion are the contended state, and a flake in the failover
+# path is a bug.
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target naming_scale_test
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L naming
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -L naming --repeat until-fail:3
 
 # Overload stage (label `overload`): bounded queues, busy back-pressure,
 # deadline-aware admission, control-plane priority and gateway fairness

@@ -98,6 +98,13 @@ inline constexpr std::uint16_t kGatewayState = 120;
 // NSP-Layer: resolver caches and the name-server database. Held only
 // around table mutation/copy; NTCS traffic happens outside.
 inline constexpr std::uint16_t kNspState = 200;
+// The NSP shard-map + lease cache (client-side naming state: per-shard
+// epochs, lease entries). Strictly leaf-scoped within the NSP-Layer: a
+// lookup consults/mutates the cache under it, RELEASES it, and only then
+// issues the LCM request — the lock is never held across a blocking
+// naming-service call (the PR 4 validator found that shape twice
+// elsewhere; the rank exists so analysis_test can pin the contract).
+inline constexpr std::uint16_t kNspLease = 205;
 inline constexpr std::uint16_t kNameServerDb = 210;
 inline constexpr std::uint16_t kStaticResolver = 220;
 

@@ -23,6 +23,7 @@ std::string_view errc_name(Errc e) {
     case Errc::unsupported: return "unsupported";
     case Errc::still_alive: return "still_alive";
     case Errc::overloaded: return "overloaded";
+    case Errc::wrong_shard: return "wrong_shard";
   }
   return "unknown";
 }

@@ -60,6 +60,10 @@ enum class Errc : std::uint8_t {
   /// own admission control) cannot serve the request within its deadline.
   /// Retriable — back off and try again; nothing was partially applied.
   overloaded,
+  /// A naming request reached a Name Server shard that does not own the
+  /// name (stale shard map or misrouted query). Retriable: re-route to the
+  /// owning shard — never a silent wrong answer.
+  wrong_shard,
 };
 
 /// Human-readable name of an error code.

@@ -91,17 +91,58 @@ struct NsReplicaInfo {
   NetName net;
 };
 
+/// One shard of the sharded naming service: its primary's location plus an
+/// optional warm standby that takes over when the primary dies. Shard 0's
+/// primary is the classic well-known Name Server (UAdd 1); shard s > 0
+/// answers at ns_shard_uadd(s).
+struct NsShardInfo {
+  PhysAddr primary_phys;
+  NetName primary_net;
+  PhysAddr standby_phys;  // invalid = shard runs without a standby
+  NetName standby_net;
+};
+
 /// The well-known address table loaded into every ComMod at initialization.
 struct WellKnownTable {
   PhysAddr name_server_phys;
   NetName name_server_net;
   std::vector<NsReplicaInfo> name_server_replicas;
   std::vector<PrimeGatewayInfo> prime_gateways;
+  /// Sharded naming service (empty = classic single Name Server at UAdd 1).
+  /// When present, entry 0 describes the same servers as name_server_phys /
+  /// name_server_replicas — both views are kept filled so pre-shard code
+  /// paths keep working.
+  std::vector<NsShardInfo> shards;
 };
 
 /// Reserved UAdds the primary Name Server uses to address its replicas on
 /// the replication link (never visible to applications).
 inline constexpr std::uint64_t kReplicaLinkUAddBase = 100;
+
+/// Name Server shards s >= 1 answer at well-known UAdd kNsShardUAddBase + s
+/// (shard 0 is kNameServerUAdd itself, for compatibility with every
+/// pre-shard table). The range is bounded so is_ns_shard_uadd stays a pure
+/// range check.
+inline constexpr std::uint64_t kNsShardUAddBase = 300;
+inline constexpr std::uint64_t kMaxNsShards = 64;
+
+constexpr UAdd ns_shard_uadd(std::size_t shard) {
+  return shard == 0 ? kNameServerUAdd
+                    : UAdd::permanent(kNsShardUAddBase + shard);
+}
+
+constexpr bool is_ns_shard_uadd(UAdd u) {
+  return u == kNameServerUAdd ||
+         (u.raw() > kNsShardUAddBase && u.raw() < kNsShardUAddBase +
+                                                      kMaxNsShards);
+}
+
+/// Inverse of ns_shard_uadd (precondition: is_ns_shard_uadd(u)).
+constexpr std::size_t ns_shard_of_uadd(UAdd u) {
+  return u == kNameServerUAdd
+             ? 0
+             : static_cast<std::size_t>(u.raw() - kNsShardUAddBase);
+}
 
 }  // namespace ntcs::core
 

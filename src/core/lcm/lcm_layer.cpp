@@ -173,16 +173,33 @@ void LcmLayer::set_error_hook(ErrorHook e) {
 void LcmLayer::preload_well_known(const WellKnownTable& wk) {
   ntcs::LockGuard lk(mu_);
   if (wk.name_server_phys.valid()) {
-    ns_candidates_.clear();
-    ns_candidate_idx_ = 0;
-    ns_candidates_.push_back(
+    NsCandidateSet set;
+    set.dests.push_back(
         ResolvedDest{kNameServerUAdd, wk.name_server_phys, wk.name_server_net});
     for (const NsReplicaInfo& rep : wk.name_server_replicas) {
-      ns_candidates_.push_back(
-          ResolvedDest{kNameServerUAdd, rep.phys, rep.net});
+      set.dests.push_back(ResolvedDest{kNameServerUAdd, rep.phys, rep.net});
     }
-    resolved_cache_[kNameServerUAdd] = ns_candidates_.front();
-    ip_.nd().cache_phys(kNameServerUAdd, wk.name_server_phys);
+    ns_candidates_[kNameServerUAdd] = std::move(set);
+  }
+  // Sharded naming service: one candidate set per shard UAdd (primary
+  // first, warm standby second). The shard entry for UAdd 1 supersedes
+  // the legacy single-server entry above.
+  for (std::size_t s = 0; s < wk.shards.size(); ++s) {
+    const NsShardInfo& sh = wk.shards[s];
+    if (!sh.primary_phys.valid()) continue;
+    const UAdd u = ns_shard_uadd(s);
+    NsCandidateSet set;
+    set.dests.push_back(ResolvedDest{u, sh.primary_phys, sh.primary_net});
+    if (sh.standby_phys.valid()) {
+      set.dests.push_back(ResolvedDest{u, sh.standby_phys, sh.standby_net});
+    }
+    ns_candidates_[u] = std::move(set);
+  }
+  for (auto& [u, set] : ns_candidates_) {
+    if (set.dests.empty()) continue;
+    set.idx = 0;
+    resolved_cache_[u] = set.dests.front();
+    ip_.nd().cache_phys(u, set.dests.front().phys);
   }
   for (const PrimeGatewayInfo& gw : wk.prime_gateways) {
     if (gw.phys.empty()) continue;
@@ -214,10 +231,11 @@ UAdd LcmLayer::chase_forward(UAdd dst) {
 }
 
 ntcs::Result<ResolvedDest> LcmLayer::resolved_for(UAdd dst) {
-  // The resolved-destination cache is where NSP answers are remembered, so
-  // the nsp.cache_* counters live here rather than in the NSP layer itself.
-  static metrics::Counter& m_hits = metrics::counter("nsp.cache_hits");
-  static metrics::Counter& m_misses = metrics::counter("nsp.cache_misses");
+  // UAdd -> destination memoization. (The name -> UAdd lease cache, with
+  // its nsp.cache_* counters, lives in the NSP layer; these count the
+  // LCM's own resolved-destination reuse.)
+  static metrics::Counter& m_hits = metrics::counter("lcm.resolve_hits");
+  static metrics::Counter& m_misses = metrics::counter("lcm.resolve_misses");
   Resolver* resolver = nullptr;
   {
     ntcs::LockGuard lk(mu_);
@@ -416,26 +434,33 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
                  "address fault toward " + cur.to_string());
     }
 
-    if (cur == kNameServerUAdd && !cfg_.reproduce_ns_fault_bug) {
+    if (!cfg_.reproduce_ns_fault_bug) {
       // The §6.3 patch: "Since layers below the NSP-Layer know nothing of
       // the Name Server, they are unable to stop this problem." This layer
       // — which also "should not know of the Name Server" — breaks the
       // loop by never consulting the naming service about the naming
-      // service; the well-known physical address is authoritative.
+      // service; the well-known physical addresses are authoritative.
+      // Re-install a well-known entry so the reconnect can proceed
+      // without a resolver — rotating to the shard's next candidate
+      // (primary, then standby/replicas) on each fault. This rotation IS
+      // the shard failover: a dead primary faults, the retry lands on the
+      // warm standby, whose first write-triggered promotion makes it the
+      // new primary.
+      bool rotated = false;
       {
-        // Re-install a well-known entry so the reconnect can proceed
-        // without a resolver — rotating to the next Name Server candidate
-        // (primary, then replicas) on each fault.
         ntcs::LockGuard lk(mu_);
-        if (!ns_candidates_.empty()) {
-          if (attempt > 0) ++ns_candidate_idx_;
+        auto nsit = ns_candidates_.find(cur);
+        if (nsit != ns_candidates_.end() && !nsit->second.dests.empty()) {
+          if (attempt > 0) ++nsit->second.idx;
           const ResolvedDest& cand =
-              ns_candidates_[ns_candidate_idx_ % ns_candidates_.size()];
-          resolved_cache_[kNameServerUAdd] = cand;
-          ip_.nd().cache_phys(kNameServerUAdd, cand.phys);
+              nsit->second.dests[nsit->second.idx %
+                                 nsit->second.dests.size()];
+          resolved_cache_[cur] = cand;
+          ip_.nd().cache_phys(cur, cand.phys);
+          rotated = true;
         }
       }
-      continue;  // plain reconnect retry via ND retry-on-open
+      if (rotated) continue;  // plain reconnect retry via ND retry-on-open
     }
 
     Resolver* resolver = nullptr;

@@ -325,9 +325,16 @@ class LcmLayer {
   std::atomic<std::uint64_t> busy_pauses_{0};
   std::atomic<std::uint64_t> admission_rejects_{0};
   std::atomic<std::uint64_t> waiter_sweeps_{0};
-  std::vector<ResolvedDest> ns_candidates_
-      GUARDED_BY(mu_);  // primary first, then replicas
-  std::size_t ns_candidate_idx_ GUARDED_BY(mu_) = 0;
+  /// Name-Server candidates per well-known NS UAdd (the classic server
+  /// plus one entry per shard): primary first, then standby/replicas. The
+  /// address-fault path rotates through them instead of consulting the
+  /// resolver — the §6.3 rule that the stack never asks the naming
+  /// service about the naming service.
+  struct NsCandidateSet {
+    std::vector<ResolvedDest> dests;
+    std::size_t idx = 0;
+  };
+  std::unordered_map<UAdd, NsCandidateSet> ns_candidates_ GUARDED_BY(mu_);
   Resolver* resolver_ = nullptr;
   TimeSource time_source_;
   MonitorHook monitor_hook_;

@@ -43,6 +43,7 @@ ntcs::Status Node::start() {
 
 void Node::install_well_known(const WellKnownTable& wk) {
   lcm_.preload_well_known(wk);
+  nsp_.configure_shards(wk);
   ip_.set_prime_gateways(prime_gateway_records(wk));
 }
 

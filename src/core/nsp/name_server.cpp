@@ -4,15 +4,31 @@
 
 namespace ntcs::core {
 
-NameServer::NameServer(NodeConfig cfg, NsRole role) : role_(role) {
+NameServer::NameServer(NodeConfig cfg, NsRole role, NsShardConfig shard)
+    : shard_cfg_(shard),
+      shard_map_(shard.num_shards == 0 ? 1 : shard.num_shards),
+      role_(role) {
+  shard_cfg_.num_shards = shard_map_.size();
   if (cfg.name.empty()) {
-    cfg.name = role == NsRole::primary ? "name-server" : "name-server-replica";
+    cfg.name = "name-server";
+    if (shard_cfg_.shard != 0) {
+      cfg.name += "-" + std::to_string(shard_cfg_.shard);
+    }
+    if (role == NsRole::replica) cfg.name += "-replica";
+    if (role == NsRole::standby) cfg.name += "-standby";
   }
   node_ = std::make_unique<Node>(std::move(cfg));
   // The server *is* the well-known UAdd — it never registers with itself
   // over the wire (it could not: §3.4, it "can not provide its own"
-  // address prior to connection).
-  node_->identity().set_uadd(kNameServerUAdd);
+  // address prior to connection). A standby answers on the same UAdd as
+  // the primary it shadows: clients reach whichever is alive via the
+  // LCM-Layer's candidate rotation.
+  node_->identity().set_uadd(ns_shard_uadd(shard_cfg_.shard));
+  // Start the monotone counter on this shard's residue so every shard
+  // mints from a disjoint stripe of the dynamic UAdd space.
+  next_uadd_ = kFirstDynamicUAdd + shard_cfg_.shard;
+  m_shard_lookups_ = &metrics::counter("ns.shard_lookups.s" +
+                                       std::to_string(shard_cfg_.shard));
 }
 
 NameServer::~NameServer() { stop(); }
@@ -21,23 +37,32 @@ ntcs::Status NameServer::start() {
   if (running_) return ntcs::Status::success();
   if (auto st = node_->start(); !st.ok()) return st;
   // Complete the well-known table with our own freshly bound address so
-  // the node's own stack treats UAdd 1 as local-resolvable.
+  // the node's own stack treats the shard's UAdd as local-resolvable.
   WellKnownTable wk = node_->config().well_known;
-  wk.name_server_phys = node_->phys();
-  wk.name_server_net = node_->config().net;
+  if (shard_cfg_.shard == 0) {
+    wk.name_server_phys = node_->phys();
+    wk.name_server_net = node_->config().net;
+  }
   node_->install_well_known(wk);
-  // Self-entry in the database so "name-server" is locatable by name.
-  // Replicas start empty; the primary's snapshot fills them.
-  if (role_ == NsRole::primary) {
+  node_->lcm().cache_destination(
+      ns_shard_uadd(shard_cfg_.shard),
+      ResolvedDest{ns_shard_uadd(shard_cfg_.shard), node_->phys(),
+                   node_->config().net});
+  // Self-entry in the database so the server is locatable by name.
+  // Replicas and standbys start empty; the primary's stream fills them.
+  {
     ntcs::LockGuard lk(mu_);
-    DbRecord self;
-    self.uadd = kNameServerUAdd;
-    self.name = node_->identity().name();
-    self.phys = node_->phys().blob;
-    self.net = node_->config().net;
-    self.arch = convert::arch_wire_id(node_->identity().arch());
-    self.seq = next_seq_++;
-    db_[self.uadd] = std::move(self);
+    if (role_ == NsRole::primary) {
+      DbRecord self;
+      self.uadd = ns_shard_uadd(shard_cfg_.shard);
+      self.name = node_->identity().name();
+      self.phys = node_->phys().blob;
+      self.net = node_->config().net;
+      self.arch = convert::arch_wire_id(node_->identity().arch());
+      self.seq = next_seq_++;
+      by_name_[self.name] = self.uadd;
+      db_[self.uadd] = std::move(self);
+    }
   }
   server_ = std::jthread([this](std::stop_token st) { serve(st); });
   running_ = true;
@@ -50,6 +75,16 @@ void NameServer::stop() {
   server_.request_stop();
   node_->stop();  // closes the receive queue; serve() drains and exits
   if (server_.joinable()) server_.join();
+}
+
+NsRole NameServer::role() const {
+  ntcs::LockGuard lk(mu_);
+  return role_;
+}
+
+std::uint64_t NameServer::epoch() const {
+  ntcs::LockGuard lk(mu_);
+  return epoch_;
 }
 
 void NameServer::serve(const std::stop_token& st) {
@@ -97,6 +132,7 @@ nsp::ReplicaUpdate NameServer::update_for_locked(const DbRecord& rec) const {
   u.uadd_raw = rec.uadd.raw();
   u.seq = rec.seq;
   u.deregistered = rec.deregistered;
+  u.epoch = epoch_;
   return u;
 }
 
@@ -115,9 +151,27 @@ void NameServer::apply_replica_update(const nsp::ReplicaUpdate& u) {
   rec.seq = u.seq;
   rec.deregistered = u.deregistered;
   if (rec.seq >= next_seq_) next_seq_ = rec.seq + 1;
+  // Keep the striped UAdd counter ahead of everything the primary minted,
+  // so a promoted standby never re-issues a UAdd that is already bound.
+  const std::uint64_t raw = rec.uadd.raw();
+  if (raw >= kFirstDynamicUAdd && raw >= next_uadd_ &&
+      (raw - kFirstDynamicUAdd) % shard_cfg_.num_shards == shard_cfg_.shard) {
+    next_uadd_ = raw + shard_cfg_.num_shards;
+  }
+  // Track the primary's epoch so a promotion bump supersedes every lease
+  // the primary ever granted, not just those since we last reset.
+  if (u.epoch > epoch_) epoch_ = u.epoch;
   // Last-writer-wins by registration sequence.
   auto it = db_.find(rec.uadd);
   if (it == db_.end() || it->second.seq <= rec.seq) {
+    if (rec.deregistered) {
+      auto idx = by_name_.find(rec.name);
+      if (idx != by_name_.end() && idx->second == rec.uadd) {
+        by_name_.erase(idx);
+      }
+    } else {
+      by_name_[rec.name] = rec.uadd;
+    }
     db_[rec.uadd] = std::move(rec);
   }
   ++stats_.replications_applied;
@@ -147,13 +201,14 @@ void NameServer::flush_replication() {
   }
 }
 
-ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
-  if (role_ != NsRole::primary) {
-    return ntcs::Status(ntcs::Errc::unsupported, "replicas cannot chain");
-  }
+ntcs::Status NameServer::add_replica(const NsReplicaInfo& info,
+                                     bool send_snapshot) {
   UAdd link;
   {
     ntcs::LockGuard lk(mu_);
+    if (role_ != NsRole::primary) {
+      return ntcs::Status(ntcs::Errc::unsupported, "replicas cannot chain");
+    }
     link = UAdd::permanent(kReplicaLinkUAddBase + replica_links_.size());
     replica_links_.push_back(link);
   }
@@ -161,6 +216,7 @@ ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
   // be resolved through the service it backs.
   node_->lcm().cache_destination(link,
                                  ResolvedDest{link, info.phys, info.net});
+  if (!send_snapshot) return ntcs::Status::success();
   // Full snapshot, then the serve loop streams increments.
   std::vector<nsp::ReplicaUpdate> snapshot;
   {
@@ -180,6 +236,35 @@ ntcs::Status NameServer::add_replica(const NsReplicaInfo& info) {
     ++stats_.replications_sent;
   }
   return ntcs::Status::success();
+}
+
+std::size_t NameServer::load_records(const std::string& prefix,
+                                     std::size_t count,
+                                     const std::string& phys,
+                                     const std::string& net) {
+  ntcs::LockGuard lk(mu_);
+  const std::size_t n = shard_cfg_.num_shards;
+  std::size_t loaded = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = prefix + std::to_string(i);
+    if (shard_map_.sharded() &&
+        shard_map_.shard_of(name) != shard_cfg_.shard) {
+      continue;
+    }
+    DbRecord rec;
+    rec.uadd = UAdd::permanent(kFirstDynamicUAdd + i * n + shard_cfg_.shard);
+    rec.phys = phys;
+    rec.net = net;
+    rec.seq = next_seq_++;
+    by_name_[name] = rec.uadd;
+    rec.name = std::move(name);
+    db_[rec.uadd] = std::move(rec);
+    ++loaded;
+  }
+  // The striped counter resumes past every record we just minted.
+  const std::uint64_t past = kFirstDynamicUAdd + count * n + shard_cfg_.shard;
+  if (next_uadd_ < past) next_uadd_ = past;
+  return loaded;
 }
 
 ntcs::Bytes NameServer::handle(const nsp::Request& req) {
@@ -212,15 +297,74 @@ ntcs::Bytes NameServer::handle(const nsp::Request& req) {
   return nsp::encode_error_response(ntcs::Errc::bad_message, "unknown op");
 }
 
+const NameServer::DbRecord* NameServer::find_by_name_locked(
+    const std::string& name) {
+  auto idx = by_name_.find(name);
+  if (idx != by_name_.end()) {
+    auto it = db_.find(idx->second);
+    if (it != db_.end() && !it->second.deregistered &&
+        it->second.name == name) {
+      return &it->second;
+    }
+  }
+  // Indexed record died (forward/deregister) — fall back to the scan and
+  // repair the index.
+  const DbRecord* best = nullptr;
+  for (const auto& [uadd, rec] : db_) {
+    if (rec.deregistered || rec.name != name) continue;
+    if (best == nullptr || rec.seq > best->seq) best = &rec;
+  }
+  if (best != nullptr) {
+    by_name_[name] = best->uadd;
+  } else {
+    by_name_.erase(name);
+  }
+  return best;
+}
+
+void NameServer::bump_epoch_locked() {
+  static metrics::Counter& m_bumps = metrics::counter("ns.epoch_bumps");
+  ++epoch_;
+  ++stats_.epoch_bumps;
+  m_bumps.inc();
+}
+
+bool NameServer::writable_locked(ntcs::Bytes* reject) {
+  if (role_ == NsRole::primary) return true;
+  if (role_ == NsRole::replica) {
+    ++stats_.writes_rejected;
+    *reject = nsp::encode_error_response(
+        ntcs::Errc::unsupported,
+        "name-server replica is read-only; register with the primary");
+    return false;
+  }
+  // Standby: the §3.5 "really inactive?" determination, applied to the
+  // naming service itself. A write reaching us means a client's candidate
+  // rotation gave up on the primary — verify before usurping it.
+  ++stats_.liveness_probes;
+  if (shard_cfg_.primary_phys.valid() &&
+      node_->backend().probe(shard_cfg_.primary_phys.blob)) {
+    ++stats_.writes_rejected;
+    *reject = nsp::encode_error_response(
+        ntcs::Errc::unsupported,
+        "standby: shard primary still reachable; retry there");
+    return false;
+  }
+  // The primary is gone: promote. The epoch bump invalidates every lease
+  // it ever granted, so no client keeps acting on its answers.
+  static metrics::Counter& m_failovers = metrics::counter("ns.failovers");
+  role_ = NsRole::primary;
+  ++stats_.promotions;
+  bump_epoch_locked();
+  m_failovers.inc();
+  return true;
+}
+
 ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
   ntcs::LockGuard lk(mu_);
   ++stats_.registers;
-  if (role_ == NsRole::replica) {
-    ++stats_.writes_rejected;
-    return nsp::encode_error_response(
-        ntcs::Errc::unsupported,
-        "name-server replica is read-only; register with the primary");
-  }
+  ntcs::Bytes reject;
+  if (!writable_locked(&reject)) return reject;
   if (r.name.empty()) {
     return nsp::encode_error_response(ntcs::Errc::bad_argument,
                                       "empty module name");
@@ -228,6 +372,14 @@ ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
   if (r.is_gateway && r.gw_nets.size() != r.gw_phys.size()) {
     return nsp::encode_error_response(ntcs::Errc::bad_argument,
                                       "gateway nets/phys mismatch");
+  }
+  if (shard_map_.sharded() &&
+      shard_map_.shard_of(r.name) != shard_cfg_.shard) {
+    ++stats_.wrong_shard;
+    return nsp::encode_error_response(
+        ntcs::Errc::wrong_shard,
+        "name '" + r.name + "' belongs to shard " +
+            std::to_string(shard_map_.shard_of(r.name)));
   }
   UAdd uadd;
   if (r.requested_uadd != 0) {
@@ -246,9 +398,15 @@ ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
     }
   } else {
     // §3.2: "UAdds are currently generated by a simple monotonically
-    // increasing counter."
-    uadd = UAdd::permanent(next_uadd_++);
+    // increasing counter" — striped so every shard mints from a disjoint
+    // residue class and clients can route resolve/forward by UAdd alone.
+    uadd = UAdd::permanent(next_uadd_);
+    next_uadd_ += shard_cfg_.num_shards;
   }
+  // A live record under the same name means this is a module *move*
+  // (§3.5): the old address data cached anywhere is now wrong. Bump the
+  // shard epoch so every outstanding lease dies with the old location.
+  if (find_by_name_locked(r.name) != nullptr) bump_epoch_locked();
   DbRecord rec;
   rec.uadd = uadd;
   rec.name = r.name;
@@ -260,24 +418,40 @@ ntcs::Bytes NameServer::handle_register(const nsp::RegisterRequest& r) {
   rec.gw_nets = r.gw_nets;
   rec.gw_phys = r.gw_phys;
   rec.seq = next_seq_++;
+  by_name_[rec.name] = uadd;
   db_[uadd] = std::move(rec);
   pending_updates_.push_back(update_for_locked(db_[uadd]));
   return nsp::encode_uadd_response(uadd);
 }
 
 ntcs::Bytes NameServer::handle_lookup(const std::string& name) {
+  static metrics::Counter& m_lookups = metrics::counter("ns.shard_lookups");
+  m_lookups.inc();
+  m_shard_lookups_->inc();
   ntcs::LockGuard lk(mu_);
   ++stats_.lookups;
-  const DbRecord* best = nullptr;
-  for (const auto& [uadd, rec] : db_) {
-    if (rec.deregistered || rec.name != name) continue;
-    if (best == nullptr || rec.seq > best->seq) best = &rec;
-  }
+  const DbRecord* best = find_by_name_locked(name);
   if (best == nullptr) {
+    // Names we own are authoritatively absent; anything else is the
+    // caller's routing error (stale shard count) — retriable, never a
+    // silent wrong answer.
+    if (shard_map_.sharded() &&
+        shard_map_.shard_of(name) != shard_cfg_.shard) {
+      ++stats_.wrong_shard;
+      return nsp::encode_error_response(
+          ntcs::Errc::wrong_shard,
+          "name '" + name + "' belongs to shard " +
+              std::to_string(shard_map_.shard_of(name)));
+    }
     return nsp::encode_error_response(ntcs::Errc::not_found,
                                       "no module named '" + name + "'");
   }
-  return nsp::encode_uadd_response(best->uadd);
+  nsp::LookupResponse resp;
+  resp.uadd_raw = best->uadd.raw();
+  resp.epoch = epoch_;
+  resp.lease_ms = shard_cfg_.lease_ms;
+  resp.shard = shard_cfg_.shard;
+  return nsp::encode_lookup_response(resp);
 }
 
 ntcs::Bytes NameServer::handle_lookup_attrs(const nsp::AttrMap& attrs) {
@@ -296,12 +470,27 @@ ntcs::Bytes NameServer::handle_lookup_attrs(const nsp::AttrMap& attrs) {
     }
     if (all) matches.push_back(uadd);
   }
+  // Sharded: these are only the local shard's matches; the NSP-Layer
+  // fans the query out and merges.
   return nsp::encode_uadds_response(matches);
+}
+
+/// True if a dynamic UAdd belongs to another shard's stripe (well-known
+/// UAdds are not striped: whichever shard holds the record answers).
+static bool foreign_stripe(UAdd uadd, const NsShardConfig& cfg) {
+  if (cfg.num_shards <= 1 || uadd.raw() < kFirstDynamicUAdd) return false;
+  return (uadd.raw() - kFirstDynamicUAdd) % cfg.num_shards != cfg.shard;
 }
 
 ntcs::Bytes NameServer::handle_resolve(UAdd uadd) {
   ntcs::LockGuard lk(mu_);
   ++stats_.resolves;
+  if (foreign_stripe(uadd, shard_cfg_)) {
+    ++stats_.wrong_shard;
+    return nsp::encode_error_response(
+        ntcs::Errc::wrong_shard,
+        "UAdd " + uadd.to_string() + " lives on another shard's stripe");
+  }
   auto it = db_.find(uadd);
   if (it == db_.end() || it->second.deregistered) {
     return nsp::encode_error_response(
@@ -322,6 +511,12 @@ ntcs::Bytes NameServer::handle_forward(UAdd old_uadd) {
   // module."
   ntcs::LockGuard lk(mu_);
   ++stats_.forwards;
+  if (foreign_stripe(old_uadd, shard_cfg_)) {
+    ++stats_.wrong_shard;
+    return nsp::encode_error_response(
+        ntcs::Errc::wrong_shard,
+        "UAdd " + old_uadd.to_string() + " lives on another shard's stripe");
+  }
   auto it = db_.find(old_uadd);
   if (it == db_.end()) {
     return nsp::encode_error_response(
@@ -408,10 +603,13 @@ ntcs::Bytes NameServer::handle_gateways() {
 
 ntcs::Bytes NameServer::handle_deregister(UAdd uadd) {
   ntcs::LockGuard lk(mu_);
-  if (role_ == NsRole::replica) {
-    ++stats_.writes_rejected;
-    return nsp::encode_error_response(ntcs::Errc::unsupported,
-                                      "name-server replica is read-only");
+  ntcs::Bytes reject;
+  if (!writable_locked(&reject)) return reject;
+  if (foreign_stripe(uadd, shard_cfg_)) {
+    ++stats_.wrong_shard;
+    return nsp::encode_error_response(
+        ntcs::Errc::wrong_shard,
+        "UAdd " + uadd.to_string() + " lives on another shard's stripe");
   }
   auto it = db_.find(uadd);
   if (it == db_.end()) {
@@ -419,6 +617,8 @@ ntcs::Bytes NameServer::handle_deregister(UAdd uadd) {
         ntcs::Errc::not_found, "unknown UAdd " + uadd.to_string());
   }
   it->second.deregistered = true;
+  auto idx = by_name_.find(it->second.name);
+  if (idx != by_name_.end() && idx->second == uadd) by_name_.erase(idx);
   pending_updates_.push_back(update_for_locked(it->second));
   return nsp::encode_ok_response();
 }

@@ -13,6 +13,14 @@
 // inactive, mapping the old UAdd to its name, and then looking for a
 // similar name in a newer module"), and serves the gateway/topology
 // registry of §4.
+//
+// Scale extension: the name space shards across N such servers by
+// consistent hash of the logical name (shard_map.h). Each shard owns the
+// names its ring segment covers plus a stripe of the dynamic UAdd space
+// ((raw - kFirstDynamicUAdd) % num_shards == shard), answers lookups with
+// a lease + epoch, and rejects traffic for names it does not own with the
+// retriable Errc::wrong_shard — a client holding a stale shard count gets
+// an error it can recover from, never a silent wrong answer.
 #pragma once
 
 #include <optional>
@@ -20,23 +28,45 @@
 #include <unordered_map>
 
 #include "common/annotated.h"
+#include "common/metrics.h"
 #include "core/node.h"
 #include "core/nsp/protocol.h"
+#include "core/nsp/shard_map.h"
 
 namespace ntcs::core {
 
 /// Replication role (§7: the naming service implementation "will be
 /// replicated for failure resiliency"). A primary pushes every database
-/// mutation to its replicas over the NTCS itself; replicas serve reads
-/// (lookup / resolve / forward / gateways) and reject writes. Clients fail
-/// over via the LCM-Layer's Name-Server candidate rotation.
-enum class NsRole : std::uint8_t { primary, replica };
+/// mutation to its replicas/standby over the NTCS itself.
+///
+///  - replica: read-only mirror, serves lookup/resolve/forward/gateways,
+///    rejects writes forever. Clients fail over to it for reads via the
+///    LCM-Layer's candidate rotation.
+///  - standby: a replica that can take over. On receiving a write it
+///    probes the primary's physical address (the §3.5 "really inactive?"
+///    determination applied to the naming service itself); if the primary
+///    is dead it promotes itself — becoming the shard primary under a
+///    bumped epoch so every lease the old primary granted dies with it.
+enum class NsRole : std::uint8_t { primary, replica, standby };
+
+/// Placement of one NameServer instance in the sharded name space.
+/// Default-constructed = the classic single unsharded server.
+struct NsShardConfig {
+  std::size_t shard = 0;
+  std::size_t num_shards = 1;
+  /// Lease granted on lookup replies; 0 disables client caching.
+  std::uint64_t lease_ms = 2000;
+  /// For a standby: the primary it watches (probe target for promotion).
+  PhysAddr primary_phys;
+};
 
 class NameServer {
  public:
-  /// cfg.name defaults to "name-server" when empty; cfg.well_known is
-  /// completed with the server's own physical address after bind.
-  explicit NameServer(NodeConfig cfg, NsRole role = NsRole::primary);
+  /// cfg.name defaults to "name-server[-<shard>][-replica|-standby]" when
+  /// empty; cfg.well_known is completed with the server's own physical
+  /// address after bind.
+  explicit NameServer(NodeConfig cfg, NsRole role = NsRole::primary,
+                      NsShardConfig shard = {});
   ~NameServer();
 
   NameServer(const NameServer&) = delete;
@@ -45,11 +75,28 @@ class NameServer {
   ntcs::Status start();
   void stop();
 
-  NsRole role() const { return role_; }
+  /// Current role — a standby flips to primary on promotion.
+  NsRole role() const;
+  const NsShardConfig& shard_config() const { return shard_cfg_; }
+  /// The shard's reconfiguration epoch (starts at 1; bumps on module
+  /// moves and on standby promotion).
+  std::uint64_t epoch() const;
 
-  /// Primary only: attach a replica (already started and pumping). Sends a
-  /// full database snapshot, then every subsequent mutation incrementally.
-  ntcs::Status add_replica(const NsReplicaInfo& info);
+  /// Primary only: attach a replica/standby (already started and
+  /// pumping). With send_snapshot it ships the full database first; a
+  /// warm standby that bulk-loaded the same records skips the snapshot
+  /// and receives only increments.
+  ntcs::Status add_replica(const NsReplicaInfo& info,
+                           bool send_snapshot = true);
+
+  /// Bulk-load `count` synthetic records named "<prefix><i>" (scale
+  /// benches / tests). Names not owned by this shard are skipped; owned
+  /// names get deterministic striped UAdds (kFirstDynamicUAdd +
+  /// i*num_shards + shard) so a primary and its standby load byte-for-byte
+  /// identical databases without a million-record snapshot. Returns the
+  /// number actually loaded.
+  std::size_t load_records(const std::string& prefix, std::size_t count,
+                           const std::string& phys, const std::string& net);
 
   Node& node() { return *node_; }
   PhysAddr phys() const { return node_->phys(); }
@@ -70,6 +117,9 @@ class NameServer {
     std::uint64_t replications_sent = 0;
     std::uint64_t replications_applied = 0;
     std::uint64_t writes_rejected = 0;  // writes arriving at a replica
+    std::uint64_t wrong_shard = 0;      // traffic for a shard we don't own
+    std::uint64_t promotions = 0;       // standby -> primary takeovers
+    std::uint64_t epoch_bumps = 0;      // moves + promotions
   };
   Stats stats() const;
 
@@ -95,6 +145,13 @@ class NameServer {
       REQUIRES(mu_);
   /// Ship queued mutations to every replica (serve-thread only).
   void flush_replication();
+  /// The newest live record with this name, via the by-name index (O(1));
+  /// falls back to a scan + index repair if the indexed record died.
+  const DbRecord* find_by_name_locked(const std::string& name) REQUIRES(mu_);
+  /// Write barrier: true if this instance may apply the write. A standby
+  /// probes the primary and self-promotes when it is gone.
+  bool writable_locked(ntcs::Bytes* reject) REQUIRES(mu_);
+  void bump_epoch_locked() REQUIRES(mu_);
   ntcs::Bytes handle_register(const nsp::RegisterRequest& r);
   ntcs::Bytes handle_lookup(const std::string& name);
   ntcs::Bytes handle_lookup_attrs(const nsp::AttrMap& attrs);
@@ -104,14 +161,22 @@ class NameServer {
   ntcs::Bytes handle_deregister(UAdd uadd);
 
   std::unique_ptr<Node> node_;
-  NsRole role_;
+  NsShardConfig shard_cfg_;
+  nsp::ShardMap shard_map_;  // immutable after construction
+  metrics::Counter* m_shard_lookups_ = nullptr;  // per-shard series
   std::vector<UAdd> replica_links_;
   std::vector<nsp::ReplicaUpdate> pending_updates_ GUARDED_BY(mu_);
-  // Leaf-scoped: requests mutate the db under it and reply outside.
+  // Leaf-scoped: requests mutate the db under it and reply outside. The
+  // §3.5 liveness probe (backend().probe) is a non-blocking STD-IF call,
+  // not an NTCS send, so holding mu_ across it cannot deadlock the stack.
   mutable ntcs::Mutex mu_{ntcs::lockrank::kNameServerDb, "nsp.name_server"};
+  NsRole role_ GUARDED_BY(mu_);
   std::unordered_map<UAdd, DbRecord> db_ GUARDED_BY(mu_);
+  // name -> newest live record's UAdd; lookup fast path for big shards.
+  std::unordered_map<std::string, UAdd> by_name_ GUARDED_BY(mu_);
   std::uint64_t next_uadd_ GUARDED_BY(mu_) = kFirstDynamicUAdd;
   std::uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::uint64_t epoch_ GUARDED_BY(mu_) = 1;
   Stats stats_ GUARDED_BY(mu_);
   std::jthread server_;
   bool running_ = false;

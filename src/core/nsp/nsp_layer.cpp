@@ -4,6 +4,21 @@
 
 namespace ntcs::core {
 
+namespace {
+metrics::Counter& m_cache_hits() {
+  static metrics::Counter& c = metrics::counter("nsp.cache_hits");
+  return c;
+}
+metrics::Counter& m_cache_misses() {
+  static metrics::Counter& c = metrics::counter("nsp.cache_misses");
+  return c;
+}
+metrics::Counter& m_cache_invalidations() {
+  static metrics::Counter& c = metrics::counter("nsp.cache_invalidations");
+  return c;
+}
+}  // namespace
+
 NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
                    std::chrono::nanoseconds request_timeout)
     : lcm_(lcm),
@@ -11,7 +26,48 @@ NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
       timeout_(request_timeout),
       log_("nsp", identity_->name()) {}
 
-ntcs::Result<RequestTicket> NspLayer::call_async(ntcs::Bytes request_body) {
+void NspLayer::configure_shards(const WellKnownTable& wk) {
+  ntcs::LockGuard lk(lease_mu_);
+  const std::size_t n = wk.shards.empty() ? 1 : wk.shards.size();
+  if (n == shard_map_.size()) return;  // same topology: leases stay good
+  shard_map_ = nsp::ShardMap(n);
+  lease_cache_.clear();
+  shard_epochs_.assign(n, 0);
+}
+
+UAdd NspLayer::target_for_name(const std::string& name) const {
+  ntcs::LockGuard lk(lease_mu_);
+  return ns_shard_uadd(shard_map_.shard_of(name));
+}
+
+std::vector<UAdd> NspLayer::all_shard_targets() const {
+  std::size_t n;
+  {
+    ntcs::LockGuard lk(lease_mu_);
+    n = shard_map_.size();
+  }
+  std::vector<UAdd> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) out.push_back(ns_shard_uadd(s));
+  return out;
+}
+
+std::vector<UAdd> NspLayer::targets_for_uadd(UAdd uadd) const {
+  std::size_t n;
+  {
+    ntcs::LockGuard lk(lease_mu_);
+    n = shard_map_.size();
+  }
+  if (n <= 1) return {kNameServerUAdd};
+  if (uadd.raw() >= kFirstDynamicUAdd) {
+    // Dynamic UAdds are minted striped: the residue names the shard.
+    return {ns_shard_uadd((uadd.raw() - kFirstDynamicUAdd) % n)};
+  }
+  return all_shard_targets();  // well-known: whichever shard holds it
+}
+
+ntcs::Result<RequestTicket> NspLayer::call_async(UAdd target,
+                                                 ntcs::Bytes request_body) {
   static metrics::Counter& m_queries = metrics::counter("nsp.queries");
   m_queries.inc();
   {
@@ -23,8 +79,8 @@ ntcs::Result<RequestTicket> NspLayer::call_async(ntcs::Bytes request_body) {
   SendOptions opts;
   opts.internal = true;
   opts.timeout = timeout_;
-  return lcm_.request_async(kNameServerUAdd,
-                            Payload::raw(std::move(request_body)), opts);
+  return lcm_.request_async(target, Payload::raw(std::move(request_body)),
+                            opts);
 }
 
 ntcs::Result<ntcs::Bytes> NspLayer::await_call(
@@ -42,8 +98,29 @@ ntcs::Result<ntcs::Bytes> NspLayer::await_call(
   return std::move(reply.value().payload);
 }
 
-ntcs::Result<ntcs::Bytes> NspLayer::call(ntcs::Bytes request_body) {
-  return await_call(call_async(std::move(request_body)));
+ntcs::Result<ntcs::Bytes> NspLayer::call(UAdd target,
+                                         ntcs::Bytes request_body) {
+  return await_call(call_async(target, std::move(request_body)));
+}
+
+ntcs::Result<ntcs::Bytes> NspLayer::call_targets(
+    const std::vector<UAdd>& targets, const ntcs::Bytes& request_body) {
+  ntcs::Result<ntcs::Bytes> last =
+      ntcs::Error(ntcs::Errc::not_found, "no shard answered");
+  for (UAdd target : targets) {
+    auto body = call(target, ntcs::Bytes(request_body));
+    if (!body) {
+      last = std::move(body);  // transport trouble: try the next shard
+      continue;
+    }
+    const ntcs::Errc code = nsp::response_status(body.value());
+    if (code == ntcs::Errc::not_found || code == ntcs::Errc::wrong_shard) {
+      last = std::move(body);  // this shard doesn't hold it; keep probing
+      continue;
+    }
+    return body;  // authoritative (ok, still_alive, ...)
+  }
+  return last;
 }
 
 ntcs::Result<UAdd> NspLayer::register_module(const RegistrationInfo& info) {
@@ -59,7 +136,7 @@ ntcs::Result<UAdd> NspLayer::register_module(const RegistrationInfo& info) {
   for (const NetName& n : info.gw_nets) req.gw_nets.push_back(n);
   for (const PhysAddr& p : info.gw_phys) req.gw_phys.push_back(p.blob);
 
-  auto body = call(nsp::encode_register(req));
+  auto body = call(target_for_name(req.name), nsp::encode_register(req));
   if (!body) return body.error();
   auto uadd = nsp::decode_uadd_response(body.value());
   if (!uadd) return uadd.error();
@@ -70,43 +147,136 @@ ntcs::Result<UAdd> NspLayer::register_module(const RegistrationInfo& info) {
   return uadd;
 }
 
+void NspLayer::note_epoch_locked(std::size_t shard, std::uint64_t epoch) {
+  if (shard >= shard_epochs_.size()) shard_epochs_.resize(shard + 1, 0);
+  if (epoch <= shard_epochs_[shard]) return;
+  shard_epochs_[shard] = epoch;
+  // Reconfiguration happened (module move or shard failover): every lease
+  // this shard granted under an older epoch may name a dead location.
+  for (auto it = lease_cache_.begin(); it != lease_cache_.end();) {
+    if (it->second.shard == shard && it->second.epoch < epoch) {
+      it = lease_cache_.erase(it);
+      m_cache_invalidations().inc();
+      ++lease_stats_.lease_invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+ntcs::Result<UAdd> NspLayer::accept_lookup_reply(const std::string& name,
+                                                 ntcs::BytesView body) {
+  auto resp = nsp::decode_lookup_response(body);
+  if (!resp) return resp.error();
+  const UAdd uadd = UAdd::from_raw(resp.value().uadd_raw);
+  if (resp.value().lease_ms > 0) {
+    const auto expiry = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(resp.value().lease_ms);
+    ntcs::LockGuard lk(lease_mu_);
+    note_epoch_locked(resp.value().shard, resp.value().epoch);
+    // Only a lease minted under the current epoch may enter the cache; a
+    // reordered stale reply must not resurrect a dead location.
+    if (resp.value().shard < shard_epochs_.size() &&
+        resp.value().epoch == shard_epochs_[resp.value().shard]) {
+      lease_cache_[name] =
+          Lease{uadd, resp.value().epoch, expiry, resp.value().shard};
+    }
+  }
+  return uadd;
+}
+
 ntcs::Result<UAdd> NspLayer::lookup(const std::string& name) {
-  auto body = call(nsp::encode_lookup(name));
+  {
+    ntcs::LockGuard lk(lease_mu_);
+    auto it = lease_cache_.find(name);
+    if (it != lease_cache_.end() &&
+        std::chrono::steady_clock::now() < it->second.expiry &&
+        it->second.shard < shard_epochs_.size() &&
+        it->second.epoch == shard_epochs_[it->second.shard]) {
+      m_cache_hits().inc();
+      ++lease_stats_.lease_hits;
+      return it->second.uadd;
+    }
+    m_cache_misses().inc();
+    ++lease_stats_.lease_misses;
+  }
+  auto body = call(target_for_name(name), nsp::encode_lookup(name));
   if (!body) return body.error();
-  return nsp::decode_uadd_response(body.value());
+  return accept_lookup_reply(name, body.value());
 }
 
 std::vector<ntcs::Result<UAdd>> NspLayer::lookup_many(
     const std::vector<std::string>& names) {
-  // Issue phase: every query goes out before any reply is awaited, so the
-  // batch costs ~one round trip instead of names.size() of them.
+  std::vector<std::optional<ntcs::Result<UAdd>>> done(names.size());
+  {
+    ntcs::LockGuard lk(lease_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      auto it = lease_cache_.find(names[i]);
+      if (it != lease_cache_.end() && now < it->second.expiry &&
+          it->second.shard < shard_epochs_.size() &&
+          it->second.epoch == shard_epochs_[it->second.shard]) {
+        m_cache_hits().inc();
+        ++lease_stats_.lease_hits;
+        done[i] = ntcs::Result<UAdd>(it->second.uadd);
+      } else {
+        m_cache_misses().inc();
+        ++lease_stats_.lease_misses;
+      }
+    }
+  }
+  // Issue phase: every uncached query goes out before any reply is
+  // awaited, so the batch costs ~one round trip instead of one each.
   std::vector<ntcs::Result<RequestTicket>> tickets;
-  tickets.reserve(names.size());
-  for (const std::string& name : names) {
-    tickets.push_back(call_async(nsp::encode_lookup(name)));
+  std::vector<std::size_t> ticket_slot;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (done[i].has_value()) continue;
+    tickets.push_back(
+        call_async(target_for_name(names[i]), nsp::encode_lookup(names[i])));
+    ticket_slot.push_back(i);
+  }
+  for (std::size_t t = 0; t < tickets.size(); ++t) {
+    const std::size_t i = ticket_slot[t];
+    auto body = await_call(tickets[t]);
+    if (!body) {
+      done[i] = ntcs::Result<UAdd>(body.error());
+      continue;
+    }
+    done[i] = accept_lookup_reply(names[i], body.value());
   }
   std::vector<ntcs::Result<UAdd>> out;
   out.reserve(names.size());
-  for (const auto& ticket : tickets) {
-    auto body = await_call(ticket);
-    if (!body) {
-      out.push_back(body.error());
-      continue;
-    }
-    out.push_back(nsp::decode_uadd_response(body.value()));
-  }
+  for (auto& d : done) out.push_back(std::move(*d));
   return out;
 }
 
 ntcs::Result<std::vector<UAdd>> NspLayer::lookup_attrs(
     const nsp::AttrMap& attrs) {
-  auto body = call(nsp::encode_lookup_attrs(attrs));
-  if (!body) return body.error();
-  return nsp::decode_uadds_response(body.value());
+  const ntcs::Bytes req = nsp::encode_lookup_attrs(attrs);
+  std::vector<UAdd> merged;
+  ntcs::Result<std::vector<UAdd>> last_err =
+      ntcs::Error(ntcs::Errc::not_found, "no shard answered");
+  bool any_ok = false;
+  for (UAdd target : all_shard_targets()) {
+    auto body = call(target, ntcs::Bytes(req));
+    if (!body) {
+      last_err = body.error();
+      continue;
+    }
+    auto part = nsp::decode_uadds_response(body.value());
+    if (!part) {
+      last_err = part.error();
+      continue;
+    }
+    any_ok = true;
+    merged.insert(merged.end(), part.value().begin(), part.value().end());
+  }
+  if (!any_ok) return last_err;
+  return merged;
 }
 
 ntcs::Result<ResolveInfo> NspLayer::resolve_info(UAdd uadd) {
-  auto body = call(nsp::encode_resolve(uadd));
+  auto body = call_targets(targets_for_uadd(uadd), nsp::encode_resolve(uadd));
   if (!body) return body.error();
   auto resp = nsp::decode_resolve_response(body.value());
   if (!resp) return resp.error();
@@ -120,19 +290,41 @@ ntcs::Result<ResolveInfo> NspLayer::resolve_info(UAdd uadd) {
 }
 
 ntcs::Result<std::vector<GatewayRecord>> NspLayer::gateways() {
-  auto body = call(nsp::encode_gateways());
-  if (!body) return body.error();
-  return nsp::decode_gateways_response(body.value());
+  const ntcs::Bytes req = nsp::encode_gateways();
+  std::vector<GatewayRecord> merged;
+  ntcs::Result<std::vector<GatewayRecord>> last_err =
+      ntcs::Error(ntcs::Errc::not_found, "no shard answered");
+  bool any_ok = false;
+  for (UAdd target : all_shard_targets()) {
+    auto body = call(target, ntcs::Bytes(req));
+    if (!body) {
+      last_err = body.error();
+      continue;
+    }
+    auto part = nsp::decode_gateways_response(body.value());
+    if (!part) {
+      last_err = part.error();
+      continue;
+    }
+    any_ok = true;
+    for (auto& g : part.value()) {
+      bool dup = false;
+      for (const auto& have : merged) dup = dup || have.uadd == g.uadd;
+      if (!dup) merged.push_back(std::move(g));
+    }
+  }
+  if (!any_ok) return last_err;
+  return merged;
 }
 
 ntcs::Status NspLayer::deregister(UAdd uadd) {
-  auto body = call(nsp::encode_deregister(uadd));
+  auto body = call_targets(targets_for_uadd(uadd), nsp::encode_deregister(uadd));
   if (!body) return body.error();
   return nsp::decode_ok_response(body.value());
 }
 
 ntcs::Status NspLayer::ping() {
-  auto body = call(nsp::encode_ping());
+  auto body = call(kNameServerUAdd, nsp::encode_ping());
   if (!body) return body.error();
   return nsp::decode_ok_response(body.value());
 }
@@ -144,14 +336,60 @@ ntcs::Result<ResolvedDest> NspLayer::resolve(UAdd uadd) {
 }
 
 ntcs::Result<UAdd> NspLayer::forward(UAdd old_uadd) {
-  auto body = call(nsp::encode_forward(old_uadd));
+  // The caller just took an address fault on old_uadd: any lease naming
+  // it is wrong by observation, whether or not its TTL or epoch agree.
+  // Purging here makes the §3.5 per-request retry also the cache's
+  // invalidation path — a stale hit costs one extra round trip, never a
+  // silent wrong answer.
+  {
+    ntcs::LockGuard lk(lease_mu_);
+    for (auto it = lease_cache_.begin(); it != lease_cache_.end();) {
+      if (it->second.uadd == old_uadd) {
+        it = lease_cache_.erase(it);
+        m_cache_invalidations().inc();
+        ++lease_stats_.lease_invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto body = call_targets(targets_for_uadd(old_uadd),
+                           nsp::encode_forward(old_uadd));
   if (!body) return body.error();
   return nsp::decode_uadd_response(body.value());
 }
 
 NspLayer::Stats NspLayer::stats() const {
-  ntcs::LockGuard lk(mu_);
-  return stats_;
+  Stats out;
+  {
+    ntcs::LockGuard lk(mu_);
+    out = stats_;
+  }
+  {
+    // kNspState(200) -> kNspLease(205): increasing rank, legal.
+    ntcs::LockGuard lk(lease_mu_);
+    out.lease_hits = lease_stats_.lease_hits;
+    out.lease_misses = lease_stats_.lease_misses;
+    out.lease_invalidations = lease_stats_.lease_invalidations;
+  }
+  return out;
+}
+
+std::optional<NspLayer::LeaseView> NspLayer::lease_peek(
+    const std::string& name) const {
+  ntcs::LockGuard lk(lease_mu_);
+  auto it = lease_cache_.find(name);
+  if (it == lease_cache_.end()) return std::nullopt;
+  return LeaseView{it->second.uadd, it->second.epoch, it->second.expiry,
+                   it->second.shard};
+}
+
+void NspLayer::debug_force_expire(const std::string& name) {
+  ntcs::LockGuard lk(lease_mu_);
+  auto it = lease_cache_.find(name);
+  if (it != lease_cache_.end()) {
+    it->second.expiry = std::chrono::steady_clock::now();
+  }
 }
 
 }  // namespace ntcs::core

@@ -4,12 +4,27 @@
 // within the ComMod. Its purpose is to fully isolate the ComMod from the
 // naming service implementation." It talks to the Name Server module over
 // the very Nucleus it serves — the central recursion of the paper (§3.1):
-// every call here is an ordinary LCM request to the well-known Name Server
+// every call here is an ordinary LCM request to a well-known Name Server
 // UAdd, flagged internal so it is never monitored or time-stamped.
+//
+// Sharded naming (scale extension): when the WellKnownTable carries shard
+// locations, the layer computes each name's owning shard from the same
+// consistent-hash ring every module shares (shard_map.h) and routes the
+// request there; requests keyed by UAdd route by the stripe the UAdd was
+// minted from, and well-known UAdds fan out. Lookup answers carry a lease
+// (TTL) and the shard's reconfiguration epoch; the layer caches them in
+// lease_cache_ and serves repeats locally until the lease expires or the
+// shard's epoch moves — at which point every cached entry minted under the
+// old epoch is dropped. The cache is therefore *correct under churn*: a
+// stale entry can at worst yield an address fault, and the LCM-Layer's
+// per-request forward() retry (§3.5) lands back here, where the dead
+// lease is purged before the caller retries.
 #pragma once
 
 #include <chrono>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 
 #include "common/annotated.h"
 #include "common/error.h"
@@ -17,6 +32,7 @@
 #include "convert/machine.h"
 #include "core/lcm/lcm_layer.h"
 #include "core/nsp/protocol.h"
+#include "core/nsp/shard_map.h"
 
 namespace ntcs::core {
 
@@ -47,6 +63,12 @@ class NspLayer : public Resolver {
            std::chrono::nanoseconds request_timeout =
                std::chrono::seconds(5));
 
+  /// Install the shard topology from the well-known table (empty shards =
+  /// the classic single Name Server) and reset the lease cache — a new
+  /// topology invalidates every lease by definition. Called by
+  /// Node::install_well_known.
+  void configure_shards(const WellKnownTable& wk);
+
   /// Register this module (paper §3.2): ships the logical name, attribute
   /// set, uninterpreted physical address and logical network id; on success
   /// updates the module Identity from its TAdd to the assigned UAdd —
@@ -54,23 +76,27 @@ class NspLayer : public Resolver {
   /// exchanges (§3.4).
   ntcs::Result<UAdd> register_module(const RegistrationInfo& info);
 
-  /// Resource-location: logical name -> UAdd.
+  /// Resource-location: logical name -> UAdd. Served from the lease cache
+  /// when a fresh, epoch-current lease exists; otherwise one round trip to
+  /// the name's owning shard.
   ntcs::Result<UAdd> lookup(const std::string& name);
 
   /// Pipelined resource-location: issue every lookup over the Name Server
   /// circuit at once (correlation-ID multiplexed through the LCM send
   /// window), then collect the replies. Result i answers names[i]; one
-  /// name failing does not disturb the others.
+  /// name failing does not disturb the others. Cached names cost nothing.
   std::vector<ntcs::Result<UAdd>> lookup_many(
       const std::vector<std::string>& names);
 
-  /// Attribute-value naming (§7 extension): all matching modules.
+  /// Attribute-value naming (§7 extension): all matching modules. Sharded:
+  /// the query fans out to every shard and the matches merge.
   ntcs::Result<std::vector<UAdd>> lookup_attrs(const nsp::AttrMap& attrs);
 
   /// UAdd -> everything the naming service holds about it.
   ntcs::Result<ResolveInfo> resolve_info(UAdd uadd);
 
-  /// The gateway/topology registry (§4.1, used by the IP-Layer).
+  /// The gateway/topology registry (§4.1, used by the IP-Layer). Sharded:
+  /// merged from every shard.
   ntcs::Result<std::vector<GatewayRecord>> gateways();
 
   ntcs::Status deregister(UAdd uadd);
@@ -78,19 +104,62 @@ class NspLayer : public Resolver {
 
   // --- Resolver (the LCM-Layer's upcalls; §3.5) --------------------------
   ntcs::Result<ResolvedDest> resolve(UAdd uadd) override;
+  /// The per-request address-fault retry path. Also the cache's safety
+  /// net: every lease naming old_uadd is purged here, so a client that was
+  /// acting on a stale lease self-corrects on its very next attempt.
   ntcs::Result<UAdd> forward(UAdd old_uadd) override;
 
   struct Stats {
     std::uint64_t queries = 0;
     std::uint64_t failures = 0;
+    std::uint64_t lease_hits = 0;
+    std::uint64_t lease_misses = 0;
+    std::uint64_t lease_invalidations = 0;
   };
   Stats stats() const;
 
+  /// Test introspection: the cached lease for a name, if any (fresh or
+  /// not), and a hook that retires a lease to exactly "now" so the TTL
+  /// boundary (valid strictly before expiry) is testable without sleeping.
+  struct LeaseView {
+    UAdd uadd;
+    std::uint64_t epoch = 0;
+    std::chrono::steady_clock::time_point expiry;
+    std::size_t shard = 0;
+  };
+  std::optional<LeaseView> lease_peek(const std::string& name) const;
+  void debug_force_expire(const std::string& name);
+
  private:
-  ntcs::Result<ntcs::Bytes> call(ntcs::Bytes request_body);
-  ntcs::Result<RequestTicket> call_async(ntcs::Bytes request_body);
+  struct Lease {
+    UAdd uadd;
+    std::uint64_t epoch = 0;
+    std::chrono::steady_clock::time_point expiry;
+    std::size_t shard = 0;
+  };
+
+  ntcs::Result<ntcs::Bytes> call(UAdd target, ntcs::Bytes request_body);
+  ntcs::Result<RequestTicket> call_async(UAdd target,
+                                         ntcs::Bytes request_body);
   ntcs::Result<ntcs::Bytes> await_call(
       const ntcs::Result<RequestTicket>& ticket);
+  /// Try each target until one answers authoritatively (anything but
+  /// not_found / wrong_shard / a transport failure).
+  ntcs::Result<ntcs::Bytes> call_targets(const std::vector<UAdd>& targets,
+                                         const ntcs::Bytes& request_body);
+  /// The shard UAdd owning a logical name.
+  UAdd target_for_name(const std::string& name) const;
+  /// Probe order for a UAdd-keyed request: the minting shard for dynamic
+  /// UAdds, every shard for well-known ones.
+  std::vector<UAdd> targets_for_uadd(UAdd uadd) const;
+  std::vector<UAdd> all_shard_targets() const;
+  /// Record a shard epoch observed on a reply; a newer epoch purges every
+  /// lease the shard granted under older ones.
+  void note_epoch_locked(std::size_t shard, std::uint64_t epoch)
+      REQUIRES(lease_mu_);
+  /// Decode a lookup reply and (if cacheable) install the lease.
+  ntcs::Result<UAdd> accept_lookup_reply(const std::string& name,
+                                         ntcs::BytesView body);
 
   LcmLayer& lcm_;
   std::shared_ptr<Identity> identity_;
@@ -98,6 +167,17 @@ class NspLayer : public Resolver {
   ntcs::LayerLog log_;
   mutable ntcs::Mutex mu_{ntcs::lockrank::kNspState, "nsp.state"};
   Stats stats_ GUARDED_BY(mu_);
+  // Lease-cache state. CONTRACT (PR 4 shape): lease_mu_ is leaf-scoped —
+  // check under it, RELEASE, then issue the LCM request, re-lock to
+  // insert. Holding it across call()/call_async()/await_call() would
+  // invert the kNspLease(205) -> kNspState(200) rank the moment the call
+  // path touches stats_, and the runtime validator flags it.
+  mutable ntcs::Mutex lease_mu_{ntcs::lockrank::kNspLease, "nsp.lease"};
+  nsp::ShardMap shard_map_ GUARDED_BY(lease_mu_);
+  std::unordered_map<std::string, Lease> lease_cache_ GUARDED_BY(lease_mu_);
+  std::vector<std::uint64_t> shard_epochs_ GUARDED_BY(lease_mu_);
+  // Only the lease_* fields are used; stats() merges them into stats_.
+  Stats lease_stats_ GUARDED_BY(lease_mu_);
 };
 
 }  // namespace ntcs::core

@@ -143,6 +143,7 @@ ntcs::Bytes encode_replicate(const ReplicaUpdate& u) {
   p.put_u64(u.uadd_raw);
   p.put_u64(u.seq);
   p.put_bool(u.deregistered);
+  p.put_u64(u.epoch);
   return std::move(p).take();
 }
 
@@ -209,6 +210,9 @@ ntcs::Result<Request> decode_request(ntcs::BytesView body) {
       auto dereg = u.get_bool();
       if (!dereg) return dereg.error();
       req.update.deregistered = dereg.value();
+      auto epoch = u.get_u64();
+      if (!epoch) return epoch.error();
+      req.update.epoch = epoch.value();
       return req;
     }
     case NsOp::lookup: {
@@ -251,6 +255,15 @@ ntcs::Bytes encode_uadd_response(UAdd uadd) {
   return std::move(p).take();
 }
 
+ntcs::Bytes encode_lookup_response(const LookupResponse& r) {
+  Packer p = ok_prologue();
+  p.put_u64(r.uadd_raw);
+  p.put_u64(r.epoch);
+  p.put_u64(r.lease_ms);
+  p.put_u64(r.shard);
+  return std::move(p).take();
+}
+
 ntcs::Bytes encode_uadds_response(const std::vector<UAdd>& uadds) {
   Packer p = ok_prologue();
   p.put_u64(uadds.size());
@@ -284,12 +297,38 @@ ntcs::Bytes encode_gateways_response(const std::vector<GatewayRecord>& gws) {
 
 ntcs::Bytes encode_ok_response() { return std::move(ok_prologue()).take(); }
 
+ntcs::Errc response_status(ntcs::BytesView body) {
+  Unpacker u(body);
+  auto code = u.get_u64();
+  if (!code) return ntcs::Errc::bad_message;
+  return static_cast<ntcs::Errc>(code.value());
+}
+
 ntcs::Result<UAdd> decode_uadd_response(ntcs::BytesView body) {
   Unpacker u(body);
   if (auto err = check_status(u)) return *err;
   auto raw = u.get_u64();
   if (!raw) return raw.error();
   return UAdd::from_raw(raw.value());
+}
+
+ntcs::Result<LookupResponse> decode_lookup_response(ntcs::BytesView body) {
+  Unpacker u(body);
+  if (auto err = check_status(u)) return *err;
+  LookupResponse r;
+  auto raw = u.get_u64();
+  if (!raw) return raw.error();
+  r.uadd_raw = raw.value();
+  auto epoch = u.get_u64();
+  if (!epoch) return epoch.error();
+  r.epoch = epoch.value();
+  auto lease = u.get_u64();
+  if (!lease) return lease.error();
+  r.lease_ms = lease.value();
+  auto shard = u.get_u64();
+  if (!shard) return shard.error();
+  r.shard = shard.value();
+  return r;
 }
 
 ntcs::Result<std::vector<UAdd>> decode_uadds_response(ntcs::BytesView body) {

@@ -63,6 +63,21 @@ struct ReplicaUpdate {
   std::uint64_t uadd_raw = 0;
   std::uint64_t seq = 0;
   bool deregistered = false;
+  /// The shard's reconfiguration epoch at the time of the mutation; a
+  /// warm standby tracks the maximum so its promotion bump supersedes
+  /// every lease the dead primary ever granted.
+  std::uint64_t epoch = 0;
+};
+
+/// Lookup answer (name -> UAdd) plus the lease/epoch protocol words: the
+/// client may cache the mapping for lease_ms, and must drop every cached
+/// entry minted under an older epoch of this shard the moment a reply
+/// carries a newer one (shard failover and module moves bump it).
+struct LookupResponse {
+  std::uint64_t uadd_raw = 0;
+  std::uint64_t epoch = 1;
+  std::uint64_t lease_ms = 0;  // 0 = not cacheable
+  std::uint64_t shard = 0;     // answering shard (sanity/telemetry)
 };
 
 /// A decoded request (the op plus whichever body applies).
@@ -90,15 +105,23 @@ ntcs::Result<Request> decode_request(ntcs::BytesView body);
 // ---- responses ------------------------------------------------------------
 
 ntcs::Bytes encode_error_response(ntcs::Errc code, const std::string& text);
-ntcs::Bytes encode_uadd_response(UAdd uadd);  // register/lookup/forward
+ntcs::Bytes encode_uadd_response(UAdd uadd);  // register/forward
+ntcs::Bytes encode_lookup_response(const LookupResponse& r);
 ntcs::Bytes encode_uadds_response(const std::vector<UAdd>& uadds);
 ntcs::Bytes encode_resolve_response(const ResolveResponse& r);
 ntcs::Bytes encode_gateways_response(const std::vector<GatewayRecord>& gws);
 ntcs::Bytes encode_ok_response();  // deregister/ping
 
+/// Peek just the status code of a response envelope (bad_message if the
+/// envelope itself is malformed). The sharded NSP-Layer uses it to decide
+/// whether a fan-out should try the next shard (not_found / wrong_shard)
+/// or stop at an authoritative answer.
+ntcs::Errc response_status(ntcs::BytesView body);
+
 /// Check the status envelope; on failure returns the carried error, on
 /// success returns the body offset for the op-specific decoder.
 ntcs::Result<UAdd> decode_uadd_response(ntcs::BytesView body);
+ntcs::Result<LookupResponse> decode_lookup_response(ntcs::BytesView body);
 ntcs::Result<std::vector<UAdd>> decode_uadds_response(ntcs::BytesView body);
 ntcs::Result<ResolveResponse> decode_resolve_response(ntcs::BytesView body);
 ntcs::Result<std::vector<GatewayRecord>> decode_gateways_response(

@@ -1,0 +1,43 @@
+#include "core/nsp/shard_map.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ntcs::core::nsp {
+
+std::uint64_t stable_hash(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ShardMap::ShardMap(std::size_t num_shards, int vnodes)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  if (num_shards_ == 1) return;  // ring unused: shard_of short-circuits
+  ring_.reserve(num_shards_ * static_cast<std::size_t>(vnodes));
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    for (int v = 0; v < vnodes; ++v) {
+      const std::string label =
+          "shard-" + std::to_string(s) + "#" + std::to_string(v);
+      ring_.push_back(Point{stable_hash(label), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+  });
+}
+
+std::size_t ShardMap::shard_of(std::string_view name) const {
+  if (num_shards_ == 1) return 0;
+  const std::uint64_t h = stable_hash(name);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t key) { return p.hash < key; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap: the ring is circular
+  return it->shard;
+}
+
+}  // namespace ntcs::core::nsp

@@ -1,0 +1,55 @@
+// shard_map.h — consistent-hash placement of logical names onto Name
+// Server shards.
+//
+// The ROADMAP's "millions of names" goal (and the Internames lesson that
+// name resolution must itself be a distributed service) shards the name
+// space across N Name Server modules. Placement is a classic
+// consistent-hash ring: every shard contributes kVnodesPerShard virtual
+// points hashed from (shard, vnode); a name lands on the first point
+// clockwise from its own hash. Adding or removing one shard therefore
+// remaps only ~1/N of the names — the ring-invariant property test pins
+// that bound — and every ComMod computes the same placement from nothing
+// but the shard count, so the map needs no distribution protocol: it
+// travels implicitly in WellKnownTable::shards.
+//
+// The map is immutable after construction. Reconfiguration (a different
+// shard count) builds a new map; correctness under such churn is the
+// lease/epoch protocol's job (nsp_layer.h), not the ring's.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ntcs::core::nsp {
+
+/// 64-bit FNV-1a — stable across platforms and runs; the ring and the
+/// UAdd striping both depend on every module hashing identically.
+std::uint64_t stable_hash(std::string_view s);
+
+class ShardMap {
+ public:
+  static constexpr int kVnodesPerShard = 64;
+
+  /// A single-shard map: every name belongs to shard 0 (the classic
+  /// unsharded Name Server).
+  ShardMap() : ShardMap(1) {}
+  explicit ShardMap(std::size_t num_shards, int vnodes = kVnodesPerShard);
+
+  std::size_t size() const { return num_shards_; }
+  bool sharded() const { return num_shards_ > 1; }
+
+  /// The shard owning a logical name.
+  std::size_t shard_of(std::string_view name) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::size_t num_shards_ = 1;
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+}  // namespace ntcs::core::nsp

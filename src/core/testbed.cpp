@@ -19,6 +19,10 @@ Testbed::~Testbed() {
   // must already be gone; tear down infrastructure in reverse order.
   for (auto& gw : gateways_) gw->stop();
   for (auto& rep : ns_replicas_) rep->stop();
+  for (auto& sh : ns_shards_) {
+    if (sh.standby) sh.standby->stop();
+    if (sh.primary) sh.primary->stop();
+  }
   if (ns_) ns_->stop();
 }
 
@@ -70,6 +74,10 @@ NodeConfig Testbed::node_config(const std::string& name,
 ntcs::Status Testbed::start_name_server(const std::string& machine_name,
                                         const std::string& net_name,
                                         simnet::IpcsKind ipcs) {
+  if (!ns_shards_.empty()) {
+    return ntcs::Status(ntcs::Errc::already_exists,
+                        "a sharded name service is already running");
+  }
   NodeConfig cfg = node_config("name-server", machine_name, net_name, ipcs);
   ns_ = std::make_unique<NameServer>(std::move(cfg));
   auto st = ns_->start();
@@ -91,6 +99,54 @@ ntcs::Status Testbed::add_name_server_replica(const std::string& machine_name,
   if (auto st = rep->start(); !st.ok()) return st;
   ns_replicas_.push_back(std::move(rep));
   return ntcs::Status::success();
+}
+
+ntcs::Status Testbed::start_name_service(
+    std::size_t num_shards, const std::vector<std::string>& machine_names,
+    const std::string& net_name, bool with_standbys, std::uint64_t lease_ms,
+    simnet::IpcsKind ipcs) {
+  if (ns_ || !ns_shards_.empty()) {
+    return ntcs::Status(ntcs::Errc::already_exists,
+                        "a name service is already running");
+  }
+  if (num_shards == 0 || num_shards > kMaxNsShards || machine_names.empty()) {
+    return ntcs::Status(ntcs::Errc::bad_argument,
+                        "need 1..kMaxNsShards shards and >=1 machine");
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    NsShard sh;
+    NsShardConfig scfg;
+    scfg.shard = s;
+    scfg.num_shards = num_shards;
+    scfg.lease_ms = lease_ms;
+    const std::string& pri_machine =
+        machine_names[s % machine_names.size()];
+    NodeConfig cfg = node_config("", pri_machine, net_name, ipcs);
+    sh.primary = std::make_unique<NameServer>(std::move(cfg),
+                                              NsRole::primary, scfg);
+    if (auto st = sh.primary->start(); !st.ok()) return st;
+    if (with_standbys) {
+      // The standby watches the primary's address: a write reaching it
+      // while that address probes dead is its cue to take over.
+      scfg.primary_phys = sh.primary->phys();
+      const std::string& sb_machine =
+          machine_names[(s + 1) % machine_names.size()];
+      NodeConfig sb_cfg = node_config("", sb_machine, net_name, ipcs);
+      sh.standby = std::make_unique<NameServer>(std::move(sb_cfg),
+                                                NsRole::standby, scfg);
+      if (auto st = sh.standby->start(); !st.ok()) return st;
+    }
+    ns_shards_.push_back(std::move(sh));
+  }
+  // Compatibility: shard 0's primary is the classic well-known Name
+  // Server, so pre-finalize node_config() bootstraps keep working.
+  wk_.name_server_phys = ns_shards_[0].primary->phys();
+  wk_.name_server_net = net_name;
+  return ntcs::Status::success();
+}
+
+void Testbed::kill_shard_primary(std::size_t i) {
+  ns_shards_.at(i).primary->stop();
 }
 
 ntcs::Result<Gateway*> Testbed::add_gateway(
@@ -119,24 +175,50 @@ ntcs::Result<Gateway*> Testbed::add_gateway(const std::string& name,
 
 ntcs::Status Testbed::finalize() {
   if (finalized_) return ntcs::Status::success();
-  if (!ns_) {
+  if (!ns_ && ns_shards_.empty()) {
     return ntcs::Status(ntcs::Errc::bad_argument, "no name server started");
   }
   wk_.prime_gateways.clear();
   for (const auto& gw : gateways_) {
     wk_.prime_gateways.push_back(gw->prime_info());
   }
-  wk_.name_server_replicas.clear();
-  for (const auto& rep : ns_replicas_) {
-    wk_.name_server_replicas.push_back(
-        NsReplicaInfo{rep->phys(), rep->net()});
-  }
-  ns_->node().install_well_known(wk_);
-  for (auto& rep : ns_replicas_) {
-    rep->node().install_well_known(wk_);
-    if (auto st = ns_->add_replica(NsReplicaInfo{rep->phys(), rep->net()});
-        !st.ok()) {
-      return st;
+  if (!ns_shards_.empty()) {
+    // Sharded service: publish the shard table, hand every server the
+    // final topology, and wire primary -> standby replication.
+    wk_.shards.clear();
+    for (const auto& sh : ns_shards_) {
+      NsShardInfo info;
+      info.primary_phys = sh.primary->phys();
+      info.primary_net = sh.primary->net();
+      if (sh.standby) {
+        info.standby_phys = sh.standby->phys();
+        info.standby_net = sh.standby->net();
+      }
+      wk_.shards.push_back(std::move(info));
+    }
+    for (auto& sh : ns_shards_) {
+      sh.primary->node().install_well_known(wk_);
+      if (!sh.standby) continue;
+      sh.standby->node().install_well_known(wk_);
+      if (auto st = sh.primary->add_replica(
+              NsReplicaInfo{sh.standby->phys(), sh.standby->net()});
+          !st.ok()) {
+        return st;
+      }
+    }
+  } else {
+    wk_.name_server_replicas.clear();
+    for (const auto& rep : ns_replicas_) {
+      wk_.name_server_replicas.push_back(
+          NsReplicaInfo{rep->phys(), rep->net()});
+    }
+    ns_->node().install_well_known(wk_);
+    for (auto& rep : ns_replicas_) {
+      rep->node().install_well_known(wk_);
+      if (auto st = ns_->add_replica(NsReplicaInfo{rep->phys(), rep->net()});
+          !st.ok()) {
+        return st;
+      }
     }
   }
   for (auto& gw : gateways_) {

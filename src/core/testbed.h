@@ -95,6 +95,31 @@ class Testbed {
                                        simnet::IpcsKind ipcs =
                                            simnet::IpcsKind::tcp);
 
+  /// Sharded alternative to start_name_server (step 2 at scale): bring up
+  /// `num_shards` Name Server primaries round-robined over `machine_names`
+  /// and, when with_standbys, a warm standby per shard on the next machine
+  /// over. finalize() publishes the shard table in the well-known table
+  /// and links each primary to its standby for replication. Mutually
+  /// exclusive with start_name_server/add_name_server_replica.
+  ntcs::Status start_name_service(
+      std::size_t num_shards, const std::vector<std::string>& machine_names,
+      const std::string& net_name, bool with_standbys = true,
+      std::uint64_t lease_ms = 2000,
+      simnet::IpcsKind ipcs = simnet::IpcsKind::tcp);
+
+  std::size_t shard_count() const { return ns_shards_.size(); }
+  NameServer& shard(std::size_t i) { return *ns_shards_.at(i).primary; }
+  bool shard_has_standby(std::size_t i) const {
+    return ns_shards_.at(i).standby != nullptr;
+  }
+  NameServer& shard_standby(std::size_t i) {
+    return *ns_shards_.at(i).standby;
+  }
+  /// Chaos: stop shard i's primary outright. Clients fault over to the
+  /// standby via candidate rotation; the first write that reaches it
+  /// triggers self-promotion.
+  void kill_shard_primary(std::size_t i);
+
   /// Start a prime gateway spanning the given attachments (step 3).
   /// Prime UAdds are assigned sequentially.
   ntcs::Result<Gateway*> add_gateway(
@@ -136,8 +161,13 @@ class Testbed {
   std::shared_ptr<realnet::TcpBackend> tcp_backend_;
   std::map<std::string, simnet::NetworkId> nets_;
   std::map<std::string, simnet::MachineId> machines_;
+  struct NsShard {
+    std::unique_ptr<NameServer> primary;
+    std::unique_ptr<NameServer> standby;  // null without a standby
+  };
   std::unique_ptr<NameServer> ns_;
   std::vector<std::unique_ptr<NameServer>> ns_replicas_;
+  std::vector<NsShard> ns_shards_;
   std::vector<std::unique_ptr<Gateway>> gateways_;
   WellKnownTable wk_;
   std::uint64_t next_prime_uadd_ = kFirstPrimeGatewayUAdd;

@@ -150,6 +150,32 @@ TEST(Analysis, TryLockParticipates) {
   EXPECT_EQ(analysis::lock_inversions(), before + 1);
 }
 
+TEST(Analysis, NspLeaseRankSitsBetweenNspStateAndNameServerDb) {
+  // The lease cache's lock (kNspLease = 205) is deliberately ranked above
+  // the NSP-Layer's own state (200) and below the Name Server database
+  // (210): the lookup path may take nsp.state -> nsp.lease in order, and a
+  // request that reaches the server may take the db lock afterwards — but
+  // nothing may hold the lease lock *across* an LCM call, because the call
+  // path re-enters nsp.state. The first block is the legal order; the
+  // second is exactly the hold-across-call shape, and the validator must
+  // flag it.
+  Mutex state{lockrank::kNspState, "test.nsp_state"};
+  Mutex lease{lockrank::kNspLease, "test.nsp_lease"};
+  Mutex db{lockrank::kNameServerDb, "test.ns_db"};
+  const std::uint64_t before = analysis::lock_inversions();
+  {
+    LockGuard a(state);
+    LockGuard b(lease);
+    LockGuard c(db);
+  }
+  EXPECT_EQ(analysis::lock_inversions(), before);
+  {
+    LockGuard held_across_call(lease);
+    LockGuard call_path(state);  // rank 200 under rank 205: inversion
+  }
+  EXPECT_EQ(analysis::lock_inversions(), before + 1);
+}
+
 // ---- the clean path -------------------------------------------------------
 // A real pipelined chaos run: M client threads pushing overlapping
 // request_async/await traffic through the full stack (ALI → LCM windows →

@@ -160,7 +160,9 @@ TEST_P(SingleLanTest, NameServerRemovableAfterWarmup) {
   auto in = rig.bob->commod().receive(2s);
   ASSERT_TRUE(in.ok());
   EXPECT_EQ(to_string(in.value().payload), "still works");
-  // But new resolutions now fail.
+  // A leased name still answers from the cache (that is the point of the
+  // lease), but once the lease is gone, new resolutions fail.
+  rig.alice->nsp().debug_force_expire("bob");
   EXPECT_FALSE(rig.alice->commod().locate("bob").ok());
 }
 

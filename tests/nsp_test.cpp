@@ -257,5 +257,119 @@ TEST(NameServerDb, GatewayRegistryServed) {
   mod->stop();
 }
 
+// ----------------------------------------------------- lease TTL edges
+//
+// The lease cache's boundary behaviour, on the classic single-server rig
+// (the lease/epoch protocol is the same whether there is one shard or N).
+
+TEST(NspLease, FreshLeaseServesLocallyExpiredLeaseGoesBack) {
+  Rig rig;
+  auto client = rig.tb.spawn_module("ttl-client", "m1", "lan").value();
+
+  auto first = client->commod().locate("mod");
+  ASSERT_TRUE(first.ok());
+  auto lease = client->nsp().lease_peek("mod");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_GT(lease->expiry, std::chrono::steady_clock::now());
+
+  // While the lease is fresh, repeats never cross the wire.
+  const std::uint64_t server_before = rig.tb.name_server().stats().lookups;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client->commod().locate("mod").ok());
+  }
+  EXPECT_EQ(rig.tb.name_server().stats().lookups, server_before);
+
+  // The TTL boundary is strict: a lease is good strictly *before* its
+  // expiry instant. Retire it to exactly "now" — the very next lookup
+  // must go back to the server (and succeed, re-leasing the name).
+  client->nsp().debug_force_expire("mod");
+  auto again = client->commod().locate("mod");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), first.value());
+  EXPECT_EQ(rig.tb.name_server().stats().lookups, server_before + 1);
+  auto release = client->nsp().lease_peek("mod");
+  ASSERT_TRUE(release.has_value());
+  EXPECT_GT(release->expiry, std::chrono::steady_clock::now());
+
+  client->stop();
+}
+
+TEST(NspLease, RenewalAcrossEpochBumpCarriesTheNewEpoch) {
+  Rig rig;
+  auto client = rig.tb.spawn_module("epoch-client", "m2", "lan").value();
+
+  ASSERT_TRUE(client->commod().locate("mod").ok());
+  auto lease1 = client->nsp().lease_peek("mod");
+  ASSERT_TRUE(lease1.has_value());
+  EXPECT_EQ(lease1->epoch, rig.tb.name_server().epoch());
+
+  // A module move bumps the server's epoch; the renewed lease must carry
+  // it, and the stale-epoch lease must have been dropped rather than
+  // merely overwritten (the invalidation counter says which happened).
+  const std::uint64_t old_epoch = rig.tb.name_server().epoch();
+  const auto stats_before = client->nsp().stats();
+  rig.mod->stop();
+  rig.mod = rig.tb.spawn_module("mod", "m1", "lan").value();
+  EXPECT_EQ(rig.tb.name_server().epoch(), old_epoch + 1);
+
+  client->nsp().debug_force_expire("mod");
+  auto moved = client->commod().locate("mod");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), rig.mod->identity().uadd());
+  auto lease2 = client->nsp().lease_peek("mod");
+  ASSERT_TRUE(lease2.has_value());
+  EXPECT_EQ(lease2->epoch, old_epoch + 1);
+  EXPECT_GT(client->nsp().stats().lease_invalidations,
+            stats_before.lease_invalidations);
+
+  client->stop();
+}
+
+TEST(NspLease, StaleLeaseSelfCorrectsThroughTheAddressFaultRetry) {
+  Rig rig;
+  auto client = rig.tb.spawn_module("fault-client", "m1", "lan").value();
+
+  auto stale = client->commod().locate("mod");
+  ASSERT_TRUE(stale.ok());
+
+  // Reconfigure under the client's feet: "mod" moves while the client's
+  // lease is still fresh. The lease now names a dead UAdd — the allowed
+  // outcome is a fresh answer or an address-fault retry that lands on the
+  // new incarnation, never a hard failure and never the old location as a
+  // *delivery* target.
+  const UAdd old_uadd = rig.mod->identity().uadd();
+  rig.mod->stop();
+  rig.mod = rig.tb.spawn_module("mod", "m1", "lan").value();
+  std::jthread echo([&](std::stop_token st) {
+    while (!st.stop_requested()) {
+      auto in = rig.mod->commod().receive(std::chrono::milliseconds(50));
+      if (in.ok() && in.value().is_request) {
+        (void)rig.mod->commod().reply(in.value().reply_ctx,
+                                      to_bytes("new-gen"));
+      }
+    }
+  });
+
+  // The cached (now stale) lease still answers locate() — that is the
+  // documented contract — but *using* it triggers the LCM forward() retry,
+  // which purges the lease and re-resolves to the new incarnation.
+  const auto stats_before = client->nsp().stats();
+  auto reply = client->commod().request(stale.value(), to_bytes("hi"),
+                                        std::chrono::seconds(5));
+  ASSERT_TRUE(reply.ok()) << reply.error().what();
+  EXPECT_EQ(to_string(reply.value().payload), "new-gen");
+  EXPECT_GT(client->nsp().stats().lease_invalidations,
+            stats_before.lease_invalidations);
+
+  // After the self-correction the lease cache names the new UAdd.
+  auto fresh = client->commod().locate("mod");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value(), rig.mod->identity().uadd());
+  EXPECT_NE(fresh.value(), old_uadd);
+
+  echo.request_stop();
+  client->stop();
+}
+
 }  // namespace
 }  // namespace ntcs::core
