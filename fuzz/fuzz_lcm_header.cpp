@@ -1,0 +1,65 @@
+// fuzz_lcm_header.cpp — LCM header decode plus the trace/flag peeks.
+// The peeks are the gateway fast path: they read trace words and flags
+// at fixed offsets without a full decode, so they must agree with
+// decode_lcm on every input decode_lcm accepts, and must never read out
+// of bounds on input it rejects. Also drives the ND and IP envelope
+// decoders, which share the ShiftReader plumbing.
+#include <cstdint>
+
+#include "core/wire/frames.h"
+
+namespace wire = ntcs::core::wire;
+
+namespace {
+
+void require(bool cond) {
+  if (!cond) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ntcs::BytesView view(data, size);
+
+  auto lcm = wire::decode_lcm(view);
+  auto flags = wire::peek_lcm_flags(view);
+  auto trace = wire::peek_lcm_trace(view);
+  if (lcm.ok()) {
+    const auto& h = lcm.value().header;
+    // The flags peek must see exactly what the full decode sees.
+    require(flags.has_value() && *flags == h.flags);
+    // The trace peek treats a zero trace id as untraced; otherwise it
+    // must reproduce the decoded words.
+    const bool traced = (h.flags & wire::kLcmFlagTraced) != 0 &&
+                        (h.trace_hi | h.trace_lo) != 0;
+    require(trace.has_value() == traced);
+    if (traced) {
+      require(trace->hi == h.trace_hi && trace->lo == h.trace_lo &&
+              trace->parent == h.trace_parent);
+    }
+    // Canonical re-encode must round-trip.
+    ntcs::Bytes wire2 =
+        wire::encode_lcm(h, ntcs::BytesView(lcm.value().payload));
+    auto again = wire::decode_lcm(ntcs::BytesView(wire2));
+    require(again.ok());
+    require(again.value().header.kind == h.kind);
+    require(again.value().header.flags == h.flags);
+    require(again.value().header.src == h.src);
+    require(again.value().header.dst == h.dst);
+    require(again.value().header.req_id == h.req_id);
+    require(again.value().payload == lcm.value().payload);
+  }
+
+  // The ND/IP decoders must be total on arbitrary bytes (no crash, no
+  // over-read); nothing to cross-check unless they accept.
+  auto nd = wire::decode_nd(view);
+  (void)wire::peek_nd_trace(view);
+  if (nd.ok() && nd.value().kind == wire::NdKind::payload) {
+    // A payload body is an opaque IP envelope; decoding it further must
+    // also be total.
+    (void)wire::decode_ip(ntcs::BytesView(nd.value().body));
+  }
+  (void)wire::decode_ip(view);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// fuzz_shard_ring.cpp — consistent-hash ring construction and lookup.
+// Every ComMod rebuilds the ring independently from nothing but the
+// shard count, so construction must be total for any count and
+// shard_of must be deterministic, in-range, and independent of which
+// ShardMap instance answers.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/nsp/shard_map.h"
+
+namespace nsp = ntcs::core::nsp;
+
+namespace {
+
+void require(bool cond) {
+  if (!cond) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // Byte 0 picks the shard count (1..32), byte 1 the vnode density
+  // (1..64); the rest is the logical name.
+  const std::size_t shards = data[0] % 32 + 1;
+  const int vnodes = size > 1 ? data[1] % 64 + 1 : nsp::ShardMap::kVnodesPerShard;
+  const char* p = reinterpret_cast<const char*>(data);
+  const std::string_view name(p + (size > 2 ? 2 : size),
+                              size > 2 ? size - 2 : 0);
+
+  // Hash stability: same bytes, same hash, and embedded NULs count.
+  require(nsp::stable_hash(name) == nsp::stable_hash(std::string(name)));
+
+  nsp::ShardMap a(shards, vnodes);
+  nsp::ShardMap b(shards, vnodes);
+  require(a.size() == shards && a.sharded() == (shards > 1));
+
+  const std::size_t owner = a.shard_of(name);
+  require(owner < shards);
+  // Determinism across instances and across repeated lookups.
+  require(b.shard_of(name) == owner);
+  require(a.shard_of(name) == owner);
+  if (shards == 1) require(owner == 0);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// fuzz_tcp_frames.cpp — the realnet TCP length-prefix StreamDecoder,
+// fed the input under a chunking schedule also derived from the input
+// (TCP makes no delivery-size promises, so chunk boundaries are part of
+// the attack surface). Invariants: frames handed to the sink are sized
+// within (0, kMaxWireFrame]; corruption latches; chunking never changes
+// what is decoded.
+#include <cstdint>
+#include <vector>
+
+#include "realnet/frame_decode.h"
+
+namespace rn = ntcs::realnet;
+
+namespace {
+
+void require(bool cond) {
+  if (!cond) __builtin_trap();
+}
+
+struct Decoded {
+  std::vector<ntcs::Bytes> frames;
+  bool corrupt = false;
+};
+
+Decoded run(const std::uint8_t* data, std::size_t size,
+            const std::uint8_t* sched, std::size_t sched_len) {
+  Decoded out;
+  rn::StreamDecoder dec;
+  auto sink = [&out](ntcs::Bytes frame) {
+    require(!frame.empty() && frame.size() <= rn::kMaxWireFrame);
+    out.frames.push_back(std::move(frame));
+  };
+  std::size_t off = 0, si = 0;
+  while (off < size) {
+    std::size_t chunk =
+        sched_len == 0 ? size - off : sched[si++ % sched_len] % 97 + 1;
+    if (chunk > size - off) chunk = size - off;
+    if (!dec.feed(data + off, chunk, sink)) {
+      out.corrupt = true;
+      require(dec.corrupt());
+      // Once latched, further input must be refused without effect.
+      const std::size_t sunk = out.frames.size();
+      require(!dec.feed(data, size != 0 ? 1 : 0, sink));
+      require(out.frames.size() == sunk);
+      break;
+    }
+    require(dec.pending() < rn::kLenPrefix + rn::kMaxWireFrame);
+    off += chunk;
+  }
+  return out;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // First pass: byte-at-a-time worst case. Second pass: chunk sizes
+  // taken from the input itself. Third: one giant write. All three must
+  // decode the identical frame sequence and corruption verdict.
+  std::uint8_t one = 1;
+  Decoded a = run(data, size, &one, 1);
+  Decoded b = run(data, size, data, size);
+  Decoded c = run(data, size, nullptr, 0);
+  require(a.corrupt == b.corrupt && b.corrupt == c.corrupt);
+  require(a.frames == b.frames && b.frames == c.frames);
+  return 0;
+}

@@ -23,6 +23,9 @@ fail=0
 echo "== lint: annotated-mutex grep gate =="
 # common/annotated.h is the single permitted holder of the raw primitives
 # (it wraps them); everything else in src/ must go through ntcs::Mutex.
+# Exception: the schedule explorer's controller (analysis/sched.cpp) — it
+# IS the thing interposing on ntcs::Mutex, so its own park/grant lock must
+# be a raw primitive or every schedule point would recurse into itself.
 violations=$(grep -rn \
   -e 'std::mutex' \
   -e 'std::recursive_mutex' \
@@ -32,7 +35,8 @@ violations=$(grep -rn \
   -e 'std::unique_lock' \
   -e 'std::scoped_lock' \
   src/ --include='*.h' --include='*.cpp' \
-  | grep -v '^src/common/annotated\.h:' || true)
+  | grep -v '^src/common/annotated\.h:' \
+  | grep -v '^src/analysis/sched\.cpp:' || true)
 if [ -n "$violations" ]; then
   echo "FAIL: raw locking primitives outside common/annotated.h:"
   echo "$violations"
@@ -124,6 +128,35 @@ else
   echo "ok: every queue declaration in src/ documents its bound"
 fi
 
+echo "== lint: atomic sync-comment grep gate =="
+# Companion to the annotated-mutex gate for the lock-free residue: every
+# raw std::atomic member in src/ must either be an ntcs::Atomic<T>
+# (common/atomic.h — interposed by the schedule explorer, so explored
+# tests see its happens-before edges) or carry a `// sync: ...` comment
+# on the declaration line or within the three lines above it explaining
+# the ordering contract. A bare std::atomic is invisible to the race
+# detector — undocumented ones are exactly where the next silent
+# ordering bug lands.
+violations=""
+while IFS=: read -r file line _; do
+  start=$((line > 3 ? line - 3 : 1))
+  if ! sed -n "${start},${line}p" "$file" | grep -q 'sync:'; then
+    violations="${violations}${file}:${line}"$'\n'
+  fi
+done < <(grep -rn 'std::atomic<\|std::atomic_' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/analysis/' \
+  | grep -v '^[^:]*:[0-9]*:[[:space:]]*//' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: raw std::atomic members without a '// sync: ...' ordering"
+  echo "      comment (or use ntcs::Atomic<T> from common/atomic.h, which"
+  echo "      the schedule explorer interposes on):"
+  printf '%s' "$violations"
+  fail=1
+else
+  echo "ok: every raw std::atomic in src/ documents its ordering contract"
+fi
+
 echo "== lint: lease-cache isolation grep gate =="
 # Correct-under-churn caching depends on every cache touch going through
 # the lease API in nsp_layer.cpp (freshness check, epoch purge, the
@@ -151,7 +184,15 @@ fi
 
 echo "== lint: clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "skip: clang-tidy not installed on this toolchain"
+  # NTCS_LINT_STRICT=1 turns "tool missing" from a notice into a failure:
+  # CI environments that are supposed to run the tidy stage must not pass
+  # silently because an image dropped the package.
+  if [ "${NTCS_LINT_STRICT:-0}" = "1" ]; then
+    echo "FAIL: clang-tidy not installed and NTCS_LINT_STRICT=1"
+    fail=1
+  else
+    echo "skip: clang-tidy not installed on this toolchain"
+  fi
 else
   if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
     echo "-- configuring $BUILD_DIR to produce compile_commands.json"

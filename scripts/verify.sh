@@ -33,6 +33,14 @@
 # 11. Naming stage (ctest label `naming`): the sharded name service —
 #    backend-parameterized conformance, ring invariants, seeded churn and
 #    the failover chaos regression — normal build, then repeated TSan.
+# 12. Sched stage (ctest label `sched`): the deterministic schedule
+#    explorer — bounded exploration of the known-dangerous interleaving
+#    trios, the seeded historical-bug reproductions, the stored minimal
+#    replay fixtures, and the clean-fragment zero-race/zero-inversion
+#    anchor — normal build, then ASan (the explorer's fibers and the
+#    vector-clock bookkeeping under memory checking). The fuzz corpus
+#    replay (label `fuzz`) rides along here: wire decoders over the
+#    checked-in corpus in both builds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -136,5 +144,21 @@ ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
 # buffer lifetime is checked while the storm is in flight.
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L overload
 ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L overload
+
+# Sched stage (label `sched`): bounded deterministic exploration. The
+# default budgets (NTCS_SCHED_BUDGET / NTCS_SCHED_PREEMPT, see
+# analysis/sched.h Options::from_env) are chosen so the stage is minutes,
+# not hours: every seeded historical bug must be found and shrunk within
+# budget, every stored replay fixture must re-trigger its bug
+# byte-for-byte, and the clean fragments must explore to completion with
+# zero races and zero rank inversions. Run once in the normal build, then
+# under ASan — the explorer's cooperative fibers, the vector-clock maps
+# and the shrink loop all allocate on hot paths worth watching. The fuzz
+# corpus replay rides along: every wire-decoder harness over its
+# checked-in corpus, both builds.
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L sched
+ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L sched
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L fuzz
+ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L fuzz
 
 echo "verify: OK"

@@ -1,0 +1,63 @@
+#include "analysis/race.h"
+
+namespace ntcs::analysis::sched {
+
+void RaceDetector::report(const PlainLoc& l, const char* kind, int first,
+                          int second, long step) {
+  for (const RaceReport& r : races_) {
+    if (r.location == l.name && r.kind == kind &&
+        ((r.first == first && r.second == second) ||
+         (r.first == second && r.second == first))) {
+      return;  // already reported this pair on this location
+    }
+  }
+  RaceReport r;
+  r.location = l.name;
+  r.kind = kind;
+  r.first = first;
+  r.second = second;
+  r.step = step;
+  races_.push_back(std::move(r));
+}
+
+void RaceDetector::on_plain(const void* loc, const char* name, int task,
+                            const VectorClock& vc, bool write, long step) {
+  PlainLoc& l = plain_[loc];
+  l.name = name;
+  // A prior write by another task is ordered iff our clock has absorbed
+  // the writer's component at the time of that write.
+  const bool write_unordered =
+      l.w_task >= 0 && l.w_task != task &&
+      vc.at(static_cast<std::size_t>(l.w_task)) < l.w_clk;
+  if (write) {
+    if (write_unordered) report(l, "write-write", l.w_task, task, step);
+    for (const auto& [rt, rc] : l.readers) {
+      if (rt != task && vc.at(static_cast<std::size_t>(rt)) < rc) {
+        report(l, "read-write", rt, task, step);
+      }
+    }
+    l.readers.clear();
+    l.w_task = task;
+    l.w_clk = vc.at(static_cast<std::size_t>(task));
+  } else {
+    if (write_unordered) report(l, "write-read", l.w_task, task, step);
+    for (auto& [rt, rc] : l.readers) {
+      if (rt == task) {
+        rc = vc.at(static_cast<std::size_t>(task));
+        return;
+      }
+    }
+    l.readers.emplace_back(task, vc.at(static_cast<std::size_t>(task)));
+  }
+}
+
+void RaceDetector::atomic_release(const void* loc, const VectorClock& vc) {
+  sync_[loc].join(vc);
+}
+
+void RaceDetector::atomic_acquire(const void* loc, VectorClock& vc) {
+  auto it = sync_.find(loc);
+  if (it != sync_.end()) vc.join(it->second);
+}
+
+}  // namespace ntcs::analysis::sched

@@ -1,0 +1,103 @@
+// race.h — vector clocks and the happens-before race detector used by the
+// deterministic schedule explorer (sched.h).
+//
+// The explorer serializes every scenario thread, so at any instant exactly
+// one task executes one *visible operation* (a lock, an unlock, a CondVar
+// wait/notify, an ntcs::Atomic access, or an annotated plain access). This
+// module maintains the happens-before order those operations induce:
+//
+//   * each task carries a vector clock, ticked at every visible op;
+//   * each mutex carries the release clock of its last holder — an
+//     acquire joins it (unlock -> lock edge);
+//   * each CondVar wakeup joins the notifier's clock (notify -> wake);
+//   * each ntcs::Atomic location accumulates release clocks and hands
+//     them to acquire loads (store/release -> load/acquire edges; relaxed
+//     accesses create no edge, which is the point of checking them);
+//   * spawn and join edges come from the scheduler directly.
+//
+// A *plain* access (sched::Var, sched::plain_read/plain_write — the
+// modeled unsynchronized state of a protocol fragment) is checked
+// FastTrack-style: a write racing an unordered prior read or write, or a
+// read racing an unordered prior write, is a happens-before violation and
+// is reported deterministically on the schedule that exhibits it — the
+// same schedule every run, instead of when TSan gets lucky.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ntcs::analysis::sched {
+
+/// A task-indexed logical clock. Grows on demand; absent entries read 0.
+class VectorClock {
+ public:
+  void tick(std::size_t i) {
+    ensure(i + 1);
+    ++c_[i];
+  }
+  std::uint32_t at(std::size_t i) const {
+    return i < c_.size() ? c_[i] : 0;
+  }
+  void join(const VectorClock& o) {
+    ensure(o.c_.size());
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+    }
+  }
+  void assign(const VectorClock& o) { c_ = o.c_; }
+  void clear() { c_.clear(); }
+
+ private:
+  void ensure(std::size_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+  std::vector<std::uint32_t> c_;
+};
+
+/// One detected happens-before violation.
+struct RaceReport {
+  std::string location;  // the Var/plain-access name
+  std::string kind;      // "write-write" | "read-write" | "write-read"
+  int first = 0;         // task that made the earlier access
+  int second = 0;        // task whose access raced it
+  long step = 0;         // schedule step of the detection
+};
+
+/// The happens-before state for one exploration run. All calls come from
+/// the scheduler with its own lock held — no synchronization here.
+class RaceDetector {
+ public:
+  /// Plain (unsynchronized-candidate) access by `task` whose clock is
+  /// `vc`, already ticked for this op. Appends to races() on violation;
+  /// duplicate (location, kind, pair) findings are reported once.
+  void on_plain(const void* loc, const char* name, int task,
+                const VectorClock& vc, bool write, long step);
+
+  /// Atomic-location edges. `release` accumulates the writer's clock into
+  /// the location; `acquire` joins the location's clock into the reader.
+  void atomic_release(const void* loc, const VectorClock& vc);
+  void atomic_acquire(const void* loc, VectorClock& vc);
+
+  const std::vector<RaceReport>& races() const { return races_; }
+
+ private:
+  struct PlainLoc {
+    const char* name = "";
+    int w_task = -1;           // last writer (-1: none yet)
+    std::uint32_t w_clk = 0;   // its clock component at the write
+    // Readers since the last write: (task, clock component at the read).
+    std::vector<std::pair<int, std::uint32_t>> readers;
+  };
+
+  void report(const PlainLoc& l, const char* kind, int first, int second,
+              long step);
+
+  std::unordered_map<const void*, PlainLoc> plain_;
+  std::unordered_map<const void*, VectorClock> sync_;
+  std::vector<RaceReport> races_;
+};
+
+}  // namespace ntcs::analysis::sched

@@ -1,0 +1,74 @@
+#include "analysis/replay.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ntcs::analysis::sched {
+
+std::string format_token(const ForcedSchedule& f) {
+  if (f.empty()) return "v1:-";
+  std::string out = "v1:";
+  bool first = true;
+  for (const auto& [step, task] : f) {
+    if (!first) out += ',';
+    first = false;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%ld@%d", step, task);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<ForcedSchedule> parse_token(std::string_view token) {
+  constexpr std::string_view kTag = "v1:";
+  if (token.substr(0, kTag.size()) != kTag) return std::nullopt;
+  std::string_view body = token.substr(kTag.size());
+  ForcedSchedule f;
+  if (body == "-") return f;
+  if (body.empty()) return std::nullopt;
+  long prev_step = -1;
+  while (!body.empty()) {
+    std::size_t comma = body.find(',');
+    std::string_view item =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view{}
+                                           : body.substr(comma + 1);
+    long step = 0;
+    int task = 0;
+    int consumed = 0;
+    std::string s(item);
+    if (std::sscanf(s.c_str(), "%ld@%d%n", &step, &task, &consumed) != 2 ||
+        static_cast<std::size_t>(consumed) != s.size() || step <= prev_step ||
+        task < 0) {
+      return std::nullopt;
+    }
+    prev_step = step;
+    f[step] = task;
+  }
+  return f;
+}
+
+std::optional<std::string> load_replay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t b = line.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    std::size_t e = line.find_last_not_of(" \t\r\n");
+    std::string trimmed = line.substr(b, e - b + 1);
+    if (trimmed[0] == '#') continue;
+    return trimmed;
+  }
+  return std::nullopt;
+}
+
+bool save_replay_file(const std::string& path, const std::string& token) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << token << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace ntcs::analysis::sched

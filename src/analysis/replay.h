@@ -1,0 +1,48 @@
+// replay.h — the replay token format of the deterministic schedule
+// explorer, plus the stored-replay file helpers the fixture tests use.
+//
+// A schedule is identified by its *forced switches* alone: the explorer's
+// default policy (keep running the current task; otherwise the lowest
+// enabled task id) is deterministic, so a run is fully reproduced by the
+// set of decision steps where it deviated from that policy and which task
+// it deviated to. The token serializes that set:
+//
+//   v1:-                  the all-default schedule (no forced switches)
+//   v1:12@1               at decision step 12, run task 1
+//   v1:12@1,30@0,41@2     three forced switches, ascending by step
+//
+// Steps count *applied operations* from 0 within one run; tasks are
+// numbered in spawn order with the scenario body as task 0. Tokens are
+// self-contained: replaying one needs only the scenario (which must be
+// deterministic apart from scheduling) and the token string. The shrinker
+// emits minimal tokens — every forced switch it keeps is necessary to
+// reproduce the failure — and tests/replays/*.sched store them one token
+// per file so a historical bug's minimal reproducer is re-triggered
+// byte-for-byte by the fixture suite.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ntcs::analysis::sched {
+
+/// Decision step -> task id forced at that step.
+using ForcedSchedule = std::map<long, int>;
+
+std::string format_token(const ForcedSchedule& f);
+
+/// Parses a token; nullopt on malformed input (wrong tag, unsorted or
+/// duplicate steps, junk).
+std::optional<ForcedSchedule> parse_token(std::string_view token);
+
+/// Reads a stored replay file: the first line is the token, surrounding
+/// whitespace ignored, '#'-prefixed lines are comments. nullopt when the
+/// file is missing or holds no token line.
+std::optional<std::string> load_replay_file(const std::string& path);
+
+/// Writes `token` (plus a trailing newline) to `path`; false on IO error.
+bool save_replay_file(const std::string& path, const std::string& token);
+
+}  // namespace ntcs::analysis::sched

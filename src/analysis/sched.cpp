@@ -1,0 +1,811 @@
+// sched.cpp — the cooperative controller, the preemption-bounded DFS
+// explorer, and the ddmin schedule shrinker. See sched.h for the model.
+//
+// Execution model invariants (load-bearing — the correctness argument):
+//
+//  * Exactly one task runs between schedule points: every visible op
+//    parks its task and a single select_next_locked() grants exactly one.
+//  * model-free => physically-free, for mutexes: a task is granted a lock
+//    op only when the model owner is -1; the previous owner physically
+//    unlocked *before* its synchronous model release (Mutex::unlock runs
+//    mu_.unlock() and then sched_mutex_unlock()), and between the release
+//    and the next grant only the releasing task runs. So the physical
+//    mu_.lock() after a granted lock op never blocks.
+//  * Synchronous model ops (unlock, cv enqueue, spawn) are not schedule
+//    points: the running task performs them alone under the controller
+//    lock, and commuting them with the *next* park is unobservable — no
+//    other task can see the intermediate state.
+//  * Timed CondVar waits fire only when nothing else is enabled (earliest
+//    deadline first) on a virtual clock — timeouts "happen eventually",
+//    which keeps scenarios terminating without branching on every
+//    possible timeout point.
+//  * Abort (check() failure, deadlock, budget, replay divergence) wakes
+//    every parked task with AbortRun; hooks called during the resulting
+//    stack unwinding degrade to physical passthrough (no model ops, no
+//    throwing into active unwinding).
+#include "analysis/sched.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotated.h"
+
+namespace ntcs::analysis::sched {
+namespace {
+
+struct AbortRun {};
+
+enum class OpKind {
+  start,      // spawned task's first scheduling
+  lock,       // blocked mutex acquisition
+  trylock,    // non-blocking acquisition attempt
+  cv_wake,    // parked CondVar waiter (enabled by notify or timeout)
+  notify,     // CondVar notify_one/notify_all
+  atomic_op,  // ntcs::Atomic access
+  plain,      // sched::Var / plain_read / plain_write access
+  yield,      // voluntary schedule point
+  join_all,   // task 0 waiting for every spawned task to finish
+};
+
+struct Op {
+  OpKind kind = OpKind::yield;
+  const void* obj = nullptr;
+  const char* name = "";
+  bool write = false;
+  bool all = false;             // notify_all
+  bool acq = false, rel = false;  // atomic ordering
+  bool timed = false;
+  std::int64_t rel_ns = 0;      // cv_wake: relative deadline
+};
+
+struct Task {
+  int id = 0;
+  std::thread thr;  // empty for task 0
+  std::function<void()> fn;
+  bool finished = false;
+  bool parked = false;
+  bool granted = false;
+  Op pending;
+  bool notified = false;
+  bool timed_out = false;
+  bool timed = false;
+  std::int64_t deadline = 0;
+  bool last_wake_was_timeout = false;
+  bool try_ok = false;
+  VectorClock vc;
+  VectorClock wake_vc;
+};
+
+struct MutexModel {
+  int owner = -1;
+  VectorClock release_vc;
+};
+
+struct CvModel {
+  std::vector<int> waiters;  // FIFO
+};
+
+struct Decision {
+  long step = 0;
+  std::vector<int> enabled;
+  std::vector<Op> enabled_ops;  // parallel to `enabled`
+  int chosen = 0;
+  Op chosen_op;
+  int prev = -1;
+  bool prev_yielded = false;  // prev runnable but at a voluntary yield
+  int preemptions_before = 0;
+};
+
+struct Controller {
+  std::mutex mu;
+  std::condition_variable cv;
+  Options opts;
+  ForcedSchedule forced;
+  std::vector<std::unique_ptr<Task>> tasks;
+  std::unordered_map<const void*, MutexModel> mutexes;
+  std::unordered_map<const void*, CvModel> cvs;
+  RaceDetector detector;
+  std::vector<Decision> decisions;
+  long step = 0;
+  int running = -1;
+  int preemptions = 0;
+  std::int64_t now_ns = 0;  // virtual clock, advanced by fired timeouts
+  bool abort = false;
+  bool failed = false;
+  std::string failure;
+};
+
+// One exploration at a time per process (the explorer serializes anyway).
+Controller* g_ctrl = nullptr;
+thread_local Task* t_self = nullptr;
+
+const char* op_desc(const Op& op) {
+  switch (op.kind) {
+    case OpKind::start: return "start";
+    case OpKind::lock: return "lock";
+    case OpKind::trylock: return "trylock";
+    case OpKind::cv_wake: return "cv-wait";
+    case OpKind::notify: return "notify";
+    case OpKind::atomic_op: return "atomic";
+    case OpKind::plain: return "plain";
+    case OpKind::yield: return "yield";
+    case OpKind::join_all: return "join-all";
+  }
+  return "?";
+}
+
+void fail_locked(Controller& c, std::string msg) {
+  if (!c.failed) {
+    c.failed = true;
+    c.failure = std::move(msg);
+  }
+  c.abort = true;
+  c.cv.notify_all();
+}
+
+bool op_enabled(Controller& c, const Task& t) {
+  switch (t.pending.kind) {
+    case OpKind::lock: {
+      auto it = c.mutexes.find(t.pending.obj);
+      return it == c.mutexes.end() || it->second.owner == -1;
+    }
+    case OpKind::cv_wake:
+      return t.notified || t.timed_out;
+    case OpKind::join_all:
+      for (const auto& o : c.tasks) {
+        if (o->id != t.id && !o->finished) return false;
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
+// Picks and grants the next task. Called with c.mu held, after the
+// previously running task `prev` has parked or finished. Records a
+// Decision at every step — the DFS branches on these.
+void select_next_locked(Controller& c, int prev) {
+  for (;;) {
+    if (c.abort) {
+      c.cv.notify_all();
+      return;
+    }
+    if (c.step >= c.opts.max_steps_per_run) {
+      fail_locked(c, "step budget exhausted (livelock?)");
+      return;
+    }
+    std::vector<int> enabled;
+    std::vector<Op> enabled_ops;
+    bool any_unfinished = false;
+    for (const auto& tp : c.tasks) {
+      const Task& t = *tp;
+      if (t.finished) continue;
+      any_unfinished = true;
+      if (!t.parked) continue;
+      if (op_enabled(c, t)) {
+        enabled.push_back(t.id);
+        enabled_ops.push_back(t.pending);
+      }
+    }
+    if (!any_unfinished) return;  // run complete
+    if (enabled.empty()) {
+      // Fire the earliest pending timeout, then retry.
+      Task* earliest = nullptr;
+      for (const auto& tp : c.tasks) {
+        Task& t = *tp;
+        if (!t.finished && t.parked && t.timed && !t.timed_out &&
+            (!earliest || t.deadline < earliest->deadline)) {
+          earliest = &t;
+        }
+      }
+      if (earliest) {
+        earliest->timed_out = true;
+        c.now_ns = std::max(c.now_ns, earliest->deadline);
+        continue;
+      }
+      std::string msg = "deadlock: no enabled task; pending:";
+      for (const auto& tp : c.tasks) {
+        if (tp->finished || !tp->parked) continue;
+        msg += " t" + std::to_string(tp->id) + ":" + op_desc(tp->pending);
+        if (tp->pending.name[0] != '\0') {
+          msg += "(";
+          msg += tp->pending.name;
+          msg += ")";
+        }
+      }
+      fail_locked(c, std::move(msg));
+      return;
+    }
+    int chosen;
+    auto f = c.forced.find(c.step);
+    if (f != c.forced.end()) {
+      chosen = f->second;
+      if (std::find(enabled.begin(), enabled.end(), chosen) == enabled.end()) {
+        fail_locked(c, "replay divergence: forced task t" +
+                           std::to_string(chosen) + " not enabled at step " +
+                           std::to_string(c.step));
+        return;
+      }
+    } else {
+      const bool prev_runnable =
+          prev >= 0 &&
+          std::find(enabled.begin(), enabled.end(), prev) != enabled.end();
+      const bool prev_yielded =
+          prev_runnable &&
+          c.tasks[static_cast<std::size_t>(prev)]->pending.kind ==
+              OpKind::yield;
+      if (prev_runnable && (!prev_yielded || enabled.size() == 1)) {
+        chosen = prev;  // default: keep running the current task
+      } else if (prev_yielded) {
+        // A yield hands off: lowest enabled id other than prev (else a
+        // spin-wait loop would monopolize the default schedule forever).
+        chosen = enabled.front() != prev ? enabled.front() : enabled[1];
+      } else {
+        chosen = enabled.front();  // lowest id (tasks iterate in id order)
+      }
+    }
+    const bool prev_enabled =
+        prev >= 0 &&
+        std::find(enabled.begin(), enabled.end(), prev) != enabled.end();
+    const bool prev_yielded =
+        prev_enabled &&
+        c.tasks[static_cast<std::size_t>(prev)]->pending.kind == OpKind::yield;
+    Decision d;
+    d.step = c.step;
+    d.enabled = enabled;
+    d.enabled_ops = enabled_ops;
+    d.chosen = chosen;
+    d.chosen_op = c.tasks[static_cast<std::size_t>(chosen)]->pending;
+    d.prev = prev;
+    d.prev_yielded = prev_yielded;
+    d.preemptions_before = c.preemptions;
+    c.decisions.push_back(std::move(d));
+    // Switching away from a task parked at a *yield* is voluntary, not a
+    // preemption — only involuntary switches consume the bound.
+    if (prev_enabled && !prev_yielded && chosen != prev) ++c.preemptions;
+    ++c.step;
+    c.running = chosen;
+    c.tasks[static_cast<std::size_t>(chosen)]->granted = true;
+    c.cv.notify_all();
+    return;
+  }
+}
+
+// Applies the granted op's model effects. Called with c.mu held by the
+// task that was just granted, before it returns to perform the physical
+// side of the op.
+void apply_locked(Controller& c, Task& t) {
+  const Op& op = t.pending;
+  t.vc.tick(static_cast<std::size_t>(t.id));
+  switch (op.kind) {
+    case OpKind::lock: {
+      MutexModel& m = c.mutexes[op.obj];
+      m.owner = t.id;
+      t.vc.join(m.release_vc);
+      break;
+    }
+    case OpKind::trylock: {
+      MutexModel& m = c.mutexes[op.obj];
+      if (m.owner == -1) {
+        m.owner = t.id;
+        t.vc.join(m.release_vc);
+        t.try_ok = true;
+      } else {
+        t.try_ok = false;
+      }
+      break;
+    }
+    case OpKind::cv_wake: {
+      t.timed = false;
+      if (t.notified) {
+        t.vc.join(t.wake_vc);
+        t.wake_vc.clear();
+        t.last_wake_was_timeout = false;
+      } else {  // timed out while still enqueued
+        auto& w = c.cvs[op.obj].waiters;
+        w.erase(std::remove(w.begin(), w.end(), t.id), w.end());
+        t.last_wake_was_timeout = true;
+      }
+      t.notified = false;
+      t.timed_out = false;
+      break;
+    }
+    case OpKind::notify: {
+      auto& w = c.cvs[op.obj].waiters;
+      auto mark = [&](int id) {
+        Task& wt = *c.tasks[static_cast<std::size_t>(id)];
+        wt.notified = true;
+        wt.wake_vc.join(t.vc);
+      };
+      if (op.all) {
+        for (int id : w) mark(id);
+        w.clear();
+      } else if (!w.empty()) {
+        mark(w.front());
+        w.erase(w.begin());
+      }
+      break;
+    }
+    case OpKind::atomic_op: {
+      if (op.rel) c.detector.atomic_release(op.obj, t.vc);
+      if (op.acq) c.detector.atomic_acquire(op.obj, t.vc);
+      break;
+    }
+    case OpKind::plain: {
+      c.detector.on_plain(op.obj, op.name, t.id, t.vc, op.write, c.step);
+      break;
+    }
+    case OpKind::join_all: {
+      for (const auto& o : c.tasks) {
+        if (o->id != t.id) t.vc.join(o->vc);
+      }
+      break;
+    }
+    case OpKind::start:
+    case OpKind::yield:
+      break;
+  }
+}
+
+// Parks the calling task on `op`, hands control to the scheduler, and
+// applies the op once granted. Throws AbortRun on run abort — except when
+// the caller is already unwinding, where it degrades to a no-op so hooks
+// in destructors never throw into an active exception.
+void park(Controller& c, Task& t, Op op) {
+  std::unique_lock<std::mutex> lk(c.mu);
+  if (c.abort) {
+    if (std::uncaught_exceptions() > 0) {
+      t.last_wake_was_timeout = true;  // let timed loops bail out
+      t.try_ok = true;                 // and trylocks pass through
+      return;
+    }
+    throw AbortRun{};
+  }
+  t.pending = op;
+  if (op.timed) {
+    t.timed = true;
+    t.deadline = c.now_ns + (op.rel_ns > 0 ? op.rel_ns : 0);
+  }
+  t.parked = true;
+  if (c.running == t.id) select_next_locked(c, t.id);
+  c.cv.wait(lk, [&] { return t.granted || c.abort; });
+  if (c.abort) throw AbortRun{};
+  t.granted = false;
+  t.parked = false;
+  apply_locked(c, t);
+}
+
+void task_main(Controller* c, Task* t) {
+  t_self = t;
+  sched_tls().task = true;
+  try {
+    {  // initial wait: the parent registered us parked on Op{start}
+      std::unique_lock<std::mutex> lk(c->mu);
+      c->cv.wait(lk, [&] { return t->granted || c->abort; });
+      if (c->abort) throw AbortRun{};
+      t->granted = false;
+      t->parked = false;
+      apply_locked(*c, *t);
+    }
+    t->fn();
+  } catch (AbortRun&) {
+  }
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    t->finished = true;
+    if (!c->abort && c->running == t->id) select_next_locked(*c, t->id);
+  }
+  sched_tls().task = false;
+  t_self = nullptr;
+}
+
+struct RunResult {
+  std::vector<Decision> decisions;
+  bool failed = false;
+  std::string failure;
+  long steps = 0;
+  std::vector<RaceReport> races;
+  std::uint64_t inversions_delta = 0;
+};
+
+RunResult run_once(const std::function<void()>& scenario,
+                   const ForcedSchedule& forced, const Options& opts) {
+  Controller c;
+  c.opts = opts;
+  c.forced = forced;
+  const std::uint64_t inv_before = analysis::lock_inversions();
+  g_ctrl = &c;
+  {
+    auto t0 = std::make_unique<Task>();
+    t0->id = 0;
+    t0->vc.tick(0);
+    c.tasks.push_back(std::move(t0));
+  }
+  Task* t0 = c.tasks[0].get();
+  c.running = 0;
+  t_self = t0;
+  sched_tls().task = true;
+  try {
+    scenario();
+    Op op;
+    op.kind = OpKind::join_all;
+    park(c, *t0, op);
+  } catch (AbortRun&) {
+  }
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+    t0->finished = true;
+  }
+  sched_tls().task = false;
+  t_self = nullptr;
+  for (auto& tp : c.tasks) {
+    if (tp->thr.joinable()) tp->thr.join();
+  }
+  g_ctrl = nullptr;
+
+  RunResult r;
+  r.decisions = std::move(c.decisions);
+  r.failed = c.failed;
+  r.failure = std::move(c.failure);
+  r.steps = c.step;
+  if (std::getenv("NTCS_SCHED_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[run] forced=%s failed=%d steps=%ld %s\n",
+                 format_token(forced).c_str(), r.failed ? 1 : 0, r.steps,
+                 r.failure.c_str());
+    for (const Decision& d : r.decisions) {
+      std::string en;
+      for (std::size_t i = 0; i < d.enabled.size(); ++i) {
+        en += " t" + std::to_string(d.enabled[i]) + ":" +
+              op_desc(d.enabled_ops[i]);
+      }
+      std::fprintf(stderr,
+                   "  step=%ld chosen=t%d:%s(%s) prev=%d py=%d pre=%d en=%s\n",
+                   d.step, d.chosen, op_desc(d.chosen_op), d.chosen_op.name,
+                   d.prev, d.prev_yielded ? 1 : 0, d.preemptions_before,
+                   en.c_str());
+    }
+  }
+  r.races = c.detector.races();
+  r.inversions_delta = analysis::lock_inversions() - inv_before;
+  if (!r.failed && opts.fail_on_race && !r.races.empty()) {
+    const RaceReport& rr = r.races.front();
+    r.failed = true;
+    r.failure = "happens-before race on " + rr.location + " (" + rr.kind +
+                ") tasks t" + std::to_string(rr.first) + "/t" +
+                std::to_string(rr.second);
+  }
+  if (!r.failed && opts.fail_on_inversion && r.inversions_delta > 0) {
+    r.failed = true;
+    r.failure = "lock-rank inversion observed (" +
+                std::to_string(r.inversions_delta) + ", see stderr)";
+  }
+  return r;
+}
+
+// Two pending ops are dependent when flipping their order can reach a
+// different state — the sleep-set-style pruning skips alternatives whose
+// op is independent of the one actually chosen (adjacent independent ops
+// commute, so the flipped schedule is equivalent to one already covered).
+bool dependent(const Op& a, const Op& b) {
+  // A yield is a pure no-op: it commutes with every other op, including
+  // start/join. (Order matters: checking start first would make every
+  // yield-vs-start decision a branch point, and each such branch extends
+  // a spin loop by one iteration — an unbounded ladder of schedules that
+  // differ only in how long the spinner spun.)
+  if (a.kind == OpKind::yield || b.kind == OpKind::yield) return false;
+  if (a.kind == OpKind::start || b.kind == OpKind::start ||
+      a.kind == OpKind::join_all || b.kind == OpKind::join_all) {
+    return true;  // spawn/join edges order everything conservatively
+  }
+  if (a.obj == nullptr || b.obj == nullptr || a.obj != b.obj) return false;
+  if ((a.kind == OpKind::plain && b.kind == OpKind::plain) ||
+      (a.kind == OpKind::atomic_op && b.kind == OpKind::atomic_op)) {
+    return a.write || b.write;  // two reads of one location commute
+  }
+  return true;  // mutex/cv ops on the same object
+}
+
+void shrink_failure(const std::function<void()>& scenario,
+                    const ForcedSchedule& forced, const std::string& failure,
+                    const Options& opts, Report& rep) {
+  ForcedSchedule cur = forced;
+  long runs = 0;
+  bool progress = true;
+  while (progress && runs < opts.max_shrink_runs) {
+    progress = false;
+    for (auto it = cur.begin();
+         it != cur.end() && runs < opts.max_shrink_runs;) {
+      ForcedSchedule trial = cur;
+      trial.erase(it->first);
+      RunResult r = run_once(scenario, trial, opts);
+      ++runs;
+      if (r.failed && r.failure == failure) {
+        cur = std::move(trial);
+        progress = true;
+        it = cur.begin();  // restart the sweep from the front
+      } else {
+        ++it;
+      }
+    }
+  }
+  rep.minimal = format_token(cur);
+  rep.shrink_runs = runs;
+}
+
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+Options Options::from_env() {
+  Options o;
+  if (const char* b = std::getenv("NTCS_SCHED_BUDGET")) {
+    o.max_schedules = std::max(1L, std::atol(b));
+  }
+  if (const char* p = std::getenv("NTCS_SCHED_PREEMPT")) {
+    o.preemption_bound = std::max(0, std::atoi(p));
+  }
+  return o;
+}
+
+Report explore(const std::function<void()>& scenario, const Options& opts) {
+  Report rep;
+  // Priming run (discarded): first-touch function-local statics — metrics
+  // counters, report-once state — take locks only on their first call;
+  // running the default schedule once keeps decision indices identical
+  // across the recorded runs that follow.
+  (void)run_once(scenario, ForcedSchedule{}, opts);
+
+  struct Cand {
+    ForcedSchedule forced;
+    long floor = 0;  // only branch at decision indices >= floor
+  };
+  std::vector<Cand> stack;
+  stack.push_back(Cand{});
+  while (!stack.empty() && rep.schedules < opts.max_schedules) {
+    Cand cand = std::move(stack.back());
+    stack.pop_back();
+    RunResult r = run_once(scenario, cand.forced, opts);
+    ++rep.schedules;
+    rep.steps += r.steps;
+    rep.inversions += static_cast<long>(r.inversions_delta);
+    if (r.failed) {
+      rep.failed = true;
+      rep.first_failure_schedule = rep.schedules;
+      rep.failure = r.failure;
+      rep.schedule = format_token(cand.forced);
+      rep.races = static_cast<long>(r.races.size());
+      rep.race_details = r.races;
+      if (opts.shrink) {
+        shrink_failure(scenario, cand.forced, r.failure, opts, rep);
+      } else {
+        rep.minimal = rep.schedule;
+      }
+      return rep;
+    }
+    for (long k = static_cast<long>(r.decisions.size()) - 1; k >= cand.floor;
+         --k) {
+      const Decision& d = r.decisions[static_cast<std::size_t>(k)];
+      if (d.enabled.size() < 2) continue;
+      for (std::size_t i = 0; i < d.enabled.size(); ++i) {
+        const int t = d.enabled[i];
+        if (t == d.chosen) continue;
+        const bool preempt = d.prev >= 0 && contains(d.enabled, d.prev) &&
+                             !d.prev_yielded && t != d.prev;
+        if (preempt && d.preemptions_before >= opts.preemption_bound) continue;
+        if (opts.sleep_sets && !dependent(d.enabled_ops[i], d.chosen_op)) {
+          continue;
+        }
+        Cand child;
+        child.forced = cand.forced;
+        child.forced[d.step] = t;
+        child.floor = k + 1;
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+  rep.complete = stack.empty();
+  return rep;
+}
+
+Report replay(const std::function<void()>& scenario, const std::string& token,
+              const Options& opts) {
+  Report rep;
+  auto forced = parse_token(token);
+  if (!forced) {
+    rep.failed = true;
+    rep.failure = "malformed replay token: " + token;
+    return rep;
+  }
+  (void)run_once(scenario, ForcedSchedule{}, opts);  // priming, as explore()
+  RunResult r = run_once(scenario, *forced, opts);
+  rep.schedules = 1;
+  rep.steps = r.steps;
+  rep.failed = r.failed;
+  rep.failure = r.failure;
+  rep.schedule = token;
+  rep.minimal = token;
+  rep.races = static_cast<long>(r.races.size());
+  rep.race_details = r.races;
+  rep.inversions = static_cast<long>(r.inversions_delta);
+  if (r.failed) rep.first_failure_schedule = 1;
+  return rep;
+}
+
+bool active() { return g_ctrl != nullptr && t_self != nullptr; }
+
+TaskHandle spawn(std::function<void()> fn) {
+  Controller* c = g_ctrl;
+  Task* parent = t_self;
+  if (c == nullptr || parent == nullptr) {
+    fn();  // outside exploration: degenerate sequential schedule
+    return TaskHandle(-1);
+  }
+  std::lock_guard<std::mutex> lk(c->mu);
+  if (c->abort) throw AbortRun{};
+  const int id = static_cast<int>(c->tasks.size());
+  auto t = std::make_unique<Task>();
+  t->id = id;
+  t->fn = std::move(fn);
+  t->vc.assign(parent->vc);
+  t->vc.tick(static_cast<std::size_t>(id));
+  parent->vc.tick(static_cast<std::size_t>(parent->id));
+  t->parked = true;
+  t->pending.kind = OpKind::start;
+  c->tasks.push_back(std::move(t));
+  Task* tp = c->tasks.back().get();
+  tp->thr = std::thread(task_main, c, tp);
+  return TaskHandle(id);
+}
+
+void yield() {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  Op op;
+  op.kind = OpKind::yield;
+  park(*c, *t, op);
+}
+
+void check(bool ok, const char* what) {
+  if (ok) return;
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c != nullptr && t != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      fail_locked(*c, std::string("check failed: ") + what);
+    }
+    throw AbortRun{};
+  }
+  std::fprintf(stderr, "sched::check failed outside exploration: %s\n", what);
+  std::abort();
+}
+
+void plain_read(const void* addr, const char* name) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  Op op;
+  op.kind = OpKind::plain;
+  op.obj = addr;
+  op.name = name;
+  op.write = false;
+  park(*c, *t, op);
+}
+
+void plain_write(const void* addr, const char* name) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  Op op;
+  op.kind = OpKind::plain;
+  op.obj = addr;
+  op.name = name;
+  op.write = true;
+  park(*c, *t, op);
+}
+
+// ---- hooks from common/annotated.h and common/atomic.h --------------------
+// Only reached when sched_interposed() was true at the call site, i.e. the
+// calling thread is a registered task of the active run.
+
+void sched_mutex_lock(const void* m, const char* name) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  Op op;
+  op.kind = OpKind::lock;
+  op.obj = m;
+  op.name = name;
+  park(*c, *t, op);
+}
+
+bool sched_mutex_trylock(const void* m, const char* name) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return true;
+  Op op;
+  op.kind = OpKind::trylock;
+  op.obj = m;
+  op.name = name;
+  park(*c, *t, op);
+  return t->try_ok;
+}
+
+void sched_mutex_unlock(const void* m) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  std::lock_guard<std::mutex> lk(c->mu);
+  if (c->abort) return;
+  MutexModel& mm = c->mutexes[m];
+  mm.owner = -1;
+  mm.release_vc.assign(t->vc);
+  t->vc.tick(static_cast<std::size_t>(t->id));
+}
+
+void sched_cv_enqueue(const void* cvp) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  std::lock_guard<std::mutex> lk(c->mu);
+  if (c->abort) return;
+  c->cvs[cvp].waiters.push_back(t->id);
+  t->notified = false;
+  t->timed_out = false;
+}
+
+bool sched_cv_wait_parked(const void* cvp, std::int64_t rel_ns) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return true;
+  Op op;
+  op.kind = OpKind::cv_wake;
+  op.obj = cvp;
+  if (rel_ns >= 0) {
+    op.timed = true;
+    op.rel_ns = rel_ns;
+  }
+  park(*c, *t, op);
+  return t->last_wake_was_timeout;
+}
+
+void sched_cv_notify(const void* cvp, bool all) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  Op op;
+  op.kind = OpKind::notify;
+  op.obj = cvp;
+  op.all = all;
+  park(*c, *t, op);
+}
+
+void sched_atomic_access(const void* loc, bool write, bool acquire,
+                         bool release) {
+  Controller* c = g_ctrl;
+  Task* t = t_self;
+  if (c == nullptr || t == nullptr) return;
+  Op op;
+  op.kind = OpKind::atomic_op;
+  op.obj = loc;
+  op.write = write;
+  op.acq = acquire;
+  op.rel = release;
+  park(*c, *t, op);
+}
+
+}  // namespace ntcs::analysis::sched

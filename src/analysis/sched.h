@@ -1,0 +1,161 @@
+// sched.h — the deterministic schedule explorer (loom/DPOR-style stateless
+// model checking for NTCS protocol fragments).
+//
+// A *scenario* is a function that spawns tasks with sched::spawn() and
+// synchronizes them only through the interposed primitives: ntcs::Mutex /
+// ntcs::CondVar (common/annotated.h), ntcs::Atomic<T> (common/atomic.h),
+// and sched::Var<T> for modeled plain shared state. Under exploration a
+// cooperative controller serializes all tasks — exactly one runs between
+// consecutive *schedule points* (lock, try_lock, cv wait/notify, atomic
+// access, Var access, yield, spawn/finish) — and a DFS over the scheduling
+// decisions enumerates meaningfully different interleavings:
+//
+//   * preemption-bounded: at most `preemption_bound` context switches away
+//     from a runnable task per schedule (CHESS result: most interleaving
+//     bugs need <= 2);
+//   * dependence-pruned ("sleep sets" in the Options): an alternative
+//     branch at step k is generated only when the alternative task's
+//     pending op is dependent with the op actually chosen at k — adjacent
+//     independent ops commute, so flipping them reaches an equivalent
+//     state;
+//   * bounded by `max_schedules` total runs and `max_steps_per_run` steps.
+//
+// Each run is identified by a replay token (replay.h) of its forced
+// switches; failing schedules are ddmin-shrunk to a minimal token that the
+// fixture tests replay byte-for-byte. Failures are: a sched::check()
+// assertion, a deadlock (no task enabled), a happens-before race from the
+// vector-clock detector (race.h), or a lock-rank inversion from the PR 4
+// validator observed during the run.
+//
+// Scope: simnet/in-process state machines only. Realnet kernel threads,
+// real sockets, and real time are outside the model — timed CondVar waits
+// are modeled as firing only when nothing else can run (earliest deadline
+// first), which keeps scenarios terminating without exploding the
+// schedule space with spurious-timeout branches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/race.h"
+#include "analysis/replay.h"
+
+namespace ntcs::analysis::sched {
+
+struct Options {
+  long max_schedules = 2048;     // DFS run budget
+  int preemption_bound = 2;      // max forced preemptions per schedule
+  long max_steps_per_run = 20000;
+  bool sleep_sets = true;        // dependence-based sibling pruning
+  bool fail_on_race = true;      // HB race => schedule failure
+  bool fail_on_inversion = true; // lock-rank inversion => schedule failure
+  bool shrink = true;            // ddmin failing schedules
+  long max_shrink_runs = 256;
+
+  /// Reads NTCS_SCHED_BUDGET / NTCS_SCHED_PREEMPT overrides from the
+  /// environment (used by the verify.sh sched stage to tighten budgets).
+  static Options from_env();
+};
+
+struct Report {
+  long schedules = 0;        // runs executed (incl. the failing one)
+  long steps = 0;            // schedule points applied across all runs
+  bool complete = false;     // DFS drained within max_schedules
+  bool failed = false;
+  long first_failure_schedule = -1;  // 1-based index of the failing run
+  std::string failure;       // human-readable failure description
+  std::string schedule;      // token of the failing schedule ("" if none)
+  std::string minimal;       // shrunk token (== schedule when not shrunk)
+  long shrink_runs = 0;
+  long races = 0;            // HB violations on the failing run
+  long inversions = 0;       // rank inversions observed across the run(s)
+  std::vector<RaceReport> race_details;
+};
+
+/// Explores `scenario` under `opts`. The scenario runs as task 0; it must
+/// be deterministic apart from scheduling, and every thread it needs must
+/// go through sched::spawn (raw std::thread is invisible to the model).
+Report explore(const std::function<void()>& scenario, const Options& opts);
+
+/// Replays `scenario` under exactly one schedule, given by `token`.
+/// Report.failed reflects that single run.
+Report replay(const std::function<void()>& scenario, const std::string& token,
+              const Options& opts);
+
+/// True while the calling thread is a task of an active exploration run.
+bool active();
+
+/// Spawns a scenario task. Inside a run: a controller-managed cooperative
+/// task with a spawn happens-before edge from the parent; all tasks are
+/// joined implicitly when the scenario body returns. Outside a run the
+/// body runs inline (the degenerate sequential schedule).
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  explicit TaskHandle(int id) : id_(id) {}
+  int id() const { return id_; }
+
+ private:
+  int id_ = -1;
+};
+
+TaskHandle spawn(std::function<void()> fn);
+
+/// Voluntary schedule point (models "anything can happen here").
+void yield();
+
+/// Scenario assertion. Under exploration a false `ok` fails the current
+/// schedule (recorded, shrunk, reported); outside exploration it prints
+/// `what` to stderr and aborts.
+void check(bool ok, const char* what);
+
+/// Modeled plain shared accesses — the race detector's subjects. `addr`
+/// identifies the location; `name` labels it in RaceReport.
+void plain_read(const void* addr, const char* name);
+void plain_write(const void* addr, const char* name);
+
+/// A plain shared variable for scenario state machines: every load/store
+/// is a schedule point and an HB-checked plain access. Synchronize it with
+/// ntcs::Mutex / ntcs::Atomic or the detector will (correctly) object.
+template <typename T>
+class Var {
+ public:
+  Var() = default;
+  explicit Var(T v, const char* name = "sched::Var") : v_(v), name_(name) {}
+
+  T load() const {
+    plain_read(&v_, name_);
+    return v_;
+  }
+  void store(T v) {
+    plain_write(&v_, name_);
+    v_ = v;
+  }
+
+ private:
+  T v_{};
+  const char* name_ = "sched::Var";
+};
+
+// ---------------------------------------------------------------------------
+// Interposition hooks — called from common/annotated.h and common/atomic.h
+// on threads where ntcs::analysis::sched_interposed() is true. Not part of
+// the scenario-facing API.
+
+void sched_mutex_lock(const void* m, const char* name);
+bool sched_mutex_trylock(const void* m, const char* name);
+void sched_mutex_unlock(const void* m);
+void sched_cv_enqueue(const void* cv);
+/// Parks the caller as a CondVar waiter. The caller must have already
+/// modeled the mutex release (sched_mutex_unlock) and physically unlocked;
+/// on return the caller re-acquires via sched_mutex_lock + physical lock.
+/// `rel_ns < 0` means wait forever; returns true when the modeled wait
+/// ended by timeout.
+bool sched_cv_wait_parked(const void* cv, std::int64_t rel_ns);
+void sched_cv_notify(const void* cv, bool all);
+void sched_atomic_access(const void* loc, bool write, bool acquire,
+                         bool release);
+
+}  // namespace ntcs::analysis::sched

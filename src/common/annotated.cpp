@@ -22,6 +22,8 @@
 namespace ntcs::analysis {
 
 namespace {
+// sync: monotonic count, relaxed; the validator's report path is the
+// synchronization-free diagnostic of last resort by design.
 std::atomic<std::uint64_t> g_inversions{0};
 }  // namespace
 
@@ -89,9 +91,17 @@ void note_acquire(const void* m, std::uint16_t rank, const char* name) {
       if (s.held[i].rank != lockrank::kUnranked && s.held[i].rank >= rank) {
         g_inversions.fetch_add(1, std::memory_order_relaxed);
         s.in_validator = true;
-        static metrics::Counter* c = &metrics::counter("analysis.lock_inversions");
-        c->inc();
-        report_once(s.held[i].name, s.held[i].rank, name, rank);
+        {
+          // The reporting path takes the registry/report locks; under an
+          // exploration run those must not become schedule points (they
+          // only occur on failing schedules, so they would make decision
+          // indices — and replay tokens — schedule-dependent).
+          SchedSuppress suppress;
+          static metrics::Counter* c =
+              &metrics::counter("analysis.lock_inversions");
+          c->inc();
+          report_once(s.held[i].name, s.held[i].rank, name, rank);
+        }
         s.in_validator = false;
         break;
       }

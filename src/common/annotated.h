@@ -180,6 +180,56 @@ void note_release(const void* m);
 inline void note_acquire(const void*, std::uint16_t, const char*) {}
 inline void note_release(const void*) {}
 #endif
+
+// ---- schedule-explorer interposition seam ---------------------------------
+// When a thread is registered as a task of an active exploration run
+// (src/analysis/sched.h), every Mutex/CondVar/Atomic operation first calls
+// the matching sched_* hook so the cooperative scheduler can serialize it.
+// `task` is set by the explorer on its task threads only; `suppress` lets
+// validator-internal code (inversion reporting, metrics first-touch) take
+// locks without creating schedule points, keeping decision indices
+// deterministic across runs. On every other thread — all of production
+// and tier-1 — sched_interposed() is one thread_local flag test.
+struct SchedTls {
+  bool task = false;
+  int suppress = 0;
+};
+// Accessor instead of an extern thread_local object: GCC's UBSan
+// false-positives ("member access within null pointer") on the cross-TU
+// TLS wrapper of an extern thread_local class object; a function-local
+// thread_local is constant-initialized, wrapper-free, and identical cost.
+inline SchedTls& sched_tls() {
+  static thread_local SchedTls t;
+  return t;
+}
+
+inline bool sched_interposed() {
+  const SchedTls& t = sched_tls();
+  return t.task && t.suppress == 0;
+}
+
+/// RAII suppression for validator/infrastructure code paths that must not
+/// become schedule points.
+class SchedSuppress {
+ public:
+  SchedSuppress() { ++sched_tls().suppress; }
+  ~SchedSuppress() { --sched_tls().suppress; }
+  SchedSuppress(const SchedSuppress&) = delete;
+  SchedSuppress& operator=(const SchedSuppress&) = delete;
+};
+
+namespace sched {
+// Defined in src/analysis/sched.cpp (ntcs_analysis, mutually linked with
+// ntcs_common). Declarations duplicated in analysis/sched.h.
+void sched_mutex_lock(const void* m, const char* name);
+bool sched_mutex_trylock(const void* m, const char* name);
+void sched_mutex_unlock(const void* m);
+void sched_cv_enqueue(const void* cv);
+bool sched_cv_wait_parked(const void* cv, std::int64_t rel_ns);
+void sched_cv_notify(const void* cv, bool all);
+void sched_atomic_access(const void* loc, bool write, bool acquire,
+                         bool release);
+}  // namespace sched
 }  // namespace analysis
 
 // ---- the annotated mutex --------------------------------------------------
@@ -196,15 +246,32 @@ class CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+  // Hook ordering is the explorer's core invariant (model-free =>
+  // physically-free): a lock is model-granted *before* the physical
+  // acquisition, and the physical release happens *before* the model one
+  // — so a granted mu_.lock() can never block on a stale physical holder.
   void lock() ACQUIRE() {
+    if (analysis::sched_interposed()) {
+      analysis::sched::sched_mutex_lock(this, name_);
+    }
     mu_.lock();
     analysis::note_acquire(this, rank_, name_);
   }
   void unlock() RELEASE() {
     analysis::note_release(this);
     mu_.unlock();
+    if (analysis::sched_interposed()) {
+      analysis::sched::sched_mutex_unlock(this);
+    }
   }
   bool try_lock() TRY_ACQUIRE(true) {
+    if (analysis::sched_interposed()) {
+      // The model decides; when it grants, the mutex is physically free.
+      if (!analysis::sched::sched_mutex_trylock(this, name_)) return false;
+      mu_.lock();
+      analysis::note_acquire(this, rank_, name_);
+      return true;
+    }
     if (!mu_.try_lock()) return false;
     analysis::note_acquire(this, rank_, name_);
     return true;
@@ -273,33 +340,77 @@ class SCOPED_CAPABILITY UniqueLock {
 /// overloads mirror the std ones used in this codebase. (The thread-safety
 /// analysis treats the lock as held across a wait — true at entry and
 /// exit, which is what GUARDED_BY cares about.)
+/// Under an exploration run the underlying condition_variable_any is not
+/// used at all: a wait enqueues the task in the scheduler's FIFO waiter
+/// model, releases the lock through the interposed Mutex path, parks
+/// until a modeled notify (or modeled timeout — timeouts fire only when
+/// nothing else can run), and relocks. notify_one wakes the FIFO front;
+/// std's "any waiter" latitude collapses to that one deterministic
+/// choice. (The notify methods are schedule points, hence not noexcept.)
 class CondVar {
  public:
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() {
+    if (analysis::sched_interposed()) {
+      analysis::sched::sched_cv_notify(this, /*all=*/false);
+      return;
+    }
+    cv_.notify_one();
+  }
+  void notify_all() {
+    if (analysis::sched_interposed()) {
+      analysis::sched::sched_cv_notify(this, /*all=*/true);
+      return;
+    }
+    cv_.notify_all();
+  }
 
-  void wait(UniqueLock& lk) { cv_.wait(lk); }
+  void wait(UniqueLock& lk) {
+    if (analysis::sched_interposed()) {
+      sched_wait(lk, -1);
+      return;
+    }
+    cv_.wait(lk);
+  }
 
   template <typename Pred>
   void wait(UniqueLock& lk, Pred pred) {
+    if (analysis::sched_interposed()) {
+      while (!pred()) sched_wait(lk, -1);
+      return;
+    }
     cv_.wait(lk, std::move(pred));
   }
 
   template <typename Rep, typename Period>
   std::cv_status wait_for(UniqueLock& lk,
                           const std::chrono::duration<Rep, Period>& d) {
+    if (analysis::sched_interposed()) {
+      return sched_wait(lk, rel_ns(d)) ? std::cv_status::timeout
+                                       : std::cv_status::no_timeout;
+    }
     return cv_.wait_for(lk, d);
   }
 
   template <typename Rep, typename Period, typename Pred>
   bool wait_for(UniqueLock& lk, const std::chrono::duration<Rep, Period>& d,
                 Pred pred) {
+    if (analysis::sched_interposed()) {
+      while (!pred()) {
+        if (sched_wait(lk, rel_ns(d))) return pred();
+      }
+      return true;
+    }
     return cv_.wait_for(lk, d, std::move(pred));
   }
 
   template <typename Clock, typename Duration>
   std::cv_status wait_until(
       UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    if (analysis::sched_interposed()) {
+      return sched_wait(lk, rel_ns(tp - Clock::now()))
+                 ? std::cv_status::timeout
+                 : std::cv_status::no_timeout;
+    }
     return cv_.wait_until(lk, tp);
   }
 
@@ -307,10 +418,33 @@ class CondVar {
   bool wait_until(UniqueLock& lk,
                   const std::chrono::time_point<Clock, Duration>& tp,
                   Pred pred) {
+    if (analysis::sched_interposed()) {
+      while (!pred()) {
+        if (sched_wait(lk, rel_ns(tp - Clock::now()))) return pred();
+      }
+      return true;
+    }
     return cv_.wait_until(lk, tp, std::move(pred));
   }
 
  private:
+  template <typename Rep, typename Period>
+  static std::int64_t rel_ns(const std::chrono::duration<Rep, Period>& d) {
+    auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+    return ns < 0 ? 0 : ns;
+  }
+
+  /// The modeled wait; returns true when it ended by (modeled) timeout.
+  /// rel_ns < 0 waits forever.
+  bool sched_wait(UniqueLock& lk, std::int64_t rel_ns) {
+    analysis::sched::sched_cv_enqueue(this);  // atomic with the release:
+    lk.unlock();  // no schedule point runs between enqueue and unlock
+    const bool timed_out = analysis::sched::sched_cv_wait_parked(this, rel_ns);
+    lk.lock();
+    return timed_out;
+  }
+
   std::condition_variable_any cv_;
 };
 

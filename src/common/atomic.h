@@ -1,0 +1,93 @@
+// atomic.h — ntcs::Atomic<T>, the interposable std::atomic wrapper.
+//
+// The schedule explorer (src/analysis/sched.h) can only reorder what it
+// can see. ntcs::Mutex/CondVar cover the locked state; the codebase's
+// lock-free hot paths — the trace sampling gate, the send-window
+// busy_until timestamp, shed/stall counters — go through raw atomics the
+// explorer would race right past. Atomic<T> forwards every access to
+// std::atomic<T> and, on threads registered with an active exploration
+// run, also reports it as a schedule point with its memory-order edge
+// (release accumulates the writer's vector clock at the location; acquire
+// joins it into the reader; relaxed creates no edge, which is exactly
+// what lets the race detector tell a published value from a lucky one).
+//
+// Off the explorer (every production thread, and all of tier-1), the
+// added cost is one thread_local flag test per access. Atomics that stay
+// std::atomic on purpose (seqlock slots, signal-adjacent state, anything
+// inside the trace/metrics internals the explorer must not park in) carry
+// a `// sync:` comment instead — the lint.sh gate enforces one or the
+// other for every atomic member in src/.
+#pragma once
+
+#include <atomic>
+
+#include "common/annotated.h"
+
+namespace ntcs {
+
+template <typename T>
+class Atomic {
+ public:
+  Atomic() noexcept = default;
+  constexpr Atomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    hook(false, mo);
+    return v_.load(mo);
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    hook(true, mo);
+    v_.store(v, mo);
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    hook(true, mo);
+    return v_.exchange(v, mo);
+  }
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    hook(true, mo);
+    return v_.fetch_add(d, mo);
+  }
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    hook(true, mo);
+    return v_.fetch_sub(d, mo);
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    hook(true, mo);
+    return v_.compare_exchange_strong(expected, desired, mo);
+  }
+  // Weak CAS maps to strong: a spurious failure is scheduling noise the
+  // deterministic explorer must not depend on, and on the platforms this
+  // builds for the strong form costs the same.
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    hook(true, mo);
+    return v_.compare_exchange_strong(expected, desired, mo);
+  }
+
+ private:
+  static bool mo_acquire(std::memory_order mo) {
+    return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+  }
+  static bool mo_release(std::memory_order mo) {
+    return mo == std::memory_order_release ||
+           mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+  }
+  void hook(bool write, std::memory_order mo) const {
+    if (analysis::sched_interposed()) {
+      analysis::sched::sched_atomic_access(&v_, write, mo_acquire(mo),
+                                           mo_release(mo));
+    }
+  }
+
+  // sync: the wrapped cell itself; every access goes through the hooked
+  // methods above.
+  mutable std::atomic<T> v_;
+};
+
+}  // namespace ntcs

@@ -47,6 +47,9 @@ class Counter {
   std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
+  // sync: relaxed monotonic counter; snapshot readers accept skew. Kept
+  // raw (not ntcs::Atomic): counters fire inside every layer and would
+  // turn each inc() into an explored schedule point.
   std::atomic<std::uint64_t> v_{0};
 };
 
@@ -80,6 +83,7 @@ class Histogram {
   double percentile(double p) const;
 
  private:
+  // sync: relaxed telemetry accumulators, same contract as Counter::v_.
   std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};

@@ -10,11 +10,13 @@
 namespace ntcs::trace {
 
 namespace detail {
-std::atomic<std::uint32_t> g_mode{static_cast<std::uint32_t>(SampleMode::off)};
+ntcs::Atomic<std::uint32_t> g_mode{static_cast<std::uint32_t>(SampleMode::off)};
 }  // namespace detail
 
 namespace {
 
+// sync: sampling divisor, relaxed — paired with g_mode; a briefly stale N
+// only shifts which spans get sampled.
 std::atomic<std::uint32_t> g_sample_n{1};
 
 thread_local TraceContext t_current;
@@ -65,6 +67,8 @@ std::uint64_t next_id() {
   // Per-thread deterministic stream: no global state, reproducible stream
   // *structure* for a given thread-creation order (rng.h's contract).
   thread_local Rng rng = [] {
+    // sync: thread-ordinal allocator, relaxed fetch_add is the whole
+    // contract.
     static std::atomic<std::uint64_t> ordinal{0};
     return Rng(seed_from("trace.ids",
                          ordinal.fetch_add(1, std::memory_order_relaxed)));
@@ -137,9 +141,13 @@ std::string read_bounded(const char* src, std::size_t cap) {
 // words, so a reader racing a wrap-around writer sees no data race (it
 // detects the recycled stamp and skips the slot instead).
 struct SpanBuffer::Slot {
+  // Deliberately NOT ntcs::Atomic: the explorer must never park inside
+  // the trace fast path, and the seqlock protocol is validated by its own
+  // torn-read retry, not by happens-before edges.
+  // sync: seqlock — stamp acq/rel brackets the relaxed word payload.
   std::atomic<std::uint64_t> stamp{0};  // 0 empty, kBusyStamp mid-write,
                                         // else writer's ticket + 1
-  std::atomic<std::uint64_t> words[kSlotWords]{};
+  std::atomic<std::uint64_t> words[kSlotWords]{};  // sync: seqlock payload
 };
 
 SpanBuffer::SpanBuffer(std::size_t capacity)
@@ -204,6 +212,8 @@ std::vector<Span> SpanBuffer::snapshot() const {
     for (std::size_t i = 0; i < kSlotWords; ++i) {
       words[i] = slot.words[i].load(std::memory_order_relaxed);
     }
+    // sync: seqlock read fence — orders the word loads before the stamp
+    // re-check.
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.stamp.load(std::memory_order_relaxed) != s1) continue;  // torn
     RawSpan raw;

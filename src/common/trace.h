@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/annotated.h"
+#include "common/atomic.h"
 
 namespace ntcs::trace {
 
@@ -62,7 +63,10 @@ enum class SampleMode : std::uint32_t {
 
 namespace detail {
 // 0 = off so the hot-path check compiles to one relaxed load + branch.
-extern std::atomic<std::uint32_t> g_mode;
+// ntcs::Atomic so the schedule explorer sees this gate as a schedule
+// point: a scenario toggling sampling concurrently with traced sends is
+// explorable, not invisible.
+extern ntcs::Atomic<std::uint32_t> g_mode;
 }  // namespace detail
 
 void set_sampling(SampleMode mode, std::uint32_t n = 1);
@@ -170,8 +174,12 @@ class SpanBuffer {
 
   std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
-  std::atomic<std::uint64_t> next_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  // sync: next_ is the seqlock ticket allocator (relaxed fetch_add to
+  // claim, acquire load in snapshot to bound the scan); dropped_ is a
+  // relaxed stat. Raw on purpose — the explorer must not park in the
+  // span fast path.
+  std::atomic<std::uint64_t> next_{0};     // sync: ticket allocator
+  std::atomic<std::uint64_t> dropped_{0};  // sync: relaxed stat
   // Serialises drains only — record() never touches it (leaf rank; see
   // annotated.h).
   mutable ntcs::Mutex mu_{ntcs::lockrank::kTraceBuffer, "trace.buffer"};

@@ -44,6 +44,7 @@ class Identity {
   // TAdds need only *local* uniqueness (§3.4); a process-wide counter keeps
   // distinct in-process modules distinguishable in logs as well.
   static std::uint64_t next_tadd() {
+    // sync: process-wide allocator; fetch_add is the whole contract.
     static std::atomic<std::uint64_t> counter{1};
     return counter.fetch_add(1);
   }
@@ -51,6 +52,8 @@ class Identity {
   std::string name_;
   convert::Arch arch_;
   NetName net_;
+  // sync: written once at checkin (0 before), read lock-free on every
+  // send; readers treat 0 as "not checked in yet".
   std::atomic<std::uint64_t> uadd_raw_;
   // Leaf below the layer locks: phys() is read during sends with no other
   // lock held; set_phys comes from bind(), also lock-free above.

@@ -158,6 +158,8 @@ class IpLayer {
   /// spent with plain atomics on the pump fast path — no lock is ever
   /// taken for a metering decision.
   struct RelayMeter {
+    // sync: relaxed token-bucket words; the pump is the only spender and
+    // a racing refill can at worst round a debit in the peer's favor.
     std::atomic<std::int64_t> tokens{0};
     std::atomic<std::int64_t> last_refill_ns{0};  // 0 = not yet primed
   };
@@ -244,6 +246,8 @@ class IpLayer {
       hop_blacklist_ GUARDED_BY(mu_);
   GatewayHook* gateway_ GUARDED_BY(mu_) = nullptr;
   std::uint64_t next_ivc_ GUARDED_BY(mu_) = 1;
+  // sync: config word read on the relay fast path without mu_; a stale
+  // rate meters one frame under the old policy.
   std::atomic<std::uint64_t> relay_fair_rate_{0};
   Stats stats_ GUARDED_BY(mu_);
 };

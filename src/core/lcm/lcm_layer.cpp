@@ -97,10 +97,14 @@ struct PendingRequest {
   ntcs::Mutex mu{ntcs::lockrank::kLcmRequest, "lcm.request"};
   ntcs::CondVar cv;
   std::optional<ntcs::Result<Reply>> result GUARDED_BY(mu);
+  // sync: routing breadcrumbs stamped by the send path and read by the
+  // teardown sweep without the ticket lock; 0 means "not routed that way".
   std::atomic<std::uint64_t> via_lvc{0};
   std::atomic<std::uint64_t> via_ivc{0};
 
   std::shared_ptr<LcmSendWindow> window;
+  // sync: exchange() gives exactly-once release of the window slot when
+  // await/teardown race.
   std::atomic<bool> window_held{false};
 };
 

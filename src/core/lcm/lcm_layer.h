@@ -316,15 +316,17 @@ class LcmLayer {
   /// is keyed the same way).
   std::unordered_map<UAdd, std::shared_ptr<LcmSendWindow>> windows_
       GUARDED_BY(mu_);
+  // sync: relaxed stat counter (bumped under window locks where taking
+  // lcm.state would invert the rank order).
   std::atomic<std::uint64_t> window_stalls_{0};
-  // Overload-control counters: bumped on the pump thread and under window
-  // locks, where taking lcm.state would invert the lock order — atomics,
-  // like window_stalls_.
+  // sync: overload-control counters, relaxed — bumped on the pump thread
+  // and under window locks, where taking lcm.state would invert the lock
+  // order; same contract as window_stalls_.
   std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> busy_frames_{0};
-  std::atomic<std::uint64_t> busy_pauses_{0};
-  std::atomic<std::uint64_t> admission_rejects_{0};
-  std::atomic<std::uint64_t> waiter_sweeps_{0};
+  std::atomic<std::uint64_t> busy_frames_{0};       // sync: as above
+  std::atomic<std::uint64_t> busy_pauses_{0};       // sync: as above
+  std::atomic<std::uint64_t> admission_rejects_{0};  // sync: as above
+  std::atomic<std::uint64_t> waiter_sweeps_{0};      // sync: as above
   /// Name-Server candidates per well-known NS UAdd (the classic server
   /// plus one entry per shard): primary first, then standby/replicas. The
   /// address-fault path rotates through them instead of consulting the
@@ -339,6 +341,8 @@ class LcmLayer {
   TimeSource time_source_;
   MonitorHook monitor_hook_;
   ErrorHook error_hook_;
+  // sync: request-ID allocator, relaxed fetch_add; IDs only need process
+  // uniqueness within the pending_ window.
   std::atomic<std::uint32_t> next_req_id_{1};
   // bound: LcmConfig::max_inbound_queue, with control_reserve slots kept
   // for internal-class deliveries (overload control).

@@ -77,6 +77,8 @@ class ErrorLogClient {
 
  private:
   core::Node& node_;
+  // sync: resolved-once cache + stat counter, relaxed; readers tolerate a
+  // stale 0 (they re-resolve) and the count is monotonic telemetry.
   std::atomic<std::uint64_t> log_uadd_raw_{0};
   std::atomic<std::uint64_t> reported_{0};
 };

@@ -116,9 +116,11 @@ class MonitorClient {
   void emit(const core::MonitorSample& s);
 
   core::Node& node_;
+  // sync: resolved-once cache + stat counters, relaxed; a stale read only
+  // re-resolves or under/over-counts telemetry by one sample.
   std::atomic<std::uint64_t> monitor_uadd_raw_{0};
   std::atomic<std::uint64_t> emitted_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> dropped_{0};  // sync: relaxed stat, as above
 };
 
 /// Query a (possibly remote) monitor for its aggregate statistics.

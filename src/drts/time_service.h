@@ -44,6 +44,7 @@ class TimeServer {
 
   std::unique_ptr<core::Node> node_;
   std::jthread server_;
+  // sync: stat counter, relaxed — read by tests after join.
   std::atomic<std::uint64_t> served_{0};
   bool running_ = false;
 };
@@ -74,11 +75,15 @@ class TimeClient {
   std::int64_t local_now_ns() const;
 
   core::Node& node_;
+  // Published by the time-exchange round and read by now_ns() callers; a
+  // torn generation is impossible (single word) and a stale offset is
+  // exactly as good as the previous round's.
+  // sync: single-word publish, relaxed on both sides.
   std::atomic<std::int64_t> offset_ns_{0};
-  std::atomic<bool> synced_{false};
-  std::atomic<bool> syncing_{false};
-  std::atomic<std::uint64_t> syncs_{0};
-  std::atomic<std::uint64_t> server_uadd_raw_{0};
+  std::atomic<bool> synced_{false};        // sync: see block comment above
+  std::atomic<bool> syncing_{false};       // sync: CAS admission gate
+  std::atomic<std::uint64_t> syncs_{0};    // sync: relaxed stat
+  std::atomic<std::uint64_t> server_uadd_raw_{0};  // sync: resolve cache
 };
 
 }  // namespace ntcs::drts

@@ -1,0 +1,57 @@
+#include "realnet/frame_decode.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace ntcs::realnet {
+
+bool parse_frame_len(const std::uint8_t* prefix, std::uint32_t& len) {
+  len = (std::uint32_t{prefix[0]} << 24) | (std::uint32_t{prefix[1]} << 16) |
+        (std::uint32_t{prefix[2]} << 8) | std::uint32_t{prefix[3]};
+  return len != 0 && len <= kMaxWireFrame;
+}
+
+bool StreamDecoder::feed(const std::uint8_t* data, std::size_t n,
+                         const Sink& sink) {
+  if (corrupt_) return false;
+  while (n > 0) {
+    if (want_ == 0) {  // accumulating the length prefix
+      const std::size_t take = std::min(n, kLenPrefix - prefix_got_);
+      std::memcpy(prefix_ + prefix_got_, data, take);
+      prefix_got_ += take;
+      data += take;
+      n -= take;
+      if (prefix_got_ < kLenPrefix) break;
+      prefix_got_ = 0;
+      std::uint32_t len = 0;
+      if (!parse_frame_len(prefix_, len)) {
+        corrupt_ = true;
+        return false;
+      }
+      want_ = len;
+      payload_.clear();
+      payload_.resize(want_);
+      payload_got_ = 0;
+    } else {  // accumulating the payload
+      const std::size_t take = std::min<std::size_t>(n, want_ - payload_got_);
+      std::memcpy(payload_.data() + payload_got_, data, take);
+      payload_got_ += take;
+      data += take;
+      n -= take;
+      if (payload_got_ == want_) {
+        want_ = 0;
+        payload_got_ = 0;
+        sink(std::move(payload_));
+        payload_ = ntcs::Bytes{};
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t StreamDecoder::pending() const {
+  return want_ == 0 ? prefix_got_ : kLenPrefix + payload_got_;
+}
+
+}  // namespace ntcs::realnet

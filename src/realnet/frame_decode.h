@@ -1,0 +1,54 @@
+// frame_decode.h — the realnet TCP stream framing, factored out of the
+// socket reader so the exact production byte-path is directly fuzzable
+// (fuzz/fuzz_tcp_frames.cpp feeds it adversarial chunk sequences).
+//
+// Wire format: each frame is a 4-byte big-endian length prefix followed
+// by that many payload bytes. A length of 0 or beyond kMaxWireFrame is
+// not a big message — it is stream corruption or a non-NTCS peer, and
+// the channel dies (the decoder latches `corrupt` and ignores further
+// input).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.h"
+
+namespace ntcs::realnet {
+
+// Matches simnet's TCP IPCS so ND fragment trains are identical on both
+// backends (the conformance suite counts on it).
+inline constexpr std::size_t kTcpMtu = 16 * 1024;
+inline constexpr std::size_t kMaxWireFrame = kTcpMtu;
+inline constexpr std::size_t kLenPrefix = 4;
+
+/// Decodes a big-endian length prefix. Returns false when the decoded
+/// length is invalid for the wire (0 or > kMaxWireFrame).
+bool parse_frame_len(const std::uint8_t* prefix, std::uint32_t& len);
+
+/// Incremental reassembler for the length-prefixed stream. Feed it byte
+/// chunks of any size (TCP gives no framing guarantees); it invokes the
+/// sink once per completed frame, in order.
+class StreamDecoder {
+ public:
+  using Sink = std::function<void(ntcs::Bytes)>;
+
+  /// Consumes `n` bytes. Returns false once the stream is corrupt (bad
+  /// length prefix); the decoder stays latched and drops further input.
+  bool feed(const std::uint8_t* data, std::size_t n, const Sink& sink);
+
+  bool corrupt() const { return corrupt_; }
+  /// Bytes buffered toward the current (incomplete) prefix or payload.
+  std::size_t pending() const;
+
+ private:
+  std::uint8_t prefix_[kLenPrefix] = {0, 0, 0, 0};
+  std::size_t prefix_got_ = 0;
+  ntcs::Bytes payload_;
+  std::size_t payload_got_ = 0;
+  std::uint32_t want_ = 0;  // 0: reading prefix; else payload length
+  bool corrupt_ = false;
+};
+
+}  // namespace ntcs::realnet

@@ -14,18 +14,14 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "realnet/frame_decode.h"
 
 namespace ntcs::realnet {
 
 namespace {
-
-// Matches simnet's TCP IPCS so ND fragment trains are identical on both
-// backends (the conformance suite counts on it).
-constexpr std::size_t kTcpMtu = 16 * 1024;
-// An incoming length prefix beyond the MTU is not a big message — it is
-// stream corruption or a non-NTCS peer; the channel dies.
-constexpr std::size_t kMaxWireFrame = kTcpMtu;
-constexpr std::size_t kLenPrefix = 4;
+// Framing constants (kTcpMtu / kMaxWireFrame / kLenPrefix) live in
+// frame_decode.h with the decoder, so the fuzz harness exercises the
+// exact limits the reader enforces.
 
 int set_cloexec(int fd) {
   // Children of the multi-process tests exec helper binaries; no NTCS
@@ -36,21 +32,6 @@ int set_cloexec(int fd) {
 
 ntcs::Error errno_error(ntcs::Errc code, const std::string& what) {
   return ntcs::Error(code, what + ": " + std::strerror(errno));
-}
-
-/// Read exactly `n` bytes; false on EOF/error/shutdown.
-bool read_full(int fd, std::uint8_t* buf, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, buf + got, n - got);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r < 0 && errno == EINTR) continue;
-    return false;  // EOF (0) or hard error
-  }
-  return true;
 }
 
 bool make_sockaddr(const std::string& host, std::uint16_t port,
@@ -259,21 +240,25 @@ core::IpcsChannelId TcpPort::adopt_fd(int fd, const std::string& peer_phys,
 }
 
 void TcpPort::reader_main(core::IpcsChannelId chan, int fd) {
-  for (;;) {
-    std::uint8_t lenbuf[kLenPrefix];
-    if (!read_full(fd, lenbuf, kLenPrefix)) break;
-    const std::uint32_t len = (std::uint32_t{lenbuf[0]} << 24) |
-                              (std::uint32_t{lenbuf[1]} << 16) |
-                              (std::uint32_t{lenbuf[2]} << 8) |
-                              std::uint32_t{lenbuf[3]};
-    if (len == 0 || len > kMaxWireFrame) break;  // corrupt stream
-    ntcs::Bytes payload(len);
-    if (!read_full(fd, payload.data(), len)) break;
+  // The framing lives in StreamDecoder (frame_decode.h) — the reader just
+  // pumps whatever chunk sizes the kernel hands it into the decoder, so
+  // partial prefixes and split payloads take the same (fuzzed) path as
+  // well-aligned ones. The sink enqueues inline: its back-pressure block
+  // is exactly the old per-frame enqueue's.
+  StreamDecoder dec;
+  const StreamDecoder::Sink sink = [&](ntcs::Bytes payload) {
     core::IpcsDelivery d;
     d.kind = core::IpcsDeliveryKind::data;
     d.chan = chan;
     d.payload = std::move(payload);
     enqueue(std::move(d));
+  };
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;  // EOF (0) or hard error
+    if (!dec.feed(buf, static_cast<std::size_t>(r), sink)) break;  // corrupt
   }
   // The peer is gone (EOF, reset, or local shutdown()). Report upward,
   // then hand the channel to the reaper; the fd is closed there, after

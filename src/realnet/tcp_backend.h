@@ -166,8 +166,12 @@ class TcpPort final : public core::IpcsPort,
   int wake_rd_ = -1;  // self-pipe: close() wakes the listener's poll
   int wake_wr_ = -1;
   std::thread listener_;
-  std::atomic<bool> closing_{false};
-  std::atomic<bool> closed_{false};
+  // sync: close() latches closing_ before waking the poll so the listener
+  // and reader threads (kernel threads, outside the explorer's scope)
+  // observe shutdown without taking port_mu_ in a signal-adjacent path;
+  // closed_ makes close() idempotent.
+  std::atomic<bool> closing_{false};  // sync: see block comment above
+  std::atomic<bool> closed_{false};   // sync: close() idempotence latch
 
   // realnet.port: channel table; taken by connect/close/the listener/
   // reader exits, ordered before realnet.tx (send: table lookup then
