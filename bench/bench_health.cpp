@@ -1,0 +1,326 @@
+// bench_health.cpp — the observability plane's own price tag (EXPERIMENTS
+// A8), plus the two end-to-end acceptance probes for the health plane.
+//
+// Three scenarios, one artifact (BENCH_health.json):
+//
+//  1. overhead — the pipelined depth-32 data path (the BM_PipelinedRequests
+//     anchor point) timed with the health plane passive vs active
+//     (background watchdog classifying every layer each period). Both legs
+//     pay the always-on inline costs — relaxed gauge arithmetic and
+//     journal writes, a handful of relaxed atomics per event (the flight
+//     recorder is wait-free for writers) — so the A/B isolates the
+//     *toggleable* residue: watchdog sampling, whose per-tick metrics
+//     snapshot takes the registry mutex that every uncached lookup would
+//     also want. Repetitions are interleaved A/B/A/B and compared by
+//     median so clock drift and cache warmth cancel. No artificial
+//     load threads: on a single-CPU container any busy sibling thread
+//     charges raw scheduler preemption to the measurement, which says
+//     nothing about the plane. Pass: active is within 3% of passive.
+//
+//  2. scrape — a six-module, two-gateway, three-network fleet with a
+//     monitor per application machine; every monitor must answer
+//     query_health + query_metrics + query_journal through the NTCS with
+//     zero non-retriable errors and a per-layer report.
+//
+//  3. stall — a parked consumer: a heartbeat registered and then never
+//     beaten while the background watchdog runs. The remote harvest
+//     (query_health against a monitor on another machine) must report the
+//     layer stalled within one watchdog period of the stall window
+//     expiring (budget below allows one extra period for RPC + scheduling
+//     skew).
+//
+// Exit status: 0 iff all three pass flags hold.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/health.h"
+#include "common/metrics.h"
+#include "core/testbed.h"
+#include "drts/monitor.h"
+
+namespace ntcs::bench {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kDepth = 32;
+// Long enough per repetition (~100 ms of wall on simnet) that the watchdog
+// actually fires inside the measured window and scheduler noise amortizes;
+// with short windows the A/B difference is dominated by jitter.
+constexpr int kTotalPerRep = kDepth * 400;  // 12800 requests per repetition
+constexpr int kReps = 7;                    // per leg, interleaved
+
+/// One timed repetition of the sliding-window pipeline at depth 32 over
+/// the cached single-net rig. Returns seconds of wall, or < 0 on failure.
+double pipelined_wall(HopRig& rig, const core::Payload& p) {
+  std::deque<core::RequestTicket> inflight;
+  int issued = 0;
+  int done = 0;
+  const auto t0 = Clock::now();
+  while (done < kTotalPerRep) {
+    while (issued < kTotalPerRep &&
+           static_cast<int>(inflight.size()) < kDepth) {
+      auto t = rig.src->commod().request_async(rig.dst_addr, p, 30s);
+      if (!t.ok()) return -1.0;
+      inflight.push_back(t.value());
+      ++issued;
+    }
+    auto r = rig.src->commod().await(inflight.front());
+    inflight.pop_front();
+    if (!r.ok()) return -1.0;
+    ++done;
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct OverheadResult {
+  double passive_s = -1.0;
+  double active_s = -1.0;
+  double overhead_pct = 0.0;
+  bool pass = false;
+};
+
+OverheadResult run_overhead() {
+  OverheadResult res;
+  HopRig& rig = hop_rig(0);
+  core::Payload p;
+  p.image = Bytes(1024, 0x5A);
+
+  auto& reg = health::HealthRegistry::instance();
+  // Warm caches and the circuit before the first measured repetition.
+  if (pipelined_wall(rig, p) < 0) return res;
+  std::vector<double> passive;
+  std::vector<double> active;
+  for (int rep = 0; rep < kReps; ++rep) {
+    reg.stop_watchdog();
+    const double a = pipelined_wall(rig, p);
+    if (a < 0) return res;
+    passive.push_back(a);
+
+    // Active leg: watchdog sampling at the default 250 ms period — the
+    // background thread classifies every heartbeat/beacon/gauge pair and
+    // snapshots the metrics registry each tick.
+    reg.start_watchdog();
+    const double b = pipelined_wall(rig, p);
+    if (b < 0) return res;
+    active.push_back(b);
+  }
+  reg.stop_watchdog();
+
+  res.passive_s = median(passive);
+  res.active_s = median(active);
+  res.overhead_pct =
+      100.0 * (res.active_s - res.passive_s) / res.passive_s;
+  res.pass = res.overhead_pct <= 3.0;
+  return res;
+}
+
+/// The acceptance fleet: six modules across four machines, three networks
+/// bridged by two gateways, one monitor per application machine.
+struct FleetRig {
+  core::Testbed tb{2};
+  std::vector<std::unique_ptr<drts::MonitorServer>> monitors;
+  std::vector<std::unique_ptr<core::Node>> modules;
+
+  FleetRig() {
+    tb.net("fnet-0");
+    tb.net("fnet-1");
+    tb.net("fnet-2");
+    tb.machine("f-a", convert::Arch::vax780, {"fnet-0"});
+    tb.machine("f-b", convert::Arch::pdp11_70, {"fnet-0"});
+    tb.machine("f-gw0", convert::Arch::apollo_dn330, {"fnet-0", "fnet-1"});
+    tb.machine("f-gw1", convert::Arch::apollo_dn330, {"fnet-1", "fnet-2"});
+    tb.machine("f-c", convert::Arch::sun3, {"fnet-2"});
+    tb.machine("f-d", convert::Arch::microvax, {"fnet-2"});
+    if (!tb.start_name_server("f-a", "fnet-0").ok()) std::abort();
+    if (!tb.add_gateway("fgw-0", "f-gw0", {"fnet-0", "fnet-1"}).ok()) {
+      std::abort();
+    }
+    if (!tb.add_gateway("fgw-1", "f-gw1", {"fnet-1", "fnet-2"}).ok()) {
+      std::abort();
+    }
+    if (!tb.finalize().ok()) std::abort();
+    for (const char* name : {"mon.f-a", "mon.f-b", "mon.f-c", "mon.f-d"}) {
+      const std::string machine = std::string(name).substr(4);
+      const std::string net = (machine == "f-a" || machine == "f-b")
+                                  ? "fnet-0"
+                                  : "fnet-2";
+      monitors.push_back(std::make_unique<drts::MonitorServer>(
+          tb.node_config(name, machine, net)));
+      if (!monitors.back()->start().ok()) std::abort();
+    }
+    const struct {
+      const char* name;
+      const char* machine;
+      const char* net;
+    } kMods[] = {{"f.alpha", "f-a", "fnet-0"}, {"f.beta", "f-b", "fnet-0"},
+                 {"f.gamma", "f-c", "fnet-2"}, {"f.delta", "f-d", "fnet-2"},
+                 {"f.epsil", "f-a", "fnet-0"}, {"f.zeta", "f-c", "fnet-2"}};
+    for (const auto& m : kMods) {
+      modules.push_back(tb.spawn_module(m.name, m.machine, m.net).value());
+    }
+  }
+
+  ~FleetRig() {
+    for (auto& m : modules) m->stop();
+    for (auto& m : monitors) m->stop();
+  }
+};
+
+struct ScrapeResult {
+  int monitors = 0;
+  int errors = 0;
+  bool truncated = false;
+  bool pass = false;
+};
+
+ScrapeResult run_scrape(FleetRig& fleet) {
+  ScrapeResult res;
+  core::Node& via = *fleet.modules.front();
+  auto mons = via.nsp().lookup_attrs({{"role", "monitor"}});
+  if (!mons.ok() || mons.value().size() < fleet.monitors.size()) {
+    res.errors = 1;
+    return res;
+  }
+  for (core::UAdd mon : mons.value()) {
+    ++res.monitors;
+    bool trunc = false;
+    auto rep = drts::query_health(via, mon, &trunc);
+    res.truncated = res.truncated || trunc;
+    if (!rep.ok() || rep.value().layers.empty()) {
+      ++res.errors;
+      continue;
+    }
+    auto snap = drts::query_metrics(via, mon, &trunc);
+    res.truncated = res.truncated || trunc;
+    if (!snap.ok()) {
+      ++res.errors;
+      continue;
+    }
+    auto events = drts::query_journal(via, mon, drts::kMaxJournalHarvest,
+                                      &trunc);
+    res.truncated = res.truncated || trunc;
+    if (!events.ok()) ++res.errors;
+  }
+  res.pass = res.monitors >= 4 && res.errors == 0;
+  return res;
+}
+
+struct StallResult {
+  double detect_ms = -1.0;
+  double budget_ms = 0.0;
+  bool pass = false;
+};
+
+StallResult run_stall(FleetRig& fleet) {
+  StallResult res;
+  constexpr auto kStallAfter = 100ms;
+  const auto kPeriod = health::WatchdogConfig{}.period;
+  // One period for the watchdog to sample past the stall window, one more
+  // for harvest RPC + thread-scheduling skew.
+  res.budget_ms =
+      std::chrono::duration<double, std::milli>(kStallAfter + 2 * kPeriod)
+          .count();
+
+  core::Node& via = *fleet.modules.front();
+  auto mon = via.commod().locate("mon.f-c");
+  if (!mon.ok()) return res;
+
+  auto& reg = health::HealthRegistry::instance();
+  reg.start_watchdog();
+  // The parked consumer: registered, primed, never beaten again.
+  health::Heartbeat& parked =
+      health::heartbeat("bench.parked_consumer", kStallAfter);
+  const auto t0 = Clock::now();
+  while (std::chrono::duration<double, std::milli>(Clock::now() - t0)
+             .count() < 4.0 * res.budget_ms) {
+    auto rep = drts::query_health(via, mon.value());
+    if (rep.ok()) {
+      const health::LayerHealth* l =
+          rep.value().find("bench.parked_consumer");
+      if (l != nullptr && l->state == health::HealthState::stalled) {
+        res.detect_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        break;
+      }
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  parked.retire();
+  reg.stop_watchdog();
+  res.pass = res.detect_ms >= 0 && res.detect_ms <= res.budget_ms;
+  return res;
+}
+
+int run_all() {
+  std::printf("bench_health: overhead (pipelined depth-%d, %d reqs/rep, "
+              "%d reps/leg)\n",
+              kDepth, kTotalPerRep, kReps);
+  const OverheadResult overhead = run_overhead();
+  std::printf("  passive %.4fs  active %.4fs  overhead %+.2f%%  [%s]\n",
+              overhead.passive_s, overhead.active_s, overhead.overhead_pct,
+              overhead.pass ? "pass" : "FAIL");
+
+  std::printf("bench_health: fleet scrape (6 modules, 2 gateways)\n");
+  FleetRig fleet;
+  const ScrapeResult scrape = run_scrape(fleet);
+  std::printf("  %d monitors, %d errors%s  [%s]\n", scrape.monitors,
+              scrape.errors, scrape.truncated ? ", truncated" : "",
+              scrape.pass ? "pass" : "FAIL");
+
+  std::printf("bench_health: induced stall (parked consumer)\n");
+  const StallResult stall = run_stall(fleet);
+  std::printf("  detected in %.1fms (budget %.1fms)  [%s]\n",
+              stall.detect_ms, stall.budget_ms,
+              stall.pass ? "pass" : "FAIL");
+
+  std::FILE* f = std::fopen("BENCH_health.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"pipelined_depth\": %d,\n"
+        "  \"requests_per_rep\": %d,\n"
+        "  \"reps_per_leg\": %d,\n"
+        "  \"passive_wall_s\": %.6f,\n"
+        "  \"active_wall_s\": %.6f,\n"
+        "  \"overhead_pct\": %.3f,\n"
+        "  \"scrape_monitors\": %d,\n"
+        "  \"scrape_errors\": %d,\n"
+        "  \"scrape_truncated\": %s,\n"
+        "  \"stall_detect_ms\": %.1f,\n"
+        "  \"stall_budget_ms\": %.1f,\n"
+        "  \"pass_overhead\": %s,\n"
+        "  \"pass_scrape\": %s,\n"
+        "  \"pass_stall\": %s\n"
+        "}\n",
+        kDepth, kTotalPerRep, kReps, overhead.passive_s, overhead.active_s,
+        overhead.overhead_pct, scrape.monitors, scrape.errors,
+        scrape.truncated ? "true" : "false", stall.detect_ms,
+        stall.budget_ms, overhead.pass ? "true" : "false",
+        scrape.pass ? "true" : "false", stall.pass ? "true" : "false");
+    std::fclose(f);
+  }
+  dump_metrics_json("BENCH_health_metrics.json");
+
+  return (overhead.pass && scrape.pass && stall.pass) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ntcs::bench
+
+int main() { return ntcs::bench::run_all(); }

@@ -216,6 +216,15 @@ int main() {
   const bool pass_kill = nonretriable == 0 && promotions >= 1;
   const bool pass_moves = moves_ok == kMoves && moved_ok;
 
+  // Gauge-plane accounting: the lease-cache size gauge must show a live
+  // cache after the lookup storm — a 90% hit ratio with a zero-size gauge
+  // would mean the observability plane lost track of the very structure
+  // that produced the hits.
+  const std::int64_t lease_cache_size =
+      metrics::MetricsRegistry::instance().snapshot().gauge_value(
+          "nsp.lease_cache.size");
+  const bool pass_gauge = lease_cache_size > 0;
+
   std::FILE* f = std::fopen("BENCH_naming_scale.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "failed to open BENCH_naming_scale.json\n");
@@ -233,15 +242,17 @@ int main() {
       "\"nonretriable_errors\": %zu, \"promotions\": %llu},\n"
       "  \"reconfigure_storm\": {\"moves\": %zu, \"applied\": %zu, "
       "\"moves_per_sec\": %.0f, \"moved_name_resolves_new\": %s},\n"
+      "  \"lease_cache_size\": %lld,\n"
       "  \"pass\": {\"cache_hits_90pct\": %s, \"failover_clean\": %s, "
-      "\"moves_applied\": %s}\n"
+      "\"moves_applied\": %s, \"lease_gauge_live\": %s}\n"
       "}\n",
       kShards, kNames, loaded_primary, loaded_standby, load_ms,
       storm_us.size(), hit_ratio, storm_p50, storm_p99, kill_lookups,
       kill_p99, nonretriable, static_cast<unsigned long long>(promotions),
       kMoves, moves_ok, moves_per_sec, moved_ok ? "true" : "false",
+      static_cast<long long>(lease_cache_size),
       pass_hits ? "true" : "false", pass_kill ? "true" : "false",
-      pass_moves ? "true" : "false");
+      pass_moves ? "true" : "false", pass_gauge ? "true" : "false");
   std::fclose(f);
   if (!dump_metrics_json("BENCH_naming_metrics.json")) {
     std::fprintf(stderr, "failed to write BENCH_naming_metrics.json\n");
@@ -253,7 +264,7 @@ int main() {
       "(%.0f/s) pass=%s\n",
       loaded_primary, hit_ratio, storm_p99, kill_p99, nonretriable,
       static_cast<unsigned long long>(promotions), moves_ok, moves_per_sec,
-      (pass_hits && pass_kill && pass_moves) ? "yes" : "NO");
+      (pass_hits && pass_kill && pass_moves && pass_gauge) ? "yes" : "NO");
   client->stop();
-  return (pass_hits && pass_kill && pass_moves) ? 0 : 1;
+  return (pass_hits && pass_kill && pass_moves && pass_gauge) ? 0 : 1;
 }

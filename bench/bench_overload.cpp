@@ -299,6 +299,24 @@ int main() {
       storm.p99_admitted_us <= 2.0 * (paced.p99_admitted_us + pause_us);
   const bool pass_accounting = accounted_ratio >= 0.99;
 
+  // Gauge-plane accounting: the LCM inbound-queue gauge must have
+  // witnessed the storm reaching the shed cliff — sheds happen only once
+  // depth crosses bound - reserve, so shed > 0 implies a recorded peak at
+  // least that deep (the tight victim's cliff is 2 - 1 = 1) — and must
+  // balance back to zero after every rig is torn down: one unpaired
+  // increment/decrement across the storm's enqueue/shed/drain cycles
+  // would leave a residue in the live depth.
+  const ntcs::metrics::Snapshot gsnap =
+      ntcs::metrics::MetricsRegistry::instance().snapshot();
+  const std::int64_t q_depth = gsnap.gauge_value("lcm.app_queue.depth");
+  std::int64_t q_peak = 0;
+  if (auto it = gsnap.values.find("lcm.app_queue.depth");
+      it != gsnap.values.end()) {
+    q_peak = it->second.gauge_peak;
+  }
+  const bool pass_gauges =
+      storm.overloaded == 0 || (q_peak >= 1 && q_depth == 0);
+
   std::FILE* f = std::fopen("BENCH_overload.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "failed to open BENCH_overload.json\n");
@@ -323,8 +341,10 @@ int main() {
                "  },\n"
                "  \"gateway\": {\"offered\": %llu, \"fairness_drops\": %llu, "
                "\"control_plane_ok\": %s},\n"
+               "  \"queue_gauge\": {\"depth_after\": %lld, \"peak\": %lld},\n"
                "  \"pass\": {\"bounded_memory\": %s, \"bounded_p99\": %s, "
-               "\"accounting\": %s, \"gateway_fairness\": %s}\n"
+               "\"accounting\": %s, \"gauge_accounting\": %s, "
+               "\"gateway_fairness\": %s}\n"
                "}\n",
                base_lat.size(), base_p50, base_p99,
                static_cast<unsigned long long>(paced.offered),
@@ -340,8 +360,10 @@ int main() {
                static_cast<unsigned long long>(gw.offered),
                static_cast<unsigned long long>(gw.fairness_drops),
                gw.control_ok ? "true" : "false",
+               static_cast<long long>(q_depth), static_cast<long long>(q_peak),
                pass_memory ? "true" : "false", pass_p99 ? "true" : "false",
                pass_accounting ? "true" : "false",
+               pass_gauges ? "true" : "false",
                (gw.fairness_drops > 0 && gw.control_ok) ? "true" : "false");
   std::fclose(f);
   if (!dump_metrics_json("BENCH_overload_metrics.json")) {
@@ -358,5 +380,5 @@ int main() {
       static_cast<unsigned long long>(storm.timeouts), storm.p99_admitted_us,
       base_p99, storm.rss_growth_kb,
       static_cast<unsigned long long>(gw.fairness_drops));
-  return (pass_memory && pass_accounting) ? 0 : 1;
+  return (pass_memory && pass_accounting && pass_gauges) ? 0 : 1;
 }

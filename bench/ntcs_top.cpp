@@ -1,0 +1,297 @@
+// ntcs_top.cpp — fleet-wide live introspection over the NTCS itself.
+//
+// The observability plane's driver: brings up (or, one day, attaches to) a
+// fleet, discovers every monitor through the name service's
+// attribute-value query (role=monitor — naming used recursively to find
+// the observers), then harvests each monitor's health verdict, journal
+// tail and metrics snapshot over the NTCS (§6.1: the system monitors
+// itself through its own primitives). Renders a per-module health table, a
+// per-queue utilization table computed from the `<base>.depth` /
+// `<base>.bound` gauge convention, and — with --prom — the merged
+// Prometheus text exposition for an external scraper. Truncated harvests
+// are surfaced per module, never silently merged as complete.
+//
+// Modes:
+//   ntcs_top            six modules, two gateways, three networks (the
+//                       acceptance fleet), one monitor per machine row
+//   ntcs_top --smoke    two nodes, one monitor — the verify.sh smoke scrape
+//   ntcs_top --prom     also print the Prometheus exposition
+//
+// Exit status: 0 iff every discovered monitor answered health, journal and
+// metrics with zero non-retriable errors.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/health.h"
+#include "common/metrics.h"
+#include "core/testbed.h"
+#include "drts/monitor.h"
+
+namespace ntcs::top {
+namespace {
+
+using namespace std::chrono_literals;
+using convert::Arch;
+
+/// One scraped module: everything its monitor answered, with per-op
+/// truncation flags.
+struct ModuleView {
+  std::string name;
+  bool ok = false;
+  std::string error;
+  health::HealthReport health;
+  std::vector<health::JournalEvent> journal;
+  metrics::Snapshot snapshot;
+  bool health_truncated = false;
+  bool journal_truncated = false;
+  bool metrics_truncated = false;
+};
+
+/// Scrape one monitor (three harvest ops) through `via`.
+ModuleView scrape(core::Node& via, const std::string& name, core::UAdd mon) {
+  ModuleView m;
+  m.name = name;
+  auto rep = drts::query_health(via, mon, &m.health_truncated);
+  if (!rep.ok()) {
+    m.error = "query_health: " + std::string(rep.error().what());
+    return m;
+  }
+  m.health = std::move(rep.value());
+  auto events = drts::query_journal(via, mon, drts::kMaxJournalHarvest,
+                                    &m.journal_truncated);
+  if (!events.ok()) {
+    m.error = "query_journal: " + std::string(events.error().what());
+    return m;
+  }
+  m.journal = std::move(events.value());
+  auto snap = drts::query_metrics(via, mon, &m.metrics_truncated);
+  if (!snap.ok()) {
+    m.error = "query_metrics: " + std::string(snap.error().what());
+    return m;
+  }
+  m.snapshot = std::move(snap.value());
+  m.ok = true;
+  return m;
+}
+
+/// The fleet health table: one row per scraped module, worst layer named.
+void render_fleet(const std::vector<ModuleView>& fleet) {
+  std::printf("%-14s %-9s %-7s %-8s %s\n", "module", "health", "layers",
+              "journal", "worst evidence");
+  for (const ModuleView& m : fleet) {
+    if (!m.ok) {
+      std::printf("%-14s %-9s %-7s %-8s %s\n", m.name.c_str(), "ERROR", "-",
+                  "-", m.error.c_str());
+      continue;
+    }
+    const health::LayerHealth* worst = nullptr;
+    for (const auto& l : m.health.layers) {
+      if (l.state == health::HealthState::ok) continue;
+      if (worst == nullptr || l.state > worst->state) worst = &l;
+    }
+    std::string journal_col = std::to_string(m.journal.size());
+    if (m.journal_truncated) journal_col += "+";
+    std::string health_col(health::to_string(m.health.overall));
+    if (m.health_truncated || m.metrics_truncated) health_col += "*";
+    std::printf("%-14s %-9s %-7zu %-8s %s\n", m.name.c_str(),
+                health_col.c_str(), m.health.layers.size(),
+                journal_col.c_str(),
+                worst == nullptr
+                    ? "-"
+                    : (worst->name + ": " + worst->evidence).c_str());
+  }
+}
+
+/// Per-queue utilization from the gauge-pair convention, merged across the
+/// fleet (max utilization wins per base — the hottest instance is the one
+/// the operator needs to see).
+void render_utilization(const std::vector<ModuleView>& fleet) {
+  struct Row {
+    std::int64_t depth = 0;
+    std::int64_t bound = 0;
+    std::int64_t peak = 0;
+  };
+  std::map<std::string, Row> rows;
+  for (const ModuleView& m : fleet) {
+    if (!m.ok) continue;
+    for (const auto& [name, v] : m.snapshot.values) {
+      if (v.kind != metrics::MetricKind::gauge) continue;
+      constexpr std::string_view kDepth = ".depth";
+      if (name.size() <= kDepth.size() ||
+          name.compare(name.size() - kDepth.size(), kDepth.size(), kDepth) !=
+              0) {
+        continue;
+      }
+      const std::string base = name.substr(0, name.size() - kDepth.size());
+      const std::int64_t bound = m.snapshot.gauge_value(base + ".bound");
+      if (bound <= 0) continue;
+      Row& r = rows[base];
+      if (v.gauge > r.depth) {
+        r.depth = v.gauge;
+        r.bound = bound;
+      }
+      if (r.bound == 0) r.bound = bound;
+      if (v.gauge_peak > r.peak) r.peak = v.gauge_peak;
+    }
+  }
+  std::printf("\n%-26s %10s %10s %10s %6s\n", "queue", "depth", "peak",
+              "bound", "util");
+  for (const auto& [base, r] : rows) {
+    std::printf("%-26s %10lld %10lld %10lld %5.1f%%\n", base.c_str(),
+                static_cast<long long>(r.depth),
+                static_cast<long long>(r.peak),
+                static_cast<long long>(r.bound),
+                100.0 * static_cast<double>(r.depth) /
+                    static_cast<double>(r.bound));
+  }
+}
+
+int run(bool smoke, bool prom) {
+  core::Testbed tb(1);
+  std::vector<std::unique_ptr<drts::MonitorServer>> monitors;
+  std::vector<std::unique_ptr<core::Node>> modules;
+  std::vector<std::jthread> echoes;
+
+  auto add_monitor = [&](const std::string& name, const std::string& machine,
+                         const std::string& net) {
+    auto cfg = tb.node_config(name, machine, net);
+    monitors.push_back(std::make_unique<drts::MonitorServer>(cfg));
+    if (!monitors.back()->start().ok()) std::abort();
+  };
+
+  if (smoke) {
+    // The verify.sh smoke fleet: two nodes, one network, one monitor.
+    tb.net("lan");
+    tb.machine("m1", Arch::vax780, {"lan"});
+    tb.machine("m2", Arch::sun3, {"lan"});
+    if (!tb.start_name_server("m1", "lan").ok()) return 2;
+    if (!tb.finalize().ok()) return 2;
+    add_monitor("mon.m1", "m1", "lan");
+    modules.push_back(tb.spawn_module("a", "m1", "lan").value());
+    modules.push_back(tb.spawn_module("b", "m2", "lan").value());
+  } else {
+    // The acceptance fleet: three networks bridged by two gateways, six
+    // application modules spread across four machines, one monitor per
+    // application machine (each registered by name, role=monitor).
+    tb.net("net-0");
+    tb.net("net-1");
+    tb.net("net-2");
+    tb.machine("m-a", Arch::vax780, {"net-0"});
+    tb.machine("m-b", Arch::pdp11_70, {"net-0"});
+    tb.machine("m-gw0", Arch::apollo_dn330, {"net-0", "net-1"});
+    tb.machine("m-gw1", Arch::apollo_dn330, {"net-1", "net-2"});
+    tb.machine("m-c", Arch::sun3, {"net-2"});
+    tb.machine("m-d", Arch::microvax, {"net-2"});
+    if (!tb.start_name_server("m-a", "net-0").ok()) return 2;
+    if (!tb.add_gateway("gw-0", "m-gw0", {"net-0", "net-1"}).ok()) return 2;
+    if (!tb.add_gateway("gw-1", "m-gw1", {"net-1", "net-2"}).ok()) return 2;
+    if (!tb.finalize().ok()) return 2;
+    add_monitor("mon.m-a", "m-a", "net-0");
+    add_monitor("mon.m-b", "m-b", "net-0");
+    add_monitor("mon.m-c", "m-c", "net-2");
+    add_monitor("mon.m-d", "m-d", "net-2");
+    const struct {
+      const char* name;
+      const char* machine;
+      const char* net;
+    } kModules[] = {{"alpha", "m-a", "net-0"}, {"beta", "m-b", "net-0"},
+                    {"gamma", "m-c", "net-2"}, {"delta", "m-d", "net-2"},
+                    {"epsil", "m-a", "net-0"}, {"zeta", "m-c", "net-2"}};
+    for (const auto& spec : kModules) {
+      modules.push_back(
+          tb.spawn_module(spec.name, spec.machine, spec.net).value());
+    }
+    // Echo servers on the far side so cross-gateway traffic exists and the
+    // tables show live, non-zero structures.
+    for (std::size_t i = 2; i < 4; ++i) {
+      echoes.emplace_back([&modules, i](std::stop_token st) {
+        while (!st.stop_requested()) {
+          auto in = modules[i]->commod().receive(50ms);
+          if (in.ok() && in.value().is_request) {
+            (void)modules[i]->commod().reply(in.value().reply_ctx,
+                                             in.value().payload);
+          }
+        }
+      });
+    }
+    auto g = modules[0]->commod().locate("gamma");
+    auto d = modules[1]->commod().locate("delta");
+    if (g.ok() && d.ok()) {
+      for (int i = 0; i < 32; ++i) {
+        (void)modules[0]->commod().request(g.value(), to_bytes("ping"), 3s);
+        (void)modules[1]->commod().request(d.value(), to_bytes("ping"), 3s);
+      }
+    }
+  }
+
+  health::HealthRegistry::instance().start_watchdog();
+
+  // Discover the fleet's monitors through the naming service itself:
+  // attribute-value query for role=monitor, then resolve each UAdd back to
+  // its registered name for the table rows.
+  core::Node& via = *modules.front();
+  auto mons = via.nsp().lookup_attrs({{"role", "monitor"}});
+  if (!mons.ok() || mons.value().empty()) {
+    std::fprintf(stderr, "ntcs_top: monitor discovery failed: %s\n",
+                 mons.ok() ? "no monitors registered"
+                           : mons.error().what().c_str());
+    health::HealthRegistry::instance().stop_watchdog();
+    return 2;
+  }
+
+  std::vector<ModuleView> fleet;
+  for (core::UAdd mon : mons.value()) {
+    std::string name = "U#" + std::to_string(mon.raw());
+    if (auto info = via.nsp().resolve_info(mon); info.ok()) {
+      name = info.value().name;
+    }
+    fleet.push_back(scrape(via, name, mon));
+  }
+
+  render_fleet(fleet);
+  render_utilization(fleet);
+  if (prom) {
+    // Merged exposition: last writer wins per metric name, which for a
+    // single-process fleet is exact and for a real multi-process fleet is
+    // a per-module scrape away (one exposition per monitor).
+    metrics::Snapshot merged;
+    for (const ModuleView& m : fleet) {
+      if (!m.ok) continue;
+      for (const auto& [name, v] : m.snapshot.values) {
+        merged.values[name] = v;
+      }
+    }
+    std::printf("\n%s", merged.to_prometheus().c_str());
+  }
+
+  int failures = 0;
+  for (const ModuleView& m : fleet) {
+    if (!m.ok) ++failures;
+  }
+  std::printf("\nntcs_top: scraped %zu monitors, %d errors\n", fleet.size(),
+              failures);
+
+  health::HealthRegistry::instance().stop_watchdog();
+  for (auto& e : echoes) e.request_stop();
+  for (auto& m : modules) m->stop();
+  for (auto& m : monitors) m->stop();
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ntcs::top
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool prom = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--prom") == 0) prom = true;
+  }
+  return ntcs::top::run(smoke, prom);
+}

@@ -63,6 +63,39 @@ else
   echo "ok: span recording goes through the trace.h helpers"
 fi
 
+echo "== lint: metrics static-ref grep gate =="
+# The metrics cost model (metrics.h header comment) only holds when each
+# instrumentation site resolves its registry lookup once: the lookup takes
+# the kMetricsRegistry mutex and a map find, so a per-event
+# metrics::counter(...) / metrics::histogram(...) call silently turns a
+# relaxed add into a lock acquisition on a hot path. Every such call in
+# src/ must be a `static` local initializer (the cached-static-ref idiom)
+# — `static` on the call line or within the three lines above it — or
+# carry a `// cached:` comment marking a constructor-cached member
+# (name_server.cpp's per-shard counter). Gauges are exempt: gauge wiring
+# is setup-time by construction.
+violations=""
+while IFS=: read -r file line _; do
+  start=$((line > 3 ? line - 3 : 1))
+  if ! sed -n "${start},${line}p" "$file" | grep -q -e 'static' -e 'cached:'; then
+    violations="${violations}${file}:${line}"$'\n'
+  fi
+done < <(grep -rn \
+  -e 'metrics::counter(' \
+  -e 'metrics::histogram(' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/common/metrics\.h:' \
+  | grep -v '^src/common/metrics\.cpp:' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: per-event metrics registry lookups (cache the reference:"
+  echo "      'static metrics::Counter& c = metrics::counter(...);' or mark"
+  echo "      a constructor-cached member with '// cached:'):"
+  printf '%s' "$violations"
+  fail=1
+else
+  echo "ok: every metrics lookup in src/ is a cached static reference"
+fi
+
 echo "== lint: STD-IF isolation grep gate =="
 # The paper's portability claim, enforced: machine/network dependence is
 # confined to the ND-Layer's backends. Raw socket headers may appear only

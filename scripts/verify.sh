@@ -33,7 +33,14 @@
 # 11. Naming stage (ctest label `naming`): the sharded name service —
 #    backend-parameterized conformance, ring invariants, seeded churn and
 #    the failover chaos regression — normal build, then repeated TSan.
-# 12. Sched stage (ctest label `sched`): the deterministic schedule
+# 12. Health stage (ctest label `health`): the observability plane —
+#    gauges, the watchdog's stall/wedge/queue classifications, the
+#    flight-recorder ring, and the remote health/journal harvest — in the
+#    normal build, then repeated under TSan (the journal's lock-free
+#    writers vs. its drain readers reuse the span ring's seqlock
+#    discipline and must stay clean). Plus the ntcs_top smoke scrape: the
+#    fleet scraper against a live 2-node testbed must exit 0.
+# 13. Sched stage (ctest label `sched`): the deterministic schedule
 #    explorer — bounded exploration of the known-dangerous interleaving
 #    trios, the seeded historical-bug reproductions, the stored minimal
 #    replay fixtures, and the clean-fragment zero-race/zero-inversion
@@ -144,6 +151,22 @@ ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
 # buffer lifetime is checked while the storm is in flight.
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L overload
 ctest --test-dir "$ASAN_DIR" -j"$(nproc)" --output-on-failure -L overload
+
+# Health stage (label `health`): the observability plane. The gauge
+# arithmetic, the watchdog classifications (seeded stall, wedged window,
+# queue-near-bound, counter storm), the journal ring's overwrite-oldest
+# seqlock, the chaos-run zero-false-positive anchor and the remote
+# health/journal harvest — normal build, then repeated under TSan (the
+# journal writers are lock-free against the drain reader by design).
+# Finally the ntcs_top smoke scrape: the operator tool must bring up a
+# 2-node fleet, discover its monitor through the name service and come
+# back with zero scrape errors.
+cmake --build "$TSAN_DIR" -j"$(nproc)" --target health_test
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure -L health
+ctest --test-dir "$TSAN_DIR" -j"$(nproc)" --output-on-failure \
+  -L health --repeat until-fail:3
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target ntcs_top
+./scripts/ntcs_top --smoke --build-dir "$BUILD_DIR"
 
 # Sched stage (label `sched`): bounded deterministic exploration. The
 # default budgets (NTCS_SCHED_BUDGET / NTCS_SCHED_PREEMPT, see

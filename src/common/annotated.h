@@ -159,6 +159,17 @@ inline constexpr std::uint16_t kMetricsRegistry = 910;
 // serialise here). Strict leaf: drains may run under the DRTS server lock
 // and first-touch a metric, never the other way around.
 inline constexpr std::uint16_t kTraceBuffer = 920;
+// Health-plane registry/report lock (common/health.h). Leaf below
+// everything: heartbeats and beacons are raw relaxed atomics (no lock at
+// all on layer hot paths); this lock only serialises watchdog sampling
+// and registration, and a sample never holds it across the metrics
+// snapshot it consumes (kMetricsRegistry < kHealth — the snapshot is
+// taken first, unlocked).
+inline constexpr std::uint16_t kHealth = 930;
+// Flight-recorder drain lock (common/health.h journal) — the exact
+// analogue of kTraceBuffer for the event journal: record() is lock-free,
+// only snapshot/clear/dump serialise here. Strict leaf.
+inline constexpr std::uint16_t kJournal = 940;
 }  // namespace lockrank
 
 namespace analysis {

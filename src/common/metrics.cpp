@@ -34,6 +34,15 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  ntcs::LockGuard lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Snapshot MetricsRegistry::snapshot() const {
   Snapshot s;
   ntcs::LockGuard lk(mu_);
@@ -43,11 +52,19 @@ Snapshot MetricsRegistry::snapshot() const {
     v.count = c->value();
     s.values.emplace(name, std::move(v));
   }
+  for (const auto& [name, g] : gauges_) {
+    MetricValue v;
+    v.kind = MetricKind::gauge;
+    v.gauge = g->value();
+    v.gauge_peak = g->peak();
+    s.values.emplace(name, std::move(v));
+  }
   for (const auto& [name, h] : histograms_) {
     MetricValue v;
     v.kind = MetricKind::histogram;
     v.count = h->count();
     v.sum = h->sum();
+    v.max = h->max();
     std::size_t top = 0;
     for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
       if (h->bucket(i) != 0) top = i + 1;
@@ -69,12 +86,18 @@ std::uint64_t Snapshot::value(std::string_view name) const {
   return v == nullptr ? 0 : v->count;
 }
 
+std::int64_t Snapshot::gauge_value(std::string_view name) const {
+  const MetricValue* v = find(name);
+  return v == nullptr ? 0 : v->gauge;
+}
+
 Snapshot Snapshot::delta(const Snapshot& since) const {
   Snapshot out;
   for (const auto& [name, now] : values) {
     const MetricValue* old = since.find(name);
     MetricValue d = now;
-    if (old != nullptr && old->kind == now.kind) {
+    if (old != nullptr && old->kind == now.kind &&
+        now.kind != MetricKind::gauge) {
       d.count -= std::min(old->count, now.count);
       d.sum -= std::min(old->sum, now.sum);
       for (std::size_t i = 0;
@@ -150,6 +173,16 @@ std::string Snapshot::to_json() const {
     append_json_string(out, name);
     out += ": " + std::to_string(v.count);
   }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : values) {
+    if (v.kind != MetricKind::gauge) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"value\": " + std::to_string(v.gauge) +
+           ", \"peak\": " + std::to_string(v.gauge_peak) + "}";
+  }
   out += "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, v] : values) {
@@ -157,13 +190,13 @@ std::string Snapshot::to_json() const {
     out += first ? "\n    " : ",\n    ";
     first = false;
     append_json_string(out, name);
-    char pbuf[96];
+    char pbuf[128];
     std::snprintf(pbuf, sizeof(pbuf),
                   ", \"p50_ns\": %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f",
                   v.percentile(0.50), v.percentile(0.90), v.percentile(0.99));
     out += ": {\"count\": " + std::to_string(v.count) +
            ", \"sum_ns\": " + std::to_string(v.sum) + pbuf +
-           ", \"buckets\": [";
+           ", \"max_ns\": " + std::to_string(v.max) + ", \"buckets\": [";
     bool bfirst = true;
     for (std::size_t i = 0; i < v.buckets.size(); ++i) {
       if (v.buckets[i] == 0) continue;
@@ -178,6 +211,64 @@ std::string Snapshot::to_json() const {
     out += "]}";
   }
   out += "\n  }\n}";
+  return out;
+}
+
+namespace {
+
+/// "lcm.request_rtt_ns" -> "ntcs_lcm_request_rtt_ns". Prometheus metric
+/// names admit [a-zA-Z0-9_:]; everything else collapses to '_'.
+std::string prom_name(std::string_view name) {
+  std::string out = "ntcs_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, v] : values) {
+    const std::string p = prom_name(name);
+    switch (v.kind) {
+      case MetricKind::counter:
+        out += "# TYPE " + p + "_total counter\n";
+        out += p + "_total " + std::to_string(v.count) + "\n";
+        break;
+      case MetricKind::gauge:
+        out += "# TYPE " + p + " gauge\n";
+        out += p + " " + std::to_string(v.gauge) + "\n";
+        out += "# TYPE " + p + "_peak gauge\n";
+        out += p + "_peak " + std::to_string(v.gauge_peak) + "\n";
+        break;
+      case MetricKind::histogram: {
+        out += "# TYPE " + p + " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < v.buckets.size(); ++i) {
+          if (v.buckets[i] == 0) continue;
+          cum += v.buckets[i];
+          // Bucket i covers [2^(i-1), 2^i); the exclusive upper bound is
+          // the Prometheus `le` (close enough at power-of-two widths).
+          const std::uint64_t upper = i >= 63 ? ~0ULL : (1ULL << i);
+          std::snprintf(buf, sizeof buf, "%s_bucket{le=\"%llu\"} %llu\n",
+                        p.c_str(), static_cast<unsigned long long>(upper),
+                        static_cast<unsigned long long>(cum));
+          out += buf;
+        }
+        out += p + "_bucket{le=\"+Inf\"} " + std::to_string(v.count) + "\n";
+        out += p + "_sum " + std::to_string(v.sum) + "\n";
+        out += p + "_count " + std::to_string(v.count) + "\n";
+        out += "# TYPE " + p + "_max gauge\n";
+        out += p + "_max " + std::to_string(v.max) + "\n";
+        break;
+      }
+    }
+  }
   return out;
 }
 

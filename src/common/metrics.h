@@ -53,6 +53,43 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+/// A settable level: queue depth, window occupancy, channel count, table
+/// size. Unlike a Counter it moves both ways; like a Counter it is relaxed
+/// and purely observational. A gauge additionally tracks its high watermark
+/// (relaxed CAS) so "did the depth ever reach the bound" stays answerable
+/// after the burst has drained — the live value alone cannot witness a
+/// transient that the sampler missed.
+///
+/// Convention (the health plane keys on it): a live structure publishes a
+/// `<base>.depth` gauge next to a `<base>.bound` gauge holding its
+/// configured capacity, so utilization is computable by any consumer —
+/// the watchdog, ntcs_top, or an external Prometheus scraper.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    bump_peak(v);
+  }
+  void add(std::int64_t n = 1) {
+    bump_peak(v_.fetch_add(n, std::memory_order_relaxed) + n);
+  }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  void bump_peak(std::int64_t v) {
+    std::int64_t p = peak_.load(std::memory_order_relaxed);
+    while (v > p &&
+           !peak_.compare_exchange_weak(p, v, std::memory_order_relaxed)) {
+    }
+  }
+  // sync: relaxed level + high-watermark CAS, observational only; raw
+  // (not ntcs::Atomic) so the explorer never parks in a gauge update.
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
 /// Fixed-bucket latency histogram: bucket i counts samples whose value in
 /// nanoseconds satisfies 2^(i-1) <= v < 2^i (bucket 0 counts v == 0).
 /// Power-of-two buckets keep record() branch-free and allocation-free: the
@@ -67,6 +104,12 @@ class Histogram {
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(ns, std::memory_order_relaxed);
+    // Exact maximum (relaxed CAS): interpolated p99 hides a single 5 s
+    // outlier completely; the max is the only honest witness of the tail.
+    std::uint64_t m = max_.load(std::memory_order_relaxed);
+    while (ns > m &&
+           !max_.compare_exchange_weak(m, ns, std::memory_order_relaxed)) {
+    }
   }
   void record(std::chrono::nanoseconds d) {
     record(d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count()));
@@ -74,6 +117,7 @@ class Histogram {
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   std::uint64_t bucket(std::size_t i) const {
     return buckets_.at(i).load(std::memory_order_relaxed);
   }
@@ -87,6 +131,7 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};  // sync: relaxed CAS watermark, as above
 };
 
 /// Times a scope into a histogram (used for blocking waits: receive,
@@ -104,16 +149,21 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-enum class MetricKind : std::uint8_t { counter = 0, histogram = 1 };
+enum class MetricKind : std::uint8_t { counter = 0, histogram = 1, gauge = 2 };
 
 /// One metric's value as captured by snapshot(). For counters `count` is
-/// the counter value and `sum`/`buckets` are unused; for histograms `count`
-/// is the sample count, `sum` the summed nanoseconds, and `buckets` the
-/// per-bucket sample counts (trailing zero buckets trimmed).
+/// the counter value and the rest is unused; for histograms `count` is the
+/// sample count, `sum` the summed nanoseconds, `max` the largest sample,
+/// and `buckets` the per-bucket sample counts (trailing zero buckets
+/// trimmed); for gauges `gauge` is the live level and `gauge_peak` its
+/// high watermark.
 struct MetricValue {
   MetricKind kind = MetricKind::counter;
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::int64_t gauge = 0;
+  std::int64_t gauge_peak = 0;
   std::vector<std::uint64_t> buckets;
 
   /// Histogram-only: same estimator as Histogram::percentile, computed
@@ -130,16 +180,28 @@ struct Snapshot {
   const MetricValue* find(std::string_view name) const;
   /// Counter value / histogram sample count, 0 when never touched.
   std::uint64_t value(std::string_view name) const;
+  /// Gauge level, 0 when never touched (or not a gauge).
+  std::int64_t gauge_value(std::string_view name) const;
 
   /// Per-name difference `this - since` (names missing from `since` keep
   /// their value; names only in `since` are dropped). Counter deltas
-  /// subtract; histogram deltas subtract count, sum and buckets pairwise.
+  /// subtract; histogram deltas subtract count, sum and buckets pairwise
+  /// (max is kept from `this`: a maximum has no meaningful difference).
+  /// Gauges are levels, not rates — they pass through unchanged.
   Snapshot delta(const Snapshot& since) const;
 
-  /// Stable JSON rendering: {"counters": {...}, "histograms": {name:
-  /// {"count": n, "sum_ns": s, "p50_ns": ..., "p90_ns": ..., "p99_ns": ...,
+  /// Stable JSON rendering: {"counters": {...}, "gauges": {name: {"value":
+  /// v, "peak": p}}, "histograms": {name: {"count": n, "sum_ns": s,
+  /// "p50_ns": ..., "p90_ns": ..., "p99_ns": ..., "max_ns": m,
   /// "buckets": [[upper_bound_ns, count], ...]}}}.
   std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4) of the full registry for
+  /// external scrapers: counters as `ntcs_<name>_total`, gauges as two
+  /// gauges (`ntcs_<name>` and `ntcs_<name>_peak`), histograms as
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`/`_max`.
+  /// Metric-name characters outside [a-zA-Z0-9_] become '_'.
+  std::string to_prometheus() const;
 };
 
 /// The registry: name -> metric, created on first touch. Instantiable for
@@ -156,6 +218,7 @@ class MetricsRegistry {
   /// lifetime, so call sites may cache it (the intended idiom).
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+  Gauge& gauge(std::string_view name);
 
   Snapshot snapshot() const;
 
@@ -168,6 +231,8 @@ class MetricsRegistry {
       GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
 };
 
 /// Process-wide shorthands for instrumentation sites.
@@ -176,6 +241,9 @@ inline Counter& counter(std::string_view name) {
 }
 inline Histogram& histogram(std::string_view name) {
   return MetricsRegistry::instance().histogram(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::instance().gauge(name);
 }
 
 }  // namespace ntcs::metrics

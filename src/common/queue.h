@@ -13,6 +13,7 @@
 
 #include "common/annotated.h"
 #include "common/error.h"
+#include "common/metrics.h"
 
 namespace ntcs {
 
@@ -71,7 +72,23 @@ class BlockingQueue {
     if (q_.empty()) return std::nullopt;
     T item = std::move(q_.front());
     q_.pop_front();
+    if (depth_gauge_ != nullptr) depth_gauge_->sub(1);
     return item;
+  }
+
+  /// Publish this queue's live depth (and its bound) into the metrics
+  /// registry for the health plane. Delta-based (+1 per push, -1 per pop),
+  /// so several queues may share one depth gauge and it reads as their
+  /// aggregate (the simnet inbox idiom). The bound gauge, when given, is
+  /// set to this queue's capacity once. Call during owner setup; the
+  /// gauges must outlive the queue (registry gauges always do).
+  void set_depth_gauge(metrics::Gauge* depth, metrics::Gauge* bound = nullptr) {
+    ntcs::LockGuard lk(mu_);
+    depth_gauge_ = depth;
+    if (depth != nullptr && !q_.empty()) {
+      depth->add(static_cast<std::int64_t>(q_.size()));
+    }
+    if (bound != nullptr) bound->set(static_cast<std::int64_t>(capacity_));
   }
 
   /// Close the queue; waiters wake, remaining items stay poppable.
@@ -104,6 +121,7 @@ class BlockingQueue {
         return Status(Errc::no_resource, "queue full");
       }
       q_.push_back(std::move(item));
+      if (depth_gauge_ != nullptr) depth_gauge_->add(1);
     }
     cv_.notify_one();
     return Status::success();
@@ -113,6 +131,7 @@ class BlockingQueue {
     if (!q_.empty()) {
       T item = std::move(q_.front());
       q_.pop_front();
+      if (depth_gauge_ != nullptr) depth_gauge_->sub(1);
       return item;
     }
     return Error(Errc::closed, "queue closed");
@@ -123,6 +142,7 @@ class BlockingQueue {
   mutable ntcs::Mutex mu_{ntcs::lockrank::kBlockingQueue, "common.queue"};
   ntcs::CondVar cv_;
   std::deque<T> q_ GUARDED_BY(mu_);  // bound: capacity_ (0 = unbounded by owner's choice)
+  metrics::Gauge* depth_gauge_ GUARDED_BY(mu_) = nullptr;
   std::size_t capacity_;
   std::size_t control_reserve_;
   bool closed_ GUARDED_BY(mu_) = false;

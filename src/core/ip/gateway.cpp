@@ -1,5 +1,6 @@
 #include "core/ip/gateway.h"
 
+#include "common/health.h"
 #include "common/metrics.h"
 
 namespace ntcs::core {
@@ -19,6 +20,12 @@ Gateway::Gateway(std::string name, std::vector<Attachment> attachments,
       prime_uadd_(prime_uadd),
       jobs_(kExtendBacklog) {
   if (prime_uadd_) uadd_ = *prime_uadd_;
+  // Health-plane pair: EXTEND backlog depth against its bound. All
+  // gateways in a process share one aggregate depth gauge (delta-based),
+  // which cannot overstate utilization against the per-queue bound.
+  static metrics::Gauge& g_depth = metrics::gauge("gw.extend_backlog.depth");
+  static metrics::Gauge& g_bound = metrics::gauge("gw.extend_backlog.bound");
+  jobs_.set_depth_gauge(&g_depth, &g_bound);
 }
 
 Gateway::~Gateway() { stop(); }
@@ -98,6 +105,8 @@ void Gateway::stop() {
   worker_.request_stop();
   if (worker_.joinable()) worker_.join();
   for (auto& node : nodes_) node->stop();
+  health::heartbeat("gw." + name_).retire();
+  health::journal_note(health::EventKind::transition, "gw", "stop");
 }
 
 GatewayRecord Gateway::record() const {
@@ -143,6 +152,8 @@ void Gateway::on_extend(IpLayer* in, LvcId in_lvc, std::uint64_t ivc,
     // fail() only sends one frame on the inbound LVC — pump-safe.
     static metrics::Counter& m_shed = metrics::counter("gw.extend_shed");
     m_shed.inc();
+    health::journal_note(health::EventKind::shed, "gw", "extend_shed",
+                         kExtendBacklog);
     ExtendJob shed;  // fail() only reads the reply coordinates
     shed.in = in;
     shed.in_lvc = in_lvc;
@@ -154,7 +165,13 @@ void Gateway::on_extend(IpLayer* in, LvcId in_lvc, std::uint64_t ivc,
 
 void Gateway::worker_main(const std::stop_token& st) {
   using namespace std::chrono_literals;
+  // The worker iterates at least every 250ms (pop timeout) when idle; a
+  // single wedged establishment round trip must not read as a stall, so
+  // the stall window is generous.
+  health::Heartbeat& hb =
+      health::heartbeat("gw." + name_, std::chrono::seconds(2));
   while (!st.stop_requested()) {
+    hb.beat();
     auto job = jobs_.pop_for(250ms);
     if (!job) {
       if (job.code() == ntcs::Errc::timeout) continue;

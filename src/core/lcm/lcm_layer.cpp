@@ -4,9 +4,39 @@
 #include <deque>
 #include <thread>
 
+#include "common/health.h"
 #include "common/metrics.h"
 
 namespace ntcs::core {
+
+namespace {
+
+/// Aggregate live occupancy across every send window in the process (adds
+/// on admission, subtracts on release, so it reads as the layer's total
+/// in-flight pipeline). Deliberately NOT named `lcm.window.depth`/`.bound`:
+/// a full window is normal pipelining, not distress, so it must not trip
+/// the health plane's `.depth`/`.bound` utilization rule.
+metrics::Gauge& window_inflight_gauge() {
+  static metrics::Gauge& g = metrics::gauge("lcm.window.in_flight");
+  return g;
+}
+
+/// The LCM wedge beacon: the deadline of the oldest parked window waiter
+/// (0 = nobody parked). Last-writer-wins across windows — a wedged window
+/// keeps republishing a past deadline while healthy windows clear or
+/// advance theirs, which is exactly the signal the watchdog needs.
+health::Beacon& window_beacon() {
+  static health::Beacon& b = health::beacon("lcm.window");
+  return b;
+}
+
+std::int64_t deadline_ns(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 /// Per-destination sliding send window. Admission is strictly FIFO: a
 /// caller that finds the window full (or other callers already queued)
@@ -63,9 +93,18 @@ struct LcmSendWindow {
       front->admitted = true;
       queue.pop_front();
       ++in_flight;
+      window_inflight_gauge().add(1);
       depth_h.record(static_cast<std::uint64_t>(in_flight));
     }
+    publish_beacon_locked();
     return swept;
+  }
+
+  /// Republish the wedge beacon after any queue mutation: the oldest
+  /// parked waiter's deadline, or clear when nobody is parked.
+  void publish_beacon_locked() REQUIRES(mu) {
+    window_beacon().set(queue.empty() ? 0
+                                      : deadline_ns(queue.front()->deadline));
   }
 };
 
@@ -152,7 +191,14 @@ LcmLayer::LcmLayer(IpLayer& ip, std::shared_ptr<Identity> identity,
       cfg_(cfg),
       log_("lcm", identity_->name()),
       rng_(ntcs::seed_from(identity_->name(), 0x4C434D4CULL /* "LCML" */)),
-      app_queue_(cfg_.max_inbound_queue, cfg_.control_reserve) {}
+      app_queue_(cfg_.max_inbound_queue, cfg_.control_reserve) {
+  // Health-plane pair: live inbound depth against the configured bound
+  // (data class sheds at bound - control_reserve, i.e. just above the
+  // watchdog's 90% utilization line).
+  static metrics::Gauge& g_depth = metrics::gauge("lcm.app_queue.depth");
+  static metrics::Gauge& g_bound = metrics::gauge("lcm.app_queue.bound");
+  app_queue_.set_depth_gauge(&g_depth, &g_bound);
+}
 
 void LcmLayer::set_resolver(Resolver* r) {
   ntcs::LockGuard lk(mu_);
@@ -312,6 +358,8 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
       static metrics::Counter& m_backoffs =
           metrics::counter("lcm.fault_backoffs");
       m_backoffs.inc();
+      health::journal_note(health::EventKind::retry, "lcm", "fault_retry",
+                           static_cast<std::uint64_t>(attempt));
       if (trace::enabled()) {
         const trace::TraceContext tctx = trace::current();
         if (tctx.valid()) {
@@ -420,6 +468,7 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
     // ---- address-fault handler (§3.5) --------------------------------
     static metrics::Counter& m_faults = metrics::counter("lcm.address_faults");
     m_faults.inc();
+    health::journal_note(health::EventKind::failover, "lcm", "addr_fault");
     ErrorHook error_hook;
     {
       ntcs::LockGuard lk(mu_);
@@ -464,7 +513,11 @@ ntcs::Result<IvcHandle> LcmLayer::send_message(UAdd dst, wire::LcmKind kind,
           rotated = true;
         }
       }
-      if (rotated) continue;  // plain reconnect retry via ND retry-on-open
+      if (rotated) {
+        health::journal_note(health::EventKind::failover, "lcm", "ns_rotate",
+                             static_cast<std::uint64_t>(attempt));
+        continue;  // plain reconnect retry via ND retry-on-open
+      }
     }
 
     Resolver* resolver = nullptr;
@@ -535,6 +588,10 @@ std::shared_ptr<LcmSendWindow> LcmLayer::window_for(UAdd dst) {
   if (!w) {
     w = std::make_shared<LcmSendWindow>();
     w->depth = std::max(1, cfg_.window_depth);
+    // Per-circuit configured depth (same for every window; set, not add,
+    // so circuit churn cannot inflate it).
+    static metrics::Gauge& g_depth = metrics::gauge("lcm.window.depth");
+    g_depth.set(w->depth);
   }
   return w;
 }
@@ -566,6 +623,7 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
       }
       m_pauses.inc();
       busy_pauses_.fetch_add(1, std::memory_order_relaxed);
+      health::journal_note(health::EventKind::busy, "lcm", "busy_pause");
       while (!w.closed) {
         now = std::chrono::steady_clock::now();
         if (w.busy_until <= now) break;
@@ -601,6 +659,7 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
   }
   if (w.queue.empty() && w.in_flight < w.depth) {
     ++w.in_flight;
+    window_inflight_gauge().add(1);
     pipeline_depth_hist().record(static_cast<std::uint64_t>(w.in_flight));
     req.admitted_at = std::chrono::steady_clock::now();
     req.window_held.store(true);
@@ -621,6 +680,7 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
   auto node = std::make_shared<LcmSendWindow::Waiter>();
   node->deadline = req.deadline;
   w.queue.push_back(node);
+  w.publish_beacon_locked();
   while (!node->admitted && !node->expired && !w.closed) {
     if (w.cv.wait_until(lk, req.deadline) == std::cv_status::timeout &&
         !node->admitted) {
@@ -628,6 +688,7 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
       // erase what is still queued.
       auto it = std::find(w.queue.begin(), w.queue.end(), node);
       if (it != w.queue.end()) w.queue.erase(it);
+      w.publish_beacon_locked();
       return ntcs::Status(ntcs::Errc::timeout,
                           "send window full until request deadline");
     }
@@ -639,6 +700,7 @@ ntcs::Status LcmLayer::acquire_window(PendingRequest& req) {
   if (!node->admitted) {  // window closed by shutdown
     auto it = std::find(w.queue.begin(), w.queue.end(), node);
     if (it != w.queue.end()) w.queue.erase(it);
+    w.publish_beacon_locked();
     return ntcs::Status(ntcs::Errc::shutdown, "module shutting down");
   }
   req.admitted_at = std::chrono::steady_clock::now();
@@ -660,6 +722,7 @@ void LcmLayer::release_window(PendingRequest& req) {
   {
     ntcs::LockGuard lk(w.mu);
     --w.in_flight;
+    window_inflight_gauge().sub(1);
     if (held.count() > 0) {
       // Slot-hold EWMA (alpha 1/8): the admission estimate's denominator.
       const auto e = static_cast<std::uint64_t>(held.count());
@@ -940,6 +1003,8 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             // best-effort by contract anyway).
             m_shed.inc();
             shed_.fetch_add(1, std::memory_order_relaxed);
+            health::journal_note(health::EventKind::shed, "lcm", "shed_data",
+                                 cfg_.max_inbound_queue);
             if (trace::enabled() && tctx.valid()) {
               trace::record_event(tctx, "lcm", "shed", identity_->name());
             }
@@ -971,6 +1036,8 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             // retrying, and its caller gets the retriable overloaded.
             m_shed.inc();
             shed_.fetch_add(1, std::memory_order_relaxed);
+            health::journal_note(health::EventKind::shed, "lcm", "shed_req",
+                                 cfg_.max_inbound_queue);
             if (trace::enabled() && tctx.valid()) {
               trace::record_event(tctx, "lcm", "shed", identity_->name());
             }
@@ -1000,6 +1067,7 @@ void LcmLayer::on_ip_event(IpEvent ev) {
             static metrics::Counter& m_busy_recv =
                 metrics::counter("lcm.busy_received");
             m_busy_recv.inc();
+            health::journal_note(health::EventKind::busy, "lcm", "busy_recv");
             RequestTicket t;
             {
               ntcs::LockGuard lk(mu_);
@@ -1092,6 +1160,7 @@ void LcmLayer::complete(std::uint32_t req_id, ntcs::Result<Reply> result) {
 }
 
 void LcmLayer::shutdown() {
+  health::journal_note(health::EventKind::transition, "lcm", "shutdown");
   app_queue_.close();
   std::vector<RequestTicket> pending;
   std::vector<std::shared_ptr<LcmSendWindow>> windows;

@@ -2,10 +2,23 @@
 
 #include <thread>
 
+#include "common/health.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
 namespace ntcs::core {
+
+namespace {
+
+/// Live LVC count for the health plane; republished (set, not delta) after
+/// every lvcs_ mutation while the layer lock is still held, so the gauge
+/// can never drift from the table.
+void publish_channels(std::size_t n) {
+  static metrics::Gauge& g = metrics::gauge("nd.channels");
+  g.set(static_cast<std::int64_t>(n));
+}
+
+}  // namespace
 
 NdLayer::NdLayer(IpcsBackend& backend, std::string local_name,
                  std::shared_ptr<Identity> identity, NdConfig cfg)
@@ -57,6 +70,8 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
         ntcs::LockGuard lk(mu_);
         delay = backoff.next(rng_);
         ++stats_.open_retries;
+        health::journal_note(health::EventKind::retry, "nd", "open_retry",
+                             static_cast<std::uint64_t>(attempt));
       }
       m_retries.inc();
       std::this_thread::sleep_for(delay);
@@ -81,6 +96,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
       st.peer.phys = dst;
       lvcs_[lvc] = std::move(st);
       open_waiters_[lvc] = waiter;
+      publish_channels(lvcs_.size());
     }
     // The open exchange (§3.3): introduce ourselves; the pump thread fills
     // the waiter when the peer's ack arrives.
@@ -95,6 +111,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
         ntcs::LockGuard lk(mu_);
         lvcs_.erase(lvc);
         open_waiters_.erase(lvc);
+        publish_channels(lvcs_.size());
       }
       // The IPCS channel exists even though the introduction never made
       // it out; without this close it would linger in the substrate (a
@@ -119,6 +136,7 @@ ntcs::Result<LvcId> NdLayer::open(const PhysAddr& dst) {
       {
         ntcs::LockGuard lk(mu_);
         lvcs_.erase(lvc);
+        publish_channels(lvcs_.size());
       }
       // Usually the channel died (the waiter was failed by a `closed`
       // delivery) and this is a no-op, but a nacked-yet-alive channel
@@ -216,6 +234,7 @@ ntcs::Status NdLayer::close(LvcId lvc) {
       return ntcs::Status(ntcs::Errc::not_found, "no such LVC");
     }
     ++stats_.lvcs_closed;
+    publish_channels(lvcs_.size());
   }
   if (port_) (void)port_->close_channel(lvc);
   return ntcs::Status::success();
@@ -241,6 +260,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(IpcsDelivery d) {
       ntcs::LockGuard lk(mu_);
       auto [it, inserted] = lvcs_.try_emplace(d.chan);
       if (inserted) it->second.peer.phys = PhysAddr{d.peer_phys};
+      publish_channels(lvcs_.size());
       return std::optional<NdEvent>{};
     }
     case IpcsDeliveryKind::closed: {
@@ -250,6 +270,7 @@ ntcs::Result<std::optional<NdEvent>> NdLayer::handle_delivery(IpcsDelivery d) {
         ntcs::LockGuard lk(mu_);
         known = lvcs_.erase(d.chan) != 0;
         if (known) ++stats_.lvcs_closed;
+        publish_channels(lvcs_.size());
         auto wit = open_waiters_.find(d.chan);
         if (wit != open_waiters_.end()) {
           waiter = wit->second;

@@ -1,5 +1,7 @@
 #include "core/node.h"
 
+#include "common/health.h"
+
 namespace ntcs::core {
 
 std::vector<GatewayRecord> prime_gateway_records(const WellKnownTable& wk) {
@@ -38,6 +40,7 @@ ntcs::Status Node::start() {
   ip_.set_topology_source([this] { return nsp_.gateways(); });
   pump_ = std::jthread([this](std::stop_token st) { pump_main(st); });
   running_ = true;
+  health::journal_note(health::EventKind::transition, "node", "start");
   return ntcs::Status::success();
 }
 
@@ -49,7 +52,12 @@ void Node::install_well_known(const WellKnownTable& wk) {
 
 void Node::pump_main(const std::stop_token& st) {
   using namespace std::chrono_literals;
+  // The pump iterates at least every 50ms (pump timeout), so a 1s
+  // stall_after gives the watchdog ~20 missed iterations of slack before
+  // declaring the dispatch loop stalled.
+  health::Heartbeat& hb = health::heartbeat("pump." + cfg_.name);
   while (!st.stop_requested()) {
+    hb.beat();
     auto ev = nd_.pump(50ms);
     if (!ev) {
       if (ev.code() == ntcs::Errc::timeout) continue;
@@ -69,6 +77,9 @@ void Node::stop() {
   pump_.request_stop();
   if (pump_.joinable()) pump_.join();
   lcm_.shutdown();
+  // A cleanly stopped pump must not read as a stalled one.
+  health::heartbeat("pump." + cfg_.name).retire();
+  health::journal_note(health::EventKind::transition, "node", "stop");
 }
 
 }  // namespace ntcs::core

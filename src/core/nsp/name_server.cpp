@@ -27,6 +27,8 @@ NameServer::NameServer(NodeConfig cfg, NsRole role, NsShardConfig shard)
   // Start the monotone counter on this shard's residue so every shard
   // mints from a disjoint stripe of the dynamic UAdd space.
   next_uadd_ = kFirstDynamicUAdd + shard_cfg_.shard;
+  // cached: per-shard counter resolved once at construction (the name is
+  // dynamic, so a static local cannot cache it).
   m_shard_lookups_ = &metrics::counter("ns.shard_lookups.s" +
                                        std::to_string(shard_cfg_.shard));
 }

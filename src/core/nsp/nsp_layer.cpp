@@ -17,6 +17,14 @@ metrics::Counter& m_cache_invalidations() {
   static metrics::Counter& c = metrics::counter("nsp.cache_invalidations");
   return c;
 }
+/// Live lease-cache size for the health plane; republished (set) after
+/// every mutation while lease_mu_ is still held, so it cannot drift. No
+/// `.bound` sibling: the cache is capped by the namespace, not a queue
+/// bound, and must not trip the utilization rule.
+void publish_lease_cache(std::size_t n) {
+  static metrics::Gauge& g = metrics::gauge("nsp.lease_cache.size");
+  g.set(static_cast<std::int64_t>(n));
+}
 }  // namespace
 
 NspLayer::NspLayer(LcmLayer& lcm, std::shared_ptr<Identity> identity,
@@ -32,6 +40,7 @@ void NspLayer::configure_shards(const WellKnownTable& wk) {
   if (n == shard_map_.size()) return;  // same topology: leases stay good
   shard_map_ = nsp::ShardMap(n);
   lease_cache_.clear();
+  publish_lease_cache(0);
   shard_epochs_.assign(n, 0);
 }
 
@@ -162,6 +171,7 @@ void NspLayer::note_epoch_locked(std::size_t shard, std::uint64_t epoch) {
       ++it;
     }
   }
+  publish_lease_cache(lease_cache_.size());
 }
 
 ntcs::Result<UAdd> NspLayer::accept_lookup_reply(const std::string& name,
@@ -180,6 +190,7 @@ ntcs::Result<UAdd> NspLayer::accept_lookup_reply(const std::string& name,
         resp.value().epoch == shard_epochs_[resp.value().shard]) {
       lease_cache_[name] =
           Lease{uadd, resp.value().epoch, expiry, resp.value().shard};
+      publish_lease_cache(lease_cache_.size());
     }
   }
   return uadd;
@@ -352,6 +363,7 @@ ntcs::Result<UAdd> NspLayer::forward(UAdd old_uadd) {
         ++it;
       }
     }
+    publish_lease_cache(lease_cache_.size());
   }
   auto body = call_targets(targets_for_uadd(old_uadd),
                            nsp::encode_forward(old_uadd));

@@ -1,6 +1,7 @@
 #include "drts/monitor.h"
 
 #include <cstdio>
+#include <iterator>
 
 #include "convert/packed.h"
 
@@ -10,25 +11,39 @@ using namespace std::chrono_literals;
 
 namespace {
 
-// Wire form of a metrics snapshot (packed mode, like every monitor message):
-// u64 entry count, then per entry: string name, u64 kind, u64 count,
-// u64 sum, u64 bucket count, then that many u64 bucket values.
-ntcs::Bytes encode_snapshot(const metrics::Snapshot& snap) {
+// Every harvest reply (metrics/traces/health/journal) leads with a u64
+// truncated flag: 1 when the answering side clipped the harvest at its
+// per-op cap, 0 when the reply is the whole story. Fleet mergers surface
+// it so a clipped view is never silently presented as complete.
+
+// Wire form of a metrics snapshot (packed mode, like every monitor
+// message): u64 truncated, u64 entry count, then per entry: string name,
+// u64 kind, u64 count, u64 sum, u64 max, i64 gauge, i64 gauge_peak,
+// u64 bucket count, then that many u64 bucket values.
+ntcs::Bytes encode_snapshot(const metrics::Snapshot& snap, bool truncated) {
   convert::Packer p;
+  p.put_u64(truncated ? 1 : 0);
   p.put_u64(snap.values.size());
   for (const auto& [name, v] : snap.values) {
     p.put_string(name);
     p.put_u64(static_cast<std::uint64_t>(v.kind));
     p.put_u64(v.count);
     p.put_u64(v.sum);
+    p.put_u64(v.max);
+    p.put_i64(v.gauge);
+    p.put_i64(v.gauge_peak);
     p.put_u64(v.buckets.size());
     for (std::uint64_t b : v.buckets) p.put_u64(b);
   }
   return std::move(p).take();
 }
 
-ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes) {
+ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes,
+                                                bool* truncated) {
   convert::Unpacker u(bytes);
+  auto trunc = u.get_u64();
+  if (!trunc) return trunc.error();
+  if (truncated != nullptr) *truncated = trunc.value() != 0;
   auto n = u.get_u64();
   if (!n) return n.error();
   metrics::Snapshot snap;
@@ -41,6 +56,12 @@ ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes) {
     if (!count) return count.error();
     auto sum = u.get_u64();
     if (!sum) return sum.error();
+    auto max = u.get_u64();
+    if (!max) return max.error();
+    auto gauge = u.get_i64();
+    if (!gauge) return gauge.error();
+    auto peak = u.get_i64();
+    if (!peak) return peak.error();
     auto nb = u.get_u64();
     if (!nb) return nb.error();
     if (nb.value() > metrics::kHistogramBuckets) {
@@ -50,6 +71,9 @@ ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes) {
     v.kind = static_cast<metrics::MetricKind>(kind.value());
     v.count = count.value();
     v.sum = sum.value();
+    v.max = max.value();
+    v.gauge = gauge.value();
+    v.gauge_peak = peak.value();
     v.buckets.reserve(nb.value());
     for (std::uint64_t b = 0; b < nb.value(); ++b) {
       auto bv = u.get_u64();
@@ -61,11 +85,13 @@ ntcs::Result<metrics::Snapshot> decode_snapshot(ntcs::BytesView bytes) {
   return snap;
 }
 
-// Wire form of a span harvest (packed mode): u64 span count, then per
-// span: u64 trace_hi/trace_lo/span_id/parent_id, i64 start/end, u64 flags,
-// string layer/op/node.
-ntcs::Bytes encode_spans(const std::vector<trace::Span>& spans) {
+// Wire form of a span harvest (packed mode): u64 truncated, u64 span
+// count, then per span: u64 trace_hi/trace_lo/span_id/parent_id, i64
+// start/end, u64 flags, string layer/op/node.
+ntcs::Bytes encode_spans(const std::vector<trace::Span>& spans,
+                         bool truncated) {
   convert::Packer p;
+  p.put_u64(truncated ? 1 : 0);
   p.put_u64(spans.size());
   for (const auto& s : spans) {
     p.put_u64(s.trace_hi);
@@ -82,8 +108,12 @@ ntcs::Bytes encode_spans(const std::vector<trace::Span>& spans) {
   return std::move(p).take();
 }
 
-ntcs::Result<std::vector<trace::Span>> decode_spans(ntcs::BytesView bytes) {
+ntcs::Result<std::vector<trace::Span>> decode_spans(ntcs::BytesView bytes,
+                                                    bool* truncated) {
   convert::Unpacker u(bytes);
+  auto trunc = u.get_u64();
+  if (!trunc) return trunc.error();
+  if (truncated != nullptr) *truncated = trunc.value() != 0;
   auto n = u.get_u64();
   if (!n) return n.error();
   if (n.value() > kMaxTraceHarvest) {
@@ -122,12 +152,138 @@ ntcs::Result<std::vector<trace::Span>> decode_spans(ntcs::BytesView bytes) {
   return out;
 }
 
+// Wire form of a health report (packed mode): u64 truncated (always 0 —
+// reports are tiny; the flag exists for harvest-reply symmetry), i64
+// sample timestamp, u64 overall state, u64 layer count, then per layer:
+// string name, u64 state, string evidence.
+ntcs::Bytes encode_health(const health::HealthReport& r) {
+  convert::Packer p;
+  p.put_u64(0);
+  p.put_i64(r.ts_ns);
+  p.put_u64(static_cast<std::uint64_t>(r.overall));
+  p.put_u64(r.layers.size());
+  for (const auto& l : r.layers) {
+    p.put_string(l.name);
+    p.put_u64(static_cast<std::uint64_t>(l.state));
+    p.put_string(l.evidence);
+  }
+  return std::move(p).take();
+}
+
+ntcs::Result<health::HealthReport> decode_health(ntcs::BytesView bytes,
+                                                 bool* truncated) {
+  convert::Unpacker u(bytes);
+  auto trunc = u.get_u64();
+  if (!trunc) return trunc.error();
+  if (truncated != nullptr) *truncated = trunc.value() != 0;
+  auto ts = u.get_i64();
+  if (!ts) return ts.error();
+  auto overall = u.get_u64();
+  if (!overall) return overall.error();
+  if (overall.value() > static_cast<std::uint64_t>(health::HealthState::stalled)) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd health state");
+  }
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  health::HealthReport r;
+  r.ts_ns = ts.value();
+  r.overall = static_cast<health::HealthState>(overall.value());
+  r.layers.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    auto name = u.get_string();
+    if (!name) return name.error();
+    auto state = u.get_u64();
+    if (!state) return state.error();
+    if (state.value() >
+        static_cast<std::uint64_t>(health::HealthState::stalled)) {
+      return ntcs::Error(ntcs::Errc::bad_message, "absurd health state");
+    }
+    auto ev = u.get_string();
+    if (!ev) return ev.error();
+    health::LayerHealth l;
+    l.name = std::move(name.value());
+    l.state = static_cast<health::HealthState>(state.value());
+    l.evidence = std::move(ev.value());
+    r.layers.push_back(std::move(l));
+  }
+  return r;
+}
+
+// Wire form of a journal harvest (packed mode): u64 truncated, u64 event
+// count, then per event: u64 seq, i64 ts, u64 trace_hi/trace_lo/a/b,
+// u64 kind, string layer, string what.
+ntcs::Bytes encode_journal(const std::vector<health::JournalEvent>& events,
+                           bool truncated) {
+  convert::Packer p;
+  p.put_u64(truncated ? 1 : 0);
+  p.put_u64(events.size());
+  for (const auto& e : events) {
+    p.put_u64(e.seq);
+    p.put_i64(e.ts_ns);
+    p.put_u64(e.trace_hi);
+    p.put_u64(e.trace_lo);
+    p.put_u64(e.a);
+    p.put_u64(e.b);
+    p.put_u64(static_cast<std::uint64_t>(e.kind));
+    p.put_string(e.layer);
+    p.put_string(e.what);
+  }
+  return std::move(p).take();
+}
+
+ntcs::Result<std::vector<health::JournalEvent>> decode_journal(
+    ntcs::BytesView bytes, bool* truncated) {
+  convert::Unpacker u(bytes);
+  auto trunc = u.get_u64();
+  if (!trunc) return trunc.error();
+  if (truncated != nullptr) *truncated = trunc.value() != 0;
+  auto n = u.get_u64();
+  if (!n) return n.error();
+  if (n.value() > kMaxJournalHarvest) {
+    return ntcs::Error(ntcs::Errc::bad_message, "absurd event count");
+  }
+  std::vector<health::JournalEvent> out;
+  out.reserve(n.value());
+  for (std::uint64_t i = 0; i < n.value(); ++i) {
+    health::JournalEvent e;
+    auto seq = u.get_u64();
+    auto ts = u.get_i64();
+    auto hi = u.get_u64();
+    auto lo = u.get_u64();
+    auto a = u.get_u64();
+    auto b = u.get_u64();
+    auto kind = u.get_u64();
+    auto layer = u.get_string();
+    auto what = u.get_string();
+    if (!seq || !ts || !hi || !lo || !a || !b || !kind || !layer || !what) {
+      return ntcs::Error(ntcs::Errc::bad_message, "truncated journal harvest");
+    }
+    e.seq = seq.value();
+    e.ts_ns = ts.value();
+    e.trace_hi = hi.value();
+    e.trace_lo = lo.value();
+    e.a = a.value();
+    e.b = b.value();
+    e.kind = static_cast<health::EventKind>(kind.value());
+    e.layer = std::move(layer.value());
+    e.what = std::move(what.value());
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
 }  // namespace
 
 MonitorServer::MonitorServer(core::NodeConfig cfg, std::size_t ring_capacity)
     : ring_capacity_(ring_capacity) {
   if (cfg.name.empty()) cfg.name = std::string(kMonitorName);
   node_ = std::make_unique<core::Node>(std::move(cfg));
+  // Health-plane pair for the sample ring. Set-from-size under mu_ (not
+  // delta-based): with several monitors in one process the last writer
+  // wins, which is the per-ring depth either way — never an aggregate
+  // drifting past the per-ring bound.
+  metrics::gauge("drts.monitor_ring.bound")
+      .set(static_cast<std::int64_t>(ring_capacity_));
 }
 
 MonitorServer::~MonitorServer() { stop(); }
@@ -148,10 +304,15 @@ void MonitorServer::stop() {
   server_.request_stop();
   node_->stop();
   if (server_.joinable()) server_.join();
+  health::heartbeat("drts." + node_->config().name).retire();
 }
 
 void MonitorServer::serve(const std::stop_token& st) {
+  // The serve loop iterates at least every 100ms (receive timeout), so
+  // the default 1s stall window leaves ~10 missed iterations of slack.
+  health::Heartbeat& hb = health::heartbeat("drts." + node_->config().name);
   while (!st.stop_requested()) {
+    hb.beat();
     auto in = node_->lcm().receive(100ms);
     if (!in) {
       if (in.code() == ntcs::Errc::timeout) continue;
@@ -171,7 +332,15 @@ void MonitorServer::serve(const std::stop_token& st) {
         // The per-layer registry, served over the NTCS itself. This query
         // path is internal traffic end to end, so answering it perturbs
         // none of the monitored-send metrics it reports (§6.1).
-        body = encode_snapshot(metrics::MetricsRegistry::instance().snapshot());
+        auto snap = metrics::MetricsRegistry::instance().snapshot();
+        bool clipped = false;
+        while (snap.values.size() > kMaxMetricsHarvest) {
+          // Alphabetically-last entries lose; a registry this large is
+          // itself a bug the truncated flag is there to surface.
+          snap.values.erase(std::prev(snap.values.end()));
+          clipped = true;
+        }
+        body = encode_snapshot(snap, clipped);
       } else if (op == kMonitorOpTraces) {
         // Span-buffer harvest: the same recursive monitor path, serving
         // the process's trace ring. Query traffic is internal, so the
@@ -202,14 +371,40 @@ void MonitorServer::serve(const std::stop_token& st) {
             spans = trace::snapshot_spans();
             break;
         }
+        bool clipped = false;
         if (spans.size() > kMaxTraceHarvest) {
           // Newest spans win (the ring already discarded the oldest).
           spans.erase(spans.begin(),
                       spans.begin() +
                           static_cast<std::ptrdiff_t>(spans.size() -
                                                       kMaxTraceHarvest));
+          clipped = true;
         }
-        body = encode_spans(spans);
+        body = encode_spans(spans, clipped);
+      } else if (op == kMonitorOpHealth) {
+        // The latest watchdog verdict — or, when no watchdog thread runs
+        // in this process, a fresh sample so the answer is never stale.
+        auto& reg = health::HealthRegistry::instance();
+        body = encode_health(reg.watchdog_running() ? reg.latest()
+                                                    : reg.check_now());
+      } else if (op == kMonitorOpJournal) {
+        // Flight-recorder drain. The payload may carry a per-query cap
+        // after the op; it is clamped to kMaxJournalHarvest either way.
+        std::uint64_t max = kMaxJournalHarvest;
+        convert::Unpacker ju(in.value().payload);
+        (void)ju.get_u64();  // op, already decoded above
+        if (auto m = ju.get_u64(); m && m.value() > 0) max = m.value();
+        if (max > kMaxJournalHarvest) max = kMaxJournalHarvest;
+        auto events = health::journal_snapshot();
+        bool clipped = false;
+        if (events.size() > max) {
+          // Newest events win (the ring already overwrote the oldest).
+          events.erase(events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(
+                                            events.size() - max));
+          clipped = true;
+        }
+        body = encode_journal(events, clipped);
       } else {
         convert::Packer p;
         {
@@ -240,6 +435,8 @@ void MonitorServer::serve(const std::stop_token& st) {
     ntcs::LockGuard lk(mu_);
     ring_.push_back(rec);
     while (ring_.size() > ring_capacity_) ring_.pop_front();
+    static metrics::Gauge& g_depth = metrics::gauge("drts.monitor_ring.depth");
+    g_depth.set(static_cast<std::int64_t>(ring_.size()));
     total_bytes_ += rec.bytes;
     ++count_;
     PairStats& ps = pairs_[{rec.src, rec.dst}];
@@ -355,7 +552,8 @@ ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
 }
 
 ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
-                                              core::UAdd monitor) {
+                                              core::UAdd monitor,
+                                              bool* truncated) {
   convert::Packer p;
   p.put_u64(kMonitorOpMetrics);
   core::SendOptions opts;
@@ -364,12 +562,13 @@ ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
   auto reply = via.lcm().request(monitor,
                                  core::Payload::raw(std::move(p).take()), opts);
   if (!reply) return reply.error();
-  return decode_snapshot(reply.value().payload);
+  return decode_snapshot(reply.value().payload, truncated);
 }
 
 ntcs::Result<std::vector<trace::Span>> query_traces(core::Node& via,
                                                     core::UAdd monitor,
-                                                    const TraceQuery& q) {
+                                                    const TraceQuery& q,
+                                                    bool* truncated) {
   convert::Packer p;
   p.put_u64(kMonitorOpTraces);
   p.put_u64(static_cast<std::uint64_t>(q.kind));
@@ -382,7 +581,35 @@ ntcs::Result<std::vector<trace::Span>> query_traces(core::Node& via,
   auto reply = via.lcm().request(monitor,
                                  core::Payload::raw(std::move(p).take()), opts);
   if (!reply) return reply.error();
-  return decode_spans(reply.value().payload);
+  return decode_spans(reply.value().payload, truncated);
+}
+
+ntcs::Result<health::HealthReport> query_health(core::Node& via,
+                                                core::UAdd monitor,
+                                                bool* truncated) {
+  convert::Packer p;
+  p.put_u64(kMonitorOpHealth);
+  core::SendOptions opts;
+  opts.internal = true;
+  opts.timeout = 2s;
+  auto reply = via.lcm().request(monitor,
+                                 core::Payload::raw(std::move(p).take()), opts);
+  if (!reply) return reply.error();
+  return decode_health(reply.value().payload, truncated);
+}
+
+ntcs::Result<std::vector<health::JournalEvent>> query_journal(
+    core::Node& via, core::UAdd monitor, std::size_t max, bool* truncated) {
+  convert::Packer p;
+  p.put_u64(kMonitorOpJournal);
+  p.put_u64(max);
+  core::SendOptions opts;
+  opts.internal = true;
+  opts.timeout = 2s;
+  auto reply = via.lcm().request(monitor,
+                                 core::Payload::raw(std::move(p).take()), opts);
+  if (!reply) return reply.error();
+  return decode_journal(reply.value().payload, truncated);
 }
 
 }  // namespace ntcs::drts

@@ -16,6 +16,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/health.h"
 #include "common/metrics.h"
 #include "common/annotated.h"
 #include "common/trace.h"
@@ -31,6 +32,8 @@ inline constexpr std::string_view kMonitorName = "monitor";
 inline constexpr std::uint64_t kMonitorOpSummary = 1;
 inline constexpr std::uint64_t kMonitorOpMetrics = 2;
 inline constexpr std::uint64_t kMonitorOpTraces = 3;
+inline constexpr std::uint64_t kMonitorOpHealth = 4;
+inline constexpr std::uint64_t kMonitorOpJournal = 5;
 
 /// One sample as stored by the server.
 struct MonitorRecord {
@@ -131,13 +134,22 @@ struct MonitorSummary {
 ntcs::Result<MonitorSummary> query_monitor(core::Node& via,
                                            core::UAdd monitor);
 
+/// Harvest cap per query_metrics reply, counted in metric entries. A full
+/// histogram entry is ~300 wire bytes, so the cap keeps the reply inside
+/// the 1 MiB ALI message limit with room to spare.
+inline constexpr std::size_t kMaxMetricsHarvest = 2048;
+
 /// Query a (possibly remote) monitor for its process's per-layer metrics
 /// snapshot (kMonitorOpMetrics). The reply is the remote
 /// MetricsRegistry::instance().snapshot(), wire-encoded in packed mode —
 /// the metrics registry queried over the NTCS itself, like every other
-/// DRTS service.
+/// DRTS service. Every harvest reply leads with a truncated flag: when the
+/// remote had more than the per-op harvest cap, `*truncated` (if given) is
+/// set so fleet merges can report partial coverage instead of silently
+/// presenting a clipped view as complete.
 ntcs::Result<metrics::Snapshot> query_metrics(core::Node& via,
-                                              core::UAdd monitor);
+                                              core::UAdd monitor,
+                                              bool* truncated = nullptr);
 
 /// Filter for query_traces: everything in the answering process's span
 /// buffer, one trace ID, or spans starting at/after a steady_clock
@@ -157,8 +169,33 @@ inline constexpr std::size_t kMaxTraceHarvest = 8192;
 /// Drain a (possibly remote) monitor's span buffer over the NTCS
 /// (kMonitorOpTraces) — the §6.1 recursive-harvest path, span-flavoured.
 /// Merge multi-node harvests with trace::merge_harvests (trace_export.h).
+/// `*truncated` (if given) reports whether the remote clipped the harvest
+/// at kMaxTraceHarvest (newest spans win).
 ntcs::Result<std::vector<trace::Span>> query_traces(core::Node& via,
                                                     core::UAdd monitor,
-                                                    const TraceQuery& q = {});
+                                                    const TraceQuery& q = {},
+                                                    bool* truncated = nullptr);
+
+/// Query a (possibly remote) monitor for its process's latest watchdog
+/// verdict (kMonitorOpHealth). If no watchdog thread runs in the remote
+/// process, the monitor takes a fresh HealthRegistry::check_now() sample so
+/// the answer is never stale. Health replies are tiny and never clipped;
+/// the truncated flag exists for wire symmetry with the other harvest ops.
+ntcs::Result<health::HealthReport> query_health(core::Node& via,
+                                                core::UAdd monitor,
+                                                bool* truncated = nullptr);
+
+/// Harvest cap per query_journal reply: newest events win. A journal event
+/// is ~70 wire bytes, so a full harvest stays well inside the 1 MiB ALI
+/// message limit.
+inline constexpr std::size_t kMaxJournalHarvest = 8192;
+
+/// Drain a (possibly remote) monitor's flight-recorder journal over the
+/// NTCS (kMonitorOpJournal). Events arrive oldest-first with trace-ID
+/// correlation intact; `*truncated` (if given) reports whether the remote
+/// clipped the harvest at `max` (newest events win).
+ntcs::Result<std::vector<health::JournalEvent>> query_journal(
+    core::Node& via, core::UAdd monitor,
+    std::size_t max = kMaxJournalHarvest, bool* truncated = nullptr);
 
 }  // namespace ntcs::drts

@@ -16,6 +16,19 @@
 #include "common/metrics.h"
 #include "realnet/frame_decode.h"
 
+namespace {
+
+/// Health-plane pair: aggregate TCP-port inbox depth across the process
+/// (delta-based) against the configured per-port bound. The bound gauge is
+/// set when the first port publishes (all ports share TcpConfig defaults).
+ntcs::metrics::Gauge& inbox_depth_gauge() {
+  static ntcs::metrics::Gauge& g =
+      ntcs::metrics::gauge("realnet.inbox.depth");
+  return g;
+}
+
+}  // namespace
+
 namespace ntcs::realnet {
 
 namespace {
@@ -160,9 +173,21 @@ TcpPort::TcpPort(TcpConfig cfg, int listen_fd, int wake_rd, int wake_wr,
       phys_(std::move(phys)),
       listen_fd_(listen_fd),
       wake_rd_(wake_rd),
-      wake_wr_(wake_wr) {}
+      wake_wr_(wake_wr) {
+  static ntcs::metrics::Gauge& g_bound =
+      ntcs::metrics::gauge("realnet.inbox.bound");
+  g_bound.set(static_cast<std::int64_t>(cfg_.inbox_capacity));
+}
 
-TcpPort::~TcpPort() { close(); }
+TcpPort::~TcpPort() {
+  close();
+  // Undrained deliveries die with the port; the aggregate depth gauge
+  // must not keep counting them.
+  ntcs::LockGuard lk(inbox_mu_);
+  if (!inbox_.empty()) {
+    inbox_depth_gauge().sub(static_cast<std::int64_t>(inbox_.size()));
+  }
+}
 
 void TcpPort::listener_main() {
   for (;;) {
@@ -292,6 +317,7 @@ void TcpPort::enqueue(core::IpcsDelivery d) {
       if (inbox_closed_ || closing_.load(std::memory_order_acquire)) return;
     }
     inbox_.push_back(std::move(d));
+    inbox_depth_gauge().add(1);
   }
   inbox_cv_.notify_one();
 }
@@ -430,6 +456,7 @@ ntcs::Result<core::IpcsDelivery> TcpPort::recv_for(
   if (!inbox_.empty()) {
     core::IpcsDelivery d = std::move(inbox_.front());
     inbox_.pop_front();
+    inbox_depth_gauge().sub(1);
     inbox_space_cv_.notify_one();  // a blocked reader may resume
     return d;
   }

@@ -1,11 +1,13 @@
 #include "simnet/endpoint.h"
 
+#include "common/health.h"
 #include "common/metrics.h"
 #include "simnet/fabric.h"
 
 namespace ntcs::simnet {
 
 namespace {
+
 // Bound on an endpoint's inbox. Simnet cannot exert real back-pressure
 // (there is no kernel socket buffer behind it — delivery is a function
 // call), so a full inbox sheds *data* frames exactly like a lossy wire:
@@ -13,13 +15,35 @@ namespace {
 // layers recover the same way they do from real frame loss. opened/closed
 // control deliveries are never shed — channel lifecycle must stay exact.
 constexpr std::size_t kInboxCapacity = 65536;
+
+/// Health-plane pair: aggregate inbox depth across every simnet endpoint
+/// in the process (delta-based), against the per-endpoint bound. Aggregate
+/// vs per-endpoint bound overstates per-endpoint utilization only when the
+/// hot endpoint is not the only one loaded — acceptable for a degraded
+/// (not stalled) signal.
+metrics::Gauge& inbox_depth_gauge() {
+  static metrics::Gauge* g = [] {
+    metrics::gauge("simnet.inbox.bound")
+        .set(static_cast<std::int64_t>(kInboxCapacity));
+    return &metrics::gauge("simnet.inbox.depth");
+  }();
+  return *g;
+}
 }  // namespace
 
 Endpoint::Endpoint(Fabric* fabric, MachineId machine, IpcsKind kind,
                    std::string phys)
     : fabric_(fabric), machine_(machine), kind_(kind), phys_(std::move(phys)) {}
 
-Endpoint::~Endpoint() { close(); }
+Endpoint::~Endpoint() {
+  close();
+  // Undrained deliveries die with the endpoint; the aggregate depth gauge
+  // must not keep counting them.
+  ntcs::LockGuard lk(mu_);
+  if (!inbox_.empty()) {
+    inbox_depth_gauge().sub(static_cast<std::int64_t>(inbox_.size()));
+  }
+}
 
 ntcs::Result<ChannelId> Endpoint::connect(const std::string& dst_phys) {
   if (is_closed()) return ntcs::Error(ntcs::Errc::closed, "endpoint closed");
@@ -51,6 +75,7 @@ ntcs::Result<Delivery> Endpoint::recv_until(
     if (!inbox_.empty() && inbox_.top().at <= now) {
       Delivery d = std::move(const_cast<Item&>(inbox_.top()).d);
       inbox_.pop();
+      inbox_depth_gauge().sub(1);
       return d;
     }
     if (inbox_closed_ && inbox_.empty()) {
@@ -89,6 +114,7 @@ std::optional<Delivery> Endpoint::try_recv() {
   }
   Delivery d = std::move(const_cast<Item&>(inbox_.top()).d);
   inbox_.pop();
+  inbox_depth_gauge().sub(1);
   return d;
 }
 
@@ -116,9 +142,12 @@ void Endpoint::enqueue(Item item) {
     if (item.d.kind == DeliveryKind::data && inbox_.size() >= kInboxCapacity) {
       static metrics::Counter& m_shed = metrics::counter("simnet.inbox_shed");
       m_shed.inc();
+      health::journal_note(health::EventKind::shed, "simnet", "inbox_shed",
+                           kInboxCapacity);
       return;
     }
     inbox_.push(std::move(item));
+    inbox_depth_gauge().add(1);
   }
   cv_.notify_all();
 }
